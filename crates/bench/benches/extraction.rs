@@ -1,0 +1,55 @@
+//! Extractor throughput: numeric association and medical-term scanning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("numeric_extraction");
+    let schema = cmr_core::Schema::paper();
+    let specs: Vec<&cmr_core::FeatureSpec> = schema.numeric.iter().collect();
+
+    let link_ex = cmr_core::NumericExtractor::new();
+    let pattern_ex =
+        cmr_core::NumericExtractor::with_method(cmr_core::AssociationMethod::PatternOnly);
+    let vitals =
+        "Blood pressure is 144/90, pulse of 84, temperature of 98.3, and weight of 154 pounds.";
+    let fragment = "Menarche at age 10, gravida 4, para 3, last menstrual period about a year ago.";
+
+    g.bench_function("link_grammar_vitals", |b| {
+        b.iter(|| black_box(link_ex.extract_sentence(black_box(vitals), &specs)))
+    });
+    g.bench_function("pattern_only_vitals", |b| {
+        b.iter(|| black_box(pattern_ex.extract_sentence(black_box(vitals), &specs)))
+    });
+    g.bench_function("fallback_on_fragment", |b| {
+        b.iter(|| black_box(link_ex.extract_sentence(black_box(fragment), &specs)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("term_extraction");
+    let ex = cmr_core::MedicalTermExtractor::new(cmr_ontology::Ontology::full());
+    let pmh = "Significant for diabetes, heart disease, high blood pressure, hypercholesterolemia, bronchitis, arrhythmia, and depression.";
+    let psh = "Significant for a postoperative CVA after undergoing a cholecystectomy and a midline hernia closure.";
+    g.bench_function("pmh_line", |b| b.iter(|| black_box(ex.extract(black_box(pmh)))));
+    g.bench_function("psh_line", |b| b.iter(|| black_box(ex.extract(black_box(psh)))));
+    g.bench_function("normalize_term", |b| {
+        b.iter(|| black_box(cmr_ontology::normalize(black_box("high blood pressures"))))
+    });
+    g.bench_function("ontology_lookup", |b| {
+        let onto = cmr_ontology::Ontology::full();
+        b.iter(|| black_box(onto.lookup(black_box("high blood pressure"))))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("tagging");
+    let tagger = cmr_postag::PosTagger::new();
+    let toks = cmr_text::tokenize(vitals);
+    g.bench_function("tokenize_vitals", |b| {
+        b.iter(|| black_box(cmr_text::tokenize(black_box(vitals))))
+    });
+    g.bench_function("pos_tag_vitals", |b| b.iter(|| black_box(tagger.tag(black_box(&toks)))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! ID3 training, prediction and the cross-validation protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn smoking_dataset() -> cmr_ml::Dataset {
+    let corpus = cmr_bench::paper_corpus();
+    let examples = cmr_bench::smoking_examples(&corpus);
+    let clf = cmr_core::CategoricalExtractor::new(cmr_core::FeatureOptions::paper_smoking());
+    clf.build_dataset(&examples)
+}
+
+fn bench_id3(c: &mut Criterion) {
+    let data = smoking_dataset();
+    let mut g = c.benchmark_group("id3");
+    g.bench_function("train_smoking_45x", |b| {
+        b.iter(|| black_box(cmr_ml::Id3Tree::train(black_box(&data), cmr_ml::Id3Params::default())))
+    });
+    let tree = cmr_ml::Id3Tree::train(&data, cmr_ml::Id3Params::default());
+    let fv = &data.instances[0].features;
+    g.bench_function("predict", |b| b.iter(|| black_box(tree.predict(black_box(fv)))));
+    g.bench_function("cv_5fold_x10", |b| {
+        b.iter(|| black_box(cmr_ml::CrossValidation::default().run(black_box(&data))))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("feature_extraction");
+    let fx = cmr_core::FeatureExtractor::new(cmr_core::FeatureOptions::paper_smoking());
+    let text = "She quit smoking five years ago. Alcohol use, occasional. Drug use, none.";
+    g.bench_function("social_history_features", |b| {
+        b.iter(|| black_box(fx.extract(black_box(text))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_id3);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! End-to-end pipeline and corpus generation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(20);
+    let pipeline = cmr_core::Pipeline::with_default_schema();
+    let record = cmr_corpus::APPENDIX_RECORD;
+    g.bench_function("extract_appendix_record", |b| {
+        b.iter(|| black_box(pipeline.extract(black_box(record))))
+    });
+    let corpus = cmr_corpus::CorpusBuilder::new().records(10).build();
+    g.bench_function("extract_10_records", |b| {
+        b.iter(|| {
+            for r in &corpus.records {
+                black_box(pipeline.extract(black_box(&r.text)));
+            }
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("corpus");
+    g.bench_function("generate_50_records", |b| {
+        b.iter(|| black_box(cmr_corpus::CorpusBuilder::new().build()))
+    });
+    g.bench_function("parse_record_sections", |b| {
+        b.iter(|| black_box(cmr_text::Record::parse(black_box(record))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! # cmr-bench — the reproduction harness
+//!
+//! One runner per table/figure of the paper plus the ablations listed in
+//! DESIGN.md §4. The `repro` binary renders the reports; Criterion benches
+//! measure the substrate costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,383 @@
+//! Categorical field extraction (§3.3): NLP feature extraction + ID3.
+//!
+//! The feature extractor implements all four user options from the paper:
+//!
+//! 1. choose part of speech classes (verb, noun, adjective, adverb);
+//! 2. choose sentence constituents (subject, verb, object, supplement);
+//! 3. head noun / head adjective only;
+//! 4. use the lemma ("uninfected form") of any word.
+//!
+//! Plus the §3.3 *future-work* extension implemented here: numeric boolean
+//! features (`number ≤ t` / `number > t` present in the text) for classes
+//! like alcohol use whose labels quantify frequency.
+
+use cmr_linkgram::LinkParser;
+use cmr_ml::{CrossValidation, CvResult, Dataset, DatasetBuilder, Id3Params, Id3Tree};
+use cmr_postag::{PosTagger, Tag};
+use cmr_text::{annotate_numbers, split_sentences, tokenize};
+
+/// Feature-extraction options (§3.3's four user choices + thresholds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureOptions {
+    /// Include verbs.
+    pub verbs: bool,
+    /// Include nouns.
+    pub nouns: bool,
+    /// Include adjectives.
+    pub adjectives: bool,
+    /// Include adverbs.
+    pub adverbs: bool,
+    /// Include words from the subject constituent.
+    pub subject: bool,
+    /// Include words from the verb group.
+    pub verb_constituent: bool,
+    /// Include words from the object constituent.
+    pub object: bool,
+    /// Include words from supplements.
+    pub supplement: bool,
+    /// Only the head word of a noun/adjective phrase.
+    pub head_only: bool,
+    /// Use lemmas instead of surface forms.
+    pub use_lemma: bool,
+    /// Thresholds for numeric boolean features; each `t` contributes
+    /// features `num<=t` and `num>t`.
+    pub numeric_thresholds: Vec<f64>,
+}
+
+impl Default for FeatureOptions {
+    fn default() -> Self {
+        FeatureOptions::paper_smoking()
+    }
+}
+
+impl FeatureOptions {
+    /// The paper's smoking configuration: "we search for certain parts of
+    /// speech — verbs, nouns, adjectives, or adverbs — that appear in any
+    /// constituent part of the sentence; meanwhile, we disable the 'head
+    /// noun or head adjective only' option, and enable the 'use of lemma'
+    /// option."
+    pub fn paper_smoking() -> FeatureOptions {
+        FeatureOptions {
+            verbs: true,
+            nouns: true,
+            adjectives: true,
+            adverbs: true,
+            subject: true,
+            verb_constituent: true,
+            object: true,
+            supplement: true,
+            head_only: false,
+            use_lemma: true,
+            numeric_thresholds: Vec::new(),
+        }
+    }
+
+    /// The alcohol-use configuration: smoking options plus the numeric
+    /// boolean feature at threshold 2 (§3.3: "whether a number less than or
+    /// equal to 2 appears … whether a number greater than 2 appears").
+    pub fn paper_alcohol() -> FeatureOptions {
+        FeatureOptions {
+            numeric_thresholds: vec![2.0],
+            ..FeatureOptions::paper_smoking()
+        }
+    }
+
+    /// True when all four constituents are enabled (no parse needed).
+    fn all_constituents(&self) -> bool {
+        self.subject && self.verb_constituent && self.object && self.supplement
+    }
+}
+
+/// The feature extractor.
+pub struct FeatureExtractor {
+    options: FeatureOptions,
+    tagger: PosTagger,
+    parser: LinkParser,
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor with the given options.
+    pub fn new(options: FeatureOptions) -> FeatureExtractor {
+        FeatureExtractor {
+            options,
+            tagger: PosTagger::new(),
+            parser: LinkParser::new(),
+        }
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &FeatureOptions {
+        &self.options
+    }
+
+    /// Extracts the boolean features *present* in `text` (deduplicated).
+    pub fn extract(&self, text: &str) -> Vec<String> {
+        let mut features: Vec<String> = Vec::new();
+        let mut push = |f: String| {
+            if !features.contains(&f) {
+                features.push(f);
+            }
+        };
+        for sentence in split_sentences(text) {
+            let stext = sentence.text(text);
+            let tokens = tokenize(stext);
+            let tagged = self.tagger.tag(&tokens);
+            // Constituent restriction.
+            let allowed: Option<Vec<usize>> = if self.options.all_constituents() {
+                None
+            } else {
+                self.parser.parse(&tagged).map(|linkage| {
+                    let c = linkage.constituents();
+                    let mut keep = Vec::new();
+                    if self.options.subject {
+                        keep.extend(&c.subject);
+                    }
+                    if self.options.verb_constituent {
+                        keep.extend(&c.verb);
+                    }
+                    if self.options.object {
+                        keep.extend(&c.object);
+                    }
+                    if self.options.supplement {
+                        keep.extend(&c.supplement);
+                    }
+                    keep
+                })
+                // A failed parse falls back to the whole sentence, so the
+                // classifier still sees features for fragments.
+            };
+            for (i, t) in tagged.iter().enumerate() {
+                if !t.token.kind.is_word() {
+                    continue;
+                }
+                if let Some(keep) = &allowed {
+                    if !keep.contains(&i) {
+                        continue;
+                    }
+                }
+                let class_ok = (self.options.nouns && t.tag.is_noun())
+                    || (self.options.verbs && t.tag.is_verb())
+                    || (self.options.adjectives && t.tag.is_adjective())
+                    || (self.options.adverbs && t.tag.is_adverb());
+                if !class_ok {
+                    continue;
+                }
+                if self.options.head_only && !is_phrase_head(&tagged, i) {
+                    continue;
+                }
+                let word = if self.options.use_lemma {
+                    t.lemma.clone()
+                } else {
+                    t.lower()
+                };
+                push(word);
+            }
+            // Numeric boolean features.
+            if !self.options.numeric_thresholds.is_empty() {
+                let numbers = annotate_numbers(&tokens);
+                for &t in &self.options.numeric_thresholds {
+                    if numbers.iter().any(|n| n.value.as_f64() <= t) {
+                        push(format!("num<={t}"));
+                    }
+                    if numbers.iter().any(|n| n.value.as_f64() > t) {
+                        push(format!("num>{t}"));
+                    }
+                }
+            }
+        }
+        features
+    }
+}
+
+/// Head test: the last noun of a maximal `(JJ|NN)* NN` run, or the last
+/// adjective of an adjective run not followed by a noun.
+fn is_phrase_head(tagged: &[cmr_postag::TaggedToken], i: usize) -> bool {
+    let tag = tagged[i].tag;
+    let next = tagged.get(i + 1).map(|t| t.tag);
+    if tag.is_noun() {
+        // Head noun = not directly followed by another noun.
+        return !next.map(|t| t.is_noun()).unwrap_or(false);
+    }
+    if tag.is_adjective() {
+        // Attributive adjective (before a noun or another adjective) is not
+        // a head; predicative adjective is.
+        return !next
+            .map(|t| t.is_noun() || t.is_adjective())
+            .unwrap_or(false);
+    }
+    // Verbs/adverbs are unaffected by the head-only option.
+    !matches!(tag, Tag::PUNCT)
+}
+
+/// A trainable categorical field classifier: feature extraction + ID3.
+pub struct CategoricalExtractor {
+    extractor: FeatureExtractor,
+    params: Id3Params,
+    tree: Option<Id3Tree>,
+    feature_names: Vec<String>,
+    label_names: Vec<String>,
+}
+
+impl CategoricalExtractor {
+    /// Creates an untrained classifier.
+    pub fn new(options: FeatureOptions) -> CategoricalExtractor {
+        CategoricalExtractor {
+            extractor: FeatureExtractor::new(options),
+            params: Id3Params::default(),
+            tree: None,
+            feature_names: Vec::new(),
+            label_names: Vec::new(),
+        }
+    }
+
+    /// Builds the boolean dataset for (text, label) examples.
+    pub fn build_dataset(&self, examples: &[(String, String)]) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        for (text, label) in examples {
+            let feats = self.extractor.extract(text);
+            b.add(&feats, label);
+        }
+        b.build()
+    }
+
+    /// Trains the ID3 tree on labeled texts.
+    pub fn train(&mut self, examples: &[(String, String)]) {
+        let data = self.build_dataset(examples);
+        self.feature_names = data.feature_names.clone();
+        self.label_names = data.label_names.clone();
+        self.tree = Some(Id3Tree::train(&data, self.params));
+    }
+
+    /// Classifies a text; `None` before training.
+    pub fn classify(&self, text: &str) -> Option<&str> {
+        let tree = self.tree.as_ref()?;
+        let present = self.extractor.extract(text);
+        let fv: Vec<bool> = self
+            .feature_names
+            .iter()
+            .map(|f| present.contains(f))
+            .collect();
+        Some(&self.label_names[tree.predict(&fv)])
+    }
+
+    /// The trained tree, if any.
+    pub fn tree(&self) -> Option<&Id3Tree> {
+        self.tree.as_ref()
+    }
+
+    /// Runs the paper's evaluation protocol (repeated shuffled k-fold CV)
+    /// on labeled texts without touching the trained state.
+    pub fn cross_validate(&self, examples: &[(String, String)], cv: CrossValidation) -> CvResult {
+        let data = self.build_dataset(examples);
+        cv.run(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fx(options: FeatureOptions) -> FeatureExtractor {
+        FeatureExtractor::new(options)
+    }
+
+    #[test]
+    fn lemma_merges_inflections() {
+        let e = fx(FeatureOptions::paper_smoking());
+        // §3.3: "denies", "denied" and "deny" are one feature under lemma.
+        let a = e.extract("She denies smoking.");
+        let b = e.extract("She denied smoking.");
+        assert!(a.contains(&"deny".to_string()), "{a:?}");
+        assert!(b.contains(&"deny".to_string()), "{b:?}");
+    }
+
+    #[test]
+    fn surface_kept_without_lemma() {
+        let opts = FeatureOptions {
+            use_lemma: false,
+            ..FeatureOptions::paper_smoking()
+        };
+        let feats = fx(opts).extract("She denies smoking.");
+        assert!(feats.contains(&"denies".to_string()), "{feats:?}");
+    }
+
+    #[test]
+    fn pos_filtering() {
+        let opts = FeatureOptions {
+            nouns: false,
+            adjectives: false,
+            adverbs: false,
+            ..FeatureOptions::paper_smoking()
+        };
+        let feats = fx(opts).extract("She quit smoking five years ago.");
+        assert!(feats.contains(&"quit".to_string()));
+        assert!(!feats.contains(&"year".to_string()), "{feats:?}");
+        assert!(!feats.contains(&"ago".to_string()));
+    }
+
+    #[test]
+    fn head_only_drops_modifier_nouns() {
+        let opts = FeatureOptions {
+            head_only: true,
+            ..FeatureOptions::paper_smoking()
+        };
+        let feats = fx(opts).extract("Her blood pressure is high.");
+        assert!(feats.contains(&"pressure".to_string()), "{feats:?}");
+        assert!(!feats.contains(&"blood".to_string()), "{feats:?}");
+        assert!(feats.contains(&"high".to_string()), "predicative adjective is a head");
+    }
+
+    #[test]
+    fn constituent_restriction() {
+        let opts = FeatureOptions {
+            subject: false,
+            verb_constituent: true,
+            object: false,
+            supplement: false,
+            ..FeatureOptions::paper_smoking()
+        };
+        let feats = fx(opts).extract("She denies alcohol use.");
+        assert!(feats.contains(&"deny".to_string()), "{feats:?}");
+        assert!(!feats.contains(&"alcohol".to_string()), "{feats:?}");
+    }
+
+    #[test]
+    fn numeric_threshold_features() {
+        let opts = FeatureOptions::paper_alcohol();
+        let low = fx(opts.clone()).extract("She drinks 2 days per week.");
+        assert!(low.contains(&"num<=2".to_string()), "{low:?}");
+        assert!(!low.contains(&"num>2".to_string()));
+        let high = fx(opts).extract("She drinks 5 days per week.");
+        assert!(high.contains(&"num>2".to_string()), "{high:?}");
+    }
+
+    #[test]
+    fn features_deduplicate() {
+        let feats = fx(FeatureOptions::paper_smoking()).extract("smoke smoke smoke");
+        assert_eq!(feats.iter().filter(|f| *f == "smoke").count(), 1);
+    }
+
+    #[test]
+    fn classifier_roundtrip() {
+        let mut c = CategoricalExtractor::new(FeatureOptions::paper_smoking());
+        let examples: Vec<(String, String)> = vec![
+            ("She has never smoked.".into(), "never".into()),
+            ("She denies smoking.".into(), "never".into()),
+            ("No tobacco use.".into(), "never".into()),
+            ("She quit smoking five years ago.".into(), "former".into()),
+            ("Former smoker, quit ten years ago.".into(), "former".into()),
+            ("She is currently a smoker.".into(), "current".into()),
+            ("She smokes two packs per day.".into(), "current".into()),
+        ];
+        c.train(&examples);
+        assert_eq!(c.classify("She quit smoking three years ago."), Some("former"));
+        assert_eq!(c.classify("She has never smoked."), Some("never"));
+        assert_eq!(c.classify("She is currently a smoker."), Some("current"));
+    }
+
+    #[test]
+    fn untrained_returns_none() {
+        let c = CategoricalExtractor::new(FeatureOptions::paper_smoking());
+        assert_eq!(c.classify("anything"), None);
+    }
+}

@@ -1,0 +1,199 @@
+//! Negation scope detection (a NegEx-style extension).
+//!
+//! The paper's term extractor reports every ontology hit, including terms
+//! that the note explicitly *rules out* ("Negative for breast cancer",
+//! "denies chest pain", "no known drug allergies"). Clinical IE systems
+//! that followed the paper (NegEx, cTAKES) treat negation as a first-class
+//! problem; this module is the minimal version: trigger phrases open a
+//! scope that runs rightward until a scope breaker or a fixed window ends
+//! it.
+
+use cmr_postag::TaggedToken;
+use cmr_text::TokenKind;
+
+/// Maximum tokens a negation scope extends past its trigger.
+const SCOPE_WINDOW: usize = 8;
+
+/// Trigger phrases (lemma/lower sequences) that negate what follows.
+const TRIGGERS: &[&[&str]] = &[
+    &["no"],
+    &["not"],
+    &["deny"],   // matched on lemma: denies/denied
+    &["denies"], // and on surface, for robustness
+    &["denied"],
+    &["never"],
+    &["without"],
+    &["negative", "for"],
+    &["free", "of"],
+    &["rule", "out"],
+    &["ruled", "out"],
+    &["absence", "of"],
+    &["no", "evidence", "of"],
+    &["no", "history", "of"],
+];
+
+/// Words that end a negation scope early.
+const BREAKERS: &[&str] = &["but", "except", "however", "although", "aside"];
+
+/// Detects negated token ranges in a tagged sentence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NegationDetector {
+    _private: (),
+}
+
+impl NegationDetector {
+    /// Creates a detector.
+    pub fn new() -> NegationDetector {
+        NegationDetector::default()
+    }
+
+    /// Token index ranges `[start, end)` that fall under a negation scope.
+    pub fn negated_ranges(&self, tagged: &[TaggedToken]) -> Vec<(usize, usize)> {
+        let lowers: Vec<String> = tagged.iter().map(|t| t.lower()).collect();
+        let lemmas: Vec<&str> = tagged.iter().map(|t| t.lemma.as_str()).collect();
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < tagged.len() {
+            let trigger_len = TRIGGERS
+                .iter()
+                .filter(|t| {
+                    t.iter().enumerate().all(|(k, w)| {
+                        lowers.get(i + k).map(|l| l == w).unwrap_or(false)
+                            || lemmas.get(i + k).map(|l| l == w).unwrap_or(false)
+                    })
+                })
+                .map(|t| t.len())
+                .max();
+            let Some(tlen) = trigger_len else {
+                i += 1;
+                continue;
+            };
+            // Scope: from just after the trigger to the first breaker,
+            // clause punctuation, or the window limit.
+            let start = i + tlen;
+            let mut end = start;
+            while end < tagged.len() && end - start < SCOPE_WINDOW {
+                let t = &tagged[end];
+                if t.token.kind == TokenKind::Punct
+                    && matches!(t.token.text.as_str(), "." | ";" | ":" | "?")
+                {
+                    break;
+                }
+                if BREAKERS.contains(&lowers[end].as_str()) {
+                    break;
+                }
+                end += 1;
+            }
+            if end > start {
+                ranges.push((start, end));
+            }
+            i = start;
+        }
+        merge_ranges(ranges)
+    }
+
+    /// True when the token at `idx` is inside a negation scope.
+    pub fn is_negated(&self, tagged: &[TaggedToken], idx: usize) -> bool {
+        self.negated_ranges(tagged)
+            .iter()
+            .any(|&(s, e)| s <= idx && idx < e)
+    }
+}
+
+fn merge_ranges(mut ranges: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    ranges.sort_unstable();
+    let mut out: Vec<(usize, usize)> = Vec::with_capacity(ranges.len());
+    for (s, e) in ranges {
+        match out.last_mut() {
+            Some((_, pe)) if s <= *pe => *pe = (*pe).max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmr_postag::PosTagger;
+    use cmr_text::tokenize;
+
+    fn ranges(s: &str) -> Vec<(usize, usize)> {
+        let tagged = PosTagger::new().tag(&tokenize(s));
+        NegationDetector::new().negated_ranges(&tagged)
+    }
+
+    fn negated_words(s: &str) -> Vec<String> {
+        let toks = tokenize(s);
+        let tagged = PosTagger::new().tag(&toks);
+        let det = NegationDetector::new();
+        (0..toks.len())
+            .filter(|&i| det.is_negated(&tagged, i))
+            .map(|i| toks[i].text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn negative_for_scope() {
+        let w = negated_words("Negative for breast cancer.");
+        assert_eq!(w, vec!["breast", "cancer"]);
+    }
+
+    #[test]
+    fn denies_scope_by_lemma() {
+        for s in ["She denies chest pain.", "She denied chest pain."] {
+            let w = negated_words(s);
+            assert!(w.contains(&"chest".to_string()), "{s}: {w:?}");
+            assert!(w.contains(&"pain".to_string()));
+        }
+    }
+
+    #[test]
+    fn no_known_allergies() {
+        let w = negated_words("No known drug allergies.");
+        assert!(w.contains(&"allergies".to_string()), "{w:?}");
+    }
+
+    #[test]
+    fn affirmed_text_has_no_ranges() {
+        assert!(ranges("Significant for diabetes and hypertension.").is_empty());
+    }
+
+    #[test]
+    fn breaker_ends_scope() {
+        let w = negated_words("No fever but chest pain persists.");
+        assert!(w.contains(&"fever".to_string()));
+        assert!(!w.contains(&"pain".to_string()), "{w:?}");
+    }
+
+    #[test]
+    fn punctuation_ends_scope() {
+        let w = negated_words("No masses. Tenderness in the left breast.");
+        assert!(w.contains(&"masses".to_string()));
+        assert!(!w.contains(&"Tenderness".to_string()), "{w:?}");
+    }
+
+    #[test]
+    fn multiword_trigger_prefers_longest() {
+        // "no history of smoking": scope starts after "of", not after "no".
+        let r = ranges("There is no history of smoking.");
+        assert_eq!(r.len(), 1);
+        let w = negated_words("There is no history of smoking.");
+        assert!(w.contains(&"smoking".to_string()));
+        assert!(!w.contains(&"history".to_string()), "{w:?}");
+    }
+
+    #[test]
+    fn window_bounds_scope() {
+        let s = "No alpha beta gamma delta epsilon zeta eta theta iota kappa lambda";
+        let r = ranges(s);
+        assert_eq!(r.len(), 1);
+        assert!(r[0].1 - r[0].0 <= SCOPE_WINDOW);
+    }
+
+    #[test]
+    fn overlapping_ranges_merge() {
+        let r = ranges("She denies no pain.");
+        assert_eq!(r.len(), 1);
+    }
+}

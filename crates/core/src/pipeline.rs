@@ -1,0 +1,189 @@
+//! The end-to-end pipeline: record in, structured information out.
+//!
+//! Mirrors Figure 2 of the paper: tokenization/splitting/tagging
+//! (cmr-text/cmr-postag for GATE), the link grammar parser, the morphology
+//! engine (cmr-lexicon for WordNet), the ontology (cmr-ontology for UMLS),
+//! and the extractors of this crate; the output is a structured record
+//! (serde-serializable, standing in for the paper's Access database).
+
+use crate::numeric::{AssociationMethod, NumericExtractor, NumericHit};
+use crate::schema::Schema;
+use crate::terms::MedicalTermExtractor;
+use cmr_ontology::{Ontology, ValueSet};
+use cmr_text::{NumberValue, Record};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Structured information extracted from one record.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExtractedRecord {
+    /// Patient identifier from the `Patient:` section.
+    pub patient_id: Option<String>,
+    /// Numeric attributes by name.
+    pub numeric: BTreeMap<String, NumberValue>,
+    /// How each numeric attribute was associated (same keys as `numeric`).
+    pub numeric_methods: BTreeMap<String, crate::numeric::MethodUsed>,
+    /// Predefined past-medical-history terms (concept preferred names).
+    pub predefined_medical: Vec<String>,
+    /// Other past-medical-history terms.
+    pub other_medical: Vec<String>,
+    /// Predefined past-surgical-history terms.
+    pub predefined_surgical: Vec<String>,
+    /// Other past-surgical-history terms.
+    pub other_surgical: Vec<String>,
+}
+
+impl ExtractedRecord {
+    /// Convenience accessor for a numeric attribute.
+    pub fn numeric(&self, name: &str) -> Option<NumberValue> {
+        self.numeric.get(name).copied()
+    }
+}
+
+/// The extraction pipeline (numeric + medical terms; categorical fields
+/// need training data and live in [`crate::CategoricalExtractor`]).
+pub struct Pipeline {
+    schema: Schema,
+    numeric: NumericExtractor,
+    terms: MedicalTermExtractor,
+    predefined_medical: ValueSet,
+    predefined_surgical: ValueSet,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline::with_default_schema()
+    }
+}
+
+impl Pipeline {
+    /// Paper schema, full ontology, link-grammar association with pattern
+    /// fallback.
+    pub fn with_default_schema() -> Pipeline {
+        Pipeline::new(Schema::paper(), Ontology::full(), AssociationMethod::LinkWithFallback)
+    }
+
+    /// Fully configured pipeline.
+    pub fn new(schema: Schema, ontology: Ontology, method: AssociationMethod) -> Pipeline {
+        Pipeline {
+            schema,
+            numeric: NumericExtractor::with_method(method),
+            terms: MedicalTermExtractor::new(ontology),
+            predefined_medical: ValueSet::predefined_medical_history(),
+            predefined_surgical: ValueSet::predefined_surgical_history(),
+        }
+    }
+
+    /// Selects the medical-term pattern inventory (the paper's four
+    /// patterns by default; see [`crate::PatternSet`]).
+    pub fn with_term_patterns(mut self, patterns: crate::PatternSet) -> Pipeline {
+        self.terms.set_patterns(patterns);
+        self
+    }
+
+    /// The schema in use.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Extracts everything the untrained pipeline can from one record.
+    pub fn extract(&self, text: &str) -> ExtractedRecord {
+        let record = Record::parse(text);
+        let mut out = ExtractedRecord {
+            patient_id: record.patient_id.clone(),
+            ..ExtractedRecord::default()
+        };
+
+        // Numeric attributes.
+        for NumericHit { field, value, method } in
+            self.numeric.extract_record(text, &self.schema.numeric)
+        {
+            out.numeric.insert(field.clone(), value);
+            out.numeric_methods.insert(field, method);
+        }
+
+        // Medical-term attributes.
+        for term_field in &self.schema.terms {
+            let (predefined_set, slots) = match term_field.name.as_str() {
+                "past_medical_history" => (
+                    &self.predefined_medical,
+                    (&mut out.predefined_medical, &mut out.other_medical),
+                ),
+                "past_surgical_history" => (
+                    &self.predefined_surgical,
+                    (&mut out.predefined_surgical, &mut out.other_surgical),
+                ),
+                _ => continue,
+            };
+            for section_name in &term_field.sections {
+                let Some(section) = record.section(section_name) else { continue };
+                let (pre, other) = self
+                    .terms
+                    .extract_partitioned(&section.body, predefined_set);
+                for hit in pre {
+                    let name = hit.concept.preferred.to_string();
+                    if !slots.0.contains(&name) {
+                        slots.0.push(name);
+                    }
+                }
+                for hit in other {
+                    let name = hit.concept.preferred.to_string();
+                    if !slots.1.contains(&name) {
+                        slots.1.push(name);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmr_corpus::APPENDIX_RECORD;
+
+    #[test]
+    fn appendix_record_end_to_end() {
+        let p = Pipeline::with_default_schema();
+        let out = p.extract(APPENDIX_RECORD);
+        assert_eq!(out.patient_id.as_deref(), Some("2"));
+        assert_eq!(out.numeric("blood_pressure"), Some(NumberValue::Ratio(142, 78)));
+        assert_eq!(out.numeric("pulse"), Some(NumberValue::Int(96)));
+        assert_eq!(out.numeric("weight"), Some(NumberValue::Int(211)));
+        assert_eq!(out.numeric("menarche_age"), Some(NumberValue::Int(10)));
+        assert_eq!(out.numeric("gravida"), Some(NumberValue::Int(4)));
+        assert_eq!(out.numeric("para"), Some(NumberValue::Int(3)));
+        assert_eq!(out.numeric("first_birth_age"), Some(NumberValue::Int(18)));
+        assert_eq!(out.numeric("age"), Some(NumberValue::Int(50)));
+        // The Appendix vitals line has no temperature.
+        assert_eq!(out.numeric("temperature"), None);
+        // PMH: diabetes, heart disease, high blood pressure (→ hypertension),
+        // hypercholesterolemia, bronchitis, arrhythmia, depression.
+        assert!(out.predefined_medical.contains(&"diabetes".to_string()));
+        assert!(out.predefined_medical.contains(&"hypertension".to_string()));
+        assert!(out.predefined_medical.contains(&"arrhythmia".to_string()));
+        assert!(out.other_medical.contains(&"bronchitis".to_string()));
+        // PSH: cervical laminectomy → laminectomy (not predefined).
+        assert!(out.other_surgical.contains(&"laminectomy".to_string()), "{:?}", out.other_surgical);
+        assert!(out.predefined_surgical.is_empty());
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let p = Pipeline::with_default_schema();
+        let out = p.extract(APPENDIX_RECORD);
+        let json = serde_json::to_string_pretty(&out).expect("serializes");
+        assert!(json.contains("blood_pressure"));
+        let back: ExtractedRecord = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.numeric("pulse"), out.numeric("pulse"));
+    }
+
+    #[test]
+    fn empty_record() {
+        let p = Pipeline::with_default_schema();
+        let out = p.extract("");
+        assert!(out.numeric.is_empty());
+        assert!(out.predefined_medical.is_empty());
+    }
+}

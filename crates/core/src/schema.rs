@@ -1,0 +1,199 @@
+//! The study's task schema.
+//!
+//! §5: "The task is to extract eighteen fields from the text. Some fields
+//! contain more than one attribute. The extraction of twenty-four
+//! attributes in total is required, among which are four … multi-valued
+//! medical terms, eight numeric attributes, and twelve categorical
+//! attributes."
+
+use crate::spec::{CategoricalFieldSpec, FeatureSpec, TermFieldSpec, ValueKind};
+use serde::{Deserialize, Serialize};
+
+/// The complete extraction schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schema {
+    /// Numeric attribute specs (the paper's eight, plus patient age which
+    /// §3.1 names as an example numeric field).
+    pub numeric: Vec<FeatureSpec>,
+    /// Multi-valued medical-term fields.
+    pub terms: Vec<TermFieldSpec>,
+    /// Categorical fields.
+    pub categorical: Vec<CategoricalFieldSpec>,
+}
+
+impl Default for Schema {
+    fn default() -> Self {
+        Schema::paper()
+    }
+}
+
+impl Schema {
+    /// The breast-cancer study schema from the paper.
+    pub fn paper() -> Schema {
+        let numeric = vec![
+            FeatureSpec::new(
+                "blood_pressure",
+                &["blood pressure", "bp"],
+                &["Vitals"],
+                ValueKind::Ratio,
+            ),
+            FeatureSpec::new("pulse", &["pulse", "heart rate"], &["Vitals"], ValueKind::Int)
+                .range(20.0, 250.0),
+            FeatureSpec::new(
+                "temperature",
+                &["temperature", "temp"],
+                &["Vitals"],
+                ValueKind::Float,
+            )
+            .range(90.0, 110.0),
+            FeatureSpec::new("weight", &["weight", "wt"], &["Vitals"], ValueKind::Int)
+                .range(50.0, 600.0),
+            FeatureSpec::new(
+                "menarche_age",
+                &["menarche", "menarche age"],
+                &["GYN History"],
+                ValueKind::Int,
+            )
+            .range(6.0, 25.0),
+            FeatureSpec::new(
+                "gravida",
+                &["gravida", "pregnancies", "pregnancy"],
+                &["GYN History"],
+                ValueKind::Int,
+            )
+            .range(0.0, 20.0),
+            FeatureSpec::new(
+                "para",
+                &["para", "live births", "live birth"],
+                &["GYN History"],
+                ValueKind::Int,
+            )
+            .range(0.0, 20.0),
+            FeatureSpec::new(
+                "first_birth_age",
+                &["first live birth", "first birth"],
+                &["GYN History"],
+                ValueKind::Int,
+            )
+            .range(10.0, 50.0),
+            FeatureSpec::new(
+                "age",
+                &["age"],
+                &["History of Present Illness"],
+                ValueKind::Int,
+            )
+            .range(18.0, 110.0)
+            .year_old(),
+        ];
+        let terms = vec![
+            TermFieldSpec {
+                name: "past_medical_history".to_string(),
+                sections: vec!["Past Medical History".to_string()],
+            },
+            TermFieldSpec {
+                name: "past_surgical_history".to_string(),
+                sections: vec!["Past Surgical History".to_string()],
+            },
+        ];
+        let categorical = vec![
+            CategoricalFieldSpec {
+                name: "smoking".to_string(),
+                sections: vec!["Social History".to_string()],
+                classes: vec!["never".into(), "former".into(), "current".into()],
+            },
+            CategoricalFieldSpec {
+                name: "alcohol".to_string(),
+                sections: vec!["Social History".to_string()],
+                classes: vec![
+                    "never".into(),
+                    "social".into(),
+                    "1-2 per week".into(),
+                    ">2 per week".into(),
+                ],
+            },
+            CategoricalFieldSpec {
+                name: "shape".to_string(),
+                sections: vec!["Physical examination".to_string()],
+                classes: vec![
+                    "thin".into(),
+                    "normal".into(),
+                    "overweight".into(),
+                    "obese".into(),
+                ],
+            },
+            // Three of the schema's six binary attributes.
+            CategoricalFieldSpec {
+                name: "family_history_breast_cancer".to_string(),
+                sections: vec!["Family History".to_string()],
+                classes: vec!["no".into(), "yes".into()],
+            },
+            CategoricalFieldSpec {
+                name: "drug_use".to_string(),
+                sections: vec!["Social History".to_string()],
+                classes: vec!["no".into(), "yes".into()],
+            },
+            CategoricalFieldSpec {
+                name: "allergies_present".to_string(),
+                sections: vec!["Allergies".to_string()],
+                classes: vec!["no".into(), "yes".into()],
+            },
+        ];
+        Schema {
+            numeric,
+            terms,
+            categorical,
+        }
+    }
+
+    /// Finds a numeric spec by name.
+    pub fn numeric_spec(&self, name: &str) -> Option<&FeatureSpec> {
+        self.numeric.iter().find(|s| s.name == name)
+    }
+
+    /// The eight numeric attributes the paper evaluates (everything except
+    /// the bonus `age`).
+    pub fn paper_numeric_names() -> [&'static str; 8] {
+        [
+            "blood_pressure",
+            "pulse",
+            "temperature",
+            "weight",
+            "menarche_age",
+            "gravida",
+            "para",
+            "first_birth_age",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schema_shape() {
+        let s = Schema::paper();
+        assert_eq!(s.numeric.len(), 9, "8 evaluated + age");
+        assert_eq!(s.terms.len(), 2);
+        assert_eq!(s.categorical.len(), 6, "smoking, alcohol, shape + 3 binary");
+        assert!(s.numeric_spec("pulse").is_some());
+        assert!(s.numeric_spec("nonexistent").is_none());
+        let binary = s.categorical.iter().filter(|c| c.classes.len() == 2).count();
+        assert_eq!(binary, 3);
+    }
+
+    #[test]
+    fn paper_numeric_names_resolve() {
+        let s = Schema::paper();
+        for name in Schema::paper_numeric_names() {
+            assert!(s.numeric_spec(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn smoking_has_three_classes() {
+        let s = Schema::paper();
+        let smoking = s.categorical.iter().find(|c| c.name == "smoking").unwrap();
+        assert_eq!(smoking.classes, vec!["never", "former", "current"]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests: the extractors must be total, deterministic, and honest
+//! about provenance on arbitrary input.
+
+use cmr_core::{
+    FeatureExtractor, FeatureOptions, FeatureSpec, MedicalTermExtractor, NumericExtractor,
+    Pipeline, Schema,
+};
+use cmr_ontology::Ontology;
+use proptest::prelude::*;
+
+fn clinicalish() -> impl Strategy<Value = String> {
+    let subj = prop::sample::select(vec!["She", "The patient", "Ms. Smith"]);
+    let verb = prop::sample::select(vec!["is", "has", "denies", "reports", "underwent"]);
+    let obj = prop::sample::select(vec![
+        "a blood pressure of 140/90",
+        "diabetes and hypertension",
+        "a pulse of 84",
+        "a cholecystectomy",
+        "no complaints",
+        "weight of 180 pounds",
+        "menarche at age 12",
+    ]);
+    (subj, verb, obj).prop_map(|(s, v, o)| format!("{s} {v} {o}."))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Numeric extraction never panics and every hit names a schema field.
+    #[test]
+    fn numeric_total_and_well_formed(s in clinicalish()) {
+        let schema = Schema::paper();
+        let specs: Vec<&FeatureSpec> = schema.numeric.iter().collect();
+        let ex = NumericExtractor::new();
+        for hit in ex.extract_sentence(&s, &specs) {
+            prop_assert!(schema.numeric_spec(&hit.field).is_some());
+            let spec = schema.numeric_spec(&hit.field).unwrap();
+            prop_assert!(spec.accepts(&hit.value), "{hit:?} violates its own spec");
+        }
+    }
+
+    /// Numeric extraction is deterministic.
+    #[test]
+    fn numeric_deterministic(s in clinicalish()) {
+        let schema = Schema::paper();
+        let specs: Vec<&FeatureSpec> = schema.numeric.iter().collect();
+        let ex = NumericExtractor::new();
+        prop_assert_eq!(ex.extract_sentence(&s, &specs), ex.extract_sentence(&s, &specs));
+    }
+
+    /// Term extraction: spans always slice back to the reported surface,
+    /// and every hit's normalized surface resolves in the ontology.
+    #[test]
+    fn terms_spans_and_resolution(s in clinicalish()) {
+        let ex = MedicalTermExtractor::new(Ontology::full());
+        for hit in ex.extract(&s) {
+            prop_assert_eq!(hit.span.slice(&s), hit.surface.as_str());
+            let resolved = ex.ontology().lookup(&hit.surface).expect("hit resolves");
+            prop_assert_eq!(resolved.cui, hit.concept.cui);
+        }
+    }
+
+    /// Term extraction tolerates arbitrary ASCII garbage.
+    #[test]
+    fn terms_total_on_garbage(s in "[ -~]{0,120}") {
+        let ex = MedicalTermExtractor::new(Ontology::full());
+        let _ = ex.extract(&s);
+    }
+
+    /// Numeric extraction tolerates arbitrary ASCII garbage.
+    #[test]
+    fn numeric_total_on_garbage(s in "[ -~]{0,120}") {
+        let schema = Schema::paper();
+        let specs: Vec<&FeatureSpec> = schema.numeric.iter().collect();
+        let _ = NumericExtractor::new().extract_sentence(&s, &specs);
+    }
+
+    /// Feature extraction is deterministic and yields no duplicates.
+    #[test]
+    fn features_deterministic_and_unique(s in clinicalish()) {
+        let fx = FeatureExtractor::new(FeatureOptions::paper_smoking());
+        let a = fx.extract(&s);
+        let b = fx.extract(&s);
+        prop_assert_eq!(&a, &b);
+        let mut dedup = a.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(a.len(), dedup.len());
+    }
+
+    /// The whole pipeline is total on arbitrary multi-line input.
+    #[test]
+    fn pipeline_total(s in "[ -~\n]{0,300}") {
+        let pipeline = Pipeline::with_default_schema();
+        let out = pipeline.extract(&s);
+        // Methods map keys mirror numeric keys.
+        for k in out.numeric.keys() {
+            prop_assert!(out.numeric_methods.contains_key(k));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! The paper's Appendix record, verbatim, as a test fixture.
+
+/// The example clinical record printed in the paper's Appendix (patient 2).
+pub const APPENDIX_RECORD: &str = "\
+Patient:  2
+
+Chief Complaint:  Abnormal mammogram.
+
+History of Present Illness:  Ms. 2 is a 50-year-old woman who underwent a screening mammogram, revealing a solid lesion as well as an abnormal calcification.  This was evaluated with further views including an ultrasound and a BIRAD 4.  Classification was given. She was referred for further management.  Her breast history is negative for any previous biopsies or masses.
+
+GYN History:  Menarche at age 10, gravida 4, para 3, last menstrual period about a year ago.  First live birth at age 18.
+
+Past Medical History:  Significant for diabetes, heart disease, high blood pressure, hypercholesterolemia, bronchitis, arrhythmia, and depression.
+
+Past Surgical History:  Cervical laminectomy.
+
+Medications:  Aspirin, hydrochlorothiazide, Lipitor, Cardizem, senna, Wellbutrin, Zoloft, Protonix, Glucophage, Os-Cal, Combivent, and Flovent.
+
+Allergies:  Penicillin, ACE inhibitors, and latex.
+
+Social History:  Smoking history, 15 years.  Alcohol use, occasional.  Drug use, significant for marijuana.
+
+Family History:  Mother with breast cancer, diagnosed at age 52.  Maternal aunt with breast cancer.  No other family members with cancers.
+
+Review of Systems:  Significant for back pain and arthritis complaints.  Also, allergies as listed above.  Breathing issues are related to COPD, smoking, and diabetes.  Remainder of the review of systems is negative.
+
+Physical examination:  Reveals an overweight woman in no apparent distress.
+
+Vitals:  Blood pressure is 142/78, pulse of 96, and weight of 211.
+
+HEENT:  PERRLA.
+
+Neck:  There is no cervical or supraclavicular lymphadenopathy.
+
+Chest:  Clear to auscultation anteriorly, posteriorly, and bilaterally.
+
+Heart:  S1 S2, regular, and no murmurs.
+
+Abdomen:  Soft, nontender, and no masses.
+
+Examination of Breasts:  Shows good symmetry bilaterally.  Palpation of both breasts shows no dominant lesions.  There is no axillary adenopathy.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmr_text::Record;
+
+    #[test]
+    fn fixture_parses() {
+        let rec = Record::parse(APPENDIX_RECORD);
+        assert_eq!(rec.patient_id.as_deref(), Some("2"));
+        assert_eq!(rec.sections.len(), 19);
+        assert!(rec.section("Vitals").unwrap().body.contains("142/78"));
+        assert!(rec
+            .section("Past Medical History")
+            .unwrap()
+            .body
+            .contains("high blood pressure"));
+    }
+}

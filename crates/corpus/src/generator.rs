@@ -1,0 +1,569 @@
+//! The record generator.
+
+use crate::gold::{AlcoholUse, BodyShape, GoldRecord, SmokingStatus};
+use crate::templates as tpl;
+use cmr_ontology::{SemanticType, CONCEPTS};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Builder for a synthetic corpus.
+///
+/// Defaults reproduce the paper's setting: 50 records, one consistent
+/// dictation style (`style_variation = 0`), the paper's smoking-class
+/// distribution, and a realistic rate of synonym use in dictated surgical
+/// history (the cause of the paper's predefined-surgical recall hole).
+#[derive(Debug, Clone)]
+pub struct CorpusBuilder {
+    n: usize,
+    seed: u64,
+    style_variation: f64,
+    surgical_synonym_rate: f64,
+    medical_synonym_rate: f64,
+}
+
+impl Default for CorpusBuilder {
+    fn default() -> Self {
+        CorpusBuilder {
+            n: 50,
+            seed: 2005,
+            style_variation: 0.0,
+            surgical_synonym_rate: 0.8,
+            medical_synonym_rate: 0.15,
+        }
+    }
+}
+
+/// A generated corpus.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// The records with gold labels.
+    pub records: Vec<GoldRecord>,
+}
+
+impl CorpusBuilder {
+    /// Default builder (paper setting).
+    pub fn new() -> CorpusBuilder {
+        CorpusBuilder::default()
+    }
+
+    /// Sets the number of records.
+    pub fn records(mut self, n: usize) -> CorpusBuilder {
+        self.n = n;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> CorpusBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the style-variation knob in `[0, 1]`: 0 = the single consistent
+    /// house style of the paper's one dictating clinician; 1 = every
+    /// sentence drawn uniformly from its template pool.
+    pub fn style_variation(mut self, v: f64) -> CorpusBuilder {
+        self.style_variation = v.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets how often surgical history is dictated with a synonym instead
+    /// of the concept's preferred name.
+    pub fn surgical_synonym_rate(mut self, r: f64) -> CorpusBuilder {
+        self.surgical_synonym_rate = r.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets how often medical history uses a synonym.
+    pub fn medical_synonym_rate(mut self, r: f64) -> CorpusBuilder {
+        self.medical_synonym_rate = r.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Generates the corpus.
+    pub fn build(&self) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let smoking_plan = smoking_distribution(self.n, &mut rng);
+        let alcohol_plan = alcohol_distribution(self.n, &mut rng);
+        let records = (0..self.n)
+            .map(|i| self.generate_one(i + 1, smoking_plan[i], alcohol_plan[i]))
+            .collect();
+        Corpus { records }
+    }
+
+    /// A per-record, per-purpose RNG. Isolating streams keeps each section's
+    /// draws stable when unrelated fields are added to the generator.
+    fn stream(&self, patient_id: usize, purpose: u64) -> StdRng {
+        let mix = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((patient_id as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
+            .wrapping_add(purpose.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        StdRng::seed_from_u64(mix)
+    }
+
+    fn pick<'a>(&self, pool: &[&'a str], rng: &mut StdRng) -> &'a str {
+        if self.style_variation > 0.0 && rng.random_bool(self.style_variation) {
+            pool.choose(rng).expect("non-empty template pool")
+        } else {
+            pool[0]
+        }
+    }
+
+    fn generate_one(
+        &self,
+        patient_id: usize,
+        smoking: Option<SmokingStatus>,
+        alcohol: Option<AlcoholUse>,
+    ) -> GoldRecord {
+        // Independent streams per concern (see `stream`).
+        let mut numeric_rng = self.stream(patient_id, 1);
+        let mut history_rng = self.stream(patient_id, 2);
+        let mut social_rng = self.stream(patient_id, 3);
+        let mut misc_rng = self.stream(patient_id, 4);
+        let rng = &mut numeric_rng;
+        // ---- numeric ground truth ---------------------------------------
+        let age = rng.random_range(32..=78);
+        let blood_pressure = (rng.random_range(104..=178), rng.random_range(58..=98));
+        let pulse = rng.random_range(58..=108);
+        let temperature = (rng.random_range(970..=999) as f64) / 10.0;
+        let weight = rng.random_range(112..=248);
+        let menarche_age = rng.random_range(9..=16);
+        let gravida = rng.random_range(1..=6);
+        let para = rng.random_range(1..=gravida);
+        let first_birth_age = rng.random_range(16..=34);
+
+        // ---- medical & surgical history ---------------------------------
+        let diseases: Vec<&cmr_ontology::Concept> = CONCEPTS
+            .iter()
+            .filter(|c| c.semtype == SemanticType::Disease && c.preferred != "breast cancer")
+            .collect();
+        let procedures: Vec<&cmr_ontology::Concept> = CONCEPTS
+            .iter()
+            .filter(|c| c.semtype == SemanticType::Procedure)
+            .collect();
+        let hrng = &mut history_rng;
+        let n_dis = hrng.random_range(2..=6);
+        let n_proc = hrng.random_range(0..=3);
+        // Weighted sampling without replacement (Efraimidis–Spirakis):
+        // common diagnoses dominate real problem lists; the rare tail is
+        // what exposes vocabulary incompleteness.
+        let mut keyed: Vec<(f64, &cmr_ontology::Concept)> = diseases
+            .iter()
+            .map(|c| {
+                let w = if c.rarity == cmr_ontology::Rarity::Common { 8.0 } else { 1.0 };
+                (hrng.random::<f64>().powf(1.0 / w), *c)
+            })
+            .collect();
+        keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut picked_dis: Vec<&cmr_ontology::Concept> =
+            keyed.into_iter().take(n_dis).map(|(_, c)| c).collect();
+        // Planted epidemiology: current smokers carry COPD far more often.
+        // This is the "important factor" the knowledge layer (cmr-knowledge)
+        // should pinpoint from extracted data alone.
+        if smoking == Some(SmokingStatus::Current)
+            && hrng.random_bool(0.5)
+            && !picked_dis.iter().any(|c| c.cui == "CMR0013")
+        {
+            if let Some(copd) = diseases.iter().find(|c| c.cui == "CMR0013") {
+                picked_dis.push(copd);
+            }
+        }
+        let picked_proc: Vec<&cmr_ontology::Concept> =
+            procedures.sample(hrng, n_proc).copied().collect();
+
+        let surface = |c: &cmr_ontology::Concept, rate: f64, rng: &mut StdRng| -> String {
+            if !c.synonyms.is_empty() && rng.random_bool(rate) {
+                c.synonyms.choose(rng).expect("non-empty").to_string()
+            } else {
+                c.preferred.to_string()
+            }
+        };
+        let dis_surfaces: Vec<String> = picked_dis
+            .iter()
+            .map(|c| {
+                // COPD is almost always dictated by its abbreviation or as
+                // emphysema, not the four-word formal name.
+                let rate = if c.cui == "CMR0013" { 0.6 } else { self.medical_synonym_rate };
+                surface(c, rate, hrng)
+            })
+            .collect();
+        // The predefined study procedures are the ones clinicians routinely
+        // shorthand ("lap chole", "gallbladder removal"); long-tail
+        // procedures are mostly dictated by their formal names.
+        let proc_surfaces: Vec<String> = picked_proc
+            .iter()
+            .map(|c| {
+                let rate = if cmr_ontology::PREDEFINED_SURGICAL_CUIS.contains(&c.cui) {
+                    self.surgical_synonym_rate
+                } else {
+                    self.medical_synonym_rate
+                };
+                surface(c, rate, hrng)
+            })
+            .collect();
+        let medical_history: Vec<String> =
+            picked_dis.iter().map(|c| c.preferred.to_string()).collect();
+        let surgical_history: Vec<String> =
+            picked_proc.iter().map(|c| c.preferred.to_string()).collect();
+
+        // ---- medications -------------------------------------------------
+        let drugs: Vec<&cmr_ontology::Concept> = CONCEPTS
+            .iter()
+            .filter(|c| c.semtype == SemanticType::Drug && c.preferred != "penicillin")
+            .collect();
+        let n_drugs = hrng.random_range(2..=8);
+        let drug_names: Vec<String> = drugs
+            .sample(hrng, n_drugs)
+            .map(|c| brand_case(c.preferred))
+            .collect();
+
+        // ---- shape -------------------------------------------------------
+        let mrng = &mut misc_rng;
+        let shape_value = match mrng.random_range(0..10) {
+            0 => BodyShape::Thin,
+            1..=4 => BodyShape::Normal,
+            5..=8 => BodyShape::Overweight,
+            _ => BodyShape::Obese,
+        };
+        let shape = Some(shape_value);
+
+        // ---- assemble the note --------------------------------------------
+        let mut out = String::new();
+        let mut section = |name: &str, body: String| {
+            out.push_str(name);
+            out.push_str(":  ");
+            out.push_str(&body);
+            out.push('\n');
+            out.push('\n');
+        };
+
+        section("Patient", patient_id.to_string());
+        section(
+            "Chief Complaint",
+            self.pick(tpl::CHIEF_COMPLAINTS, mrng).to_string(),
+        );
+        let complaint = tpl::CHIEF_COMPLAINTS[0].to_lowercase();
+        section(
+            "History of Present Illness",
+            self.pick(tpl::HPI, mrng)
+                .replace("{id}", &patient_id.to_string())
+                .replace("{age}", &age.to_string())
+                .replace("{complaint}", &complaint),
+        );
+        section(
+            "GYN History",
+            self.pick(tpl::GYN, mrng)
+                .replace("{menarche}", &menarche_age.to_string())
+                .replace("{gravida}", &gravida.to_string())
+                .replace("{para}", &para.to_string())
+                .replace("{flb}", &first_birth_age.to_string()),
+        );
+        section(
+            "Past Medical History",
+            self.pick(tpl::PMH, mrng)
+                .replace("{list}", &tpl::join_list(&dis_surfaces)),
+        );
+        if proc_surfaces.is_empty() {
+            section("Past Surgical History", "None.".to_string());
+        } else {
+            section(
+                "Past Surgical History",
+                self.pick(tpl::PSH, mrng)
+                    .replace("{list}", &tpl::join_list(&proc_surfaces)),
+            );
+        }
+        // Binary categorical ground truth (the paper's schema has six
+        // binary attributes; these sections carry three of them).
+        let family_history_breast_cancer = mrng.random_bool(0.35);
+        let drug_use = mrng.random_bool(0.2);
+        let allergies_present = mrng.random_bool(0.7);
+
+        section("Medications", format!("{}.", tpl::join_list(&drug_names)));
+        section(
+            "Allergies",
+            (*tpl::allergy_templates(allergies_present).choose(mrng).expect("non-empty"))
+                .to_string(),
+        );
+
+        // Social history: smoking, alcohol, drugs. Unlike the measurement
+        // sections, social history phrasing varies naturally even within a
+        // single clinician's dictation (the paper's own examples range over
+        // "She quit smoking five years ago" / "None" / "She has never
+        // smoked"), so these templates are drawn uniformly regardless of
+        // `style_variation`. This is what keeps the smoking classifier's
+        // task non-trivial while the numeric attributes stay at 100%.
+        let mut social = String::new();
+        if let Some(s) = smoking {
+            let t = pick_social(tpl::smoking_templates(s), &mut social_rng, self.style_variation);
+            let years = social_rng.random_range(3..=30);
+            let ppd = social_rng.random_range(1..=2);
+            social.push_str(
+                &t.replace("{years}", &years.to_string())
+                    .replace("{ppd}", &ppd.to_string()),
+            );
+            social.push(' ');
+        }
+        if let Some(a) = alcohol {
+            let t = pick_social(tpl::alcohol_templates(a), &mut social_rng, self.style_variation);
+            let days = match a {
+                AlcoholUse::UpTo2PerWeek => social_rng.random_range(1..=2),
+                AlcoholUse::MoreThan2PerWeek => social_rng.random_range(3..=6),
+                _ => 0,
+            };
+            social.push_str(&t.replace("{days}", &days.to_string()));
+            social.push(' ');
+        }
+        social.push_str(tpl::drug_templates(drug_use).choose(&mut social_rng).expect("non-empty"));
+        section("Social History", social.trim_end().to_string());
+
+        section(
+            "Family History",
+            (*tpl::family_templates(family_history_breast_cancer)
+                .choose(mrng)
+                .expect("non-empty"))
+            .to_string(),
+        );
+        section("Review of Systems", self.pick(tpl::ROS, mrng).to_string());
+        let shape_adj = shape_value.adjective();
+        section(
+            "Physical examination",
+            article_fix(&self.pick(tpl::PHYSICAL, mrng).replace("{shape}", shape_adj)),
+        );
+        section(
+            "Vitals",
+            self.pick(tpl::VITALS, mrng)
+                .replace("{bp}", &format!("{}/{}", blood_pressure.0, blood_pressure.1))
+                .replace("{pulse}", &pulse.to_string())
+                .replace("{temp}", &format!("{temperature:.1}"))
+                .replace("{weight}", &weight.to_string()),
+        );
+        section("HEENT", tpl::HEENT.to_string());
+        section("Neck", tpl::NECK.to_string());
+        section("Chest", tpl::CHEST.to_string());
+        section("Heart", tpl::HEART.to_string());
+        section("Abdomen", tpl::ABDOMEN.to_string());
+        section("Examination of Breasts", tpl::BREASTS.to_string());
+
+        GoldRecord {
+            patient_id,
+            age,
+            blood_pressure,
+            pulse,
+            temperature,
+            weight,
+            menarche_age,
+            gravida,
+            para,
+            first_birth_age,
+            medical_history,
+            surgical_history,
+            smoking,
+            alcohol,
+            shape,
+            family_history_breast_cancer,
+            drug_use,
+            allergies_present,
+            text: out,
+        }
+    }
+}
+
+/// Draws a social-history template: the house phrasing (index 0) is the
+/// clinician's habit and dominates, with the rest of the pool supplying the
+/// natural variation the paper's own examples show. Unlike the measurement
+/// sections, some variation exists even at `style_variation = 0`; raising
+/// the knob flattens the draw toward uniform, which is what degrades the
+/// categorical classifier in the style sweep (A3).
+fn pick_social<'a>(pool: &[&'a str], rng: &mut StdRng, style_variation: f64) -> &'a str {
+    let house_weight = 0.5 * (1.0 - style_variation);
+    if house_weight > 0.0 && rng.random_bool(house_weight) {
+        pool[0]
+    } else {
+        pool.choose(rng).expect("non-empty template pool")
+    }
+}
+
+/// The paper's smoking distribution scaled to `n` records: 28/50 never,
+/// 12/50 current, 5/50 former, 5/50 undocumented (exact at n = 50).
+fn smoking_distribution(n: usize, rng: &mut StdRng) -> Vec<Option<SmokingStatus>> {
+    let mut plan = Vec::with_capacity(n);
+    let count = |share: usize| (share * n) / 50;
+    plan.extend(std::iter::repeat_n(Some(SmokingStatus::Current), count(12)));
+    plan.extend(std::iter::repeat_n(Some(SmokingStatus::Former), count(5)));
+    plan.extend(std::iter::repeat_n(None, count(5)));
+    while plan.len() < n {
+        plan.push(Some(SmokingStatus::Never));
+    }
+    plan.shuffle(rng);
+    plan
+}
+
+/// Alcohol distribution: roughly 40% social, 30% never, 16% 1–2/week,
+/// 10% >2/week, 4% undocumented.
+fn alcohol_distribution(n: usize, rng: &mut StdRng) -> Vec<Option<AlcoholUse>> {
+    let mut plan = Vec::with_capacity(n);
+    let count = |share: usize| (share * n) / 50;
+    plan.extend(std::iter::repeat_n(Some(AlcoholUse::Never), count(15)));
+    plan.extend(std::iter::repeat_n(Some(AlcoholUse::UpTo2PerWeek), count(8)));
+    plan.extend(std::iter::repeat_n(Some(AlcoholUse::MoreThan2PerWeek), count(5)));
+    plan.extend(std::iter::repeat_n(None, count(2)));
+    while plan.len() < n {
+        plan.push(Some(AlcoholUse::Social));
+    }
+    plan.shuffle(rng);
+    plan
+}
+
+/// Capitalizes brand-name drugs the way dictation transcribes them.
+fn brand_case(name: &str) -> String {
+    const BRANDS: &[&str] = &[
+        "lipitor", "cardizem", "wellbutrin", "zoloft", "protonix", "glucophage", "os-cal",
+        "combivent", "flovent", "synthroid", "coumadin", "motrin", "advil",
+    ];
+    if BRANDS.contains(&name) {
+        let mut c = name.chars();
+        match c.next() {
+            Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+            None => String::new(),
+        }
+    } else {
+        name.to_string()
+    }
+}
+
+/// Fixes "an thin" → "a thin" after template substitution.
+fn article_fix(s: &str) -> String {
+    let mut out = s.replace("an thin", "a thin").replace("an well-nourished", "a well-nourished");
+    if let Some(rest) = out.strip_prefix("an thin") {
+        out = format!("a thin{rest}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmr_text::Record;
+
+    #[test]
+    fn default_corpus_is_paper_shaped() {
+        let corpus = CorpusBuilder::new().build();
+        assert_eq!(corpus.records.len(), 50);
+        let never = corpus.records.iter().filter(|r| r.smoking == Some(SmokingStatus::Never)).count();
+        let former = corpus.records.iter().filter(|r| r.smoking == Some(SmokingStatus::Former)).count();
+        let current = corpus.records.iter().filter(|r| r.smoking == Some(SmokingStatus::Current)).count();
+        let none = corpus.records.iter().filter(|r| r.smoking.is_none()).count();
+        assert_eq!((never, former, current, none), (28, 5, 12, 5));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = CorpusBuilder::new().seed(7).build();
+        let b = CorpusBuilder::new().seed(7).build();
+        assert_eq!(a.records[0].text, b.records[0].text);
+        let c = CorpusBuilder::new().seed(8).build();
+        assert_ne!(a.records[0].text, c.records[0].text);
+    }
+
+    #[test]
+    fn records_parse_into_sections() {
+        let corpus = CorpusBuilder::new().records(5).build();
+        for r in &corpus.records {
+            let rec = Record::parse(&r.text);
+            assert_eq!(rec.patient_id.as_deref(), Some(r.patient_id.to_string().as_str()));
+            for name in [
+                "Chief Complaint",
+                "History of Present Illness",
+                "GYN History",
+                "Past Medical History",
+                "Past Surgical History",
+                "Social History",
+                "Vitals",
+            ] {
+                assert!(rec.section(name).is_some(), "missing section {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn vitals_contain_gold_numbers() {
+        let corpus = CorpusBuilder::new().records(10).build();
+        for r in &corpus.records {
+            let rec = Record::parse(&r.text);
+            let vitals = &rec.section("Vitals").unwrap().body;
+            assert!(vitals.contains(&format!("{}/{}", r.blood_pressure.0, r.blood_pressure.1)));
+            assert!(vitals.contains(&r.pulse.to_string()));
+            assert!(vitals.contains(&r.weight.to_string()));
+            assert!(vitals.contains(&format!("{:.1}", r.temperature)));
+        }
+    }
+
+    #[test]
+    fn gyn_contains_gold_numbers() {
+        let corpus = CorpusBuilder::new().records(10).build();
+        for r in &corpus.records {
+            let rec = Record::parse(&r.text);
+            let gyn = &rec.section("GYN History").unwrap().body;
+            assert!(gyn.contains(&format!("age {}", r.menarche_age)), "{gyn}");
+            assert!(gyn.contains(&r.gravida.to_string()));
+        }
+    }
+
+    #[test]
+    fn style_zero_uses_house_templates() {
+        let corpus = CorpusBuilder::new().records(8).style_variation(0.0).build();
+        for r in &corpus.records {
+            let rec = Record::parse(&r.text);
+            let vitals = &rec.section("Vitals").unwrap().body;
+            assert!(vitals.starts_with("Blood pressure is"), "{vitals}");
+        }
+    }
+
+    #[test]
+    fn style_one_varies_templates() {
+        let corpus = CorpusBuilder::new().records(30).style_variation(1.0).build();
+        let starts: std::collections::HashSet<String> = corpus
+            .records
+            .iter()
+            .map(|r| {
+                Record::parse(&r.text)
+                    .section("Vitals")
+                    .unwrap()
+                    .body
+                    .split_whitespace()
+                    .take(3)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        assert!(starts.len() > 1, "variation should produce multiple styles");
+    }
+
+    #[test]
+    fn gold_history_uses_preferred_names() {
+        let corpus = CorpusBuilder::new().records(20).build();
+        let onto = cmr_ontology::Ontology::full();
+        for r in &corpus.records {
+            for term in r.medical_history.iter().chain(&r.surgical_history) {
+                let c = onto.lookup(term).unwrap_or_else(|| panic!("gold term {term} unknown"));
+                assert_eq!(c.preferred, term);
+            }
+        }
+    }
+
+    #[test]
+    fn para_never_exceeds_gravida() {
+        let corpus = CorpusBuilder::new().records(30).build();
+        for r in &corpus.records {
+            assert!(r.para <= r.gravida);
+            assert!(r.para >= 1);
+        }
+    }
+
+    #[test]
+    fn scaled_distributions() {
+        let corpus = CorpusBuilder::new().records(100).build();
+        let former = corpus.records.iter().filter(|r| r.smoking == Some(SmokingStatus::Former)).count();
+        assert_eq!(former, 10, "5/50 scales to 10/100");
+    }
+}

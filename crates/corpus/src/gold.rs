@@ -1,0 +1,150 @@
+//! Gold-standard labels for generated records.
+//!
+//! Each generated record carries the ground truth for all attributes the
+//! paper's task schema extracts (18 fields, 24 attributes; §5): the eight
+//! numeric attributes, the four multi-valued medical-term attributes
+//! (predefined/other × medical/surgical history), and the categorical
+//! attributes (smoking is the one the paper completed; alcohol use and
+//! body shape are the proposed extensions).
+
+use serde::{Deserialize, Serialize};
+
+/// Smoking behavior — the categorical attribute the paper evaluates
+/// (never / former / current).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SmokingStatus {
+    /// Never smoked.
+    Never,
+    /// Former smoker.
+    Former,
+    /// Currently smokes.
+    Current,
+}
+
+impl SmokingStatus {
+    /// Canonical label string (the dataset's class name).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SmokingStatus::Never => "never",
+            SmokingStatus::Former => "former",
+            SmokingStatus::Current => "current",
+        }
+    }
+}
+
+/// Alcohol use — the paper's future-work categorical with numeric classes
+/// (never / social / 1–2 days per week / >2 days per week).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlcoholUse {
+    /// No alcohol.
+    Never,
+    /// Social/occasional drinking without a stated frequency.
+    Social,
+    /// Drinks 1–2 days per week.
+    UpTo2PerWeek,
+    /// Drinks more than 2 days per week.
+    MoreThan2PerWeek,
+}
+
+impl AlcoholUse {
+    /// Canonical label string.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlcoholUse::Never => "never",
+            AlcoholUse::Social => "social",
+            AlcoholUse::UpTo2PerWeek => "1-2 per week",
+            AlcoholUse::MoreThan2PerWeek => ">2 per week",
+        }
+    }
+}
+
+/// Body shape from the physical examination (§3.3's four categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BodyShape {
+    /// Thin.
+    Thin,
+    /// Normal build.
+    Normal,
+    /// Overweight.
+    Overweight,
+    /// Obese.
+    Obese,
+}
+
+impl BodyShape {
+    /// Canonical label string.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BodyShape::Thin => "thin",
+            BodyShape::Normal => "normal",
+            BodyShape::Overweight => "overweight",
+            BodyShape::Obese => "obese",
+        }
+    }
+
+    /// The adjective as dictated in the examination sentence.
+    pub fn adjective(&self) -> &'static str {
+        match self {
+            BodyShape::Thin => "thin",
+            BodyShape::Normal => "well-nourished",
+            BodyShape::Overweight => "overweight",
+            BodyShape::Obese => "obese",
+        }
+    }
+}
+
+/// One generated consultation note plus its gold labels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GoldRecord {
+    /// Patient number (the Appendix anonymizes names to numbers).
+    pub patient_id: usize,
+    /// Patient age in years (dictated as "{age}-year-old").
+    pub age: i64,
+    /// Blood pressure systolic/diastolic.
+    pub blood_pressure: (i64, i64),
+    /// Pulse in bpm.
+    pub pulse: i64,
+    /// Temperature in °F.
+    pub temperature: f64,
+    /// Weight in pounds.
+    pub weight: i64,
+    /// Age at menarche.
+    pub menarche_age: i64,
+    /// Gravida (number of pregnancies).
+    pub gravida: i64,
+    /// Para (number of live births).
+    pub para: i64,
+    /// Age at first live birth.
+    pub first_birth_age: i64,
+    /// Past medical history: gold concept *preferred names*.
+    pub medical_history: Vec<String>,
+    /// Past surgical history: gold concept preferred names.
+    pub surgical_history: Vec<String>,
+    /// Smoking status; `None` when the record does not document it.
+    pub smoking: Option<SmokingStatus>,
+    /// Alcohol use; `None` when undocumented.
+    pub alcohol: Option<AlcoholUse>,
+    /// Body shape from the physical exam.
+    pub shape: Option<BodyShape>,
+    /// Binary: family history of breast cancer.
+    pub family_history_breast_cancer: bool,
+    /// Binary: recreational drug use.
+    pub drug_use: bool,
+    /// Binary: any documented drug allergy.
+    pub allergies_present: bool,
+    /// The full record text in the Appendix's semi-structured format.
+    pub text: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SmokingStatus::Former.label(), "former");
+        assert_eq!(AlcoholUse::MoreThan2PerWeek.label(), ">2 per week");
+        assert_eq!(BodyShape::Obese.label(), "obese");
+        assert_eq!(BodyShape::Normal.adjective(), "well-nourished");
+    }
+}

@@ -1,0 +1,33 @@
+//! # cmr-corpus — synthetic clinical consultation notes with gold labels
+//!
+//! The paper's evaluation corpus is 50 real dictated consultation notes
+//! from a single clinician — protected health information that was never
+//! released. This crate is the substitution (documented in DESIGN.md): a
+//! seeded generator that emits notes in exactly the Appendix's
+//! semi-structured format, with ground truth for every attribute in the
+//! task schema and the paper's class distribution (45 of 50 records
+//! document smoking: 5 former / 12 current / 28 never).
+//!
+//! The `style_variation` knob reproduces the "very consistent dictation
+//! style" at 0 and stresses the paper's degradation conjecture above 0.
+//!
+//! ```
+//! use cmr_corpus::CorpusBuilder;
+//!
+//! let corpus = CorpusBuilder::new().records(3).seed(42).build();
+//! assert_eq!(corpus.records.len(), 3);
+//! assert!(corpus.records[0].text.contains("Vitals:"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod appendix;
+mod generator;
+mod gold;
+mod templates;
+
+pub use appendix::APPENDIX_RECORD;
+pub use generator::{Corpus, CorpusBuilder};
+pub use gold::{AlcoholUse, BodyShape, GoldRecord, SmokingStatus};
+pub use templates::join_list;

@@ -1,0 +1,236 @@
+//! Sentence template pools.
+//!
+//! Index 0 of every pool is the "house style" — the single consistent
+//! dictation pattern of the Appendix record (all 50 of the paper's notes
+//! came from one clinician). The `style_variation` knob controls how often
+//! generation leaves index 0, which is how the corpus stresses the paper's
+//! §5/§6 conjecture that stylistic variance degrades extraction.
+
+use crate::gold::{AlcoholUse, SmokingStatus};
+
+/// Chief complaints.
+pub const CHIEF_COMPLAINTS: &[&str] = &[
+    "Abnormal mammogram.",
+    "Palpable breast mass.",
+    "Breast pain.",
+    "Nipple discharge.",
+    "Abnormal screening mammogram with calcifications.",
+];
+
+/// History-of-present-illness templates: `{id}`, `{age}`, `{complaint}`.
+pub const HPI: &[&str] = &[
+    "Ms. {id} is a {age}-year-old woman who underwent a screening mammogram, revealing a solid lesion as well as an abnormal calcification. She was referred for further management. Her breast history is negative for any previous biopsies or masses.",
+    "Ms. {id} is a {age}-year-old woman who presents for evaluation of {complaint} She was referred for further management.",
+    "The patient is a {age}-year-old woman referred after an abnormal mammogram. She denies any previous breast complaints.",
+];
+
+/// GYN history templates: `{menarche}`, `{gravida}`, `{para}`, `{flb}`.
+pub const GYN: &[&str] = &[
+    "Menarche at age {menarche}, gravida {gravida}, para {para}, last menstrual period about a year ago. First live birth at age {flb}.",
+    "Menarche at age {menarche}. Gravida {gravida}, para {para}. First live birth at age {flb}.",
+    "She reports menarche at age {menarche} with {gravida} pregnancies and {para} live births. Her first live birth was at age {flb}.",
+];
+
+/// Past-medical-history lead-ins: `{list}`.
+pub const PMH: &[&str] = &[
+    "Significant for {list}.",
+    "{list}.",
+    "Her past medical history is significant for {list}.",
+    "Notable for {list}.",
+];
+
+/// Past-surgical-history lead-ins: `{list}`.
+pub const PSH: &[&str] = &[
+    "{list}.",
+    "Significant for {list}.",
+    "Status post {list}.",
+    "She has undergone {list}.",
+];
+
+/// Vitals templates: `{bp}`, `{pulse}`, `{temp}`, `{weight}`.
+pub const VITALS: &[&str] = &[
+    "Blood pressure is {bp}, pulse of {pulse}, temperature of {temp}, and weight of {weight} pounds.",
+    "Blood pressure {bp}, pulse {pulse}, temperature {temp}, weight {weight}.",
+    "Blood pressure of {bp} with a pulse of {pulse}. Temperature is {temp} and weight is {weight} pounds.",
+];
+
+/// Smoking sentences per class: `{years}` years since quitting / of smoking,
+/// `{ppd}` packs per day.
+pub fn smoking_templates(status: SmokingStatus) -> &'static [&'static str] {
+    match status {
+        SmokingStatus::Never => &[
+            "She has never smoked.",
+            "None.",
+            "She denies any history of smoking.",
+            "No tobacco use.",
+            "She denies smoking.",
+            "She does not smoke.",
+        ],
+        SmokingStatus::Former => &[
+            "She quit smoking {years} years ago.",
+            "Former smoker, quit {years} years ago.",
+            "She is a former smoker.",
+            "She stopped smoking {years} years ago.",
+            "She smoked in the past.",
+            "History of smoking, quit {years} years ago.",
+        ],
+        SmokingStatus::Current => &[
+            "She is currently a smoker.",
+            "Smoking history, {years} years.",
+            "She smokes {ppd} packs per day.",
+            "She continues to smoke daily.",
+            "She smokes cigarettes.",
+            "Ongoing tobacco use.",
+        ],
+    }
+}
+
+/// Alcohol sentences per class: `{days}` days per week.
+pub fn alcohol_templates(use_: AlcoholUse) -> &'static [&'static str] {
+    match use_ {
+        AlcoholUse::Never => &[
+            "Alcohol use, negative.",
+            "No alcohol.",
+            "She does not drink.",
+        ],
+        AlcoholUse::Social => &[
+            "Alcohol use, occasional.",
+            "She drinks socially.",
+            "Occasional alcohol use.",
+        ],
+        AlcoholUse::UpTo2PerWeek => &[
+            "Alcohol use, {days} days per week.",
+            "She drinks {days} days per week.",
+        ],
+        AlcoholUse::MoreThan2PerWeek => &[
+            "Alcohol use, {days} days per week.",
+            "She drinks about {days} days per week.",
+        ],
+    }
+}
+
+/// Physical examination templates: `{shape}`.
+pub const PHYSICAL: &[&str] = &[
+    "Reveals an {shape} woman in no apparent distress.",
+    "Examination reveals an {shape} woman in no acute distress.",
+    "An {shape} woman who appears her stated age.",
+];
+
+/// Review-of-systems boilerplate.
+pub const ROS: &[&str] = &[
+    "Significant for back pain and arthritis complaints. Remainder of the review of systems is negative.",
+    "Negative except as noted above.",
+    "Otherwise negative.",
+];
+
+/// Family-history sentences keyed by the binary gold label
+/// "family history of breast cancer".
+pub fn family_templates(positive: bool) -> &'static [&'static str] {
+    if positive {
+        &[
+            "Mother with breast cancer, diagnosed at age 52. No other family members with cancers.",
+            "Maternal aunt with breast cancer.",
+            "Positive for breast cancer in her mother.",
+            "Sister with breast cancer diagnosed at age 47.",
+            "Her grandmother had breast cancer.",
+        ]
+    } else {
+        &[
+            "Negative for breast cancer.",
+            "No family history of breast cancer.",
+            "No family members with cancers.",
+            "Noncontributory.",
+            "Father with heart disease. No cancers in the family.",
+        ]
+    }
+}
+
+/// Drug-use sentences keyed by the binary gold label.
+pub fn drug_templates(uses_drugs: bool) -> &'static [&'static str] {
+    if uses_drugs {
+        &[
+            "Drug use, significant for marijuana.",
+            "She uses marijuana occasionally.",
+            "Positive for recreational drug use.",
+        ]
+    } else {
+        &[
+            "No recreational drugs.",
+            "Negative for recreational drug use.",
+            "She does not use recreational drugs.",
+        ]
+    }
+}
+
+/// Allergy sentences keyed by the binary gold label.
+pub fn allergy_templates(has_allergies: bool) -> &'static [&'static str] {
+    if has_allergies {
+        &[
+            "Penicillin, ACE inhibitors, and latex.",
+            "Penicillin.",
+            "Sulfa drugs.",
+            "Allergic to penicillin and latex.",
+        ]
+    } else {
+        &[
+            "No known drug allergies.",
+            "None.",
+            "She has no known allergies.",
+        ]
+    }
+}
+
+/// Fixed exam-section boilerplate, as in the Appendix.
+pub const HEENT: &str = "PERRLA.";
+/// Neck exam boilerplate.
+pub const NECK: &str = "There is no cervical or supraclavicular lymphadenopathy.";
+/// Chest exam boilerplate.
+pub const CHEST: &str = "Clear to auscultation anteriorly, posteriorly, and bilaterally.";
+/// Heart exam boilerplate.
+pub const HEART: &str = "S1 S2, regular, and no murmurs.";
+/// Abdomen exam boilerplate.
+pub const ABDOMEN: &str = "Soft, nontender, and no masses.";
+/// Breast exam boilerplate.
+pub const BREASTS: &str =
+    "Shows good symmetry bilaterally. Palpation of both breasts shows no dominant lesions. There is no axillary adenopathy.";
+
+/// Grammatical list join: "a", "a and b", "a, b, and c".
+pub fn join_list(items: &[String]) -> String {
+    match items.len() {
+        0 => String::new(),
+        1 => items[0].clone(),
+        2 => format!("{} and {}", items[0], items[1]),
+        _ => {
+            let head = items[..items.len() - 1].join(", ");
+            format!("{}, and {}", head, items[items.len() - 1])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn house_style_is_index_zero() {
+        assert!(VITALS[0].contains("{bp}"));
+        assert!(GYN[0].contains("{menarche}"));
+        assert!(HPI[0].contains("{age}"));
+    }
+
+    #[test]
+    fn smoking_pools_nonempty() {
+        for s in [SmokingStatus::Never, SmokingStatus::Former, SmokingStatus::Current] {
+            assert!(!smoking_templates(s).is_empty());
+        }
+    }
+
+    #[test]
+    fn list_joining() {
+        let v = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(join_list(&v(&["a"])), "a");
+        assert_eq!(join_list(&v(&["a", "b"])), "a and b");
+        assert_eq!(join_list(&v(&["a", "b", "c"])), "a, b, and c");
+        assert_eq!(join_list(&[]), "");
+    }
+}

@@ -1,0 +1,18 @@
+//! # cmr-eval — evaluation metrics and report tables
+//!
+//! Implements exactly the measures of the paper's §5: precision/recall for
+//! single-valued attributes, and the pooled per-subject formulas
+//! (`P = Σ ETrueᵢ / Σ ETotalᵢ`, `R = Σ ETrueᵢ / Σ TInstᵢ`) for multi-valued
+//! medical-term attributes, plus text-table rendering for the reproduction
+//! harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bootstrap;
+mod metrics;
+mod table;
+
+pub use bootstrap::{Interval, Metric};
+pub use metrics::{MultiValueScore, PrecisionRecall};
+pub use table::{pct, Table};

@@ -1,0 +1,231 @@
+//! Precision and recall, with the paper's pooled multi-value formulas.
+//!
+//! §5: "Precision is defined as the proportion of correctly extracted
+//! instances of those extracted, while recall is the proportion of correctly
+//! extracted instances of total instances." For multi-valued attributes the
+//! paper pools per-subject counts:
+//!
+//! ```text
+//! P = Σᵢ ETrueᵢ / Σᵢ ETotalᵢ       R = Σᵢ ETrueᵢ / Σᵢ TInstᵢ
+//! ```
+
+/// Simple counting precision/recall accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrecisionRecall {
+    /// Correctly extracted instances (`ETrue`).
+    pub true_positives: usize,
+    /// Extracted but wrong (so `extracted = tp + fp`, the paper's `ETotal`).
+    pub false_positives: usize,
+    /// Present in gold but not extracted (`total = tp + fn`, `TInst`).
+    pub false_negatives: usize,
+}
+
+impl PrecisionRecall {
+    /// An empty accumulator.
+    pub fn new() -> PrecisionRecall {
+        PrecisionRecall::default()
+    }
+
+    /// Records one comparison of an extracted set against a gold set.
+    pub fn add_sets<T: PartialEq>(&mut self, extracted: &[T], gold: &[T]) {
+        let tp = extracted.iter().filter(|e| gold.contains(e)).count();
+        self.true_positives += tp;
+        self.false_positives += extracted.len() - tp;
+        self.false_negatives += gold.iter().filter(|g| !extracted.contains(g)).count();
+    }
+
+    /// Records a single-valued comparison (`Option` on both sides).
+    pub fn add_optional<T: PartialEq>(&mut self, extracted: Option<&T>, gold: Option<&T>) {
+        match (extracted, gold) {
+            (Some(e), Some(g)) if e == g => self.true_positives += 1,
+            (Some(_), Some(_)) => {
+                self.false_positives += 1;
+                self.false_negatives += 1;
+            }
+            (Some(_), None) => self.false_positives += 1,
+            (None, Some(_)) => self.false_negatives += 1,
+            (None, None) => {}
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &PrecisionRecall) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+    }
+
+    /// `ETotal`: everything extracted.
+    pub fn extracted(&self) -> usize {
+        self.true_positives + self.false_positives
+    }
+
+    /// `TInst`: everything in the gold standard.
+    pub fn gold_total(&self) -> usize {
+        self.true_positives + self.false_negatives
+    }
+
+    /// Precision; 1.0 when nothing was extracted (vacuous).
+    pub fn precision(&self) -> f64 {
+        if self.extracted() == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / self.extracted() as f64
+        }
+    }
+
+    /// Recall; 1.0 when the gold standard is empty (vacuous).
+    pub fn recall(&self) -> f64 {
+        if self.gold_total() == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / self.gold_total() as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Pooled multi-value score over subjects, keeping the per-subject counts
+/// the paper's formulas name (`ETrueᵢ`, `ETotalᵢ`, `TInstᵢ`).
+#[derive(Debug, Clone, Default)]
+pub struct MultiValueScore {
+    per_subject: Vec<PrecisionRecall>,
+}
+
+impl MultiValueScore {
+    /// An empty score.
+    pub fn new() -> MultiValueScore {
+        MultiValueScore::default()
+    }
+
+    /// Adds one subject's extracted vs. gold term sets.
+    pub fn add_subject<T: PartialEq>(&mut self, extracted: &[T], gold: &[T]) {
+        let mut pr = PrecisionRecall::new();
+        pr.add_sets(extracted, gold);
+        self.per_subject.push(pr);
+    }
+
+    /// Number of subjects recorded.
+    pub fn subjects(&self) -> usize {
+        self.per_subject.len()
+    }
+
+    /// Counts for one subject, if in range.
+    pub fn subject_counts(&self, i: usize) -> Option<PrecisionRecall> {
+        self.per_subject.get(i).copied()
+    }
+
+    /// Pooled counts: `Σ ETrue`, `Σ ETotal`, `Σ TInst`.
+    pub fn pooled(&self) -> PrecisionRecall {
+        let mut total = PrecisionRecall::new();
+        for pr in &self.per_subject {
+            total.merge(pr);
+        }
+        total
+    }
+
+    /// Pooled precision (the paper's `P = Σ ETrueᵢ / Σ ETotalᵢ`).
+    pub fn precision(&self) -> f64 {
+        self.pooled().precision()
+    }
+
+    /// Pooled recall (the paper's `R = Σ ETrueᵢ / Σ TInstᵢ`).
+    pub fn recall(&self) -> f64 {
+        self.pooled().recall()
+    }
+
+    /// Per-subject precision values (`Pᵢ`).
+    pub fn per_subject_precision(&self) -> Vec<f64> {
+        self.per_subject.iter().map(PrecisionRecall::precision).collect()
+    }
+
+    /// Per-subject recall values (`Rᵢ`).
+    pub fn per_subject_recall(&self) -> Vec<f64> {
+        self.per_subject.iter().map(PrecisionRecall::recall).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_comparison() {
+        let mut pr = PrecisionRecall::new();
+        pr.add_sets(&["a", "b", "x"], &["a", "b", "c"]);
+        assert_eq!(pr.true_positives, 2);
+        assert_eq!(pr.false_positives, 1);
+        assert_eq!(pr.false_negatives, 1);
+        assert!((pr.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((pr.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optional_comparison() {
+        let mut pr = PrecisionRecall::new();
+        pr.add_optional(Some(&5), Some(&5));
+        pr.add_optional(Some(&4), Some(&5));
+        pr.add_optional(Some(&1), None);
+        pr.add_optional(None, Some(&2));
+        pr.add_optional(None::<&i32>, None);
+        assert_eq!(pr.true_positives, 1);
+        assert_eq!(pr.false_positives, 2);
+        assert_eq!(pr.false_negatives, 2);
+    }
+
+    #[test]
+    fn vacuous_cases() {
+        let pr = PrecisionRecall::new();
+        assert_eq!(pr.precision(), 1.0);
+        assert_eq!(pr.recall(), 1.0);
+    }
+
+    #[test]
+    fn perfect_extraction() {
+        let mut pr = PrecisionRecall::new();
+        pr.add_sets(&[1, 2, 3], &[1, 2, 3]);
+        assert_eq!(pr.precision(), 1.0);
+        assert_eq!(pr.recall(), 1.0);
+        assert_eq!(pr.f1(), 1.0);
+    }
+
+    #[test]
+    fn pooled_formulas_match_paper() {
+        // Two subjects: (2 true of 3 extracted, 4 gold) and (1 of 1, 1).
+        let mut mv = MultiValueScore::new();
+        mv.add_subject(&["a", "b", "x"], &["a", "b", "c", "d"]);
+        mv.add_subject(&["e"], &["e"]);
+        // P = (2+1)/(3+1), R = (2+1)/(4+1)
+        assert!((mv.precision() - 3.0 / 4.0).abs() < 1e-12);
+        assert!((mv.recall() - 3.0 / 5.0).abs() < 1e-12);
+        assert_eq!(mv.subjects(), 2);
+    }
+
+    #[test]
+    fn pooled_differs_from_macro_average() {
+        let mut mv = MultiValueScore::new();
+        mv.add_subject(&["a"], &["a"]); // P=1
+        mv.add_subject(&["x", "y", "z", "w"], &["a", "b", "c", "d"]); // P=0
+        let macro_avg =
+            mv.per_subject_precision().iter().sum::<f64>() / mv.subjects() as f64;
+        assert!((macro_avg - 0.5).abs() < 1e-12);
+        assert!((mv.precision() - 0.2).abs() < 1e-12, "pooled = 1/5");
+    }
+
+    #[test]
+    fn f1_zero_when_nothing_right() {
+        let mut pr = PrecisionRecall::new();
+        pr.add_sets(&["x"], &["y"]);
+        assert_eq!(pr.f1(), 0.0);
+    }
+}

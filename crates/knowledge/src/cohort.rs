@@ -1,0 +1,245 @@
+//! The cohort table: structured records assembled for analysis.
+//!
+//! The paper's §1 motivation: "The value of considering more records
+//! simultaneously is the ability to then detect small variations, which may
+//! pinpoint important factors previously overlooked." This module is that
+//! "considering": extracted records become rows of a typed attribute table
+//! that the statistics and rule-mining layers consume.
+
+use cmr_core::ExtractedRecord;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One attribute value in the cohort table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Numeric attribute (blood pressure maps to its systolic component).
+    Number(f64),
+    /// Categorical attribute ("former", "overweight").
+    Text(String),
+    /// Presence flag (a history term was extracted).
+    Flag(bool),
+}
+
+impl Value {
+    /// Numeric view, if this is a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A canonical string for grouping/rule mining.
+    pub fn key(&self) -> String {
+        match self {
+            Value::Number(v) => format!("{v}"),
+            Value::Text(s) => s.clone(),
+            Value::Flag(b) => if *b { "yes" } else { "no" }.to_string(),
+        }
+    }
+}
+
+/// A cohort: named rows of attribute → value.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Cohort {
+    rows: Vec<BTreeMap<String, Value>>,
+}
+
+impl Cohort {
+    /// An empty cohort.
+    pub fn new() -> Cohort {
+        Cohort::default()
+    }
+
+    /// Number of subjects.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no subjects.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Adds a raw row.
+    pub fn push_row(&mut self, row: BTreeMap<String, Value>) {
+        self.rows.push(row);
+    }
+
+    /// Adds an extracted record: numeric attributes become numbers; every
+    /// extracted history term becomes a `has:<term>` flag; categorical
+    /// predictions may be attached via `extras`.
+    pub fn push_extracted(
+        &mut self,
+        record: &ExtractedRecord,
+        extras: &[(&str, &str)],
+    ) {
+        let mut row = BTreeMap::new();
+        for (name, value) in &record.numeric {
+            row.insert(name.clone(), Value::Number(value.as_f64()));
+        }
+        for term in record
+            .predefined_medical
+            .iter()
+            .chain(&record.other_medical)
+        {
+            row.insert(format!("has:{term}"), Value::Flag(true));
+        }
+        for term in record
+            .predefined_surgical
+            .iter()
+            .chain(&record.other_surgical)
+        {
+            row.insert(format!("had:{term}"), Value::Flag(true));
+        }
+        for (k, v) in extras {
+            row.insert((*k).to_string(), Value::Text((*v).to_string()));
+        }
+        self.rows.push(row);
+    }
+
+    /// All attribute names appearing in any row.
+    pub fn attributes(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .rows
+            .iter()
+            .flat_map(|r| r.keys().cloned())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Value of an attribute in a row (`None` when absent; absent flags are
+    /// semantically `false`).
+    pub fn get(&self, row: usize, attr: &str) -> Option<&Value> {
+        self.rows.get(row).and_then(|r| r.get(attr))
+    }
+
+    /// Rows where `attr` has the given key (flags: absent = "no").
+    pub fn matching(&self, attr: &str, key: &str) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.key_of(i, attr) == key)
+            .collect()
+    }
+
+    /// The grouping key of `attr` in a row; missing flag attributes
+    /// (`has:*`/`had:*`) read as "no", other missing attributes as "".
+    pub fn key_of(&self, row: usize, attr: &str) -> String {
+        match self.get(row, attr) {
+            Some(v) => v.key(),
+            None if attr.starts_with("has:") || attr.starts_with("had:") => "no".to_string(),
+            None => String::new(),
+        }
+    }
+
+    /// Prevalence of `attr == key` in the cohort.
+    pub fn prevalence(&self, attr: &str, key: &str) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.matching(attr, key).len() as f64 / self.len() as f64
+    }
+
+    /// Mean of a numeric attribute over rows that carry it.
+    pub fn mean(&self, attr: &str) -> Option<f64> {
+        let values: Vec<f64> = (0..self.len())
+            .filter_map(|i| self.get(i, attr).and_then(Value::as_number))
+            .collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().sum::<f64>() / values.len() as f64)
+        }
+    }
+
+    /// Cross-tabulation: counts of (key of `a`, key of `b`) pairs.
+    pub fn crosstab(&self, a: &str, b: &str) -> BTreeMap<(String, String), usize> {
+        let mut out = BTreeMap::new();
+        for i in 0..self.len() {
+            let ka = self.key_of(i, a);
+            let kb = self.key_of(i, b);
+            *out.entry((ka, kb)).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Cohort {
+        let mut c = Cohort::new();
+        for (smoker, htn, weight) in [
+            ("current", true, 190.0),
+            ("current", true, 180.0),
+            ("never", false, 150.0),
+            ("never", true, 160.0),
+            ("former", false, 170.0),
+        ] {
+            let mut row = BTreeMap::new();
+            row.insert("smoking".to_string(), Value::Text(smoker.to_string()));
+            if htn {
+                row.insert("has:hypertension".to_string(), Value::Flag(true));
+            }
+            row.insert("weight".to_string(), Value::Number(weight));
+            c.push_row(row);
+        }
+        c
+    }
+
+    #[test]
+    fn prevalence_and_mean() {
+        let c = toy();
+        assert_eq!(c.len(), 5);
+        assert!((c.prevalence("smoking", "current") - 0.4).abs() < 1e-12);
+        assert!((c.prevalence("has:hypertension", "yes") - 0.6).abs() < 1e-12);
+        assert!((c.mean("weight").unwrap() - 170.0).abs() < 1e-12);
+        assert_eq!(c.mean("missing"), None);
+    }
+
+    #[test]
+    fn absent_flags_read_as_no() {
+        let c = toy();
+        assert_eq!(c.matching("has:hypertension", "no").len(), 2);
+    }
+
+    #[test]
+    fn crosstab_counts() {
+        let c = toy();
+        let t = c.crosstab("smoking", "has:hypertension");
+        assert_eq!(t[&("current".to_string(), "yes".to_string())], 2);
+        assert_eq!(t[&("never".to_string(), "yes".to_string())], 1);
+        assert_eq!(t[&("former".to_string(), "no".to_string())], 1);
+    }
+
+    #[test]
+    fn from_extracted_record() {
+        let pipeline = cmr_core::Pipeline::with_default_schema();
+        let out = pipeline.extract(
+            "Patient: 1\nPast Medical History:  Significant for diabetes.\nVitals:  Blood pressure is 140/90, pulse of 80, temperature of 98.6, and weight of 170 pounds.\n",
+        );
+        let mut c = Cohort::new();
+        c.push_extracted(&out, &[("smoking", "never")]);
+        assert_eq!(c.key_of(0, "has:diabetes"), "yes");
+        assert_eq!(c.key_of(0, "smoking"), "never");
+        assert_eq!(c.get(0, "pulse").unwrap().as_number(), Some(80.0));
+        assert_eq!(
+            c.get(0, "blood_pressure").unwrap().as_number(),
+            Some(140.0),
+            "ratio maps to systolic"
+        );
+    }
+
+    #[test]
+    fn attributes_sorted_unique() {
+        let c = toy();
+        let attrs = c.attributes();
+        assert!(attrs.contains(&"smoking".to_string()));
+        let mut dedup = attrs.clone();
+        dedup.dedup();
+        assert_eq!(attrs, dedup);
+    }
+}

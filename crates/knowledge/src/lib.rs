@@ -1,0 +1,31 @@
+//! # cmr-knowledge — from information to knowledge
+//!
+//! The paper's title promises *information and knowledge*; its introduction
+//! motivates the system with large-scale chart review: "the ability to then
+//! detect small variations, which may pinpoint important factors previously
+//! overlooked." This crate is that final step — extracted records become a
+//! typed [`Cohort`] table over which prevalences, cross-tabulations,
+//! chi-square association checks and single-antecedent association rules
+//! ([`mine_rules`]) are computed.
+//!
+//! ```
+//! use cmr_knowledge::{Cohort, mine_rules, RuleParams};
+//!
+//! let pipeline = cmr_core::Pipeline::with_default_schema();
+//! let out = pipeline.extract("Past Medical History:  Significant for diabetes.\n");
+//! let mut cohort = Cohort::new();
+//! cohort.push_extracted(&out, &[("smoking", "never")]);
+//! assert_eq!(cohort.prevalence("has:diabetes", "yes"), 1.0);
+//! let _ = mine_rules(&cohort, RuleParams::default());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cohort;
+mod rules;
+mod stats;
+
+pub use cohort::{Cohort, Value};
+pub use rules::{mine_rules, Rule, RuleParams};
+pub use stats::{association, chi_square_2x2, group_summary, CHI2_CRIT_95};

@@ -1,0 +1,217 @@
+//! Single-antecedent association rules over the cohort.
+//!
+//! The "knowledge" half of the paper's title: once records are structured,
+//! cohort-level regularities ("current smokers have COPD far more often")
+//! can be mined mechanically. Rules are `A=a ⇒ B=b` with the classic
+//! support / confidence / lift measures.
+
+use crate::cohort::Cohort;
+use serde::{Deserialize, Serialize};
+
+/// One mined rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Antecedent attribute.
+    pub antecedent_attr: String,
+    /// Antecedent value key.
+    pub antecedent_value: String,
+    /// Consequent attribute.
+    pub consequent_attr: String,
+    /// Consequent value key.
+    pub consequent_value: String,
+    /// P(A ∧ B): fraction of the cohort satisfying both.
+    pub support: f64,
+    /// P(B | A).
+    pub confidence: f64,
+    /// P(B | A) / P(B): > 1 means A raises the odds of B.
+    pub lift: f64,
+}
+
+/// Mining thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleParams {
+    /// Minimum cohort fraction the rule's antecedent∧consequent must cover.
+    pub min_support: f64,
+    /// Minimum confidence.
+    pub min_confidence: f64,
+    /// Minimum lift (1.0 = no association).
+    pub min_lift: f64,
+}
+
+impl Default for RuleParams {
+    fn default() -> Self {
+        RuleParams {
+            min_support: 0.05,
+            min_confidence: 0.5,
+            min_lift: 1.2,
+        }
+    }
+}
+
+/// Mines all single-antecedent rules meeting the thresholds, sorted by
+/// descending lift then confidence. Flag attributes only contribute their
+/// "yes" side (a rule about the *absence* of a term is rarely knowledge).
+pub fn mine_rules(cohort: &Cohort, params: RuleParams) -> Vec<Rule> {
+    let n = cohort.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let attrs = cohort.attributes();
+    // Candidate (attr, value) pairs with their supporting row sets.
+    let mut items: Vec<(String, String, Vec<usize>)> = Vec::new();
+    for attr in &attrs {
+        let mut keys: Vec<String> = (0..n).map(|i| cohort.key_of(i, attr)).collect();
+        keys.sort();
+        keys.dedup();
+        for key in keys {
+            if key.is_empty() {
+                continue;
+            }
+            if (attr.starts_with("has:") || attr.starts_with("had:")) && key == "no" {
+                continue;
+            }
+            // Numeric attributes are not categorical items.
+            if cohort
+                .get(0, attr)
+                .map(|v| v.as_number().is_some())
+                .unwrap_or(false)
+            {
+                continue;
+            }
+            let rows = cohort.matching(attr, &key);
+            if !rows.is_empty() {
+                items.push((attr.clone(), key, rows));
+            }
+        }
+    }
+    let mut rules = Vec::new();
+    for (a_attr, a_val, a_rows) in &items {
+        for (b_attr, b_val, b_rows) in &items {
+            if a_attr == b_attr {
+                continue;
+            }
+            let both = a_rows.iter().filter(|r| b_rows.contains(r)).count();
+            let support = both as f64 / n as f64;
+            if support < params.min_support || a_rows.is_empty() {
+                continue;
+            }
+            let confidence = both as f64 / a_rows.len() as f64;
+            let p_b = b_rows.len() as f64 / n as f64;
+            let lift = if p_b > 0.0 { confidence / p_b } else { 0.0 };
+            if confidence >= params.min_confidence && lift >= params.min_lift {
+                rules.push(Rule {
+                    antecedent_attr: a_attr.clone(),
+                    antecedent_value: a_val.clone(),
+                    consequent_attr: b_attr.clone(),
+                    consequent_value: b_val.clone(),
+                    support,
+                    confidence,
+                    lift,
+                });
+            }
+        }
+    }
+    rules.sort_by(|x, y| {
+        y.lift
+            .total_cmp(&x.lift)
+            .then(y.confidence.total_cmp(&x.confidence))
+    });
+    rules
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}={} => {}={}  (support {:.2}, confidence {:.2}, lift {:.2})",
+            self.antecedent_attr,
+            self.antecedent_value,
+            self.consequent_attr,
+            self.consequent_value,
+            self.support,
+            self.confidence,
+            self.lift
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohort::Value;
+    use std::collections::BTreeMap;
+
+    fn cohort_with_association() -> Cohort {
+        let mut c = Cohort::new();
+        // 10 smokers, 8 with copd; 10 non-smokers, 1 with copd.
+        for i in 0..20 {
+            let mut row = BTreeMap::new();
+            let smoker = i < 10;
+            row.insert(
+                "smoking".to_string(),
+                Value::Text(if smoker { "current" } else { "never" }.to_string()),
+            );
+            let copd = (smoker && i < 8) || i == 15;
+            if copd {
+                row.insert("has:copd".to_string(), Value::Flag(true));
+            }
+            c.push_row(row);
+        }
+        c
+    }
+
+    #[test]
+    fn finds_the_planted_rule() {
+        let c = cohort_with_association();
+        let rules = mine_rules(&c, RuleParams::default());
+        let top = rules
+            .iter()
+            .find(|r| r.antecedent_value == "current" && r.consequent_attr == "has:copd")
+            .expect("planted rule found");
+        assert!((top.confidence - 0.8).abs() < 1e-12);
+        assert!((top.support - 0.4).abs() < 1e-12);
+        assert!(top.lift > 1.7, "lift {}", top.lift);
+    }
+
+    #[test]
+    fn no_rules_from_empty_cohort() {
+        assert!(mine_rules(&Cohort::new(), RuleParams::default()).is_empty());
+    }
+
+    #[test]
+    fn thresholds_filter() {
+        let c = cohort_with_association();
+        let strict = mine_rules(
+            &c,
+            RuleParams { min_confidence: 0.99, min_support: 0.05, min_lift: 1.0 },
+        );
+        assert!(strict.iter().all(|r| r.confidence >= 0.99));
+    }
+
+    #[test]
+    fn sorted_by_lift() {
+        let c = cohort_with_association();
+        let rules = mine_rules(&c, RuleParams { min_lift: 1.0, min_confidence: 0.1, min_support: 0.01 });
+        for w in rules.windows(2) {
+            assert!(w[0].lift >= w[1].lift - 1e-12);
+        }
+    }
+
+    #[test]
+    fn absent_flag_side_not_mined() {
+        let c = cohort_with_association();
+        let rules = mine_rules(&c, RuleParams { min_lift: 0.0, min_confidence: 0.0, min_support: 0.0 });
+        assert!(rules
+            .iter()
+            .all(|r| !(r.consequent_attr.starts_with("has:") && r.consequent_value == "no")));
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = cohort_with_association();
+        let rules = mine_rules(&c, RuleParams::default());
+        let s = rules[0].to_string();
+        assert!(s.contains("=>"));
+        assert!(s.contains("lift"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Small statistics for cohort comparisons: 2×2 chi-square and numeric
+//! group summaries. Enough to "detect small variations" (§1) with an
+//! honesty check on whether a variation is noise.
+
+use crate::cohort::{Cohort, Value};
+
+/// Pearson chi-square statistic for a 2×2 table `[[a, b], [c, d]]`.
+/// Returns `None` when a marginal is zero (test undefined).
+pub fn chi_square_2x2(a: usize, b: usize, c: usize, d: usize) -> Option<f64> {
+    let n = (a + b + c + d) as f64;
+    let r1 = (a + b) as f64;
+    let r2 = (c + d) as f64;
+    let c1 = (a + c) as f64;
+    let c2 = (b + d) as f64;
+    if r1 == 0.0 || r2 == 0.0 || c1 == 0.0 || c2 == 0.0 {
+        return None;
+    }
+    let num = n * ((a as f64) * (d as f64) - (b as f64) * (c as f64)).powi(2);
+    Some(num / (r1 * r2 * c1 * c2))
+}
+
+/// The 95% critical value for chi-square with 1 degree of freedom.
+pub const CHI2_CRIT_95: f64 = 3.841;
+
+/// Association test between `attr_a == key_a` and `attr_b == key_b` over a
+/// cohort. Returns (chi², significant at 95%).
+pub fn association(
+    cohort: &Cohort,
+    attr_a: &str,
+    key_a: &str,
+    attr_b: &str,
+    key_b: &str,
+) -> Option<(f64, bool)> {
+    let n = cohort.len();
+    let mut a = 0; // A ∧ B
+    let mut b = 0; // A ∧ ¬B
+    let mut c = 0; // ¬A ∧ B
+    let mut d = 0; // ¬A ∧ ¬B
+    for i in 0..n {
+        let in_a = cohort.key_of(i, attr_a) == key_a;
+        let in_b = cohort.key_of(i, attr_b) == key_b;
+        match (in_a, in_b) {
+            (true, true) => a += 1,
+            (true, false) => b += 1,
+            (false, true) => c += 1,
+            (false, false) => d += 1,
+        }
+    }
+    chi_square_2x2(a, b, c, d).map(|chi2| (chi2, chi2 >= CHI2_CRIT_95))
+}
+
+/// Per-group summary of a numeric attribute: (group key, n, mean, std).
+pub fn group_summary(cohort: &Cohort, group_attr: &str, numeric_attr: &str) -> Vec<(String, usize, f64, f64)> {
+    let mut keys: Vec<String> = (0..cohort.len())
+        .map(|i| cohort.key_of(i, group_attr))
+        .filter(|k| !k.is_empty())
+        .collect();
+    keys.sort();
+    keys.dedup();
+    keys.into_iter()
+        .filter_map(|key| {
+            let values: Vec<f64> = cohort
+                .matching(group_attr, &key)
+                .into_iter()
+                .filter_map(|i| cohort.get(i, numeric_attr).and_then(Value::as_number))
+                .collect();
+            if values.is_empty() {
+                return None;
+            }
+            let n = values.len();
+            let mean = values.iter().sum::<f64>() / n as f64;
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+            Some((key, n, mean, var.sqrt()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn chi_square_known_value() {
+        // Classic example: strong association.
+        let chi2 = chi_square_2x2(20, 5, 5, 20).expect("defined");
+        assert!(chi2 > 10.0, "{chi2}");
+        // Independence: counts proportional.
+        let none = chi_square_2x2(10, 10, 10, 10).expect("defined");
+        assert!(none.abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_margins() {
+        assert_eq!(chi_square_2x2(0, 0, 5, 5), None);
+        assert_eq!(chi_square_2x2(5, 0, 5, 0), None);
+    }
+
+    #[test]
+    fn association_on_cohort() {
+        let mut c = Cohort::new();
+        for i in 0..40 {
+            let mut row = BTreeMap::new();
+            let smoker = i % 2 == 0;
+            row.insert(
+                "smoking".to_string(),
+                Value::Text(if smoker { "current" } else { "never" }.to_string()),
+            );
+            if smoker && i % 4 == 0 || !smoker && i == 1 {
+                row.insert("has:copd".to_string(), Value::Flag(true));
+            }
+            c.push_row(row);
+        }
+        let (chi2, sig) = association(&c, "smoking", "current", "has:copd", "yes").expect("defined");
+        assert!(chi2 > 0.0);
+        assert!(sig, "planted association should be significant: {chi2}");
+    }
+
+    #[test]
+    fn group_summaries() {
+        let mut c = Cohort::new();
+        for (g, w) in [("a", 10.0), ("a", 20.0), ("b", 30.0)] {
+            let mut row = BTreeMap::new();
+            row.insert("g".to_string(), Value::Text(g.to_string()));
+            row.insert("w".to_string(), Value::Number(w));
+            c.push_row(row);
+        }
+        let s = group_summary(&c, "g", "w");
+        assert_eq!(s.len(), 2);
+        let a = s.iter().find(|(k, ..)| k == "a").unwrap();
+        assert_eq!(a.1, 2);
+        assert!((a.2 - 15.0).abs() < 1e-12);
+        assert!((a.3 - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests: rule-mining measures must be internally consistent on
+//! arbitrary cohorts.
+
+use cmr_knowledge::{chi_square_2x2, mine_rules, Cohort, RuleParams, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_cohort() -> impl Strategy<Value = Cohort> {
+    prop::collection::vec(
+        (0usize..3, prop::bool::ANY, prop::bool::ANY),
+        1..60,
+    )
+    .prop_map(|rows| {
+        let mut c = Cohort::new();
+        for (smoking, a, b) in rows {
+            let mut row = BTreeMap::new();
+            row.insert(
+                "smoking".to_string(),
+                Value::Text(["never", "former", "current"][smoking].to_string()),
+            );
+            if a {
+                row.insert("has:alpha".to_string(), Value::Flag(true));
+            }
+            if b {
+                row.insert("has:beta".to_string(), Value::Flag(true));
+            }
+            c.push_row(row);
+        }
+        c
+    })
+}
+
+proptest! {
+    /// Support ≤ confidence; all measures in valid ranges; support never
+    /// exceeds either marginal.
+    #[test]
+    fn rule_measures_consistent(c in arb_cohort()) {
+        let rules = mine_rules(&c, RuleParams { min_support: 0.0, min_confidence: 0.0, min_lift: 0.0 });
+        for r in &rules {
+            prop_assert!((0.0..=1.0).contains(&r.support), "{r}");
+            prop_assert!((0.0..=1.0).contains(&r.confidence), "{r}");
+            prop_assert!(r.lift >= 0.0);
+            prop_assert!(r.support <= r.confidence + 1e-12, "{r}");
+            // confidence * P(A) = support
+            let p_a = c.prevalence(&r.antecedent_attr, &r.antecedent_value);
+            prop_assert!((r.confidence * p_a - r.support).abs() < 1e-9, "{r}");
+        }
+    }
+
+    /// Thresholds only shrink the rule set.
+    #[test]
+    fn thresholds_monotone(c in arb_cohort()) {
+        let loose = mine_rules(&c, RuleParams { min_support: 0.0, min_confidence: 0.0, min_lift: 0.0 });
+        let tight = mine_rules(&c, RuleParams { min_support: 0.2, min_confidence: 0.6, min_lift: 1.1 });
+        prop_assert!(tight.len() <= loose.len());
+    }
+
+    /// Prevalences over a partitioning attribute sum to 1.
+    #[test]
+    fn prevalence_partitions(c in arb_cohort()) {
+        let total: f64 = ["never", "former", "current"]
+            .iter()
+            .map(|k| c.prevalence("smoking", k))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Chi-square is non-negative and symmetric under row/column swaps.
+    #[test]
+    fn chi_square_symmetries(a in 0usize..40, b in 0usize..40, cc in 0usize..40, d in 0usize..40) {
+        if let Some(x) = chi_square_2x2(a, b, cc, d) {
+            prop_assert!(x >= -1e-12);
+            prop_assert_eq!(chi_square_2x2(cc, d, a, b).map(|v| (v * 1e9).round()),
+                            Some((x * 1e9).round()), "row swap");
+            prop_assert_eq!(chi_square_2x2(b, a, d, cc).map(|v| (v * 1e9).round()),
+                            Some((x * 1e9).round()), "column swap");
+        }
+    }
+
+    /// Crosstab counts always total the cohort size.
+    #[test]
+    fn crosstab_totals(c in arb_cohort()) {
+        let t = c.crosstab("smoking", "has:alpha");
+        let total: usize = t.values().sum();
+        prop_assert_eq!(total, c.len());
+    }
+}

@@ -1,0 +1,99 @@
+//! Clinical abbreviations and feature-name synonyms.
+//!
+//! The paper (§3.1) widens feature identification with "target synonyms"
+//! that were "manually specified". This table is that manual specification:
+//! dictation shorthand → expanded form, used both for feature-keyword
+//! matching and for ontology normalization.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Abbreviation (lower-case) → expansion.
+pub const ABBREVIATIONS: &[(&str, &str)] = &[
+    ("bp", "blood pressure"),
+    ("hr", "heart rate"),
+    ("rr", "respiratory rate"),
+    ("temp", "temperature"),
+    ("wt", "weight"),
+    ("ht", "height"),
+    ("hx", "history"),
+    ("pmh", "past medical history"),
+    ("psh", "past surgical history"),
+    ("fh", "family history"),
+    ("sh", "social history"),
+    ("gyn", "gynecologic"),
+    ("ob", "obstetric"),
+    ("lmp", "last menstrual period"),
+    ("flb", "first live birth"),
+    ("cva", "cerebrovascular accident"),
+    ("mi", "myocardial infarction"),
+    ("chf", "congestive heart failure"),
+    ("cad", "coronary artery disease"),
+    ("copd", "chronic obstructive pulmonary disease"),
+    ("htn", "hypertension"),
+    ("dm", "diabetes mellitus"),
+    ("gerd", "gastroesophageal reflux disease"),
+    ("uti", "urinary tract infection"),
+    ("tia", "transient ischemic attack"),
+    ("dvt", "deep vein thrombosis"),
+    ("pe", "pulmonary embolism"),
+    ("ca", "cancer"),
+    ("bx", "biopsy"),
+    ("tah", "total abdominal hysterectomy"),
+    ("bso", "bilateral salpingo-oophorectomy"),
+    ("lap chole", "laparoscopic cholecystectomy"),
+    ("c-section", "cesarean section"),
+    ("appy", "appendectomy"),
+    ("t&a", "tonsillectomy and adenoidectomy"),
+    ("heent", "head eyes ears nose throat"),
+    ("perrla", "pupils equal round reactive to light and accommodation"),
+    ("etoh", "alcohol"),
+    ("ppd", "packs per day"),
+];
+
+fn table() -> &'static HashMap<&'static str, &'static str> {
+    static T: OnceLock<HashMap<&'static str, &'static str>> = OnceLock::new();
+    T.get_or_init(|| ABBREVIATIONS.iter().copied().collect())
+}
+
+/// Expands `term` if it is a known clinical abbreviation (case-insensitive);
+/// returns `None` otherwise.
+pub fn expand_abbreviation(term: &str) -> Option<&'static str> {
+    table().get(term.to_lowercase().as_str()).copied()
+}
+
+/// Expands every abbreviated word of a phrase, leaving other words intact:
+/// `"bp check"` → `"blood pressure check"`.
+pub fn expand_phrase(phrase: &str) -> String {
+    phrase
+        .split_whitespace()
+        .map(|w| expand_abbreviation(w).unwrap_or(w).to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_abbreviations() {
+        assert_eq!(expand_abbreviation("BP"), Some("blood pressure"));
+        assert_eq!(expand_abbreviation("cva"), Some("cerebrovascular accident"));
+        assert_eq!(expand_abbreviation("pressure"), None);
+    }
+
+    #[test]
+    fn phrase_expansion() {
+        assert_eq!(expand_phrase("bp check"), "blood pressure check");
+        assert_eq!(expand_phrase("routine visit"), "routine visit");
+    }
+
+    #[test]
+    fn no_duplicate_keys() {
+        let mut seen = std::collections::HashSet::new();
+        for (k, _) in ABBREVIATIONS {
+            assert!(seen.insert(*k), "duplicate abbreviation {k}");
+        }
+    }
+}

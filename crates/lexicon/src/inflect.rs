@@ -1,0 +1,262 @@
+//! Inflection generation — the paper's "infected variants".
+//!
+//! §3.1: "Regarding infected variants, we used WordNet and some heuristics to
+//! automatically generate them from original concepts." Feature names like
+//! `number of pregnancies` must also match `pregnancy`; this module generates
+//! the inflected surface forms of a lemma (and of a multi-word phrase's head
+//! word) so feature identification can match any of them.
+
+use crate::irregular::{IRREGULAR_PART, IRREGULAR_PAST, IRREGULAR_PLURAL};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+fn past_table() -> &'static HashMap<&'static str, &'static str> {
+    static T: OnceLock<HashMap<&'static str, &'static str>> = OnceLock::new();
+    T.get_or_init(|| IRREGULAR_PAST.iter().copied().collect())
+}
+
+fn part_table() -> &'static HashMap<&'static str, &'static str> {
+    static T: OnceLock<HashMap<&'static str, &'static str>> = OnceLock::new();
+    T.get_or_init(|| IRREGULAR_PART.iter().copied().collect())
+}
+
+fn plural_table() -> &'static HashMap<&'static str, &'static str> {
+    static T: OnceLock<HashMap<&'static str, &'static str>> = OnceLock::new();
+    T.get_or_init(|| IRREGULAR_PLURAL.iter().copied().collect())
+}
+
+fn is_vowel(c: u8) -> bool {
+    matches!(c, b'a' | b'e' | b'i' | b'o' | b'u')
+}
+
+/// Plural of a noun lemma.
+pub fn noun_plural(lemma: &str) -> String {
+    let w = lemma.to_lowercase();
+    if let Some(p) = plural_table().get(w.as_str()) {
+        return (*p).to_string();
+    }
+    let b = w.as_bytes();
+    if w.ends_with('s') || w.ends_with('x') || w.ends_with('z') || w.ends_with("ch") || w.ends_with("sh") {
+        return format!("{w}es");
+    }
+    if w.ends_with('y') && b.len() >= 2 && !is_vowel(b[b.len() - 2]) {
+        return format!("{}ies", &w[..w.len() - 1]);
+    }
+    if w.ends_with("is") && w.len() > 3 {
+        // analysis → analyses (Greco-Latin)
+        return format!("{}es", &w[..w.len() - 2]);
+    }
+    format!("{w}s")
+}
+
+/// Third-person singular present of a verb lemma.
+pub fn verb_3sg(lemma: &str) -> String {
+    let w = lemma.to_lowercase();
+    match w.as_str() {
+        "be" => return "is".to_string(),
+        "have" => return "has".to_string(),
+        "do" => return "does".to_string(),
+        "go" => return "goes".to_string(),
+        "undergo" => return "undergoes".to_string(),
+        _ => {}
+    }
+    let b = w.as_bytes();
+    if w.ends_with('s') || w.ends_with('x') || w.ends_with('z') || w.ends_with("ch") || w.ends_with("sh") || w.ends_with('o') {
+        return format!("{w}es");
+    }
+    if w.ends_with('y') && b.len() >= 2 && !is_vowel(b[b.len() - 2]) {
+        return format!("{}ies", &w[..w.len() - 1]);
+    }
+    format!("{w}s")
+}
+
+/// Whether the final consonant doubles before a vowel-initial suffix
+/// (`stop` → `stopped`). Heuristic: CVC ending with a short single vowel.
+fn doubles_final(w: &str) -> bool {
+    let b = w.as_bytes();
+    if b.len() < 3 {
+        return false;
+    }
+    let (a, v, c) = (b[b.len() - 3], b[b.len() - 2], b[b.len() - 1]);
+    // 'u' after 'q' acts as a consonant ("quit" → "quitting").
+    let a_is_consonant = !is_vowel(a) || (a == b'u' && b.len() >= 4 && b[b.len() - 4] == b'q');
+    a_is_consonant && is_vowel(v) && !is_vowel(c) && !matches!(c, b'w' | b'x' | b'y')
+        // Only double for short stems; longer stems usually stress earlier.
+        && w.len() <= 4
+}
+
+/// Simple past of a verb lemma.
+pub fn verb_past(lemma: &str) -> String {
+    let w = lemma.to_lowercase();
+    if let Some(p) = past_table().get(w.as_str()) {
+        return (*p).to_string();
+    }
+    let b = w.as_bytes();
+    if w.ends_with('e') {
+        return format!("{w}d");
+    }
+    if w.ends_with('y') && b.len() >= 2 && !is_vowel(b[b.len() - 2]) {
+        return format!("{}ied", &w[..w.len() - 1]);
+    }
+    if doubles_final(&w) {
+        let last = *b.last().expect("non-empty") as char;
+        return format!("{w}{last}ed");
+    }
+    format!("{w}ed")
+}
+
+/// Past participle of a verb lemma.
+pub fn verb_past_participle(lemma: &str) -> String {
+    let w = lemma.to_lowercase();
+    if let Some(p) = part_table().get(w.as_str()) {
+        return (*p).to_string();
+    }
+    verb_past(&w)
+}
+
+/// Present participle / gerund of a verb lemma.
+pub fn verb_gerund(lemma: &str) -> String {
+    let w = lemma.to_lowercase();
+    if w == "be" {
+        return "being".to_string();
+    }
+    let b = w.as_bytes();
+    if w.ends_with("ie") {
+        return format!("{}ying", &w[..w.len() - 2]);
+    }
+    if w.ends_with('e') && !w.ends_with("ee") && w.len() > 2 {
+        return format!("{}ing", &w[..w.len() - 1]);
+    }
+    if doubles_final(&w) {
+        let last = *b.last().expect("non-empty") as char;
+        return format!("{w}{last}ing");
+    }
+    format!("{w}ing")
+}
+
+/// All inflected variants of a single word, across classes. Includes the
+/// lemma itself. Used to widen feature-keyword matching exactly as the paper
+/// prescribes.
+pub fn variants(lemma: &str) -> Vec<String> {
+    let w = lemma.to_lowercase();
+    let mut out = vec![w.clone()];
+    for v in [
+        noun_plural(&w),
+        verb_3sg(&w),
+        verb_past(&w),
+        verb_past_participle(&w),
+        verb_gerund(&w),
+    ] {
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Inflected variants of a multi-word phrase: the head (last) word is
+/// inflected, earlier words stay fixed (`live birth` → `live births`).
+pub fn phrase_variants(phrase: &str) -> Vec<String> {
+    let words: Vec<&str> = phrase.split_whitespace().collect();
+    match words.split_last() {
+        None => Vec::new(),
+        Some((head, [])) => variants(head),
+        Some((head, rest)) => {
+            let prefix = rest.join(" ");
+            variants(head)
+                .into_iter()
+                .map(|v| format!("{prefix} {v}"))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plurals() {
+        assert_eq!(noun_plural("pound"), "pounds");
+        assert_eq!(noun_plural("pregnancy"), "pregnancies");
+        assert_eq!(noun_plural("mass"), "masses");
+        assert_eq!(noun_plural("branch"), "branches");
+        assert_eq!(noun_plural("diagnosis"), "diagnoses");
+        assert_eq!(noun_plural("woman"), "women");
+        assert_eq!(noun_plural("day"), "days");
+    }
+
+    #[test]
+    fn third_singular() {
+        assert_eq!(verb_3sg("deny"), "denies");
+        assert_eq!(verb_3sg("smoke"), "smokes");
+        assert_eq!(verb_3sg("be"), "is");
+        assert_eq!(verb_3sg("have"), "has");
+        assert_eq!(verb_3sg("reach"), "reaches");
+        assert_eq!(verb_3sg("stay"), "stays");
+    }
+
+    #[test]
+    fn pasts() {
+        assert_eq!(verb_past("smoke"), "smoked");
+        assert_eq!(verb_past("deny"), "denied");
+        assert_eq!(verb_past("stop"), "stopped");
+        assert_eq!(verb_past("quit"), "quit");
+        assert_eq!(verb_past("undergo"), "underwent");
+        assert_eq!(verb_past("play"), "played");
+    }
+
+    #[test]
+    fn participles() {
+        assert_eq!(verb_past_participle("undergo"), "undergone");
+        assert_eq!(verb_past_participle("smoke"), "smoked");
+        assert_eq!(verb_past_participle("take"), "taken");
+    }
+
+    #[test]
+    fn gerunds() {
+        assert_eq!(verb_gerund("smoke"), "smoking");
+        assert_eq!(verb_gerund("stop"), "stopping");
+        assert_eq!(verb_gerund("be"), "being");
+        assert_eq!(verb_gerund("see"), "seeing");
+        assert_eq!(verb_gerund("lie"), "lying");
+        assert_eq!(verb_gerund("deny"), "denying");
+    }
+
+    #[test]
+    fn variant_sets_include_lemma() {
+        let v = variants("smoke");
+        assert!(v.contains(&"smoke".to_string()));
+        assert!(v.contains(&"smokes".to_string()));
+        assert!(v.contains(&"smoked".to_string()));
+        assert!(v.contains(&"smoking".to_string()));
+    }
+
+    #[test]
+    fn phrase_head_inflection() {
+        let v = phrase_variants("live birth");
+        assert!(v.contains(&"live birth".to_string()));
+        assert!(v.contains(&"live births".to_string()));
+        let p = phrase_variants("pregnancy");
+        assert!(p.contains(&"pregnancies".to_string()));
+    }
+
+    #[test]
+    fn empty_phrase() {
+        assert!(phrase_variants("").is_empty());
+    }
+
+    #[test]
+    fn roundtrip_with_lemmatizer() {
+        use crate::lemma::{Lemmatizer, WordClass};
+        let l = Lemmatizer::new();
+        for lemma in ["smoke", "deny", "reveal", "note", "use", "quit", "undergo"] {
+            assert_eq!(l.lemma(&verb_past(lemma), WordClass::Verb), lemma, "past of {lemma}");
+            assert_eq!(l.lemma(&verb_3sg(lemma), WordClass::Verb), lemma, "3sg of {lemma}");
+            assert_eq!(l.lemma(&verb_gerund(lemma), WordClass::Verb), lemma, "gerund of {lemma}");
+        }
+        for lemma in ["pound", "pregnancy", "mass", "diagnosis", "birth"] {
+            assert_eq!(l.lemma(&noun_plural(lemma), WordClass::Noun), lemma, "plural of {lemma}");
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Irregular morphology exception tables.
+//!
+//! These play the role of WordNet's `*.exc` exception files: forms whose
+//! lemma is not reachable through suffix rules. The tables are biased toward
+//! verbs and nouns that actually occur in dictated clinical notes.
+
+/// Irregular verb forms → lemma (includes past, past participle and
+/// suppletive present forms).
+pub const IRREGULAR_VERBS: &[(&str, &str)] = &[
+    ("am", "be"),
+    ("is", "be"),
+    ("are", "be"),
+    ("was", "be"),
+    ("were", "be"),
+    ("been", "be"),
+    ("being", "be"),
+    ("has", "have"),
+    ("had", "have"),
+    ("having", "have"),
+    ("does", "do"),
+    ("did", "do"),
+    ("done", "do"),
+    ("went", "go"),
+    ("gone", "go"),
+    ("underwent", "undergo"),
+    ("undergone", "undergo"),
+    ("took", "take"),
+    ("taken", "take"),
+    ("gave", "give"),
+    ("given", "give"),
+    ("got", "get"),
+    ("gotten", "get"),
+    ("came", "come"),
+    ("become", "become"),
+    ("became", "become"),
+    ("felt", "feel"),
+    ("found", "find"),
+    ("saw", "see"),
+    ("seen", "see"),
+    ("showed", "show"),
+    ("shown", "show"),
+    ("said", "say"),
+    ("told", "tell"),
+    ("quit", "quit"),
+    ("began", "begin"),
+    ("begun", "begin"),
+    ("drank", "drink"),
+    ("drunk", "drink"),
+    ("ate", "eat"),
+    ("eaten", "eat"),
+    ("slept", "sleep"),
+    ("lost", "lose"),
+    ("left", "leave"),
+    ("kept", "keep"),
+    ("grew", "grow"),
+    ("grown", "grow"),
+    ("knew", "know"),
+    ("known", "know"),
+    ("led", "lead"),
+    ("fell", "fall"),
+    ("fallen", "fall"),
+    ("broke", "break"),
+    ("broken", "break"),
+    ("wore", "wear"),
+    ("worn", "wear"),
+    ("drew", "draw"),
+    ("drawn", "draw"),
+    ("sat", "sit"),
+    ("stood", "stand"),
+    ("understood", "understand"),
+    ("ran", "run"),
+    ("run", "run"),
+    ("swam", "swim"),
+    ("swum", "swim"),
+    ("lay", "lie"),
+    ("lain", "lie"),
+    ("meant", "mean"),
+    ("met", "meet"),
+    ("paid", "pay"),
+    ("put", "put"),
+    ("read", "read"),
+    ("set", "set"),
+    ("spoke", "speak"),
+    ("spoken", "speak"),
+    ("spent", "spend"),
+    ("thought", "think"),
+    ("wrote", "write"),
+    ("written", "write"),
+    ("brought", "bring"),
+    ("bought", "buy"),
+    ("caught", "catch"),
+    ("taught", "teach"),
+    ("sought", "seek"),
+    ("fought", "fight"),
+    ("held", "hold"),
+    ("heard", "hear"),
+    ("made", "make"),
+    ("sent", "send"),
+    ("built", "build"),
+    ("bled", "bleed"),
+    ("fed", "feed"),
+    ("bit", "bite"),
+    ("bitten", "bite"),
+    ("hurt", "hurt"),
+    ("cut", "cut"),
+    ("hit", "hit"),
+    ("let", "let"),
+    ("shut", "shut"),
+    ("spread", "spread"),
+    ("arose", "arise"),
+    ("arisen", "arise"),
+    ("woke", "wake"),
+    ("woken", "wake"),
+    ("chose", "choose"),
+    ("chosen", "choose"),
+    ("rose", "rise"),
+    ("risen", "rise"),
+    ("withdrew", "withdraw"),
+    ("withdrawn", "withdraw"),
+];
+
+/// Irregular noun plurals → singular, including Greco-Latin medical plurals.
+pub const IRREGULAR_NOUNS: &[(&str, &str)] = &[
+    ("children", "child"),
+    ("women", "woman"),
+    ("men", "man"),
+    ("people", "person"),
+    ("feet", "foot"),
+    ("teeth", "tooth"),
+    ("mice", "mouse"),
+    ("geese", "goose"),
+    ("lives", "life"),
+    ("wives", "wife"),
+    ("knives", "knife"),
+    ("halves", "half"),
+    ("selves", "self"),
+    ("leaves", "leaf"),
+    // Greco-Latin clinical plurals.
+    ("diagnoses", "diagnosis"),
+    ("prognoses", "prognosis"),
+    ("stenoses", "stenosis"),
+    ("metastases", "metastasis"),
+    ("anastomoses", "anastomosis"),
+    ("neuroses", "neurosis"),
+    ("psychoses", "psychosis"),
+    ("thromboses", "thrombosis"),
+    ("fibroses", "fibrosis"),
+    ("scleroses", "sclerosis"),
+    ("emboli", "embolus"),
+    ("thrombi", "thrombus"),
+    ("bronchi", "bronchus"),
+    ("fungi", "fungus"),
+    ("nuclei", "nucleus"),
+    ("radii", "radius"),
+    ("uteri", "uterus"),
+    ("foci", "focus"),
+    ("vertebrae", "vertebra"),
+    ("scapulae", "scapula"),
+    ("fistulae", "fistula"),
+    ("sequelae", "sequela"),
+    ("bacteria", "bacterium"),
+    ("data", "datum"),
+    ("media", "medium"),
+    ("criteria", "criterion"),
+    ("phenomena", "phenomenon"),
+    ("carcinomata", "carcinoma"),
+    ("ganglia", "ganglion"),
+    ("atria", "atrium"),
+    ("septa", "septum"),
+    ("ova", "ovum"),
+    ("biopsies", "biopsy"),
+    ("ostia", "ostium"),
+    ("axes", "axis"),
+    ("apices", "apex"),
+    ("cortices", "cortex"),
+    ("indices", "index"),
+    ("appendices", "appendix"),
+    ("matrices", "matrix"),
+    ("calculi", "calculus"),
+    ("stimuli", "stimulus"),
+    ("alveoli", "alveolus"),
+    ("villi", "villus"),
+    ("nares", "naris"),
+];
+
+/// Irregular adjective/adverb comparatives and superlatives → base.
+pub const IRREGULAR_ADJS: &[(&str, &str)] = &[
+    ("better", "good"),
+    ("best", "good"),
+    ("worse", "bad"),
+    ("worst", "bad"),
+    ("less", "little"),
+    ("least", "little"),
+    ("more", "much"),
+    ("most", "much"),
+    ("further", "far"),
+    ("furthest", "far"),
+    ("farther", "far"),
+    ("farthest", "far"),
+    ("elder", "old"),
+    ("eldest", "old"),
+];
+
+/// Lemma → irregular past tense for the inflection generator.
+/// Only verbs that the corpus generator and tests need to *produce*.
+pub const IRREGULAR_PAST: &[(&str, &str)] = &[
+    ("be", "was"),
+    ("have", "had"),
+    ("do", "did"),
+    ("go", "went"),
+    ("undergo", "underwent"),
+    ("take", "took"),
+    ("give", "gave"),
+    ("get", "got"),
+    ("come", "came"),
+    ("feel", "felt"),
+    ("find", "found"),
+    ("see", "saw"),
+    ("show", "showed"),
+    ("say", "said"),
+    ("tell", "told"),
+    ("quit", "quit"),
+    ("begin", "began"),
+    ("drink", "drank"),
+    ("eat", "ate"),
+    ("think", "thought"),
+    ("make", "made"),
+    ("know", "knew"),
+    ("hold", "held"),
+    ("keep", "kept"),
+    ("leave", "left"),
+    ("lose", "lost"),
+    ("mean", "meant"),
+    ("meet", "met"),
+    ("pay", "paid"),
+    ("put", "put"),
+    ("read", "read"),
+    ("run", "ran"),
+    ("send", "sent"),
+    ("set", "set"),
+    ("sit", "sat"),
+    ("sleep", "slept"),
+    ("speak", "spoke"),
+    ("spend", "spent"),
+    ("stand", "stood"),
+    ("write", "wrote"),
+];
+
+/// Lemma → irregular past participle (only where it differs from the past).
+pub const IRREGULAR_PART: &[(&str, &str)] = &[
+    ("be", "been"),
+    ("go", "gone"),
+    ("undergo", "undergone"),
+    ("take", "taken"),
+    ("give", "given"),
+    ("get", "gotten"),
+    ("see", "seen"),
+    ("show", "shown"),
+    ("begin", "begun"),
+    ("drink", "drunk"),
+    ("eat", "eaten"),
+    ("know", "known"),
+    ("speak", "spoken"),
+    ("write", "written"),
+    ("do", "done"),
+    ("come", "come"),
+    ("run", "run"),
+];
+
+/// Lemma → irregular plural for the inflection generator.
+pub const IRREGULAR_PLURAL: &[(&str, &str)] = &[
+    ("child", "children"),
+    ("woman", "women"),
+    ("man", "men"),
+    ("person", "people"),
+    ("foot", "feet"),
+    ("tooth", "teeth"),
+    ("life", "lives"),
+    ("diagnosis", "diagnoses"),
+    ("metastasis", "metastases"),
+    ("biopsy", "biopsies"),
+    ("vertebra", "vertebrae"),
+    ("bronchus", "bronchi"),
+    ("uterus", "uteri"),
+    ("criterion", "criteria"),
+    ("datum", "data"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn tables_have_no_duplicate_keys() {
+        for table in [IRREGULAR_VERBS, IRREGULAR_NOUNS, IRREGULAR_ADJS] {
+            let mut seen = HashSet::new();
+            for (k, _) in table {
+                assert!(seen.insert(*k), "duplicate irregular key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn tables_are_lowercase() {
+        for table in [
+            IRREGULAR_VERBS,
+            IRREGULAR_NOUNS,
+            IRREGULAR_ADJS,
+            IRREGULAR_PAST,
+            IRREGULAR_PART,
+            IRREGULAR_PLURAL,
+        ] {
+            for (k, v) in table {
+                assert_eq!(*k, k.to_lowercase());
+                assert_eq!(*v, v.to_lowercase());
+            }
+        }
+    }
+
+    #[test]
+    fn past_and_participle_lemmas_lemmatize_back() {
+        // Inflection table values must round-trip through the analysis table.
+        let verbs: std::collections::HashMap<_, _> = IRREGULAR_VERBS.iter().copied().collect();
+        for (lemma, past) in IRREGULAR_PAST {
+            if let Some(l) = verbs.get(past) {
+                assert_eq!(l, lemma, "past {past}");
+            }
+        }
+    }
+}

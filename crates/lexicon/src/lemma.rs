@@ -1,0 +1,281 @@
+//! The lemmatizer ("uninfected form" finder, in the paper's phrasing).
+//!
+//! Follows the WordNet *Morphy* design: exception tables first, then ordered
+//! detachment rules per word class, validated against a known-lemma set when
+//! possible so that `pounds → pound` but `gas` does not become `ga`.
+
+use crate::irregular::{IRREGULAR_ADJS, IRREGULAR_NOUNS, IRREGULAR_VERBS};
+use crate::words::{is_known_adjective, is_known_lemma, is_known_noun, is_known_verb};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Coarse word class used to select detachment rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WordClass {
+    /// Nouns.
+    Noun,
+    /// Verbs.
+    Verb,
+    /// Adjectives (and comparative/superlative adverbs).
+    Adjective,
+}
+
+/// Suffix-detachment rules per class: `(suffix, replacement)`, tried in order.
+const NOUN_RULES: &[(&str, &str)] = &[
+    ("ches", "ch"),
+    ("shes", "sh"),
+    ("sses", "ss"),
+    ("oses", "osis"),
+    ("ases", "asis"),
+    ("xes", "x"),
+    ("zes", "z"),
+    ("ies", "y"),
+    ("ves", "f"),
+    ("es", "e"),
+    ("es", ""),
+    ("s", ""),
+];
+
+const VERB_RULES: &[(&str, &str)] = &[
+    ("ches", "ch"),
+    ("shes", "sh"),
+    ("sses", "ss"),
+    ("ies", "y"),
+    ("es", "e"),
+    ("es", ""),
+    ("s", ""),
+    ("ied", "y"),
+    ("ed", "e"),
+    ("ed", ""),
+    ("ing", "e"),
+    ("ing", ""),
+];
+
+const ADJ_RULES: &[(&str, &str)] = &[
+    ("ier", "y"),
+    ("iest", "y"),
+    ("er", ""),
+    ("est", ""),
+    ("er", "e"),
+    ("est", "e"),
+];
+
+/// A lemmatizer with per-class exception tables and detachment rules.
+///
+/// Construction is cheap (tables are interned in a process-wide
+/// [`OnceLock`]), so call sites may freely create one on demand.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lemmatizer {
+    _private: (),
+}
+
+struct Tables {
+    verbs: HashMap<&'static str, &'static str>,
+    nouns: HashMap<&'static str, &'static str>,
+    adjs: HashMap<&'static str, &'static str>,
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| Tables {
+        verbs: IRREGULAR_VERBS.iter().copied().collect(),
+        nouns: IRREGULAR_NOUNS.iter().copied().collect(),
+        adjs: IRREGULAR_ADJS.iter().copied().collect(),
+    })
+}
+
+impl Lemmatizer {
+    /// Creates a lemmatizer.
+    pub fn new() -> Self {
+        Lemmatizer::default()
+    }
+
+    /// Lemma of `word` under a specific word class. The input may be any
+    /// case; the output is lower-case.
+    pub fn lemma(&self, word: &str, class: WordClass) -> String {
+        let w = word.to_lowercase();
+        let t = tables();
+        let (exceptions, rules, validate): (_, _, fn(&str) -> bool) = match class {
+            WordClass::Noun => (&t.nouns, NOUN_RULES, is_known_noun as fn(&str) -> bool),
+            WordClass::Verb => (&t.verbs, VERB_RULES, is_known_verb as fn(&str) -> bool),
+            WordClass::Adjective => (&t.adjs, ADJ_RULES, is_known_adjective as fn(&str) -> bool),
+        };
+        if let Some(lemma) = exceptions.get(w.as_str()) {
+            return (*lemma).to_string();
+        }
+        // A word that is itself a known lemma *of this class* needs no
+        // detachment; this stops "mass" → "mas" and "diabetes" → "diabete"
+        // without letting a noun reading block a verb one ("smoking" is a
+        // noun lemma but must still reduce to "smoke" as a verb).
+        if validate(&w) {
+            return w;
+        }
+        let mut first_plausible: Option<String> = None;
+        for (suffix, replacement) in rules {
+            // Bare "s" must not strip from -ss/-us/-is endings
+            // ("mass", "uterus", "arthritis" are singular).
+            if *suffix == "s" && (w.ends_with("ss") || w.ends_with("us") || w.ends_with("is")) {
+                continue;
+            }
+            if let Some(stem) = w.strip_suffix(suffix) {
+                if stem.len() < 2 {
+                    continue;
+                }
+                let candidate = format!("{stem}{replacement}");
+                if validate(&candidate) || is_known_lemma(&candidate) {
+                    return candidate;
+                }
+                // Doubled-consonant undoubling: "stopped" → "stopp" → "stop".
+                if replacement.is_empty() && stem.len() >= 3 {
+                    let b = stem.as_bytes();
+                    if b[b.len() - 1] == b[b.len() - 2] && !is_vowel(b[b.len() - 1] as char) {
+                        let undoubled = &stem[..stem.len() - 1];
+                        if validate(undoubled) || is_known_lemma(undoubled) {
+                            return undoubled.to_string();
+                        }
+                        if first_plausible.is_none() && plausible(undoubled) {
+                            first_plausible = Some(undoubled.to_string());
+                        }
+                    }
+                }
+                if first_plausible.is_none() && plausible(&candidate) {
+                    first_plausible = Some(candidate);
+                }
+            }
+        }
+        first_plausible.unwrap_or(w)
+    }
+
+    /// Lemma when the class is unknown: tries verb, then noun, then
+    /// adjective exceptions; then the noun rules (clinical text is mostly
+    /// nominal), falling back to the word itself.
+    pub fn lemma_any(&self, word: &str) -> String {
+        let w = word.to_lowercase();
+        let t = tables();
+        if let Some(lemma) = t.verbs.get(w.as_str()) {
+            return (*lemma).to_string();
+        }
+        if let Some(lemma) = t.nouns.get(w.as_str()) {
+            return (*lemma).to_string();
+        }
+        if let Some(lemma) = t.adjs.get(w.as_str()) {
+            return (*lemma).to_string();
+        }
+        if is_known_lemma(&w) {
+            return w;
+        }
+        // Prefer a verb reading for -ing/-ed forms, noun reading otherwise.
+        if w.ends_with("ing") || w.ends_with("ed") {
+            let v = self.lemma(&w, WordClass::Verb);
+            if v != w {
+                return v;
+            }
+        }
+        let n = self.lemma(&w, WordClass::Noun);
+        if n != w {
+            return n;
+        }
+        self.lemma(&w, WordClass::Adjective)
+    }
+}
+
+fn is_vowel(c: char) -> bool {
+    matches!(c, 'a' | 'e' | 'i' | 'o' | 'u')
+}
+
+/// A stem is plausible when it still looks like an English word: length ≥ 3
+/// and contains a vowel.
+fn plausible(stem: &str) -> bool {
+    stem.len() >= 3 && stem.chars().any(is_vowel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lem() -> Lemmatizer {
+        Lemmatizer::new()
+    }
+
+    #[test]
+    fn regular_noun_plurals() {
+        assert_eq!(lem().lemma("pounds", WordClass::Noun), "pound");
+        assert_eq!(lem().lemma("pressures", WordClass::Noun), "pressure");
+        assert_eq!(lem().lemma("masses", WordClass::Noun), "mass");
+        assert_eq!(lem().lemma("allergies", WordClass::Noun), "allergy");
+        assert_eq!(lem().lemma("branches", WordClass::Noun), "branch");
+    }
+
+    #[test]
+    fn irregular_nouns() {
+        assert_eq!(lem().lemma("women", WordClass::Noun), "woman");
+        assert_eq!(lem().lemma("diagnoses", WordClass::Noun), "diagnosis");
+        assert_eq!(lem().lemma("metastases", WordClass::Noun), "metastasis");
+        assert_eq!(lem().lemma("vertebrae", WordClass::Noun), "vertebra");
+    }
+
+    #[test]
+    fn non_plural_nouns_unchanged() {
+        assert_eq!(lem().lemma("gas", WordClass::Noun), "gas");
+        assert_eq!(lem().lemma("pressure", WordClass::Noun), "pressure");
+        assert_eq!(lem().lemma("history", WordClass::Noun), "history");
+    }
+
+    #[test]
+    fn regular_verbs() {
+        assert_eq!(lem().lemma("denies", WordClass::Verb), "deny");
+        assert_eq!(lem().lemma("denied", WordClass::Verb), "deny");
+        assert_eq!(lem().lemma("smoked", WordClass::Verb), "smoke");
+        assert_eq!(lem().lemma("smoking", WordClass::Verb), "smoke");
+        assert_eq!(lem().lemma("reveals", WordClass::Verb), "reveal");
+        assert_eq!(lem().lemma("stopped", WordClass::Verb), "stop");
+    }
+
+    #[test]
+    fn irregular_verbs() {
+        assert_eq!(lem().lemma("is", WordClass::Verb), "be");
+        assert_eq!(lem().lemma("was", WordClass::Verb), "be");
+        assert_eq!(lem().lemma("underwent", WordClass::Verb), "undergo");
+        assert_eq!(lem().lemma("quit", WordClass::Verb), "quit");
+        assert_eq!(lem().lemma("had", WordClass::Verb), "have");
+    }
+
+    #[test]
+    fn paper_example_deny_family() {
+        // §3.3: "denies", "denied" and "deny" must map to one feature.
+        let l = lem();
+        let forms = ["denies", "denied", "deny"];
+        let lemmas: Vec<_> = forms.iter().map(|f| l.lemma(f, WordClass::Verb)).collect();
+        assert!(lemmas.iter().all(|x| x == "deny"), "{lemmas:?}");
+    }
+
+    #[test]
+    fn adjectives() {
+        assert_eq!(lem().lemma("larger", WordClass::Adjective), "large");
+        assert_eq!(lem().lemma("heaviest", WordClass::Adjective), "heavy");
+        assert_eq!(lem().lemma("better", WordClass::Adjective), "good");
+        assert_eq!(lem().lemma("overweight", WordClass::Adjective), "overweight");
+    }
+
+    #[test]
+    fn lemma_any_prefers_sensible_class() {
+        assert_eq!(lem().lemma_any("smoked"), "smoke");
+        assert_eq!(lem().lemma_any("pounds"), "pound");
+        assert_eq!(lem().lemma_any("women"), "woman");
+        assert_eq!(lem().lemma_any("is"), "be");
+        assert_eq!(lem().lemma_any("pressure"), "pressure");
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(lem().lemma("Pounds", WordClass::Noun), "pound");
+        assert_eq!(lem().lemma("SMOKED", WordClass::Verb), "smoke");
+    }
+
+    #[test]
+    fn short_words_not_mangled() {
+        assert_eq!(lem().lemma("as", WordClass::Noun), "as");
+        assert_eq!(lem().lemma("is", WordClass::Noun), "is");
+        assert_eq!(lem().lemma("us", WordClass::Noun), "us");
+    }
+}

@@ -1,0 +1,35 @@
+//! # cmr-lexicon — morphology engine and clinical word knowledge
+//!
+//! This crate replaces the roles WordNet 2.0 played in the original ICDE 2005
+//! system: finding the lemma ("uninfected form") of a surface word,
+//! generating inflected variants of feature names, and expanding the
+//! manually specified synonym/abbreviation table.
+//!
+//! ```
+//! use cmr_lexicon::{Lemmatizer, WordClass, phrase_variants, expand_abbreviation};
+//!
+//! let lem = Lemmatizer::new();
+//! assert_eq!(lem.lemma("denies", WordClass::Verb), "deny");
+//! assert!(phrase_variants("live birth").contains(&"live births".to_string()));
+//! assert_eq!(expand_abbreviation("bp"), Some("blood pressure"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod abbrev;
+mod inflect;
+mod irregular;
+mod lemma;
+mod words;
+
+pub use abbrev::{expand_abbreviation, expand_phrase, ABBREVIATIONS};
+pub use inflect::{
+    noun_plural, phrase_variants, variants, verb_3sg, verb_gerund, verb_past,
+    verb_past_participle,
+};
+pub use lemma::{Lemmatizer, WordClass};
+pub use words::{
+    is_known_adjective, is_known_adverb, is_known_lemma, is_known_noun, is_known_verb, ADJECTIVES,
+    ADVERBS, NOUNS, VERBS,
+};

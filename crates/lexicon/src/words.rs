@@ -1,0 +1,179 @@
+//! Known-lemma word sets.
+//!
+//! These are the validation dictionary for the lemmatizer (the role WordNet's
+//! index files play for Morphy) and the open-class backbone of the POS
+//! tagger's lexicon. Entries are *lemmas only*, lower-case. The lists are
+//! biased toward the vocabulary of dictated clinical consultation notes.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// Noun lemmas.
+pub const NOUNS: &[&str] = &[
+    // general
+    "age", "area", "aunt", "baby", "birth", "bottle", "brother", "case", "care", "cause", "chart",
+    "child", "complaint", "concern", "consultation", "course", "datum", "daughter", "day", "detail",
+    "doctor", "drink", "evaluation", "event", "exam", "examination", "family", "father", "follow",
+    "form", "glass", "grandmother", "grandfather", "half", "head", "home", "hospital", "hour",
+    "husband", "information", "issue", "item", "letter", "life", "list", "man", "management",
+    "member", "menopause", "minute", "moment", "month", "morning", "mother", "name", "note",
+    "number", "office", "pack", "paper", "part", "patient", "period", "person", "phone", "place",
+    "plan", "point", "pound", "problem", "program", "question", "reason", "record", "remainder",
+    "report", "result", "review", "risk", "room", "schedule", "school", "side", "sister", "smoker",
+    "nonsmoker", "son", "status", "story", "student", "study", "surgeon", "system", "test", "thing",
+    "time", "today", "type", "uncle", "unit", "value", "visit", "week", "weekend", "wife", "woman",
+    "work", "year", "gravida", "para",
+    // vitals & measurements
+    "blood", "pressure", "pulse", "temperature", "weight", "height", "rate", "respiration",
+    "saturation", "measurement", "reading", "vital", "sign",
+    // anatomy
+    "abdomen", "arm", "armpit", "artery", "axilla", "back", "body", "bone", "brain", "breast",
+    "bronchus", "chest", "colon", "ear", "eye", "foot", "gallbladder", "hand", "heart", "hip",
+    "kidney", "knee", "leg", "lesion", "liver", "lung", "lymph", "mass", "muscle", "neck", "nerve",
+    "nipple", "node", "nose", "ovary", "quadrant", "rib", "shoulder", "skin", "spine", "stomach",
+    "throat", "thyroid", "tissue", "tooth", "uterus", "vein", "vertebra", "wall", "cervix",
+    // conditions & findings
+    "allergy", "anemia", "angina", "appendicitis", "arrhythmia", "arthritis", "asthma",
+    "bronchitis", "calcification", "cancer", "carcinoma", "cataract", "complication", "condition",
+    "cough", "cyst", "depression", "diabetes", "diagnosis", "discharge", "disease", "disorder",
+    "distress", "dizziness", "edema", "embolus", "emphysema", "failure", "fatigue", "fever",
+    "fibroid", "finding", "fracture", "gallstone", "gout", "headache", "hernia", "history",
+    "hypertension", "hypercholesterolemia", "hypothyroidism", "infection", "inflammation",
+    "injury", "lump", "malignancy", "mammogram", "metastasis", "migraine", "murmur", "nausea",
+    "obesity", "osteoporosis", "pain", "palpitation", "pneumonia", "prognosis", "rash", "reflux",
+    "seizure", "stenosis", "stroke", "swelling", "symptom", "syndrome", "tenderness", "thrombosis",
+    "tumor", "ulcer", "complaint", "adenopathy", "lymphadenopathy", "lesion", "abnormality",
+    // procedures
+    "amputation", "anesthesia", "appendectomy", "aspiration", "biopsy", "bypass", "catheter",
+    "cholecystectomy", "closure", "colonoscopy", "surgery", "delivery", "dissection", "excision",
+    "hysterectomy", "implant", "incision", "laminectomy", "lumpectomy", "mastectomy", "operation",
+    "procedure", "reconstruction", "removal", "repair", "replacement", "resection", "section",
+    "tonsillectomy", "transplant", "ultrasound", "radiation", "chemotherapy", "therapy",
+    "grafting", "stapling", "dimpling", "synthroid", "calcium", "carbonate",
+    "transfusion", "vasectomy", "angioplasty", "arthroscopy", "augmentation", "reduction",
+    // medications & substances
+    "alcohol", "aspirin", "cigarette", "dose", "drug", "insulin", "marijuana", "medication",
+    "pill", "tobacco", "vitamin", "penicillin", "latex", "statin", "tablet",
+    // social / gyn
+    "menarche", "pregnancy", "abortion", "miscarriage", "smoking", "use", "behavior", "habit",
+    "occupation", "retirement", "exercise", "diet",
+];
+
+/// Verb lemmas.
+pub const VERBS: &[&str] = &[
+    "admit", "advise", "agree", "appear", "apply", "ask", "be", "become", "begin", "believe",
+    "breathe", "bring", "call", "care", "carry", "change", "check", "choose", "come", "complain",
+    "complete", "confirm", "consider", "consult", "continue", "deny", "describe", "develop",
+    "diagnose", "discontinue", "discuss", "do", "drink", "drive", "eat", "evaluate", "exercise",
+    "expect", "experience", "feel", "find", "follow", "get", "give", "go", "have", "hear", "help",
+    "hold", "hurt", "improve", "include", "increase", "indicate", "keep", "know", "last", "lead",
+    "leave", "like", "live", "look", "lose", "make", "manage", "mean", "measure", "meet", "need",
+    "note", "notice", "obtain", "occur", "order", "palpate", "perform", "persist", "plan",
+    "present", "quit", "radiate", "read", "recommend", "refer", "relate", "remain", "remove",
+    "report", "request", "require", "resolve", "return", "reveal", "review", "run", "say", "see",
+    "seem", "send", "show", "smoke", "speak", "start", "state", "stay", "stop", "suffer",
+    "suggest", "take", "tell", "think", "tolerate", "treat", "try", "undergo", "use", "visit",
+    "wait", "want", "weigh", "work", "worry", "list", "schedule", "screen", "examine", "palpable",
+    "biopsy", "operate", "prescribe", "resect", "excise",
+];
+
+/// Adjective lemmas.
+pub const ADJECTIVES: &[&str] = &[
+    "abnormal", "active", "acute", "additional", "alert", "anterior", "apparent", "asymptomatic",
+    "available", "benign", "bilateral", "big", "bloody", "brief", "cardiac", "cervical", "chief",
+    "chronic", "clear", "clinical", "comfortable", "common", "complete", "congestive", "consistent",
+    "coronary", "current", "daily", "deep", "dense", "diabetic", "different", "difficult",
+    "dominant", "early", "elderly", "essential", "familial", "far", "fine", "firm", "former",
+    "free", "frequent", "full", "further", "general", "good", "great", "happy", "hard", "healthy",
+    "heavy", "high", "important", "initial", "intact", "invasive", "large", "last", "late",
+    "lateral", "left", "little", "live", "long", "low", "lower", "major", "malignant", "maternal",
+    "medical", "mild", "minor", "moderate", "much", "multiple", "negative", "new", "next",
+    "nontender", "normal", "obese", "occasional", "old", "only", "open", "other", "overweight",
+    "palpable", "past", "paternal", "physical", "positive", "possible", "posterior", "postoperative",
+    "pregnant", "present", "previous", "prior", "recent", "regular", "remarkable", "remote",
+    "right", "routine", "severe", "short", "significant", "similar", "simple", "small", "social", "transient",
+    "soft", "solid", "stable", "strong", "supraclavicular", "surgical", "symmetric", "systolic",
+    "diastolic", "tender", "thin", "total", "true", "unremarkable", "upper", "usual", "visible",
+    "warm", "weekly", "well", "whole", "wide", "young", "numeric", "screening", "solitary",
+    "midline", "axillary", "inferior", "superior", "mammographic", "fibrocystic", "ductal",
+    "lobular", "menstrual", "annual", "yearly",
+];
+
+/// Adverb lemmas.
+pub const ADVERBS: &[&str] = &[
+    "about", "ago", "again", "almost", "already", "also", "always", "anteriorly", "approximately",
+    "bilaterally", "carefully", "clearly", "clinically", "currently", "daily", "essentially",
+    "ever", "exactly", "extremely", "fairly", "frequently", "generally", "here", "home", "however",
+    "immediately", "just", "largely", "lately", "likely", "mainly", "maybe", "mildly", "mostly",
+    "never", "nearly", "now", "occasionally", "often", "once", "only", "originally", "otherwise",
+    "periodically", "possibly", "posteriorly", "presently", "previously", "probably", "quite",
+    "rarely", "really", "recently", "regularly", "significantly", "slightly", "socially",
+    "sometimes", "somewhat", "soon", "still", "then", "there", "today", "together", "too",
+    "twice", "typically", "usually", "very", "weekly", "well", "yet", "yesterday",
+];
+
+fn set(words: &'static [&'static str], cell: &'static OnceLock<HashSet<&'static str>>) -> &'static HashSet<&'static str> {
+    cell.get_or_init(|| words.iter().copied().collect())
+}
+
+static NOUN_SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+static VERB_SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+static ADJ_SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+static ADV_SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+
+/// True when `word` (lower-case) is a known noun lemma.
+pub fn is_known_noun(word: &str) -> bool {
+    set(NOUNS, &NOUN_SET).contains(word)
+}
+
+/// True when `word` (lower-case) is a known verb lemma.
+pub fn is_known_verb(word: &str) -> bool {
+    set(VERBS, &VERB_SET).contains(word)
+}
+
+/// True when `word` (lower-case) is a known adjective lemma.
+pub fn is_known_adjective(word: &str) -> bool {
+    set(ADJECTIVES, &ADJ_SET).contains(word)
+}
+
+/// True when `word` (lower-case) is a known adverb lemma.
+pub fn is_known_adverb(word: &str) -> bool {
+    set(ADVERBS, &ADV_SET).contains(word)
+}
+
+/// True when `word` is a known lemma of any open class.
+pub fn is_known_lemma(word: &str) -> bool {
+    is_known_noun(word) || is_known_verb(word) || is_known_adjective(word) || is_known_adverb(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership() {
+        assert!(is_known_noun("pressure"));
+        assert!(is_known_noun("cholecystectomy"));
+        assert!(is_known_verb("deny"));
+        assert!(is_known_adjective("postoperative"));
+        assert!(is_known_adverb("currently"));
+        assert!(!is_known_noun("zzz"));
+    }
+
+    #[test]
+    fn lists_are_lowercase_lemmas() {
+        for list in [NOUNS, VERBS, ADJECTIVES, ADVERBS] {
+            for w in list {
+                assert_eq!(*w, w.to_lowercase(), "{w} must be lowercase");
+                assert!(!w.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn any_class_lookup() {
+        assert!(is_known_lemma("smoke"));
+        assert!(is_known_lemma("never"));
+        assert!(!is_known_lemma("qqq"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Property tests: inflection and lemmatization are mutually consistent.
+
+use cmr_lexicon::*;
+use proptest::prelude::*;
+
+/// Strategy over the known verb lemmas.
+fn any_verb() -> impl Strategy<Value = &'static str> {
+    proptest::sample::select(VERBS)
+}
+
+fn any_noun() -> impl Strategy<Value = &'static str> {
+    proptest::sample::select(NOUNS)
+}
+
+proptest! {
+    /// Lemmatizing any generated verb inflection returns the lemma.
+    #[test]
+    fn verb_inflections_roundtrip(lemma in any_verb()) {
+        let l = Lemmatizer::new();
+        for form in [verb_past(lemma), verb_3sg(lemma), verb_gerund(lemma), verb_past_participle(lemma)] {
+            let back = l.lemma(&form, WordClass::Verb);
+            prop_assert_eq!(back.as_str(), lemma, "form {} of {}", form, lemma);
+        }
+    }
+
+    /// Lemmatizing any generated noun plural returns the lemma.
+    #[test]
+    fn noun_plural_roundtrip(lemma in any_noun()) {
+        let l = Lemmatizer::new();
+        let plural = noun_plural(lemma);
+        prop_assert_eq!(l.lemma(&plural, WordClass::Noun), lemma, "plural {}", plural);
+    }
+
+    /// Lemmatization is idempotent.
+    #[test]
+    fn lemma_idempotent(w in "[a-z]{1,12}") {
+        let l = Lemmatizer::new();
+        let once = l.lemma_any(&w);
+        let twice = l.lemma_any(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Lemmatization never panics and never returns empty on arbitrary input.
+    #[test]
+    fn lemma_total(w in "[ -~]{0,20}") {
+        let l = Lemmatizer::new();
+        let out = l.lemma_any(&w);
+        prop_assert_eq!(out.is_empty(), w.is_empty());
+    }
+
+    /// variants() always contains the lemma itself.
+    #[test]
+    fn variants_contain_lemma(w in "[a-z]{2,12}") {
+        let v = variants(&w);
+        prop_assert!(v.contains(&w));
+    }
+}

@@ -1,0 +1,225 @@
+//! Sentence constituents derived from a linkage.
+//!
+//! The paper's categorical feature extraction (§3.3) lets the user restrict
+//! features to "sentence constituents: subject, verb, object, and
+//! supplement". The original system read these off the Link Grammar
+//! constituent tree; here they are derived directly from the linkage:
+//!
+//! * the **verb** group is the finite verb reached by the `S` link plus its
+//!   auxiliary chain (`T`, `I`, `Pg` between verbs) and negation adverbs;
+//! * the **subject** is the `S` link's left subtree;
+//! * the **object** is the subtree under the verb group's `O`/`P`/`Pv`/`Pg`
+//!   links;
+//! * the **supplement** is everything else the verb group governs (`MV`,
+//!   `TO`, …) plus any material not otherwise assigned (for nominal
+//!   fragments, the whole fragment is supplement).
+
+use crate::linkage::Linkage;
+
+/// Token-index sets for the four constituents of a sentence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Constituents {
+    /// Token indices of the subject constituent.
+    pub subject: Vec<usize>,
+    /// Token indices of the verb group.
+    pub verb: Vec<usize>,
+    /// Token indices of the object constituent.
+    pub object: Vec<usize>,
+    /// Token indices of supplements (everything governed by the verb that is
+    /// not subject/object, or the whole fragment when there is no verb).
+    pub supplement: Vec<usize>,
+}
+
+impl Constituents {
+    /// All constituent token indices in one vector (no duplicates).
+    pub fn all(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .subject
+            .iter()
+            .chain(&self.verb)
+            .chain(&self.object)
+            .chain(&self.supplement)
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+impl Linkage {
+    /// Splits the sentence into constituents. See the module docs for the
+    /// derivation rules.
+    pub fn constituents(&self) -> Constituents {
+        let n = self.words.len();
+        let mut adj: Vec<Vec<(usize, &str)>> = vec![Vec::new(); n];
+        for l in &self.links {
+            adj[l.left].push((l.right, l.label.as_str()));
+            adj[l.right].push((l.left, l.label.as_str()));
+        }
+        let base = |label: &str| -> String {
+            label.chars().take_while(|c| c.is_ascii_uppercase()).collect()
+        };
+
+        // Find the S link: subject head on the left, finite verb on the right.
+        let s_link = self.links.iter().find(|l| base(&l.label) == "S");
+        let Some(s_link) = s_link else {
+            // Fragment: everything (except the wall) is supplement.
+            let supplement = (0..n).filter_map(|w| self.token_map[w]).collect();
+            return Constituents {
+                supplement,
+                ..Constituents::default()
+            };
+        };
+        let subj_head = s_link.left;
+        let mut verb_head = s_link.right;
+
+        // Verb group: follow the auxiliary/complement chain (T, I, Pg — so
+        // "quit smoking" is one verb group) and collect pre/post verbal
+        // adverbs (E, EB, N).
+        let mut verb_group = vec![verb_head];
+        loop {
+            let next = adj[verb_head]
+                .iter()
+                .find(|(w, lbl)| {
+                    *w > verb_head
+                        && (matches!(base(lbl).as_str(), "T" | "I") || lbl.starts_with("Pg"))
+                })
+                .map(|(w, _)| *w);
+            match next {
+                Some(w) => {
+                    verb_group.push(w);
+                    verb_head = w;
+                }
+                None => break,
+            }
+        }
+        for &v in verb_group.clone().iter() {
+            for (w, lbl) in &adj[v] {
+                if matches!(base(lbl).as_str(), "E" | "EB" | "N") && !verb_group.contains(w) {
+                    verb_group.push(*w);
+                }
+            }
+        }
+
+        // Subject subtree: everything reachable from the subject head
+        // without crossing the S link or the wall.
+        let subject = self.subtree(&adj, subj_head, &[s_link.right, 0]);
+
+        // Object subtree: complement links from any verb-group word.
+        let mut object = Vec::new();
+        let mut obj_heads = Vec::new();
+        for &v in &verb_group {
+            for (w, lbl) in &adj[v] {
+                let complement = base(lbl) == "O" || (base(lbl) == "P" && !lbl.starts_with("Pg"));
+                if *w > v && complement && !verb_group.contains(w) {
+                    obj_heads.push((*w, v));
+                }
+            }
+        }
+        for (head, from) in &obj_heads {
+            for w in self.subtree(&adj, *head, &[*from]) {
+                if !object.contains(&w) {
+                    object.push(w);
+                }
+            }
+        }
+
+        // Supplement: all remaining non-wall words.
+        let mut assigned: Vec<usize> = Vec::new();
+        let to_tokens = |words: &[usize]| -> Vec<usize> {
+            let mut v: Vec<usize> = words.iter().filter_map(|&w| self.token_map[w]).collect();
+            v.sort_unstable();
+            v
+        };
+        let subject_w = subject;
+        let object_w = object;
+        assigned.extend(&subject_w);
+        assigned.extend(&verb_group);
+        assigned.extend(&object_w);
+        let supplement_w: Vec<usize> = (1..n).filter(|w| !assigned.contains(w)).collect();
+
+        Constituents {
+            subject: to_tokens(&subject_w),
+            verb: to_tokens(&verb_group),
+            object: to_tokens(&object_w),
+            supplement: to_tokens(&supplement_w),
+        }
+    }
+
+    /// Words reachable from `start` without visiting any of `banned`.
+    fn subtree(&self, adj: &[Vec<(usize, &str)>], start: usize, banned: &[usize]) -> Vec<usize> {
+        let mut seen = vec![start];
+        let mut stack = vec![start];
+        while let Some(x) = stack.pop() {
+            for &(y, _) in &adj[x] {
+                if !seen.contains(&y) && !banned.contains(&y) {
+                    seen.push(y);
+                    stack.push(y);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::LinkParser;
+
+    fn words(text: &str, idxs: &[usize]) -> Vec<String> {
+        let toks = cmr_text::tokenize(text);
+        idxs.iter().map(|&i| toks[i].text.clone()).collect()
+    }
+
+    #[test]
+    fn simple_svo() {
+        let l = LinkParser::new().parse_sentence("She denies alcohol use.").expect("parses");
+        let c = l.constituents();
+        let text = "She denies alcohol use.";
+        assert_eq!(words(text, &c.subject), vec!["She"]);
+        assert_eq!(words(text, &c.verb), vec!["denies"]);
+        assert!(words(text, &c.object).contains(&"use".to_string()));
+    }
+
+    #[test]
+    fn verb_group_includes_auxiliaries_and_negation() {
+        let text = "She has never smoked.";
+        let l = LinkParser::new().parse_sentence(text).expect("parses");
+        let c = l.constituents();
+        let vg = words(text, &c.verb);
+        assert!(vg.contains(&"has".to_string()), "{vg:?}");
+        assert!(vg.contains(&"smoked".to_string()), "{vg:?}");
+        assert!(vg.contains(&"never".to_string()), "{vg:?}");
+    }
+
+    #[test]
+    fn supplement_collects_adjuncts() {
+        let text = "She quit smoking five years ago.";
+        let l = LinkParser::new().parse_sentence(text).expect("parses");
+        let c = l.constituents();
+        let sup = words(text, &c.supplement);
+        assert!(sup.contains(&"ago".to_string()), "{sup:?}");
+    }
+
+    #[test]
+    fn fragment_is_all_supplement() {
+        let text = "Menarche at age 10.";
+        let l = LinkParser::new().parse_sentence(text).expect("parses");
+        let c = l.constituents();
+        assert!(c.subject.is_empty());
+        assert!(c.verb.is_empty());
+        assert_eq!(c.supplement.len(), 4, "{c:?}");
+    }
+
+    #[test]
+    fn all_union_has_no_duplicates() {
+        let text = "She is currently a smoker.";
+        let l = LinkParser::new().parse_sentence(text).expect("parses");
+        let c = l.constituents();
+        let all = c.all();
+        let mut dedup = all.clone();
+        dedup.dedup();
+        assert_eq!(all, dedup);
+    }
+}

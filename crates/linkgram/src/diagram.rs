@@ -1,0 +1,166 @@
+//! ASCII linkage diagrams in the style of the original Link Grammar parser
+//! (the paper's Figure 1).
+//!
+//! ```text
+//!     +-------Ss------+---O---+
+//!     +--AN--+        |       |
+//!     |      |        |       |
+//! Blood  pressure    is    144/90
+//! ```
+
+use crate::linkage::Linkage;
+
+impl Linkage {
+    /// Renders the linkage as an ASCII diagram. Words sit on the bottom
+    /// line; each link is drawn as `+--LABEL--+` at a height one above the
+    /// tallest link nested inside it.
+    pub fn diagram(&self) -> String {
+        if self.links.is_empty() {
+            return self.words.join("  ");
+        }
+        // Column layout: center of each word.
+        let mut starts = Vec::with_capacity(self.words.len());
+        let mut col = 0usize;
+        for w in &self.words {
+            starts.push(col);
+            col += w.chars().count() + 2;
+        }
+        let total_width = col.saturating_sub(2);
+        let center = |i: usize| starts[i] + self.words[i].chars().count() / 2;
+
+        // Height: 1 + max height of links strictly inside this one.
+        let mut order: Vec<usize> = (0..self.links.len()).collect();
+        order.sort_by_key(|&i| self.links[i].right - self.links[i].left);
+        let mut heights = vec![0usize; self.links.len()];
+        for &i in &order {
+            let (a, b) = (self.links[i].left, self.links[i].right);
+            let mut h = 1;
+            for (j, l) in self.links.iter().enumerate() {
+                if j != i && a <= l.left && l.right <= b && (l.left, l.right) != (a, b) {
+                    h = h.max(heights[j] + 1);
+                }
+            }
+            // Same-span links (rare) stack too.
+            for (j, l) in self.links.iter().enumerate() {
+                if j < i && (l.left, l.right) == (a, b) {
+                    h = h.max(heights[j] + 1);
+                }
+            }
+            heights[i] = h;
+        }
+        let max_h = heights.iter().copied().max().unwrap_or(1);
+
+        // Canvas rows: max_h link rows + 1 pillar row + 1 word row.
+        let mut canvas = vec![vec![' '; total_width + 2]; max_h + 1];
+        for (i, link) in self.links.iter().enumerate() {
+            let row = max_h - heights[i];
+            let (ca, cb) = (center(link.left), center(link.right));
+            canvas[row][ca] = '+';
+            canvas[row][cb] = '+';
+            for cell in canvas[row].iter_mut().take(cb).skip(ca + 1) {
+                *cell = '-';
+            }
+            // Label in the middle of the dashes.
+            let label: Vec<char> = link.label.chars().collect();
+            if cb > ca + label.len() + 1 {
+                let lstart = ca + 1 + (cb - ca - 1 - label.len()) / 2;
+                for (k, ch) in label.iter().enumerate() {
+                    canvas[row][lstart + k] = *ch;
+                }
+            }
+            // Pillars from just below the link down to the word row.
+            for r in canvas.iter_mut().take(max_h + 1).skip(row + 1) {
+                for c in [ca, cb] {
+                    if r[c] == ' ' {
+                        r[c] = '|';
+                    }
+                }
+            }
+        }
+
+        let mut out = String::new();
+        for row in canvas {
+            let line: String = row.into_iter().collect();
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        // Word row.
+        let mut word_row = String::new();
+        for (i, w) in self.words.iter().enumerate() {
+            while word_row.chars().count() < starts[i] {
+                word_row.push(' ');
+            }
+            word_row.push_str(w);
+        }
+        out.push_str(&word_row);
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::linkage::{Link, Linkage};
+
+    fn sample() -> Linkage {
+        Linkage {
+            words: vec![
+                "LEFT-WALL".into(),
+                "Blood".into(),
+                "pressure".into(),
+                "is".into(),
+                "144/90".into(),
+            ],
+            token_map: vec![None, Some(0), Some(1), Some(2), Some(3)],
+            links: vec![
+                Link { left: 0, right: 2, label: "Wd".into() },
+                Link { left: 1, right: 2, label: "AN".into() },
+                Link { left: 2, right: 3, label: "Ss".into() },
+                Link { left: 3, right: 4, label: "O".into() },
+            ],
+            cost: 0.0,
+        }
+    }
+
+    #[test]
+    fn contains_all_words_and_labels() {
+        let d = sample().diagram();
+        for w in ["LEFT-WALL", "Blood", "pressure", "is", "144/90"] {
+            assert!(d.contains(w), "{d}");
+        }
+        for l in ["Wd", "AN", "Ss", "O"] {
+            assert!(d.contains(l), "label {l} missing in\n{d}");
+        }
+    }
+
+    #[test]
+    fn has_corners_and_pillars() {
+        let d = sample().diagram();
+        assert!(d.contains('+'));
+        assert!(d.contains('|'));
+        assert!(d.contains('-'));
+    }
+
+    #[test]
+    fn empty_linkage_is_just_words() {
+        let l = Linkage {
+            words: vec!["a".into(), "b".into()],
+            token_map: vec![Some(0), Some(1)],
+            links: vec![],
+            cost: 0.0,
+        };
+        assert_eq!(l.diagram(), "a  b");
+    }
+
+    #[test]
+    fn rows_do_not_panic_on_long_labels() {
+        let l = Linkage {
+            words: vec!["a".into(), "b".into()],
+            token_map: vec![Some(0), Some(1)],
+            links: vec![Link { left: 0, right: 1, label: "VERYLONGLABEL".into() }],
+            cost: 0.0,
+        };
+        let d = l.diagram();
+        assert!(d.contains('+'));
+    }
+}

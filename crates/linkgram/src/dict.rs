@@ -1,0 +1,424 @@
+//! The link grammar dictionary for clinical dictation English.
+//!
+//! Words are assigned *classes*; each class has one expression. Assignment
+//! is two-staged, which is how the parser stays open-vocabulary without a
+//! 60k-word dictionary:
+//!
+//! 1. an explicit word table covers the closed class (determiners,
+//!    prepositions, auxiliaries, conjunctions, …);
+//! 2. any other word falls back to a generic class chosen by its POS tag
+//!    (the same role the UNKNOWN-WORD device plays in the original parser).
+//!
+//! Connector inventory (a pragmatic subset of Sleator & Temperley's):
+//!
+//! | link | meaning                                   |
+//! |------|-------------------------------------------|
+//! | `Wd` | wall → head of a declarative sentence     |
+//! | `Wn` | wall → head of a nominal fragment         |
+//! | `S`  | subject noun → finite verb (`Ss`/`Sp`)    |
+//! | `O`  | verb → object noun                        |
+//! | `D`  | determiner → noun                         |
+//! | `A`  | attributive adjective → noun              |
+//! | `AN` | noun modifier → head noun (compounds)     |
+//! | `NM` | head noun → trailing number ("age 10")    |
+//! | `M`  | noun → postnominal modifier (preposition) |
+//! | `MV` | verb → post-verbal modifier               |
+//! | `J`  | preposition → its object                  |
+//! | `JT` | time noun → "ago"                         |
+//! | `P`  | be → predicative adjective                |
+//! | `Pv` | be → passive participle                   |
+//! | `Pg` | verb → gerund complement                  |
+//! | `T`  | have → past participle                    |
+//! | `I`  | modal/to → infinitive                     |
+//! | `TO` | verb → infinitival "to"                   |
+//! | `E`  | pre-verbal adverb → verb                  |
+//! | `EB` | be → post-copular adverb                  |
+//! | `EA` | adverb → adjective                        |
+//! | `R`  | noun → relative pronoun                   |
+//! | `MX` | head → coordinator ("and", ",")           |
+//! | `N`  | "not" after auxiliary                     |
+
+use crate::expr::{expand, parse_expr, Disjunct};
+use cmr_postag::{Tag, TaggedToken};
+use std::collections::HashMap;
+
+/// Maximum disjuncts one class expression may expand to.
+const EXPANSION_CAP: usize = 100_000;
+
+/// Generic class expressions, selected by POS tag for words not in the word
+/// table.
+const CLASS_DEFS: &[(&str, &str)] = &[
+    // The wall starts every parse: declarative sentence head, or (at a cost)
+    // the head noun of a nominal fragment.
+    ("LEFT-WALL", "Wd+ or [Wn+]"),
+    // Nouns. Role alternatives: subject (with optional wall), fragment head,
+    // object, prepositional object, time-phrase head, compound modifier.
+    // Coordination (MX) may sit closer or farther than the role connector.
+    (
+        "noun-sg",
+        "{@AN-} & {@A-} & {D-} & {NM+} & {R+} & {@M+} & {@MX+} & \
+         (({Wd-} & Ss+) or [Wn-] or O- or J- or [JT+] or AN+) & {@MX+}",
+    ),
+    (
+        "noun-pl",
+        "{@AN-} & {@A-} & {D-} & {NM+} & {R+} & {@M+} & {@MX+} & \
+         (({Wd-} & Sp+) or [Wn-] or O- or J- or [JT+] or AN+) & {@MX+}",
+    ),
+    // Numbers: determiner of a unit noun, trailing numeric modifier, or a
+    // full nominal (object/prepositional object/fragment head).
+    (
+        "number",
+        "(D+ or NM- or ({NM+} & {@MX+} & (O- or J- or [Wn-] or ({Wd-} & Ss+)) & {@MX+}))",
+    ),
+    // Finite verbs.
+    (
+        "verb-z",
+        "{@E-} & Ss- & {O+ or Pg+ or TO+} & {@MV+}",
+    ),
+    (
+        "verb-p",
+        "{@E-} & Sp- & {O+ or Pg+ or TO+} & {@MV+}",
+    ),
+    (
+        "verb-d",
+        "{@E-} & S- & {O+ or Pg+ or TO+} & {@MV+}",
+    ),
+    // Base verb after modal/to.
+    ("verb-base", "{@E-} & I- & {O+ or Pg+ or TO+} & {@MV+}"),
+    // Gerund: complement of a verb, or nominal subject/object; takes its own
+    // object and modifiers.
+    // The bare-object reading ([O-]) is costed so that a gerund after a
+    // verb prefers the Pg complement analysis ("quit smoking").
+    (
+        "verb-g",
+        "{@E-} & (Pg- or ({Wd-} & Ss+) or [Wn-] or [O-] or J- or [A+]) & {O+} & {@MV+}",
+    ),
+    // Past participle: after have (T), passive after be (Pv), or (costly)
+    // prenominal adjective reading.
+    (
+        "verb-n",
+        "({@E-} & (T- or Pv-) & {O+ or Pg+ or TO+} & {@MV+}) or [A+]",
+    ),
+    // Adjectives: attributive, or predicative after be/feel.
+    ("adj", "{@EA-} & (A+ or (P- & {@MV+} & {TO+}) or ([Wn-] & {@MV+}))"),
+    // Adverbs.
+    ("adv", "E+ or MV- or EB- or EA+ or [Wn-]"),
+    // Prepositions.
+    ("prep", "(M- or MV- or [Wn-]) & J+"),
+    // Determiners & possessives.
+    ("det", "D+"),
+    // Pronouns (subject/object).
+    ("pron", "({Wd-} & (Ss+ or Sp+)) or O- or J-"),
+    // Coordinators: attach leftward to the first conjunct head, take the
+    // next conjunct as object. A comma may instead glue onto a following
+    // "and" (the Oxford comma in ", and weight of 154 pounds").
+    ("coord", "({XC-} & MX- & (J+ or [MV+])) or XC+"),
+    // Relative pronouns: modify a noun, act as subject of the relative verb.
+    ("rel", "R- & (Ss+ or Sp+)"),
+    // Modals.
+    ("modal", "{@E-} & S- & I+ & {@MV+}"),
+    // Infinitival "to".
+    ("to", "(TO- or MV- or M-) & I+"),
+    // "not"/"never" directly after an auxiliary are handled as E+ adverbs by
+    // the adv class; "n't" sticks to the auxiliary (N).
+    ("neg", "N- or E+ or EB-"),
+    // "ago": takes the time noun phrase on its left, optionally modifying a
+    // verb (in fragments there is none to modify).
+    ("ago", "JT- & {MV- or [Wn-]}"),
+    // be/have/do get dedicated classes.
+    (
+        "be-z",
+        "{@E-} & Ss- & {EB+} & (O+ or P+ or Pv+ or Pg+ or MV+ or TO+) & {@MV+} & {N+}",
+    ),
+    (
+        "be-p",
+        "{@E-} & Sp- & {EB+} & (O+ or P+ or Pv+ or Pg+ or MV+ or TO+) & {@MV+} & {N+}",
+    ),
+    (
+        "be-d",
+        "{@E-} & S- & {EB+} & (O+ or P+ or Pv+ or Pg+ or MV+ or TO+) & {@MV+} & {N+}",
+    ),
+    // "be" after modal: "will be".
+    ("be-base", "I- & {EB+} & (O+ or P+ or Pv+ or Pg+) & {@MV+}"),
+    // been/being.
+    ("be-n", "T- & {EB+} & (O+ or P+ or Pv+ or Pg+) & {@MV+}"),
+    ("be-g", "Pg- & {EB+} & (O+ or P+ or Pv+) & {@MV+}"),
+    (
+        "have-z",
+        "{@E-} & Ss- & (T+ or O+ or TO+) & {@MV+} & {N+}",
+    ),
+    (
+        "have-p",
+        "{@E-} & Sp- & (T+ or O+ or TO+) & {@MV+} & {N+}",
+    ),
+    (
+        "have-d",
+        "{@E-} & S- & (T+ or O+ or TO+) & {@MV+} & {N+}",
+    ),
+    ("have-base", "I- & (T+ or O+) & {@MV+}"),
+    (
+        "do-z",
+        "{@E-} & Ss- & {N+} & {I+ or O+} & {@MV+}",
+    ),
+    (
+        "do-p",
+        "{@E-} & Sp- & {N+} & {I+ or O+} & {@MV+}",
+    ),
+    (
+        "do-d",
+        "{@E-} & S- & {N+} & {I+ or O+} & {@MV+}",
+    ),
+];
+
+/// Explicit word table: word → class name.
+const WORD_CLASSES: &[(&str, &str)] = &[
+    ("the", "det"),
+    ("a", "det"),
+    ("an", "det"),
+    ("this", "det"),
+    ("that", "det"),
+    ("these", "det"),
+    ("those", "det"),
+    ("no", "det"),
+    ("any", "det"),
+    ("some", "det"),
+    ("each", "det"),
+    ("every", "det"),
+    ("all", "det"),
+    ("both", "det"),
+    ("another", "det"),
+    ("her", "det"),
+    ("his", "det"),
+    ("their", "det"),
+    ("its", "det"),
+    ("my", "det"),
+    ("our", "det"),
+    ("your", "det"),
+    ("she", "pron"),
+    ("he", "pron"),
+    ("it", "pron"),
+    ("they", "pron"),
+    ("we", "pron"),
+    ("i", "pron"),
+    ("you", "pron"),
+    ("him", "pron"),
+    ("them", "pron"),
+    ("none", "pron"),
+    ("who", "rel"),
+    ("which", "rel"),
+    ("and", "coord"),
+    ("or", "coord"),
+    ("but", "coord"),
+    (",", "coord"),
+    ("of", "prep"),
+    ("in", "prep"),
+    ("on", "prep"),
+    ("at", "prep"),
+    ("by", "prep"),
+    ("for", "prep"),
+    ("with", "prep"),
+    ("without", "prep"),
+    ("from", "prep"),
+    ("into", "prep"),
+    ("during", "prep"),
+    ("after", "prep"),
+    ("before", "prep"),
+    ("since", "prep"),
+    ("until", "prep"),
+    ("about", "prep"),
+    ("per", "prep"),
+    ("between", "prep"),
+    ("over", "prep"),
+    ("under", "prep"),
+    ("within", "prep"),
+    ("through", "prep"),
+    ("to", "to"),
+    ("not", "neg"),
+    ("never", "adv"),
+    ("ago", "ago"),
+    ("is", "be-z"),
+    ("was", "be-d"),
+    ("are", "be-p"),
+    ("were", "be-d"),
+    ("am", "be-p"),
+    ("be", "be-base"),
+    ("been", "be-n"),
+    ("being", "be-g"),
+    ("has", "have-z"),
+    ("have", "have-p"),
+    ("had", "have-d"),
+    ("does", "do-z"),
+    ("do", "do-p"),
+    ("did", "do-d"),
+    ("will", "modal"),
+    ("would", "modal"),
+    ("can", "modal"),
+    ("could", "modal"),
+    ("may", "modal"),
+    ("might", "modal"),
+    ("should", "modal"),
+    ("must", "modal"),
+    ("shall", "modal"),
+];
+
+/// The compiled dictionary.
+#[derive(Debug, Clone)]
+pub struct Dictionary {
+    classes: HashMap<&'static str, Vec<Disjunct>>,
+    words: HashMap<&'static str, &'static str>,
+}
+
+impl Default for Dictionary {
+    fn default() -> Self {
+        Self::clinical_english()
+    }
+}
+
+impl Dictionary {
+    /// Builds the built-in clinical English dictionary.
+    ///
+    /// Panics if a built-in expression fails to parse — that is a bug in
+    /// this crate, covered by tests, not a runtime condition.
+    pub fn clinical_english() -> Dictionary {
+        let mut classes = HashMap::new();
+        for (name, text) in CLASS_DEFS {
+            let expr = parse_expr(text)
+                .unwrap_or_else(|e| panic!("built-in dictionary class {name}: {e}"));
+            classes.insert(*name, expand(&expr, EXPANSION_CAP));
+        }
+        let words = WORD_CLASSES.iter().copied().collect();
+        Dictionary { classes, words }
+    }
+
+    /// Disjuncts of the left wall.
+    pub fn wall(&self) -> &[Disjunct] {
+        self.classes
+            .get("LEFT-WALL")
+            .map(Vec::as_slice)
+            .expect("LEFT-WALL class exists")
+    }
+
+    /// The class key a token resolves to: the word itself when it is in the
+    /// explicit word table, otherwise the generic class of its POS tag.
+    /// Two token sequences with equal key sequences get identical disjunct
+    /// tables — which is what makes parse results cacheable across, e.g.,
+    /// the same vitals template with different numbers.
+    pub fn class_key(&self, tok: &TaggedToken) -> &'static str {
+        let lower = tok.lower();
+        if let Some((word, _)) = self.words.get_key_value(lower.as_str()) {
+            return word;
+        }
+        self.tag_class(tok.tag).unwrap_or("-")
+    }
+
+    fn tag_class(&self, tag: Tag) -> Option<&'static str> {
+        Some(match tag {
+            Tag::NN | Tag::NNP => "noun-sg",
+            Tag::NNS => "noun-pl",
+            Tag::CD => "number",
+            Tag::JJ | Tag::JJR | Tag::JJS => "adj",
+            Tag::VBZ => "verb-z",
+            Tag::VBP => "verb-p",
+            Tag::VB => "verb-base",
+            Tag::VBD => "verb-d",
+            Tag::VBG => "verb-g",
+            Tag::VBN => "verb-n",
+            Tag::RB | Tag::RBR | Tag::RBS => "adv",
+            Tag::IN => "prep",
+            Tag::DT | Tag::PRPS => "det",
+            Tag::PRP | Tag::EX => "pron",
+            Tag::CC => "coord",
+            Tag::MD => "modal",
+            Tag::TO => "to",
+            Tag::WP | Tag::WDT => "rel",
+            _ => return None,
+        })
+    }
+
+    /// Disjuncts for a word given its tagged form. Returns an empty slice
+    /// for words that cannot take part in a linkage (stray punctuation),
+    /// which makes the whole parse fail — the pattern fallback then runs, as
+    /// in the paper.
+    pub fn disjuncts(&self, tok: &TaggedToken) -> &[Disjunct] {
+        let lower = tok.lower();
+        if let Some(class) = self.words.get(lower.as_str()) {
+            return self.class(class);
+        }
+        match self.tag_class(tok.tag) {
+            Some(class) => self.class(class),
+            None => &[],
+        }
+    }
+
+    fn class(&self, name: &str) -> &[Disjunct] {
+        self.classes.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of classes (for diagnostics).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total compiled disjuncts across classes (for diagnostics).
+    pub fn disjunct_count(&self) -> usize {
+        self.classes.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmr_postag::PosTagger;
+    use cmr_text::tokenize;
+
+    #[test]
+    fn builds_without_panicking() {
+        let d = Dictionary::clinical_english();
+        assert!(d.class_count() > 20);
+        assert!(d.disjunct_count() > 100);
+    }
+
+    #[test]
+    fn wall_has_disjuncts() {
+        let d = Dictionary::clinical_english();
+        assert!(!d.wall().is_empty());
+    }
+
+    #[test]
+    fn word_table_beats_pos_fallback() {
+        let d = Dictionary::clinical_english();
+        let tagged = PosTagger::new().tag(&tokenize("of"));
+        let dis = d.disjuncts(&tagged[0]);
+        // prep: (M- or MV- or [Wn-]) & J+ → 3 disjuncts
+        assert_eq!(dis.len(), 3);
+        assert!(dis.iter().all(|x| x.right.iter().any(|c| c.base == "J")));
+    }
+
+    #[test]
+    fn unknown_nouns_get_generic_class() {
+        let d = Dictionary::clinical_english();
+        let tagged = PosTagger::new().tag(&tokenize("hydrochlorothiazide"));
+        assert!(!d.disjuncts(&tagged[0]).is_empty());
+    }
+
+    #[test]
+    fn stray_punctuation_has_no_disjuncts() {
+        let d = Dictionary::clinical_english();
+        let tagged = PosTagger::new().tag(&tokenize(":"));
+        assert!(d.disjuncts(&tagged[0]).is_empty());
+    }
+
+    #[test]
+    fn comma_is_a_coordinator() {
+        let d = Dictionary::clinical_english();
+        let tagged = PosTagger::new().tag(&tokenize(","));
+        assert!(!d.disjuncts(&tagged[0]).is_empty());
+    }
+
+    #[test]
+    fn expansion_sizes_are_sane() {
+        let d = Dictionary::clinical_english();
+        // No class should exceed a few thousand disjuncts.
+        assert!(d.disjunct_count() < 20_000, "total {}", d.disjunct_count());
+    }
+}

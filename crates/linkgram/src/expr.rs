@@ -1,0 +1,401 @@
+//! The dictionary expression language and its compilation to disjuncts.
+//!
+//! Grammar (same surface syntax as the original link grammar dictionaries):
+//!
+//! ```text
+//! expr   ::= term ( '&' term )* | term ( 'or' term )*
+//! term   ::= connector | '(' expr ')' | '{' expr '}' | '[' expr ']'
+//! ```
+//!
+//! `{e}` marks `e` optional, `[e]` adds a cost of 1 to every disjunct using
+//! `e`. `&` is ordered conjunction: connectors listed earlier attach *closer*
+//! to the word. An expression compiles to a set of [`Disjunct`]s by
+//! distributing `or` over `&`.
+
+use crate::connector::{Connector, Dir};
+use std::fmt;
+
+/// A parsed dictionary expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A single connector.
+    Conn(Connector),
+    /// Ordered conjunction: all parts required, in order.
+    And(Vec<Expr>),
+    /// Alternation: exactly one part.
+    Or(Vec<Expr>),
+    /// Optional sub-expression (`{e}`).
+    Opt(Box<Expr>),
+    /// Cost bracket (`[e]`): using `e` costs 1.
+    Cost(Box<Expr>),
+    /// The empty expression (no connectors required).
+    Empty,
+}
+
+/// One alternative a word may use in a parse: ordered left and right
+/// connector lists (nearest word first) and a cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Disjunct {
+    /// Left-pointing connectors, closest attachment first.
+    pub left: Vec<Connector>,
+    /// Right-pointing connectors, closest attachment first.
+    pub right: Vec<Connector>,
+    /// Cost of choosing this disjunct (sum of `[]` brackets).
+    pub cost: f64,
+}
+
+impl Disjunct {
+    /// The disjunct with no connectors.
+    pub fn empty() -> Disjunct {
+        Disjunct {
+            left: Vec::new(),
+            right: Vec::new(),
+            cost: 0.0,
+        }
+    }
+}
+
+impl fmt::Display for Disjunct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .left
+            .iter()
+            .chain(self.right.iter())
+            .map(|c| c.to_string())
+            .collect();
+        write!(f, "({})", parts.join(" "))
+    }
+}
+
+/// Error from expression parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expression parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an expression from dictionary text.
+pub fn parse_expr(text: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(ParseError {
+            message: format!("trailing input at token {}", p.pos),
+        });
+    }
+    Ok(e)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Conn(Connector),
+    And,
+    Or,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+}
+
+fn lex(text: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut out = Vec::new();
+    let mut it = text.split_whitespace().flat_map(split_punct);
+    it.try_for_each(|piece| {
+        let tok = match piece.as_str() {
+            "&" => Tok::And,
+            "or" => Tok::Or,
+            "(" => Tok::LParen,
+            ")" => Tok::RParen,
+            "{" => Tok::LBrace,
+            "}" => Tok::RBrace,
+            "[" => Tok::LBracket,
+            "]" => Tok::RBracket,
+            other => Tok::Conn(Connector::parse(other).ok_or_else(|| ParseError {
+                message: format!("bad connector `{other}`"),
+            })?),
+        };
+        out.push(tok);
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+/// Splits brackets/parens off words so `{O+}` lexes as `{`, `O+`, `}`.
+fn split_punct(word: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for ch in word.chars() {
+        match ch {
+            '(' | ')' | '{' | '}' | '[' | ']' | '&' => {
+                if !current.is_empty() {
+                    out.push(std::mem::take(&mut current));
+                }
+                out.push(ch.to_string());
+            }
+            _ => current.push(ch),
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let first = self.term()?;
+        match self.peek() {
+            Some(Tok::And) => {
+                let mut parts = vec![first];
+                while self.peek() == Some(&Tok::And) {
+                    self.pos += 1;
+                    parts.push(self.term()?);
+                }
+                Ok(Expr::And(parts))
+            }
+            Some(Tok::Or) => {
+                let mut parts = vec![first];
+                while self.peek() == Some(&Tok::Or) {
+                    self.pos += 1;
+                    parts.push(self.term()?);
+                }
+                Ok(Expr::Or(parts))
+            }
+            _ => Ok(first),
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Conn(c)) => {
+                self.pos += 1;
+                Ok(Expr::Conn(c))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::LBrace) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(Tok::RBrace)?;
+                Ok(Expr::Opt(Box::new(e)))
+            }
+            Some(Tok::LBracket) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(Tok::RBracket)?;
+                Ok(Expr::Cost(Box::new(e)))
+            }
+            other => Err(ParseError {
+                message: format!("unexpected token {other:?}"),
+            }),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
+        if self.peek() == Some(&tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError {
+                message: format!("expected {tok:?}, found {:?}", self.peek()),
+            })
+        }
+    }
+}
+
+/// A partially-built disjunct during expansion: an ordered connector
+/// sequence (mixed directions) and a cost.
+#[derive(Debug, Clone)]
+struct Partial {
+    seq: Vec<Connector>,
+    cost: f64,
+}
+
+/// Compiles an expression into its disjuncts.
+///
+/// Ordered conjunction concatenates connector sequences; alternation unions
+/// alternatives; options fork with/without; cost brackets add 1. The mixed
+/// sequence is then split by direction, *preserving order within each side*
+/// (closest-first for both, matching the dictionary convention used here).
+///
+/// `cap` bounds the number of alternatives to protect against exponential
+/// dictionaries; exceeding it is a dictionary bug and panics.
+pub fn expand(expr: &Expr, cap: usize) -> Vec<Disjunct> {
+    let partials = walk(expr, cap);
+    partials
+        .into_iter()
+        .map(|p| {
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            for c in p.seq {
+                match c.dir {
+                    Dir::Left => left.push(c),
+                    Dir::Right => right.push(c),
+                }
+            }
+            Disjunct {
+                left,
+                right,
+                cost: p.cost,
+            }
+        })
+        .collect()
+}
+
+fn walk(expr: &Expr, cap: usize) -> Vec<Partial> {
+    let out = match expr {
+        Expr::Empty => vec![Partial {
+            seq: Vec::new(),
+            cost: 0.0,
+        }],
+        Expr::Conn(c) => vec![Partial {
+            seq: vec![c.clone()],
+            cost: 0.0,
+        }],
+        Expr::And(parts) => {
+            let mut acc = vec![Partial {
+                seq: Vec::new(),
+                cost: 0.0,
+            }];
+            for part in parts {
+                let alts = walk(part, cap);
+                let mut next = Vec::with_capacity(acc.len() * alts.len());
+                for a in &acc {
+                    for b in &alts {
+                        let mut seq = a.seq.clone();
+                        seq.extend(b.seq.iter().cloned());
+                        next.push(Partial {
+                            seq,
+                            cost: a.cost + b.cost,
+                        });
+                    }
+                }
+                assert!(next.len() <= cap, "disjunct expansion exceeded cap {cap}");
+                acc = next;
+            }
+            acc
+        }
+        Expr::Or(parts) => {
+            let mut acc = Vec::new();
+            for part in parts {
+                acc.extend(walk(part, cap));
+            }
+            assert!(acc.len() <= cap, "disjunct expansion exceeded cap {cap}");
+            acc
+        }
+        Expr::Opt(inner) => {
+            let mut acc = vec![Partial {
+                seq: Vec::new(),
+                cost: 0.0,
+            }];
+            acc.extend(walk(inner, cap));
+            acc
+        }
+        Expr::Cost(inner) => {
+            let mut acc = walk(inner, cap);
+            for p in &mut acc {
+                p.cost += 1.0;
+            }
+            acc
+        }
+    };
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disjuncts(s: &str) -> Vec<Disjunct> {
+        expand(&parse_expr(s).expect("parse"), 100_000)
+    }
+
+    #[test]
+    fn single_connector() {
+        let d = disjuncts("O+");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].right.len(), 1);
+        assert!(d[0].left.is_empty());
+    }
+
+    #[test]
+    fn conjunction_orders_sides() {
+        let d = disjuncts("S- & O+ & MV+");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].left.len(), 1);
+        assert_eq!(d[0].right.iter().map(|c| c.base.as_str()).collect::<Vec<_>>(), ["O", "MV"]);
+    }
+
+    #[test]
+    fn alternation() {
+        let d = disjuncts("O+ or J- or S+");
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn option_doubles() {
+        let d = disjuncts("{D-} & S+");
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().any(|x| x.left.is_empty()));
+        assert!(d.iter().any(|x| x.left.len() == 1));
+    }
+
+    #[test]
+    fn cost_brackets() {
+        let d = disjuncts("[O+] or S+");
+        let costs: Vec<f64> = d.iter().map(|x| x.cost).collect();
+        assert!(costs.contains(&1.0));
+        assert!(costs.contains(&0.0));
+    }
+
+    #[test]
+    fn nested_groups() {
+        let d = disjuncts("(S- or O-) & {@MV+}");
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn no_whitespace_needed_around_braces() {
+        let d = disjuncts("{@A-}&{D-}&S+");
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_expr("O+ &").is_err());
+        assert!(parse_expr("{O+").is_err());
+        assert!(parse_expr("lower+").is_err());
+        assert!(parse_expr("O+ S+").is_err());
+    }
+
+    #[test]
+    fn realistic_noun_expression() {
+        let d = disjuncts("{@AN-} & {@A-} & {D-} & (S+ or O- or J-)");
+        // 2 * 2 * 2 * 3
+        assert_eq!(d.len(), 24);
+    }
+}

@@ -1,0 +1,246 @@
+//! Linkages: the parser's output, viewed as a weighted graph.
+//!
+//! §3.1 of the paper: "Suppose a node represents a word, and an edge
+//! represents a link. Then the linkage diagram of a valid sentence can be
+//! looked at as a connected graph. Furthermore, each edge can be weighted
+//! against the type of link according to the application. Thus, the shortest
+//! distance between any word pair can be calculated from the graph."
+
+use std::collections::HashMap;
+
+/// One link between two words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Link {
+    /// Index of the left word (0 is the LEFT-WALL).
+    pub left: usize,
+    /// Index of the right word.
+    pub right: usize,
+    /// Link label, e.g. `Ss`, `O`, `AN`.
+    pub label: String,
+}
+
+impl Link {
+    /// The uppercase base of the label (`Ss` → `S`).
+    pub fn base(&self) -> &str {
+        let end = self
+            .label
+            .find(|c: char| !c.is_ascii_uppercase())
+            .unwrap_or(self.label.len());
+        &self.label[..end]
+    }
+}
+
+/// Per-link-type edge weights for the shortest-distance computation.
+///
+/// The defaults encode the application-tuning the paper alludes to: links
+/// that carry the grammatical core of a measurement phrase (verb-object,
+/// preposition-object, number-modifier) are cheap; coordination and wall
+/// links are expensive, so distance does not leak across conjuncts.
+#[derive(Debug, Clone)]
+pub struct LinkWeights {
+    weights: HashMap<String, f64>,
+    default: f64,
+}
+
+impl Default for LinkWeights {
+    fn default() -> Self {
+        let mut weights = HashMap::new();
+        for (base, w) in [
+            ("O", 0.7),  // verb → object
+            ("P", 0.7),  // be → predicate
+            ("Pv", 0.7),
+            ("J", 0.6),  // preposition → object
+            ("M", 0.8),  // noun → modifier
+            ("NM", 0.4), // noun → trailing number ("age 10")
+            ("D", 0.5),  // determiner ("154 pounds")
+            ("S", 1.0),  // subject → verb
+            ("AN", 0.8), // compound
+            ("A", 0.9),
+            ("MV", 1.2),
+            ("JT", 0.8),
+            ("T", 1.0),
+            ("I", 1.0),
+            ("E", 1.2),
+            ("EB", 1.2),
+            ("EA", 1.2),
+            ("R", 1.5),
+            ("MX", 2.5), // coordination: keep conjuncts apart
+            ("W", 4.0),  // wall links: never a semantic path
+            ("Wd", 4.0),
+            ("Wn", 4.0),
+        ] {
+            weights.insert(base.to_string(), w);
+        }
+        LinkWeights {
+            weights,
+            default: 1.0,
+        }
+    }
+}
+
+impl LinkWeights {
+    /// Uniform weights: every link costs 1 (the unweighted-graph baseline).
+    pub fn uniform() -> LinkWeights {
+        LinkWeights {
+            weights: HashMap::new(),
+            default: 1.0,
+        }
+    }
+
+    /// Sets the weight for a link base, returning `self` for chaining.
+    pub fn with(mut self, base: &str, weight: f64) -> LinkWeights {
+        self.weights.insert(base.to_string(), weight);
+        self
+    }
+
+    /// Weight of a link label: exact label first, then its base, then the
+    /// default.
+    pub fn weight(&self, label: &str) -> f64 {
+        if let Some(w) = self.weights.get(label) {
+            return *w;
+        }
+        let base: String = label.chars().take_while(|c| c.is_ascii_uppercase()).collect();
+        self.weights.get(&base).copied().unwrap_or(self.default)
+    }
+}
+
+/// A complete linkage of a sentence.
+#[derive(Debug, Clone)]
+pub struct Linkage {
+    /// Words, index 0 being the LEFT-WALL.
+    pub words: Vec<String>,
+    /// Mapping from linkage word index to source token index (`None` for
+    /// the wall).
+    pub token_map: Vec<Option<usize>>,
+    /// The links, sorted by (left, right).
+    pub links: Vec<Link>,
+    /// Total parse cost (lower is a better parse).
+    pub cost: f64,
+}
+
+impl Linkage {
+    /// Number of words including the wall.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the linkage has no words (never produced by the parser).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The linkage word index for a source token index, if that token
+    /// participated in the parse.
+    pub fn word_of_token(&self, token_idx: usize) -> Option<usize> {
+        self.token_map.iter().position(|m| *m == Some(token_idx))
+    }
+
+    /// Single-source weighted shortest distances (Dijkstra) from `word` to
+    /// every word; `f64::INFINITY` marks unreachable nodes (cannot occur on
+    /// parser output, which is connected).
+    pub fn distances_from(&self, word: usize, weights: &LinkWeights) -> Vec<f64> {
+        let n = self.words.len();
+        let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for l in &self.links {
+            let w = weights.weight(&l.label);
+            adj[l.left].push((l.right, w));
+            adj[l.right].push((l.left, w));
+        }
+        let mut dist = vec![f64::INFINITY; n];
+        dist[word] = 0.0;
+        // Binary heap over ordered floats; n is tiny, so a simple O(n²)
+        // scan-based Dijkstra is clearer and plenty fast.
+        let mut done = vec![false; n];
+        for _ in 0..n {
+            let mut u = None;
+            let mut best = f64::INFINITY;
+            for (i, (&d, &fin)) in dist.iter().zip(done.iter()).enumerate() {
+                if !fin && d < best {
+                    best = d;
+                    u = Some(i);
+                }
+            }
+            let Some(u) = u else { break };
+            done[u] = true;
+            for &(v, w) in &adj[u] {
+                if dist[u] + w < dist[v] {
+                    dist[v] = dist[u] + w;
+                }
+            }
+        }
+        dist
+    }
+
+    /// Weighted shortest distance between two words.
+    pub fn distance(&self, a: usize, b: usize, weights: &LinkWeights) -> f64 {
+        self.distances_from(a, weights)[b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Linkage {
+        // LEFT-WALL  blood  pressure  is  144/90
+        //   wall-Wd->pressure, blood-AN-pressure, pressure-Ss-is, is-O-144/90
+        Linkage {
+            words: vec![
+                "LEFT-WALL".into(),
+                "Blood".into(),
+                "pressure".into(),
+                "is".into(),
+                "144/90".into(),
+            ],
+            token_map: vec![None, Some(0), Some(1), Some(2), Some(3)],
+            links: vec![
+                Link { left: 0, right: 2, label: "Wd".into() },
+                Link { left: 1, right: 2, label: "AN".into() },
+                Link { left: 2, right: 3, label: "Ss".into() },
+                Link { left: 3, right: 4, label: "O".into() },
+            ],
+            cost: 0.0,
+        }
+    }
+
+    #[test]
+    fn link_base() {
+        assert_eq!(Link { left: 0, right: 1, label: "Ss".into() }.base(), "S");
+        assert_eq!(Link { left: 0, right: 1, label: "MX".into() }.base(), "MX");
+    }
+
+    #[test]
+    fn weights_fall_back_to_base_then_default() {
+        let w = LinkWeights::default();
+        assert_eq!(w.weight("Ss"), 1.0, "base S");
+        assert_eq!(w.weight("O"), 0.7);
+        assert_eq!(w.weight("ZZZ"), 1.0, "default");
+        let w = w.with("Ss", 0.1);
+        assert_eq!(w.weight("Ss"), 0.1, "exact beats base");
+    }
+
+    #[test]
+    fn distances() {
+        let l = sample();
+        let w = LinkWeights::uniform();
+        assert_eq!(l.distance(2, 4, &w), 2.0, "pressure → is → 144/90");
+        assert_eq!(l.distance(1, 4, &w), 3.0);
+        assert_eq!(l.distance(2, 2, &w), 0.0);
+    }
+
+    #[test]
+    fn weighted_distances_differ() {
+        let l = sample();
+        let w = LinkWeights::default();
+        // pressure → is (Ss = 1.0) → 144/90 (O = 0.7)
+        assert!((l.distance(2, 4, &w) - 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn word_of_token_roundtrip() {
+        let l = sample();
+        assert_eq!(l.word_of_token(0), Some(1));
+        assert_eq!(l.word_of_token(3), Some(4));
+        assert_eq!(l.word_of_token(9), None);
+    }
+}

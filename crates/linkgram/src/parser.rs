@@ -1,0 +1,898 @@
+//! The link grammar parser.
+//!
+//! A memoized top-down region parser in the style of Sleator & Temperley's
+//! O(n³) algorithm. A *region* `(L, R, l, r)` is the span of words strictly
+//! between positions `L` and `R`, together with the still-unsatisfied
+//! right-pointing connectors `l` of `L` and left-pointing connectors `r` of
+//! `R` that must link into the region. Connector lists are kept
+//! **farthest-first** internally (dictionary syntax is nearest-first and is
+//! reversed at load): the head of `l` is the connector that links to the
+//! farthest (and therefore first-chosen) word `W`.
+//!
+//! The case split on each region is the classic one:
+//!
+//! * `l` non-empty → `W` is the word `l`'s head links to; `W`'s farthest
+//!   left connector must match it; `W` may additionally link to `R`.
+//! * `l` empty, `r` non-empty → `W` is the word `r`'s head links to, via
+//!   `W`'s farthest right connector.
+//! * both empty → the region must contain no words (anything inside would
+//!   be disconnected from the rest of the linkage).
+//!
+//! Planarity and connectivity are consequences of this decomposition, which
+//! is exactly the published argument. Costs are minimized instead of
+//! linkages counted: disjunct costs plus a small per-link length penalty, so
+//! the parser prefers close attachments.
+
+use crate::connector::Connector;
+use crate::dict::Dictionary;
+use crate::expr::Disjunct;
+use crate::linkage::{Link, Linkage};
+use cmr_postag::{PosTagger, TaggedToken};
+use cmr_text::tokenize;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Per-link length penalty: breaks cost ties toward close attachment
+/// without overriding whole-number disjunct costs.
+const LENGTH_PENALTY: f64 = 0.01;
+
+/// Hard limit on sentence length (words incl. wall); longer inputs fail the
+/// parse (and flow to the pattern fallback) rather than taking unbounded
+/// time.
+const MAX_WORDS: usize = 48;
+
+/// Maximum cached parse structures before the cache resets.
+const PARSE_CACHE_CAP: usize = 4096;
+
+/// The parser, holding a compiled [`Dictionary`] and a structure cache.
+///
+/// The cache exploits a structural fact: a linkage depends only on each
+/// word's *class key* (explicit word-table entry, or POS-tag class), never
+/// on open-vocabulary spellings or number values. Re-parsing "pulse of 84"
+/// after "pulse of 96" is a lookup. The cache makes the parser `!Sync`;
+/// clone it per thread instead (the dictionary is shared behavior, the
+/// cache mere memory).
+#[derive(Debug, Clone, Default)]
+pub struct LinkParser {
+    dict: Dictionary,
+    cache: std::cell::RefCell<HashMap<Vec<&'static str>, Option<CachedParse>>>,
+}
+
+#[derive(Debug, Clone)]
+struct CachedParse {
+    links: Rc<Vec<Link>>,
+    cost: f64,
+}
+
+impl LinkParser {
+    /// Creates a parser over the built-in clinical-English dictionary.
+    pub fn new() -> LinkParser {
+        LinkParser {
+            dict: Dictionary::clinical_english(),
+            cache: std::cell::RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Parses raw sentence text (tokenizing and tagging internally).
+    /// Returns `None` when no linkage exists — e.g. for fragments like
+    /// `"blood pressure: 144/90"`, matching the original parser's behaviour
+    /// that motivates the paper's pattern fallback.
+    pub fn parse_sentence(&self, text: &str) -> Option<Linkage> {
+        let tokens = tokenize(text);
+        let tagged = PosTagger::new().tag(&tokens);
+        self.parse(&tagged)
+    }
+
+    /// Parses a tagged token sequence.
+    pub fn parse(&self, tagged: &[TaggedToken]) -> Option<Linkage> {
+        // Strip sentence-final punctuation (it carries no connectors).
+        let mut end = tagged.len();
+        while end > 0 && tagged[end - 1].tag == cmr_postag::Tag::PUNCT {
+            end -= 1;
+        }
+        let tagged = &tagged[..end];
+        if tagged.is_empty() || tagged.len() + 1 > MAX_WORDS {
+            return None;
+        }
+
+        // Structure cache: identical class-key sequences share a linkage.
+        let signature: Vec<&'static str> =
+            tagged.iter().map(|t| self.dict.class_key(t)).collect();
+        if let Some(cached) = self.cache.borrow().get(&signature) {
+            return cached.as_ref().map(|c| self.rebuild(tagged, c));
+        }
+        let result = self.parse_uncached(tagged);
+        let mut cache = self.cache.borrow_mut();
+        // Bound the cache: corpora reuse a few dozen shapes; a pathological
+        // stream of distinct shapes must not grow memory without limit.
+        if cache.len() >= PARSE_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(
+            signature,
+            result.as_ref().map(|l| CachedParse {
+                links: Rc::new(l.links.clone()),
+                cost: l.cost,
+            }),
+        );
+        result
+    }
+
+    /// Reconstructs a linkage for `tagged` from a cached structure.
+    fn rebuild(&self, tagged: &[TaggedToken], cached: &CachedParse) -> Linkage {
+        let mut words = vec!["LEFT-WALL".to_string()];
+        words.extend(tagged.iter().map(|t| t.token.text.clone()));
+        let token_map: Vec<Option<usize>> =
+            std::iter::once(None).chain((0..tagged.len()).map(Some)).collect();
+        Linkage {
+            words,
+            token_map,
+            links: cached.links.as_ref().clone(),
+            cost: cached.cost,
+        }
+    }
+
+    fn parse_uncached(&self, tagged: &[TaggedToken]) -> Option<Linkage> {
+
+        // Word 0 is the LEFT-WALL; words 1..=n are the sentence tokens.
+        let mut disjuncts: Vec<Vec<Disjunct>> = Vec::with_capacity(tagged.len() + 1);
+        disjuncts.push(normalize(self.dict.wall()));
+        for t in tagged {
+            disjuncts.push(normalize(self.dict.disjuncts(t)));
+        }
+        prune(&mut disjuncts);
+        // A word with no surviving disjuncts can never link: fail fast.
+        if disjuncts.iter().any(Vec::is_empty) {
+            return None;
+        }
+
+        let n = disjuncts.len();
+        // Index disjuncts by the base of their farthest (head) connector on
+        // each side: the region split always matches that head first, so a
+        // lookup replaces a scan over every disjunct of W.
+        let by_left_head: Vec<HashMap<&str, Vec<u16>>> = disjuncts
+            .iter()
+            .map(|ds| {
+                let mut m: HashMap<&str, Vec<u16>> = HashMap::new();
+                for (i, d) in ds.iter().enumerate() {
+                    if let Some(c) = d.left.first() {
+                        m.entry(c.base.as_str()).or_default().push(i as u16);
+                    }
+                }
+                m
+            })
+            .collect();
+        let by_right_head: Vec<HashMap<&str, Vec<u16>>> = disjuncts
+            .iter()
+            .map(|ds| {
+                let mut m: HashMap<&str, Vec<u16>> = HashMap::new();
+                for (i, d) in ds.iter().enumerate() {
+                    if let Some(c) = d.right.first() {
+                        m.entry(c.base.as_str()).or_default().push(i as u16);
+                    }
+                }
+                m
+            })
+            .collect();
+        let mut ctx = Ctx {
+            disjuncts: &disjuncts,
+            by_left_head: &by_left_head,
+            by_right_head: &by_right_head,
+            memo: HashMap::default(),
+        };
+        // Top level: the wall's right connectors must cover the sentence;
+        // the virtual right boundary at index n has no connectors.
+        let mut best: Option<Sol> = None;
+        for (di, d) in disjuncts[0].iter().enumerate() {
+            if !d.left.is_empty() {
+                continue;
+            }
+            let lref = ctx.list(0, di, Side::Right, 0);
+            if let Some(sol) = ctx.best(0, n as u16, lref, ListRef::EMPTY) {
+                let total = Sol {
+                    cost: sol.cost + d.cost,
+                    links: sol.links.clone(),
+                };
+                if best.as_ref().map(|b| total.cost < b.cost).unwrap_or(true) {
+                    best = Some(total);
+                }
+            }
+        }
+        let sol = best?;
+        let mut links: Vec<Link> = Vec::new();
+        flatten(&sol.links, &mut links);
+        links.sort_by_key(|l| (l.left, l.right));
+        let mut words = vec!["LEFT-WALL".to_string()];
+        words.extend(tagged.iter().map(|t| t.token.text.clone()));
+        let token_map: Vec<Option<usize>> =
+            std::iter::once(None).chain((0..tagged.len()).map(Some)).collect();
+        Some(Linkage {
+            words,
+            token_map,
+            links,
+            cost: sol.cost,
+        })
+    }
+
+    /// Access the dictionary (diagnostics, tests).
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Drops all cached parse structures (benchmarking, memory pressure).
+    pub fn clear_cache(&self) {
+        self.cache.borrow_mut().clear();
+    }
+
+    /// Number of cached parse structures.
+    pub fn cache_len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Null-link parsing (the original parser's "panic mode"): when no
+    /// complete linkage exists, retry with up to `max_nulls` words left out
+    /// of the linkage. Returns the best linkage over the *kept* words plus
+    /// the token indices that went null. Fewer nulls always wins; ties break
+    /// on linkage cost.
+    ///
+    /// Complexity is `C(n, k)` parses, so keep `max_nulls` small (1–2).
+    pub fn parse_with_nulls(
+        &self,
+        tagged: &[TaggedToken],
+        max_nulls: usize,
+    ) -> Option<(Linkage, Vec<usize>)> {
+        if let Some(linkage) = self.parse(tagged) {
+            return Some((linkage, Vec::new()));
+        }
+        // Strip trailing punctuation once, as parse() does, so nulls are
+        // spent on real words.
+        let mut end = tagged.len();
+        while end > 0 && tagged[end - 1].tag == cmr_postag::Tag::PUNCT {
+            end -= 1;
+        }
+        let tagged = &tagged[..end];
+        let n = tagged.len();
+        for k in 1..=max_nulls.min(n.saturating_sub(1)) {
+            let mut best: Option<(Linkage, Vec<usize>)> = None;
+            let mut chosen = vec![0usize; k];
+            combinations(n, k, &mut chosen, 0, 0, &mut |nulls: &[usize]| {
+                let kept: Vec<TaggedToken> = tagged
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !nulls.contains(i))
+                    .map(|(_, t)| t.clone())
+                    .collect();
+                let kept_idx: Vec<usize> =
+                    (0..n).filter(|i| !nulls.contains(i)).collect();
+                if let Some(mut linkage) = self.parse(&kept) {
+                    // Remap token indices back to the original sequence.
+                    for t in linkage.token_map.iter_mut().flatten() {
+                        *t = kept_idx[*t];
+                    }
+                    if best
+                        .as_ref()
+                        .map(|(b, _)| linkage.cost < b.cost)
+                        .unwrap_or(true)
+                    {
+                        best = Some((linkage, nulls.to_vec()));
+                    }
+                }
+            });
+            if best.is_some() {
+                return best;
+            }
+        }
+        None
+    }
+}
+
+/// Enumerates k-combinations of `0..n` into `chosen`, invoking `f` on each.
+fn combinations(
+    n: usize,
+    k: usize,
+    chosen: &mut Vec<usize>,
+    depth: usize,
+    start: usize,
+    f: &mut impl FnMut(&[usize]),
+) {
+    if depth == k {
+        f(chosen);
+        return;
+    }
+    for i in start..n {
+        chosen[depth] = i;
+        combinations(n, k, chosen, depth + 1, i + 1, f);
+    }
+}
+
+/// Reverses each side so lists are farthest-first for the parser.
+fn normalize(ds: &[Disjunct]) -> Vec<Disjunct> {
+    ds.iter()
+        .map(|d| {
+            let mut nd = d.clone();
+            nd.left.reverse();
+            nd.right.reverse();
+            nd
+        })
+        .collect()
+}
+
+/// Iterative pruning: delete any disjunct with a connector that no word on
+/// the proper side could ever match. Runs to fixpoint; typically collapses
+/// the generic-class expansions by an order of magnitude.
+fn prune(disjuncts: &mut [Vec<Disjunct>]) {
+    // Capacity pruning: a word at position i has only i words to its left
+    // and (n-1-i) to its right; disjuncts demanding more can never
+    // complete. Then dedup identical connector shapes, keeping the
+    // cheapest.
+    let n = disjuncts.len();
+    for (i, ds) in disjuncts.iter_mut().enumerate() {
+        ds.retain(|d| d.left.len() <= i && d.right.len() <= n - 1 - i);
+        ds.sort_by(|a, b| {
+            (&a.left, &a.right)
+                .cmp(&(&b.left, &b.right))
+                .then(a.cost.total_cmp(&b.cost))
+        });
+        ds.dedup_by(|b, a| a.left == b.left && a.right == b.right);
+    }
+    loop {
+        // Unique right-pointing connectors available strictly left of each
+        // word, and left-pointing ones strictly right of it.
+        let n = disjuncts.len();
+        let mut right_avail: Vec<Vec<Connector>> = Vec::with_capacity(n);
+        let mut acc: Vec<Connector> = Vec::new();
+        for ds in disjuncts.iter() {
+            right_avail.push(acc.clone());
+            for d in ds {
+                for c in &d.right {
+                    if !acc.contains(c) {
+                        acc.push(c.clone());
+                    }
+                }
+            }
+        }
+        let mut left_avail: Vec<Vec<Connector>> = vec![Vec::new(); n];
+        let mut acc: Vec<Connector> = Vec::new();
+        for (i, ds) in disjuncts.iter().enumerate().rev() {
+            left_avail[i] = acc.clone();
+            for d in ds {
+                for c in &d.left {
+                    if !acc.contains(c) {
+                        acc.push(c.clone());
+                    }
+                }
+            }
+        }
+        let mut changed = false;
+        for (i, ds) in disjuncts.iter_mut().enumerate() {
+            let before = ds.len();
+            ds.retain(|d| {
+                d.left.iter().all(|c| right_avail[i].iter().any(|rc| rc.matches(c)))
+                    && d.right.iter().all(|c| left_avail[i].iter().any(|lc| c.matches(lc)))
+            });
+            changed |= ds.len() != before;
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// Which side of a disjunct a list reference points into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Side {
+    Left,
+    Right,
+}
+
+/// A reference to a suffix of one disjunct's connector list, packed for memo
+/// keys. `EMPTY` is the canonical empty list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ListRef(u64);
+
+impl ListRef {
+    const EMPTY: ListRef = ListRef(u64::MAX);
+
+    fn pack(word: u16, disj: u16, side: Side, offset: u8) -> ListRef {
+        let s = match side {
+            Side::Left => 0u64,
+            Side::Right => 1u64,
+        };
+        ListRef((word as u64) << 32 | (disj as u64) << 16 | s << 8 | offset as u64)
+    }
+
+    fn unpack(self) -> (usize, usize, Side, usize) {
+        let w = (self.0 >> 32) as usize & 0xFFFF;
+        let d = (self.0 >> 16) as usize & 0xFFFF;
+        let side = if (self.0 >> 8) & 1 == 0 { Side::Left } else { Side::Right };
+        let off = (self.0 & 0xFF) as usize;
+        (w, d, side, off)
+    }
+}
+
+/// Cost-and-links solution for a region. Links are a shareable tree so that
+/// combining two sub-solutions is O(1).
+#[derive(Debug, Clone)]
+struct Sol {
+    cost: f64,
+    links: Rc<Links>,
+}
+
+#[derive(Debug)]
+enum Links {
+    Nil,
+    Leaf(Link),
+    Cat(Rc<Links>, Rc<Links>),
+}
+
+fn flatten(links: &Links, out: &mut Vec<Link>) {
+    match links {
+        Links::Nil => {}
+        Links::Leaf(l) => out.push(l.clone()),
+        Links::Cat(a, b) => {
+            flatten(a, out);
+            flatten(b, out);
+        }
+    }
+}
+
+/// A minimal Fx-style hasher for the memo: the keys are already
+/// well-mixed packed integers, and SipHash dominates the profile otherwise.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl std::hash::Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(K);
+    }
+
+    fn write_u16(&mut self, v: u16) {
+        self.write_u64(v as u64);
+    }
+}
+
+type FxBuild = std::hash::BuildHasherDefault<FxHasher>;
+
+struct Ctx<'a> {
+    disjuncts: &'a [Vec<Disjunct>],
+    by_left_head: &'a [HashMap<&'a str, Vec<u16>>],
+    by_right_head: &'a [HashMap<&'a str, Vec<u16>>],
+    memo: HashMap<(u16, u16, ListRef, ListRef), Option<Sol>, FxBuild>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Builds a list reference, canonicalizing empties.
+    fn list(&self, word: usize, disj: usize, side: Side, offset: usize) -> ListRef {
+        let len = match side {
+            Side::Left => self.disjuncts[word][disj].left.len(),
+            Side::Right => self.disjuncts[word][disj].right.len(),
+        };
+        if offset >= len {
+            ListRef::EMPTY
+        } else {
+            ListRef::pack(word as u16, disj as u16, side, offset as u8)
+        }
+    }
+
+    fn head(&self, r: ListRef) -> Option<&Connector> {
+        head_of(self.disjuncts, r)
+    }
+
+    /// The list minus its head.
+    fn advance(&self, r: ListRef) -> ListRef {
+        debug_assert_ne!(r, ListRef::EMPTY);
+        let (w, d, side, off) = r.unpack();
+        self.list(w, d, side, off + 1)
+    }
+
+    /// Successor options after the head matched once: always the advanced
+    /// list; additionally the unchanged list when the head is a
+    /// multi-connector (it may match again, necessarily nearer).
+    fn successors(&self, r: ListRef) -> [Option<ListRef>; 2] {
+        let multi = self.head(r).map(|c| c.multi).unwrap_or(false);
+        [Some(self.advance(r)), if multi { Some(r) } else { None }]
+    }
+
+    /// Minimum-cost solution for the region `(L, R, l, r)`, or `None` if no
+    /// linkage completes it.
+    fn best(&mut self, left: u16, right: u16, l: ListRef, r: ListRef) -> Option<Sol> {
+        if left + 1 == right {
+            return if l == ListRef::EMPTY && r == ListRef::EMPTY {
+                Some(Sol {
+                    cost: 0.0,
+                    links: Rc::new(Links::Nil),
+                })
+            } else {
+                None
+            };
+        }
+        if l == ListRef::EMPTY && r == ListRef::EMPTY {
+            // Words remain inside but nothing connects them to L or R.
+            return None;
+        }
+        let key = (left, right, l, r);
+        if let Some(cached) = self.memo.get(&key) {
+            return cached.clone();
+        }
+        // Reserve the slot to guard against accidental re-entry (the
+        // recursion strictly shrinks regions, so true cycles are impossible).
+        self.memo.insert(key, None);
+
+        let mut best: Option<Sol> = None;
+        let disjuncts = self.disjuncts;
+        if l != ListRef::EMPTY {
+            let index = self.by_left_head;
+            let head_base = head_of(disjuncts, l).expect("non-empty list").base.as_str();
+            for w in (left + 1)..right {
+                let Some(cands) = index[w as usize].get(head_base) else {
+                    continue;
+                };
+                for &di in cands {
+                    self.try_left_anchored(left, right, l, r, w, di as usize, &mut best);
+                }
+            }
+        } else {
+            let index = self.by_right_head;
+            let head_base = head_of(disjuncts, r).expect("non-empty list").base.as_str();
+            for w in (left + 1)..right {
+                let Some(cands) = index[w as usize].get(head_base) else {
+                    continue;
+                };
+                for &di in cands {
+                    self.try_right_anchored(left, right, r, w, di as usize, &mut best);
+                }
+            }
+        }
+        self.memo.insert(key, best.clone());
+        best
+    }
+
+    /// Case: `l` non-empty. `W` is the word `l`'s head links to; the link
+    /// uses `W`'s farthest-left connector. `W` may additionally link to `R`.
+    #[allow(clippy::too_many_arguments)]
+    fn try_left_anchored(
+        &mut self,
+        left: u16,
+        right: u16,
+        l: ListRef,
+        r: ListRef,
+        w: u16,
+        di: usize,
+        best: &mut Option<Sol>,
+    ) {
+        let dl = self.list(w as usize, di, Side::Left, 0);
+        let (lc, dlc) = match (self.head(l), self.head(dl)) {
+            (Some(a), Some(b)) if a.matches(b) => (a.clone(), b.clone()),
+            _ => return,
+        };
+        let d_cost = self.disjuncts[w as usize][di].cost;
+        let link_lw = Link {
+            left: left as usize,
+            right: w as usize,
+            label: lc.link_label(&dlc),
+        };
+        let link_lw_cost = (w - left) as f64 * LENGTH_PENALTY;
+        let dr = self.list(w as usize, di, Side::Right, 0);
+
+        for l_next in self.successors(l).into_iter().flatten() {
+            for dl_next in self.successors(dl).into_iter().flatten() {
+                let Some(inner_left) = self.best(left, w, l_next, dl_next) else {
+                    continue;
+                };
+                // Sub-case A: W does not link directly to R.
+                if let Some(inner_right) = self.best(w, right, dr, r) {
+                    let cost =
+                        d_cost + link_lw_cost + inner_left.cost + inner_right.cost;
+                    consider(
+                        best,
+                        cost,
+                        cat3(leaf(&link_lw), &inner_left.links, &inner_right.links),
+                    );
+                }
+                // Sub-case B: W also links to R.
+                let (drc, rc) = match (self.head(dr), self.head(r)) {
+                    (Some(a), Some(b)) if a.matches(b) => (a.clone(), b.clone()),
+                    _ => continue,
+                };
+                let link_wr = Link {
+                    left: w as usize,
+                    right: right as usize,
+                    label: drc.link_label(&rc),
+                };
+                let link_wr_cost = (right - w) as f64 * LENGTH_PENALTY;
+                for dr_next in self.successors(dr).into_iter().flatten() {
+                    for r_next in self.successors(r).into_iter().flatten() {
+                        let Some(inner_right) = self.best(w, right, dr_next, r_next) else {
+                            continue;
+                        };
+                        let cost = d_cost
+                            + link_lw_cost
+                            + link_wr_cost
+                            + inner_left.cost
+                            + inner_right.cost;
+                        consider(
+                            best,
+                            cost,
+                            cat4(
+                                leaf(&link_lw),
+                                leaf(&link_wr),
+                                &inner_left.links,
+                                &inner_right.links,
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Case: `l` empty, `r` non-empty. `W` is the word `r`'s head links to,
+    /// via `W`'s farthest-right connector; `W` cannot link to `L`.
+    fn try_right_anchored(
+        &mut self,
+        left: u16,
+        right: u16,
+        r: ListRef,
+        w: u16,
+        di: usize,
+        best: &mut Option<Sol>,
+    ) {
+        let dr = self.list(w as usize, di, Side::Right, 0);
+        let (drc, rc) = match (self.head(dr), self.head(r)) {
+            (Some(a), Some(b)) if a.matches(b) => (a.clone(), b.clone()),
+            _ => return,
+        };
+        let d_cost = self.disjuncts[w as usize][di].cost;
+        let link_wr = Link {
+            left: w as usize,
+            right: right as usize,
+            label: drc.link_label(&rc),
+        };
+        let link_wr_cost = (right - w) as f64 * LENGTH_PENALTY;
+        let dl = self.list(w as usize, di, Side::Left, 0);
+
+        for dr_next in self.successors(dr).into_iter().flatten() {
+            for r_next in self.successors(r).into_iter().flatten() {
+                let Some(inner_right) = self.best(w, right, dr_next, r_next) else {
+                    continue;
+                };
+                let Some(inner_left) = self.best(left, w, ListRef::EMPTY, dl) else {
+                    continue;
+                };
+                let cost = d_cost + link_wr_cost + inner_left.cost + inner_right.cost;
+                consider(
+                    best,
+                    cost,
+                    cat3(leaf(&link_wr), &inner_left.links, &inner_right.links),
+                );
+            }
+        }
+    }
+}
+
+/// Head connector of a list reference, resolved against the disjunct table.
+fn head_of(disjuncts: &[Vec<Disjunct>], r: ListRef) -> Option<&Connector> {
+    if r == ListRef::EMPTY {
+        return None;
+    }
+    let (w, d, side, off) = r.unpack();
+    let list = match side {
+        Side::Left => &disjuncts[w][d].left,
+        Side::Right => &disjuncts[w][d].right,
+    };
+    list.get(off)
+}
+
+fn leaf(l: &Link) -> Rc<Links> {
+    Rc::new(Links::Leaf(l.clone()))
+}
+
+fn cat3(a: Rc<Links>, b: &Rc<Links>, c: &Rc<Links>) -> Rc<Links> {
+    Rc::new(Links::Cat(a, Rc::new(Links::Cat(b.clone(), c.clone()))))
+}
+
+fn cat4(a: Rc<Links>, b: Rc<Links>, c: &Rc<Links>, d: &Rc<Links>) -> Rc<Links> {
+    Rc::new(Links::Cat(
+        Rc::new(Links::Cat(a, b)),
+        Rc::new(Links::Cat(c.clone(), d.clone())),
+    ))
+}
+
+fn consider(best: &mut Option<Sol>, cost: f64, links: Rc<Links>) {
+    if best.as_ref().map(|b| cost < b.cost).unwrap_or(true) {
+        *best = Some(Sol { cost, links });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Option<Linkage> {
+        LinkParser::new().parse_sentence(text)
+    }
+
+    fn labels(linkage: &Linkage) -> Vec<String> {
+        linkage.links.iter().map(|l| base_label(&l.label)).collect()
+    }
+
+    fn base_label(label: &str) -> String {
+        label.chars().take_while(|c| c.is_ascii_uppercase()).collect()
+    }
+
+    /// Every linkage must be planar, connected, and cover every word.
+    fn check_invariants(linkage: &Linkage) {
+        let n = linkage.words.len();
+        // Planarity: no two links cross.
+        for (i, a) in linkage.links.iter().enumerate() {
+            for b in &linkage.links[i + 1..] {
+                let crossing = a.left < b.left && b.left < a.right && a.right < b.right
+                    || b.left < a.left && a.left < b.right && b.right < a.right;
+                assert!(!crossing, "crossing links {a:?} {b:?}");
+            }
+        }
+        // Connectivity over all words.
+        let mut adj = vec![Vec::new(); n];
+        for l in &linkage.links {
+            assert!(l.left < l.right && l.right < n, "link bounds {l:?}");
+            adj[l.left].push(l.right);
+            adj[l.right].push(l.left);
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(x) = stack.pop() {
+            for &y in &adj[x] {
+                if !seen[y] {
+                    seen[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "disconnected words in {:?}", linkage.words);
+    }
+
+    #[test]
+    fn figure1_sentence_parses() {
+        // The paper's Figure 1 example (first clause).
+        let linkage = parse("Blood pressure is 144/90.").expect("parses");
+        check_invariants(&linkage);
+        let lbl = labels(&linkage);
+        assert!(lbl.contains(&"S".to_string()), "subject link in {lbl:?}");
+        assert!(lbl.contains(&"O".to_string()), "object link in {lbl:?}");
+        assert!(lbl.contains(&"AN".to_string()), "compound link in {lbl:?}");
+        // Wall + AN + S + O = 4 links, as the paper counts.
+        assert_eq!(linkage.links.len(), 4);
+    }
+
+    #[test]
+    fn full_vitals_sentence_parses() {
+        let linkage = parse(
+            "Blood pressure is 144/90, pulse of 84, temperature of 98.3, and weight of 154 pounds.",
+        )
+        .expect("parses");
+        check_invariants(&linkage);
+    }
+
+    #[test]
+    fn quit_smoking_parses() {
+        let linkage = parse("She quit smoking five years ago.").expect("parses");
+        check_invariants(&linkage);
+        let lbl = labels(&linkage);
+        assert!(lbl.contains(&"S".to_string()));
+    }
+
+    #[test]
+    fn never_smoked_parses() {
+        let linkage = parse("She has never smoked.").expect("parses");
+        check_invariants(&linkage);
+        let lbl = labels(&linkage);
+        assert!(lbl.contains(&"T".to_string()), "have-participle link in {lbl:?}");
+    }
+
+    #[test]
+    fn currently_a_smoker_parses() {
+        let linkage = parse("She is currently a smoker.").expect("parses");
+        check_invariants(&linkage);
+    }
+
+    #[test]
+    fn fragment_with_colon_fails() {
+        // The paper's canonical fallback trigger.
+        assert!(parse("Blood pressure: 144/90.").is_none());
+    }
+
+    #[test]
+    fn nominal_fragment_parses_via_wn() {
+        let linkage = parse("Menarche at age 10.").expect("parses");
+        check_invariants(&linkage);
+        let full: Vec<&str> = linkage.links.iter().map(|l| l.label.as_str()).collect();
+        assert!(full.contains(&"Wn"), "{full:?}");
+    }
+
+    #[test]
+    fn empty_input_fails() {
+        assert!(parse("").is_none());
+        assert!(parse(".").is_none());
+    }
+
+    #[test]
+    fn word_salad_fails() {
+        assert!(parse("of of of the the.").is_none());
+    }
+
+    #[test]
+    fn relative_clause_parses() {
+        let linkage = parse("She is a woman who underwent a mammogram.").expect("parses");
+        check_invariants(&linkage);
+    }
+
+    #[test]
+    fn coordination_parses() {
+        let linkage = parse("She has diabetes and hypertension.").expect("parses");
+        check_invariants(&linkage);
+        let lbl = labels(&linkage);
+        assert!(lbl.contains(&"MX".to_string()), "{lbl:?}");
+    }
+
+    #[test]
+    fn linkage_words_include_wall() {
+        let linkage = parse("She smokes.").expect("parses");
+        assert_eq!(linkage.words[0], "LEFT-WALL");
+        assert_eq!(linkage.token_map[0], None);
+        assert_eq!(linkage.token_map[1], Some(0));
+    }
+
+    #[test]
+    fn costs_prefer_declarative_over_fragment() {
+        let l = parse("She smokes.").expect("parses");
+        let full: Vec<&str> = l.links.iter().map(|x| x.label.as_str()).collect();
+        assert!(full.contains(&"Wd"), "{full:?}");
+    }
+
+    #[test]
+    fn null_parsing_zero_nulls_when_parseable() {
+        let parser = LinkParser::new();
+        let tokens = cmr_text::tokenize("She smokes.");
+        let tagged = cmr_postag::PosTagger::new().tag(&tokens);
+        let (linkage, nulls) = parser.parse_with_nulls(&tagged, 2).expect("parses");
+        assert!(nulls.is_empty());
+        assert_eq!(linkage.words[1], "She");
+    }
+
+    #[test]
+    fn null_parsing_skips_the_blocking_token() {
+        // The colon has no disjuncts; with one null allowed, the rest links.
+        let parser = LinkParser::new();
+        let tokens = cmr_text::tokenize("Vitals : blood pressure is 144/90.");
+        let tagged = cmr_postag::PosTagger::new().tag(&tokens);
+        assert!(parser.parse(&tagged).is_none(), "full sequence cannot parse");
+        let (linkage, nulls) = parser.parse_with_nulls(&tagged, 2).expect("null parse succeeds");
+        check_invariants(&linkage);
+        // The colon (token index 1) must be among the nulls.
+        assert!(nulls.contains(&1), "{nulls:?}");
+        // Token indices in the linkage refer to the original sequence.
+        let word_tokens: Vec<usize> = linkage.token_map.iter().flatten().copied().collect();
+        assert!(word_tokens.contains(&3), "pressure kept");
+        assert!(!word_tokens.contains(&1), "colon not in linkage");
+    }
+
+    #[test]
+    fn null_parsing_gives_up_beyond_budget() {
+        let parser = LinkParser::new();
+        let tokens = cmr_text::tokenize(": ; : ;");
+        let tagged = cmr_postag::PosTagger::new().tag(&tokens);
+        assert!(parser.parse_with_nulls(&tagged, 1).is_none());
+    }
+}

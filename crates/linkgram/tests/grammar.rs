@@ -1,0 +1,158 @@
+//! Grammar coverage: the dictation constructions the extractors rely on.
+//! Each case pins parseability (or intentional failure) and, where it
+//! matters, the presence of a specific link.
+
+use cmr_linkgram::LinkParser;
+
+fn parser() -> LinkParser {
+    LinkParser::new()
+}
+
+fn assert_parses(p: &LinkParser, s: &str) {
+    assert!(p.parse_sentence(s).is_some(), "expected a linkage: {s}");
+}
+
+fn assert_fails(p: &LinkParser, s: &str) {
+    assert!(p.parse_sentence(s).is_none(), "expected no linkage: {s}");
+}
+
+fn has_link(p: &LinkParser, s: &str, label: &str) -> bool {
+    p.parse_sentence(s)
+        .map(|l| l.links.iter().any(|x| x.label == label || x.label.starts_with(label)))
+        .unwrap_or(false)
+}
+
+#[test]
+fn declaratives() {
+    let p = parser();
+    for s in [
+        "She smokes.",
+        "She has diabetes.",
+        "The patient denies chest pain.",
+        "Her mother had breast cancer.",
+        "She takes aspirin daily.",
+        "The examination was normal.",
+        "She is a former smoker.",
+    ] {
+        assert_parses(&p, s);
+    }
+}
+
+#[test]
+fn copular_predicates() {
+    let p = parser();
+    assert!(has_link(&p, "The remainder is negative.", "P"), "predicative adjective");
+    assert!(has_link(&p, "She is currently a smoker.", "O"), "predicate nominal");
+    assert!(has_link(&p, "She is currently a smoker.", "EB"), "post-copular adverb");
+}
+
+#[test]
+fn auxiliaries_and_participles() {
+    let p = parser();
+    assert!(has_link(&p, "She has never smoked.", "T"), "have + participle");
+    assert!(has_link(&p, "She was diagnosed with cancer.", "Pv"), "passive");
+    assert!(has_link(&p, "She will quit.", "I"), "modal + infinitive");
+}
+
+#[test]
+fn gerund_complements() {
+    let p = parser();
+    assert!(has_link(&p, "She quit smoking.", "Pg"));
+    assert!(has_link(&p, "She denies drinking.", "Pg"));
+}
+
+#[test]
+fn prepositional_attachment() {
+    let p = parser();
+    assert!(has_link(&p, "Pulse of 84 was recorded.", "J"), "prep object");
+    assert!(has_link(&p, "She complains of pain in the left breast.", "MV"));
+}
+
+#[test]
+fn time_adjuncts() {
+    let p = parser();
+    assert!(has_link(&p, "She quit smoking five years ago.", "JT"), "'ago' time phrase");
+}
+
+#[test]
+fn coordination() {
+    let p = parser();
+    for s in [
+        "She has diabetes and hypertension.",
+        "Significant for diabetes, arthritis, and depression.",
+        "Blood pressure is 144/90, pulse of 84, temperature of 98.3, and weight of 154 pounds.",
+    ] {
+        assert_parses(&p, s);
+        assert!(has_link(&p, s, "MX"), "coordination link in {s}");
+    }
+}
+
+#[test]
+fn relative_clauses() {
+    let p = parser();
+    assert!(has_link(&p, "She is a woman who underwent a mammogram.", "R"));
+}
+
+#[test]
+fn nominal_fragments_parse_via_wn() {
+    let p = parser();
+    for s in [
+        "Menarche at age 10.",
+        "Abnormal mammogram.",
+        "Former smoker.",
+    ] {
+        assert!(has_link(&p, s, "Wn"), "{s}");
+    }
+}
+
+#[test]
+fn intentional_failures() {
+    let p = parser();
+    // Colon-delimited fragments and stray punctuation must fail (the
+    // extractors' pattern fallback depends on this).
+    assert_fails(&p, "Blood pressure: 144/90.");
+    assert_fails(&p, "Vitals: pulse 84; temperature 98.3;");
+    assert_fails(&p, "of of of the the.");
+    assert_fails(&p, "");
+}
+
+#[test]
+fn negated_declaratives() {
+    let p = parser();
+    for s in [
+        "She does not smoke.",
+        "She has never smoked.",
+        "There is no axillary adenopathy.",
+    ] {
+        assert_parses(&p, s);
+    }
+}
+
+#[test]
+fn agreement_blocks_mismatches() {
+    let p = parser();
+    // Ss+ cannot meet Sp-: singular subject with plural copula fails
+    // outright rather than producing a garbage parse.
+    let good = p.parse_sentence("The finding is benign.");
+    assert!(good.is_some());
+    let linkage = good.unwrap();
+    assert!(
+        linkage.links.iter().any(|l| l.label.starts_with("Ss")),
+        "{:?}",
+        linkage.links
+    );
+}
+
+#[test]
+fn cache_consistency_across_number_values() {
+    let p = parser();
+    let a = p.parse_sentence("Pulse of 84 was recorded.").unwrap();
+    let b = p.parse_sentence("Pulse of 96 was recorded.").unwrap();
+    assert_eq!(a.links, b.links, "same structure, cached");
+    assert_eq!(a.cost, b.cost);
+    assert_eq!(b.words[2], "of");
+    assert!(b.words.contains(&"96".to_string()), "words rebuilt per input");
+    assert!(p.cache_len() >= 1);
+    p.clear_cache();
+    assert_eq!(p.cache_len(), 0);
+}

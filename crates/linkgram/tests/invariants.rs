@@ -1,0 +1,121 @@
+//! Linkage invariants over generated clinical-style sentences: every parse
+//! the parser returns must be planar, connected, within bounds, and
+//! deterministic.
+
+use cmr_linkgram::{LinkParser, LinkWeights, Linkage};
+use proptest::prelude::*;
+
+fn check_planar(linkage: &Linkage) -> Result<(), TestCaseError> {
+    for (i, a) in linkage.links.iter().enumerate() {
+        for b in &linkage.links[i + 1..] {
+            let crossing = (a.left < b.left && b.left < a.right && a.right < b.right)
+                || (b.left < a.left && a.left < b.right && b.right < a.right);
+            prop_assert!(!crossing, "crossing links {a:?} {b:?} in {:?}", linkage.words);
+        }
+    }
+    Ok(())
+}
+
+fn check_connected(linkage: &Linkage) -> Result<(), TestCaseError> {
+    let n = linkage.words.len();
+    let mut adj = vec![Vec::new(); n];
+    for l in &linkage.links {
+        prop_assert!(l.left < l.right && l.right < n);
+        adj[l.left].push(l.right);
+        adj[l.right].push(l.left);
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(x) = stack.pop() {
+        for &y in &adj[x] {
+            if !seen[y] {
+                seen[y] = true;
+                stack.push(y);
+            }
+        }
+    }
+    prop_assert!(seen.iter().all(|&s| s), "disconnected: {:?}", linkage.words);
+    Ok(())
+}
+
+/// Template-based sentence generator: clinical dictation shapes with random
+/// lexical fill.
+fn sentences() -> impl Strategy<Value = String> {
+    let subj = prop::sample::select(vec!["She", "He", "The patient", "Ms. Smith"]);
+    let verb = prop::sample::select(vec!["denies", "reports", "has", "takes", "reveals"]);
+    let obj = prop::sample::select(vec![
+        "alcohol use",
+        "a mass",
+        "diabetes",
+        "chest pain",
+        "the medication",
+        "hypertension and diabetes",
+    ]);
+    let tail = prop::sample::select(vec![
+        "",
+        " today",
+        " without difficulty",
+        " in the left breast",
+        " five years ago",
+    ]);
+    (subj, verb, obj, tail).prop_map(|(s, v, o, t)| format!("{s} {v} {o}{t}."))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parses_are_planar_and_connected(s in sentences()) {
+        let parser = LinkParser::new();
+        if let Some(l) = parser.parse_sentence(&s) {
+            check_planar(&l)?;
+            check_connected(&l)?;
+            // Every non-wall word participates in at least one link.
+            for w in 1..l.words.len() {
+                prop_assert!(
+                    l.links.iter().any(|x| x.left == w || x.right == w),
+                    "word {} unlinked in {s}",
+                    l.words[w]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parsing_is_deterministic(s in sentences()) {
+        let parser = LinkParser::new();
+        let a = parser.parse_sentence(&s).map(|l| (l.cost, l.links));
+        let b = parser.parse_sentence(&s).map(|l| (l.cost, l.links));
+        prop_assert_eq!(a.is_some(), b.is_some());
+        if let (Some(x), Some(y)) = (a, b) {
+            prop_assert_eq!(x.0, y.0);
+            prop_assert_eq!(x.1, y.1);
+        }
+    }
+
+    #[test]
+    fn distances_are_metric_like(s in sentences()) {
+        let parser = LinkParser::new();
+        if let Some(l) = parser.parse_sentence(&s) {
+            let w = LinkWeights::default();
+            let n = l.words.len();
+            for a in 0..n {
+                let d = l.distances_from(a, &w);
+                prop_assert_eq!(d[a], 0.0);
+                for (b, &dist) in d.iter().enumerate() {
+                    prop_assert!(dist.is_finite(), "unreachable {b} in connected linkage");
+                    // Symmetry.
+                    let back = l.distance(b, a, &w);
+                    prop_assert!((dist - back).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parser_is_total_on_arbitrary_ascii(s in "[ -~]{0,80}") {
+        // Must never panic, regardless of input garbage.
+        let _ = LinkParser::new().parse_sentence(&s);
+    }
+}

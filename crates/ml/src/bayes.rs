@@ -1,0 +1,131 @@
+//! Bernoulli Naive Bayes — a word-presence baseline classifier.
+//!
+//! The related-work section of the paper contrasts decision trees with
+//! other inductive text classifiers (Lehnert et al.); Naive Bayes is the
+//! standard bag-of-boolean-features baseline and serves as the comparison
+//! point for the ablation on classifier choice.
+
+use crate::dataset::Dataset;
+
+/// A trained Bernoulli Naive Bayes model with Laplace smoothing.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    /// log P(class).
+    log_prior: Vec<f64>,
+    /// `log_likelihood[class][feature]` = log P(feature = true | class).
+    log_on: Vec<Vec<f64>>,
+    /// log P(feature = false | class).
+    log_off: Vec<Vec<f64>>,
+}
+
+impl NaiveBayes {
+    /// Trains on a boolean dataset. Panics on an empty dataset.
+    pub fn train(data: &Dataset) -> NaiveBayes {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let n_labels = data.n_labels();
+        let n_features = data.n_features();
+        let label_counts = data.label_counts();
+        let total = data.len() as f64;
+        let log_prior: Vec<f64> = label_counts
+            .iter()
+            .map(|&c| (((c as f64) + 1.0) / (total + n_labels as f64)).ln())
+            .collect();
+        let mut on_counts = vec![vec![0usize; n_features]; n_labels];
+        for inst in &data.instances {
+            for (f, &v) in inst.features.iter().enumerate() {
+                if v {
+                    on_counts[inst.label][f] += 1;
+                }
+            }
+        }
+        let mut log_on = vec![vec![0.0; n_features]; n_labels];
+        let mut log_off = vec![vec![0.0; n_features]; n_labels];
+        for l in 0..n_labels {
+            let denom = label_counts[l] as f64 + 2.0;
+            for f in 0..n_features {
+                let p = (on_counts[l][f] as f64 + 1.0) / denom;
+                log_on[l][f] = p.ln();
+                log_off[l][f] = (1.0 - p).ln();
+            }
+        }
+        NaiveBayes {
+            log_prior,
+            log_on,
+            log_off,
+        }
+    }
+
+    /// Predicted label index for a feature vector (missing trailing
+    /// features are treated as false).
+    pub fn predict(&self, features: &[bool]) -> usize {
+        let n_features = self.log_on.first().map(Vec::len).unwrap_or(0);
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (l, prior) in self.log_prior.iter().enumerate() {
+            let mut score = *prior;
+            for f in 0..n_features {
+                let v = features.get(f).copied().unwrap_or(false);
+                score += if v { self.log_on[l][f] } else { self.log_off[l][f] };
+            }
+            if score > best_score {
+                best_score = score;
+                best = l;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn toy() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        for _ in 0..5 {
+            b.add(&["quit".into(), "smoke".into()], "former");
+            b.add(&["never".into(), "smoke".into()], "never");
+            b.add(&["currently".into(), "smoker".into()], "current");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn fits_separable_data() {
+        let d = toy();
+        let nb = NaiveBayes::train(&d);
+        for inst in &d.instances {
+            assert_eq!(nb.predict(&inst.features), inst.label);
+        }
+    }
+
+    #[test]
+    fn prior_dominates_with_no_evidence() {
+        let mut b = DatasetBuilder::new();
+        for _ in 0..9 {
+            b.add(&["x".into()], "big");
+        }
+        b.add(&["y".into()], "small");
+        let d = b.build();
+        let nb = NaiveBayes::train(&d);
+        // All-false vector: class priors decide.
+        let label = nb.predict(&vec![false; d.n_features()]);
+        assert_eq!(d.label_names[label], "big");
+    }
+
+    #[test]
+    fn short_vectors_ok() {
+        let d = toy();
+        let nb = NaiveBayes::train(&d);
+        let l = nb.predict(&[]);
+        assert!(l < d.n_labels());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let d = Dataset::new(vec!["a".into()]);
+        let _ = NaiveBayes::train(&d);
+    }
+}

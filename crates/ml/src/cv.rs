@@ -1,0 +1,314 @@
+//! Repeated, shuffled k-fold cross-validation — the paper's protocol.
+//!
+//! §5: "Five-fold cross validation is applied. … We run a five-fold cross
+//! validation ten times, and each time the dataset is randomly shuffled.
+//! Average precision (recall) is 92.2%."
+//!
+//! For 1-of-n single-label classification, micro-averaged precision equals
+//! recall equals accuracy, which is why the paper reports one number.
+
+use crate::dataset::Dataset;
+use crate::id3::{Id3Params, Id3Tree};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Cross-validation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossValidation {
+    /// Number of folds (the paper uses 5).
+    pub folds: usize,
+    /// Number of shuffled repetitions (the paper uses 10).
+    pub repeats: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+    /// Tree parameters.
+    pub params: Id3Params,
+}
+
+impl Default for CrossValidation {
+    fn default() -> Self {
+        CrossValidation {
+            folds: 5,
+            repeats: 10,
+            seed: 0x1CDE_2005,
+            params: Id3Params::default(),
+        }
+    }
+}
+
+/// Result of a cross-validation run.
+#[derive(Debug, Clone)]
+pub struct CvResult {
+    /// Accuracy (= micro precision = micro recall) per repetition.
+    pub accuracy_per_repeat: Vec<f64>,
+    /// Pooled confusion matrix over all repeats: `confusion[truth][pred]`.
+    pub confusion: Vec<Vec<usize>>,
+    /// Label names, aligned with the confusion matrix.
+    pub label_names: Vec<String>,
+    /// Number of distinct features used by each trained fold-tree.
+    pub features_used_per_fold: Vec<usize>,
+}
+
+impl CvResult {
+    /// Mean accuracy over repeats.
+    pub fn mean_accuracy(&self) -> f64 {
+        if self.accuracy_per_repeat.is_empty() {
+            return 0.0;
+        }
+        self.accuracy_per_repeat.iter().sum::<f64>() / self.accuracy_per_repeat.len() as f64
+    }
+
+    /// Standard deviation of accuracy over repeats.
+    pub fn std_accuracy(&self) -> f64 {
+        let n = self.accuracy_per_repeat.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_accuracy();
+        let var = self
+            .accuracy_per_repeat
+            .iter()
+            .map(|a| (a - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Range (min, max) of per-fold feature counts — the "four to seven"
+    /// statistic the paper reports.
+    pub fn feature_count_range(&self) -> (usize, usize) {
+        let min = self.features_used_per_fold.iter().copied().min().unwrap_or(0);
+        let max = self.features_used_per_fold.iter().copied().max().unwrap_or(0);
+        (min, max)
+    }
+
+    /// Per-class recall from the pooled confusion matrix.
+    pub fn per_class_recall(&self) -> Vec<f64> {
+        self.confusion
+            .iter()
+            .enumerate()
+            .map(|(truth, row)| {
+                let total: usize = row.iter().sum();
+                if total == 0 {
+                    0.0
+                } else {
+                    row[truth] as f64 / total as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// Anything trainable/predictable over boolean datasets can be
+/// cross-validated (ID3 with any criterion, Naive Bayes, …).
+pub trait Classifier: Sized {
+    /// Trains on a dataset.
+    fn fit(data: &Dataset) -> Self;
+    /// Predicts the label index of a feature vector.
+    fn predict_label(&self, features: &[bool]) -> usize;
+    /// Number of distinct features the model consults (`None` when the
+    /// notion does not apply, e.g. Naive Bayes uses all of them).
+    fn features_consulted(&self) -> Option<usize> {
+        None
+    }
+}
+
+impl Classifier for crate::bayes::NaiveBayes {
+    fn fit(data: &Dataset) -> Self {
+        crate::bayes::NaiveBayes::train(data)
+    }
+
+    fn predict_label(&self, features: &[bool]) -> usize {
+        self.predict(features)
+    }
+}
+
+impl CrossValidation {
+    /// Runs repeated k-fold cross-validation with the configured ID3
+    /// parameters.
+    ///
+    /// Panics if the dataset has fewer instances than folds.
+    pub fn run(&self, data: &Dataset) -> CvResult {
+        let params = self.params;
+        self.run_generic(data, |train_set| {
+            let tree = Id3Tree::train(train_set, params);
+            let used = Some(tree.features_used().len());
+            (move |fv: &[bool]| tree.predict(fv), used)
+        })
+    }
+
+    /// Runs the same protocol with any [`Classifier`] (e.g. Naive Bayes).
+    pub fn run_with<C: Classifier>(&self, data: &Dataset) -> CvResult {
+        self.run_generic(data, |train_set| {
+            let model = C::fit(train_set);
+            let used = model.features_consulted();
+            (move |fv: &[bool]| model.predict_label(fv), used)
+        })
+    }
+
+    fn run_generic<F, P>(&self, data: &Dataset, mut train: F) -> CvResult
+    where
+        F: FnMut(&Dataset) -> (P, Option<usize>),
+        P: Fn(&[bool]) -> usize,
+    {
+        assert!(
+            data.len() >= self.folds && self.folds >= 2,
+            "need at least {} instances for {}-fold CV, have {}",
+            self.folds,
+            self.folds,
+            data.len()
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n_labels = data.n_labels();
+        let mut confusion = vec![vec![0usize; n_labels]; n_labels];
+        let mut accuracy_per_repeat = Vec::with_capacity(self.repeats);
+        let mut features_used_per_fold = Vec::with_capacity(self.repeats * self.folds);
+
+        for _ in 0..self.repeats {
+            let mut order: Vec<usize> = (0..data.len()).collect();
+            order.shuffle(&mut rng);
+            let mut correct = 0usize;
+            let mut total = 0usize;
+            for fold in 0..self.folds {
+                let test: Vec<usize> = order
+                    .iter()
+                    .enumerate()
+                    .filter(|(pos, _)| pos % self.folds == fold)
+                    .map(|(_, &i)| i)
+                    .collect();
+                let train_idx: Vec<usize> = order
+                    .iter()
+                    .enumerate()
+                    .filter(|(pos, _)| pos % self.folds != fold)
+                    .map(|(_, &i)| i)
+                    .collect();
+                let train_set = data.subset(&train_idx);
+                let (predict, used) = train(&train_set);
+                if let Some(u) = used {
+                    features_used_per_fold.push(u);
+                }
+                for &i in &test {
+                    let inst = &data.instances[i];
+                    let pred = predict(&inst.features);
+                    confusion[inst.label][pred] += 1;
+                    if pred == inst.label {
+                        correct += 1;
+                    }
+                    total += 1;
+                }
+            }
+            accuracy_per_repeat.push(correct as f64 / total as f64);
+        }
+
+        CvResult {
+            accuracy_per_repeat,
+            confusion,
+            label_names: data.label_names.clone(),
+            features_used_per_fold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn separable(n_per_class: usize) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        for i in 0..n_per_class {
+            b.add(&["quit".into(), format!("noise{}", i % 3)], "former");
+            b.add(&["never".into(), format!("noise{}", i % 4)], "never");
+            b.add(&["currently".into()], "current");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn perfect_on_separable_data() {
+        let d = separable(10);
+        let cv = CrossValidation { repeats: 3, ..Default::default() };
+        let r = cv.run(&d);
+        assert!(r.mean_accuracy() > 0.99, "{}", r.mean_accuracy());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = separable(8);
+        let cv = CrossValidation::default();
+        let a = cv.run(&d).accuracy_per_repeat;
+        let b = cv.run(&d).accuracy_per_repeat;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_shuffle_differently() {
+        let mut b = DatasetBuilder::new();
+        // Noisy, non-separable data so fold assignment matters.
+        for i in 0..30 {
+            let label = if i % 2 == 0 { "a" } else { "b" };
+            b.add(&[format!("f{}", i % 7)], label);
+        }
+        let d = b.build();
+        let r1 = CrossValidation { seed: 1, ..Default::default() }.run(&d);
+        let r2 = CrossValidation { seed: 2, ..Default::default() }.run(&d);
+        // Accuracy vectors are almost surely different on noisy data.
+        assert_ne!(r1.accuracy_per_repeat, r2.accuracy_per_repeat);
+    }
+
+    #[test]
+    fn confusion_matrix_totals() {
+        let d = separable(5);
+        let cv = CrossValidation { repeats: 2, ..Default::default() };
+        let r = cv.run(&d);
+        let total: usize = r.confusion.iter().flatten().sum();
+        assert_eq!(total, d.len() * 2, "every instance tested once per repeat");
+    }
+
+    #[test]
+    fn feature_count_range_reported() {
+        let d = separable(10);
+        let r = CrossValidation { repeats: 2, ..Default::default() }.run(&d);
+        let (lo, hi) = r.feature_count_range();
+        assert!(lo >= 1 && hi >= lo);
+        assert_eq!(r.features_used_per_fold.len(), 10);
+    }
+
+    #[test]
+    fn std_accuracy_finite() {
+        let d = separable(6);
+        let r = CrossValidation { repeats: 4, ..Default::default() }.run(&d);
+        assert!(r.std_accuracy() >= 0.0);
+        assert!(r.std_accuracy().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn too_few_instances_panics() {
+        let mut b = DatasetBuilder::new();
+        b.add(&[], "a");
+        let d = b.build();
+        let _ = CrossValidation::default().run(&d);
+    }
+
+    #[test]
+    fn naive_bayes_runs_through_cv() {
+        let d = separable(8);
+        let r = CrossValidation { repeats: 2, ..Default::default() }
+            .run_with::<crate::bayes::NaiveBayes>(&d);
+        assert!(r.mean_accuracy() > 0.9, "{}", r.mean_accuracy());
+        assert!(r.features_used_per_fold.is_empty(), "NB reports no feature count");
+    }
+
+    #[test]
+    fn id3_and_nb_use_same_protocol() {
+        let d = separable(6);
+        let cv = CrossValidation { repeats: 2, ..Default::default() };
+        let a = cv.run(&d);
+        let b = cv.run_with::<crate::bayes::NaiveBayes>(&d);
+        let total_a: usize = a.confusion.iter().flatten().sum();
+        let total_b: usize = b.confusion.iter().flatten().sum();
+        assert_eq!(total_a, total_b, "identical fold assignment");
+    }
+}

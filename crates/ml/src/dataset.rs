@@ -1,0 +1,177 @@
+//! Boolean-feature datasets for the ID3 classifier.
+//!
+//! §3.3: "the presence of a certain word is treated as a Boolean feature."
+
+use std::collections::HashMap;
+
+/// One training/test instance: a boolean feature vector and a class label
+/// (index into the dataset's label table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Feature values, aligned with [`Dataset::feature_names`].
+    pub features: Vec<bool>,
+    /// Class label index.
+    pub label: usize,
+}
+
+/// A dataset: named boolean features, named labels, instances.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Feature names (e.g. lemmas: `"quit"`, `"never"`, `"smoker"`).
+    pub feature_names: Vec<String>,
+    /// Class label names (e.g. `"never"`, `"former"`, `"current"`).
+    pub label_names: Vec<String>,
+    /// The instances.
+    pub instances: Vec<Instance>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with fixed label names.
+    pub fn new(label_names: Vec<String>) -> Dataset {
+        Dataset {
+            feature_names: Vec::new(),
+            label_names,
+            instances: Vec::new(),
+        }
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True when there are no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Number of classes.
+    pub fn n_labels(&self) -> usize {
+        self.label_names.len()
+    }
+
+    /// Class distribution (count per label index).
+    pub fn label_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0; self.n_labels()];
+        for inst in &self.instances {
+            counts[inst.label] += 1;
+        }
+        counts
+    }
+
+    /// A dataset with the same schema but only the selected instances
+    /// (by index). Used by cross-validation.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            feature_names: self.feature_names.clone(),
+            label_names: self.label_names.clone(),
+            instances: indices.iter().map(|&i| self.instances[i].clone()).collect(),
+        }
+    }
+}
+
+/// Incremental builder that interns feature names on the fly: add instances
+/// as (feature-name list, label-name), and the builder maintains the
+/// feature/label tables.
+#[derive(Debug, Default)]
+pub struct DatasetBuilder {
+    feature_ids: HashMap<String, usize>,
+    label_ids: HashMap<String, usize>,
+    feature_names: Vec<String>,
+    label_names: Vec<String>,
+    rows: Vec<(Vec<usize>, usize)>,
+}
+
+impl DatasetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> DatasetBuilder {
+        DatasetBuilder::default()
+    }
+
+    /// Adds an instance given its *present* features and its label name.
+    pub fn add(&mut self, present_features: &[String], label: &str) {
+        let mut ids = Vec::with_capacity(present_features.len());
+        for f in present_features {
+            let next = self.feature_ids.len();
+            let id = *self.feature_ids.entry(f.clone()).or_insert(next);
+            if id == self.feature_names.len() {
+                self.feature_names.push(f.clone());
+            }
+            ids.push(id);
+        }
+        let next = self.label_ids.len();
+        let label_id = *self.label_ids.entry(label.to_string()).or_insert(next);
+        if label_id == self.label_names.len() {
+            self.label_names.push(label.to_string());
+        }
+        self.rows.push((ids, label_id));
+    }
+
+    /// Finalizes into a dense [`Dataset`].
+    pub fn build(self) -> Dataset {
+        let n = self.feature_names.len();
+        let instances = self
+            .rows
+            .into_iter()
+            .map(|(ids, label)| {
+                let mut features = vec![false; n];
+                for id in ids {
+                    features[id] = true;
+                }
+                Instance { features, label }
+            })
+            .collect();
+        Dataset {
+            feature_names: self.feature_names,
+            label_names: self.label_names,
+            instances,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_interning() {
+        let mut b = DatasetBuilder::new();
+        b.add(&["quit".into(), "smoke".into()], "former");
+        b.add(&["smoke".into(), "currently".into()], "current");
+        b.add(&[], "never");
+        let d = b.build();
+        assert_eq!(d.n_features(), 3);
+        assert_eq!(d.n_labels(), 3);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.instances[0].features, vec![true, true, false]);
+        assert_eq!(d.instances[1].features, vec![false, true, true]);
+        assert_eq!(d.instances[2].features, vec![false, false, false]);
+    }
+
+    #[test]
+    fn label_counts() {
+        let mut b = DatasetBuilder::new();
+        b.add(&[], "a");
+        b.add(&[], "b");
+        b.add(&[], "a");
+        let d = b.build();
+        assert_eq!(d.label_counts(), vec![2, 1]);
+    }
+
+    #[test]
+    fn subset_preserves_schema() {
+        let mut b = DatasetBuilder::new();
+        b.add(&["x".into()], "a");
+        b.add(&["y".into()], "b");
+        let d = b.build();
+        let s = d.subset(&[1]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.n_features(), 2);
+        assert_eq!(s.instances[0].label, 1);
+    }
+}

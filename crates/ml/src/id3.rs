@@ -1,0 +1,472 @@
+//! The ID3 decision tree (Quinlan 1986), as the paper implements it.
+//!
+//! §3.3: "According to information theory, Information Gain (Mutual
+//! Information) of the predictor and dependent variable is a good measure of
+//! the predictor's discriminating ability. Thus, the ID3 decision tree is
+//! supposed to use less features than other decision tree algorithms."
+
+use crate::dataset::Dataset;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Split-quality criterion.
+///
+/// The paper argues (§3.3) that information gain makes ID3 "use less
+/// features than other decision tree algorithms"; the alternative criteria
+/// exist to test that claim (ablation A5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitCriterion {
+    /// Shannon information gain — Quinlan's ID3, the paper's choice.
+    #[default]
+    InformationGain,
+    /// Gini impurity decrease — CART-style.
+    GiniGain,
+    /// Gain ratio (information gain / split info) — C4.5-style.
+    GainRatio,
+}
+
+/// Training parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Id3Params {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum information gain to split; below it, emit a majority leaf.
+    pub min_gain: f64,
+    /// Minimum instances to attempt a split.
+    pub min_split: usize,
+    /// Split-quality criterion.
+    pub criterion: SplitCriterion,
+}
+
+impl Default for Id3Params {
+    fn default() -> Self {
+        Id3Params {
+            max_depth: 12,
+            min_gain: 1e-9,
+            min_split: 2,
+            criterion: SplitCriterion::InformationGain,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { label: usize },
+    Split { feature: usize, on_true: Box<Node>, on_false: Box<Node> },
+}
+
+/// A trained ID3 tree.
+#[derive(Debug, Clone)]
+pub struct Id3Tree {
+    root: Node,
+    feature_names: Vec<String>,
+    label_names: Vec<String>,
+}
+
+/// Shannon entropy of a label count vector, in bits.
+pub fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Gini impurity of a label count vector.
+pub fn gini(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / total;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn split_counts(
+    data: &Dataset,
+    indices: &[usize],
+    feature: usize,
+) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let n_labels = data.n_labels();
+    let mut all = vec![0usize; n_labels];
+    let mut pos = vec![0usize; n_labels];
+    let mut neg = vec![0usize; n_labels];
+    for &i in indices {
+        let inst = &data.instances[i];
+        all[inst.label] += 1;
+        if inst.features[feature] {
+            pos[inst.label] += 1;
+        } else {
+            neg[inst.label] += 1;
+        }
+    }
+    (all, pos, neg)
+}
+
+/// Information gain of splitting `indices` on boolean `feature`.
+pub fn information_gain(data: &Dataset, indices: &[usize], feature: usize) -> f64 {
+    let (all, pos, neg) = split_counts(data, indices, feature);
+    let total = indices.len() as f64;
+    let n_pos: usize = pos.iter().sum();
+    let n_neg: usize = neg.iter().sum();
+    entropy(&all)
+        - (n_pos as f64 / total) * entropy(&pos)
+        - (n_neg as f64 / total) * entropy(&neg)
+}
+
+/// Gini impurity decrease of splitting `indices` on boolean `feature`.
+pub fn gini_gain(data: &Dataset, indices: &[usize], feature: usize) -> f64 {
+    let (all, pos, neg) = split_counts(data, indices, feature);
+    let total = indices.len() as f64;
+    let n_pos: usize = pos.iter().sum();
+    let n_neg: usize = neg.iter().sum();
+    gini(&all) - (n_pos as f64 / total) * gini(&pos) - (n_neg as f64 / total) * gini(&neg)
+}
+
+/// C4.5 gain ratio: information gain normalized by the split's own entropy.
+pub fn gain_ratio(data: &Dataset, indices: &[usize], feature: usize) -> f64 {
+    let ig = information_gain(data, indices, feature);
+    let n_pos = indices
+        .iter()
+        .filter(|&&i| data.instances[i].features[feature])
+        .count();
+    let split_info = entropy(&[n_pos, indices.len() - n_pos]);
+    if split_info <= f64::EPSILON {
+        0.0
+    } else {
+        ig / split_info
+    }
+}
+
+/// Dispatch on the configured criterion.
+pub fn split_quality(
+    data: &Dataset,
+    indices: &[usize],
+    feature: usize,
+    criterion: SplitCriterion,
+) -> f64 {
+    match criterion {
+        SplitCriterion::InformationGain => information_gain(data, indices, feature),
+        SplitCriterion::GiniGain => gini_gain(data, indices, feature),
+        SplitCriterion::GainRatio => gain_ratio(data, indices, feature),
+    }
+}
+
+impl Id3Tree {
+    /// Trains a tree on the full dataset.
+    pub fn train(data: &Dataset, params: Id3Params) -> Id3Tree {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let root = build(data, &indices, params, 0);
+        Id3Tree {
+            root,
+            feature_names: data.feature_names.clone(),
+            label_names: data.label_names.clone(),
+        }
+    }
+
+    /// Predicted label index for a feature vector.
+    pub fn predict(&self, features: &[bool]) -> usize {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label } => return *label,
+                Node::Split { feature, on_true, on_false } => {
+                    let v = features.get(*feature).copied().unwrap_or(false);
+                    node = if v { on_true } else { on_false };
+                }
+            }
+        }
+    }
+
+    /// Predicted label name.
+    pub fn predict_name(&self, features: &[bool]) -> &str {
+        &self.label_names[self.predict(features)]
+    }
+
+    /// The distinct features the tree actually tests. The paper reports
+    /// this: "The number of features used in the decision tree ranges from
+    /// four to seven."
+    pub fn features_used(&self) -> Vec<usize> {
+        let mut set = BTreeSet::new();
+        collect_features(&self.root, &mut set);
+        set.into_iter().collect()
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        count_leaves(&self.root)
+    }
+
+    /// Maximum depth of the tree (a lone leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        depth(&self.root)
+    }
+
+    /// Pretty-prints the tree with feature and label names.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_node(&self.root, &self.feature_names, &self.label_names, 0, &mut out);
+        out
+    }
+}
+
+fn build(data: &Dataset, indices: &[usize], params: Id3Params, depth: usize) -> Node {
+    let mut counts = vec![0usize; data.n_labels()];
+    for &i in indices {
+        counts[data.instances[i].label] += 1;
+    }
+    let majority = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(l, _)| l)
+        .unwrap_or(0);
+    // Pure node, depth limit, or too few instances: leaf.
+    let n_classes_present = counts.iter().filter(|&&c| c > 0).count();
+    if n_classes_present <= 1 || depth >= params.max_depth || indices.len() < params.min_split {
+        return Node::Leaf { label: majority };
+    }
+    // Best feature by the configured split criterion.
+    let mut best: Option<(usize, f64)> = None;
+    for f in 0..data.n_features() {
+        let g = split_quality(data, indices, f, params.criterion);
+        if best.map(|(_, bg)| g > bg).unwrap_or(true) {
+            best = Some((f, g));
+        }
+    }
+    let Some((feature, gain)) = best else {
+        return Node::Leaf { label: majority };
+    };
+    if gain < params.min_gain {
+        return Node::Leaf { label: majority };
+    }
+    let (pos, neg): (Vec<usize>, Vec<usize>) =
+        indices.iter().partition(|&&i| data.instances[i].features[feature]);
+    if pos.is_empty() || neg.is_empty() {
+        return Node::Leaf { label: majority };
+    }
+    Node::Split {
+        feature,
+        on_true: Box::new(build(data, &pos, params, depth + 1)),
+        on_false: Box::new(build(data, &neg, params, depth + 1)),
+    }
+}
+
+fn collect_features(node: &Node, out: &mut BTreeSet<usize>) {
+    if let Node::Split { feature, on_true, on_false } = node {
+        out.insert(*feature);
+        collect_features(on_true, out);
+        collect_features(on_false, out);
+    }
+}
+
+fn count_leaves(node: &Node) -> usize {
+    match node {
+        Node::Leaf { .. } => 1,
+        Node::Split { on_true, on_false, .. } => count_leaves(on_true) + count_leaves(on_false),
+    }
+}
+
+fn depth(node: &Node) -> usize {
+    match node {
+        Node::Leaf { .. } => 0,
+        Node::Split { on_true, on_false, .. } => 1 + depth(on_true).max(depth(on_false)),
+    }
+}
+
+fn render_node(node: &Node, features: &[String], labels: &[String], indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match node {
+        Node::Leaf { label } => {
+            let _ = writeln!(out, "{pad}=> {}", labels[*label]);
+        }
+        Node::Split { feature, on_true, on_false } => {
+            let _ = writeln!(out, "{pad}[{}]?", features[*feature]);
+            let _ = writeln!(out, "{pad}yes:");
+            render_node(on_true, features, labels, indent + 1, out);
+            let _ = writeln!(out, "{pad}no:");
+            render_node(on_false, features, labels, indent + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn smoking_toy() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        // never
+        b.add(&["deny".into()], "never");
+        b.add(&["never".into(), "smoke".into()], "never");
+        b.add(&["none".into()], "never");
+        b.add(&["deny".into(), "tobacco".into()], "never");
+        // former
+        b.add(&["quit".into(), "smoke".into()], "former");
+        b.add(&["quit".into(), "year".into()], "former");
+        b.add(&["former".into(), "smoker".into()], "former");
+        // current
+        b.add(&["currently".into(), "smoker".into()], "current");
+        b.add(&["smoke".into(), "pack".into()], "current");
+        b.add(&["current".into(), "smoker".into()], "current");
+        b.build()
+    }
+
+    #[test]
+    fn entropy_basics() {
+        assert_eq!(entropy(&[0, 0]), 0.0);
+        assert_eq!(entropy(&[4]), 0.0);
+        assert!((entropy(&[1, 1]) - 1.0).abs() < 1e-12);
+        assert!((entropy(&[1, 1, 1, 1]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_prefers_discriminative_feature() {
+        let d = smoking_toy();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let quit = d.feature_names.iter().position(|f| f == "quit").unwrap();
+        let smoke = d.feature_names.iter().position(|f| f == "smoke").unwrap();
+        assert!(
+            information_gain(&d, &idx, quit) > information_gain(&d, &idx, smoke),
+            "'quit' separates former from the rest better than 'smoke'"
+        );
+    }
+
+    #[test]
+    fn perfect_training_fit_on_separable_data() {
+        let d = smoking_toy();
+        let t = Id3Tree::train(&d, Id3Params::default());
+        for inst in &d.instances {
+            assert_eq!(t.predict(&inst.features), inst.label);
+        }
+    }
+
+    #[test]
+    fn features_used_is_small() {
+        let d = smoking_toy();
+        let t = Id3Tree::train(&d, Id3Params::default());
+        let used = t.features_used();
+        assert!(!used.is_empty());
+        assert!(used.len() <= 6, "ID3 should be parsimonious, used {used:?}");
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let d = smoking_toy();
+        let t = Id3Tree::train(&d, Id3Params { max_depth: 1, ..Default::default() });
+        assert!(t.depth() <= 1);
+    }
+
+    #[test]
+    fn predict_name_maps_labels() {
+        let d = smoking_toy();
+        let t = Id3Tree::train(&d, Id3Params::default());
+        let quit = d.feature_names.iter().position(|f| f == "quit").unwrap();
+        let mut fv = vec![false; d.n_features()];
+        fv[quit] = true;
+        assert_eq!(t.predict_name(&fv), "former");
+    }
+
+    #[test]
+    fn unseen_feature_vector_falls_through() {
+        let d = smoking_toy();
+        let t = Id3Tree::train(&d, Id3Params::default());
+        // All-false vector: follows the no-branches to some majority leaf.
+        let fv = vec![false; d.n_features()];
+        let label = t.predict(&fv);
+        assert!(label < d.n_labels());
+    }
+
+    #[test]
+    fn short_feature_vectors_treated_as_false() {
+        let d = smoking_toy();
+        let t = Id3Tree::train(&d, Id3Params::default());
+        let label = t.predict(&[]);
+        assert!(label < d.n_labels());
+    }
+
+    #[test]
+    fn render_contains_names() {
+        let d = smoking_toy();
+        let t = Id3Tree::train(&d, Id3Params::default());
+        let r = t.render();
+        assert!(r.contains("=>"));
+        assert!(r.contains("never") || r.contains("former") || r.contains("current"));
+    }
+
+    #[test]
+    fn single_class_dataset_is_one_leaf() {
+        let mut b = DatasetBuilder::new();
+        b.add(&["x".into()], "only");
+        b.add(&["y".into()], "only");
+        let d = b.build();
+        let t = Id3Tree::train(&d, Id3Params::default());
+        assert_eq!(t.leaves(), 1);
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let d = Dataset::new(vec!["a".into()]);
+        let _ = Id3Tree::train(&d, Id3Params::default());
+    }
+
+    #[test]
+    fn gini_basics() {
+        assert_eq!(gini(&[4]), 0.0, "pure");
+        assert!((gini(&[1, 1]) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+    }
+
+    #[test]
+    fn all_criteria_fit_separable_data() {
+        let d = smoking_toy();
+        for criterion in [
+            SplitCriterion::InformationGain,
+            SplitCriterion::GiniGain,
+            SplitCriterion::GainRatio,
+        ] {
+            let t = Id3Tree::train(&d, Id3Params { criterion, ..Default::default() });
+            for inst in &d.instances {
+                assert_eq!(t.predict(&inst.features), inst.label, "{criterion:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn criteria_agree_on_the_obvious_feature() {
+        let d = smoking_toy();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let quit = d.feature_names.iter().position(|f| f == "quit").unwrap();
+        assert!(information_gain(&d, &idx, quit) > 0.0);
+        assert!(gini_gain(&d, &idx, quit) > 0.0);
+        assert!(gain_ratio(&d, &idx, quit) > 0.0);
+    }
+
+    #[test]
+    fn gain_ratio_zero_on_constant_feature() {
+        let mut b = crate::dataset::DatasetBuilder::new();
+        b.add(&["always".into()], "a");
+        b.add(&["always".into()], "b");
+        let d = b.build();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        assert_eq!(gain_ratio(&d, &idx, 0), 0.0, "split info is zero");
+    }
+}

@@ -1,0 +1,32 @@
+//! # cmr-ml — ID3 decision trees and cross-validation
+//!
+//! The machine-learning substrate of the ICDE 2005 system: the authors
+//! "implemented the ID3-based decision tree algorithm" themselves (§4) and
+//! evaluate it with ten repetitions of shuffled five-fold cross-validation
+//! (§5). This crate provides the same: boolean-feature datasets, ID3
+//! training with information gain, and the repeated-CV harness.
+//!
+//! ```
+//! use cmr_ml::{DatasetBuilder, Id3Tree, Id3Params};
+//!
+//! let mut b = DatasetBuilder::new();
+//! b.add(&["quit".into()], "former");
+//! b.add(&["never".into()], "never");
+//! b.add(&["currently".into()], "current");
+//! let data = b.build();
+//! let tree = Id3Tree::train(&data, Id3Params::default());
+//! assert!(tree.features_used().len() <= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bayes;
+mod cv;
+mod dataset;
+mod id3;
+
+pub use bayes::NaiveBayes;
+pub use cv::{Classifier, CrossValidation, CvResult};
+pub use dataset::{Dataset, DatasetBuilder, Instance};
+pub use id3::{entropy, gain_ratio, gini, gini_gain, information_gain, split_quality, Id3Params, Id3Tree, SplitCriterion};

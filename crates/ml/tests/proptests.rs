@@ -1,0 +1,62 @@
+//! Property tests for the ID3 implementation.
+
+use cmr_ml::{entropy, CrossValidation, DatasetBuilder, Id3Params, Id3Tree};
+use proptest::prelude::*;
+
+proptest! {
+    /// Entropy is within [0, log2(k)] and zero for pure distributions.
+    #[test]
+    fn entropy_bounds(counts in prop::collection::vec(0usize..50, 1..6)) {
+        let h = entropy(&counts);
+        prop_assert!(h >= 0.0);
+        let k = counts.iter().filter(|&&c| c > 0).count().max(1);
+        prop_assert!(h <= (k as f64).log2() + 1e-9, "h={h} k={k}");
+    }
+
+    /// Training always fits pure-by-construction datasets perfectly when
+    /// each class has a dedicated marker feature.
+    #[test]
+    fn separable_data_fits(n in 1usize..15) {
+        let mut b = DatasetBuilder::new();
+        for i in 0..n {
+            b.add(&["alpha".into(), format!("x{i}")], "a");
+            b.add(&["beta".into(), format!("y{i}")], "b");
+        }
+        let d = b.build();
+        let t = Id3Tree::train(&d, Id3Params::default());
+        for inst in &d.instances {
+            prop_assert_eq!(t.predict(&inst.features), inst.label);
+        }
+    }
+
+    /// Prediction is total for any feature vector length.
+    #[test]
+    fn predict_total(len in 0usize..40) {
+        let mut b = DatasetBuilder::new();
+        b.add(&["p".into()], "x");
+        b.add(&["q".into()], "y");
+        b.add(&["p".into(), "q".into()], "x");
+        let d = b.build();
+        let t = Id3Tree::train(&d, Id3Params::default());
+        let fv = vec![true; len];
+        let label = t.predict(&fv);
+        prop_assert!(label < d.n_labels());
+    }
+
+    /// CV accuracies are valid probabilities and deterministic per seed.
+    #[test]
+    fn cv_accuracy_in_unit_interval(seed in 0u64..1000) {
+        let mut b = DatasetBuilder::new();
+        for i in 0..20 {
+            b.add(&[format!("f{}", i % 5)], if i % 3 == 0 { "a" } else { "b" });
+        }
+        let d = b.build();
+        let cv = CrossValidation { seed, repeats: 2, ..Default::default() };
+        let r = cv.run(&d);
+        for a in &r.accuracy_per_repeat {
+            prop_assert!((0.0..=1.0).contains(a));
+        }
+        let r2 = cv.run(&d);
+        prop_assert_eq!(r.accuracy_per_repeat, r2.accuracy_per_repeat);
+    }
+}

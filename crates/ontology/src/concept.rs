@@ -1,0 +1,92 @@
+//! Concepts and semantic types.
+
+use std::fmt;
+
+/// Coarse semantic type of a concept (a simplification of the UMLS semantic
+/// network sufficient for the extraction tasks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemanticType {
+    /// Diseases and syndromes (diabetes, hypertension).
+    Disease,
+    /// Therapeutic or diagnostic procedures (cholecystectomy).
+    Procedure,
+    /// Signs and findings (lymphadenopathy, tenderness).
+    Finding,
+    /// Pharmacologic substances (aspirin, Lipitor).
+    Drug,
+    /// Body parts and anatomy (axilla, breast).
+    Anatomy,
+    /// Behaviors (smoking, alcohol use).
+    Behavior,
+}
+
+impl fmt::Display for SemanticType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SemanticType::Disease => "Disease or Syndrome",
+            SemanticType::Procedure => "Therapeutic or Diagnostic Procedure",
+            SemanticType::Finding => "Sign or Finding",
+            SemanticType::Drug => "Pharmacologic Substance",
+            SemanticType::Anatomy => "Body Part or Anatomy",
+            SemanticType::Behavior => "Individual Behavior",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether a concept is common in clinical dictation or belongs to the long
+/// tail. Ontology *profiles* use this to model incomplete vocabularies (the
+/// paper attributes its false positives to "the incompleteness of domain
+/// ontology").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rarity {
+    /// Core clinical vocabulary, present in every profile.
+    Common,
+    /// Long-tail vocabulary, dropped by the degraded profile.
+    Rare,
+}
+
+/// A medical concept: identifier, preferred name, synonyms, semantic type.
+///
+/// CUIs are synthetic (`CMR`-prefixed) — the real UMLS is licensed and not
+/// redistributable; see DESIGN.md for the substitution rationale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Concept {
+    /// Synthetic concept identifier, e.g. `CMR0001`.
+    pub cui: &'static str,
+    /// Preferred surface name (lower-case).
+    pub preferred: &'static str,
+    /// Synononymous surface forms (lower-case), not including the preferred
+    /// name.
+    pub synonyms: &'static [&'static str],
+    /// Semantic type.
+    pub semtype: SemanticType,
+    /// Vocabulary tier (see [`Rarity`]).
+    pub rarity: Rarity,
+}
+
+impl fmt::Display for Concept {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] ({})", self.preferred, self.cui, self.semtype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let c = Concept {
+            cui: "CMR0001",
+            preferred: "diabetes mellitus",
+            synonyms: &["diabetes"],
+            semtype: SemanticType::Disease,
+            rarity: Rarity::Common,
+        };
+        let s = c.to_string();
+        assert!(s.contains("diabetes mellitus"));
+        assert!(s.contains("CMR0001"));
+        assert!(s.contains("Disease"));
+    }
+}

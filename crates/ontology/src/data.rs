@@ -1,0 +1,240 @@
+//! The embedded concept tables.
+//!
+//! Vocabulary is biased toward breast-cancer consultation notes (the paper's
+//! domain): the diseases, procedures, drugs, findings and behaviors that
+//! appear in past medical history, past surgical history, medications and
+//! examination sections. CUIs are synthetic.
+
+use crate::concept::{Concept, Rarity, SemanticType};
+
+macro_rules! concepts {
+    ($($cui:literal, $pref:literal, [$($syn:literal),*], $ty:ident, $rar:ident;)*) => {
+        &[$(Concept {
+            cui: $cui,
+            preferred: $pref,
+            synonyms: &[$($syn),*],
+            semtype: SemanticType::$ty,
+            rarity: Rarity::$rar,
+        }),*]
+    };
+}
+
+/// Every concept in the vocabulary.
+pub const CONCEPTS: &[Concept] = concepts![
+    // ---- diseases -------------------------------------------------------
+    "CMR0001", "diabetes", ["diabetes mellitus", "dm"], Disease, Common;
+    "CMR0002", "hypertension", ["high blood pressure", "htn", "elevated blood pressure"], Disease, Common;
+    "CMR0003", "heart disease", ["cardiac disease", "coronary artery disease", "cad"], Disease, Common;
+    "CMR0004", "hypercholesterolemia", ["high cholesterol", "elevated cholesterol", "hyperlipidemia"], Disease, Common;
+    "CMR0005", "asthma", ["reactive airway disease"], Disease, Common;
+    "CMR0006", "bronchitis", ["chronic bronchitis"], Disease, Common;
+    "CMR0007", "arrhythmia", ["cardiac arrhythmia", "irregular heartbeat", "atrial fibrillation"], Disease, Common;
+    "CMR0008", "depression", ["major depression", "depressive disorder"], Disease, Common;
+    "CMR0009", "arthritis", ["osteoarthritis", "degenerative joint disease"], Disease, Common;
+    "CMR0010", "cerebrovascular accident", ["cva", "stroke", "postoperative cva"], Disease, Common;
+    "CMR0011", "myocardial infarction", ["heart attack", "mi"], Disease, Common;
+    "CMR0012", "congestive heart failure", ["chf", "heart failure"], Disease, Common;
+    "CMR0013", "chronic obstructive pulmonary disease", ["copd", "emphysema"], Disease, Common;
+    "CMR0014", "hypothyroidism", ["underactive thyroid", "low thyroid"], Disease, Common;
+    "CMR0015", "gastroesophageal reflux disease", ["gerd", "acid reflux", "reflux"], Disease, Common;
+    "CMR0016", "anemia", ["iron deficiency anemia"], Disease, Common;
+    "CMR0017", "osteoporosis", ["bone loss"], Disease, Common;
+    "CMR0018", "migraine", ["migraine headache"], Disease, Common;
+    "CMR0019", "breast cancer", ["breast carcinoma", "carcinoma of breast", "mammary carcinoma"], Disease, Common;
+    "CMR0020", "pneumonia", [], Disease, Common;
+    "CMR0021", "gout", [], Disease, Rare;
+    "CMR0022", "glaucoma", [], Disease, Rare;
+    "CMR0023", "cataract", ["cataracts"], Disease, Rare;
+    "CMR0024", "fibromyalgia", [], Disease, Rare;
+    "CMR0025", "diverticulitis", [], Disease, Rare;
+    "CMR0026", "peptic ulcer disease", ["stomach ulcer", "ulcer disease"], Disease, Rare;
+    "CMR0027", "deep vein thrombosis", ["dvt", "venous thrombosis"], Disease, Rare;
+    "CMR0028", "pulmonary embolism", ["pe"], Disease, Rare;
+    "CMR0029", "seizure disorder", ["epilepsy", "seizures"], Disease, Rare;
+    "CMR0030", "anxiety", ["anxiety disorder", "generalized anxiety"], Disease, Common;
+    "CMR0031", "obesity", ["morbid obesity"], Disease, Common;
+    "CMR0032", "kidney disease", ["renal disease", "chronic kidney disease", "renal insufficiency"], Disease, Rare;
+    "CMR0033", "hepatitis", ["hepatitis c", "hepatitis b"], Disease, Rare;
+    "CMR0034", "lupus", ["systemic lupus erythematosus", "sle"], Disease, Rare;
+    "CMR0035", "psoriasis", [], Disease, Rare;
+    "CMR0036", "endometriosis", [], Disease, Rare;
+    "CMR0037", "fibrocystic breast disease", ["fibrocystic disease", "fibrocystic change"], Disease, Common;
+    "CMR0038", "ovarian cancer", ["ovarian carcinoma"], Disease, Rare;
+    "CMR0039", "colon cancer", ["colorectal cancer", "colon carcinoma"], Disease, Rare;
+    "CMR0040", "thyroid nodule", ["thyroid nodules"], Disease, Rare;
+    "CMR0041", "mitral valve prolapse", ["mvp"], Disease, Rare;
+    "CMR0042", "transient ischemic attack", ["tia", "mini stroke"], Disease, Rare;
+    "CMR0043", "sleep apnea", ["obstructive sleep apnea", "osa"], Disease, Rare;
+    "CMR0044", "urinary tract infection", ["uti", "bladder infection"], Disease, Rare;
+    "CMR0045", "sinusitis", ["chronic sinusitis"], Disease, Rare;
+    "CMR0046", "eczema", ["atopic dermatitis"], Disease, Rare;
+    "CMR0047", "irritable bowel syndrome", ["ibs"], Disease, Rare;
+    "CMR0048", "uterine fibroid", ["uterine fibroids", "fibroids", "leiomyoma"], Disease, Common;
+    "CMR0049", "cervical dysplasia", [], Disease, Rare;
+    "CMR0050", "ductal carcinoma in situ", ["dcis", "intraductal carcinoma"], Disease, Rare;
+    // ---- procedures -----------------------------------------------------
+    "CMR0101", "cholecystectomy", ["gallbladder removal", "laparoscopic cholecystectomy", "gallbladder surgery"], Procedure, Common;
+    "CMR0102", "appendectomy", ["appendix removal", "appy"], Procedure, Common;
+    "CMR0103", "hysterectomy", ["total abdominal hysterectomy", "tah", "uterus removal"], Procedure, Common;
+    "CMR0104", "cesarean section", ["c-section", "cesarean delivery", "cesarean"], Procedure, Common;
+    "CMR0105", "tonsillectomy", ["tonsil removal"], Procedure, Common;
+    "CMR0106", "hernia repair", ["hernia closure", "herniorrhaphy", "midline hernia closure", "inguinal hernia repair"], Procedure, Common;
+    "CMR0107", "mastectomy", ["breast removal", "modified radical mastectomy"], Procedure, Common;
+    "CMR0108", "lumpectomy", ["partial mastectomy", "breast conservation surgery"], Procedure, Common;
+    "CMR0109", "breast biopsy", ["biopsy of breast", "core needle biopsy", "excisional biopsy"], Procedure, Common;
+    "CMR0110", "laminectomy", ["cervical laminectomy", "lumbar laminectomy"], Procedure, Common;
+    "CMR0111", "coronary artery bypass", ["cabg", "bypass surgery", "heart bypass"], Procedure, Common;
+    "CMR0112", "angioplasty", ["balloon angioplasty", "stent placement"], Procedure, Rare;
+    "CMR0113", "knee replacement", ["total knee arthroplasty", "knee arthroplasty"], Procedure, Rare;
+    "CMR0114", "hip replacement", ["total hip arthroplasty", "hip arthroplasty"], Procedure, Rare;
+    "CMR0115", "oophorectomy", ["ovary removal", "bilateral salpingo-oophorectomy", "bso"], Procedure, Rare;
+    "CMR0116", "thyroidectomy", ["thyroid removal"], Procedure, Rare;
+    "CMR0117", "tubal ligation", ["tubes tied", "bilateral tubal ligation"], Procedure, Common;
+    "CMR0118", "carpal tunnel release", ["carpal tunnel surgery"], Procedure, Rare;
+    "CMR0119", "cataract extraction", ["cataract surgery", "cataract removal"], Procedure, Rare;
+    "CMR0120", "colonoscopy", [], Procedure, Common;
+    "CMR0121", "arthroscopy", ["knee arthroscopy", "arthroscopic surgery"], Procedure, Rare;
+    "CMR0122", "vasectomy", [], Procedure, Rare;
+    "CMR0123", "skin graft", ["skin grafting"], Procedure, Rare;
+    "CMR0124", "rhinoplasty", ["nose job"], Procedure, Rare;
+    "CMR0125", "breast augmentation", ["breast implant", "breast implants"], Procedure, Rare;
+    "CMR0126", "breast reduction", ["reduction mammoplasty"], Procedure, Rare;
+    "CMR0127", "lymph node dissection", ["axillary dissection", "axillary lymph node dissection"], Procedure, Rare;
+    "CMR0128", "lymph node biopsy", ["sentinel node biopsy", "sentinel lymph node biopsy"], Procedure, Rare;
+    "CMR0129", "gastric bypass", ["bariatric surgery", "stomach stapling"], Procedure, Rare;
+    "CMR0130", "back surgery", ["spinal fusion", "spine surgery"], Procedure, Rare;
+    // ---- findings -------------------------------------------------------
+    "CMR0201", "lymphadenopathy", ["adenopathy", "enlarged lymph nodes", "supraclavicular lymphadenopathy", "axillary adenopathy"], Finding, Common;
+    "CMR0202", "breast mass", ["breast lump", "dominant lesion", "palpable mass"], Finding, Common;
+    "CMR0203", "abnormal mammogram", ["abnormal screening mammogram", "mammographic abnormality"], Finding, Common;
+    "CMR0204", "calcification", ["abnormal calcification", "microcalcification", "microcalcifications"], Finding, Common;
+    "CMR0205", "nipple discharge", ["breast discharge"], Finding, Common;
+    "CMR0206", "breast pain", ["mastalgia", "breast tenderness"], Finding, Common;
+    "CMR0207", "back pain", ["low back pain", "lumbago"], Finding, Common;
+    "CMR0208", "chest pain", ["angina"], Finding, Common;
+    "CMR0209", "headache", ["headaches"], Finding, Common;
+    "CMR0210", "solid lesion", ["solid mass", "solid nodule"], Finding, Common;
+    "CMR0211", "cyst", ["simple cyst", "breast cyst"], Finding, Common;
+    "CMR0212", "skin dimpling", ["dimpling"], Finding, Rare;
+    "CMR0213", "nipple retraction", [], Finding, Rare;
+    "CMR0214", "murmur", ["heart murmur", "systolic murmur"], Finding, Common;
+    "CMR0215", "edema", ["swelling", "peripheral edema"], Finding, Common;
+    "CMR0216", "shortness of breath", ["dyspnea", "breathing difficulty"], Finding, Common;
+    "CMR0217", "fatigue", ["tiredness"], Finding, Common;
+    "CMR0218", "dizziness", ["vertigo", "lightheadedness"], Finding, Common;
+    "CMR0219", "nausea", [], Finding, Common;
+    "CMR0220", "weight loss", ["unintentional weight loss"], Finding, Common;
+    // Standalone head-word concepts. When a multiword term is absent from
+    // an incomplete vocabulary, the §3.2 scanner falls through to the
+    // single-noun pattern and resolves the head word instead — the exact
+    // "improper assignments" failure the paper analyzes in Table 1.
+    "CMR0221", "hernia", ["hernias"], Finding, Common;
+    "CMR0222", "ulcer", ["ulcers"], Finding, Common;
+    "CMR0223", "thrombosis", [], Finding, Common;
+    "CMR0224", "embolism", [], Finding, Common;
+    "CMR0225", "seizure", ["seizures"], Finding, Common;
+    "CMR0226", "apnea", [], Finding, Common;
+    "CMR0227", "infection", ["infections"], Finding, Common;
+    // ---- drugs ----------------------------------------------------------
+    "CMR0301", "aspirin", ["asa"], Drug, Common;
+    "CMR0302", "hydrochlorothiazide", ["hctz"], Drug, Common;
+    "CMR0303", "lipitor", ["atorvastatin"], Drug, Common;
+    "CMR0304", "cardizem", ["diltiazem"], Drug, Common;
+    "CMR0305", "senna", [], Drug, Rare;
+    "CMR0306", "wellbutrin", ["bupropion"], Drug, Common;
+    "CMR0307", "zoloft", ["sertraline"], Drug, Common;
+    "CMR0308", "protonix", ["pantoprazole"], Drug, Common;
+    "CMR0309", "glucophage", ["metformin"], Drug, Common;
+    "CMR0310", "os-cal", ["calcium carbonate", "calcium supplement"], Drug, Rare;
+    "CMR0311", "combivent", ["albuterol ipratropium"], Drug, Rare;
+    "CMR0312", "flovent", ["fluticasone"], Drug, Rare;
+    "CMR0313", "penicillin", [], Drug, Common;
+    "CMR0314", "lisinopril", ["ace inhibitor", "ace inhibitors"], Drug, Common;
+    "CMR0315", "tamoxifen", [], Drug, Common;
+    "CMR0316", "synthroid", ["levothyroxine"], Drug, Common;
+    "CMR0317", "coumadin", ["warfarin"], Drug, Common;
+    "CMR0318", "prednisone", [], Drug, Common;
+    "CMR0319", "insulin", [], Drug, Common;
+    "CMR0320", "ibuprofen", ["motrin", "advil"], Drug, Common;
+    // ---- anatomy --------------------------------------------------------
+    "CMR0401", "breast", ["left breast", "right breast"], Anatomy, Common;
+    "CMR0402", "axilla", ["armpit"], Anatomy, Common;
+    "CMR0403", "lymph node", ["lymph nodes"], Anatomy, Common;
+    "CMR0404", "gallbladder", [], Anatomy, Common;
+    "CMR0405", "uterus", [], Anatomy, Common;
+    "CMR0406", "cervical spine", ["neck spine"], Anatomy, Rare;
+    "CMR0407", "kidney", ["kidneys"], Anatomy, Common;
+    "CMR0408", "thyroid", ["thyroid gland"], Anatomy, Common;
+    "CMR0409", "knee", ["knees"], Anatomy, Common;
+    "CMR0410", "hip", ["hips"], Anatomy, Common;
+    // ---- behaviors ------------------------------------------------------
+    "CMR0501", "smoking", ["tobacco use", "cigarette smoking", "smoking history"], Behavior, Common;
+    "CMR0502", "alcohol use", ["alcohol consumption", "drinking", "etoh use"], Behavior, Common;
+    "CMR0503", "drug use", ["substance use", "marijuana use"], Behavior, Common;
+];
+
+/// Predefined past-medical-history checklist (the study's fixed list; the
+/// paper distinguishes "Predefined Past Medical History" from "Other").
+pub const PREDEFINED_MEDICAL_CUIS: &[&str] = &[
+    "CMR0001", // diabetes
+    "CMR0002", // hypertension
+    "CMR0003", // heart disease
+    "CMR0004", // hypercholesterolemia
+    "CMR0005", // asthma
+    "CMR0007", // arrhythmia
+    "CMR0008", // depression
+    "CMR0009", // arthritis
+    "CMR0010", // cerebrovascular accident
+    "CMR0013", // COPD
+    "CMR0019", // breast cancer
+];
+
+/// Predefined past-surgical-history checklist.
+pub const PREDEFINED_SURGICAL_CUIS: &[&str] = &[
+    "CMR0101", // cholecystectomy
+    "CMR0102", // appendectomy
+    "CMR0103", // hysterectomy
+    "CMR0104", // cesarean section
+    "CMR0105", // tonsillectomy
+    "CMR0106", // hernia repair
+    "CMR0107", // mastectomy
+    "CMR0108", // lumpectomy
+    "CMR0109", // breast biopsy
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cuis_unique() {
+        let mut seen = HashSet::new();
+        for c in CONCEPTS {
+            assert!(seen.insert(c.cui), "duplicate cui {}", c.cui);
+        }
+    }
+
+    #[test]
+    fn names_lowercase() {
+        for c in CONCEPTS {
+            assert_eq!(c.preferred, c.preferred.to_lowercase());
+            for s in c.synonyms {
+                assert_eq!(*s, s.to_lowercase());
+            }
+        }
+    }
+
+    #[test]
+    fn predefined_lists_resolve() {
+        let cuis: HashSet<&str> = CONCEPTS.iter().map(|c| c.cui).collect();
+        for cui in PREDEFINED_MEDICAL_CUIS.iter().chain(PREDEFINED_SURGICAL_CUIS) {
+            assert!(cuis.contains(cui), "unknown predefined cui {cui}");
+        }
+    }
+
+    #[test]
+    fn vocabulary_size() {
+        assert!(CONCEPTS.len() >= 120, "got {}", CONCEPTS.len());
+    }
+}

@@ -1,0 +1,63 @@
+//! Term normalization, exactly as the paper specifies (§3.2):
+//!
+//! > "Normalization usually includes two steps: (1) getting the uninfected
+//! > form of the surface word, (2) sorting multiple words in alphabetic
+//! > order. For example, the term 'high blood pressures' after
+//! > normalization becomes 'blood high pressure'."
+
+use cmr_lexicon::Lemmatizer;
+
+/// Normalizes a term: lowercase, lemmatize each word, sort words
+/// alphabetically, join with single spaces. Hyphens count as word breaks so
+/// `c-section` and `c section` normalize identically.
+pub fn normalize(term: &str) -> String {
+    let lem = Lemmatizer::new();
+    let mut words: Vec<String> = term
+        .to_lowercase()
+        .split(|c: char| c.is_whitespace() || c == '-')
+        .filter(|w| !w.is_empty())
+        .map(|w| lem.lemma_any(w))
+        .collect();
+    words.sort_unstable();
+    words.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        assert_eq!(normalize("high blood pressures"), "blood high pressure");
+    }
+
+    #[test]
+    fn single_word() {
+        assert_eq!(normalize("Cholecystectomy"), "cholecystectomy");
+        assert_eq!(normalize("biopsies"), "biopsy");
+    }
+
+    #[test]
+    fn sorting_is_alphabetic() {
+        assert_eq!(normalize("past medical history"), "history medical past");
+    }
+
+    #[test]
+    fn hyphens_split() {
+        assert_eq!(normalize("c-section"), normalize("c section"));
+    }
+
+    #[test]
+    fn idempotent() {
+        for t in ["high blood pressures", "midline hernia closure", "postoperative CVA"] {
+            let once = normalize(t);
+            assert_eq!(normalize(&once), once, "{t}");
+        }
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("  - "), "");
+    }
+}

@@ -1,0 +1,243 @@
+//! The ontology: a normalized-string index over the concept tables.
+
+use crate::concept::{Concept, Rarity, SemanticType};
+use crate::data::{CONCEPTS, PREDEFINED_MEDICAL_CUIS, PREDEFINED_SURGICAL_CUIS};
+use crate::normalize::normalize;
+use std::collections::{HashMap, HashSet};
+
+/// Vocabulary completeness profile.
+///
+/// The paper's Table 1 errors are explained by two vocabulary defects:
+/// "the incompleteness of domain ontology" (false positives/negatives on
+/// the *other* attributes) and "failures to recognize the synonyms of
+/// predefined surgical terms" (the 35% recall on predefined surgical
+/// history). The profiles reproduce those defects deliberately:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OntologyProfile {
+    /// Everything: all concepts, all synonyms. The "appropriate medical
+    /// database" the paper's conclusion asks for.
+    #[default]
+    Full,
+    /// The paper's effective vocabulary: the long tail of diseases and
+    /// findings is missing ("the incompleteness of domain ontology" behind
+    /// the Other-attribute errors), and procedures carry **no synonyms**
+    /// (the predefined-surgical recall hole: "failures to recognize the
+    /// synonyms of predefined surgical terms").
+    Paper,
+    /// A deliberately thin vocabulary: common concepts only, no synonyms
+    /// anywhere.
+    Degraded,
+}
+
+/// The concept index. Lookup is by normalized string (lemmatized words in
+/// alphabetical order), the same scheme UMLS's normalized-string table uses.
+#[derive(Debug, Clone)]
+pub struct Ontology {
+    profile: OntologyProfile,
+    concepts: Vec<&'static Concept>,
+    index: HashMap<String, usize>,
+}
+
+impl Default for Ontology {
+    fn default() -> Self {
+        Ontology::with_profile(OntologyProfile::Full)
+    }
+}
+
+impl Ontology {
+    /// Builds the ontology under a completeness profile.
+    pub fn with_profile(profile: OntologyProfile) -> Ontology {
+        let mut concepts = Vec::new();
+        let mut index = HashMap::new();
+        for c in CONCEPTS {
+            let include = match profile {
+                OntologyProfile::Full => true,
+                OntologyProfile::Degraded => c.rarity == Rarity::Common,
+                OntologyProfile::Paper => {
+                    c.rarity == Rarity::Common
+                        || !matches!(c.semtype, SemanticType::Disease | SemanticType::Finding)
+                }
+            };
+            if !include {
+                continue;
+            }
+            let id = concepts.len();
+            concepts.push(c);
+            index.entry(normalize(c.preferred)).or_insert(id);
+            let take_synonyms = match profile {
+                OntologyProfile::Full => true,
+                OntologyProfile::Paper => c.semtype != SemanticType::Procedure,
+                OntologyProfile::Degraded => false,
+            };
+            if take_synonyms {
+                for s in c.synonyms {
+                    index.entry(normalize(s)).or_insert(id);
+                }
+            }
+        }
+        Ontology {
+            profile,
+            concepts,
+            index,
+        }
+    }
+
+    /// Full vocabulary.
+    pub fn full() -> Ontology {
+        Ontology::with_profile(OntologyProfile::Full)
+    }
+
+    /// The paper-faithful vocabulary (see [`OntologyProfile::Paper`]).
+    pub fn paper() -> Ontology {
+        Ontology::with_profile(OntologyProfile::Paper)
+    }
+
+    /// Thin vocabulary.
+    pub fn degraded() -> Ontology {
+        Ontology::with_profile(OntologyProfile::Degraded)
+    }
+
+    /// The profile this ontology was built with.
+    pub fn profile(&self) -> OntologyProfile {
+        self.profile
+    }
+
+    /// Looks up a surface term (normalizing it first).
+    pub fn lookup(&self, surface: &str) -> Option<&'static Concept> {
+        self.lookup_normalized(&normalize(surface))
+    }
+
+    /// Looks up an already-normalized string.
+    pub fn lookup_normalized(&self, norm: &str) -> Option<&'static Concept> {
+        self.index.get(norm).map(|&i| self.concepts[i])
+    }
+
+    /// True when the surface term denotes a known concept.
+    pub fn contains(&self, surface: &str) -> bool {
+        self.lookup(surface).is_some()
+    }
+
+    /// Number of concepts loaded.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// True when no concepts are loaded (never the case for built profiles).
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Number of indexed surface forms.
+    pub fn surface_forms(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Iterates over loaded concepts.
+    pub fn concepts(&self) -> impl Iterator<Item = &'static Concept> + '_ {
+        self.concepts.iter().copied()
+    }
+}
+
+/// A named set of concepts (by CUI) — the study's predefined checklists.
+#[derive(Debug, Clone)]
+pub struct ValueSet {
+    /// Human-readable name.
+    pub name: &'static str,
+    cuis: HashSet<&'static str>,
+}
+
+impl ValueSet {
+    /// The predefined past-medical-history checklist.
+    pub fn predefined_medical_history() -> ValueSet {
+        ValueSet {
+            name: "Predefined Past Medical History",
+            cuis: PREDEFINED_MEDICAL_CUIS.iter().copied().collect(),
+        }
+    }
+
+    /// The predefined past-surgical-history checklist.
+    pub fn predefined_surgical_history() -> ValueSet {
+        ValueSet {
+            name: "Predefined Past Surgical History",
+            cuis: PREDEFINED_SURGICAL_CUIS.iter().copied().collect(),
+        }
+    }
+
+    /// True when the concept belongs to this set.
+    pub fn contains(&self, concept: &Concept) -> bool {
+        self.cuis.contains(concept.cui)
+    }
+
+    /// Number of concepts in the set.
+    pub fn len(&self) -> usize {
+        self.cuis.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cuis.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_profile_finds_synonyms() {
+        let o = Ontology::full();
+        let c = o.lookup("high blood pressure").expect("synonym resolves");
+        assert_eq!(c.preferred, "hypertension");
+        assert_eq!(o.lookup("CVA").unwrap().preferred, "cerebrovascular accident");
+    }
+
+    #[test]
+    fn lookup_normalizes_inflection() {
+        let o = Ontology::full();
+        assert!(o.contains("high blood pressures"), "plural resolves");
+        assert!(o.contains("Cholecystectomy"));
+        assert!(o.contains("midline hernia closure"));
+    }
+
+    #[test]
+    fn paper_profile_lacks_surgical_synonyms() {
+        let o = Ontology::paper();
+        assert!(o.contains("cholecystectomy"), "preferred names stay");
+        assert!(!o.contains("gallbladder removal"), "procedure synonyms dropped");
+        assert!(o.contains("high blood pressure"), "disease synonyms stay");
+    }
+
+    #[test]
+    fn degraded_profile_is_thin() {
+        let o = Ontology::degraded();
+        assert!(o.len() < Ontology::full().len());
+        assert!(!o.contains("gout"), "rare concepts dropped");
+        assert!(o.contains("diabetes"));
+        assert!(!o.contains("high blood pressure"), "no synonyms at all");
+    }
+
+    #[test]
+    fn unknown_terms_miss() {
+        let o = Ontology::full();
+        assert!(!o.contains("quantum flux capacitor"));
+        assert!(!o.contains(""));
+    }
+
+    #[test]
+    fn value_sets() {
+        let o = Ontology::full();
+        let med = ValueSet::predefined_medical_history();
+        let surg = ValueSet::predefined_surgical_history();
+        assert!(med.contains(o.lookup("diabetes").unwrap()));
+        assert!(!med.contains(o.lookup("cholecystectomy").unwrap()));
+        assert!(surg.contains(o.lookup("cholecystectomy").unwrap()));
+        assert!(!surg.is_empty());
+        assert_eq!(surg.len(), 9);
+    }
+
+    #[test]
+    fn profile_sizes_ordered() {
+        assert!(Ontology::degraded().surface_forms() < Ontology::paper().surface_forms());
+        assert!(Ontology::paper().surface_forms() < Ontology::full().surface_forms());
+    }
+}

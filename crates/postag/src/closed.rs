@@ -1,0 +1,196 @@
+//! Closed-class word table.
+//!
+//! Function words are few and unambiguous enough to enumerate; they anchor
+//! the contextual disambiguation of open-class words around them.
+
+use crate::tag::Tag;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Closed-class entries: word → tags in preference order (first is default).
+pub const CLOSED: &[(&str, &[Tag])] = &[
+    // determiners
+    ("the", &[Tag::DT]),
+    ("a", &[Tag::DT]),
+    ("an", &[Tag::DT]),
+    ("this", &[Tag::DT]),
+    ("that", &[Tag::DT, Tag::IN, Tag::WDT]),
+    ("these", &[Tag::DT]),
+    ("those", &[Tag::DT]),
+    ("each", &[Tag::DT]),
+    ("every", &[Tag::DT]),
+    ("some", &[Tag::DT]),
+    ("any", &[Tag::DT]),
+    ("no", &[Tag::DT]),
+    ("all", &[Tag::DT]),
+    ("both", &[Tag::DT]),
+    ("either", &[Tag::DT]),
+    ("neither", &[Tag::DT]),
+    ("another", &[Tag::DT]),
+    ("such", &[Tag::DT]),
+    // pronouns
+    ("she", &[Tag::PRP]),
+    ("he", &[Tag::PRP]),
+    ("it", &[Tag::PRP]),
+    ("they", &[Tag::PRP]),
+    ("we", &[Tag::PRP]),
+    ("i", &[Tag::PRP]),
+    ("you", &[Tag::PRP]),
+    ("them", &[Tag::PRP]),
+    ("him", &[Tag::PRP]),
+    ("me", &[Tag::PRP]),
+    ("us", &[Tag::PRP]),
+    ("herself", &[Tag::PRP]),
+    ("himself", &[Tag::PRP]),
+    ("itself", &[Tag::PRP]),
+    ("none", &[Tag::PRP]),
+    ("her", &[Tag::PRPS, Tag::PRP]),
+    ("his", &[Tag::PRPS]),
+    ("their", &[Tag::PRPS]),
+    ("its", &[Tag::PRPS]),
+    ("my", &[Tag::PRPS]),
+    ("our", &[Tag::PRPS]),
+    ("your", &[Tag::PRPS]),
+    // prepositions / subordinators
+    ("of", &[Tag::IN]),
+    ("in", &[Tag::IN]),
+    ("on", &[Tag::IN]),
+    ("at", &[Tag::IN]),
+    ("by", &[Tag::IN]),
+    ("for", &[Tag::IN]),
+    ("with", &[Tag::IN]),
+    ("without", &[Tag::IN]),
+    ("from", &[Tag::IN]),
+    ("into", &[Tag::IN]),
+    ("during", &[Tag::IN]),
+    ("after", &[Tag::IN]),
+    ("before", &[Tag::IN]),
+    ("since", &[Tag::IN]),
+    ("until", &[Tag::IN]),
+    ("about", &[Tag::IN, Tag::RB]),
+    ("against", &[Tag::IN]),
+    ("between", &[Tag::IN]),
+    ("through", &[Tag::IN]),
+    ("over", &[Tag::IN]),
+    ("under", &[Tag::IN]),
+    ("within", &[Tag::IN]),
+    ("per", &[Tag::IN]),
+    ("as", &[Tag::IN]),
+    ("if", &[Tag::IN]),
+    ("because", &[Tag::IN]),
+    ("while", &[Tag::IN]),
+    ("although", &[Tag::IN]),
+    ("though", &[Tag::IN]),
+    ("whether", &[Tag::IN]),
+    ("than", &[Tag::IN]),
+    ("up", &[Tag::IN, Tag::RB]),
+    ("out", &[Tag::IN, Tag::RB]),
+    ("off", &[Tag::IN, Tag::RB]),
+    ("down", &[Tag::IN, Tag::RB]),
+    // conjunctions
+    ("and", &[Tag::CC]),
+    ("or", &[Tag::CC]),
+    ("but", &[Tag::CC]),
+    ("nor", &[Tag::CC]),
+    ("plus", &[Tag::CC]),
+    // infinitival "to"
+    ("to", &[Tag::TO]),
+    // modals
+    ("will", &[Tag::MD]),
+    ("would", &[Tag::MD]),
+    ("can", &[Tag::MD]),
+    ("could", &[Tag::MD]),
+    ("may", &[Tag::MD]),
+    ("might", &[Tag::MD]),
+    ("shall", &[Tag::MD]),
+    ("should", &[Tag::MD]),
+    ("must", &[Tag::MD]),
+    // be/have/do (explicit forms; tags chosen by form)
+    ("be", &[Tag::VB]),
+    ("am", &[Tag::VBP]),
+    ("is", &[Tag::VBZ]),
+    ("are", &[Tag::VBP]),
+    ("was", &[Tag::VBD]),
+    ("were", &[Tag::VBD]),
+    ("been", &[Tag::VBN]),
+    ("being", &[Tag::VBG]),
+    ("have", &[Tag::VBP, Tag::VB]),
+    ("has", &[Tag::VBZ]),
+    ("had", &[Tag::VBD, Tag::VBN]),
+    ("having", &[Tag::VBG]),
+    ("do", &[Tag::VBP, Tag::VB]),
+    ("does", &[Tag::VBZ]),
+    ("did", &[Tag::VBD]),
+    ("done", &[Tag::VBN]),
+    ("doing", &[Tag::VBG]),
+    // negation & frequent adverbs that must never be nouns
+    ("not", &[Tag::RB]),
+    ("n't", &[Tag::RB]),
+    ("never", &[Tag::RB]),
+    ("also", &[Tag::RB]),
+    ("very", &[Tag::RB]),
+    ("too", &[Tag::RB]),
+    ("so", &[Tag::RB]),
+    ("just", &[Tag::RB]),
+    ("there", &[Tag::EX, Tag::RB]),
+    ("here", &[Tag::RB]),
+    ("then", &[Tag::RB]),
+    ("now", &[Tag::RB]),
+    ("ago", &[Tag::RB]),
+    ("ever", &[Tag::RB]),
+    ("again", &[Tag::RB]),
+    ("still", &[Tag::RB]),
+    ("currently", &[Tag::RB]),
+    ("formerly", &[Tag::RB]),
+    ("previously", &[Tag::RB]),
+    ("approximately", &[Tag::RB]),
+    ("once", &[Tag::RB]),
+    ("twice", &[Tag::RB]),
+    // wh-words
+    ("who", &[Tag::WP]),
+    ("whom", &[Tag::WP]),
+    ("which", &[Tag::WDT]),
+    ("what", &[Tag::WP]),
+    ("when", &[Tag::WRB]),
+    ("where", &[Tag::WRB]),
+    ("why", &[Tag::WRB]),
+    ("how", &[Tag::WRB]),
+];
+
+fn table() -> &'static HashMap<&'static str, &'static [Tag]> {
+    static T: OnceLock<HashMap<&'static str, &'static [Tag]>> = OnceLock::new();
+    T.get_or_init(|| CLOSED.iter().copied().collect())
+}
+
+/// Looks up the closed-class tags for a lower-cased word.
+pub fn closed_class(word: &str) -> Option<&'static [Tag]> {
+    table().get(word).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup() {
+        assert_eq!(closed_class("the"), Some(&[Tag::DT][..]));
+        assert_eq!(closed_class("of"), Some(&[Tag::IN][..]));
+        assert!(closed_class("pressure").is_none());
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let mut seen = std::collections::HashSet::new();
+        for (w, tags) in CLOSED {
+            assert!(seen.insert(*w), "duplicate closed-class entry {w}");
+            assert!(!tags.is_empty());
+        }
+    }
+
+    #[test]
+    fn entries_lowercase() {
+        for (w, _) in CLOSED {
+            assert_eq!(*w, w.to_lowercase());
+        }
+    }
+}

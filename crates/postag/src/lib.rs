@@ -1,0 +1,25 @@
+//! # cmr-postag — part-of-speech tagging for clinical dictation English
+//!
+//! Replaces GATE's POS tagger in the original ICDE 2005 system. A two-pass
+//! lexicon-plus-rules tagger: closed-class table and morphology-driven
+//! analysis propose candidate tags; contextual rules resolve them.
+//!
+//! ```
+//! use cmr_postag::{PosTagger, Tag};
+//! use cmr_text::tokenize;
+//!
+//! let tagged = PosTagger::new().tag(&tokenize("Blood pressure is 144/90."));
+//! assert_eq!(tagged[2].tag, Tag::VBZ);
+//! assert_eq!(tagged[3].tag, Tag::CD);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod closed;
+mod tag;
+mod tagger;
+
+pub use closed::closed_class;
+pub use tag::Tag;
+pub use tagger::{PosTagger, TaggedToken};

@@ -1,0 +1,158 @@
+//! Penn-Treebank-style part-of-speech tags.
+
+use std::fmt;
+
+/// Part-of-speech tag (Penn Treebank subset sufficient for clinical prose).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // variant names are the standard PTB mnemonics
+pub enum Tag {
+    /// Singular or mass noun ("pressure").
+    NN,
+    /// Plural noun ("pregnancies").
+    NNS,
+    /// Proper noun ("Lipitor").
+    NNP,
+    /// Adjective ("surgical").
+    JJ,
+    /// Comparative adjective ("larger").
+    JJR,
+    /// Superlative adjective ("largest").
+    JJS,
+    /// Verb, base form ("deny").
+    VB,
+    /// Verb, past tense ("denied").
+    VBD,
+    /// Verb, gerund/present participle ("smoking").
+    VBG,
+    /// Verb, past participle ("undergone").
+    VBN,
+    /// Verb, non-3rd-person singular present ("deny").
+    VBP,
+    /// Verb, 3rd-person singular present ("denies").
+    VBZ,
+    /// Modal ("may", "will").
+    MD,
+    /// Adverb ("currently").
+    RB,
+    /// Comparative adverb.
+    RBR,
+    /// Superlative adverb.
+    RBS,
+    /// Cardinal number ("84", "seventeen").
+    CD,
+    /// Determiner ("the", "a", "no").
+    DT,
+    /// Preposition or subordinating conjunction ("of", "with").
+    IN,
+    /// Coordinating conjunction ("and", "or").
+    CC,
+    /// Personal pronoun ("she").
+    PRP,
+    /// Possessive pronoun ("her").
+    PRPS,
+    /// "to" as infinitive marker.
+    TO,
+    /// Existential "there".
+    EX,
+    /// Wh-determiner ("which").
+    WDT,
+    /// Wh-pronoun ("who").
+    WP,
+    /// Wh-adverb ("when").
+    WRB,
+    /// Possessive ending ("'s").
+    POS,
+    /// Interjection.
+    UH,
+    /// Symbol.
+    SYM,
+    /// Punctuation.
+    PUNCT,
+}
+
+impl Tag {
+    /// True for any noun tag (`NN`, `NNS`, `NNP`).
+    pub fn is_noun(&self) -> bool {
+        matches!(self, Tag::NN | Tag::NNS | Tag::NNP)
+    }
+
+    /// True for any adjective tag (`JJ`, `JJR`, `JJS`).
+    pub fn is_adjective(&self) -> bool {
+        matches!(self, Tag::JJ | Tag::JJR | Tag::JJS)
+    }
+
+    /// True for any verb tag (`VB*`), excluding modals.
+    pub fn is_verb(&self) -> bool {
+        matches!(self, Tag::VB | Tag::VBD | Tag::VBG | Tag::VBN | Tag::VBP | Tag::VBZ)
+    }
+
+    /// True for any adverb tag (`RB*`).
+    pub fn is_adverb(&self) -> bool {
+        matches!(self, Tag::RB | Tag::RBR | Tag::RBS)
+    }
+
+    /// The PTB mnemonic string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Tag::NN => "NN",
+            Tag::NNS => "NNS",
+            Tag::NNP => "NNP",
+            Tag::JJ => "JJ",
+            Tag::JJR => "JJR",
+            Tag::JJS => "JJS",
+            Tag::VB => "VB",
+            Tag::VBD => "VBD",
+            Tag::VBG => "VBG",
+            Tag::VBN => "VBN",
+            Tag::VBP => "VBP",
+            Tag::VBZ => "VBZ",
+            Tag::MD => "MD",
+            Tag::RB => "RB",
+            Tag::RBR => "RBR",
+            Tag::RBS => "RBS",
+            Tag::CD => "CD",
+            Tag::DT => "DT",
+            Tag::IN => "IN",
+            Tag::CC => "CC",
+            Tag::PRP => "PRP",
+            Tag::PRPS => "PRP$",
+            Tag::TO => "TO",
+            Tag::EX => "EX",
+            Tag::WDT => "WDT",
+            Tag::WP => "WP",
+            Tag::WRB => "WRB",
+            Tag::POS => "POS",
+            Tag::UH => "UH",
+            Tag::SYM => "SYM",
+            Tag::PUNCT => "PUNCT",
+        }
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_predicates() {
+        assert!(Tag::NN.is_noun());
+        assert!(Tag::NNS.is_noun());
+        assert!(!Tag::JJ.is_noun());
+        assert!(Tag::JJR.is_adjective());
+        assert!(Tag::VBZ.is_verb());
+        assert!(!Tag::MD.is_verb());
+        assert!(Tag::RB.is_adverb());
+    }
+
+    #[test]
+    fn display_mnemonics() {
+        assert_eq!(Tag::PRPS.to_string(), "PRP$");
+        assert_eq!(Tag::NN.to_string(), "NN");
+    }
+}

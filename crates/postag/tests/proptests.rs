@@ -1,0 +1,46 @@
+//! Property tests for the POS tagger.
+
+use cmr_postag::{PosTagger, Tag};
+use cmr_text::{tokenize, TokenKind};
+use proptest::prelude::*;
+
+proptest! {
+    /// Tagging is total and yields one tag per token.
+    #[test]
+    fn one_tag_per_token(s in "[ -~]{0,200}") {
+        let toks = tokenize(&s);
+        let tagged = PosTagger::new().tag(&toks);
+        prop_assert_eq!(tagged.len(), toks.len());
+    }
+
+    /// Number tokens are always CD; punctuation is always PUNCT.
+    #[test]
+    fn fixed_classes_stable(s in "[a-zA-Z0-9,./: ]{0,200}") {
+        let toks = tokenize(&s);
+        let tagged = PosTagger::new().tag(&toks);
+        for t in &tagged {
+            match t.token.kind {
+                TokenKind::Number(_) => prop_assert_eq!(t.tag, Tag::CD),
+                TokenKind::Punct => prop_assert_eq!(t.tag, Tag::PUNCT),
+                _ => {}
+            }
+        }
+    }
+
+    /// Lemmas are never empty for word tokens.
+    #[test]
+    fn lemmas_nonempty(s in "[a-zA-Z ]{1,100}") {
+        for t in PosTagger::new().tag(&tokenize(&s)) {
+            prop_assert!(!t.lemma.is_empty());
+        }
+    }
+
+    /// Tagging is deterministic.
+    #[test]
+    fn deterministic(s in "[ -~]{0,150}") {
+        let toks = tokenize(&s);
+        let a = PosTagger::new().tag(&toks);
+        let b = PosTagger::new().tag(&toks);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,33 @@
+//! # cmr-text — text substrate for clinical information extraction
+//!
+//! This crate replaces the roles GATE played in the original ICDE 2005
+//! system: tokenization (with number recognition), sentence splitting and
+//! record/section handling for semi-structured clinical notes.
+//!
+//! ```
+//! use cmr_text::{tokenize, split_sentences, annotate_numbers, Record};
+//!
+//! let toks = tokenize("Blood pressure is 144/90, pulse of 84.");
+//! let numbers = annotate_numbers(&toks);
+//! assert_eq!(numbers.len(), 2);
+//!
+//! let rec = Record::parse("Vitals: Blood pressure is 144/90.\n");
+//! assert_eq!(rec.section("Vitals").unwrap().body, "Blood pressure is 144/90.");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod number;
+mod section;
+mod sentence;
+mod span;
+mod token;
+mod tokenize;
+
+pub use number::{annotate_numbers, parse_word_run, word_value, NumberAnnotation};
+pub use section::{Record, Section};
+pub use sentence::{split_sentences, Sentence};
+pub use span::Span;
+pub use token::{NumberValue, Token, TokenKind};
+pub use tokenize::{number_token_indices, tokenize};

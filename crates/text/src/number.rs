@@ -1,0 +1,284 @@
+//! English number words.
+//!
+//! The paper notes that "numbers in patient records can be either digits
+//! (e.g. 17) or English words (e.g., seventeen)". Digit numbers are handled
+//! by the tokenizer; this module recognizes number *words* — including
+//! hyphenated (`ninety-eight`) and multi-token (`one hundred fifty four`)
+//! forms — and annotates them over the token stream.
+
+use crate::span::Span;
+use crate::token::{NumberValue, Token, TokenKind};
+
+/// A number found in a token stream: either a digit token or a run of number
+/// words, reduced to a single value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumberAnnotation {
+    /// Index of the first token of the number.
+    pub first_token: usize,
+    /// Index of the last token of the number (inclusive).
+    pub last_token: usize,
+    /// Span covering the whole number in the source text.
+    pub span: Span,
+    /// Parsed value.
+    pub value: NumberValue,
+}
+
+/// Value of a single simple number word (`"seventeen"` → 17), if it is one.
+/// Handles hyphenated tens-units compounds (`"ninety-eight"` → 98).
+pub fn word_value(word: &str) -> Option<i64> {
+    let w = word.to_lowercase();
+    if let Some(v) = unit_value(&w) {
+        return Some(v);
+    }
+    if let Some(v) = tens_value(&w) {
+        return Some(v);
+    }
+    // Hyphenated compound: tens-unit, e.g. "ninety-eight".
+    if let Some((tens, unit)) = w.split_once('-') {
+        if let (Some(t), Some(u)) = (tens_value(tens), unit_value(unit)) {
+            if (1..=9).contains(&u) {
+                return Some(t + u);
+            }
+        }
+    }
+    scale_value(&w)
+}
+
+fn unit_value(w: &str) -> Option<i64> {
+    Some(match w {
+        "zero" => 0,
+        "one" => 1,
+        "two" => 2,
+        "three" => 3,
+        "four" => 4,
+        "five" => 5,
+        "six" => 6,
+        "seven" => 7,
+        "eight" => 8,
+        "nine" => 9,
+        "ten" => 10,
+        "eleven" => 11,
+        "twelve" => 12,
+        "thirteen" => 13,
+        "fourteen" => 14,
+        "fifteen" => 15,
+        "sixteen" => 16,
+        "seventeen" => 17,
+        "eighteen" => 18,
+        "nineteen" => 19,
+        _ => return None,
+    })
+}
+
+fn tens_value(w: &str) -> Option<i64> {
+    Some(match w {
+        "twenty" => 20,
+        "thirty" => 30,
+        "forty" => 40,
+        "fifty" => 50,
+        "sixty" => 60,
+        "seventy" => 70,
+        "eighty" => 80,
+        "ninety" => 90,
+        _ => return None,
+    })
+}
+
+fn scale_value(w: &str) -> Option<i64> {
+    Some(match w {
+        "hundred" => 100,
+        "thousand" => 1000,
+        _ => return None,
+    })
+}
+
+fn is_scale(w: &str) -> bool {
+    matches!(w, "hundred" | "thousand")
+}
+
+/// Parses a run of lower-cased number words (already split into words) into a
+/// value, if the whole run forms a valid English number.
+///
+/// Accepts forms like `["seventeen"]`, `["ninety", "eight"]`,
+/// `["one", "hundred", "fifty", "four"]`, `["two", "thousand"]`.
+pub fn parse_word_run(words: &[&str]) -> Option<i64> {
+    if words.is_empty() {
+        return None;
+    }
+    let mut total: i64 = 0;
+    let mut current: i64 = 0;
+    let mut any = false;
+    for &w in words {
+        if is_scale(w) {
+            let scale = scale_value(w)?;
+            // "hundred" with no preceding unit means 1 hundred.
+            let base = if current == 0 { 1 } else { current };
+            if scale == 100 {
+                current = base * 100;
+            } else {
+                total += base * scale;
+                current = 0;
+            }
+            any = true;
+        } else if let Some(v) = word_value(w) {
+            // Reject sequences like "five three" that are two separate
+            // numbers, not one: a unit may only follow a tens word or a
+            // scale residue.
+            let unit_after_tens = current % 100 != 0 && current % 10 == 0 && v < 10;
+            if unit_after_tens || current % 100 == 0 {
+                current += v;
+            } else {
+                return None;
+            }
+            any = true;
+        } else {
+            return None;
+        }
+    }
+    if !any {
+        return None;
+    }
+    Some(total + current)
+}
+
+/// Scans a token stream and returns every number — digit tokens as produced
+/// by the tokenizer plus maximal runs of number words.
+pub fn annotate_numbers(tokens: &[Token]) -> Vec<NumberAnnotation> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Number(value) => {
+                out.push(NumberAnnotation {
+                    first_token: i,
+                    last_token: i,
+                    span: tokens[i].span,
+                    value,
+                });
+                i += 1;
+            }
+            TokenKind::Word => {
+                // Greedily take the longest run of number words that parses.
+                let lower: Vec<String> = tokens[i..]
+                    .iter()
+                    .take_while(|t| t.kind.is_word())
+                    .map(|t| t.lower())
+                    .collect();
+                let mut best: Option<(usize, i64)> = None;
+                let mut run: Vec<&str> = Vec::new();
+                for (k, w) in lower.iter().enumerate() {
+                    if word_value(w).is_none() && !is_scale(w) {
+                        break;
+                    }
+                    run.push(w.as_str());
+                    if let Some(v) = parse_word_run(&run) {
+                        best = Some((k, v));
+                    }
+                }
+                if let Some((k, v)) = best {
+                    out.push(NumberAnnotation {
+                        first_token: i,
+                        last_token: i + k,
+                        span: tokens[i].span.cover(&tokens[i + k].span),
+                        value: NumberValue::Int(v),
+                    });
+                    i += k + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    #[test]
+    fn simple_word_values() {
+        assert_eq!(word_value("seventeen"), Some(17));
+        assert_eq!(word_value("Ninety"), Some(90));
+        assert_eq!(word_value("ninety-eight"), Some(98));
+        assert_eq!(word_value("pressure"), None);
+        assert_eq!(word_value("ninety-teen"), None);
+    }
+
+    #[test]
+    fn word_runs() {
+        assert_eq!(parse_word_run(&["seventeen"]), Some(17));
+        assert_eq!(parse_word_run(&["ninety", "eight"]), Some(98));
+        assert_eq!(parse_word_run(&["one", "hundred", "fifty", "four"]), Some(154));
+        assert_eq!(parse_word_run(&["two", "thousand"]), Some(2000));
+        assert_eq!(parse_word_run(&["hundred"]), Some(100));
+        assert_eq!(parse_word_run(&["five", "three"]), None, "two separate numbers");
+        assert_eq!(parse_word_run(&[]), None);
+        assert_eq!(parse_word_run(&["blood"]), None);
+    }
+
+    #[test]
+    fn annotate_digit_numbers() {
+        let toks = tokenize("pulse of 84, temperature of 98.3");
+        let anns = annotate_numbers(&toks);
+        assert_eq!(anns.len(), 2);
+        assert_eq!(anns[0].value, NumberValue::Int(84));
+        assert_eq!(anns[1].value, NumberValue::Float(98.3));
+    }
+
+    #[test]
+    fn annotate_word_numbers() {
+        let toks = tokenize("menarche at age seventeen");
+        let anns = annotate_numbers(&toks);
+        assert_eq!(anns.len(), 1);
+        assert_eq!(anns[0].value, NumberValue::Int(17));
+        assert_eq!(anns[0].first_token, anns[0].last_token);
+    }
+
+    #[test]
+    fn annotate_multiword_number() {
+        let toks = tokenize("weight of one hundred fifty four pounds");
+        let anns = annotate_numbers(&toks);
+        assert_eq!(anns.len(), 1);
+        assert_eq!(anns[0].value, NumberValue::Int(154));
+        assert_eq!(anns[0].last_token - anns[0].first_token, 3);
+    }
+
+    #[test]
+    fn annotate_hyphenated_word_number() {
+        let toks = tokenize("She quit smoking twenty-five years ago");
+        let anns = annotate_numbers(&toks);
+        assert_eq!(anns.len(), 1);
+        assert_eq!(anns[0].value, NumberValue::Int(25));
+    }
+
+    #[test]
+    fn one_is_ambiguous_but_still_annotated() {
+        // "one" as a determiner is a known over-trigger; association logic
+        // downstream decides whether to use it. The annotator reports it.
+        let toks = tokenize("one more thing");
+        let anns = annotate_numbers(&toks);
+        assert_eq!(anns.len(), 1);
+        assert_eq!(anns[0].value, NumberValue::Int(1));
+    }
+
+    #[test]
+    fn ratio_annotated() {
+        let toks = tokenize("Blood pressure is 144/90.");
+        let anns = annotate_numbers(&toks);
+        assert_eq!(anns.len(), 1);
+        assert!(anns[0].value.is_ratio());
+    }
+
+    #[test]
+    fn span_covers_whole_word_number() {
+        let src = "gravida four para three";
+        let toks = tokenize(src);
+        let anns = annotate_numbers(&toks);
+        assert_eq!(anns.len(), 2);
+        assert_eq!(anns[0].span.slice(src), "four");
+        assert_eq!(anns[1].span.slice(src), "three");
+    }
+}

@@ -1,0 +1,241 @@
+//! Semi-structured record model: sections with fixed headers.
+//!
+//! Per the paper (§5): "One record is comprised of multiple sections, each of
+//! which begins with a fixed string. Therefore, it is easy to split the whole
+//! record into sections. Each section is written in natural language."
+
+use crate::sentence::{split_sentences, Sentence};
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+
+/// One section of a record, e.g. `Past Medical History:` with its body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Section {
+    /// Section header as written, without the trailing colon
+    /// (`"Past Medical History"`).
+    pub name: String,
+    /// Section body text (everything after the colon, including
+    /// continuation lines), trimmed.
+    pub body: String,
+    /// Span of the body within the record source.
+    pub span: Span,
+}
+
+impl Section {
+    /// Canonical lower-cased header used for matching.
+    pub fn key(&self) -> String {
+        self.name.trim().to_lowercase()
+    }
+
+    /// Sentences of the body (spans relative to the *body* string).
+    pub fn sentences(&self) -> Vec<Sentence> {
+        split_sentences(&self.body)
+    }
+}
+
+/// A parsed semi-structured clinical record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Patient identifier from the `Patient:` section, when present.
+    pub patient_id: Option<String>,
+    /// Sections in document order.
+    pub sections: Vec<Section>,
+}
+
+impl Record {
+    /// Parses a record from raw text.
+    ///
+    /// A section starts on a line matching `Header: body`, where the header
+    /// is 1–6 words beginning with an uppercase letter; subsequent lines that
+    /// do not start a new section are appended to the current body.
+    pub fn parse(text: &str) -> Record {
+        let mut sections: Vec<Section> = Vec::new();
+        let mut offset = 0usize;
+        for line in text.split_inclusive('\n') {
+            let line_start = offset;
+            offset += line.len();
+            let trimmed = line.trim_end_matches(['\n', '\r']);
+            if trimmed.trim().is_empty() {
+                continue;
+            }
+            match split_header(trimmed) {
+                Some((name, body_start_in_line)) => {
+                    let body = trimmed[body_start_in_line..].trim();
+                    let body_off = line_start + body_start_in_line + leading_ws(&trimmed[body_start_in_line..]);
+                    sections.push(Section {
+                        name: name.to_string(),
+                        body: body.to_string(),
+                        span: Span::new(body_off, body_off + body.len()),
+                    });
+                }
+                None => {
+                    // Continuation line: extend the current section.
+                    if let Some(last) = sections.last_mut() {
+                        let cont = trimmed.trim();
+                        if !last.body.is_empty() {
+                            last.body.push(' ');
+                        }
+                        last.body.push_str(cont);
+                        let cont_off = line_start + leading_ws(trimmed);
+                        last.span = last.span.cover(&Span::new(cont_off, cont_off + cont.len()));
+                    } else {
+                        // Preamble before any header: keep it as an unnamed
+                        // section so no text is silently dropped.
+                        let cont = trimmed.trim();
+                        let cont_off = line_start + leading_ws(trimmed);
+                        sections.push(Section {
+                            name: String::new(),
+                            body: cont.to_string(),
+                            span: Span::new(cont_off, cont_off + cont.len()),
+                        });
+                    }
+                }
+            }
+        }
+        let patient_id = sections
+            .iter()
+            .find(|s| s.key() == "patient")
+            .map(|s| s.body.trim().to_string())
+            .filter(|s| !s.is_empty());
+        Record { patient_id, sections }
+    }
+
+    /// Finds a section by case-insensitive header name.
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        let key = name.to_lowercase();
+        self.sections.iter().find(|s| s.key() == key)
+    }
+
+    /// Headers of all sections in order.
+    pub fn section_names(&self) -> Vec<&str> {
+        self.sections.iter().map(|s| s.name.as_str()).collect()
+    }
+}
+
+fn leading_ws(s: &str) -> usize {
+    s.len() - s.trim_start().len()
+}
+
+/// If `line` begins a section, returns the header name and the byte index
+/// where the body starts (just after the colon).
+fn split_header(line: &str) -> Option<(&str, usize)> {
+    let colon = line.find(':')?;
+    let header = &line[..colon];
+    let header_trimmed = header.trim();
+    if header_trimmed.is_empty() || header_trimmed.len() > 60 {
+        return None;
+    }
+    // Headers start with an uppercase letter and contain 1..=6 words of
+    // letters/digits (e.g. "History of Present Illness", "GYN History",
+    // "HEENT", "Patient").
+    let mut words = 0;
+    for w in header_trimmed.split_whitespace() {
+        words += 1;
+        if words > 6 {
+            return None;
+        }
+        if !w.chars().all(|c| c.is_ascii_alphanumeric() || c == '/' || c == '(' || c == ')') {
+            return None;
+        }
+    }
+    if words == 0 {
+        return None;
+    }
+    let first = header_trimmed.chars().next().expect("non-empty header");
+    if !first.is_ascii_uppercase() {
+        return None;
+    }
+    Some((header_trimmed, colon + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "Patient:  2\n\
+Chief Complaint:  Abnormal mammogram.\n\
+History of Present Illness:  Ms. 2 is a 50-year-old woman who underwent a screening mammogram.\n\
+She was referred for further management.\n\
+GYN History:  Menarche at age 10, gravida 4, para 3.\n\
+Vitals:  Blood pressure is 142/78, pulse of 96, and weight of 211.\n";
+
+    #[test]
+    fn parses_sections_in_order() {
+        let rec = Record::parse(SAMPLE);
+        assert_eq!(
+            rec.section_names(),
+            vec!["Patient", "Chief Complaint", "History of Present Illness", "GYN History", "Vitals"]
+        );
+    }
+
+    #[test]
+    fn patient_id_extracted() {
+        let rec = Record::parse(SAMPLE);
+        assert_eq!(rec.patient_id.as_deref(), Some("2"));
+    }
+
+    #[test]
+    fn continuation_lines_append() {
+        let rec = Record::parse(SAMPLE);
+        let hpi = rec.section("History of Present Illness").unwrap();
+        assert!(hpi.body.ends_with("referred for further management."));
+        assert!(hpi.body.starts_with("Ms. 2 is"));
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let rec = Record::parse(SAMPLE);
+        assert!(rec.section("gyn history").is_some());
+        assert!(rec.section("GYN HISTORY").is_some());
+        assert!(rec.section("Nonexistent").is_none());
+    }
+
+    #[test]
+    fn section_sentences() {
+        let rec = Record::parse(SAMPLE);
+        let hpi = rec.section("History of Present Illness").unwrap();
+        let sents = hpi.sentences();
+        assert_eq!(sents.len(), 2);
+    }
+
+    #[test]
+    fn section_spans_point_into_source() {
+        let rec = Record::parse(SAMPLE);
+        let vitals = rec.section("Vitals").unwrap();
+        let sliced = vitals.span.slice(SAMPLE);
+        assert!(sliced.contains("142/78"));
+    }
+
+    #[test]
+    fn sentence_with_colon_mid_line_is_not_header() {
+        // "the following: a, b" inside a body must not start a section; the
+        // body words before the colon exceed header shape ("the" lowercase).
+        let text = "Notes: remarkable for the following: a and b\n";
+        let rec = Record::parse(text);
+        assert_eq!(rec.sections.len(), 1);
+        assert!(rec.sections[0].body.contains("the following: a and b"));
+    }
+
+    #[test]
+    fn preamble_preserved_as_unnamed_section() {
+        let text = "Dictated note follows\nVitals: pulse of 80.\n";
+        let rec = Record::parse(text);
+        assert_eq!(rec.sections.len(), 2);
+        assert_eq!(rec.sections[0].name, "");
+        assert_eq!(rec.sections[0].body, "Dictated note follows");
+    }
+
+    #[test]
+    fn empty_record() {
+        let rec = Record::parse("");
+        assert!(rec.sections.is_empty());
+        assert!(rec.patient_id.is_none());
+    }
+
+    #[test]
+    fn windows_line_endings() {
+        let rec = Record::parse("Patient: 7\r\nVitals: pulse of 80.\r\n");
+        assert_eq!(rec.patient_id.as_deref(), Some("7"));
+        assert_eq!(rec.section("Vitals").unwrap().body, "pulse of 80.");
+    }
+}

@@ -1,0 +1,221 @@
+//! Sentence splitting.
+//!
+//! Dictated clinical notes are prose with clinical abbreviations (`Dr.`,
+//! `Ms.`, `p.o.`) and decimal numbers (`98.3`); a naive split on `.` breaks
+//! both. The splitter works on raw text and returns spans, so sentence
+//! boundaries always map back to source offsets.
+
+use crate::span::Span;
+
+/// A sentence: its span in the source and the trimmed text slice bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sentence {
+    /// Span of the sentence in the source, excluding surrounding whitespace.
+    pub span: Span,
+}
+
+impl Sentence {
+    /// The sentence text.
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        self.span.slice(source)
+    }
+}
+
+/// Abbreviations whose trailing period does not end a sentence.
+/// Lower-cased, without the final period.
+const ABBREVIATIONS: &[&str] = &[
+    "dr", "mr", "mrs", "ms", "prof", "st", "jr", "sr", "vs", "etc", "e.g", "i.e", "approx",
+    "dept", "min", "hr", "wk", "mo", "yr", "fig", "no", "pt", "q.d", "b.i.d", "t.i.d", "p.o",
+    "a.m", "p.m",
+];
+
+fn is_abbreviation(text: &str, period_idx: usize) -> bool {
+    // Walk back over the word (letters and internal periods) preceding the
+    // period at `period_idx`.
+    let bytes = text.as_bytes();
+    let mut start = period_idx;
+    while start > 0 {
+        let c = bytes[start - 1] as char;
+        if c.is_ascii_alphabetic() || c == '.' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    if start == period_idx {
+        return false;
+    }
+    let word = text[start..period_idx].to_lowercase();
+    ABBREVIATIONS.contains(&word.as_str())
+        // Single capital letter initials: "Ari D. Brooks".
+        || (period_idx - start == 1 && (bytes[start] as char).is_ascii_uppercase())
+}
+
+/// Splits `text` into sentences, returning their spans.
+///
+/// A sentence ends at `.`, `!` or `?` when the terminator is
+///
+/// * not inside a decimal number (`98.3`),
+/// * not attached to a known abbreviation or single-letter initial,
+/// * followed by whitespace-then-uppercase/digit, or end of input.
+///
+/// Newlines that separate obviously distinct lines (e.g. the one-line
+/// sections of a semi-structured record) also split when the line does not
+/// end in a continuation character.
+pub fn split_sentences(text: &str) -> Vec<Sentence> {
+    let bytes = text.as_bytes();
+    let mut sentences = Vec::new();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let mut boundary = false;
+        match c {
+            '.' => {
+                let prev_digit = i > 0 && bytes[i - 1].is_ascii_digit();
+                let next_digit = i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit();
+                let decimal = prev_digit && next_digit;
+                if !decimal && !is_abbreviation(text, i) && followed_by_break(bytes, i) {
+                    boundary = true;
+                }
+            }
+            '!' | '?'
+                if followed_by_break(bytes, i) => {
+                    boundary = true;
+                }
+            '\n' => {
+                // Hard line break: treat as a boundary if the line has content.
+                boundary = true;
+            }
+            _ => {}
+        }
+        if boundary {
+            let end = i + if c == '\n' { 0 } else { 1 };
+            push_trimmed(text, start, end, &mut sentences);
+            start = i + 1;
+        }
+        i += 1;
+    }
+    push_trimmed(text, start, bytes.len(), &mut sentences);
+    sentences
+}
+
+/// True when the terminator at `i` is followed by whitespace + an
+/// uppercase/digit start, or ends the input. This keeps "q.d. dosing"
+/// unsplit while splitting "distress.  Vitals".
+fn followed_by_break(bytes: &[u8], i: usize) -> bool {
+    let mut j = i + 1;
+    if j >= bytes.len() {
+        return true;
+    }
+    if !(bytes[j] as char).is_ascii_whitespace() {
+        return false;
+    }
+    while j < bytes.len() && (bytes[j] as char).is_ascii_whitespace() {
+        j += 1;
+    }
+    if j >= bytes.len() {
+        return true;
+    }
+    let c = bytes[j] as char;
+    c.is_ascii_uppercase() || c.is_ascii_digit()
+}
+
+fn push_trimmed(text: &str, start: usize, end: usize, out: &mut Vec<Sentence>) {
+    if start >= end {
+        return;
+    }
+    let slice = &text[start..end];
+    let trimmed_start = start + (slice.len() - slice.trim_start().len());
+    let trimmed_end = end - (slice.len() - slice.trim_end().len());
+    if trimmed_start < trimmed_end {
+        out.push(Sentence {
+            span: Span::new(trimmed_start, trimmed_end),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<&str> {
+        split_sentences(src).iter().map(|s| s.text(src)).collect()
+    }
+
+    #[test]
+    fn basic_split() {
+        let src = "She quit smoking five years ago. She denies alcohol use.";
+        assert_eq!(
+            texts(src),
+            vec!["She quit smoking five years ago.", "She denies alcohol use."]
+        );
+    }
+
+    #[test]
+    fn decimal_numbers_do_not_split() {
+        let src = "Temperature of 98.3, and weight of 154 pounds.";
+        assert_eq!(texts(src).len(), 1);
+    }
+
+    #[test]
+    fn abbreviations_do_not_split() {
+        let src = "Seen by Dr. Brooks today. Follow up next week.";
+        assert_eq!(
+            texts(src),
+            vec!["Seen by Dr. Brooks today.", "Follow up next week."]
+        );
+    }
+
+    #[test]
+    fn initials_do_not_split() {
+        let src = "Referred by Ari D. Brooks for evaluation.";
+        assert_eq!(texts(src).len(), 1);
+    }
+
+    #[test]
+    fn newlines_split() {
+        let src = "Menarche at age 10\nGravida 4, para 3";
+        assert_eq!(texts(src), vec!["Menarche at age 10", "Gravida 4, para 3"]);
+    }
+
+    #[test]
+    fn question_and_exclamation() {
+        let src = "Any pain? None reported!";
+        assert_eq!(texts(src), vec!["Any pain?", "None reported!"]);
+    }
+
+    #[test]
+    fn terminal_sentence_without_period() {
+        let src = "No known allergies";
+        assert_eq!(texts(src), vec!["No known allergies"]);
+    }
+
+    #[test]
+    fn lowercase_continuation_does_not_split() {
+        // A period followed by a lowercase word is dictation noise, not a
+        // boundary.
+        let src = "taking aspirin q.d. for prophylaxis.";
+        assert_eq!(texts(src).len(), 1);
+    }
+
+    #[test]
+    fn spans_are_source_relative() {
+        let src = "First one here. Second one there.";
+        let sents = split_sentences(src);
+        assert_eq!(sents[0].span.slice(src), "First one here.");
+        assert_eq!(sents[1].span.slice(src), "Second one there.");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences("   \n  ").is_empty());
+    }
+
+    #[test]
+    fn multiple_spaces_between_sentences() {
+        let src = "Reveals an overweight woman in no apparent distress.  Vitals as below.";
+        assert_eq!(texts(src).len(), 2);
+    }
+}

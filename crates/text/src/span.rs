@@ -1,0 +1,133 @@
+//! Byte-offset spans into source text.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// A half-open byte range `[start, end)` into a source string.
+///
+/// Every token, sentence and section carries a `Span` so that extracted
+/// information can always be traced back to the exact characters of the
+/// original record — a requirement for clinical auditability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Span {
+    /// Inclusive start byte offset.
+    pub start: usize,
+    /// Exclusive end byte offset.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span; panics in debug builds if `start > end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        debug_assert!(start <= end, "span start {start} after end {end}");
+        Span { start, end }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True when `self` fully contains `other`.
+    pub fn contains(&self, other: &Span) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// True when the two spans share at least one byte.
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// The smallest span containing both inputs.
+    pub fn cover(&self, other: &Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// Extracts the spanned slice of `text`.
+    ///
+    /// Panics if the span is out of bounds or not on a char boundary, which
+    /// indicates the span was built for a different string.
+    pub fn slice<'a>(&self, text: &'a str) -> &'a str {
+        &text[self.start..self.end]
+    }
+
+    /// Translates the span by `offset` bytes (used when a sentence span is
+    /// lifted from section-relative to record-relative coordinates).
+    pub fn shifted(&self, offset: usize) -> Span {
+        Span::new(self.start + offset, self.end + offset)
+    }
+}
+
+impl From<Range<usize>> for Span {
+    fn from(r: Range<usize>) -> Self {
+        Span::new(r.start, r.end)
+    }
+}
+
+impl From<Span> for Range<usize> {
+    fn from(s: Span) -> Self {
+        s.start..s.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let s = Span::new(2, 5);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(Span::new(4, 4).is_empty());
+    }
+
+    #[test]
+    fn containment_and_overlap() {
+        let outer = Span::new(0, 10);
+        let inner = Span::new(3, 7);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.overlaps(&inner));
+        assert!(!Span::new(0, 3).overlaps(&Span::new(3, 6)), "half-open: touching spans do not overlap");
+    }
+
+    #[test]
+    fn cover_spans() {
+        assert_eq!(Span::new(2, 4).cover(&Span::new(6, 9)), Span::new(2, 9));
+        assert_eq!(Span::new(6, 9).cover(&Span::new(2, 4)), Span::new(2, 9));
+    }
+
+    #[test]
+    fn slicing_and_shifting() {
+        let text = "blood pressure";
+        let s = Span::new(6, 14);
+        assert_eq!(s.slice(text), "pressure");
+        assert_eq!(s.shifted(2), Span::new(8, 16));
+    }
+
+    #[test]
+    fn range_conversions() {
+        let s: Span = (1..4).into();
+        assert_eq!(s, Span::new(1, 4));
+        let r: Range<usize> = s.into();
+        assert_eq!(r, 1..4);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Span::new(1, 4).to_string(), "[1, 4)");
+    }
+}

@@ -1,0 +1,148 @@
+//! Token types produced by the tokenizer.
+
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The numeric value carried by a number token or number-word annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NumberValue {
+    /// A plain integer, e.g. `84` or the word `seventeen`.
+    Int(i64),
+    /// A decimal, e.g. `98.3`.
+    Float(f64),
+    /// A slash-separated pair such as a blood pressure reading `144/90`
+    /// (systolic/diastolic).
+    Ratio(i64, i64),
+}
+
+impl NumberValue {
+    /// The value as an `f64`; a ratio maps to its first component, which is
+    /// what clinical comparisons against a single threshold use (systolic
+    /// pressure is the leading component of `144/90`).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            NumberValue::Int(v) => v as f64,
+            NumberValue::Float(v) => v,
+            NumberValue::Ratio(a, _) => a as f64,
+        }
+    }
+
+    /// True when this is a [`NumberValue::Ratio`].
+    pub fn is_ratio(&self) -> bool {
+        matches!(self, NumberValue::Ratio(..))
+    }
+}
+
+impl fmt::Display for NumberValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            NumberValue::Int(v) => write!(f, "{v}"),
+            NumberValue::Float(v) => write!(f, "{v}"),
+            NumberValue::Ratio(a, b) => write!(f, "{a}/{b}"),
+        }
+    }
+}
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// Alphabetic word, possibly with internal hyphens or apostrophes
+    /// (`50-year-old`, `doesn't`).
+    Word,
+    /// A digit-based number (`84`, `98.3`, `144/90`).
+    Number(NumberValue),
+    /// Sentence-internal or terminal punctuation (`,`, `.`, `:`).
+    Punct,
+    /// Any other symbol (`%`, `+`).
+    Symbol,
+}
+
+impl TokenKind {
+    /// True for [`TokenKind::Word`].
+    pub fn is_word(&self) -> bool {
+        matches!(self, TokenKind::Word)
+    }
+
+    /// True for [`TokenKind::Number`].
+    pub fn is_number(&self) -> bool {
+        matches!(self, TokenKind::Number(_))
+    }
+}
+
+/// A single token: its text, source span and lexical kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Token {
+    /// The token text exactly as it appears in the source.
+    pub text: String,
+    /// Byte span in the source string.
+    pub span: Span,
+    /// Lexical class.
+    pub kind: TokenKind,
+}
+
+impl Token {
+    /// Lower-cased token text. Tokenization preserves the original case; most
+    /// downstream lookups (lexicon, ontology) are case-insensitive.
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+
+    /// The numeric value if this token is a number.
+    pub fn number(&self) -> Option<NumberValue> {
+        match self.kind {
+            TokenKind::Number(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_value_as_f64() {
+        assert_eq!(NumberValue::Int(84).as_f64(), 84.0);
+        assert_eq!(NumberValue::Float(98.3).as_f64(), 98.3);
+        assert_eq!(NumberValue::Ratio(144, 90).as_f64(), 144.0);
+    }
+
+    #[test]
+    fn number_value_display() {
+        assert_eq!(NumberValue::Ratio(144, 90).to_string(), "144/90");
+        assert_eq!(NumberValue::Int(7).to_string(), "7");
+        assert_eq!(NumberValue::Float(98.3).to_string(), "98.3");
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(TokenKind::Word.is_word());
+        assert!(TokenKind::Number(NumberValue::Int(1)).is_number());
+        assert!(!TokenKind::Punct.is_word());
+        assert!(!TokenKind::Punct.is_number());
+    }
+
+    #[test]
+    fn token_lower_and_number() {
+        let t = Token {
+            text: "Pressure".into(),
+            span: Span::new(0, 8),
+            kind: TokenKind::Word,
+        };
+        assert_eq!(t.lower(), "pressure");
+        assert_eq!(t.number(), None);
+        let n = Token {
+            text: "84".into(),
+            span: Span::new(0, 2),
+            kind: TokenKind::Number(NumberValue::Int(84)),
+        };
+        assert_eq!(n.number(), Some(NumberValue::Int(84)));
+    }
+}

@@ -1,0 +1,267 @@
+//! The tokenizer.
+//!
+//! Clinical dictation text mixes prose with measurements; the tokenizer
+//! recognizes digit numbers (including decimals like `98.3` and slash ratios
+//! like `144/90`) directly, so that downstream components never need to
+//! re-lex numerics. This mirrors the role GATE's tokenizer + number NER
+//! played in the original system ("after tokenization, all numbers in the
+//! text are identified").
+
+use crate::span::Span;
+use crate::token::{NumberValue, Token, TokenKind};
+
+/// Tokenizes `text` into [`Token`]s with byte spans.
+///
+/// Rules, in priority order at each position:
+///
+/// 1. whitespace is skipped;
+/// 2. a digit starts a number: `\d+` then optionally `.\d+` (decimal) or
+///    `/\d+` (ratio); a trailing `.` not followed by a digit is *not*
+///    consumed (it is sentence punctuation);
+/// 3. a letter starts a word: letters plus internal hyphens/apostrophes
+///    joining further alphanumerics (`50-year-old` tokenizes as one word
+///    only when it *starts* with a letter; `50-year-old` actually starts
+///    with a digit — see rule 2 note below);
+/// 4. anything else is a single `Punct`/`Symbol` token.
+///
+/// A number followed immediately by `-letter` (as in `50-year-old`) keeps the
+/// number as its own token and lets the following hyphenated word form
+/// separately; the paper's age pattern ("a 50-year-old woman") needs the `50`
+/// visible as a number.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let (tok, next) = lex_number(text, i);
+            tokens.push(tok);
+            i = next;
+            continue;
+        }
+        if c.is_ascii_alphabetic() {
+            let (tok, next) = lex_word(text, i);
+            tokens.push(tok);
+            i = next;
+            continue;
+        }
+        // Multi-byte UTF-8 character: treat the whole char as a symbol.
+        let ch = text[i..].chars().next().expect("non-empty remainder");
+        let len = ch.len_utf8();
+        let kind = if ch.is_ascii_punctuation() { classify_punct(ch) } else { TokenKind::Symbol };
+        tokens.push(Token {
+            text: text[i..i + len].to_string(),
+            span: Span::new(i, i + len),
+            kind,
+        });
+        i += len;
+    }
+    tokens
+}
+
+fn classify_punct(c: char) -> TokenKind {
+    match c {
+        '.' | ',' | ':' | ';' | '!' | '?' | '(' | ')' | '"' | '\'' | '-' | '/' => TokenKind::Punct,
+        _ => TokenKind::Symbol,
+    }
+}
+
+/// Lexes a digit-initial number starting at byte `start`.
+fn lex_number(text: &str, start: usize) -> (Token, usize) {
+    let bytes = text.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let int_end = i;
+    // Decimal part: '.' must be followed by a digit, otherwise it is a period.
+    if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+        let raw = &text[start..i];
+        let value = raw.parse::<f64>().expect("lexed decimal parses");
+        return (
+            Token {
+                text: raw.to_string(),
+                span: Span::new(start, i),
+                kind: TokenKind::Number(NumberValue::Float(value)),
+            },
+            i,
+        );
+    }
+    // Ratio part: '/' must be followed by a digit (blood pressure `144/90`).
+    if i + 1 < bytes.len() && bytes[i] == b'/' && bytes[i + 1].is_ascii_digit() {
+        let mut j = i + 1;
+        while j < bytes.len() && bytes[j].is_ascii_digit() {
+            j += 1;
+        }
+        let a = text[start..int_end].parse::<i64>();
+        let b = text[i + 1..j].parse::<i64>();
+        if let (Ok(a), Ok(b)) = (a, b) {
+            let raw = &text[start..j];
+            return (
+                Token {
+                    text: raw.to_string(),
+                    span: Span::new(start, j),
+                    kind: TokenKind::Number(NumberValue::Ratio(a, b)),
+                },
+                j,
+            );
+        }
+    }
+    let raw = &text[start..int_end];
+    let kind = match raw.parse::<i64>() {
+        Ok(v) => TokenKind::Number(NumberValue::Int(v)),
+        // Overflow on absurdly long digit strings: keep it as a word so the
+        // pipeline degrades gracefully instead of panicking.
+        Err(_) => TokenKind::Word,
+    };
+    (
+        Token {
+            text: raw.to_string(),
+            span: Span::new(start, int_end),
+            kind,
+        },
+        int_end,
+    )
+}
+
+/// Lexes a letter-initial word starting at byte `start`. Internal hyphens and
+/// apostrophes join when followed by an alphanumeric (`doesn't`,
+/// `fifty-four`, `S1` style alphanumerics continue too).
+fn lex_word(text: &str, start: usize) -> (Token, usize) {
+    let bytes = text.as_bytes();
+    let mut i = start;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_alphanumeric() {
+            i += 1;
+        } else if (c == b'-' || c == b'\'') && i + 1 < bytes.len() && bytes[i + 1].is_ascii_alphanumeric() {
+            i += 2;
+            // continue consuming within the hyphenated word
+            while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+                i += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    (
+        Token {
+            text: text[start..i].to_string(),
+            span: Span::new(start, i),
+            kind: TokenKind::Word,
+        },
+        i,
+    )
+}
+
+/// Returns the indices of all number tokens in `tokens`.
+pub fn number_token_indices(tokens: &[Token]) -> Vec<usize> {
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.kind.is_number())
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(tokens: &[Token]) -> Vec<&str> {
+        tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn simple_sentence() {
+        let toks = tokenize("Blood pressure is 144/90.");
+        assert_eq!(texts(&toks), vec!["Blood", "pressure", "is", "144/90", "."]);
+        assert_eq!(toks[3].number(), Some(NumberValue::Ratio(144, 90)));
+        assert_eq!(toks[4].kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn decimal_number() {
+        let toks = tokenize("temperature of 98.3, and weight of 154 pounds");
+        let nums: Vec<_> = toks.iter().filter_map(Token::number).collect();
+        assert_eq!(nums, vec![NumberValue::Float(98.3), NumberValue::Int(154)]);
+    }
+
+    #[test]
+    fn trailing_period_not_part_of_number() {
+        let toks = tokenize("pulse of 84.");
+        assert_eq!(texts(&toks), vec!["pulse", "of", "84", "."]);
+        assert_eq!(toks[2].number(), Some(NumberValue::Int(84)));
+    }
+
+    #[test]
+    fn hyphenated_words_join() {
+        let toks = tokenize("fifty-four years");
+        assert_eq!(texts(&toks), vec!["fifty-four", "years"]);
+        assert!(toks[0].kind.is_word());
+    }
+
+    #[test]
+    fn number_hyphen_word_splits() {
+        let toks = tokenize("a 50-year-old woman");
+        assert_eq!(texts(&toks), vec!["a", "50", "-", "year-old", "woman"]);
+        assert_eq!(toks[1].number(), Some(NumberValue::Int(50)));
+    }
+
+    #[test]
+    fn apostrophes_join() {
+        let toks = tokenize("doesn't smoke");
+        assert_eq!(texts(&toks), vec!["doesn't", "smoke"]);
+    }
+
+    #[test]
+    fn punctuation_tokens() {
+        let toks = tokenize("Vitals: BP, pulse; weight?");
+        let puncts: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Punct).map(|t| t.text.as_str()).collect();
+        assert_eq!(puncts, vec![":", ",", ";", "?"]);
+    }
+
+    #[test]
+    fn spans_reconstruct_source() {
+        let src = "Blood pressure is 144/90, pulse of 84.";
+        for t in tokenize(src) {
+            assert_eq!(t.span.slice(src), t.text);
+        }
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \n\t ").is_empty());
+    }
+
+    #[test]
+    fn unicode_symbol_is_single_token() {
+        let toks = tokenize("98.6° F");
+        assert_eq!(texts(&toks), vec!["98.6", "°", "F"]);
+        assert_eq!(toks[1].kind, TokenKind::Symbol);
+    }
+
+    #[test]
+    fn number_indices_helper() {
+        let toks = tokenize("pulse of 84, temperature of 98.3");
+        assert_eq!(number_token_indices(&toks), vec![2, 6]);
+    }
+
+    #[test]
+    fn alphanumeric_medical_words() {
+        let toks = tokenize("S1 S2 regular BIRAD 4");
+        assert_eq!(texts(&toks), vec!["S1", "S2", "regular", "BIRAD", "4"]);
+        assert!(toks[0].kind.is_word());
+        assert!(toks[4].kind.is_number());
+    }
+}

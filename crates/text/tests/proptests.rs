@@ -1,0 +1,75 @@
+//! Property tests for the text substrate.
+
+use cmr_text::{annotate_numbers, split_sentences, tokenize, Record, TokenKind};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every token's span slices back to exactly its text.
+    #[test]
+    fn token_spans_roundtrip(s in "[ -~\n]{0,200}") {
+        for t in tokenize(&s) {
+            prop_assert_eq!(t.span.slice(&s), t.text.as_str());
+        }
+    }
+
+    /// Tokens are ordered and non-overlapping.
+    #[test]
+    fn tokens_are_ordered(s in "[ -~\n]{0,200}") {
+        let toks = tokenize(&s);
+        for w in toks.windows(2) {
+            prop_assert!(w[0].span.end <= w[1].span.start);
+        }
+    }
+
+    /// Tokenizing never drops non-whitespace bytes: the sum of token lengths
+    /// equals the non-whitespace length of the input (ASCII inputs).
+    #[test]
+    fn no_bytes_lost(s in "[ -~]{0,200}") {
+        let toks = tokenize(&s);
+        let tok_len: usize = toks.iter().map(|t| t.text.len()).sum();
+        let non_ws = s.chars().filter(|c| !c.is_ascii_whitespace()).count();
+        prop_assert_eq!(tok_len, non_ws);
+    }
+
+    /// Every integer formats and re-lexes to the same value.
+    #[test]
+    fn integers_roundtrip(v in 0i64..1_000_000) {
+        let s = v.to_string();
+        let toks = tokenize(&s);
+        prop_assert_eq!(toks.len(), 1);
+        match toks[0].kind {
+            TokenKind::Number(n) => prop_assert_eq!(n.as_f64(), v as f64),
+            _ => prop_assert!(false, "expected a number token"),
+        }
+    }
+
+    /// Ratios like blood pressures re-lex to their components.
+    #[test]
+    fn ratios_roundtrip(a in 1i64..400, b in 1i64..400) {
+        let s = format!("{a}/{b}");
+        let toks = tokenize(&s);
+        prop_assert_eq!(toks.len(), 1);
+        let anns = annotate_numbers(&toks);
+        prop_assert_eq!(anns.len(), 1);
+        prop_assert_eq!(anns[0].value.to_string(), s);
+    }
+
+    /// Sentence spans never overlap and appear in order.
+    #[test]
+    fn sentences_ordered(s in "[ -~\n]{0,300}") {
+        let sents = split_sentences(&s);
+        for w in sents.windows(2) {
+            prop_assert!(w[0].span.end <= w[1].span.start);
+        }
+    }
+
+    /// Record parsing never panics and preserves all section bodies as
+    /// substrings of the source (modulo continuation-line joining).
+    #[test]
+    fn record_parse_total(s in "[ -~\n]{0,300}") {
+        let rec = Record::parse(&s);
+        for sec in &rec.sections {
+            prop_assert!(sec.span.end <= s.len());
+        }
+    }
+}

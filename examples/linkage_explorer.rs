@@ -1,0 +1,56 @@
+//! Linkage explorer: parse any sentence and inspect the linkage diagram,
+//! link labels, constituents and POS tags — the debugging view the paper's
+//! authors would have used against the original Link Grammar parser.
+//!
+//! ```text
+//! cargo run --example linkage_explorer -- "She quit smoking five years ago."
+//! cargo run --example linkage_explorer           # uses built-in demo sentences
+//! ```
+
+use cmr::prelude::*;
+
+fn explore(parser: &LinkParser, sentence: &str) {
+    println!("======================================================================");
+    println!("sentence: {sentence}");
+    let tokens = tokenize(sentence);
+    let tagged = cmr::postag::PosTagger::new().tag(&tokens);
+    let tags: Vec<String> = tagged.iter().map(|t| format!("{}/{}", t.token.text, t.tag)).collect();
+    println!("tags:     {}", tags.join(" "));
+    match parser.parse(&tagged) {
+        Some(linkage) => {
+            println!("cost:     {:.3}", linkage.cost);
+            println!("{}", linkage.diagram());
+            let c = linkage.constituents();
+            let words = |idxs: &[usize]| {
+                idxs.iter().map(|&i| tokens[i].text.as_str()).collect::<Vec<_>>().join(" ")
+            };
+            println!("subject:    [{}]", words(&c.subject));
+            println!("verb:       [{}]", words(&c.verb));
+            println!("object:     [{}]", words(&c.object));
+            println!("supplement: [{}]", words(&c.supplement));
+        }
+        None => println!("NO LINKAGE — the pattern fallback would handle this text."),
+    }
+    println!();
+}
+
+fn main() {
+    let parser = LinkParser::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        for s in [
+            "Blood pressure is 144/90.",
+            "She quit smoking five years ago.",
+            "She has never smoked.",
+            "She is a woman who underwent a mammogram.",
+            "Significant for diabetes and hypertension.",
+            "Blood pressure: 144/90.",
+        ] {
+            explore(&parser, s);
+        }
+    } else {
+        for s in &args {
+            explore(&parser, s);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: generate a synthetic consultation note, run the full
+//! extraction pipeline, print the structured result as JSON.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cmr::prelude::*;
+
+fn main() {
+    // A small corpus in the paper's Appendix format, deterministic by seed.
+    let corpus = CorpusBuilder::new().records(1).seed(7).build();
+    let record = &corpus.records[0];
+
+    println!("=== input record =====================================================");
+    println!("{}", record.text);
+
+    // The pipeline bundles tokenization, sentence/section splitting, POS
+    // tagging, the link grammar parser, the morphology engine and the
+    // medical ontology (Figure 2 of the paper).
+    let pipeline = Pipeline::with_default_schema();
+    let extracted = pipeline.extract(&record.text);
+
+    println!("=== extracted structured record ======================================");
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&extracted).expect("extracted records serialize")
+    );
+
+    // Ground truth is attached to every generated record.
+    println!("=== gold check =======================================================");
+    println!(
+        "pulse:  extracted {:?}  gold {}",
+        extracted.numeric("pulse").map(|v| v.to_string()),
+        record.pulse
+    );
+    println!(
+        "blood pressure: extracted {:?}  gold {}/{}",
+        extracted.numeric("blood_pressure").map(|v| v.to_string()),
+        record.blood_pressure.0,
+        record.blood_pressure.1
+    );
+    println!(
+        "past medical history: extracted {:?}",
+        extracted
+            .predefined_medical
+            .iter()
+            .chain(&extracted.other_medical)
+            .collect::<Vec<_>>()
+    );
+    println!("gold medical history: {:?}", record.medical_history);
+}

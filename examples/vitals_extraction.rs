@@ -1,0 +1,67 @@
+//! The §3.1 story, end to end: how a vitals sentence becomes numbers.
+//!
+//! Shows the linkage diagram (the paper's Figure 1), the weighted graph
+//! distances that drive feature–number association, and the pattern
+//! fallback on a fragment the parser cannot handle.
+//!
+//! ```text
+//! cargo run --example vitals_extraction
+//! ```
+
+use cmr::prelude::*;
+use cmr::core::FeatureSpec;
+
+fn main() {
+    let parser = LinkParser::new();
+    let weights = LinkWeights::default();
+    let sentence =
+        "Blood pressure is 144/90, pulse of 84, temperature of 98.3, and weight of 154 pounds.";
+
+    println!("sentence: {sentence}\n");
+    let linkage = parser.parse_sentence(sentence).expect("the paper's example parses");
+    println!("{}", linkage.diagram());
+
+    println!("weighted shortest distances (feature keyword → number):");
+    for feature in ["pressure", "pulse", "temperature", "weight"] {
+        let f = linkage.words.iter().position(|w| w == feature).expect("word present");
+        let d = linkage.distances_from(f, &weights);
+        let mut pairs: Vec<(String, f64)> = ["144/90", "84", "98.3", "154"]
+            .iter()
+            .filter_map(|n| {
+                linkage
+                    .words
+                    .iter()
+                    .position(|w| w == n)
+                    .map(|i| (n.to_string(), d[i]))
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let best = &pairs[0];
+        println!(
+            "  {feature:<12} nearest number: {:<8} (distance {:.2})  all: {:?}",
+            best.0,
+            best.1,
+            pairs
+                .iter()
+                .map(|(n, d)| format!("{n}={d:.2}"))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    // The extractor wraps this machinery, plus specs and type filtering.
+    println!("\nnumeric extractor on the same sentence:");
+    let schema = Schema::paper();
+    let specs: Vec<&FeatureSpec> = schema.numeric.iter().collect();
+    let extractor = NumericExtractor::new();
+    for hit in extractor.extract_sentence(sentence, &specs) {
+        println!("  {:<16} = {:<8} via {:?}", hit.field, hit.value.to_string(), hit.method);
+    }
+
+    // Fragments do not parse — the paper's pattern approach takes over.
+    let fragment = "Blood pressure: 144/90.";
+    println!("\nfragment: {fragment}");
+    println!("  parses? {}", parser.parse_sentence(fragment).is_some());
+    for hit in extractor.extract_sentence(fragment, &specs) {
+        println!("  {:<16} = {:<8} via {:?}", hit.field, hit.value.to_string(), hit.method);
+    }
+}

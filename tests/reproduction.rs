@@ -1,0 +1,101 @@
+//! Reproduction guardrails: the paper's headline results must keep their
+//! *shape* (who wins, where the failure modes sit) on every build.
+//!
+//! These run the same harness as `cargo run -p cmr-bench --bin repro`, on
+//! the paper-default corpus.
+
+use cmr_bench::*;
+use cmr_core::{AssociationMethod, FeatureOptions};
+use cmr_ontology::OntologyProfile;
+
+#[test]
+fn e1_numeric_is_perfect_at_house_style() {
+    let corpus = paper_corpus();
+    let report = run_numeric(&corpus, AssociationMethod::LinkWithFallback);
+    assert!(report.all_perfect(), "{:?}", report.rows);
+    // The link-grammar path must be doing the bulk of the work, with the
+    // pattern fallback handling fragments — not the other way around.
+    let link = report.by_method.iter().find(|(n, _)| n == "link-grammar").unwrap().1;
+    let pattern = report.by_method.iter().find(|(n, _)| n == "pattern").unwrap().1;
+    assert!(link > pattern * 3, "link {link} vs pattern {pattern}");
+}
+
+#[test]
+fn e2_smoking_matches_paper_band() {
+    let corpus = paper_corpus();
+    let result = run_smoking(&corpus, FeatureOptions::paper_smoking());
+    let acc = result.mean_accuracy();
+    assert!((0.85..=0.98).contains(&acc), "accuracy {acc} outside the paper band");
+    let (lo, hi) = result.feature_count_range();
+    assert!(lo >= 3 && hi <= 12, "feature range {lo}-{hi}");
+    // 45 labeled cases, each tested once per repetition.
+    let tested: usize = result.confusion.iter().flatten().sum();
+    assert_eq!(tested, 45 * 10);
+}
+
+#[test]
+fn t1_shape_holds_under_paper_profile() {
+    let corpus = paper_corpus();
+    let paper = run_table1(&corpus, OntologyProfile::Paper);
+    let full = run_table1(&corpus, OntologyProfile::Full);
+    let recall = |r: &Table1Report, i: usize| r.rows[i].score.recall();
+    let precision = |r: &Table1Report, i: usize| r.rows[i].score.precision();
+    // Row order: PMH-pre, PMH-other, PSH-pre, PSH-other.
+    // 1. Predefined surgical recall collapses (the paper's 35%).
+    assert!(recall(&paper, 2) < 0.6, "PSH-pre recall {}", recall(&paper, 2));
+    // 2. It is the worst recall of the four attributes.
+    for i in [0, 1, 3] {
+        assert!(recall(&paper, 2) <= recall(&paper, i) + 1e-9, "row {i}");
+    }
+    // 3. Other-surgical precision is the lowest precision.
+    for i in [0, 1, 2] {
+        assert!(precision(&paper, 3) <= precision(&paper, i) + 1e-9, "row {i}");
+    }
+    // 4. Predefined medical is the best-behaved attribute (paper: 96.7/96.7).
+    assert!(recall(&paper, 0) > 0.9 && precision(&paper, 0) > 0.9);
+    // 5. The full ontology fixes what the paper says it would fix.
+    assert!(recall(&full, 2) > recall(&paper, 2) + 0.3, "synonyms restore PSH recall");
+    assert!(precision(&full, 3) >= precision(&paper, 3), "vocabulary restores precision");
+}
+
+#[test]
+fn a1_pattern_degrades_with_style_but_link_fallback_does_not() {
+    let report = run_ablation_assoc(&[0.0, 1.0], 2005);
+    let get = |style: f64, name: &str| {
+        report
+            .cells
+            .iter()
+            .find(|(s, n, _)| *s == style && *n == name)
+            .map(|(_, _, r)| *r)
+            .unwrap()
+    };
+    assert!(get(0.0, "link+fallback") > 0.99);
+    assert!(get(1.0, "link+fallback") > 0.95, "robust to style variation");
+    assert!(
+        get(1.0, "pattern-only") < get(1.0, "link+fallback"),
+        "patterns generalize worse (the paper's §3.1 motivation)"
+    );
+    assert!(get(1.0, "link-only") < get(1.0, "link+fallback"), "fragments need the fallback");
+}
+
+#[test]
+fn x1_numeric_features_help_alcohol() {
+    let corpus = paper_corpus();
+    let (without, with) = run_alcohol(&corpus);
+    assert!(
+        with.mean_accuracy() > without.mean_accuracy(),
+        "numeric boolean features must help: {} vs {}",
+        with.mean_accuracy(),
+        without.mean_accuracy()
+    );
+}
+
+#[test]
+fn figure1_diagram_shape() {
+    let f = run_figure1();
+    // The paper counts 4 links for the example clause and names the O link.
+    assert!(f.contains("O"), "object link rendered");
+    assert!(f.contains("144/90"));
+    assert!(f.contains("LEFT-WALL"));
+    assert!(f.contains("d(pressure, 144/90)"));
+}

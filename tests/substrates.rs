@@ -1,0 +1,128 @@
+//! Cross-substrate integration: the guarantees each layer needs from the
+//! one below it, checked on realistic corpus data rather than unit
+//! fixtures.
+
+use cmr::prelude::*;
+use cmr::postag::PosTagger;
+use cmr_text::TokenKind;
+
+/// The parser must handle the generated corpus's declarative sentences at a
+/// high rate — the numeric extractor's primary path depends on it.
+#[test]
+fn parse_rate_on_vitals_sentences() {
+    let corpus = CorpusBuilder::new().records(20).seed(31).build();
+    let parser = LinkParser::new();
+    let mut parsed = 0;
+    let mut total = 0;
+    for rec in &corpus.records {
+        let parsed_rec = cmr::text::Record::parse(&rec.text);
+        let vitals = parsed_rec.section("Vitals").expect("vitals present");
+        for s in vitals.sentences() {
+            total += 1;
+            if parser.parse_sentence(s.text(&vitals.body)).is_some() {
+                parsed += 1;
+            }
+        }
+    }
+    assert!(total >= 20);
+    assert!(
+        parsed * 10 >= total * 9,
+        "house-style vitals must parse: {parsed}/{total}"
+    );
+}
+
+/// Every number the tokenizer marks must survive tagging as CD — the
+/// numeric extractor's inventory comes from this chain.
+#[test]
+fn number_tokens_survive_tagging() {
+    let corpus = CorpusBuilder::new().records(10).seed(32).build();
+    let tagger = PosTagger::new();
+    for rec in &corpus.records {
+        let toks = tokenize(&rec.text);
+        let tagged = tagger.tag(&toks);
+        for (t, g) in toks.iter().zip(&tagged) {
+            if matches!(t.kind, TokenKind::Number(_)) {
+                assert_eq!(g.tag, cmr::postag::Tag::CD, "{}", t.text);
+            }
+        }
+    }
+}
+
+/// Gold history terms must be resolvable by the full ontology after
+/// normalization — otherwise the Table 1 gold partition is meaningless.
+#[test]
+fn gold_terms_resolve_after_normalization() {
+    let corpus = CorpusBuilder::new().records(25).seed(33).build();
+    let onto = Ontology::full();
+    for rec in &corpus.records {
+        for term in rec.medical_history.iter().chain(&rec.surgical_history) {
+            let c = onto
+                .lookup(term)
+                .unwrap_or_else(|| panic!("gold term unresolvable: {term}"));
+            assert_eq!(c.preferred, term, "gold uses preferred names");
+        }
+    }
+}
+
+/// `lemma_any` must be idempotent over every lemma the tagger emits.
+/// (Cross-class divergence is legitimate — "known" is its own adjective
+/// lemma but reduces to "know" as a verb — so the invariant is idempotence
+/// of the class-free reduction, not cross-class equality.)
+#[test]
+fn tagger_lemmas_reduce_to_fixed_points() {
+    let corpus = CorpusBuilder::new().records(5).seed(34).build();
+    let tagger = PosTagger::new();
+    let lem = Lemmatizer::new();
+    for rec in &corpus.records {
+        for t in tagger.tag(&tokenize(&rec.text)) {
+            if t.token.kind.is_word() {
+                let once = lem.lemma_any(&t.lemma);
+                let twice = lem.lemma_any(&once);
+                assert_eq!(once, twice, "{} → {} → {} → {}", t.token.text, t.lemma, once, twice);
+            }
+        }
+    }
+}
+
+/// Corpus generation, extraction and evaluation must be jointly
+/// deterministic: the whole chain re-run gives byte-identical JSON.
+#[test]
+fn whole_chain_deterministic() {
+    let run = || {
+        let corpus = CorpusBuilder::new().records(6).seed(35).build();
+        let pipeline = Pipeline::with_default_schema();
+        corpus
+            .records
+            .iter()
+            .map(|r| serde_json::to_string(&pipeline.extract(&r.text)).expect("serializes"))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+/// Sections the schema routes to must exist in every generated record; a
+/// renamed template header would silently zero the experiments.
+#[test]
+fn schema_sections_exist_in_corpus() {
+    let corpus = CorpusBuilder::new().records(8).seed(36).build();
+    let schema = Schema::paper();
+    for rec in &corpus.records {
+        let parsed = cmr::text::Record::parse(&rec.text);
+        for spec in &schema.numeric {
+            for sec in &spec.sections {
+                assert!(
+                    parsed.section(sec).is_some(),
+                    "numeric section {sec} missing in patient {}",
+                    rec.patient_id
+                );
+            }
+        }
+        for field in schema.terms.iter().map(|t| &t.sections).chain(
+            schema.categorical.iter().map(|c| &c.sections),
+        ) {
+            for sec in field {
+                assert!(parsed.section(sec).is_some(), "section {sec} missing");
+            }
+        }
+    }
+}
