@@ -1,0 +1,47 @@
+//! Batch-engine throughput: serial pipeline vs the worker pool at
+//! increasing job counts. The point is near-linear scaling — each worker
+//! owns its own pipeline (and parser cache), the records are independent,
+//! and the only shared state is the read-only schema/ontology plus one
+//! metrics mutex.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_batch(c: &mut Criterion) {
+    let corpus = cmr_corpus::CorpusBuilder::new()
+        .records(40)
+        .seed(2005)
+        .build();
+    let texts: Vec<&str> = corpus.records.iter().map(|r| r.text.as_str()).collect();
+
+    let mut g = c.benchmark_group("batch");
+    g.sample_size(10);
+
+    // Baseline: one pipeline, one thread, plain loop (no engine overhead).
+    g.bench_function("serial_pipeline_40", |b| {
+        let pipeline = cmr_core::Pipeline::with_default_schema();
+        b.iter(|| {
+            for t in &texts {
+                black_box(pipeline.extract(black_box(t)));
+            }
+        })
+    });
+
+    for jobs in [1usize, 2, 4, 8] {
+        let engine = cmr_engine::Engine::new(
+            cmr_engine::EngineConfig {
+                jobs,
+                ..cmr_engine::EngineConfig::default()
+            },
+            cmr_core::Schema::paper(),
+            cmr_ontology::Ontology::full(),
+        );
+        g.bench_function(format!("engine_40_jobs_{jobs}"), |b| {
+            b.iter(|| black_box(engine.extract_batch(black_box(&texts))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -30,8 +30,12 @@ fn bench_extraction(c: &mut Criterion) {
     let ex = cmr_core::MedicalTermExtractor::new(cmr_ontology::Ontology::full());
     let pmh = "Significant for diabetes, heart disease, high blood pressure, hypercholesterolemia, bronchitis, arrhythmia, and depression.";
     let psh = "Significant for a postoperative CVA after undergoing a cholecystectomy and a midline hernia closure.";
-    g.bench_function("pmh_line", |b| b.iter(|| black_box(ex.extract(black_box(pmh)))));
-    g.bench_function("psh_line", |b| b.iter(|| black_box(ex.extract(black_box(psh)))));
+    g.bench_function("pmh_line", |b| {
+        b.iter(|| black_box(ex.extract(black_box(pmh))))
+    });
+    g.bench_function("psh_line", |b| {
+        b.iter(|| black_box(ex.extract(black_box(psh))))
+    });
     g.bench_function("normalize_term", |b| {
         b.iter(|| black_box(cmr_ontology::normalize(black_box("high blood pressures"))))
     });
@@ -47,7 +51,9 @@ fn bench_extraction(c: &mut Criterion) {
     g.bench_function("tokenize_vitals", |b| {
         b.iter(|| black_box(cmr_text::tokenize(black_box(vitals))))
     });
-    g.bench_function("pos_tag_vitals", |b| b.iter(|| black_box(tagger.tag(black_box(&toks)))));
+    g.bench_function("pos_tag_vitals", |b| {
+        b.iter(|| black_box(tagger.tag(black_box(&toks))))
+    });
     g.finish();
 }
 

@@ -14,11 +14,18 @@ fn bench_id3(c: &mut Criterion) {
     let data = smoking_dataset();
     let mut g = c.benchmark_group("id3");
     g.bench_function("train_smoking_45x", |b| {
-        b.iter(|| black_box(cmr_ml::Id3Tree::train(black_box(&data), cmr_ml::Id3Params::default())))
+        b.iter(|| {
+            black_box(cmr_ml::Id3Tree::train(
+                black_box(&data),
+                cmr_ml::Id3Params::default(),
+            ))
+        })
     });
     let tree = cmr_ml::Id3Tree::train(&data, cmr_ml::Id3Params::default());
     let fv = &data.instances[0].features;
-    g.bench_function("predict", |b| b.iter(|| black_box(tree.predict(black_box(fv)))));
+    g.bench_function("predict", |b| {
+        b.iter(|| black_box(tree.predict(black_box(fv))))
+    });
     g.bench_function("cv_5fold_x10", |b| {
         b.iter(|| black_box(cmr_ml::CrossValidation::default().run(black_box(&data))))
     });

@@ -11,7 +11,8 @@ fn bench_parser(c: &mut Criterion) {
 
     let short = "She smokes.";
     let medium = "Blood pressure is 144/90, pulse of 84.";
-    let long = "Blood pressure is 144/90, pulse of 84, temperature of 98.3, and weight of 154 pounds.";
+    let long =
+        "Blood pressure is 144/90, pulse of 84, temperature of 98.3, and weight of 154 pounds.";
     let fragment = "Blood pressure: 144/90.";
 
     // Cold = the O(n³) region parse; warm = the structure-cache hit that

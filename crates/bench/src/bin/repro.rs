@@ -71,7 +71,13 @@ fn numeric() {
     );
     let corpus = paper_corpus();
     let report = run_numeric(&corpus, AssociationMethod::LinkWithFallback);
-    let mut t = Table::new(vec!["Attribute", "Precision", "Recall", "Extracted", "Gold"]);
+    let mut t = Table::new(vec![
+        "Attribute",
+        "Precision",
+        "Recall",
+        "Extracted",
+        "Gold",
+    ]);
     for (attr, pr) in &report.rows {
         t.row(vec![
             attr.clone(),
@@ -221,7 +227,9 @@ fn ablation_classifier() {
         t.row(vec![
             name.to_string(),
             pct(acc),
-            range.map(|(lo, hi)| format!("{lo}-{hi}")).unwrap_or_else(|| "all".to_string()),
+            range
+                .map(|(lo, hi)| format!("{lo}-{hi}"))
+                .unwrap_or_else(|| "all".to_string()),
         ]);
     }
     println!("{}", t.render());
@@ -235,14 +243,30 @@ fn ablation_patterns() {
          disease' is structurally unreachable",
     );
     let corpus = paper_corpus();
-    let mut t = Table::new(vec!["Attribute", "Paper patterns P/R", "Extended patterns P/R"]);
+    let mut t = Table::new(vec![
+        "Attribute",
+        "Paper patterns P/R",
+        "Extended patterns P/R",
+    ]);
     let paper = run_table1_with(&corpus, OntologyProfile::Full, cmr_core::PatternSet::Paper);
-    let ext = run_table1_with(&corpus, OntologyProfile::Full, cmr_core::PatternSet::Extended);
+    let ext = run_table1_with(
+        &corpus,
+        OntologyProfile::Full,
+        cmr_core::PatternSet::Extended,
+    );
     for i in 0..paper.rows.len() {
         let cell = |r: &Table1Report| {
-            format!("{}/{}", pct(r.rows[i].score.precision()), pct(r.rows[i].score.recall()))
+            format!(
+                "{}/{}",
+                pct(r.rows[i].score.precision()),
+                pct(r.rows[i].score.recall())
+            )
         };
-        t.row(vec![paper.rows[i].attribute.to_string(), cell(&paper), cell(&ext)]);
+        t.row(vec![
+            paper.rows[i].attribute.to_string(),
+            cell(&paper),
+            cell(&ext),
+        ]);
     }
     println!("{}", t.render());
 }
@@ -267,7 +291,10 @@ fn ablation_assoc() {
         };
         t.row(vec![name.to_string(), cell(0.0), cell(0.5), cell(1.0)]);
     }
-    println!("numeric micro-recall by association method:\n{}", t.render());
+    println!(
+        "numeric micro-recall by association method:\n{}",
+        t.render()
+    );
 }
 
 /// A2 — ablation: feature-extraction options for smoking.
@@ -281,7 +308,11 @@ fn ablation_features() {
     for (name, options) in feature_option_variants() {
         let r = run_smoking(&corpus, options);
         let (lo, hi) = r.feature_count_range();
-        t.row(vec![name.to_string(), pct(r.mean_accuracy()), format!("{lo}-{hi}")]);
+        t.row(vec![
+            name.to_string(),
+            pct(r.mean_accuracy()),
+            format!("{lo}-{hi}"),
+        ]);
     }
     println!("{}", t.render());
 }
@@ -334,7 +365,10 @@ fn negation() {
         "Recall",
         "False positives",
     ]);
-    for (name, pr) in [("paper (no negation handling)", &without), ("with NegEx-style filter", &with)] {
+    for (name, pr) in [
+        ("paper (no negation handling)", &without),
+        ("with NegEx-style filter", &with),
+    ] {
         t.row(vec![
             name.to_string(),
             pct(pr.precision()),
@@ -355,7 +389,10 @@ fn knowledge() {
         "K1: cohort knowledge (the paper's title and §1 motivation)",
         "'the ability to then detect small variations, which may pinpoint important factors'",
     );
-    let corpus = cmr_corpus::CorpusBuilder::new().records(200).seed(11).build();
+    let corpus = cmr_corpus::CorpusBuilder::new()
+        .records(200)
+        .seed(11)
+        .build();
     println!(
         "The corpus plants one real factor: current smokers carry COPD at ~8x the\n\
          base rate. COPD's preferred name is FOUR words — beyond the paper's\n\
@@ -363,7 +400,10 @@ fn knowledge() {
          depends on the extraction layer's pattern inventory (ablation A6):\n"
     );
     for (label, patterns) in [
-        ("paper patterns (4-word terms invisible)", cmr_core::PatternSet::Paper),
+        (
+            "paper patterns (4-word terms invisible)",
+            cmr_core::PatternSet::Paper,
+        ),
         ("extended patterns", cmr_core::PatternSet::Extended),
     ] {
         let (rules, findings) = run_knowledge_with(&corpus, patterns);
@@ -382,7 +422,10 @@ fn knowledge() {
         if shown == 0 {
             println!("  (none pass thresholds)");
         }
-        let copd: Vec<&String> = findings.iter().filter(|f| f.contains("pulmonary")).collect();
+        let copd: Vec<&String> = findings
+            .iter()
+            .filter(|f| f.contains("pulmonary"))
+            .collect();
         match copd.first() {
             Some(f) => println!("planted factor FOUND: {f}"),
             None => println!("planted factor NOT FOUND (COPD never extracted)"),
@@ -399,7 +442,11 @@ fn style_sweep() {
     );
     let styles = [0.0, 0.25, 0.5, 0.75, 1.0];
     let report = run_style_sweep(&styles, 2005);
-    let mut t = Table::new(vec!["Style variation", "Numeric recall", "Smoking accuracy"]);
+    let mut t = Table::new(vec![
+        "Style variation",
+        "Numeric recall",
+        "Smoking accuracy",
+    ]);
     for (style, numeric, smoking) in &report.rows {
         t.row(vec![format!("{style:.2}"), pct(*numeric), pct(*smoking)]);
     }

@@ -3,10 +3,9 @@
 //! Each runner returns a structured report; the `repro` binary renders them
 //! as text tables shaped like the paper's.
 
-use cmr_core::{
-    AssociationMethod, CategoricalExtractor, FeatureOptions, Pipeline, Schema,
-};
+use cmr_core::{AssociationMethod, CategoricalExtractor, ExtractedRecord, FeatureOptions, Schema};
 use cmr_corpus::{Corpus, CorpusBuilder, GoldRecord};
+use cmr_engine::{Engine, EngineConfig};
 use cmr_eval::{MultiValueScore, PrecisionRecall};
 use cmr_ml::{CrossValidation, CvResult};
 use cmr_ontology::{Ontology, OntologyProfile, ValueSet};
@@ -15,6 +14,24 @@ use cmr_text::{NumberValue, Record};
 /// The default corpus for all experiments: the paper's setting.
 pub fn paper_corpus() -> Corpus {
     CorpusBuilder::new().build()
+}
+
+/// Extracts every record of a corpus through the parallel engine (one
+/// worker per core, no budget). Outputs come back in corpus order, so the
+/// scoring loops below stay position-aligned with the gold records.
+pub fn extract_corpus(
+    corpus: &Corpus,
+    cfg: EngineConfig,
+    ontology: Ontology,
+) -> Vec<ExtractedRecord> {
+    let engine = Engine::new(cfg, Schema::paper(), ontology);
+    let texts: Vec<&str> = corpus.records.iter().map(|r| r.text.as_str()).collect();
+    engine
+        .extract_batch(&texts)
+        .items
+        .into_iter()
+        .map(|r| r.expect("no budget configured; extraction cannot fail"))
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -59,16 +76,22 @@ fn gold_numeric(rec: &GoldRecord, attr: &str) -> Option<NumberValue> {
 fn values_equal(a: &NumberValue, b: &NumberValue) -> bool {
     match (a, b) {
         (NumberValue::Float(x), NumberValue::Float(y)) => (x - y).abs() < 1e-9,
-        (NumberValue::Int(x), NumberValue::Float(y)) | (NumberValue::Float(y), NumberValue::Int(x)) => {
-            (*x as f64 - y).abs() < 1e-9
-        }
+        (NumberValue::Int(x), NumberValue::Float(y))
+        | (NumberValue::Float(y), NumberValue::Int(x)) => (*x as f64 - y).abs() < 1e-9,
         _ => a == b,
     }
 }
 
 /// Runs the numeric experiment with a given association method.
 pub fn run_numeric(corpus: &Corpus, method: AssociationMethod) -> NumericReport {
-    let pipeline = Pipeline::new(Schema::paper(), Ontology::full(), method);
+    let outputs = extract_corpus(
+        corpus,
+        EngineConfig {
+            method,
+            ..EngineConfig::default()
+        },
+        Ontology::full(),
+    );
     let mut rows: Vec<(String, PrecisionRecall)> = Schema::paper_numeric_names()
         .iter()
         .map(|n| (n.to_string(), PrecisionRecall::new()))
@@ -77,8 +100,7 @@ pub fn run_numeric(corpus: &Corpus, method: AssociationMethod) -> NumericReport 
     let mut pattern = 0usize;
     let mut yearold = 0usize;
     let mut proximity = 0usize;
-    for rec in &corpus.records {
-        let out = pipeline.extract(&rec.text);
+    for (rec, out) in corpus.records.iter().zip(&outputs) {
         for (attr, pr) in rows.iter_mut() {
             let gold = gold_numeric(rec, attr);
             let got = out.numeric(attr);
@@ -225,7 +247,11 @@ pub fn run_remaining_categorical(corpus: &Corpus) -> Vec<(&'static str, CvResult
             let examples = field_examples(corpus, section, label_of);
             let n = examples.len();
             let clf = CategoricalExtractor::new(FeatureOptions::paper_smoking());
-            (name, clf.cross_validate(&examples, CrossValidation::default()), n)
+            (
+                name,
+                clf.cross_validate(&examples, CrossValidation::default()),
+                n,
+            )
         })
         .collect()
 }
@@ -252,7 +278,10 @@ pub fn run_ablation_classifier(corpus: &Corpus) -> Vec<ClassifierRow> {
         ("tree (gain ratio)", SplitCriterion::GainRatio),
     ] {
         let cv = CrossValidation {
-            params: Id3Params { criterion, ..Id3Params::default() },
+            params: Id3Params {
+                criterion,
+                ..Id3Params::default()
+            },
             ..CrossValidation::default()
         };
         let r = cv.run(&data);
@@ -297,12 +326,14 @@ pub fn run_table1_with(
     profile: OntologyProfile,
     patterns: cmr_core::PatternSet,
 ) -> Table1Report {
-    let pipeline = Pipeline::new(
-        Schema::paper(),
+    let outputs = extract_corpus(
+        corpus,
+        EngineConfig {
+            term_patterns: patterns,
+            ..EngineConfig::default()
+        },
         Ontology::with_profile(profile),
-        AssociationMethod::LinkWithFallback,
-    )
-    .with_term_patterns(patterns);
+    );
     // Gold partition uses the *full* ontology (truth is independent of the
     // extractor's vocabulary).
     let full = Ontology::full();
@@ -314,8 +345,7 @@ pub fn run_table1_with(
     let mut pre_surg = MultiValueScore::new();
     let mut other_surg = MultiValueScore::new();
 
-    for rec in &corpus.records {
-        let out = pipeline.extract(&rec.text);
+    for (rec, out) in corpus.records.iter().zip(&outputs) {
         let (gold_pre_med, gold_other_med) = partition_gold(&rec.medical_history, &full, &med_set);
         let (gold_pre_surg, gold_other_surg) =
             partition_gold(&rec.surgical_history, &full, &surg_set);
@@ -326,22 +356,30 @@ pub fn run_table1_with(
     }
     Table1Report {
         rows: vec![
-            Table1Row { attribute: "Predefined Past Medical History", score: pre_med },
-            Table1Row { attribute: "Other Past Medical History", score: other_med },
-            Table1Row { attribute: "Predefined Past Surgical History", score: pre_surg },
-            Table1Row { attribute: "Other Past Surgical History", score: other_surg },
+            Table1Row {
+                attribute: "Predefined Past Medical History",
+                score: pre_med,
+            },
+            Table1Row {
+                attribute: "Other Past Medical History",
+                score: other_med,
+            },
+            Table1Row {
+                attribute: "Predefined Past Surgical History",
+                score: pre_surg,
+            },
+            Table1Row {
+                attribute: "Other Past Surgical History",
+                score: other_surg,
+            },
         ],
     }
 }
 
-fn partition_gold(
-    gold: &[String],
-    onto: &Ontology,
-    set: &ValueSet,
-) -> (Vec<String>, Vec<String>) {
-    gold.iter().cloned().partition(|name| {
-        onto.lookup(name).map(|c| set.contains(c)).unwrap_or(false)
-    })
+fn partition_gold(gold: &[String], onto: &Ontology, set: &ValueSet) -> (Vec<String>, Vec<String>) {
+    gold.iter()
+        .cloned()
+        .partition(|name| onto.lookup(name).map(|c| set.contains(c)).unwrap_or(false))
 }
 
 // ---------------------------------------------------------------------------
@@ -355,7 +393,8 @@ pub fn run_figure1() -> String {
     let weights = cmr_linkgram::LinkWeights::default();
     let mut out = String::new();
     let clause = "Blood pressure is 144/90.";
-    let full = "Blood pressure is 144/90, pulse of 84, temperature of 98.3, and weight of 154 pounds.";
+    let full =
+        "Blood pressure is 144/90, pulse of 84, temperature of 98.3, and weight of 154 pounds.";
     for text in [clause, full] {
         out.push_str(&format!("Sentence: {text}\n"));
         match parser.parse_sentence(text) {
@@ -402,7 +441,10 @@ pub struct AssocAblation {
 pub fn run_ablation_assoc(styles: &[f64], seed: u64) -> AssocAblation {
     let mut cells = Vec::new();
     for &style in styles {
-        let corpus = CorpusBuilder::new().seed(seed).style_variation(style).build();
+        let corpus = CorpusBuilder::new()
+            .seed(seed)
+            .style_variation(style)
+            .build();
         for (name, method) in [
             ("link+fallback", AssociationMethod::LinkWithFallback),
             ("link-only", AssociationMethod::LinkOnly),
@@ -431,7 +473,10 @@ pub fn feature_option_variants() -> Vec<(&'static str, FeatureOptions)> {
         ("paper (all POS, lemma on)", base.clone()),
         (
             "lemma off",
-            FeatureOptions { use_lemma: false, ..base.clone() },
+            FeatureOptions {
+                use_lemma: false,
+                ..base.clone()
+            },
         ),
         (
             "verbs only",
@@ -453,7 +498,10 @@ pub fn feature_option_variants() -> Vec<(&'static str, FeatureOptions)> {
         ),
         (
             "head words only",
-            FeatureOptions { head_only: true, ..base.clone() },
+            FeatureOptions {
+                head_only: true,
+                ..base.clone()
+            },
         ),
         (
             "verb constituent only",
@@ -482,7 +530,10 @@ pub struct StyleSweep {
 pub fn run_style_sweep(styles: &[f64], seed: u64) -> StyleSweep {
     let mut rows = Vec::new();
     for &style in styles {
-        let corpus = CorpusBuilder::new().seed(seed).style_variation(style).build();
+        let corpus = CorpusBuilder::new()
+            .seed(seed)
+            .style_variation(style)
+            .build();
         let numeric = run_numeric(&corpus, AssociationMethod::LinkWithFallback);
         let mut pooled = PrecisionRecall::new();
         for (_, pr) in &numeric.rows {
@@ -505,13 +556,14 @@ pub fn run_style_sweep(styles: &[f64], seed: u64) -> StyleSweep {
 /// Returns (without, with) accumulators against the binary gold flag.
 pub fn run_negation(corpus: &Corpus) -> (PrecisionRecall, PrecisionRecall) {
     let plain = cmr_core::MedicalTermExtractor::new(Ontology::full());
-    let filtered =
-        cmr_core::MedicalTermExtractor::new(Ontology::full()).with_negation_filter(true);
+    let filtered = cmr_core::MedicalTermExtractor::new(Ontology::full()).with_negation_filter(true);
     let mut without = PrecisionRecall::new();
     let mut with = PrecisionRecall::new();
     for rec in &corpus.records {
         let parsed = Record::parse(&rec.text);
-        let Some(section) = parsed.section("Family History") else { continue };
+        let Some(section) = parsed.section("Family History") else {
+            continue;
+        };
         let gold = rec.family_history_breast_cancer;
         for (ex, acc) in [(&plain, &mut without), (&filtered, &mut with)] {
             let found = ex
@@ -544,20 +596,26 @@ pub fn build_cohort(corpus: &Corpus) -> cmr_knowledge::Cohort {
 /// preferred name is four words — *unreachable* by the paper's patterns —
 /// so the knowledge layer can only surface the factor when extraction can
 /// see it.
-pub fn build_cohort_with(
-    corpus: &Corpus,
-    patterns: cmr_core::PatternSet,
-) -> cmr_knowledge::Cohort {
-    let pipeline = Pipeline::with_default_schema().with_term_patterns(patterns);
+pub fn build_cohort_with(corpus: &Corpus, patterns: cmr_core::PatternSet) -> cmr_knowledge::Cohort {
+    let outputs = extract_corpus(
+        corpus,
+        EngineConfig {
+            term_patterns: patterns,
+            ..EngineConfig::default()
+        },
+        Ontology::full(),
+    );
     let mut clf = CategoricalExtractor::new(FeatureOptions::paper_smoking());
     clf.train(&smoking_examples(corpus));
     let mut cohort = cmr_knowledge::Cohort::new();
-    for rec in &corpus.records {
-        let out = pipeline.extract(&rec.text);
+    for (rec, out) in corpus.records.iter().zip(&outputs) {
         let parsed = Record::parse(&rec.text);
         let social = parsed.section("Social History").map(|s| s.body.clone());
-        let smoking = social.as_deref().and_then(|t| clf.classify(t)).unwrap_or("");
-        cohort.push_extracted(&out, &[("smoking", smoking)]);
+        let smoking = social
+            .as_deref()
+            .and_then(|t| clf.classify(t))
+            .unwrap_or("");
+        cohort.push_extracted(out, &[("smoking", smoking)]);
     }
     cohort
 }

@@ -1,0 +1,106 @@
+//! Per-record extraction budgets.
+//!
+//! The link parser is O(n³) in sentence length and a record may contain
+//! arbitrarily many sentences, so batch drivers (see `cmr-engine`) bound
+//! the work a single record may consume. Parsing is synchronous and cannot
+//! be interrupted mid-sentence; budgets are therefore enforced at sentence
+//! granularity — before each sentence the extractor checks the deadline and
+//! the step count, and bails with [`BudgetExceeded`] instead of starting
+//! the next parse. The per-sentence word cap inside the parser bounds how
+//! far past the deadline one sentence can run.
+
+use std::time::Instant;
+
+/// Work limits for one record's extraction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExtractBudget {
+    /// Hard wall-clock deadline; checked before each sentence.
+    pub deadline: Option<Instant>,
+    /// Maximum sentences the numeric extractor may process (the "step"
+    /// budget — each step is at most one link parse).
+    pub max_sentences: Option<usize>,
+}
+
+impl ExtractBudget {
+    /// No limits: extraction never returns [`BudgetExceeded`].
+    pub const NONE: ExtractBudget = ExtractBudget {
+        deadline: None,
+        max_sentences: None,
+    };
+
+    /// True when no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_sentences.is_none()
+    }
+
+    /// Returns the error to raise before step `sentences_done`, if any
+    /// limit is already exhausted.
+    pub fn check(&self, sentences_done: usize) -> Result<(), BudgetExceeded> {
+        if let Some(max) = self.max_sentences {
+            if sentences_done >= max {
+                return Err(BudgetExceeded { sentences_done });
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(BudgetExceeded { sentences_done });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A record exceeded its [`ExtractBudget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// Sentences fully processed before the budget ran out.
+    pub sentences_done: usize,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "extraction budget exceeded after {} sentence(s)",
+            self.sentences_done
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_never_trips() {
+        assert!(ExtractBudget::NONE.check(usize::MAX - 1).is_ok());
+        assert!(ExtractBudget::NONE.is_unlimited());
+    }
+
+    #[test]
+    fn sentence_cap_trips_at_limit() {
+        let b = ExtractBudget {
+            max_sentences: Some(3),
+            ..ExtractBudget::NONE
+        };
+        assert!(b.check(2).is_ok());
+        assert_eq!(b.check(3), Err(BudgetExceeded { sentences_done: 3 }));
+    }
+
+    #[test]
+    fn past_deadline_trips() {
+        let b = ExtractBudget {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..ExtractBudget::NONE
+        };
+        assert!(b.check(0).is_err());
+        let b = ExtractBudget {
+            deadline: Some(Instant::now() + Duration::from_secs(3600)),
+            ..ExtractBudget::NONE
+        };
+        assert!(b.check(0).is_ok());
+    }
+}

@@ -324,7 +324,10 @@ mod tests {
         let feats = fx(opts).extract("Her blood pressure is high.");
         assert!(feats.contains(&"pressure".to_string()), "{feats:?}");
         assert!(!feats.contains(&"blood".to_string()), "{feats:?}");
-        assert!(feats.contains(&"high".to_string()), "predicative adjective is a head");
+        assert!(
+            feats.contains(&"high".to_string()),
+            "predicative adjective is a head"
+        );
     }
 
     #[test]
@@ -370,7 +373,10 @@ mod tests {
             ("She smokes two packs per day.".into(), "current".into()),
         ];
         c.train(&examples);
-        assert_eq!(c.classify("She quit smoking three years ago."), Some("former"));
+        assert_eq!(
+            c.classify("She quit smoking three years ago."),
+            Some("former")
+        );
         assert_eq!(c.classify("She has never smoked."), Some("never"));
         assert_eq!(c.classify("She is currently a smoker."), Some("current"));
     }

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod categorical;
 mod negation;
 mod numeric;
@@ -32,10 +33,14 @@ mod schema;
 mod spec;
 mod terms;
 
+pub use budget::{BudgetExceeded, ExtractBudget};
 pub use categorical::{CategoricalExtractor, FeatureExtractor, FeatureOptions};
 pub use negation::NegationDetector;
 pub use numeric::{AssociationMethod, MethodUsed, NumericExtractor, NumericHit};
-pub use pipeline::{ExtractedRecord, Pipeline};
+pub use pipeline::{ExtractTiming, ExtractedRecord, Pipeline};
 pub use schema::Schema;
+// Re-exported so engine-style pools can share one parse cache without a
+// direct linkgram dependency.
+pub use cmr_linkgram::SharedParseCache;
 pub use spec::{CategoricalFieldSpec, FeatureSpec, TermFieldSpec, ValueKind};
 pub use terms::{MedicalTermExtractor, PatternSet, TermHit};

@@ -62,8 +62,21 @@ pub struct NumericHit {
 /// number: copulas, prepositions and list punctuation — generalizing the
 /// paper's four patterns (`is` / `of` / `,` / `:`).
 const PATTERN_FILLERS: &[&str] = &[
-    "is", "was", "are", "were", "of", "at", "about", "approximately", "around", "a", "an", "age",
-    ",", ":", "to",
+    "is",
+    "was",
+    "are",
+    "were",
+    "of",
+    "at",
+    "about",
+    "approximately",
+    "around",
+    "a",
+    "an",
+    "age",
+    ",",
+    ":",
+    "to",
 ];
 /// Maximum fillers to skip before giving up on a pattern match.
 const MAX_FILLERS: usize = 3;
@@ -105,11 +118,46 @@ impl NumericExtractor {
         self
     }
 
+    /// Attaches a pool-wide parse-structure cache (see
+    /// [`cmr_linkgram::SharedParseCache`]); each worker of a batch engine
+    /// shares one so a sentence shape is link-parsed once per pool.
+    pub fn set_shared_parse_cache(&mut self, cache: cmr_linkgram::SharedParseCache) {
+        self.parser.set_shared_cache(cache);
+    }
+
+    /// Link-parser cache and timing counters (see
+    /// [`cmr_linkgram::ParserStats`]).
+    pub fn parser_stats(&self) -> cmr_linkgram::ParserStats {
+        self.parser.stats()
+    }
+
     /// Extracts all numeric attributes of `specs` from a full record.
     /// Sections route specs; the first hit per attribute wins.
     pub fn extract_record(&self, text: &str, specs: &[FeatureSpec]) -> Vec<NumericHit> {
-        let record = Record::parse(text);
+        self.extract_parsed(&Record::parse(text), specs)
+    }
+
+    /// Like [`NumericExtractor::extract_record`], but over an
+    /// already-parsed [`Record`] — callers that also need the section
+    /// structure (e.g. [`crate::Pipeline`]) parse once and share it.
+    pub fn extract_parsed(&self, record: &Record, specs: &[FeatureSpec]) -> Vec<NumericHit> {
+        self.extract_budgeted(record, specs, &crate::ExtractBudget::NONE)
+            .expect("unlimited budget never trips")
+    }
+
+    /// Like [`NumericExtractor::extract_parsed`], but bails with
+    /// [`crate::BudgetExceeded`] once the budget runs out. The budget is
+    /// checked before each sentence (each sentence is at most one link
+    /// parse, the dominant cost); hits gathered so far are discarded —
+    /// batch drivers treat a tripped budget as a per-record failure.
+    pub fn extract_budgeted(
+        &self,
+        record: &Record,
+        specs: &[FeatureSpec],
+        budget: &crate::ExtractBudget,
+    ) -> Result<Vec<NumericHit>, crate::BudgetExceeded> {
         let mut hits: Vec<NumericHit> = Vec::new();
+        let mut sentences_done = 0usize;
         for section in &record.sections {
             let key = section.key();
             let routed: Vec<&FeatureSpec> = specs
@@ -122,7 +170,9 @@ impl NumericExtractor {
                 continue;
             }
             for sentence in section.sentences() {
+                budget.check(sentences_done)?;
                 let found = self.extract_sentence(sentence.text(&section.body), &routed);
+                sentences_done += 1;
                 for hit in found {
                     if !hits.iter().any(|h| h.field == hit.field) {
                         hits.push(hit);
@@ -130,7 +180,7 @@ impl NumericExtractor {
                 }
             }
         }
-        hits
+        Ok(hits)
     }
 
     /// Extracts from a single sentence against the given specs.
@@ -164,7 +214,9 @@ impl NumericExtractor {
         }
 
         let mentions = find_mentions(&tagged, specs);
-        let open_specs: Vec<usize> = (0..specs.len()).filter(|i| !done_specs.contains(i)).collect();
+        let open_specs: Vec<usize> = (0..specs.len())
+            .filter(|i| !done_specs.contains(i))
+            .collect();
         if mentions.is_empty() || open_specs.is_empty() {
             return hits;
         }
@@ -212,13 +264,17 @@ impl NumericExtractor {
         // Candidate (mention, number, distance) triples.
         let mut cands: Vec<(usize, usize, f64)> = Vec::new();
         for (mi, m) in mentions.iter().enumerate() {
-            let Some(mw) = linkage.word_of_token(m.head_token) else { continue };
+            let Some(mw) = linkage.word_of_token(m.head_token) else {
+                continue;
+            };
             let dist = linkage.distances_from(mw, &self.weights);
             for (ni, n) in numbers.iter().enumerate() {
                 if used_numbers.contains(&n.first_token) || !specs[m.spec].accepts(&n.value) {
                     continue;
                 }
-                let Some(nw) = linkage.word_of_token(n.first_token) else { continue };
+                let Some(nw) = linkage.word_of_token(n.first_token) else {
+                    continue;
+                };
                 if dist[nw].is_finite() {
                     cands.push((mi, ni, dist[nw]));
                 }
@@ -413,11 +469,26 @@ mod tests {
         let hits = extract(
             "Blood pressure is 144/90, pulse of 84, temperature of 98.3, and weight of 154 pounds.",
         );
-        assert_eq!(value_of(&hits, "blood_pressure").unwrap().value, NumberValue::Ratio(144, 90));
-        assert_eq!(value_of(&hits, "pulse").unwrap().value, NumberValue::Int(84));
-        assert_eq!(value_of(&hits, "temperature").unwrap().value, NumberValue::Float(98.3));
-        assert_eq!(value_of(&hits, "weight").unwrap().value, NumberValue::Int(154));
-        assert!(hits.iter().all(|h| h.method == MethodUsed::LinkGrammar), "{hits:?}");
+        assert_eq!(
+            value_of(&hits, "blood_pressure").unwrap().value,
+            NumberValue::Ratio(144, 90)
+        );
+        assert_eq!(
+            value_of(&hits, "pulse").unwrap().value,
+            NumberValue::Int(84)
+        );
+        assert_eq!(
+            value_of(&hits, "temperature").unwrap().value,
+            NumberValue::Float(98.3)
+        );
+        assert_eq!(
+            value_of(&hits, "weight").unwrap().value,
+            NumberValue::Int(154)
+        );
+        assert!(
+            hits.iter().all(|h| h.method == MethodUsed::LinkGrammar),
+            "{hits:?}"
+        );
     }
 
     #[test]
@@ -430,16 +501,27 @@ mod tests {
 
     #[test]
     fn gyn_fragment() {
-        let hits = extract("Menarche at age 10, gravida 4, para 3, last menstrual period about a year ago.");
-        assert_eq!(value_of(&hits, "menarche_age").unwrap().value, NumberValue::Int(10));
-        assert_eq!(value_of(&hits, "gravida").unwrap().value, NumberValue::Int(4));
+        let hits = extract(
+            "Menarche at age 10, gravida 4, para 3, last menstrual period about a year ago.",
+        );
+        assert_eq!(
+            value_of(&hits, "menarche_age").unwrap().value,
+            NumberValue::Int(10)
+        );
+        assert_eq!(
+            value_of(&hits, "gravida").unwrap().value,
+            NumberValue::Int(4)
+        );
         assert_eq!(value_of(&hits, "para").unwrap().value, NumberValue::Int(3));
     }
 
     #[test]
     fn first_live_birth() {
         let hits = extract("First live birth at age 18.");
-        assert_eq!(value_of(&hits, "first_birth_age").unwrap().value, NumberValue::Int(18));
+        assert_eq!(
+            value_of(&hits, "first_birth_age").unwrap().value,
+            NumberValue::Int(18)
+        );
     }
 
     #[test]
@@ -454,7 +536,10 @@ mod tests {
     fn kind_filtering_prevents_ratio_theft() {
         // The pulse spec must not take the blood-pressure ratio.
         let hits = extract("Blood pressure is 144/90 and pulse is 84.");
-        assert_eq!(value_of(&hits, "pulse").unwrap().value, NumberValue::Int(84));
+        assert_eq!(
+            value_of(&hits, "pulse").unwrap().value,
+            NumberValue::Int(84)
+        );
         assert_eq!(
             value_of(&hits, "blood_pressure").unwrap().value,
             NumberValue::Ratio(144, 90)
@@ -464,7 +549,10 @@ mod tests {
     #[test]
     fn number_words_extracted() {
         let hits = extract("Menarche at age seventeen.");
-        assert_eq!(value_of(&hits, "menarche_age").unwrap().value, NumberValue::Int(17));
+        assert_eq!(
+            value_of(&hits, "menarche_age").unwrap().value,
+            NumberValue::Int(17)
+        );
     }
 
     #[test]
@@ -484,8 +572,17 @@ mod tests {
         let text = "GYN History:  Menarche at age 12, gravida 2, para 1.\n\
                     Vitals:  Blood pressure is 130/80, pulse of 72, temperature of 98.6, and weight of 150 pounds.\n";
         let hits = ex.extract_record(text, &schema.numeric);
-        assert_eq!(hits.iter().find(|h| h.field == "menarche_age").unwrap().value, NumberValue::Int(12));
-        assert_eq!(hits.iter().find(|h| h.field == "pulse").unwrap().value, NumberValue::Int(72));
+        assert_eq!(
+            hits.iter()
+                .find(|h| h.field == "menarche_age")
+                .unwrap()
+                .value,
+            NumberValue::Int(12)
+        );
+        assert_eq!(
+            hits.iter().find(|h| h.field == "pulse").unwrap().value,
+            NumberValue::Int(72)
+        );
         // Age spec routed to HPI only: absent here.
         assert!(hits.iter().all(|h| h.field != "age"));
     }

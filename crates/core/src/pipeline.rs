@@ -13,6 +13,7 @@ use cmr_ontology::{Ontology, ValueSet};
 use cmr_text::{NumberValue, Record};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Structured information extracted from one record.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -40,10 +41,30 @@ impl ExtractedRecord {
     }
 }
 
+/// Per-stage wall time of one instrumented extraction (see
+/// [`Pipeline::extract_instrumented`]). Link-parse time is a subset of
+/// `numeric_nanos` and is reported separately through
+/// [`Pipeline::parser_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtractTiming {
+    /// Wall time in the numeric extractor (tagging, number annotation,
+    /// link parsing, association).
+    pub numeric_nanos: u64,
+    /// Wall time in the medical-term extractor (POS patterns,
+    /// normalization, ontology lookup).
+    pub terms_nanos: u64,
+}
+
 /// The extraction pipeline (numeric + medical terms; categorical fields
 /// need training data and live in [`crate::CategoricalExtractor`]).
+///
+/// The schema and ontology are held behind [`Arc`], so a worker pool can
+/// construct one pipeline per thread against shared read-only configuration
+/// without cloning the concept table (see `cmr-engine`). The pipeline
+/// itself is `!Sync` — the link parser keeps a per-instance structure
+/// cache — which is exactly why workers each own one.
 pub struct Pipeline {
-    schema: Schema,
+    schema: Arc<Schema>,
     numeric: NumericExtractor,
     terms: MedicalTermExtractor,
     predefined_medical: ValueSet,
@@ -60,13 +81,23 @@ impl Pipeline {
     /// Paper schema, full ontology, link-grammar association with pattern
     /// fallback.
     pub fn with_default_schema() -> Pipeline {
-        Pipeline::new(Schema::paper(), Ontology::full(), AssociationMethod::LinkWithFallback)
+        Pipeline::new(
+            Schema::paper(),
+            Ontology::full(),
+            AssociationMethod::LinkWithFallback,
+        )
     }
 
-    /// Fully configured pipeline.
-    pub fn new(schema: Schema, ontology: Ontology, method: AssociationMethod) -> Pipeline {
+    /// Fully configured pipeline. Accepts owned configuration or
+    /// pre-shared `Arc`s (workers in a pool pass clones of the same
+    /// `Arc<Schema>` / `Arc<Ontology>`).
+    pub fn new(
+        schema: impl Into<Arc<Schema>>,
+        ontology: impl Into<Arc<Ontology>>,
+        method: AssociationMethod,
+    ) -> Pipeline {
         Pipeline {
-            schema,
+            schema: schema.into(),
             numeric: NumericExtractor::with_method(method),
             terms: MedicalTermExtractor::new(ontology),
             predefined_medical: ValueSet::predefined_medical_history(),
@@ -81,29 +112,94 @@ impl Pipeline {
         self
     }
 
+    /// Attaches a pool-wide link-parse structure cache
+    /// ([`cmr_linkgram::SharedParseCache`]): per-thread pipelines sharing
+    /// one parse each sentence shape once per pool instead of once per
+    /// worker.
+    pub fn with_shared_parse_cache(mut self, cache: cmr_linkgram::SharedParseCache) -> Pipeline {
+        self.numeric.set_shared_parse_cache(cache);
+        self
+    }
+
     /// The schema in use.
     pub fn schema(&self) -> &Schema {
         &self.schema
     }
 
+    /// Link-parser cache and timing counters (see
+    /// [`cmr_linkgram::ParserStats`]); cumulative over this pipeline's
+    /// lifetime.
+    pub fn parser_stats(&self) -> cmr_linkgram::ParserStats {
+        self.numeric.parser_stats()
+    }
+
     /// Extracts everything the untrained pipeline can from one record.
     pub fn extract(&self, text: &str) -> ExtractedRecord {
-        let record = Record::parse(text);
+        self.extract_parsed(&Record::parse(text))
+    }
+
+    /// Like [`Pipeline::extract`], but over an already-parsed [`Record`].
+    /// The record is parsed exactly once per extraction — section routing
+    /// for numeric attributes and for term sections shares this parse.
+    pub fn extract_parsed(&self, record: &Record) -> ExtractedRecord {
+        self.extract_instrumented(record, &crate::ExtractBudget::NONE)
+            .expect("unlimited budget never trips")
+            .0
+    }
+
+    /// Like [`Pipeline::extract_parsed`], but enforces a per-record
+    /// [`crate::ExtractBudget`]. The sentence/step budget applies to the
+    /// numeric stage (where the link parser lives); the deadline is also
+    /// re-checked between term sections.
+    pub fn extract_budgeted(
+        &self,
+        record: &Record,
+        budget: &crate::ExtractBudget,
+    ) -> Result<ExtractedRecord, crate::BudgetExceeded> {
+        self.extract_instrumented(record, budget)
+            .map(|(out, _)| out)
+    }
+
+    /// Budgeted extraction that also reports per-stage wall time, so batch
+    /// drivers (see `cmr-engine`) can fill stage histograms without timing
+    /// the pipeline from outside.
+    pub fn extract_instrumented(
+        &self,
+        record: &Record,
+        budget: &crate::ExtractBudget,
+    ) -> Result<(ExtractedRecord, ExtractTiming), crate::BudgetExceeded> {
+        let mut timing = ExtractTiming::default();
         let mut out = ExtractedRecord {
             patient_id: record.patient_id.clone(),
             ..ExtractedRecord::default()
         };
 
         // Numeric attributes.
-        for NumericHit { field, value, method } in
-            self.numeric.extract_record(text, &self.schema.numeric)
+        let numeric_start = std::time::Instant::now();
+        let numeric_hits = self
+            .numeric
+            .extract_budgeted(record, &self.schema.numeric, budget);
+        timing.numeric_nanos = numeric_start.elapsed().as_nanos() as u64;
+        for NumericHit {
+            field,
+            value,
+            method,
+        } in numeric_hits?
         {
             out.numeric.insert(field.clone(), value);
             out.numeric_methods.insert(field, method);
         }
 
-        // Medical-term attributes.
+        let terms_start = std::time::Instant::now();
+
+        // Medical-term attributes. Term extraction has no step notion, but
+        // the deadline still applies between term fields.
         for term_field in &self.schema.terms {
+            if let Some(deadline) = budget.deadline {
+                if std::time::Instant::now() >= deadline {
+                    return Err(crate::BudgetExceeded { sentences_done: 0 });
+                }
+            }
             let (predefined_set, slots) = match term_field.name.as_str() {
                 "past_medical_history" => (
                     &self.predefined_medical,
@@ -116,7 +212,9 @@ impl Pipeline {
                 _ => continue,
             };
             for section_name in &term_field.sections {
-                let Some(section) = record.section(section_name) else { continue };
+                let Some(section) = record.section(section_name) else {
+                    continue;
+                };
                 let (pre, other) = self
                     .terms
                     .extract_partitioned(&section.body, predefined_set);
@@ -134,7 +232,8 @@ impl Pipeline {
                 }
             }
         }
-        out
+        timing.terms_nanos = terms_start.elapsed().as_nanos() as u64;
+        Ok((out, timing))
     }
 }
 
@@ -148,7 +247,10 @@ mod tests {
         let p = Pipeline::with_default_schema();
         let out = p.extract(APPENDIX_RECORD);
         assert_eq!(out.patient_id.as_deref(), Some("2"));
-        assert_eq!(out.numeric("blood_pressure"), Some(NumberValue::Ratio(142, 78)));
+        assert_eq!(
+            out.numeric("blood_pressure"),
+            Some(NumberValue::Ratio(142, 78))
+        );
         assert_eq!(out.numeric("pulse"), Some(NumberValue::Int(96)));
         assert_eq!(out.numeric("weight"), Some(NumberValue::Int(211)));
         assert_eq!(out.numeric("menarche_age"), Some(NumberValue::Int(10)));
@@ -165,7 +267,11 @@ mod tests {
         assert!(out.predefined_medical.contains(&"arrhythmia".to_string()));
         assert!(out.other_medical.contains(&"bronchitis".to_string()));
         // PSH: cervical laminectomy → laminectomy (not predefined).
-        assert!(out.other_surgical.contains(&"laminectomy".to_string()), "{:?}", out.other_surgical);
+        assert!(
+            out.other_surgical.contains(&"laminectomy".to_string()),
+            "{:?}",
+            out.other_surgical
+        );
         assert!(out.predefined_surgical.is_empty());
     }
 

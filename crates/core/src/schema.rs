@@ -37,8 +37,13 @@ impl Schema {
                 &["Vitals"],
                 ValueKind::Ratio,
             ),
-            FeatureSpec::new("pulse", &["pulse", "heart rate"], &["Vitals"], ValueKind::Int)
-                .range(20.0, 250.0),
+            FeatureSpec::new(
+                "pulse",
+                &["pulse", "heart rate"],
+                &["Vitals"],
+                ValueKind::Int,
+            )
+            .range(20.0, 250.0),
             FeatureSpec::new(
                 "temperature",
                 &["temperature", "temp"],
@@ -166,6 +171,11 @@ impl Schema {
     }
 }
 
+// Workers in the extraction engine share one `Arc<Schema>`; keep the
+// schema (and the spec types inside it) thread-safe at compile time.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<Schema>();
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,7 +188,11 @@ mod tests {
         assert_eq!(s.categorical.len(), 6, "smoking, alcohol, shape + 3 binary");
         assert!(s.numeric_spec("pulse").is_some());
         assert!(s.numeric_spec("nonexistent").is_none());
-        let binary = s.categorical.iter().filter(|c| c.classes.len() == 2).count();
+        let binary = s
+            .categorical
+            .iter()
+            .filter(|c| c.classes.len() == 2)
+            .count();
         assert_eq!(binary, 3);
     }
 

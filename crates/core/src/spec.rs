@@ -139,10 +139,18 @@ mod tests {
 
     #[test]
     fn matching_phrases_include_variants_and_abbreviations() {
-        let spec = FeatureSpec::new("blood_pressure", &["blood pressure", "bp"], &["Vitals"], ValueKind::Ratio);
+        let spec = FeatureSpec::new(
+            "blood_pressure",
+            &["blood pressure", "bp"],
+            &["Vitals"],
+            ValueKind::Ratio,
+        );
         let phrases = spec.matching_phrases();
         assert!(phrases.contains(&"blood pressure".to_string()));
-        assert!(phrases.contains(&"blood pressures".to_string()), "inflected variant");
+        assert!(
+            phrases.contains(&"blood pressures".to_string()),
+            "inflected variant"
+        );
         assert!(phrases.contains(&"bp".to_string()));
     }
 
@@ -167,6 +175,9 @@ mod tests {
         assert!(!pulse.accepts(&NumberValue::Float(84.5)), "kind");
         let temp = FeatureSpec::new("temp", &["temperature"], &[], ValueKind::Float);
         assert!(temp.accepts(&NumberValue::Float(98.3)));
-        assert!(temp.accepts(&NumberValue::Int(98)), "ints acceptable as floats");
+        assert!(
+            temp.accepts(&NumberValue::Int(98)),
+            "ints acceptable as floats"
+        );
     }
 }

@@ -73,19 +73,22 @@ pub struct TermHit {
 }
 
 /// The medical term extractor.
+///
+/// The ontology is behind an [`Arc`](std::sync::Arc): extractors on
+/// different worker threads share one concept table instead of cloning it.
 pub struct MedicalTermExtractor {
-    ontology: Ontology,
+    ontology: std::sync::Arc<Ontology>,
     tagger: PosTagger,
     patterns: PatternSet,
     negation_filter: bool,
 }
 
 impl MedicalTermExtractor {
-    /// Creates an extractor over the given ontology with the paper's
-    /// pattern set.
-    pub fn new(ontology: Ontology) -> MedicalTermExtractor {
+    /// Creates an extractor over the given ontology (owned, or an `Arc`
+    /// shared with other extractors) with the paper's pattern set.
+    pub fn new(ontology: impl Into<std::sync::Arc<Ontology>>) -> MedicalTermExtractor {
         MedicalTermExtractor {
-            ontology,
+            ontology: ontology.into(),
             tagger: PosTagger::new(),
             patterns: PatternSet::Paper,
             negation_filter: false,
@@ -317,9 +320,13 @@ mod tests {
     #[test]
     fn extended_patterns_reach_four_word_terms() {
         let ex = MedicalTermExtractor::new(Ontology::full()).with_patterns(PatternSet::Extended);
-        let hits = ex.extract("Significant for chronic obstructive pulmonary disease and arthritis.");
+        let hits =
+            ex.extract("Significant for chronic obstructive pulmonary disease and arthritis.");
         let names = preferred(&hits);
-        assert!(names.contains(&"chronic obstructive pulmonary disease"), "{names:?}");
+        assert!(
+            names.contains(&"chronic obstructive pulmonary disease"),
+            "{names:?}"
+        );
         assert!(names.contains(&"arthritis"), "{names:?}");
     }
 
@@ -327,7 +334,9 @@ mod tests {
     fn negation_filter_drops_ruled_out_terms() {
         let ex = MedicalTermExtractor::new(Ontology::full()).with_negation_filter(true);
         assert!(ex.extract("Negative for breast cancer.").is_empty());
-        assert!(ex.extract("She denies chest pain and headaches.").is_empty());
+        assert!(ex
+            .extract("She denies chest pain and headaches.")
+            .is_empty());
         let hits = ex.extract("Significant for diabetes; negative for gout.");
         assert_eq!(preferred(&hits), vec!["diabetes"]);
     }
@@ -336,7 +345,11 @@ mod tests {
     fn negation_filter_off_by_default() {
         let ex = extractor();
         let hits = ex.extract("Negative for breast cancer.");
-        assert_eq!(preferred(&hits), vec!["breast cancer"], "paper behaviour: negation ignored");
+        assert_eq!(
+            preferred(&hits),
+            vec!["breast cancer"],
+            "paper behaviour: negation ignored"
+        );
     }
 
     #[test]

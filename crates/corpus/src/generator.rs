@@ -150,7 +150,11 @@ impl CorpusBuilder {
         let mut keyed: Vec<(f64, &cmr_ontology::Concept)> = diseases
             .iter()
             .map(|c| {
-                let w = if c.rarity == cmr_ontology::Rarity::Common { 8.0 } else { 1.0 };
+                let w = if c.rarity == cmr_ontology::Rarity::Common {
+                    8.0
+                } else {
+                    1.0
+                };
                 (hrng.random::<f64>().powf(1.0 / w), *c)
             })
             .collect();
@@ -183,7 +187,11 @@ impl CorpusBuilder {
             .map(|c| {
                 // COPD is almost always dictated by its abbreviation or as
                 // emphysema, not the four-word formal name.
-                let rate = if c.cui == "CMR0013" { 0.6 } else { self.medical_synonym_rate };
+                let rate = if c.cui == "CMR0013" {
+                    0.6
+                } else {
+                    self.medical_synonym_rate
+                };
                 surface(c, rate, hrng)
             })
             .collect();
@@ -203,8 +211,10 @@ impl CorpusBuilder {
             .collect();
         let medical_history: Vec<String> =
             picked_dis.iter().map(|c| c.preferred.to_string()).collect();
-        let surgical_history: Vec<String> =
-            picked_proc.iter().map(|c| c.preferred.to_string()).collect();
+        let surgical_history: Vec<String> = picked_proc
+            .iter()
+            .map(|c| c.preferred.to_string())
+            .collect();
 
         // ---- medications -------------------------------------------------
         let drugs: Vec<&cmr_ontology::Concept> = CONCEPTS
@@ -281,8 +291,10 @@ impl CorpusBuilder {
         section("Medications", format!("{}.", tpl::join_list(&drug_names)));
         section(
             "Allergies",
-            (*tpl::allergy_templates(allergies_present).choose(mrng).expect("non-empty"))
-                .to_string(),
+            (*tpl::allergy_templates(allergies_present)
+                .choose(mrng)
+                .expect("non-empty"))
+            .to_string(),
         );
 
         // Social history: smoking, alcohol, drugs. Unlike the measurement
@@ -294,7 +306,11 @@ impl CorpusBuilder {
         // task non-trivial while the numeric attributes stay at 100%.
         let mut social = String::new();
         if let Some(s) = smoking {
-            let t = pick_social(tpl::smoking_templates(s), &mut social_rng, self.style_variation);
+            let t = pick_social(
+                tpl::smoking_templates(s),
+                &mut social_rng,
+                self.style_variation,
+            );
             let years = social_rng.random_range(3..=30);
             let ppd = social_rng.random_range(1..=2);
             social.push_str(
@@ -304,7 +320,11 @@ impl CorpusBuilder {
             social.push(' ');
         }
         if let Some(a) = alcohol {
-            let t = pick_social(tpl::alcohol_templates(a), &mut social_rng, self.style_variation);
+            let t = pick_social(
+                tpl::alcohol_templates(a),
+                &mut social_rng,
+                self.style_variation,
+            );
             let days = match a {
                 AlcoholUse::UpTo2PerWeek => social_rng.random_range(1..=2),
                 AlcoholUse::MoreThan2PerWeek => social_rng.random_range(3..=6),
@@ -313,7 +333,11 @@ impl CorpusBuilder {
             social.push_str(&t.replace("{days}", &days.to_string()));
             social.push(' ');
         }
-        social.push_str(tpl::drug_templates(drug_use).choose(&mut social_rng).expect("non-empty"));
+        social.push_str(
+            tpl::drug_templates(drug_use)
+                .choose(&mut social_rng)
+                .expect("non-empty"),
+        );
         section("Social History", social.trim_end().to_string());
 
         section(
@@ -332,7 +356,10 @@ impl CorpusBuilder {
         section(
             "Vitals",
             self.pick(tpl::VITALS, mrng)
-                .replace("{bp}", &format!("{}/{}", blood_pressure.0, blood_pressure.1))
+                .replace(
+                    "{bp}",
+                    &format!("{}/{}", blood_pressure.0, blood_pressure.1),
+                )
                 .replace("{pulse}", &pulse.to_string())
                 .replace("{temp}", &format!("{temperature:.1}"))
                 .replace("{weight}", &weight.to_string()),
@@ -404,8 +431,14 @@ fn alcohol_distribution(n: usize, rng: &mut StdRng) -> Vec<Option<AlcoholUse>> {
     let mut plan = Vec::with_capacity(n);
     let count = |share: usize| (share * n) / 50;
     plan.extend(std::iter::repeat_n(Some(AlcoholUse::Never), count(15)));
-    plan.extend(std::iter::repeat_n(Some(AlcoholUse::UpTo2PerWeek), count(8)));
-    plan.extend(std::iter::repeat_n(Some(AlcoholUse::MoreThan2PerWeek), count(5)));
+    plan.extend(std::iter::repeat_n(
+        Some(AlcoholUse::UpTo2PerWeek),
+        count(8),
+    ));
+    plan.extend(std::iter::repeat_n(
+        Some(AlcoholUse::MoreThan2PerWeek),
+        count(5),
+    ));
     plan.extend(std::iter::repeat_n(None, count(2)));
     while plan.len() < n {
         plan.push(Some(AlcoholUse::Social));
@@ -417,8 +450,19 @@ fn alcohol_distribution(n: usize, rng: &mut StdRng) -> Vec<Option<AlcoholUse>> {
 /// Capitalizes brand-name drugs the way dictation transcribes them.
 fn brand_case(name: &str) -> String {
     const BRANDS: &[&str] = &[
-        "lipitor", "cardizem", "wellbutrin", "zoloft", "protonix", "glucophage", "os-cal",
-        "combivent", "flovent", "synthroid", "coumadin", "motrin", "advil",
+        "lipitor",
+        "cardizem",
+        "wellbutrin",
+        "zoloft",
+        "protonix",
+        "glucophage",
+        "os-cal",
+        "combivent",
+        "flovent",
+        "synthroid",
+        "coumadin",
+        "motrin",
+        "advil",
     ];
     if BRANDS.contains(&name) {
         let mut c = name.chars();
@@ -433,7 +477,9 @@ fn brand_case(name: &str) -> String {
 
 /// Fixes "an thin" → "a thin" after template substitution.
 fn article_fix(s: &str) -> String {
-    let mut out = s.replace("an thin", "a thin").replace("an well-nourished", "a well-nourished");
+    let mut out = s
+        .replace("an thin", "a thin")
+        .replace("an well-nourished", "a well-nourished");
     if let Some(rest) = out.strip_prefix("an thin") {
         out = format!("a thin{rest}");
     }
@@ -449,10 +495,26 @@ mod tests {
     fn default_corpus_is_paper_shaped() {
         let corpus = CorpusBuilder::new().build();
         assert_eq!(corpus.records.len(), 50);
-        let never = corpus.records.iter().filter(|r| r.smoking == Some(SmokingStatus::Never)).count();
-        let former = corpus.records.iter().filter(|r| r.smoking == Some(SmokingStatus::Former)).count();
-        let current = corpus.records.iter().filter(|r| r.smoking == Some(SmokingStatus::Current)).count();
-        let none = corpus.records.iter().filter(|r| r.smoking.is_none()).count();
+        let never = corpus
+            .records
+            .iter()
+            .filter(|r| r.smoking == Some(SmokingStatus::Never))
+            .count();
+        let former = corpus
+            .records
+            .iter()
+            .filter(|r| r.smoking == Some(SmokingStatus::Former))
+            .count();
+        let current = corpus
+            .records
+            .iter()
+            .filter(|r| r.smoking == Some(SmokingStatus::Current))
+            .count();
+        let none = corpus
+            .records
+            .iter()
+            .filter(|r| r.smoking.is_none())
+            .count();
         assert_eq!((never, former, current, none), (28, 5, 12, 5));
     }
 
@@ -470,7 +532,10 @@ mod tests {
         let corpus = CorpusBuilder::new().records(5).build();
         for r in &corpus.records {
             let rec = Record::parse(&r.text);
-            assert_eq!(rec.patient_id.as_deref(), Some(r.patient_id.to_string().as_str()));
+            assert_eq!(
+                rec.patient_id.as_deref(),
+                Some(r.patient_id.to_string().as_str())
+            );
             for name in [
                 "Chief Complaint",
                 "History of Present Illness",
@@ -521,7 +586,10 @@ mod tests {
 
     #[test]
     fn style_one_varies_templates() {
-        let corpus = CorpusBuilder::new().records(30).style_variation(1.0).build();
+        let corpus = CorpusBuilder::new()
+            .records(30)
+            .style_variation(1.0)
+            .build();
         let starts: std::collections::HashSet<String> = corpus
             .records
             .iter()
@@ -545,7 +613,9 @@ mod tests {
         let onto = cmr_ontology::Ontology::full();
         for r in &corpus.records {
             for term in r.medical_history.iter().chain(&r.surgical_history) {
-                let c = onto.lookup(term).unwrap_or_else(|| panic!("gold term {term} unknown"));
+                let c = onto
+                    .lookup(term)
+                    .unwrap_or_else(|| panic!("gold term {term} unknown"));
                 assert_eq!(c.preferred, term);
             }
         }
@@ -563,7 +633,11 @@ mod tests {
     #[test]
     fn scaled_distributions() {
         let corpus = CorpusBuilder::new().records(100).build();
-        let former = corpus.records.iter().filter(|r| r.smoking == Some(SmokingStatus::Former)).count();
+        let former = corpus
+            .records
+            .iter()
+            .filter(|r| r.smoking == Some(SmokingStatus::Former))
+            .count();
         assert_eq!(former, 10, "5/50 scales to 10/100");
     }
 }

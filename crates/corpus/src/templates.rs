@@ -220,7 +220,11 @@ mod tests {
 
     #[test]
     fn smoking_pools_nonempty() {
-        for s in [SmokingStatus::Never, SmokingStatus::Former, SmokingStatus::Current] {
+        for s in [
+            SmokingStatus::Never,
+            SmokingStatus::Former,
+            SmokingStatus::Current,
+        ] {
             assert!(!smoking_templates(s).is_empty());
         }
     }

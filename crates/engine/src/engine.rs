@@ -1,0 +1,383 @@
+//! The batch-extraction engine.
+
+use crate::metrics::{EngineMetrics, MetricsCollector, RecordSample};
+use crate::pool::{run_ordered, PoolConfig};
+use cmr_core::{AssociationMethod, ExtractBudget, ExtractedRecord, PatternSet, Pipeline, Schema};
+use cmr_ontology::Ontology;
+use cmr_text::Record;
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means auto (one per available core).
+    pub jobs: usize,
+    /// Bound of the input queue (records buffered ahead of the workers).
+    pub queue_depth: usize,
+    /// Stop the batch at the first failed record; queued records are
+    /// reported as [`EngineError::Aborted`] instead of being processed.
+    pub fail_fast: bool,
+    /// Per-record wall-clock budget, milliseconds.
+    pub max_record_millis: Option<u64>,
+    /// Per-record sentence (link-parse step) budget.
+    pub max_record_sentences: Option<usize>,
+    /// Feature–number association method for the numeric stage.
+    pub method: AssociationMethod,
+    /// POS-pattern inventory for the medical-term stage.
+    pub term_patterns: PatternSet,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            jobs: 0,
+            queue_depth: 32,
+            fail_fast: false,
+            max_record_millis: None,
+            max_record_sentences: None,
+            method: AssociationMethod::LinkWithFallback,
+            term_patterns: PatternSet::Paper,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Resolves `jobs == 0` to the number of available cores.
+    pub fn resolved_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Why one record failed. The batch itself survives — failures are
+/// per-item values in the output stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineError {
+    /// Extraction panicked; the payload message is preserved.
+    Panicked {
+        /// The panic message.
+        message: String,
+    },
+    /// The record exceeded its time or sentence budget.
+    Budget {
+        /// Sentences fully processed before the budget tripped.
+        sentences_done: usize,
+    },
+    /// The batch stopped (`fail_fast`) before this record was processed.
+    Aborted,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Panicked { message } => write!(f, "extraction panicked: {message}"),
+            EngineError::Budget { sentences_done } => {
+                write!(f, "budget exceeded after {sentences_done} sentence(s)")
+            }
+            EngineError::Aborted => write!(f, "aborted: batch stopped by an earlier failure"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The result of [`Engine::extract_batch`]: one slot per input record, in
+/// input order, plus the run's metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchOutput {
+    /// Per-record outcomes, in input order.
+    pub items: Vec<Result<ExtractedRecord, EngineError>>,
+    /// Aggregate metrics for the run.
+    pub metrics: EngineMetrics,
+}
+
+impl BatchOutput {
+    /// Iterates over the successful records.
+    pub fn successes(&self) -> impl Iterator<Item = &ExtractedRecord> {
+        self.items.iter().filter_map(|r| r.as_ref().ok())
+    }
+}
+
+/// The parallel batch-extraction engine.
+///
+/// Holds shared read-only configuration (`Arc<Schema>`, `Arc<Ontology>`);
+/// each run spins up a scoped worker pool where every worker owns a
+/// full [`Pipeline`] (and thus its own link-parser cache — the pipeline is
+/// `!Sync` by design). Results stream out in input order regardless of the
+/// worker count, so `--jobs N` output is byte-identical to serial.
+pub struct Engine {
+    cfg: EngineConfig,
+    schema: Arc<Schema>,
+    ontology: Arc<Ontology>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default(), Schema::paper(), Ontology::full())
+    }
+}
+
+impl Engine {
+    /// Builds an engine over shared configuration. Accepts owned values or
+    /// pre-shared `Arc`s.
+    pub fn new(
+        cfg: EngineConfig,
+        schema: impl Into<Arc<Schema>>,
+        ontology: impl Into<Arc<Ontology>>,
+    ) -> Engine {
+        Engine {
+            cfg,
+            schema: schema.into(),
+            ontology: ontology.into(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Extracts a batch held in memory. Prefer [`Engine::extract_stream`]
+    /// when the corpus is large or arrives incrementally.
+    pub fn extract_batch<S: AsRef<str> + Sync>(&self, texts: &[S]) -> BatchOutput {
+        let mut items = Vec::with_capacity(texts.len());
+        let metrics = self.extract_stream(
+            texts.iter().map(|t| t.as_ref().to_string()),
+            |_idx, result| items.push(result),
+        );
+        BatchOutput { items, metrics }
+    }
+
+    /// Streams records through the worker pool. `sink` is called once per
+    /// input, strictly in input order, from the calling thread; the input
+    /// iterator is consumed from a feeder thread under backpressure
+    /// (at most `queue_depth` records are buffered ahead of the workers).
+    pub fn extract_stream<I, S>(&self, inputs: I, sink: S) -> EngineMetrics
+    where
+        I: Iterator<Item = String> + Send,
+        S: FnMut(usize, Result<ExtractedRecord, EngineError>),
+    {
+        let jobs = self.cfg.resolved_jobs();
+        let collector = Arc::new(Mutex::new(MetricsCollector::default()));
+        // One pool-wide parse-structure cache: each worker keeps its
+        // lock-free local cache as a fast path and falls back to this map,
+        // so a sentence shape is link-parsed once per run, not once per
+        // worker. Without it, cold per-worker caches multiply parse work
+        // by the job count.
+        let parse_cache = cmr_core::SharedParseCache::new();
+        let start = Instant::now();
+
+        let schema = &self.schema;
+        let ontology = &self.ontology;
+        let method = self.cfg.method;
+        let term_patterns = self.cfg.term_patterns;
+        let max_record_millis = self.cfg.max_record_millis;
+        let max_record_sentences = self.cfg.max_record_sentences;
+        let worker_collector = Arc::clone(&collector);
+        let panic_collector = Arc::clone(&collector);
+        let abort_collector = Arc::clone(&collector);
+
+        run_ordered(
+            inputs,
+            PoolConfig {
+                jobs,
+                queue_depth: self.cfg.queue_depth,
+                fail_fast: self.cfg.fail_fast,
+            },
+            // Each worker constructs its pipeline inside its own thread:
+            // the pipeline is !Send, only the Arc'd config crosses threads.
+            move |_widx| {
+                let pipeline = Pipeline::new(Arc::clone(schema), Arc::clone(ontology), method)
+                    .with_term_patterns(term_patterns)
+                    .with_shared_parse_cache(parse_cache.clone());
+                let collector = Arc::clone(&worker_collector);
+                move |text: String| {
+                    extract_one(
+                        &pipeline,
+                        &text,
+                        max_record_millis,
+                        max_record_sentences,
+                        &collector,
+                    )
+                }
+            },
+            move |message| {
+                panic_collector.lock().expect("metrics lock").errors.panics += 1;
+                EngineError::Panicked { message }
+            },
+            move || {
+                abort_collector.lock().expect("metrics lock").errors.aborted += 1;
+                EngineError::Aborted
+            },
+            sink,
+        );
+
+        let wall_nanos = start.elapsed().as_nanos() as u64;
+        let collector = collector.lock().expect("metrics lock");
+        EngineMetrics::from_collector(&collector, jobs, wall_nanos)
+    }
+}
+
+/// Processes one record on a worker: parse, budgeted instrumented
+/// extraction, metrics sample.
+fn extract_one(
+    pipeline: &Pipeline,
+    text: &str,
+    max_record_millis: Option<u64>,
+    max_record_sentences: Option<usize>,
+    collector: &Mutex<MetricsCollector>,
+) -> Result<ExtractedRecord, EngineError> {
+    let total_start = Instant::now();
+    let budget = ExtractBudget {
+        deadline: max_record_millis.map(|ms| total_start + Duration::from_millis(ms)),
+        max_sentences: max_record_sentences,
+    };
+
+    let record = Record::parse(text);
+    let record_parse_nanos = total_start.elapsed().as_nanos() as u64;
+
+    let stats_before = pipeline.parser_stats();
+    match pipeline.extract_instrumented(&record, &budget) {
+        Ok((out, timing)) => {
+            let stats = pipeline.parser_stats();
+            let sample = RecordSample {
+                record_parse_nanos,
+                link_parse_nanos: stats.parse_nanos - stats_before.parse_nanos,
+                numeric_nanos: timing.numeric_nanos,
+                terms_nanos: timing.terms_nanos,
+                total_nanos: total_start.elapsed().as_nanos() as u64,
+                cache_hits: stats.cache_hits - stats_before.cache_hits,
+                cache_misses: stats.cache_misses - stats_before.cache_misses,
+            };
+            let methods: Vec<_> = out.numeric_methods.values().copied().collect();
+            collector
+                .lock()
+                .expect("metrics lock")
+                .record_ok(sample, &methods);
+            Ok(out)
+        }
+        Err(exceeded) => {
+            collector.lock().expect("metrics lock").errors.budget += 1;
+            Err(EngineError::Budget {
+                sentences_done: exceeded.sentences_done,
+            })
+        }
+    }
+}
+
+// The engine itself crosses threads (it is borrowed by scoped workers).
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<Engine>();
+const _: () = _assert_send_sync::<EngineConfig>();
+const _: () = _assert_send_sync::<EngineError>();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmr_corpus::APPENDIX_RECORD;
+
+    fn serial_cfg() -> EngineConfig {
+        EngineConfig {
+            jobs: 1,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn batch_matches_pipeline_output() {
+        let engine = Engine::new(serial_cfg(), Schema::paper(), Ontology::full());
+        let out = engine.extract_batch(&[APPENDIX_RECORD, "", APPENDIX_RECORD]);
+        assert_eq!(out.items.len(), 3);
+        let first = out.items[0].as_ref().expect("extracts");
+        let reference = Pipeline::with_default_schema().extract(APPENDIX_RECORD);
+        assert_eq!(
+            serde_json::to_string(first).unwrap(),
+            serde_json::to_string(&reference).unwrap()
+        );
+        assert_eq!(out.metrics.records, 3);
+        assert_eq!(out.metrics.errors.total(), 0);
+        assert!(out.metrics.stages.total.count == 3);
+        assert!(out.metrics.records_per_sec > 0.0);
+    }
+
+    #[test]
+    fn parallel_output_identical_to_serial() {
+        let texts: Vec<String> = (0..12)
+            .map(|i| APPENDIX_RECORD.replace("Patient: 2", &format!("Patient: {i}")))
+            .collect();
+        let serial =
+            Engine::new(serial_cfg(), Schema::paper(), Ontology::full()).extract_batch(&texts);
+        let parallel = Engine::new(
+            EngineConfig {
+                jobs: 4,
+                ..EngineConfig::default()
+            },
+            Schema::paper(),
+            Ontology::full(),
+        )
+        .extract_batch(&texts);
+        assert_eq!(
+            serde_json::to_string(&serial.items).unwrap(),
+            serde_json::to_string(&parallel.items).unwrap()
+        );
+        assert_eq!(parallel.metrics.jobs, 4);
+    }
+
+    #[test]
+    fn sentence_budget_fails_record_not_batch() {
+        let cfg = EngineConfig {
+            jobs: 2,
+            max_record_sentences: Some(1),
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(cfg, Schema::paper(), Ontology::full());
+        let out = engine.extract_batch(&[APPENDIX_RECORD, APPENDIX_RECORD]);
+        assert_eq!(out.items.len(), 2);
+        for item in &out.items {
+            assert!(
+                matches!(item, Err(EngineError::Budget { .. })),
+                "appendix record has >1 sentence: {item:?}"
+            );
+        }
+        assert_eq!(out.metrics.errors.budget, 2);
+        assert_eq!(out.metrics.records, 0);
+    }
+
+    #[test]
+    fn zero_jobs_resolves_to_cores() {
+        assert!(EngineConfig::default().resolved_jobs() >= 1);
+    }
+
+    #[test]
+    fn stream_sees_inputs_in_order() {
+        let engine = Engine::new(
+            EngineConfig {
+                jobs: 3,
+                ..EngineConfig::default()
+            },
+            Schema::paper(),
+            Ontology::full(),
+        );
+        let mut indices = Vec::new();
+        engine.extract_stream((0..20).map(|_| APPENDIX_RECORD.to_string()), |idx, _| {
+            indices.push(idx)
+        });
+        assert_eq!(indices, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn metrics_cache_counters_accumulate() {
+        let engine = Engine::new(serial_cfg(), Schema::paper(), Ontology::full());
+        let out = engine.extract_batch(&[APPENDIX_RECORD, APPENDIX_RECORD]);
+        let cache = out.metrics.parse_cache;
+        assert!(cache.misses > 0, "first record parses fresh");
+        assert!(cache.hits > 0, "identical second record hits the cache");
+    }
+}

@@ -1,0 +1,50 @@
+//! # cmr-engine — parallel batch extraction with backpressure and fault isolation
+//!
+//! The paper processes clinical records one at a time; a deployment
+//! processes cohorts. This crate scales the [`cmr_core::Pipeline`] to
+//! batches without changing its single-record semantics:
+//!
+//! * **Worker pool** — a fixed pool of scoped threads, each owning a full
+//!   `Pipeline` (the pipeline is `!Sync`: its link parser keeps a
+//!   per-instance structure cache). Workers share the `Arc<Schema>` and
+//!   `Arc<Ontology>` — the concept table is built once.
+//! * **Backpressure** — bounded channels on both sides of the pool; memory
+//!   stays proportional to the queue depth, not the corpus.
+//! * **Determinism** — results are emitted strictly in input order, so
+//!   `--jobs 8` output is byte-identical to `--jobs 1`.
+//! * **Fault isolation** — a panicking or over-budget record becomes a
+//!   structured [`EngineError`] item; the batch survives. `fail_fast`
+//!   inverts that: the first failure stops the batch and drains the
+//!   rest as [`EngineError::Aborted`].
+//! * **Metrics** — a serializable [`EngineMetrics`] snapshot: throughput,
+//!   per-stage wall-time histograms, link-parser cache hit rates,
+//!   association-method counts, error counts.
+//!
+//! ```
+//! use cmr_engine::{Engine, EngineConfig};
+//!
+//! let engine = Engine::new(
+//!     EngineConfig { jobs: 2, ..EngineConfig::default() },
+//!     cmr_core::Schema::paper(),
+//!     cmr_ontology::Ontology::full(),
+//! );
+//! let out = engine.extract_batch(&[
+//!     "Vitals:  Blood pressure is 144/90, pulse of 84.\n",
+//!     "Vitals:  Temperature 98.6, weight 150 pounds.\n",
+//! ]);
+//! assert_eq!(out.items.len(), 2);
+//! assert_eq!(out.metrics.records, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod metrics;
+mod pool;
+
+pub use engine::{BatchOutput, Engine, EngineConfig, EngineError};
+pub use metrics::{
+    DurationHistogram, EngineMetrics, ErrorCounts, MethodCounts, ParseCacheMetrics, StageMetrics,
+    HISTOGRAM_BUCKETS,
+};

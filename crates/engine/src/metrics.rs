@@ -1,0 +1,385 @@
+//! Engine throughput and stage-timing metrics.
+//!
+//! Workers record one [`RecordSample`] per record into a shared
+//! [`MetricsCollector`]; the engine folds the collector plus its own
+//! wall-clock into a serializable [`EngineMetrics`] snapshot.
+
+use cmr_core::MethodUsed;
+use serde::{Deserialize, Serialize};
+
+/// Number of log2 nanosecond buckets: bucket `i` counts durations `d` with
+/// `floor(log2(d)) == i`, i.e. from 1 ns up past 2^39 ns (~9 minutes) —
+/// wide enough for any single record.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A log2-bucketed duration histogram (nanoseconds).
+///
+/// Fixed buckets keep merging trivially exact and serialization compact;
+/// percentile estimates are bucket-resolution (within 2×), which is
+/// plenty for spotting pathological records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DurationHistogram {
+    /// `buckets[i]` counts samples with `floor(log2(nanos)) == i`.
+    pub buckets: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples, in nanoseconds.
+    pub total_nanos: u64,
+    /// Largest single sample, in nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        DurationHistogram {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            total_nanos: 0,
+            max_nanos: 0,
+        }
+    }
+}
+
+impl DurationHistogram {
+    /// Records one duration.
+    pub fn record(&mut self, nanos: u64) {
+        let bucket = if nanos == 0 {
+            0
+        } else {
+            (63 - nanos.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total_nanos += nanos;
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_nanos += other.total_nanos;
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> u64 {
+        self.total_nanos.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`q` in `0.0..=1.0`); 0 when empty. Bucket resolution: the true
+    /// quantile is within a factor of 2 below the returned bound.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max_nanos
+    }
+}
+
+/// Per-stage histograms, keyed to the pipeline of Figure 2.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StageMetrics {
+    /// Record parsing: sectioning, sentence splitting.
+    pub record_parse: DurationHistogram,
+    /// Link-grammar parsing inside the numeric stage (cache misses only).
+    pub link_parse: DurationHistogram,
+    /// The whole numeric stage: tagging, number annotation, link parsing,
+    /// association.
+    pub numeric: DurationHistogram,
+    /// The medical-term stage: POS patterns, normalization, ontology.
+    pub terms: DurationHistogram,
+    /// End-to-end per record (parse + numeric + terms).
+    pub total: DurationHistogram,
+}
+
+impl StageMetrics {
+    fn merge(&mut self, other: &StageMetrics) {
+        self.record_parse.merge(&other.record_parse);
+        self.link_parse.merge(&other.link_parse);
+        self.numeric.merge(&other.numeric);
+        self.terms.merge(&other.terms);
+        self.total.merge(&other.total);
+    }
+}
+
+/// Link-parser structure-cache counters, summed across workers.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ParseCacheMetrics {
+    /// Sentences answered from a worker's structure cache.
+    pub hits: u64,
+    /// Sentences that required a fresh parse.
+    pub misses: u64,
+}
+
+impl ParseCacheMetrics {
+    /// Hit ratio in `0.0..=1.0` (0 when no lookups).
+    pub fn hit_ratio(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// How numeric associations were made, summed across all records.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct MethodCounts {
+    /// Link-grammar graph distance (§3.1's novel approach).
+    pub link_grammar: u64,
+    /// Linguistic-pattern fallback.
+    pub pattern: u64,
+    /// The `{N}-year-old` dictation pattern.
+    pub year_old: u64,
+    /// Token-proximity baseline (ablations only).
+    pub proximity: u64,
+}
+
+impl MethodCounts {
+    /// Bumps the counter for one association.
+    pub fn count(&mut self, method: MethodUsed) {
+        match method {
+            MethodUsed::LinkGrammar => self.link_grammar += 1,
+            MethodUsed::Pattern => self.pattern += 1,
+            MethodUsed::YearOld => self.year_old += 1,
+            MethodUsed::Proximity => self.proximity += 1,
+        }
+    }
+
+    fn merge(&mut self, other: &MethodCounts) {
+        self.link_grammar += other.link_grammar;
+        self.pattern += other.pattern;
+        self.year_old += other.year_old;
+        self.proximity += other.proximity;
+    }
+}
+
+/// Error counters by kind.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ErrorCounts {
+    /// Records whose extraction panicked (caught; the batch survives).
+    pub panics: u64,
+    /// Records that exceeded the per-record budget.
+    pub budget: u64,
+    /// Records abandoned because `fail_fast` stopped the batch.
+    pub aborted: u64,
+}
+
+impl ErrorCounts {
+    /// Total failed records.
+    pub fn total(&self) -> u64 {
+        self.panics + self.budget + self.aborted
+    }
+
+    fn merge(&mut self, other: &ErrorCounts) {
+        self.panics += other.panics;
+        self.budget += other.budget;
+        self.aborted += other.aborted;
+    }
+}
+
+/// The serializable metrics snapshot an engine run returns.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EngineMetrics {
+    /// Records successfully extracted.
+    pub records: u64,
+    /// Failed records by kind.
+    pub errors: ErrorCounts,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// End-to-end batch wall time (feeder start to last result emitted).
+    pub wall_nanos: u64,
+    /// Successful records per wall-clock second.
+    pub records_per_sec: f64,
+    /// Per-stage wall-time histograms (per-record samples, all workers).
+    pub stages: StageMetrics,
+    /// Link-parser structure-cache counters.
+    pub parse_cache: ParseCacheMetrics,
+    /// Numeric association method counts.
+    pub methods: MethodCounts,
+}
+
+impl EngineMetrics {
+    /// Finalizes a collector into a snapshot.
+    pub(crate) fn from_collector(c: &MetricsCollector, jobs: usize, wall_nanos: u64) -> Self {
+        let mut m = EngineMetrics {
+            records: c.records,
+            errors: c.errors,
+            jobs,
+            wall_nanos,
+            records_per_sec: 0.0,
+            stages: c.stages.clone(),
+            parse_cache: c.parse_cache,
+            methods: c.methods,
+        };
+        if wall_nanos > 0 {
+            m.records_per_sec = m.records as f64 / (wall_nanos as f64 / 1e9);
+        }
+        m
+    }
+}
+
+/// One record's measurements, produced by a worker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecordSample {
+    /// Time spent parsing the raw text into a `Record`.
+    pub record_parse_nanos: u64,
+    /// Link-parse time within the numeric stage (from `ParserStats` delta).
+    pub link_parse_nanos: u64,
+    /// Numeric-stage time.
+    pub numeric_nanos: u64,
+    /// Term-stage time.
+    pub terms_nanos: u64,
+    /// End-to-end time for the record.
+    pub total_nanos: u64,
+    /// Structure-cache hits during this record.
+    pub cache_hits: u64,
+    /// Structure-cache misses during this record.
+    pub cache_misses: u64,
+}
+
+/// Accumulates worker measurements; one per engine run, shared behind
+/// `Arc<Mutex<..>>` (per-record locking — microseconds of contention
+/// against milliseconds of parsing).
+#[derive(Debug, Default)]
+pub(crate) struct MetricsCollector {
+    pub records: u64,
+    pub errors: ErrorCounts,
+    pub stages: StageMetrics,
+    pub parse_cache: ParseCacheMetrics,
+    pub methods: MethodCounts,
+}
+
+impl MetricsCollector {
+    /// Records one successful record.
+    pub fn record_ok(&mut self, sample: RecordSample, methods: &[MethodUsed]) {
+        self.records += 1;
+        self.stages.record_parse.record(sample.record_parse_nanos);
+        self.stages.link_parse.record(sample.link_parse_nanos);
+        self.stages.numeric.record(sample.numeric_nanos);
+        self.stages.terms.record(sample.terms_nanos);
+        self.stages.total.record(sample.total_nanos);
+        self.parse_cache.hits += sample.cache_hits;
+        self.parse_cache.misses += sample.cache_misses;
+        for &m in methods {
+            self.methods.count(m);
+        }
+    }
+
+    /// Merges a sibling collector (used by unit tests; the engine itself
+    /// shares one collector across workers).
+    #[allow(dead_code)]
+    pub fn merge(&mut self, other: &MetricsCollector) {
+        self.records += other.records;
+        self.errors.merge(&other.errors);
+        self.stages.merge(&other.stages);
+        self.parse_cache.hits += other.parse_cache.hits;
+        self.parse_cache.misses += other.parse_cache.misses;
+        self.methods.merge(&other.methods);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = DurationHistogram::default();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1
+        h.record(3); // bucket 1
+        h.record(1024); // bucket 10
+        assert_eq!(h.count, 5);
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[10], 1);
+        assert_eq!(h.max_nanos, 1024);
+        assert_eq!(h.total_nanos, 1030);
+        assert_eq!(h.mean_nanos(), 206);
+    }
+
+    #[test]
+    fn histogram_merge_and_quantile() {
+        let mut a = DurationHistogram::default();
+        let mut b = DurationHistogram::default();
+        for _ in 0..99 {
+            a.record(100); // bucket 6, upper bound 128
+        }
+        b.record(1_000_000); // bucket 19
+        a.merge(&b);
+        assert_eq!(a.count, 100);
+        assert_eq!(a.quantile_upper_bound(0.5), 128);
+        assert!(a.quantile_upper_bound(1.0) >= 1_000_000);
+        assert_eq!(DurationHistogram::default().quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_huge_sample_clamps() {
+        let mut h = DurationHistogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.buckets[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn cache_hit_ratio() {
+        let m = ParseCacheMetrics { hits: 3, misses: 1 };
+        assert!((m.hit_ratio() - 0.75).abs() < 1e-9);
+        assert_eq!(ParseCacheMetrics::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn method_counts() {
+        let mut m = MethodCounts::default();
+        m.count(MethodUsed::LinkGrammar);
+        m.count(MethodUsed::LinkGrammar);
+        m.count(MethodUsed::Pattern);
+        m.count(MethodUsed::YearOld);
+        assert_eq!(m.link_grammar, 2);
+        assert_eq!(m.pattern, 1);
+        assert_eq!(m.year_old, 1);
+        assert_eq!(m.proximity, 0);
+    }
+
+    #[test]
+    fn metrics_serialize_roundtrip() {
+        let mut c = MetricsCollector::default();
+        c.record_ok(
+            RecordSample {
+                record_parse_nanos: 10,
+                link_parse_nanos: 500,
+                numeric_nanos: 900,
+                terms_nanos: 90,
+                total_nanos: 1000,
+                cache_hits: 2,
+                cache_misses: 1,
+            },
+            &[MethodUsed::LinkGrammar, MethodUsed::Pattern],
+        );
+        c.errors.panics = 1;
+        let m = EngineMetrics::from_collector(&c, 4, 2_000_000_000);
+        assert_eq!(m.records, 1);
+        assert_eq!(m.errors.total(), 1);
+        assert!((m.records_per_sec - 0.5).abs() < 1e-9);
+        let json = serde_json::to_string(&m).expect("serializes");
+        let back: EngineMetrics = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.records, 1);
+        assert_eq!(back.jobs, 4);
+        assert_eq!(back.methods.link_grammar, 1);
+        assert_eq!(back.stages.total.count, 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! A deterministic, order-preserving scoped worker pool.
+//!
+//! The shape is a classic fan-out/fan-in over bounded channels:
+//!
+//! ```text
+//! inputs ──feeder──▶ sync_channel(queue_depth) ──▶ N workers ──▶
+//!          sync_channel(queue_depth + jobs) ──consumer──▶ reorder ──▶ sink
+//! ```
+//!
+//! * **Backpressure** — both channels are bounded, so a slow sink stalls
+//!   the workers and a slow feeder idles them; memory stays O(queue depth),
+//!   never O(corpus).
+//! * **Determinism** — every input is tagged with its index; the consumer
+//!   holds out-of-order results in a reorder buffer (bounded by the number
+//!   of items in flight) and emits strictly in input order, so the output
+//!   sequence is identical for any worker count.
+//! * **Worker-local state** — each worker builds its own state *inside its
+//!   thread* via `make_worker`, which is how `!Send` state (the pipeline's
+//!   link-parser cache) rides a thread pool.
+//! * **Fault isolation** — a panicking work item is caught with
+//!   [`std::panic::catch_unwind`] and surfaced through `on_panic` as an
+//!   ordinary per-item error; the batch keeps going. Under `fail_fast` the
+//!   first error flips a stop flag: the feeder stops feeding and workers
+//!   drain remaining queued items through `on_abort` without processing
+//!   them, so every fed index still produces exactly one output.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex};
+
+/// Pool shape parameters (already resolved: `jobs >= 1`).
+pub(crate) struct PoolConfig {
+    /// Worker threads.
+    pub jobs: usize,
+    /// Input-channel bound.
+    pub queue_depth: usize,
+    /// Stop feeding after the first error.
+    pub fail_fast: bool,
+}
+
+/// Runs `inputs` through `jobs` workers, invoking `sink(index, result)`
+/// strictly in input order. See the module docs for the contract.
+pub(crate) fn run_ordered<In, Out, E, It, MkW, W, P, A, S>(
+    inputs: It,
+    cfg: PoolConfig,
+    make_worker: MkW,
+    on_panic: P,
+    on_abort: A,
+    mut sink: S,
+) where
+    In: Send,
+    Out: Send,
+    E: Send,
+    It: Iterator<Item = In> + Send,
+    MkW: Fn(usize) -> W + Sync,
+    W: FnMut(In) -> Result<Out, E>,
+    P: Fn(String) -> E + Sync,
+    A: Fn() -> E + Sync,
+    S: FnMut(usize, Result<Out, E>),
+{
+    assert!(cfg.jobs >= 1, "pool needs at least one worker");
+    let fail_fast = cfg.fail_fast;
+    let queue_depth = cfg.queue_depth.max(1);
+    let stop = AtomicBool::new(false);
+    let (in_tx, in_rx) = sync_channel::<(usize, In)>(queue_depth);
+    let in_rx = Arc::new(Mutex::new(in_rx));
+    let (out_tx, out_rx) = sync_channel::<(usize, Result<Out, E>)>(queue_depth + cfg.jobs);
+
+    std::thread::scope(|scope| {
+        // Feeder: enumerate inputs into the bounded channel until done or
+        // stopped. Dropping `in_tx` is the end-of-input signal.
+        let stop_ref = &stop;
+        scope.spawn(move || {
+            for item in inputs.enumerate() {
+                if stop_ref.load(Ordering::Relaxed) || in_tx.send(item).is_err() {
+                    break;
+                }
+            }
+        });
+
+        for widx in 0..cfg.jobs {
+            let in_rx = Arc::clone(&in_rx);
+            let out_tx = out_tx.clone();
+            let (make_worker, on_panic, on_abort) = (&make_worker, &on_panic, &on_abort);
+            scope.spawn(move || {
+                let mut work = make_worker(widx);
+                loop {
+                    // Lock only for the blocking recv: whoever holds the
+                    // lock takes the next item, then releases before
+                    // processing it.
+                    let msg = in_rx.lock().expect("input lock").recv();
+                    let Ok((idx, item)) = msg else { break };
+                    let result = if stop_ref.load(Ordering::Relaxed) {
+                        Err(on_abort())
+                    } else {
+                        match catch_unwind(AssertUnwindSafe(|| work(item))) {
+                            Ok(r) => r,
+                            Err(payload) => Err(on_panic(panic_message(payload.as_ref()))),
+                        }
+                    };
+                    if fail_fast && result.is_err() {
+                        stop_ref.store(true, Ordering::Relaxed);
+                    }
+                    if out_tx.send((idx, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        // The workers hold the only remaining senders; when the last one
+        // exits, recv below disconnects and the consumer loop ends.
+        drop(out_tx);
+
+        // Consumer (this thread): reorder and emit in input order. The
+        // buffer holds only out-of-order items in flight, bounded by
+        // queue_depth + jobs + the output-channel capacity.
+        let mut buffer: BTreeMap<usize, Result<Out, E>> = BTreeMap::new();
+        let mut next_emit = 0usize;
+        while let Ok((idx, result)) = out_rx.recv() {
+            buffer.insert(idx, result);
+            while let Some(result) = buffer.remove(&next_emit) {
+                sink(next_emit, result);
+                next_emit += 1;
+            }
+        }
+        debug_assert!(buffer.is_empty(), "gap in emitted indices");
+    });
+}
+
+/// Renders a panic payload the way the default hook does.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(jobs: usize, fail_fast: bool) -> PoolConfig {
+        PoolConfig {
+            jobs,
+            queue_depth: 4,
+            fail_fast,
+        }
+    }
+
+    /// Runs the doubling pool and returns the emitted (index, result) list.
+    fn double_all(jobs: usize, n: usize) -> Vec<(usize, Result<usize, String>)> {
+        let mut seen = Vec::new();
+        run_ordered(
+            0..n,
+            cfg(jobs, false),
+            |_w| |x: usize| Ok::<usize, String>(x * 2),
+            |m| m,
+            || "aborted".to_string(),
+            |idx, r| seen.push((idx, r)),
+        );
+        seen
+    }
+
+    #[test]
+    fn emits_in_order_any_worker_count() {
+        for jobs in [1, 2, 4, 7] {
+            let seen = double_all(jobs, 100);
+            assert_eq!(seen.len(), 100, "jobs={jobs}");
+            for (i, (idx, r)) in seen.iter().enumerate() {
+                assert_eq!(*idx, i);
+                assert_eq!(r.as_ref().unwrap(), &(i * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(double_all(3, 0).is_empty());
+    }
+
+    #[test]
+    fn panics_become_item_errors() {
+        let mut results = Vec::new();
+        run_ordered(
+            0..6,
+            cfg(3, false),
+            |_w| {
+                |x: usize| {
+                    if x == 3 {
+                        panic!("boom at {x}");
+                    }
+                    Ok::<usize, String>(x)
+                }
+            },
+            |m| format!("panic: {m}"),
+            || "aborted".to_string(),
+            |_, r| results.push(r),
+        );
+        assert_eq!(results.len(), 6, "panicking item still yields an output");
+        assert_eq!(results[3].as_ref().unwrap_err(), "panic: boom at 3");
+        assert_eq!(results[5], Ok(5));
+    }
+
+    #[test]
+    fn fail_fast_aborts_tail() {
+        // One worker failing on the very first item makes the race-free
+        // worst case: while the worker handles item 0, backpressure caps
+        // what the feeder can get ahead by (queue depth + in-flight sends),
+        // so the stop flag provably lands before the feeder finishes.
+        let mut results = Vec::new();
+        run_ordered(
+            0..200,
+            cfg(1, true),
+            |_w| {
+                |x: usize| {
+                    if x == 0 {
+                        Err("bad record".to_string())
+                    } else {
+                        Ok::<usize, String>(x)
+                    }
+                }
+            },
+            |m| m,
+            || "aborted".to_string(),
+            |_, r| results.push(r),
+        );
+        // Every fed index yields exactly one output; the tail is aborted
+        // rather than processed; feeding stopped early.
+        assert_eq!(results[0].as_ref().unwrap_err(), "bad record");
+        assert!(
+            results.len() < 200,
+            "feeder ran to completion despite fail_fast ({} results)",
+            results.len()
+        );
+        for r in &results[1..] {
+            assert!(
+                matches!(r, Err(e) if e == "aborted"),
+                "tail item processed: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_state_is_per_thread() {
+        // Each worker's state counts its own items; the total must equal n.
+        let counts = Arc::new(Mutex::new(vec![0usize; 4]));
+        let counts_ref = Arc::clone(&counts);
+        run_ordered(
+            0..50,
+            cfg(4, false),
+            move |widx| {
+                let counts = Arc::clone(&counts_ref);
+                move |_x: usize| {
+                    counts.lock().unwrap()[widx] += 1;
+                    Ok::<usize, String>(widx)
+                }
+            },
+            |m| m,
+            || "aborted".to_string(),
+            |_, _| {},
+        );
+        let total: usize = counts.lock().unwrap().iter().sum();
+        assert_eq!(total, 50);
+    }
+}

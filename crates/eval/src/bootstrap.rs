@@ -60,7 +60,10 @@ impl MultiValueScore {
             let idx = ((stats.len() as f64 - 1.0) * q).round() as usize;
             stats[idx]
         };
-        Interval { lo: pick(0.025), hi: pick(0.975) }
+        Interval {
+            lo: pick(0.025),
+            hi: pick(0.975),
+        }
     }
 }
 

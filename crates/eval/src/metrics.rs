@@ -146,12 +146,18 @@ impl MultiValueScore {
 
     /// Per-subject precision values (`Pᵢ`).
     pub fn per_subject_precision(&self) -> Vec<f64> {
-        self.per_subject.iter().map(PrecisionRecall::precision).collect()
+        self.per_subject
+            .iter()
+            .map(PrecisionRecall::precision)
+            .collect()
     }
 
     /// Per-subject recall values (`Rᵢ`).
     pub fn per_subject_recall(&self) -> Vec<f64> {
-        self.per_subject.iter().map(PrecisionRecall::recall).collect()
+        self.per_subject
+            .iter()
+            .map(PrecisionRecall::recall)
+            .collect()
     }
 }
 
@@ -216,8 +222,7 @@ mod tests {
         let mut mv = MultiValueScore::new();
         mv.add_subject(&["a"], &["a"]); // P=1
         mv.add_subject(&["x", "y", "z", "w"], &["a", "b", "c", "d"]); // P=0
-        let macro_avg =
-            mv.per_subject_precision().iter().sum::<f64>() / mv.subjects() as f64;
+        let macro_avg = mv.per_subject_precision().iter().sum::<f64>() / mv.subjects() as f64;
         assert!((macro_avg - 0.5).abs() < 1e-12);
         assert!((mv.precision() - 0.2).abs() < 1e-12, "pooled = 1/5");
     }

@@ -70,11 +70,7 @@ impl Cohort {
     /// Adds an extracted record: numeric attributes become numbers; every
     /// extracted history term becomes a `has:<term>` flag; categorical
     /// predictions may be attached via `extras`.
-    pub fn push_extracted(
-        &mut self,
-        record: &ExtractedRecord,
-        extras: &[(&str, &str)],
-    ) {
+    pub fn push_extracted(&mut self, record: &ExtractedRecord, extras: &[(&str, &str)]) {
         let mut row = BTreeMap::new();
         for (name, value) in &record.numeric {
             row.insert(name.clone(), Value::Number(value.as_f64()));
@@ -101,11 +97,7 @@ impl Cohort {
 
     /// All attribute names appearing in any row.
     pub fn attributes(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .rows
-            .iter()
-            .flat_map(|r| r.keys().cloned())
-            .collect();
+        let mut names: Vec<String> = self.rows.iter().flat_map(|r| r.keys().cloned()).collect();
         names.sort();
         names.dedup();
         names

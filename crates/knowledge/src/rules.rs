@@ -183,7 +183,11 @@ mod tests {
         let c = cohort_with_association();
         let strict = mine_rules(
             &c,
-            RuleParams { min_confidence: 0.99, min_support: 0.05, min_lift: 1.0 },
+            RuleParams {
+                min_confidence: 0.99,
+                min_support: 0.05,
+                min_lift: 1.0,
+            },
         );
         assert!(strict.iter().all(|r| r.confidence >= 0.99));
     }
@@ -191,7 +195,14 @@ mod tests {
     #[test]
     fn sorted_by_lift() {
         let c = cohort_with_association();
-        let rules = mine_rules(&c, RuleParams { min_lift: 1.0, min_confidence: 0.1, min_support: 0.01 });
+        let rules = mine_rules(
+            &c,
+            RuleParams {
+                min_lift: 1.0,
+                min_confidence: 0.1,
+                min_support: 0.01,
+            },
+        );
         for w in rules.windows(2) {
             assert!(w[0].lift >= w[1].lift - 1e-12);
         }
@@ -200,7 +211,14 @@ mod tests {
     #[test]
     fn absent_flag_side_not_mined() {
         let c = cohort_with_association();
-        let rules = mine_rules(&c, RuleParams { min_lift: 0.0, min_confidence: 0.0, min_support: 0.0 });
+        let rules = mine_rules(
+            &c,
+            RuleParams {
+                min_lift: 0.0,
+                min_confidence: 0.0,
+                min_support: 0.0,
+            },
+        );
         assert!(rules
             .iter()
             .all(|r| !(r.consequent_attr.starts_with("has:") && r.consequent_value == "no")));

@@ -50,7 +50,11 @@ pub fn association(
 }
 
 /// Per-group summary of a numeric attribute: (group key, n, mean, std).
-pub fn group_summary(cohort: &Cohort, group_attr: &str, numeric_attr: &str) -> Vec<(String, usize, f64, f64)> {
+pub fn group_summary(
+    cohort: &Cohort,
+    group_attr: &str,
+    numeric_attr: &str,
+) -> Vec<(String, usize, f64, f64)> {
     let mut keys: Vec<String> = (0..cohort.len())
         .map(|i| cohort.key_of(i, group_attr))
         .filter(|k| !k.is_empty())
@@ -111,7 +115,8 @@ mod tests {
             }
             c.push_row(row);
         }
-        let (chi2, sig) = association(&c, "smoking", "current", "has:copd", "yes").expect("defined");
+        let (chi2, sig) =
+            association(&c, "smoking", "current", "has:copd", "yes").expect("defined");
         assert!(chi2 > 0.0);
         assert!(sig, "planted association should be significant: {chi2}");
     }

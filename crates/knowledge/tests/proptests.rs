@@ -6,11 +6,7 @@ use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 fn arb_cohort() -> impl Strategy<Value = Cohort> {
-    prop::collection::vec(
-        (0usize..3, prop::bool::ANY, prop::bool::ANY),
-        1..60,
-    )
-    .prop_map(|rows| {
+    prop::collection::vec((0usize..3, prop::bool::ANY, prop::bool::ANY), 1..60).prop_map(|rows| {
         let mut c = Cohort::new();
         for (smoking, a, b) in rows {
             let mut row = BTreeMap::new();

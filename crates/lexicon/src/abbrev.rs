@@ -46,7 +46,10 @@ pub const ABBREVIATIONS: &[(&str, &str)] = &[
     ("appy", "appendectomy"),
     ("t&a", "tonsillectomy and adenoidectomy"),
     ("heent", "head eyes ears nose throat"),
-    ("perrla", "pupils equal round reactive to light and accommodation"),
+    (
+        "perrla",
+        "pupils equal round reactive to light and accommodation",
+    ),
     ("etoh", "alcohol"),
     ("ppd", "packs per day"),
 ];

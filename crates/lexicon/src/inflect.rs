@@ -36,7 +36,12 @@ pub fn noun_plural(lemma: &str) -> String {
         return (*p).to_string();
     }
     let b = w.as_bytes();
-    if w.ends_with('s') || w.ends_with('x') || w.ends_with('z') || w.ends_with("ch") || w.ends_with("sh") {
+    if w.ends_with('s')
+        || w.ends_with('x')
+        || w.ends_with('z')
+        || w.ends_with("ch")
+        || w.ends_with("sh")
+    {
         return format!("{w}es");
     }
     if w.ends_with('y') && b.len() >= 2 && !is_vowel(b[b.len() - 2]) {
@@ -61,7 +66,13 @@ pub fn verb_3sg(lemma: &str) -> String {
         _ => {}
     }
     let b = w.as_bytes();
-    if w.ends_with('s') || w.ends_with('x') || w.ends_with('z') || w.ends_with("ch") || w.ends_with("sh") || w.ends_with('o') {
+    if w.ends_with('s')
+        || w.ends_with('x')
+        || w.ends_with('z')
+        || w.ends_with("ch")
+        || w.ends_with("sh")
+        || w.ends_with('o')
+    {
         return format!("{w}es");
     }
     if w.ends_with('y') && b.len() >= 2 && !is_vowel(b[b.len() - 2]) {
@@ -251,12 +262,28 @@ mod tests {
         use crate::lemma::{Lemmatizer, WordClass};
         let l = Lemmatizer::new();
         for lemma in ["smoke", "deny", "reveal", "note", "use", "quit", "undergo"] {
-            assert_eq!(l.lemma(&verb_past(lemma), WordClass::Verb), lemma, "past of {lemma}");
-            assert_eq!(l.lemma(&verb_3sg(lemma), WordClass::Verb), lemma, "3sg of {lemma}");
-            assert_eq!(l.lemma(&verb_gerund(lemma), WordClass::Verb), lemma, "gerund of {lemma}");
+            assert_eq!(
+                l.lemma(&verb_past(lemma), WordClass::Verb),
+                lemma,
+                "past of {lemma}"
+            );
+            assert_eq!(
+                l.lemma(&verb_3sg(lemma), WordClass::Verb),
+                lemma,
+                "3sg of {lemma}"
+            );
+            assert_eq!(
+                l.lemma(&verb_gerund(lemma), WordClass::Verb),
+                lemma,
+                "gerund of {lemma}"
+            );
         }
         for lemma in ["pound", "pregnancy", "mass", "diagnosis", "birth"] {
-            assert_eq!(l.lemma(&noun_plural(lemma), WordClass::Noun), lemma, "plural of {lemma}");
+            assert_eq!(
+                l.lemma(&noun_plural(lemma), WordClass::Noun),
+                lemma,
+                "plural of {lemma}"
+            );
         }
     }
 }

@@ -254,7 +254,10 @@ mod tests {
         assert_eq!(lem().lemma("larger", WordClass::Adjective), "large");
         assert_eq!(lem().lemma("heaviest", WordClass::Adjective), "heavy");
         assert_eq!(lem().lemma("better", WordClass::Adjective), "good");
-        assert_eq!(lem().lemma("overweight", WordClass::Adjective), "overweight");
+        assert_eq!(
+            lem().lemma("overweight", WordClass::Adjective),
+            "overweight"
+        );
     }
 
     #[test]

@@ -25,8 +25,7 @@ mod words;
 
 pub use abbrev::{expand_abbreviation, expand_phrase, ABBREVIATIONS};
 pub use inflect::{
-    noun_plural, phrase_variants, variants, verb_3sg, verb_gerund, verb_past,
-    verb_past_participle,
+    noun_plural, phrase_variants, variants, verb_3sg, verb_gerund, verb_past, verb_past_participle,
 };
 pub use lemma::{Lemmatizer, WordClass};
 pub use words::{

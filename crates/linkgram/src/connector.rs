@@ -55,12 +55,17 @@ impl Connector {
         if s.is_empty() {
             return None;
         }
-        let split = s.find(|c: char| c.is_ascii_lowercase() || c == '*').unwrap_or(s.len());
+        let split = s
+            .find(|c: char| c.is_ascii_lowercase() || c == '*')
+            .unwrap_or(s.len());
         let (base, subscript) = s.split_at(split);
         if base.is_empty() || !base.chars().all(|c| c.is_ascii_uppercase()) {
             return None;
         }
-        if !subscript.chars().all(|c| c.is_ascii_lowercase() || c == '*') {
+        if !subscript
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c == '*')
+        {
             return None;
         }
         Some(Connector {
@@ -74,8 +79,16 @@ impl Connector {
     /// True when `self` (a right-pointing connector on an earlier word) can
     /// link with `other` (a left-pointing connector on a later word).
     pub fn matches(&self, other: &Connector) -> bool {
-        debug_assert_eq!(self.dir, Dir::Right, "matches() expects self to point right");
-        debug_assert_eq!(other.dir, Dir::Left, "matches() expects other to point left");
+        debug_assert_eq!(
+            self.dir,
+            Dir::Right,
+            "matches() expects self to point right"
+        );
+        debug_assert_eq!(
+            other.dir,
+            Dir::Left,
+            "matches() expects other to point left"
+        );
         if self.base != other.base {
             return false;
         }
@@ -150,7 +163,10 @@ mod tests {
 
     #[test]
     fn subscript_wildcards() {
-        assert!(c("S+").matches(&c("Ss-")), "missing subscript is a wildcard");
+        assert!(
+            c("S+").matches(&c("Ss-")),
+            "missing subscript is a wildcard"
+        );
         assert!(c("Ss+").matches(&c("S-")));
         assert!(c("Ss+").matches(&c("Ss-")));
         assert!(!c("Ss+").matches(&c("Sp-")));

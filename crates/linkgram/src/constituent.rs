@@ -58,7 +58,10 @@ impl Linkage {
             adj[l.right].push((l.left, l.label.as_str()));
         }
         let base = |label: &str| -> String {
-            label.chars().take_while(|c| c.is_ascii_uppercase()).collect()
+            label
+                .chars()
+                .take_while(|c| c.is_ascii_uppercase())
+                .collect()
         };
 
         // Find the S link: subject head on the left, finite verb on the right.
@@ -174,7 +177,9 @@ mod tests {
 
     #[test]
     fn simple_svo() {
-        let l = LinkParser::new().parse_sentence("She denies alcohol use.").expect("parses");
+        let l = LinkParser::new()
+            .parse_sentence("She denies alcohol use.")
+            .expect("parses");
         let c = l.constituents();
         let text = "She denies alcohol use.";
         assert_eq!(words(text, &c.subject), vec!["She"]);

@@ -113,10 +113,26 @@ mod tests {
             ],
             token_map: vec![None, Some(0), Some(1), Some(2), Some(3)],
             links: vec![
-                Link { left: 0, right: 2, label: "Wd".into() },
-                Link { left: 1, right: 2, label: "AN".into() },
-                Link { left: 2, right: 3, label: "Ss".into() },
-                Link { left: 3, right: 4, label: "O".into() },
+                Link {
+                    left: 0,
+                    right: 2,
+                    label: "Wd".into(),
+                },
+                Link {
+                    left: 1,
+                    right: 2,
+                    label: "AN".into(),
+                },
+                Link {
+                    left: 2,
+                    right: 3,
+                    label: "Ss".into(),
+                },
+                Link {
+                    left: 3,
+                    right: 4,
+                    label: "O".into(),
+                },
             ],
             cost: 0.0,
         }
@@ -157,7 +173,11 @@ mod tests {
         let l = Linkage {
             words: vec!["a".into(), "b".into()],
             token_map: vec![Some(0), Some(1)],
-            links: vec![Link { left: 0, right: 1, label: "VERYLONGLABEL".into() }],
+            links: vec![Link {
+                left: 0,
+                right: 1,
+                label: "VERYLONGLABEL".into(),
+            }],
             cost: 0.0,
         };
         let d = l.diagram();

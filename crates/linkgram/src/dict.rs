@@ -71,18 +71,9 @@ const CLASS_DEFS: &[(&str, &str)] = &[
         "(D+ or NM- or ({NM+} & {@MX+} & (O- or J- or [Wn-] or ({Wd-} & Ss+)) & {@MX+}))",
     ),
     // Finite verbs.
-    (
-        "verb-z",
-        "{@E-} & Ss- & {O+ or Pg+ or TO+} & {@MV+}",
-    ),
-    (
-        "verb-p",
-        "{@E-} & Sp- & {O+ or Pg+ or TO+} & {@MV+}",
-    ),
-    (
-        "verb-d",
-        "{@E-} & S- & {O+ or Pg+ or TO+} & {@MV+}",
-    ),
+    ("verb-z", "{@E-} & Ss- & {O+ or Pg+ or TO+} & {@MV+}"),
+    ("verb-p", "{@E-} & Sp- & {O+ or Pg+ or TO+} & {@MV+}"),
+    ("verb-d", "{@E-} & S- & {O+ or Pg+ or TO+} & {@MV+}"),
     // Base verb after modal/to.
     ("verb-base", "{@E-} & I- & {O+ or Pg+ or TO+} & {@MV+}"),
     // Gerund: complement of a verb, or nominal subject/object; takes its own
@@ -100,7 +91,10 @@ const CLASS_DEFS: &[(&str, &str)] = &[
         "({@E-} & (T- or Pv-) & {O+ or Pg+ or TO+} & {@MV+}) or [A+]",
     ),
     // Adjectives: attributive, or predicative after be/feel.
-    ("adj", "{@EA-} & (A+ or (P- & {@MV+} & {TO+}) or ([Wn-] & {@MV+}))"),
+    (
+        "adj",
+        "{@EA-} & (A+ or (P- & {@MV+} & {TO+}) or ([Wn-] & {@MV+}))",
+    ),
     // Adverbs.
     ("adv", "E+ or MV- or EB- or EA+ or [Wn-]"),
     // Prepositions.
@@ -143,31 +137,13 @@ const CLASS_DEFS: &[(&str, &str)] = &[
     // been/being.
     ("be-n", "T- & {EB+} & (O+ or P+ or Pv+ or Pg+) & {@MV+}"),
     ("be-g", "Pg- & {EB+} & (O+ or P+ or Pv+) & {@MV+}"),
-    (
-        "have-z",
-        "{@E-} & Ss- & (T+ or O+ or TO+) & {@MV+} & {N+}",
-    ),
-    (
-        "have-p",
-        "{@E-} & Sp- & (T+ or O+ or TO+) & {@MV+} & {N+}",
-    ),
-    (
-        "have-d",
-        "{@E-} & S- & (T+ or O+ or TO+) & {@MV+} & {N+}",
-    ),
+    ("have-z", "{@E-} & Ss- & (T+ or O+ or TO+) & {@MV+} & {N+}"),
+    ("have-p", "{@E-} & Sp- & (T+ or O+ or TO+) & {@MV+} & {N+}"),
+    ("have-d", "{@E-} & S- & (T+ or O+ or TO+) & {@MV+} & {N+}"),
     ("have-base", "I- & (T+ or O+) & {@MV+}"),
-    (
-        "do-z",
-        "{@E-} & Ss- & {N+} & {I+ or O+} & {@MV+}",
-    ),
-    (
-        "do-p",
-        "{@E-} & Sp- & {N+} & {I+ or O+} & {@MV+}",
-    ),
-    (
-        "do-d",
-        "{@E-} & S- & {N+} & {I+ or O+} & {@MV+}",
-    ),
+    ("do-z", "{@E-} & Ss- & {N+} & {I+ or O+} & {@MV+}"),
+    ("do-p", "{@E-} & Sp- & {N+} & {I+ or O+} & {@MV+}"),
+    ("do-d", "{@E-} & S- & {N+} & {I+ or O+} & {@MV+}"),
 ];
 
 /// Explicit word table: word → class name.

@@ -347,7 +347,13 @@ mod tests {
         let d = disjuncts("S- & O+ & MV+");
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].left.len(), 1);
-        assert_eq!(d[0].right.iter().map(|c| c.base.as_str()).collect::<Vec<_>>(), ["O", "MV"]);
+        assert_eq!(
+            d[0].right
+                .iter()
+                .map(|c| c.base.as_str())
+                .collect::<Vec<_>>(),
+            ["O", "MV"]
+        );
     }
 
     #[test]

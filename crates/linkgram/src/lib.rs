@@ -38,4 +38,4 @@ pub use constituent::Constituents;
 pub use dict::Dictionary;
 pub use expr::{expand, parse_expr, Disjunct, Expr, ParseError};
 pub use linkage::{Link, LinkWeights, Linkage};
-pub use parser::LinkParser;
+pub use parser::{LinkParser, ParserStats, SharedParseCache};

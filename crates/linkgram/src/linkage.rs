@@ -46,8 +46,8 @@ impl Default for LinkWeights {
     fn default() -> Self {
         let mut weights = HashMap::new();
         for (base, w) in [
-            ("O", 0.7),  // verb → object
-            ("P", 0.7),  // be → predicate
+            ("O", 0.7), // verb → object
+            ("P", 0.7), // be → predicate
             ("Pv", 0.7),
             ("J", 0.6),  // preposition → object
             ("M", 0.8),  // noun → modifier
@@ -99,7 +99,10 @@ impl LinkWeights {
         if let Some(w) = self.weights.get(label) {
             return *w;
         }
-        let base: String = label.chars().take_while(|c| c.is_ascii_uppercase()).collect();
+        let base: String = label
+            .chars()
+            .take_while(|c| c.is_ascii_uppercase())
+            .collect();
         self.weights.get(&base).copied().unwrap_or(self.default)
     }
 }
@@ -194,10 +197,26 @@ mod tests {
             ],
             token_map: vec![None, Some(0), Some(1), Some(2), Some(3)],
             links: vec![
-                Link { left: 0, right: 2, label: "Wd".into() },
-                Link { left: 1, right: 2, label: "AN".into() },
-                Link { left: 2, right: 3, label: "Ss".into() },
-                Link { left: 3, right: 4, label: "O".into() },
+                Link {
+                    left: 0,
+                    right: 2,
+                    label: "Wd".into(),
+                },
+                Link {
+                    left: 1,
+                    right: 2,
+                    label: "AN".into(),
+                },
+                Link {
+                    left: 2,
+                    right: 3,
+                    label: "Ss".into(),
+                },
+                Link {
+                    left: 3,
+                    right: 4,
+                    label: "O".into(),
+                },
             ],
             cost: 0.0,
         }
@@ -205,8 +224,24 @@ mod tests {
 
     #[test]
     fn link_base() {
-        assert_eq!(Link { left: 0, right: 1, label: "Ss".into() }.base(), "S");
-        assert_eq!(Link { left: 0, right: 1, label: "MX".into() }.base(), "MX");
+        assert_eq!(
+            Link {
+                left: 0,
+                right: 1,
+                label: "Ss".into()
+            }
+            .base(),
+            "S"
+        );
+        assert_eq!(
+            Link {
+                left: 0,
+                right: 1,
+                label: "MX".into()
+            }
+            .base(),
+            "MX"
+        );
     }
 
     #[test]

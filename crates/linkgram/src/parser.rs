@@ -31,6 +31,7 @@ use cmr_postag::{PosTagger, TaggedToken};
 use cmr_text::tokenize;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Per-link length penalty: breaks cost ties toward close attachment
 /// without overriding whole-number disjunct costs.
@@ -52,15 +53,59 @@ const PARSE_CACHE_CAP: usize = 4096;
 /// after "pulse of 96" is a lookup. The cache makes the parser `!Sync`;
 /// clone it per thread instead (the dictionary is shared behavior, the
 /// cache mere memory).
+///
+/// A pool of per-thread parsers can additionally attach one
+/// [`SharedParseCache`]: each parser still answers from its lock-free local
+/// cache first, and only consults (and feeds) the shared map on a local
+/// miss — so a sentence shape is parsed once per *pool*, not once per
+/// worker, at the cost of one mutex lock per locally-unseen shape.
 #[derive(Debug, Clone, Default)]
 pub struct LinkParser {
     dict: Dictionary,
     cache: std::cell::RefCell<HashMap<Vec<&'static str>, Option<CachedParse>>>,
+    shared: Option<SharedParseCache>,
+    stats: std::cell::Cell<ParserStats>,
+}
+
+/// A parse-structure cache shared between parser instances across threads.
+/// Cloning the handle shares the underlying map.
+#[derive(Debug, Clone, Default)]
+pub struct SharedParseCache {
+    inner: Arc<Mutex<HashMap<Vec<&'static str>, Option<CachedParse>>>>,
+}
+
+impl SharedParseCache {
+    /// An empty shared cache.
+    pub fn new() -> SharedParseCache {
+        SharedParseCache::default()
+    }
+
+    /// Number of cached sentence shapes.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("parse cache lock").len()
+    }
+
+    /// True when no shapes are cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Structure-cache and timing counters for one parser instance, cumulative
+/// since construction (or the last [`LinkParser::reset_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParserStats {
+    /// Parses answered from the structure cache.
+    pub cache_hits: u64,
+    /// Parses that ran the O(n³) region parser.
+    pub cache_misses: u64,
+    /// Wall time spent in uncached parses, in nanoseconds.
+    pub parse_nanos: u64,
 }
 
 #[derive(Debug, Clone)]
 struct CachedParse {
-    links: Rc<Vec<Link>>,
+    links: Arc<Vec<Link>>,
     cost: f64,
 }
 
@@ -70,7 +115,16 @@ impl LinkParser {
         LinkParser {
             dict: Dictionary::clinical_english(),
             cache: std::cell::RefCell::new(HashMap::new()),
+            shared: None,
+            stats: std::cell::Cell::new(ParserStats::default()),
         }
+    }
+
+    /// Attaches a pool-wide structure cache, consulted (and fed) on
+    /// local-cache misses. A shared-cache hit counts as a cache hit in
+    /// [`ParserStats`].
+    pub fn set_shared_cache(&mut self, cache: SharedParseCache) {
+        self.shared = Some(cache);
     }
 
     /// Parses raw sentence text (tokenizing and tagging internally).
@@ -96,34 +150,79 @@ impl LinkParser {
         }
 
         // Structure cache: identical class-key sequences share a linkage.
-        let signature: Vec<&'static str> =
-            tagged.iter().map(|t| self.dict.class_key(t)).collect();
+        let signature: Vec<&'static str> = tagged.iter().map(|t| self.dict.class_key(t)).collect();
         if let Some(cached) = self.cache.borrow().get(&signature) {
+            let mut stats = self.stats.get();
+            stats.cache_hits += 1;
+            self.stats.set(stats);
             return cached.as_ref().map(|c| self.rebuild(tagged, c));
         }
+        // Local miss: another parser in the pool may have seen this shape.
+        // The shared lock is held ACROSS the fallback parse on a shared
+        // miss, deliberately: when a pool starts cold, every worker hits
+        // the same few shapes at once, and lookup-then-parse-then-insert
+        // would let all of them run the O(n³) parser on the same shape
+        // concurrently (duplicating exactly the work the cache exists to
+        // avoid). Serializing cold parses costs only the cold start —
+        // steady state is absorbed by the lock-free local cache above.
+        if let Some(shared) = &self.shared {
+            let mut map = shared
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(cached) = map.get(&signature).cloned() {
+                drop(map);
+                let mut stats = self.stats.get();
+                stats.cache_hits += 1;
+                self.stats.set(stats);
+                let result = cached.as_ref().map(|c| self.rebuild(tagged, c));
+                self.cache_locally(signature, cached);
+                return result;
+            }
+            let result = self.parse_and_count(tagged);
+            let entry = cache_entry(&result);
+            if map.len() >= PARSE_CACHE_CAP {
+                map.clear();
+            }
+            map.insert(signature.clone(), entry.clone());
+            drop(map);
+            self.cache_locally(signature, entry);
+            return result;
+        }
+        let result = self.parse_and_count(tagged);
+        self.cache_locally(signature, cache_entry(&result));
+        result
+    }
+
+    /// Runs the uncached parser, charging the miss and wall time to stats.
+    fn parse_and_count(&self, tagged: &[TaggedToken]) -> Option<Linkage> {
+        let started = std::time::Instant::now();
         let result = self.parse_uncached(tagged);
+        let mut stats = self.stats.get();
+        stats.cache_misses += 1;
+        stats.parse_nanos += started.elapsed().as_nanos() as u64;
+        self.stats.set(stats);
+        result
+    }
+
+    /// Inserts one entry into the local structure cache, bounding its size:
+    /// corpora reuse a few dozen shapes; a pathological stream of distinct
+    /// shapes must not grow memory without limit.
+    fn cache_locally(&self, signature: Vec<&'static str>, entry: Option<CachedParse>) {
         let mut cache = self.cache.borrow_mut();
-        // Bound the cache: corpora reuse a few dozen shapes; a pathological
-        // stream of distinct shapes must not grow memory without limit.
         if cache.len() >= PARSE_CACHE_CAP {
             cache.clear();
         }
-        cache.insert(
-            signature,
-            result.as_ref().map(|l| CachedParse {
-                links: Rc::new(l.links.clone()),
-                cost: l.cost,
-            }),
-        );
-        result
+        cache.insert(signature, entry);
     }
 
     /// Reconstructs a linkage for `tagged` from a cached structure.
     fn rebuild(&self, tagged: &[TaggedToken], cached: &CachedParse) -> Linkage {
         let mut words = vec!["LEFT-WALL".to_string()];
         words.extend(tagged.iter().map(|t| t.token.text.clone()));
-        let token_map: Vec<Option<usize>> =
-            std::iter::once(None).chain((0..tagged.len()).map(Some)).collect();
+        let token_map: Vec<Option<usize>> = std::iter::once(None)
+            .chain((0..tagged.len()).map(Some))
+            .collect();
         Linkage {
             words,
             token_map,
@@ -133,7 +232,6 @@ impl LinkParser {
     }
 
     fn parse_uncached(&self, tagged: &[TaggedToken]) -> Option<Linkage> {
-
         // Word 0 is the LEFT-WALL; words 1..=n are the sentence tokens.
         let mut disjuncts: Vec<Vec<Disjunct>> = Vec::with_capacity(tagged.len() + 1);
         disjuncts.push(normalize(self.dict.wall()));
@@ -204,8 +302,9 @@ impl LinkParser {
         links.sort_by_key(|l| (l.left, l.right));
         let mut words = vec!["LEFT-WALL".to_string()];
         words.extend(tagged.iter().map(|t| t.token.text.clone()));
-        let token_map: Vec<Option<usize>> =
-            std::iter::once(None).chain((0..tagged.len()).map(Some)).collect();
+        let token_map: Vec<Option<usize>> = std::iter::once(None)
+            .chain((0..tagged.len()).map(Some))
+            .collect();
         Some(Linkage {
             words,
             token_map,
@@ -227,6 +326,16 @@ impl LinkParser {
     /// Number of cached parse structures.
     pub fn cache_len(&self) -> usize {
         self.cache.borrow().len()
+    }
+
+    /// Cache and timing counters since construction or the last reset.
+    pub fn stats(&self) -> ParserStats {
+        self.stats.get()
+    }
+
+    /// Zeroes the [`ParserStats`] counters (the cache itself is kept).
+    pub fn reset_stats(&self) {
+        self.stats.set(ParserStats::default());
     }
 
     /// Null-link parsing (the original parser's "panic mode"): when no
@@ -262,8 +371,7 @@ impl LinkParser {
                     .filter(|(i, _)| !nulls.contains(i))
                     .map(|(_, t)| t.clone())
                     .collect();
-                let kept_idx: Vec<usize> =
-                    (0..n).filter(|i| !nulls.contains(i)).collect();
+                let kept_idx: Vec<usize> = (0..n).filter(|i| !nulls.contains(i)).collect();
                 if let Some(mut linkage) = self.parse(&kept) {
                     // Remap token indices back to the original sequence.
                     for t in linkage.token_map.iter_mut().flatten() {
@@ -284,6 +392,14 @@ impl LinkParser {
         }
         None
     }
+}
+
+/// The shareable cache entry for one parse outcome (`None` = no linkage).
+fn cache_entry(result: &Option<Linkage>) -> Option<CachedParse> {
+    result.as_ref().map(|l| CachedParse {
+        links: Arc::new(l.links.clone()),
+        cost: l.cost,
+    })
 }
 
 /// Enumerates k-combinations of `0..n` into `chosen`, invoking `f` on each.
@@ -367,8 +483,12 @@ fn prune(disjuncts: &mut [Vec<Disjunct>]) {
         for (i, ds) in disjuncts.iter_mut().enumerate() {
             let before = ds.len();
             ds.retain(|d| {
-                d.left.iter().all(|c| right_avail[i].iter().any(|rc| rc.matches(c)))
-                    && d.right.iter().all(|c| left_avail[i].iter().any(|lc| c.matches(lc)))
+                d.left
+                    .iter()
+                    .all(|c| right_avail[i].iter().any(|rc| rc.matches(c)))
+                    && d.right
+                        .iter()
+                        .all(|c| left_avail[i].iter().any(|lc| c.matches(lc)))
             });
             changed |= ds.len() != before;
         }
@@ -404,7 +524,11 @@ impl ListRef {
     fn unpack(self) -> (usize, usize, Side, usize) {
         let w = (self.0 >> 32) as usize & 0xFFFF;
         let d = (self.0 >> 16) as usize & 0xFFFF;
-        let side = if (self.0 >> 8) & 1 == 0 { Side::Left } else { Side::Right };
+        let side = if (self.0 >> 8) & 1 == 0 {
+            Side::Left
+        } else {
+            Side::Right
+        };
         let off = (self.0 & 0xFF) as usize;
         (w, d, side, off)
     }
@@ -592,8 +716,7 @@ impl<'a> Ctx<'a> {
                 };
                 // Sub-case A: W does not link directly to R.
                 if let Some(inner_right) = self.best(w, right, dr, r) {
-                    let cost =
-                        d_cost + link_lw_cost + inner_left.cost + inner_right.cost;
+                    let cost = d_cost + link_lw_cost + inner_left.cost + inner_right.cost;
                     consider(
                         best,
                         cost,
@@ -728,7 +851,10 @@ mod tests {
     }
 
     fn base_label(label: &str) -> String {
-        label.chars().take_while(|c| c.is_ascii_uppercase()).collect()
+        label
+            .chars()
+            .take_while(|c| c.is_ascii_uppercase())
+            .collect()
     }
 
     /// Every linkage must be planar, connected, and cover every word.
@@ -760,7 +886,11 @@ mod tests {
                 }
             }
         }
-        assert!(seen.iter().all(|&s| s), "disconnected words in {:?}", linkage.words);
+        assert!(
+            seen.iter().all(|&s| s),
+            "disconnected words in {:?}",
+            linkage.words
+        );
     }
 
     #[test]
@@ -798,7 +928,10 @@ mod tests {
         let linkage = parse("She has never smoked.").expect("parses");
         check_invariants(&linkage);
         let lbl = labels(&linkage);
-        assert!(lbl.contains(&"T".to_string()), "have-participle link in {lbl:?}");
+        assert!(
+            lbl.contains(&"T".to_string()),
+            "have-participle link in {lbl:?}"
+        );
     }
 
     #[test]
@@ -877,8 +1010,13 @@ mod tests {
         let parser = LinkParser::new();
         let tokens = cmr_text::tokenize("Vitals : blood pressure is 144/90.");
         let tagged = cmr_postag::PosTagger::new().tag(&tokens);
-        assert!(parser.parse(&tagged).is_none(), "full sequence cannot parse");
-        let (linkage, nulls) = parser.parse_with_nulls(&tagged, 2).expect("null parse succeeds");
+        assert!(
+            parser.parse(&tagged).is_none(),
+            "full sequence cannot parse"
+        );
+        let (linkage, nulls) = parser
+            .parse_with_nulls(&tagged, 2)
+            .expect("null parse succeeds");
         check_invariants(&linkage);
         // The colon (token index 1) must be among the nulls.
         assert!(nulls.contains(&1), "{nulls:?}");
@@ -886,6 +1024,47 @@ mod tests {
         let word_tokens: Vec<usize> = linkage.token_map.iter().flatten().copied().collect();
         assert!(word_tokens.contains(&3), "pressure kept");
         assert!(!word_tokens.contains(&1), "colon not in linkage");
+    }
+
+    #[test]
+    fn shared_cache_spares_the_second_parser_the_parse() {
+        let shared = SharedParseCache::new();
+        let mut a = LinkParser::new();
+        a.set_shared_cache(shared.clone());
+        let mut b = LinkParser::new();
+        b.set_shared_cache(shared.clone());
+
+        let first = a
+            .parse_sentence("Blood pressure is 144/90.")
+            .expect("parses");
+        assert_eq!(a.stats().cache_misses, 1);
+        assert_eq!(shared.len(), 1);
+
+        // Same shape, different values: the second parser answers from the
+        // shared map without running the region parser.
+        let second = b
+            .parse_sentence("Blood pressure is 120/80.")
+            .expect("parses");
+        assert_eq!(b.stats().cache_misses, 0);
+        assert_eq!(b.stats().cache_hits, 1);
+        assert_eq!(first.links, second.links);
+
+        // The shared hit seeded b's local cache: the next lookup stays local.
+        b.parse_sentence("Blood pressure is 118/76.")
+            .expect("parses");
+        assert_eq!(b.stats().cache_hits, 2);
+        assert_eq!(b.cache_len(), 1);
+
+        // Failed parses are shared too (same shape, different values).
+        assert!(a.parse_sentence("Blood pressure: 144/90.").is_none());
+        assert!(b.parse_sentence("Blood pressure: 99/60.").is_none());
+        assert_eq!(b.stats().cache_misses, 0, "negative entry shared");
+    }
+
+    #[test]
+    fn shared_cache_is_send_and_sync() {
+        const fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedParseCache>();
     }
 
     #[test]

@@ -18,7 +18,11 @@ fn assert_fails(p: &LinkParser, s: &str) {
 
 fn has_link(p: &LinkParser, s: &str, label: &str) -> bool {
     p.parse_sentence(s)
-        .map(|l| l.links.iter().any(|x| x.label == label || x.label.starts_with(label)))
+        .map(|l| {
+            l.links
+                .iter()
+                .any(|x| x.label == label || x.label.starts_with(label))
+        })
         .unwrap_or(false)
 }
 
@@ -41,16 +45,31 @@ fn declaratives() {
 #[test]
 fn copular_predicates() {
     let p = parser();
-    assert!(has_link(&p, "The remainder is negative.", "P"), "predicative adjective");
-    assert!(has_link(&p, "She is currently a smoker.", "O"), "predicate nominal");
-    assert!(has_link(&p, "She is currently a smoker.", "EB"), "post-copular adverb");
+    assert!(
+        has_link(&p, "The remainder is negative.", "P"),
+        "predicative adjective"
+    );
+    assert!(
+        has_link(&p, "She is currently a smoker.", "O"),
+        "predicate nominal"
+    );
+    assert!(
+        has_link(&p, "She is currently a smoker.", "EB"),
+        "post-copular adverb"
+    );
 }
 
 #[test]
 fn auxiliaries_and_participles() {
     let p = parser();
-    assert!(has_link(&p, "She has never smoked.", "T"), "have + participle");
-    assert!(has_link(&p, "She was diagnosed with cancer.", "Pv"), "passive");
+    assert!(
+        has_link(&p, "She has never smoked.", "T"),
+        "have + participle"
+    );
+    assert!(
+        has_link(&p, "She was diagnosed with cancer.", "Pv"),
+        "passive"
+    );
     assert!(has_link(&p, "She will quit.", "I"), "modal + infinitive");
 }
 
@@ -64,14 +83,24 @@ fn gerund_complements() {
 #[test]
 fn prepositional_attachment() {
     let p = parser();
-    assert!(has_link(&p, "Pulse of 84 was recorded.", "J"), "prep object");
-    assert!(has_link(&p, "She complains of pain in the left breast.", "MV"));
+    assert!(
+        has_link(&p, "Pulse of 84 was recorded.", "J"),
+        "prep object"
+    );
+    assert!(has_link(
+        &p,
+        "She complains of pain in the left breast.",
+        "MV"
+    ));
 }
 
 #[test]
 fn time_adjuncts() {
     let p = parser();
-    assert!(has_link(&p, "She quit smoking five years ago.", "JT"), "'ago' time phrase");
+    assert!(
+        has_link(&p, "She quit smoking five years ago.", "JT"),
+        "'ago' time phrase"
+    );
 }
 
 #[test]
@@ -90,7 +119,11 @@ fn coordination() {
 #[test]
 fn relative_clauses() {
     let p = parser();
-    assert!(has_link(&p, "She is a woman who underwent a mammogram.", "R"));
+    assert!(has_link(
+        &p,
+        "She is a woman who underwent a mammogram.",
+        "R"
+    ));
 }
 
 #[test]
@@ -151,7 +184,10 @@ fn cache_consistency_across_number_values() {
     assert_eq!(a.links, b.links, "same structure, cached");
     assert_eq!(a.cost, b.cost);
     assert_eq!(b.words[2], "of");
-    assert!(b.words.contains(&"96".to_string()), "words rebuilt per input");
+    assert!(
+        b.words.contains(&"96".to_string()),
+        "words rebuilt per input"
+    );
     assert!(p.cache_len() >= 1);
     p.clear_cache();
     assert_eq!(p.cache_len(), 0);

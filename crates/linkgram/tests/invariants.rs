@@ -10,7 +10,11 @@ fn check_planar(linkage: &Linkage) -> Result<(), TestCaseError> {
         for b in &linkage.links[i + 1..] {
             let crossing = (a.left < b.left && b.left < a.right && a.right < b.right)
                 || (b.left < a.left && a.left < b.right && b.right < a.right);
-            prop_assert!(!crossing, "crossing links {a:?} {b:?} in {:?}", linkage.words);
+            prop_assert!(
+                !crossing,
+                "crossing links {a:?} {b:?} in {:?}",
+                linkage.words
+            );
         }
     }
     Ok(())

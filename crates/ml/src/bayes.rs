@@ -65,7 +65,11 @@ impl NaiveBayes {
             let mut score = *prior;
             for f in 0..n_features {
                 let v = features.get(f).copied().unwrap_or(false);
-                score += if v { self.log_on[l][f] } else { self.log_off[l][f] };
+                score += if v {
+                    self.log_on[l][f]
+                } else {
+                    self.log_off[l][f]
+                };
             }
             if score > best_score {
                 best_score = score;

@@ -78,8 +78,18 @@ impl CvResult {
     /// Range (min, max) of per-fold feature counts — the "four to seven"
     /// statistic the paper reports.
     pub fn feature_count_range(&self) -> (usize, usize) {
-        let min = self.features_used_per_fold.iter().copied().min().unwrap_or(0);
-        let max = self.features_used_per_fold.iter().copied().max().unwrap_or(0);
+        let min = self
+            .features_used_per_fold
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(0);
+        let max = self
+            .features_used_per_fold
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
         (min, max)
     }
 
@@ -228,7 +238,10 @@ mod tests {
     #[test]
     fn perfect_on_separable_data() {
         let d = separable(10);
-        let cv = CrossValidation { repeats: 3, ..Default::default() };
+        let cv = CrossValidation {
+            repeats: 3,
+            ..Default::default()
+        };
         let r = cv.run(&d);
         assert!(r.mean_accuracy() > 0.99, "{}", r.mean_accuracy());
     }
@@ -251,8 +264,16 @@ mod tests {
             b.add(&[format!("f{}", i % 7)], label);
         }
         let d = b.build();
-        let r1 = CrossValidation { seed: 1, ..Default::default() }.run(&d);
-        let r2 = CrossValidation { seed: 2, ..Default::default() }.run(&d);
+        let r1 = CrossValidation {
+            seed: 1,
+            ..Default::default()
+        }
+        .run(&d);
+        let r2 = CrossValidation {
+            seed: 2,
+            ..Default::default()
+        }
+        .run(&d);
         // Accuracy vectors are almost surely different on noisy data.
         assert_ne!(r1.accuracy_per_repeat, r2.accuracy_per_repeat);
     }
@@ -260,7 +281,10 @@ mod tests {
     #[test]
     fn confusion_matrix_totals() {
         let d = separable(5);
-        let cv = CrossValidation { repeats: 2, ..Default::default() };
+        let cv = CrossValidation {
+            repeats: 2,
+            ..Default::default()
+        };
         let r = cv.run(&d);
         let total: usize = r.confusion.iter().flatten().sum();
         assert_eq!(total, d.len() * 2, "every instance tested once per repeat");
@@ -269,7 +293,11 @@ mod tests {
     #[test]
     fn feature_count_range_reported() {
         let d = separable(10);
-        let r = CrossValidation { repeats: 2, ..Default::default() }.run(&d);
+        let r = CrossValidation {
+            repeats: 2,
+            ..Default::default()
+        }
+        .run(&d);
         let (lo, hi) = r.feature_count_range();
         assert!(lo >= 1 && hi >= lo);
         assert_eq!(r.features_used_per_fold.len(), 10);
@@ -278,7 +306,11 @@ mod tests {
     #[test]
     fn std_accuracy_finite() {
         let d = separable(6);
-        let r = CrossValidation { repeats: 4, ..Default::default() }.run(&d);
+        let r = CrossValidation {
+            repeats: 4,
+            ..Default::default()
+        }
+        .run(&d);
         assert!(r.std_accuracy() >= 0.0);
         assert!(r.std_accuracy().is_finite());
     }
@@ -295,16 +327,25 @@ mod tests {
     #[test]
     fn naive_bayes_runs_through_cv() {
         let d = separable(8);
-        let r = CrossValidation { repeats: 2, ..Default::default() }
-            .run_with::<crate::bayes::NaiveBayes>(&d);
+        let r = CrossValidation {
+            repeats: 2,
+            ..Default::default()
+        }
+        .run_with::<crate::bayes::NaiveBayes>(&d);
         assert!(r.mean_accuracy() > 0.9, "{}", r.mean_accuracy());
-        assert!(r.features_used_per_fold.is_empty(), "NB reports no feature count");
+        assert!(
+            r.features_used_per_fold.is_empty(),
+            "NB reports no feature count"
+        );
     }
 
     #[test]
     fn id3_and_nb_use_same_protocol() {
         let d = separable(6);
-        let cv = CrossValidation { repeats: 2, ..Default::default() };
+        let cv = CrossValidation {
+            repeats: 2,
+            ..Default::default()
+        };
         let a = cv.run(&d);
         let b = cv.run_with::<crate::bayes::NaiveBayes>(&d);
         let total_a: usize = a.confusion.iter().flatten().sum();

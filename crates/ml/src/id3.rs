@@ -51,8 +51,14 @@ impl Default for Id3Params {
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf { label: usize },
-    Split { feature: usize, on_true: Box<Node>, on_false: Box<Node> },
+    Leaf {
+        label: usize,
+    },
+    Split {
+        feature: usize,
+        on_true: Box<Node>,
+        on_false: Box<Node>,
+    },
 }
 
 /// A trained ID3 tree.
@@ -123,9 +129,7 @@ pub fn information_gain(data: &Dataset, indices: &[usize], feature: usize) -> f6
     let total = indices.len() as f64;
     let n_pos: usize = pos.iter().sum();
     let n_neg: usize = neg.iter().sum();
-    entropy(&all)
-        - (n_pos as f64 / total) * entropy(&pos)
-        - (n_neg as f64 / total) * entropy(&neg)
+    entropy(&all) - (n_pos as f64 / total) * entropy(&pos) - (n_neg as f64 / total) * entropy(&neg)
 }
 
 /// Gini impurity decrease of splitting `indices` on boolean `feature`.
@@ -185,7 +189,11 @@ impl Id3Tree {
         loop {
             match node {
                 Node::Leaf { label } => return *label,
-                Node::Split { feature, on_true, on_false } => {
+                Node::Split {
+                    feature,
+                    on_true,
+                    on_false,
+                } => {
                     let v = features.get(*feature).copied().unwrap_or(false);
                     node = if v { on_true } else { on_false };
                 }
@@ -220,7 +228,13 @@ impl Id3Tree {
     /// Pretty-prints the tree with feature and label names.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        render_node(&self.root, &self.feature_names, &self.label_names, 0, &mut out);
+        render_node(
+            &self.root,
+            &self.feature_names,
+            &self.label_names,
+            0,
+            &mut out,
+        );
         out
     }
 }
@@ -255,8 +269,9 @@ fn build(data: &Dataset, indices: &[usize], params: Id3Params, depth: usize) -> 
     if gain < params.min_gain {
         return Node::Leaf { label: majority };
     }
-    let (pos, neg): (Vec<usize>, Vec<usize>) =
-        indices.iter().partition(|&&i| data.instances[i].features[feature]);
+    let (pos, neg): (Vec<usize>, Vec<usize>) = indices
+        .iter()
+        .partition(|&&i| data.instances[i].features[feature]);
     if pos.is_empty() || neg.is_empty() {
         return Node::Leaf { label: majority };
     }
@@ -268,7 +283,12 @@ fn build(data: &Dataset, indices: &[usize], params: Id3Params, depth: usize) -> 
 }
 
 fn collect_features(node: &Node, out: &mut BTreeSet<usize>) {
-    if let Node::Split { feature, on_true, on_false } = node {
+    if let Node::Split {
+        feature,
+        on_true,
+        on_false,
+    } = node
+    {
         out.insert(*feature);
         collect_features(on_true, out);
         collect_features(on_false, out);
@@ -278,24 +298,38 @@ fn collect_features(node: &Node, out: &mut BTreeSet<usize>) {
 fn count_leaves(node: &Node) -> usize {
     match node {
         Node::Leaf { .. } => 1,
-        Node::Split { on_true, on_false, .. } => count_leaves(on_true) + count_leaves(on_false),
+        Node::Split {
+            on_true, on_false, ..
+        } => count_leaves(on_true) + count_leaves(on_false),
     }
 }
 
 fn depth(node: &Node) -> usize {
     match node {
         Node::Leaf { .. } => 0,
-        Node::Split { on_true, on_false, .. } => 1 + depth(on_true).max(depth(on_false)),
+        Node::Split {
+            on_true, on_false, ..
+        } => 1 + depth(on_true).max(depth(on_false)),
     }
 }
 
-fn render_node(node: &Node, features: &[String], labels: &[String], indent: usize, out: &mut String) {
+fn render_node(
+    node: &Node,
+    features: &[String],
+    labels: &[String],
+    indent: usize,
+    out: &mut String,
+) {
     let pad = "  ".repeat(indent);
     match node {
         Node::Leaf { label } => {
             let _ = writeln!(out, "{pad}=> {}", labels[*label]);
         }
-        Node::Split { feature, on_true, on_false } => {
+        Node::Split {
+            feature,
+            on_true,
+            on_false,
+        } => {
             let _ = writeln!(out, "{pad}[{}]?", features[*feature]);
             let _ = writeln!(out, "{pad}yes:");
             render_node(on_true, features, labels, indent + 1, out);
@@ -369,7 +403,13 @@ mod tests {
     #[test]
     fn depth_limit_respected() {
         let d = smoking_toy();
-        let t = Id3Tree::train(&d, Id3Params { max_depth: 1, ..Default::default() });
+        let t = Id3Tree::train(
+            &d,
+            Id3Params {
+                max_depth: 1,
+                ..Default::default()
+            },
+        );
         assert!(t.depth() <= 1);
     }
 
@@ -443,7 +483,13 @@ mod tests {
             SplitCriterion::GiniGain,
             SplitCriterion::GainRatio,
         ] {
-            let t = Id3Tree::train(&d, Id3Params { criterion, ..Default::default() });
+            let t = Id3Tree::train(
+                &d,
+                Id3Params {
+                    criterion,
+                    ..Default::default()
+                },
+            );
             for inst in &d.instances {
                 assert_eq!(t.predict(&inst.features), inst.label, "{criterion:?}");
             }

@@ -29,4 +29,7 @@ mod id3;
 pub use bayes::NaiveBayes;
 pub use cv::{Classifier, CrossValidation, CvResult};
 pub use dataset::{Dataset, DatasetBuilder, Instance};
-pub use id3::{entropy, gain_ratio, gini, gini_gain, information_gain, split_quality, Id3Params, Id3Tree, SplitCriterion};
+pub use id3::{
+    entropy, gain_ratio, gini, gini_gain, information_gain, split_quality, Id3Params, Id3Tree,
+    SplitCriterion,
+};

@@ -228,7 +228,10 @@ mod tests {
     #[test]
     fn predefined_lists_resolve() {
         let cuis: HashSet<&str> = CONCEPTS.iter().map(|c| c.cui).collect();
-        for cui in PREDEFINED_MEDICAL_CUIS.iter().chain(PREDEFINED_SURGICAL_CUIS) {
+        for cui in PREDEFINED_MEDICAL_CUIS
+            .iter()
+            .chain(PREDEFINED_SURGICAL_CUIS)
+        {
             assert!(cuis.contains(cui), "unknown predefined cui {cui}");
         }
     }

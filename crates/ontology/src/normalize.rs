@@ -49,7 +49,11 @@ mod tests {
 
     #[test]
     fn idempotent() {
-        for t in ["high blood pressures", "midline hernia closure", "postoperative CVA"] {
+        for t in [
+            "high blood pressures",
+            "midline hernia closure",
+            "postoperative CVA",
+        ] {
             let once = normalize(t);
             assert_eq!(normalize(&once), once, "{t}");
         }

@@ -179,6 +179,12 @@ impl ValueSet {
     }
 }
 
+// The extraction engine shares these read-only across worker threads
+// behind `Arc`; keep that guaranteed at compile time.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<Ontology>();
+const _: () = _assert_send_sync::<ValueSet>();
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,7 +194,10 @@ mod tests {
         let o = Ontology::full();
         let c = o.lookup("high blood pressure").expect("synonym resolves");
         assert_eq!(c.preferred, "hypertension");
-        assert_eq!(o.lookup("CVA").unwrap().preferred, "cerebrovascular accident");
+        assert_eq!(
+            o.lookup("CVA").unwrap().preferred,
+            "cerebrovascular accident"
+        );
     }
 
     #[test]
@@ -203,7 +212,10 @@ mod tests {
     fn paper_profile_lacks_surgical_synonyms() {
         let o = Ontology::paper();
         assert!(o.contains("cholecystectomy"), "preferred names stay");
-        assert!(!o.contains("gallbladder removal"), "procedure synonyms dropped");
+        assert!(
+            !o.contains("gallbladder removal"),
+            "procedure synonyms dropped"
+        );
         assert!(o.contains("high blood pressure"), "disease synonyms stay");
     }
 

@@ -83,7 +83,10 @@ impl Tag {
 
     /// True for any verb tag (`VB*`), excluding modals.
     pub fn is_verb(&self) -> bool {
-        matches!(self, Tag::VB | Tag::VBD | Tag::VBG | Tag::VBN | Tag::VBP | Tag::VBZ)
+        matches!(
+            self,
+            Tag::VB | Tag::VBD | Tag::VBG | Tag::VBN | Tag::VBP | Tag::VBZ
+        )
     }
 
     /// True for any adverb tag (`RB*`).

@@ -183,7 +183,11 @@ fn analyze(token: &Token, sentence_initial: bool, lem: &Lemmatizer) -> Candidate
     } else {
         let alemma = lem.lemma(&lower, WordClass::Adjective);
         if alemma != lower && is_known_adjective(&alemma) {
-            c.adj = Some(if lower.ends_with("est") { Tag::JJS } else { Tag::JJR });
+            c.adj = Some(if lower.ends_with("est") {
+                Tag::JJS
+            } else {
+                Tag::JJR
+            });
         }
     }
     // Noun readings.
@@ -216,7 +220,9 @@ fn verb_form_tag(surface: &str, lemma: &str) -> Tag {
         return Tag::VBD; // VBD/VBN resolved contextually
     }
     // Irregular past or participle (e.g. "underwent", "undergone").
-    if cmr_lexicon::verb_past_participle(lemma) == surface && cmr_lexicon::verb_past(lemma) != surface {
+    if cmr_lexicon::verb_past_participle(lemma) == surface
+        && cmr_lexicon::verb_past(lemma) != surface
+    {
         return Tag::VBN;
     }
     Tag::VBD
@@ -237,7 +243,11 @@ fn guess_unknown(lower: &str, original: &str, sentence_initial: bool) -> Tag {
 
     // Mid-sentence capitalization marks a proper noun (drug and brand names
     // like "Lipitor") regardless of suffix shape.
-    let capitalized = original.chars().next().map(char::is_uppercase).unwrap_or(false);
+    let capitalized = original
+        .chars()
+        .next()
+        .map(char::is_uppercase)
+        .unwrap_or(false);
     if capitalized && !sentence_initial {
         return Tag::NNP;
     }
@@ -265,7 +275,12 @@ fn guess_unknown(lower: &str, original: &str, sentence_initial: bool) -> Tag {
     if lower.ends_with("ed") && lower.len() > 4 {
         return Tag::VBN;
     }
-    if lower.ends_with('s') && !lower.ends_with("ss") && !lower.ends_with("us") && !lower.ends_with("is") && lower.len() > 3 {
+    if lower.ends_with('s')
+        && !lower.ends_with("ss")
+        && !lower.ends_with("us")
+        && !lower.ends_with("is")
+        && lower.len() > 3
+    {
         return Tag::NNS;
     }
     Tag::NN
@@ -276,7 +291,10 @@ fn is_have(word: &str) -> bool {
 }
 
 fn is_be(word: &str) -> bool {
-    matches!(word, "be" | "am" | "is" | "are" | "was" | "were" | "been" | "being")
+    matches!(
+        word,
+        "be" | "am" | "is" | "are" | "was" | "were" | "been" | "being"
+    )
 }
 
 fn is_do(word: &str) -> bool {
@@ -295,7 +313,10 @@ fn resolve(c: &Candidates, prev: Option<&(Tag, String)>, next_is_nounish: bool) 
     let prev_word = prev.map(|(_, w)| w.as_str()).unwrap_or("");
 
     // Nominal left context forces a nominal/adjectival reading.
-    let nominal_left = matches!(prev_tag, Some(Tag::DT | Tag::PRPS | Tag::JJ | Tag::JJR | Tag::JJS | Tag::CD));
+    let nominal_left = matches!(
+        prev_tag,
+        Some(Tag::DT | Tag::PRPS | Tag::JJ | Tag::JJR | Tag::JJS | Tag::CD)
+    );
     // Verbal left context prefers a verb reading.
     let after_to_or_md = matches!(prev_tag, Some(Tag::TO | Tag::MD));
 
@@ -403,7 +424,11 @@ fn resolve(c: &Candidates, prev: Option<&(Tag, String)>, next_is_nounish: bool) 
     c.default
 }
 
-fn resolve_closed(tags: &'static [Tag], prev: Option<&(Tag, String)>, next_is_nounish: bool) -> Tag {
+fn resolve_closed(
+    tags: &'static [Tag],
+    prev: Option<&(Tag, String)>,
+    next_is_nounish: bool,
+) -> Tag {
     let first = tags[0];
     if tags.len() == 1 {
         return first;
@@ -456,7 +481,10 @@ mod tests {
 
     #[test]
     fn she_denies_alcohol_use() {
-        assert_eq!(tags("She denies alcohol use."), vec!["PRP", "VBZ", "NN", "NN", "PUNCT"]);
+        assert_eq!(
+            tags("She denies alcohol use."),
+            vec!["PRP", "VBZ", "NN", "NN", "PUNCT"]
+        );
     }
 
     #[test]
@@ -472,12 +500,12 @@ mod tests {
     fn past_medical_history_phrase() {
         // The paper's example: "a postoperative CVA after undergoing a
         // cholecystectomy and a midline hernia closure"
-        let t = tags("a postoperative CVA after undergoing a cholecystectomy and a midline hernia closure");
+        let t = tags(
+            "a postoperative CVA after undergoing a cholecystectomy and a midline hernia closure",
+        );
         assert_eq!(
             t,
-            vec![
-                "DT", "JJ", "NNP", "IN", "VBG", "DT", "NN", "CC", "DT", "JJ", "NN", "NN"
-            ]
+            vec!["DT", "JJ", "NNP", "IN", "VBG", "DT", "NN", "CC", "DT", "JJ", "NN", "NN"]
         );
     }
 
@@ -489,7 +517,10 @@ mod tests {
 
     #[test]
     fn never_smoked() {
-        assert_eq!(tags("She has never smoked"), vec!["PRP", "VBZ", "RB", "VBN"]);
+        assert_eq!(
+            tags("She has never smoked"),
+            vec!["PRP", "VBZ", "RB", "VBN"]
+        );
     }
 
     #[test]

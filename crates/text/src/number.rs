@@ -211,10 +211,17 @@ mod tests {
     fn word_runs() {
         assert_eq!(parse_word_run(&["seventeen"]), Some(17));
         assert_eq!(parse_word_run(&["ninety", "eight"]), Some(98));
-        assert_eq!(parse_word_run(&["one", "hundred", "fifty", "four"]), Some(154));
+        assert_eq!(
+            parse_word_run(&["one", "hundred", "fifty", "four"]),
+            Some(154)
+        );
         assert_eq!(parse_word_run(&["two", "thousand"]), Some(2000));
         assert_eq!(parse_word_run(&["hundred"]), Some(100));
-        assert_eq!(parse_word_run(&["five", "three"]), None, "two separate numbers");
+        assert_eq!(
+            parse_word_run(&["five", "three"]),
+            None,
+            "two separate numbers"
+        );
         assert_eq!(parse_word_run(&[]), None);
         assert_eq!(parse_word_run(&["blood"]), None);
     }

@@ -61,7 +61,9 @@ impl Record {
             match split_header(trimmed) {
                 Some((name, body_start_in_line)) => {
                     let body = trimmed[body_start_in_line..].trim();
-                    let body_off = line_start + body_start_in_line + leading_ws(&trimmed[body_start_in_line..]);
+                    let body_off = line_start
+                        + body_start_in_line
+                        + leading_ws(&trimmed[body_start_in_line..]);
                     sections.push(Section {
                         name: name.to_string(),
                         body: body.to_string(),
@@ -97,7 +99,10 @@ impl Record {
             .find(|s| s.key() == "patient")
             .map(|s| s.body.trim().to_string())
             .filter(|s| !s.is_empty());
-        Record { patient_id, sections }
+        Record {
+            patient_id,
+            sections,
+        }
     }
 
     /// Finds a section by case-insensitive header name.
@@ -134,7 +139,10 @@ fn split_header(line: &str) -> Option<(&str, usize)> {
         if words > 6 {
             return None;
         }
-        if !w.chars().all(|c| c.is_ascii_alphanumeric() || c == '/' || c == '(' || c == ')') {
+        if !w
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '/' || c == '(' || c == ')')
+        {
             return None;
         }
     }
@@ -164,7 +172,13 @@ Vitals:  Blood pressure is 142/78, pulse of 96, and weight of 211.\n";
         let rec = Record::parse(SAMPLE);
         assert_eq!(
             rec.section_names(),
-            vec!["Patient", "Chief Complaint", "History of Present Illness", "GYN History", "Vitals"]
+            vec![
+                "Patient",
+                "Chief Complaint",
+                "History of Present Illness",
+                "GYN History",
+                "Vitals"
+            ]
         );
     }
 

@@ -24,9 +24,8 @@ impl Sentence {
 /// Abbreviations whose trailing period does not end a sentence.
 /// Lower-cased, without the final period.
 const ABBREVIATIONS: &[&str] = &[
-    "dr", "mr", "mrs", "ms", "prof", "st", "jr", "sr", "vs", "etc", "e.g", "i.e", "approx",
-    "dept", "min", "hr", "wk", "mo", "yr", "fig", "no", "pt", "q.d", "b.i.d", "t.i.d", "p.o",
-    "a.m", "p.m",
+    "dr", "mr", "mrs", "ms", "prof", "st", "jr", "sr", "vs", "etc", "e.g", "i.e", "approx", "dept",
+    "min", "hr", "wk", "mo", "yr", "fig", "no", "pt", "q.d", "b.i.d", "t.i.d", "p.o", "a.m", "p.m",
 ];
 
 fn is_abbreviation(text: &str, period_idx: usize) -> bool {
@@ -79,10 +78,9 @@ pub fn split_sentences(text: &str) -> Vec<Sentence> {
                     boundary = true;
                 }
             }
-            '!' | '?'
-                if followed_by_break(bytes, i) => {
-                    boundary = true;
-                }
+            '!' | '?' if followed_by_break(bytes, i) => {
+                boundary = true;
+            }
             '\n' => {
                 // Hard line break: treat as a boundary if the line has content.
                 boundary = true;
@@ -148,7 +146,10 @@ mod tests {
         let src = "She quit smoking five years ago. She denies alcohol use.";
         assert_eq!(
             texts(src),
-            vec!["She quit smoking five years ago.", "She denies alcohol use."]
+            vec![
+                "She quit smoking five years ago.",
+                "She denies alcohol use."
+            ]
         );
     }
 

@@ -101,7 +101,10 @@ mod tests {
         assert!(outer.contains(&inner));
         assert!(!inner.contains(&outer));
         assert!(outer.overlaps(&inner));
-        assert!(!Span::new(0, 3).overlaps(&Span::new(3, 6)), "half-open: touching spans do not overlap");
+        assert!(
+            !Span::new(0, 3).overlaps(&Span::new(3, 6)),
+            "half-open: touching spans do not overlap"
+        );
     }
 
     #[test]

@@ -53,7 +53,11 @@ pub fn tokenize(text: &str) -> Vec<Token> {
         // Multi-byte UTF-8 character: treat the whole char as a symbol.
         let ch = text[i..].chars().next().expect("non-empty remainder");
         let len = ch.len_utf8();
-        let kind = if ch.is_ascii_punctuation() { classify_punct(ch) } else { TokenKind::Symbol };
+        let kind = if ch.is_ascii_punctuation() {
+            classify_punct(ch)
+        } else {
+            TokenKind::Symbol
+        };
         tokens.push(Token {
             text: text[i..i + len].to_string(),
             span: Span::new(i, i + len),
@@ -143,7 +147,10 @@ fn lex_word(text: &str, start: usize) -> (Token, usize) {
         let c = bytes[i];
         if c.is_ascii_alphanumeric() {
             i += 1;
-        } else if (c == b'-' || c == b'\'') && i + 1 < bytes.len() && bytes[i + 1].is_ascii_alphanumeric() {
+        } else if (c == b'-' || c == b'\'')
+            && i + 1 < bytes.len()
+            && bytes[i + 1].is_ascii_alphanumeric()
+        {
             i += 2;
             // continue consuming within the hyphenated word
             while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
@@ -226,7 +233,11 @@ mod tests {
     #[test]
     fn punctuation_tokens() {
         let toks = tokenize("Vitals: BP, pulse; weight?");
-        let puncts: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Punct).map(|t| t.text.as_str()).collect();
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
         assert_eq!(puncts, vec![":", ",", ";", "?"]);
     }
 

@@ -29,14 +29,24 @@ fn main() {
         .filter_map(|r| {
             let status = r.smoking?;
             let parsed = cmr::text::Record::parse(&r.text);
-            Some((parsed.section("Social History")?.body.clone(), status.label().to_string()))
+            Some((
+                parsed.section("Social History")?.body.clone(),
+                status.label().to_string(),
+            ))
         })
         .collect();
     let mut smoking_clf = CategoricalExtractor::new(FeatureOptions::paper_smoking());
     smoking_clf.train(&labeled);
-    println!("trained smoking classifier on {} labeled charts", labeled.len());
+    println!(
+        "trained smoking classifier on {} labeled charts",
+        labeled.len()
+    );
     if let Some(tree) = smoking_clf.tree() {
-        println!("decision tree uses {} features:\n{}", tree.features_used().len(), tree.render());
+        println!(
+            "decision tree uses {} features:\n{}",
+            tree.features_used().len(),
+            tree.render()
+        );
     }
 
     // Mine the held-out charts.
@@ -50,14 +60,16 @@ fn main() {
         if let Some(w) = out.numeric("weight") {
             weights.push(w.as_f64());
         }
-        let has_htn = out
-            .predefined_medical
-            .iter()
-            .any(|t| t == "hypertension");
+        let has_htn = out.predefined_medical.iter().any(|t| t == "hypertension");
         let parsed = cmr::text::Record::parse(&rec.text);
-        let social = parsed.section("Social History").map(|s| s.body.clone()).unwrap_or_default();
+        let social = parsed
+            .section("Social History")
+            .map(|s| s.body.clone())
+            .unwrap_or_default();
         if let Some(pred) = smoking_clf.classify(&social) {
-            let slot = hypertension_by_smoking.entry(pred.to_string()).or_insert((0, 0));
+            let slot = hypertension_by_smoking
+                .entry(pred.to_string())
+                .or_insert((0, 0));
             slot.1 += 1;
             if has_htn {
                 slot.0 += 1;
@@ -71,9 +83,16 @@ fn main() {
         }
     }
 
-    println!("\n=== cohort analysis over {} held-out charts =====================", test.len());
+    println!(
+        "\n=== cohort analysis over {} held-out charts =====================",
+        test.len()
+    );
     let mean_weight = weights.iter().sum::<f64>() / weights.len().max(1) as f64;
-    println!("charts with an extracted weight: {} (mean {:.1} lb)", weights.len(), mean_weight);
+    println!(
+        "charts with an extracted weight: {} (mean {:.1} lb)",
+        weights.len(),
+        mean_weight
+    );
     println!("\nhypertension prevalence by (classified) smoking status:");
     for (status, (htn, total)) in &hypertension_by_smoking {
         println!(

@@ -14,7 +14,10 @@ fn explore(parser: &LinkParser, sentence: &str) {
     println!("sentence: {sentence}");
     let tokens = tokenize(sentence);
     let tagged = cmr::postag::PosTagger::new().tag(&tokens);
-    let tags: Vec<String> = tagged.iter().map(|t| format!("{}/{}", t.token.text, t.tag)).collect();
+    let tags: Vec<String> = tagged
+        .iter()
+        .map(|t| format!("{}/{}", t.token.text, t.tag))
+        .collect();
     println!("tags:     {}", tags.join(" "));
     match parser.parse(&tagged) {
         Some(linkage) => {
@@ -22,7 +25,10 @@ fn explore(parser: &LinkParser, sentence: &str) {
             println!("{}", linkage.diagram());
             let c = linkage.constituents();
             let words = |idxs: &[usize]| {
-                idxs.iter().map(|&i| tokens[i].text.as_str()).collect::<Vec<_>>().join(" ")
+                idxs.iter()
+                    .map(|&i| tokens[i].text.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ")
             };
             println!("subject:    [{}]", words(&c.subject));
             println!("verb:       [{}]", words(&c.verb));

@@ -8,8 +8,8 @@
 //! cargo run --example vitals_extraction
 //! ```
 
-use cmr::prelude::*;
 use cmr::core::FeatureSpec;
+use cmr::prelude::*;
 
 fn main() {
     let parser = LinkParser::new();
@@ -18,12 +18,18 @@ fn main() {
         "Blood pressure is 144/90, pulse of 84, temperature of 98.3, and weight of 154 pounds.";
 
     println!("sentence: {sentence}\n");
-    let linkage = parser.parse_sentence(sentence).expect("the paper's example parses");
+    let linkage = parser
+        .parse_sentence(sentence)
+        .expect("the paper's example parses");
     println!("{}", linkage.diagram());
 
     println!("weighted shortest distances (feature keyword → number):");
     for feature in ["pressure", "pulse", "temperature", "weight"] {
-        let f = linkage.words.iter().position(|w| w == feature).expect("word present");
+        let f = linkage
+            .words
+            .iter()
+            .position(|w| w == feature)
+            .expect("word present");
         let d = linkage.distances_from(f, &weights);
         let mut pairs: Vec<(String, f64)> = ["144/90", "84", "98.3", "154"]
             .iter()
@@ -54,7 +60,12 @@ fn main() {
     let specs: Vec<&FeatureSpec> = schema.numeric.iter().collect();
     let extractor = NumericExtractor::new();
     for hit in extractor.extract_sentence(sentence, &specs) {
-        println!("  {:<16} = {:<8} via {:?}", hit.field, hit.value.to_string(), hit.method);
+        println!(
+            "  {:<16} = {:<8} via {:?}",
+            hit.field,
+            hit.value.to_string(),
+            hit.method
+        );
     }
 
     // Fragments do not parse — the paper's pattern approach takes over.
@@ -62,6 +73,11 @@ fn main() {
     println!("\nfragment: {fragment}");
     println!("  parses? {}", parser.parse_sentence(fragment).is_some());
     for hit in extractor.extract_sentence(fragment, &specs) {
-        println!("  {:<16} = {:<8} via {:?}", hit.field, hit.value.to_string(), hit.method);
+        println!(
+            "  {:<16} = {:<8} via {:?}",
+            hit.field,
+            hit.value.to_string(),
+            hit.method
+        );
     }
 }

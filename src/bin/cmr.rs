@@ -3,12 +3,15 @@
 //! ```text
 //! cmr generate --records 50 --seed 7 --out notes/     # write synthetic notes
 //! cmr extract notes/patient_001.txt …                 # notes → JSON lines
+//! cmr extract --jobs 4 --stats notes/*.txt            # parallel, with metrics
+//! cmr generate --records 200 --out - | cmr extract -  # NDJSON streaming
 //! cmr parse "She quit smoking five years ago."        # linkage diagram
 //! cmr terms "Significant for diabetes and a midline hernia closure."
 //! ```
 
 use cmr::prelude::*;
 use std::fs;
+use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -46,9 +49,13 @@ fn usage() {
          \n\
          USAGE:\n\
          \u{20}  cmr generate [--records N] [--seed S] [--style V] [--out DIR]\n\
-         \u{20}      write synthetic consultation notes (and gold labels as JSON)\n\
-         \u{20}  cmr extract FILE...\n\
-         \u{20}      extract structured records from note files, one JSON object per line\n\
+         \u{20}      write synthetic consultation notes (and gold labels as JSON);\n\
+         \u{20}      --out - streams records as NDJSON to stdout instead\n\
+         \u{20}  cmr extract [--jobs N] [--queue-depth Q] [--stats] [--fail-fast] FILE...\n\
+         \u{20}      extract structured records from note files, one JSON object per line,\n\
+         \u{20}      in input order (byte-identical for any --jobs; 0 = one per core);\n\
+         \u{20}      FILE of - reads NDJSON records (objects with a \"text\" field, or\n\
+         \u{20}      JSON strings) from stdin; --stats prints metrics JSON to stderr\n\
          \u{20}  cmr parse \"SENTENCE\"\n\
          \u{20}      print the link grammar linkage diagram and constituents\n\
          \u{20}  cmr terms \"TEXT\"\n\
@@ -56,12 +63,21 @@ fn usage() {
     );
 }
 
-/// Parses `--flag value` pairs; returns positionals.
-fn parse_flags(args: &[String], flags: &mut [(&str, &mut String)]) -> Result<Vec<String>, String> {
+/// Parses `--flag value` pairs and `--switch` toggles; returns positionals.
+/// A lone `-` is a positional (stdin), not a flag.
+fn parse_flags(
+    args: &[String],
+    flags: &mut [(&str, &mut String)],
+    switches: &mut [(&str, &mut bool)],
+) -> Result<Vec<String>, String> {
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
+            if let Some(slot) = switches.iter_mut().find(|(n, _)| *n == name) {
+                *slot.1 = true;
+                continue;
+            }
             let slot = flags
                 .iter_mut()
                 .find(|(n, _)| *n == name)
@@ -88,13 +104,35 @@ fn generate(args: &[String]) -> Result<(), String> {
             ("style", &mut style),
             ("out", &mut out),
         ],
+        &mut [],
     )?;
-    let n: usize = records.parse().map_err(|_| "--records must be an integer".to_string())?;
-    let seed: u64 = seed.parse().map_err(|_| "--seed must be an integer".to_string())?;
-    let style: f64 = style.parse().map_err(|_| "--style must be a number".to_string())?;
+    let n: usize = records
+        .parse()
+        .map_err(|_| "--records must be an integer".to_string())?;
+    let seed: u64 = seed
+        .parse()
+        .map_err(|_| "--seed must be an integer".to_string())?;
+    let style: f64 = style
+        .parse()
+        .map_err(|_| "--style must be a number".to_string())?;
+    let corpus = CorpusBuilder::new()
+        .records(n)
+        .seed(seed)
+        .style_variation(style)
+        .build();
+    if out == "-" {
+        // NDJSON streaming: one full gold record (text included) per line,
+        // ready to pipe into `cmr extract -`.
+        let stdout = std::io::stdout();
+        let mut w = stdout.lock();
+        for rec in &corpus.records {
+            let json = serde_json::to_string(rec).map_err(|e| e.to_string())?;
+            writeln!(w, "{json}").map_err(|e| format!("writing stdout: {e}"))?;
+        }
+        return Ok(());
+    }
     let dir = PathBuf::from(out);
     fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
-    let corpus = CorpusBuilder::new().records(n).seed(seed).style_variation(style).build();
     for rec in &corpus.records {
         let path = dir.join(format!("patient_{:03}.txt", rec.patient_id));
         fs::write(&path, &rec.text).map_err(|e| format!("writing {}: {e}", path.display()))?;
@@ -107,17 +145,108 @@ fn generate(args: &[String]) -> Result<(), String> {
 }
 
 fn extract(args: &[String]) -> Result<(), String> {
-    if args.is_empty() {
-        return Err("extract needs at least one file".to_string());
+    let mut jobs = "1".to_string();
+    let mut queue_depth = "32".to_string();
+    let mut stats = false;
+    let mut fail_fast = false;
+    let inputs = parse_flags(
+        args,
+        &mut [("jobs", &mut jobs), ("queue-depth", &mut queue_depth)],
+        &mut [("stats", &mut stats), ("fail-fast", &mut fail_fast)],
+    )?;
+    if inputs.is_empty() {
+        return Err("extract needs at least one file (or - for stdin NDJSON)".to_string());
     }
-    let pipeline = Pipeline::with_default_schema();
-    for path in args {
-        let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        let out = pipeline.extract(&text);
-        let json = serde_json::to_string(&out).map_err(|e| e.to_string())?;
-        println!("{json}");
+    let jobs: usize = jobs
+        .parse()
+        .map_err(|_| "--jobs must be an integer".to_string())?;
+    let queue_depth: usize = queue_depth
+        .parse()
+        .map_err(|_| "--queue-depth must be an integer".to_string())?;
+    let cfg = EngineConfig {
+        jobs,
+        queue_depth: queue_depth.max(1),
+        fail_fast,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::new(cfg, Schema::paper(), Ontology::full());
+
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    let mut failed = 0u64;
+    // A closed stdout (e.g. `| head`) stops output without panicking the
+    // batch; remaining records are drained silently.
+    let mut stdout_closed = false;
+    let mut sink = |_idx: usize, result: Result<ExtractedRecord, EngineError>| {
+        let line = match result {
+            Ok(rec) => serde_json::to_string(&rec).expect("record serializes"),
+            Err(e) => {
+                failed += 1;
+                // In-band error object: stdout stays one JSON object per
+                // input record, in input order.
+                format!(
+                    "{{\"error\":{}}}",
+                    serde_json::to_string(&e.to_string()).expect("string serializes")
+                )
+            }
+        };
+        if !stdout_closed && writeln!(w, "{line}").is_err() {
+            stdout_closed = true;
+        }
+    };
+
+    let metrics = if inputs.len() == 1 && inputs[0] == "-" {
+        // Stream NDJSON records from stdin through the engine under
+        // backpressure: at most `queue_depth` records are buffered.
+        // (`StdinLock` is not `Send`, and the feeder thread consumes the
+        // iterator — so take the lock per line.)
+        let stdin = std::io::stdin();
+        let lines = std::iter::from_fn(move || {
+            let mut buf = String::new();
+            match stdin.lock().read_line(&mut buf) {
+                Ok(0) | Err(_) => None,
+                Ok(_) => Some(buf),
+            }
+        })
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| note_text_from_ndjson(l.trim_end_matches(['\r', '\n'])));
+        engine.extract_stream(lines, &mut sink)
+    } else {
+        // Read the files up front so I/O errors fail the command before
+        // any output is produced.
+        let mut texts = Vec::with_capacity(inputs.len());
+        for path in &inputs {
+            texts.push(fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?);
+        }
+        engine.extract_stream(texts.into_iter(), &mut sink)
+    };
+
+    if stats {
+        let json = serde_json::to_string_pretty(&metrics).map_err(|e| e.to_string())?;
+        eprintln!("{json}");
+    }
+    if failed > 0 {
+        eprintln!("cmr: {failed} record(s) failed (see in-band \"error\" objects)");
     }
     Ok(())
+}
+
+/// Pulls the note text out of one NDJSON line: an object with a `text`
+/// field (e.g. a `cmr generate --out -` gold record), a bare JSON string,
+/// or — as a fallback — the raw line itself.
+fn note_text_from_ndjson(line: &str) -> String {
+    match serde_json::parse_value_str(line) {
+        Ok(serde::Value::String(s)) => s,
+        Ok(serde::Value::Object(fields)) => fields
+            .iter()
+            .find(|(k, _)| k == "text")
+            .and_then(|(_, v)| match v {
+                serde::Value::String(s) => Some(s.clone()),
+                _ => None,
+            })
+            .unwrap_or_default(),
+        _ => line.to_string(),
+    }
 }
 
 fn parse(args: &[String]) -> Result<(), String> {
@@ -132,7 +261,10 @@ fn parse(args: &[String]) -> Result<(), String> {
             let c = linkage.constituents();
             let toks = tokenize(&sentence);
             let words = |idxs: &[usize]| {
-                idxs.iter().map(|&i| toks[i].text.as_str()).collect::<Vec<_>>().join(" ")
+                idxs.iter()
+                    .map(|&i| toks[i].text.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ")
             };
             println!("subject:    [{}]", words(&c.subject));
             println!("verb:       [{}]", words(&c.verb));
@@ -140,7 +272,9 @@ fn parse(args: &[String]) -> Result<(), String> {
             println!("supplement: [{}]", words(&c.supplement));
             Ok(())
         }
-        None => Err("no linkage (a fragment? the extractors fall back to patterns here)".to_string()),
+        None => {
+            Err("no linkage (a fragment? the extractors fall back to patterns here)".to_string())
+        }
     }
 }
 

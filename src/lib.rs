@@ -34,6 +34,7 @@
 
 pub use cmr_core as core;
 pub use cmr_corpus as corpus;
+pub use cmr_engine as engine;
 pub use cmr_eval as eval;
 pub use cmr_knowledge as knowledge;
 pub use cmr_lexicon as lexicon;
@@ -50,6 +51,7 @@ pub mod prelude {
         NumericExtractor, Pipeline, Schema,
     };
     pub use cmr_corpus::{CorpusBuilder, GoldRecord, SmokingStatus};
+    pub use cmr_engine::{BatchOutput, Engine, EngineConfig, EngineError, EngineMetrics};
     pub use cmr_eval::{MultiValueScore, PrecisionRecall};
     pub use cmr_lexicon::Lemmatizer;
     pub use cmr_linkgram::{LinkParser, LinkWeights, Linkage};

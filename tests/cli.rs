@@ -1,0 +1,145 @@
+//! End-to-end CLI tests: drive the real `cmr` binary the way a user would
+//! — generate a cohort, extract it in parallel — and check the contract
+//! that matters for scripting: one valid JSON object per note, in input
+//! order, byte-identical for any `--jobs` value.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn cmr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cmr"))
+}
+
+/// A fresh scratch directory under the target-owned temp dir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cmr-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn generate_notes(dir: &std::path::Path, records: usize) -> Vec<PathBuf> {
+    let status = cmr()
+        .args([
+            "generate",
+            "--records",
+            &records.to_string(),
+            "--seed",
+            "42",
+            "--out",
+            dir.to_str().expect("utf-8 path"),
+        ])
+        .status()
+        .expect("run cmr generate");
+    assert!(status.success(), "generate failed");
+    let mut notes: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read scratch dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+        .collect();
+    notes.sort();
+    assert_eq!(notes.len(), records, "one .txt note per record");
+    notes
+}
+
+fn extract_stdout(notes: &[PathBuf], jobs: &str) -> String {
+    let out = cmr()
+        .arg("extract")
+        .args(["--jobs", jobs])
+        .args(notes)
+        .output()
+        .expect("run cmr extract");
+    assert!(
+        out.status.success(),
+        "extract --jobs {jobs} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn generate_then_extract_parallel_yields_json_per_note() {
+    let dir = scratch("extract");
+    let notes = generate_notes(&dir, 8);
+
+    let stdout = extract_stdout(&notes, "4");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 8, "one output line per note");
+    for (i, line) in lines.iter().enumerate() {
+        let value = serde_json::parse_value_str(line)
+            .unwrap_or_else(|e| panic!("line {i} is not valid JSON ({e:?}): {line}"));
+        let serde::Value::Object(fields) = value else {
+            panic!("line {i} is not a JSON object: {line}");
+        };
+        assert!(
+            fields.iter().any(|(k, _)| k == "numeric"),
+            "line {i} has no numeric field: {line}"
+        );
+    }
+
+    // The scripting contract: worker count never changes the bytes.
+    let serial = extract_stdout(&notes, "1");
+    assert_eq!(serial, stdout, "--jobs 1 and --jobs 4 outputs differ");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ndjson_streaming_pipes_generate_into_extract() {
+    // cmr generate --out - | cmr extract - --jobs 2
+    let generated = cmr()
+        .args(["generate", "--records", "4", "--seed", "7", "--out", "-"])
+        .output()
+        .expect("run cmr generate --out -");
+    assert!(generated.status.success());
+    let ndjson = generated.stdout;
+    assert_eq!(
+        ndjson
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .count(),
+        4
+    );
+
+    let mut child = cmr()
+        .args(["extract", "-", "--jobs", "2", "--stats"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cmr extract -");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(&ndjson)
+        .expect("feed NDJSON");
+    let out = child.wait_with_output().expect("wait for extract");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    assert_eq!(
+        stdout.lines().count(),
+        4,
+        "one extraction per streamed record"
+    );
+    for line in stdout.lines() {
+        serde_json::parse_value_str(line).expect("valid JSON per line");
+    }
+
+    // --stats emits a JSON metrics document on stderr.
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    let metrics = serde_json::parse_value_str(stderr.trim()).expect("stats are valid JSON");
+    let serde::Value::Object(fields) = metrics else {
+        panic!("stats not an object")
+    };
+    assert!(
+        fields.iter().any(|(k, _)| k == "records_per_sec"),
+        "{stderr}"
+    );
+}

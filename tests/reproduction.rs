@@ -15,8 +15,18 @@ fn e1_numeric_is_perfect_at_house_style() {
     assert!(report.all_perfect(), "{:?}", report.rows);
     // The link-grammar path must be doing the bulk of the work, with the
     // pattern fallback handling fragments — not the other way around.
-    let link = report.by_method.iter().find(|(n, _)| n == "link-grammar").unwrap().1;
-    let pattern = report.by_method.iter().find(|(n, _)| n == "pattern").unwrap().1;
+    let link = report
+        .by_method
+        .iter()
+        .find(|(n, _)| n == "link-grammar")
+        .unwrap()
+        .1;
+    let pattern = report
+        .by_method
+        .iter()
+        .find(|(n, _)| n == "pattern")
+        .unwrap()
+        .1;
     assert!(link > pattern * 3, "link {link} vs pattern {pattern}");
 }
 
@@ -25,7 +35,10 @@ fn e2_smoking_matches_paper_band() {
     let corpus = paper_corpus();
     let result = run_smoking(&corpus, FeatureOptions::paper_smoking());
     let acc = result.mean_accuracy();
-    assert!((0.85..=0.98).contains(&acc), "accuracy {acc} outside the paper band");
+    assert!(
+        (0.85..=0.98).contains(&acc),
+        "accuracy {acc} outside the paper band"
+    );
     let (lo, hi) = result.feature_count_range();
     assert!(lo >= 3 && hi <= 12, "feature range {lo}-{hi}");
     // 45 labeled cases, each tested once per repetition.
@@ -42,20 +55,33 @@ fn t1_shape_holds_under_paper_profile() {
     let precision = |r: &Table1Report, i: usize| r.rows[i].score.precision();
     // Row order: PMH-pre, PMH-other, PSH-pre, PSH-other.
     // 1. Predefined surgical recall collapses (the paper's 35%).
-    assert!(recall(&paper, 2) < 0.6, "PSH-pre recall {}", recall(&paper, 2));
+    assert!(
+        recall(&paper, 2) < 0.6,
+        "PSH-pre recall {}",
+        recall(&paper, 2)
+    );
     // 2. It is the worst recall of the four attributes.
     for i in [0, 1, 3] {
         assert!(recall(&paper, 2) <= recall(&paper, i) + 1e-9, "row {i}");
     }
     // 3. Other-surgical precision is the lowest precision.
     for i in [0, 1, 2] {
-        assert!(precision(&paper, 3) <= precision(&paper, i) + 1e-9, "row {i}");
+        assert!(
+            precision(&paper, 3) <= precision(&paper, i) + 1e-9,
+            "row {i}"
+        );
     }
     // 4. Predefined medical is the best-behaved attribute (paper: 96.7/96.7).
     assert!(recall(&paper, 0) > 0.9 && precision(&paper, 0) > 0.9);
     // 5. The full ontology fixes what the paper says it would fix.
-    assert!(recall(&full, 2) > recall(&paper, 2) + 0.3, "synonyms restore PSH recall");
-    assert!(precision(&full, 3) >= precision(&paper, 3), "vocabulary restores precision");
+    assert!(
+        recall(&full, 2) > recall(&paper, 2) + 0.3,
+        "synonyms restore PSH recall"
+    );
+    assert!(
+        precision(&full, 3) >= precision(&paper, 3),
+        "vocabulary restores precision"
+    );
 }
 
 #[test]
@@ -70,12 +96,18 @@ fn a1_pattern_degrades_with_style_but_link_fallback_does_not() {
             .unwrap()
     };
     assert!(get(0.0, "link+fallback") > 0.99);
-    assert!(get(1.0, "link+fallback") > 0.95, "robust to style variation");
+    assert!(
+        get(1.0, "link+fallback") > 0.95,
+        "robust to style variation"
+    );
     assert!(
         get(1.0, "pattern-only") < get(1.0, "link+fallback"),
         "patterns generalize worse (the paper's §3.1 motivation)"
     );
-    assert!(get(1.0, "link-only") < get(1.0, "link+fallback"), "fragments need the fallback");
+    assert!(
+        get(1.0, "link-only") < get(1.0, "link+fallback"),
+        "fragments need the fallback"
+    );
 }
 
 #[test]

@@ -2,8 +2,8 @@
 //! one below it, checked on realistic corpus data rather than unit
 //! fixtures.
 
-use cmr::prelude::*;
 use cmr::postag::PosTagger;
+use cmr::prelude::*;
 use cmr_text::TokenKind;
 
 /// The parser must handle the generated corpus's declarative sentences at a
@@ -78,7 +78,11 @@ fn tagger_lemmas_reduce_to_fixed_points() {
             if t.token.kind.is_word() {
                 let once = lem.lemma_any(&t.lemma);
                 let twice = lem.lemma_any(&once);
-                assert_eq!(once, twice, "{} → {} → {} → {}", t.token.text, t.lemma, once, twice);
+                assert_eq!(
+                    once, twice,
+                    "{} → {} → {} → {}",
+                    t.token.text, t.lemma, once, twice
+                );
             }
         }
     }
@@ -117,9 +121,12 @@ fn schema_sections_exist_in_corpus() {
                 );
             }
         }
-        for field in schema.terms.iter().map(|t| &t.sections).chain(
-            schema.categorical.iter().map(|c| &c.sections),
-        ) {
+        for field in schema
+            .terms
+            .iter()
+            .map(|t| &t.sections)
+            .chain(schema.categorical.iter().map(|c| &c.sections))
+        {
             for sec in field {
                 assert!(parsed.section(sec).is_some(), "section {sec} missing");
             }

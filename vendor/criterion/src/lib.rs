@@ -1,0 +1,310 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! Keeps the API the workspace's benches compile against — `Criterion`,
+//! `benchmark_group`/`sample_size`/`bench_function`/`finish`, `Bencher::iter`
+//! and `iter_batched`, `BatchSize`, `criterion_group!`/`criterion_main!` —
+//! and measures with plain `std::time::Instant` sampling: per sample the
+//! routine is repeated until ≥1 ms of wall time accumulates, and the median
+//! ns/iter across samples is reported to stdout. There is no statistical
+//! analysis, HTML report, or baseline comparison.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does), every
+//! routine runs exactly once so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; all variants behave identically here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every routine call.
+    PerIteration,
+}
+
+/// Measurement harness handed to bench closures.
+pub struct Bencher {
+    test_mode: bool,
+    samples: Vec<f64>, // ns per iteration
+}
+
+impl Bencher {
+    /// One timing sample of `routine` (repeated internally until the
+    /// sample is long enough to time reliably).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.samples.push(0.0);
+            return;
+        }
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+                return;
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+
+    /// Like [`Bencher::iter`], but excludes `setup` from the timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            black_box(routine(input));
+            self.samples.push(0.0);
+            return;
+        }
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+                return;
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    budget: Duration,
+    test_mode: bool,
+    mut f: F,
+) {
+    let mut samples = Vec::new();
+    let started = Instant::now();
+    let rounds = if test_mode { 1 } else { sample_size.max(1) };
+    for _ in 0..rounds {
+        let mut b = Bencher {
+            test_mode,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        samples.extend(b.samples);
+        if started.elapsed() > budget {
+            break;
+        }
+    }
+    if test_mode {
+        println!("test {label} ... ok (bench smoke run)");
+        return;
+    }
+    if samples.is_empty() {
+        println!("{label:<40} no samples");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!(
+        "{label:<40} time: [{} {} {}]",
+        format_ns(lo),
+        format_ns(median),
+        format_ns(hi)
+    );
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Caps total measurement wall time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    /// Runs one benchmark under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        if self.criterion.should_run(&label) {
+            run_bench(
+                &label,
+                self.sample_size,
+                self.budget,
+                self.criterion.test_mode,
+                f,
+            );
+        }
+        self
+    }
+
+    /// Ends the group (reporting is immediate, so this is a marker).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // cargo bench/test pass flags such as --bench, --test, and an
+        // optional name filter; honour the two that change behaviour.
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration (already done in `default`; parity shim).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    fn should_run(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            budget: Duration::from_secs(5),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let label = id.into();
+        if self.should_run(&label) {
+            run_bench(&label, 100, Duration::from_secs(5), self.test_mode, f);
+        }
+        self
+    }
+
+    /// Prints the closing summary (no-op: results print as they complete).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group function in criterion's shape.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            test_mode: false,
+            samples: Vec::new(),
+        };
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            black_box(n)
+        });
+        assert_eq!(b.samples.len(), 1);
+        assert!(b.samples[0] >= 0.0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_input() {
+        let mut b = Bencher {
+            test_mode: true,
+            samples: Vec::new(),
+        };
+        let mut setups = 0;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8, 2, 3]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 1);
+        assert_eq!(b.samples.len(), 1);
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(format_ns(12.3).ends_with("ns"));
+        assert!(format_ns(12_300.0).ends_with("µs"));
+        assert!(format_ns(12_300_000.0).ends_with("ms"));
+        assert!(format_ns(2_000_000_000.0).ends_with('s'));
+    }
+}

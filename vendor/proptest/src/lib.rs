@@ -1,0 +1,582 @@
+//! Offline stand-in for `proptest` 1.x.
+//!
+//! Provides the subset this workspace uses: the `proptest!` macro (with
+//! optional `#![proptest_config(...)]`), `prop_assert!`-family macros that
+//! return [`test_runner::TestCaseError`] instead of panicking (so helper
+//! functions can use `?`), and strategies for regex-like string literals
+//! (`[class]{m,n}` form), integer ranges, tuples, `sample::select`,
+//! `collection::vec`, `bool::ANY`, and `.prop_map`.
+//!
+//! Unlike real proptest there is no shrinking and no persistence of failing
+//! seeds (`.proptest-regressions` files are ignored); generation is
+//! deterministic per test function, so failures reproduce exactly.
+
+pub mod test_runner {
+    /// Why a test case failed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// An assertion failed with this message.
+        Fail(String),
+        /// The input was rejected (kept for API parity; unused here).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed-assertion error.
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejected-input error.
+        pub fn reject(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Per-test configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases, everything else default.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic generator driving all strategies (xorshift64*).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded constructor; the `proptest!` macro seeds from the test name.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed | 1 }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform index in `0..n`. Panics when `n == 0`.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform value in `lo..=hi`.
+        pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+            debug_assert!(lo <= hi);
+            let span = hi - lo + 1;
+            if span == 0 {
+                // Full u64 domain.
+                self.next_u64()
+            } else {
+                lo + self.next_u64() % span
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A generator of values for property tests.
+    ///
+    /// The real crate separates strategies from value trees to support
+    /// shrinking; this stand-in samples directly.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// String literals act as regex-subset strategies: a sequence of
+    /// character classes (`[a-z]`, ranges and `\n`-style escapes supported)
+    /// or literal characters, each with an optional `{m}` / `{m,n}` count.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            sample_pattern(self, rng)
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    /// Parses one class element (handles `\x` escapes), returning the char.
+    fn class_element(chars: &[char], i: &mut usize) -> char {
+        let c = chars[*i];
+        *i += 1;
+        if c == '\\' && *i < chars.len() {
+            let e = unescape(chars[*i]);
+            *i += 1;
+            e
+        } else {
+            c
+        }
+    }
+
+    fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut out = String::new();
+        while i < chars.len() {
+            // One atom: a character class or a single (possibly escaped) char.
+            let pool: Vec<char> = if chars[i] == '[' {
+                i += 1;
+                let mut pool = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let start = class_element(&chars, &mut i);
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        i += 1; // consume '-'
+                        let end = class_element(&chars, &mut i);
+                        let (lo, hi) = (start as u32, end as u32);
+                        assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                        for cp in lo..=hi {
+                            if let Some(c) = char::from_u32(cp) {
+                                pool.push(c);
+                            }
+                        }
+                    } else {
+                        pool.push(start);
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in {pattern:?}"
+                );
+                i += 1; // consume ']'
+                pool
+            } else {
+                let mut j = i;
+                let c = class_element(&chars, &mut j);
+                i = j;
+                vec![c]
+            };
+            assert!(!pool.is_empty(), "empty character class in {pattern:?}");
+
+            // Optional repetition `{m}` or `{m,n}`.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                i += 1;
+                let mut lo = 0usize;
+                while chars[i].is_ascii_digit() {
+                    lo = lo * 10 + chars[i] as usize - '0' as usize;
+                    i += 1;
+                }
+                let hi = if chars[i] == ',' {
+                    i += 1;
+                    let mut hi = 0usize;
+                    while chars[i].is_ascii_digit() {
+                        hi = hi * 10 + chars[i] as usize - '0' as usize;
+                        i += 1;
+                    }
+                    hi
+                } else {
+                    lo
+                };
+                assert!(chars[i] == '}', "bad repetition in {pattern:?}");
+                i += 1;
+                (lo, hi)
+            } else {
+                (1, 1)
+            };
+
+            let n = rng.range_inclusive(lo as u64, hi as u64) as usize;
+            for _ in 0..n {
+                out.push(pool[rng.below(pool.len())]);
+            }
+        }
+        out
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (start as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy over a fixed pool of values; see [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// Uniformly selects one of `items` (a `Vec`, array, or slice of
+    /// cloneable values). Panics at sample time if empty.
+    pub fn select<T: Clone>(items: impl Into<Vec<T>>) -> Select<T> {
+        Select {
+            items: items.into(),
+        }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(!self.items.is_empty(), "select over empty pool");
+            self.items[rng.below(self.items.len())].clone()
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Admissible lengths for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of values from `element`; see [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.range_inclusive(self.size.lo as u64, self.size.hi as u64) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform `bool`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// FNV-1a over the test name: a stable per-test seed so each test draws a
+/// distinct but reproducible stream.
+#[doc(hidden)]
+pub fn __seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fails the current case unless `cond` holds. Returns
+/// `Err(TestCaseError)` rather than panicking, so helpers declared as
+/// `fn(..) -> Result<(), TestCaseError>` compose with `?`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion in the style of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`: {}", __l, __r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Inequality assertion in the style of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` == `{:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` == `{:?}`: {}", __l, __r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that samples its strategies `config.cases` times and
+/// runs the body; `prop_assert!` failures abort the case with a panic that
+/// includes the case number.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::new($crate::__seed_from_name(stringify!($name)));
+            for __case in 0..__config.cases {
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(__e) = __outcome {
+                    panic!("proptest case {}/{} failed: {}", __case + 1, __config.cases, __e);
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn helper(x: i64) -> Result<(), TestCaseError> {
+        prop_assert!(x >= 0, "negative {x}");
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn regex_strings_match_class(s in "[a-z]{2,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5, "len {}", s.len());
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn ranges_and_helpers(v in 0i64..100, w in 5usize..=9) {
+            helper(v)?;
+            prop_assert!((0..100).contains(&v));
+            prop_assert!((5..=9).contains(&w));
+        }
+
+        #[test]
+        fn tuples_select_vec_map(
+            xs in prop::collection::vec((0usize..3, prop::bool::ANY), 1..6),
+            s in prop::sample::select(vec!["a", "b"]).prop_map(|x| x.to_string()),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 6);
+            for (i, _) in &xs {
+                prop_assert!(*i < 3);
+            }
+            prop_assert_ne!(s.as_str(), "c");
+            prop_assert_eq!(s.len(), 1);
+        }
+    }
+
+    #[test]
+    fn printable_class_with_escape() {
+        let mut rng = crate::test_runner::TestRng::new(42);
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::sample(&"[ -~\n]{0,30}", &mut rng);
+            assert!(s.len() <= 30);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+}
