@@ -58,7 +58,7 @@ impl NumericReport {
 }
 
 /// Gold numeric value for an attribute of a record.
-fn gold_numeric(rec: &GoldRecord, attr: &str) -> Option<NumberValue> {
+pub(crate) fn gold_numeric(rec: &GoldRecord, attr: &str) -> Option<NumberValue> {
     Some(match attr {
         "blood_pressure" => NumberValue::Ratio(rec.blood_pressure.0, rec.blood_pressure.1),
         "pulse" => NumberValue::Int(rec.pulse),
@@ -73,7 +73,7 @@ fn gold_numeric(rec: &GoldRecord, attr: &str) -> Option<NumberValue> {
     })
 }
 
-fn values_equal(a: &NumberValue, b: &NumberValue) -> bool {
+pub(crate) fn values_equal(a: &NumberValue, b: &NumberValue) -> bool {
     match (a, b) {
         (NumberValue::Float(x), NumberValue::Float(y)) => (x - y).abs() < 1e-9,
         (NumberValue::Int(x), NumberValue::Float(y))
@@ -84,14 +84,19 @@ fn values_equal(a: &NumberValue, b: &NumberValue) -> bool {
 
 /// Runs the numeric experiment with a given association method.
 pub fn run_numeric(corpus: &Corpus, method: AssociationMethod) -> NumericReport {
-    let outputs = extract_corpus(
+    run_numeric_cfg(
         corpus,
         EngineConfig {
             method,
             ..EngineConfig::default()
         },
-        Ontology::full(),
-    );
+    )
+}
+
+/// Runs the numeric experiment with full engine control (the association
+/// ablation turns the salvage tier off so the methods are compared bare).
+pub fn run_numeric_cfg(corpus: &Corpus, cfg: EngineConfig) -> NumericReport {
+    let outputs = extract_corpus(corpus, cfg, Ontology::full());
     let mut rows: Vec<(String, PrecisionRecall)> = Schema::paper_numeric_names()
         .iter()
         .map(|n| (n.to_string(), PrecisionRecall::new()))
@@ -100,6 +105,7 @@ pub fn run_numeric(corpus: &Corpus, method: AssociationMethod) -> NumericReport 
     let mut pattern = 0usize;
     let mut yearold = 0usize;
     let mut proximity = 0usize;
+    let mut salvage = 0usize;
     for (rec, out) in corpus.records.iter().zip(&outputs) {
         for (attr, pr) in rows.iter_mut() {
             let gold = gold_numeric(rec, attr);
@@ -121,6 +127,7 @@ pub fn run_numeric(corpus: &Corpus, method: AssociationMethod) -> NumericReport 
                 cmr_core::MethodUsed::Pattern => pattern += 1,
                 cmr_core::MethodUsed::YearOld => yearold += 1,
                 cmr_core::MethodUsed::Proximity => proximity += 1,
+                cmr_core::MethodUsed::Salvage => salvage += 1,
             }
         }
     }
@@ -131,6 +138,7 @@ pub fn run_numeric(corpus: &Corpus, method: AssociationMethod) -> NumericReport 
             ("pattern".into(), pattern),
             ("year-old".into(), yearold),
             ("proximity".into(), proximity),
+            ("salvage".into(), salvage),
         ],
     }
 }
@@ -451,7 +459,17 @@ pub fn run_ablation_assoc(styles: &[f64], seed: u64) -> AssocAblation {
             ("pattern-only", AssociationMethod::PatternOnly),
             ("proximity", AssociationMethod::Proximity),
         ] {
-            let report = run_numeric(&corpus, method);
+            // Salvage off: the point of this ablation is how the structured
+            // association methods compare, and the keyword-scan salvage tier
+            // would paper over link-only's fragment blindness.
+            let report = run_numeric_cfg(
+                &corpus,
+                EngineConfig {
+                    method,
+                    salvage: false,
+                    ..EngineConfig::default()
+                },
+            );
             let mut pooled = PrecisionRecall::new();
             for (_, pr) in &report.rows {
                 pooled.merge(pr);

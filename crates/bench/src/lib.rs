@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 
+pub use chaos::{parse_levels, run_chaos, ChaosConfig, ChaosLevelReport, ChaosReport};
 pub use experiments::*;

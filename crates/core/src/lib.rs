@@ -23,18 +23,29 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Extraction failures are values (CmrError, BudgetExceeded,
+// ParseFailureKind), never unwraps: a library panic would take a whole
+// batch-engine worker with it.
+#![deny(clippy::unwrap_used)]
 
 mod budget;
 mod categorical;
+mod degradation;
+mod error;
 mod negation;
 mod numeric;
 mod pipeline;
+mod salvage;
 mod schema;
 mod spec;
 mod terms;
 
 pub use budget::{BudgetExceeded, ExtractBudget};
 pub use categorical::{CategoricalExtractor, FeatureExtractor, FeatureOptions};
+pub use degradation::{
+    DegradationReport, FieldProvenance, ParseFailureCounts, ParseFailureKind, Tier, TierFieldCounts,
+};
+pub use error::CmrError;
 pub use negation::NegationDetector;
 pub use numeric::{AssociationMethod, MethodUsed, NumericExtractor, NumericHit};
 pub use pipeline::{ExtractTiming, ExtractedRecord, Pipeline};

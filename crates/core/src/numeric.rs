@@ -45,6 +45,10 @@ pub enum MethodUsed {
     YearOld,
     /// Token proximity (ablation only).
     Proximity,
+    /// Tier-3 raw-text salvage scan (see [`crate::DegradationReport`]);
+    /// never produced by the extractor itself, only by the
+    /// [`crate::Pipeline`] salvage stage.
+    Salvage,
 }
 
 /// One extracted numeric value.
@@ -156,7 +160,22 @@ impl NumericExtractor {
         specs: &[FeatureSpec],
         budget: &crate::ExtractBudget,
     ) -> Result<Vec<NumericHit>, crate::BudgetExceeded> {
+        self.extract_counted(record, specs, budget)
+            .map(|(hits, _)| hits)
+    }
+
+    /// Like [`NumericExtractor::extract_budgeted`], but additionally
+    /// reports link-parse failures by reason. Only sentences that carried
+    /// an extraction opportunity (a feature mention with an unfilled spec)
+    /// are counted — see [`crate::ParseFailureCounts`].
+    pub fn extract_counted(
+        &self,
+        record: &Record,
+        specs: &[FeatureSpec],
+        budget: &crate::ExtractBudget,
+    ) -> Result<(Vec<NumericHit>, crate::ParseFailureCounts), crate::BudgetExceeded> {
         let mut hits: Vec<NumericHit> = Vec::new();
+        let mut failures = crate::ParseFailureCounts::default();
         let mut sentences_done = 0usize;
         for section in &record.sections {
             let key = section.key();
@@ -171,7 +190,11 @@ impl NumericExtractor {
             }
             for sentence in section.sentences() {
                 budget.check(sentences_done)?;
-                let found = self.extract_sentence(sentence.text(&section.body), &routed);
+                let found = self.extract_sentence_counted(
+                    sentence.text(&section.body),
+                    &routed,
+                    &mut failures,
+                );
                 sentences_done += 1;
                 for hit in found {
                     if !hits.iter().any(|h| h.field == hit.field) {
@@ -180,11 +203,23 @@ impl NumericExtractor {
                 }
             }
         }
-        Ok(hits)
+        Ok((hits, failures))
     }
 
     /// Extracts from a single sentence against the given specs.
     pub fn extract_sentence(&self, sentence: &str, specs: &[&FeatureSpec]) -> Vec<NumericHit> {
+        self.extract_sentence_counted(sentence, specs, &mut crate::ParseFailureCounts::default())
+    }
+
+    /// Like [`NumericExtractor::extract_sentence`], recording any
+    /// link-parse failure into `failures` when the sentence had an
+    /// extraction opportunity.
+    pub fn extract_sentence_counted(
+        &self,
+        sentence: &str,
+        specs: &[&FeatureSpec],
+        failures: &mut crate::ParseFailureCounts,
+    ) -> Vec<NumericHit> {
         let tokens = tokenize(sentence);
         if tokens.is_empty() {
             return Vec::new();
@@ -224,13 +259,19 @@ impl NumericExtractor {
         let assoc = match self.method {
             AssociationMethod::LinkWithFallback => {
                 match self.associate_link(&tagged, &mentions, &numbers, specs, &used_numbers) {
-                    Some(a) => a,
-                    None => associate_pattern(&tagged, &mentions, &numbers, specs, &used_numbers),
+                    Ok(a) => a,
+                    Err(failure) => {
+                        failures.record(failure.into());
+                        associate_pattern(&tagged, &mentions, &numbers, specs, &used_numbers)
+                    }
                 }
             }
             AssociationMethod::LinkOnly => self
                 .associate_link(&tagged, &mentions, &numbers, specs, &used_numbers)
-                .unwrap_or_default(),
+                .unwrap_or_else(|failure| {
+                    failures.record(failure.into());
+                    Vec::new()
+                }),
             AssociationMethod::PatternOnly => {
                 associate_pattern(&tagged, &mentions, &numbers, specs, &used_numbers)
             }
@@ -251,7 +292,8 @@ impl NumericExtractor {
         hits
     }
 
-    /// Link-grammar association: `None` when the sentence does not parse.
+    /// Link-grammar association; the error carries *why* the sentence did
+    /// not parse (see [`cmr_linkgram::ParseFailure`]).
     fn associate_link(
         &self,
         tagged: &[TaggedToken],
@@ -259,8 +301,8 @@ impl NumericExtractor {
         numbers: &[NumberAnnotation],
         specs: &[&FeatureSpec],
         used_numbers: &[usize],
-    ) -> Option<Vec<(usize, NumberValue, MethodUsed)>> {
-        let linkage = self.parser.parse(tagged)?;
+    ) -> Result<Vec<(usize, NumberValue, MethodUsed)>, cmr_linkgram::ParseFailure> {
+        let linkage = self.parser.try_parse(tagged)?;
         // Candidate (mention, number, distance) triples.
         let mut cands: Vec<(usize, usize, f64)> = Vec::new();
         for (mi, m) in mentions.iter().enumerate() {
@@ -295,7 +337,7 @@ impl NumericExtractor {
             num_done.push(ni);
             out.push((si, numbers[ni].value, MethodUsed::LinkGrammar));
         }
-        Some(out)
+        Ok(out)
     }
 }
 
@@ -470,19 +512,23 @@ mod tests {
             "Blood pressure is 144/90, pulse of 84, temperature of 98.3, and weight of 154 pounds.",
         );
         assert_eq!(
-            value_of(&hits, "blood_pressure").unwrap().value,
+            value_of(&hits, "blood_pressure")
+                .expect("field extracted")
+                .value,
             NumberValue::Ratio(144, 90)
         );
         assert_eq!(
-            value_of(&hits, "pulse").unwrap().value,
+            value_of(&hits, "pulse").expect("field extracted").value,
             NumberValue::Int(84)
         );
         assert_eq!(
-            value_of(&hits, "temperature").unwrap().value,
+            value_of(&hits, "temperature")
+                .expect("field extracted")
+                .value,
             NumberValue::Float(98.3)
         );
         assert_eq!(
-            value_of(&hits, "weight").unwrap().value,
+            value_of(&hits, "weight").expect("field extracted").value,
             NumberValue::Int(154)
         );
         assert!(
@@ -494,7 +540,7 @@ mod tests {
     #[test]
     fn fragment_uses_pattern_fallback() {
         let hits = extract("Blood pressure: 144/90.");
-        let bp = value_of(&hits, "blood_pressure").unwrap();
+        let bp = value_of(&hits, "blood_pressure").expect("field extracted");
         assert_eq!(bp.value, NumberValue::Ratio(144, 90));
         assert_eq!(bp.method, MethodUsed::Pattern);
     }
@@ -505,21 +551,28 @@ mod tests {
             "Menarche at age 10, gravida 4, para 3, last menstrual period about a year ago.",
         );
         assert_eq!(
-            value_of(&hits, "menarche_age").unwrap().value,
+            value_of(&hits, "menarche_age")
+                .expect("field extracted")
+                .value,
             NumberValue::Int(10)
         );
         assert_eq!(
-            value_of(&hits, "gravida").unwrap().value,
+            value_of(&hits, "gravida").expect("field extracted").value,
             NumberValue::Int(4)
         );
-        assert_eq!(value_of(&hits, "para").unwrap().value, NumberValue::Int(3));
+        assert_eq!(
+            value_of(&hits, "para").expect("field extracted").value,
+            NumberValue::Int(3)
+        );
     }
 
     #[test]
     fn first_live_birth() {
         let hits = extract("First live birth at age 18.");
         assert_eq!(
-            value_of(&hits, "first_birth_age").unwrap().value,
+            value_of(&hits, "first_birth_age")
+                .expect("field extracted")
+                .value,
             NumberValue::Int(18)
         );
     }
@@ -527,7 +580,7 @@ mod tests {
     #[test]
     fn year_old_age() {
         let hits = extract("Ms. 2 is a 50-year-old woman who underwent a screening mammogram.");
-        let age = value_of(&hits, "age").unwrap();
+        let age = value_of(&hits, "age").expect("field extracted");
         assert_eq!(age.value, NumberValue::Int(50));
         assert_eq!(age.method, MethodUsed::YearOld);
     }
@@ -537,11 +590,13 @@ mod tests {
         // The pulse spec must not take the blood-pressure ratio.
         let hits = extract("Blood pressure is 144/90 and pulse is 84.");
         assert_eq!(
-            value_of(&hits, "pulse").unwrap().value,
+            value_of(&hits, "pulse").expect("field extracted").value,
             NumberValue::Int(84)
         );
         assert_eq!(
-            value_of(&hits, "blood_pressure").unwrap().value,
+            value_of(&hits, "blood_pressure")
+                .expect("field extracted")
+                .value,
             NumberValue::Ratio(144, 90)
         );
     }
@@ -550,7 +605,9 @@ mod tests {
     fn number_words_extracted() {
         let hits = extract("Menarche at age seventeen.");
         assert_eq!(
-            value_of(&hits, "menarche_age").unwrap().value,
+            value_of(&hits, "menarche_age")
+                .expect("field extracted")
+                .value,
             NumberValue::Int(17)
         );
     }
@@ -575,12 +632,15 @@ mod tests {
         assert_eq!(
             hits.iter()
                 .find(|h| h.field == "menarche_age")
-                .unwrap()
+                .expect("field extracted")
                 .value,
             NumberValue::Int(12)
         );
         assert_eq!(
-            hits.iter().find(|h| h.field == "pulse").unwrap().value,
+            hits.iter()
+                .find(|h| h.field == "pulse")
+                .expect("field extracted")
+                .value,
             NumberValue::Int(72)
         );
         // Age spec routed to HPI only: absent here.
@@ -611,7 +671,7 @@ mod tests {
         // "elevated" breaks the pattern filler chain; the linkage still
         // connects pressure → is → at → 142/78.
         let hits = extract("Blood pressure is elevated at 142/78.");
-        let bp = value_of(&hits, "blood_pressure").unwrap();
+        let bp = value_of(&hits, "blood_pressure").expect("field extracted");
         assert_eq!(bp.value, NumberValue::Ratio(142, 78));
         assert_eq!(bp.method, MethodUsed::LinkGrammar);
     }

@@ -6,7 +6,8 @@
 //! and the extractors of this crate; the output is a structured record
 //! (serde-serializable, standing in for the paper's Access database).
 
-use crate::numeric::{AssociationMethod, NumericExtractor, NumericHit};
+use crate::degradation::{DegradationReport, FieldProvenance, Tier};
+use crate::numeric::{AssociationMethod, MethodUsed, NumericExtractor, NumericHit};
 use crate::schema::Schema;
 use crate::terms::MedicalTermExtractor;
 use cmr_ontology::{Ontology, ValueSet};
@@ -32,6 +33,12 @@ pub struct ExtractedRecord {
     pub predefined_surgical: Vec<String>,
     /// Other past-surgical-history terms.
     pub other_surgical: Vec<String>,
+    /// Which tier served each field (numeric attributes by name, term
+    /// fields by field name) and with what confidence.
+    pub provenance: BTreeMap<String, FieldProvenance>,
+    /// The degradation story of this extraction: per-tier counts,
+    /// link-parse failures, salvage usage.
+    pub degradation: DegradationReport,
 }
 
 impl ExtractedRecord {
@@ -69,6 +76,7 @@ pub struct Pipeline {
     terms: MedicalTermExtractor,
     predefined_medical: ValueSet,
     predefined_surgical: ValueSet,
+    salvage: bool,
 }
 
 impl Default for Pipeline {
@@ -102,7 +110,17 @@ impl Pipeline {
             terms: MedicalTermExtractor::new(ontology),
             predefined_medical: ValueSet::predefined_medical_history(),
             predefined_surgical: ValueSet::predefined_surgical_history(),
+            salvage: true,
         }
+    }
+
+    /// Enables or disables the tier-3 salvage stage (on by default).
+    /// Salvage only ever runs for fields the link-grammar and pattern
+    /// tiers both missed, so on clean input the output is identical either
+    /// way; disabling it is for ablations and identity tests.
+    pub fn with_salvage(mut self, salvage: bool) -> Pipeline {
+        self.salvage = salvage;
+        self
     }
 
     /// Selects the medical-term pattern inventory (the paper's four
@@ -178,15 +196,20 @@ impl Pipeline {
         let numeric_start = std::time::Instant::now();
         let numeric_hits = self
             .numeric
-            .extract_budgeted(record, &self.schema.numeric, budget);
+            .extract_counted(record, &self.schema.numeric, budget);
         timing.numeric_nanos = numeric_start.elapsed().as_nanos() as u64;
+        let (hits, parse_failures) = numeric_hits?;
+        out.degradation.parse_failures = parse_failures;
         for NumericHit {
             field,
             value,
             method,
-        } in numeric_hits?
+        } in hits
         {
             out.numeric.insert(field.clone(), value);
+            out.provenance
+                .insert(field.clone(), FieldProvenance::of_method(method));
+            out.degradation.tiers.record(Tier::of_method(method));
             out.numeric_methods.insert(field, method);
         }
 
@@ -211,10 +234,13 @@ impl Pipeline {
                 ),
                 _ => continue,
             };
+            let mut any_section_present = false;
+            let mut extracted = 0u32;
             for section_name in &term_field.sections {
                 let Some(section) = record.section(section_name) else {
                     continue;
                 };
+                any_section_present = true;
                 let (pre, other) = self
                     .terms
                     .extract_partitioned(&section.body, predefined_set);
@@ -222,19 +248,123 @@ impl Pipeline {
                     let name = hit.concept.preferred.to_string();
                     if !slots.0.contains(&name) {
                         slots.0.push(name);
+                        extracted += 1;
                     }
                 }
                 for hit in other {
                     let name = hit.concept.preferred.to_string();
                     if !slots.1.contains(&name) {
                         slots.1.push(name);
+                        extracted += 1;
                     }
                 }
             }
+            if any_section_present {
+                for _ in 0..extracted {
+                    out.degradation.tiers.record(Tier::Pattern);
+                }
+                if extracted > 0 {
+                    out.provenance
+                        .insert(term_field.name.clone(), FieldProvenance::term_pattern());
+                }
+            } else if self.salvage {
+                // Tier-3 term salvage: every section this field is dictated
+                // in is gone (garbled headers merge their text into
+                // neighbouring sections), so scan the whole record. This
+                // recovers terms at the cost of precision — terms from
+                // *other* history sections (e.g. family history) leak in.
+                let whole: String = join_bodies(record, None);
+                let (pre, other) = self.terms.extract_partitioned(&whole, predefined_set);
+                let mut salvaged = 0u32;
+                for hit in pre {
+                    let name = hit.concept.preferred.to_string();
+                    if !slots.0.contains(&name) {
+                        slots.0.push(name);
+                        salvaged += 1;
+                    }
+                }
+                for hit in other {
+                    let name = hit.concept.preferred.to_string();
+                    if !slots.1.contains(&name) {
+                        slots.1.push(name);
+                        salvaged += 1;
+                    }
+                }
+                if salvaged > 0 {
+                    for _ in 0..salvaged {
+                        out.degradation.tiers.record(Tier::Salvage);
+                    }
+                    out.provenance
+                        .insert(term_field.name.clone(), FieldProvenance::term_salvage());
+                    out.degradation
+                        .salvaged_fields
+                        .push(term_field.name.clone());
+                }
+            }
         }
+
+        // Tier-3 numeric salvage: only for attributes both real tiers
+        // missed. Scan the sections the spec routes to when any survived;
+        // when the spec's sections are all gone (garbled headers), scan the
+        // whole record — under header garbling the text still exists, just
+        // inside a neighbouring section's body.
+        if self.salvage {
+            for spec in &self.schema.numeric {
+                if out.numeric.contains_key(&spec.name) {
+                    continue;
+                }
+                if let Some(deadline) = budget.deadline {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(crate::BudgetExceeded { sentences_done: 0 });
+                    }
+                }
+                let routed = join_bodies(record, Some(&spec.sections));
+                let text = if routed.is_empty() {
+                    join_bodies(record, None)
+                } else {
+                    routed
+                };
+                if let Some(value) = crate::salvage::salvage_numeric(&text, spec) {
+                    out.numeric.insert(spec.name.clone(), value);
+                    out.numeric_methods
+                        .insert(spec.name.clone(), MethodUsed::Salvage);
+                    out.provenance.insert(
+                        spec.name.clone(),
+                        FieldProvenance::of_method(MethodUsed::Salvage),
+                    );
+                    out.degradation.tiers.record(Tier::Salvage);
+                    out.degradation.salvaged_fields.push(spec.name.clone());
+                }
+            }
+        }
+        out.degradation.degraded = out.degradation.tiers.salvage > 0;
         timing.terms_nanos = terms_start.elapsed().as_nanos() as u64;
         Ok((out, timing))
     }
+}
+
+/// Joins section bodies, newline-separated: all of them, or only those
+/// whose header matches one of `sections` (case-insensitive, the numeric
+/// extractor's routing rule). An empty `sections` filter matches nothing —
+/// callers treat that as "scan everything" via the `None` branch.
+fn join_bodies(record: &Record, sections: Option<&[String]>) -> String {
+    let mut out = String::new();
+    for section in &record.sections {
+        let keep = match sections {
+            None => true,
+            Some(filter) => {
+                let key = section.key();
+                filter.iter().any(|x| x.to_lowercase() == key)
+            }
+        };
+        if keep {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&section.body);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -291,5 +421,71 @@ mod tests {
         let out = p.extract("");
         assert!(out.numeric.is_empty());
         assert!(out.predefined_medical.is_empty());
+    }
+
+    #[test]
+    fn clean_record_is_not_degraded() {
+        let p = Pipeline::with_default_schema();
+        let out = p.extract(APPENDIX_RECORD);
+        assert!(!out.degradation.degraded);
+        assert!(out.degradation.salvaged_fields.is_empty());
+        assert_eq!(out.degradation.tiers.salvage, 0);
+        assert!(
+            out.degradation.tiers.link_grammar > 0,
+            "{:?}",
+            out.degradation
+        );
+        // Every numeric field has provenance.
+        for field in out.numeric.keys() {
+            assert!(out.provenance.contains_key(field), "{field}");
+        }
+    }
+
+    #[test]
+    fn salvage_recovers_ocr_garbled_vitals() {
+        // The Vitals header is garbled (lowercase, no colon), so its text
+        // merges into the HPI body; the sentence itself is OCR-corrupted,
+        // so neither the link grammar nor the patterns can read it.
+        let text = "HPI:  Ms. 2 is a 50-year-old woman.\n\
+                    vitals  B1ood pre55ure is l44/9O.\n";
+        let p = Pipeline::with_default_schema();
+        let out = p.extract(text);
+        assert_eq!(
+            out.numeric("blood_pressure"),
+            Some(NumberValue::Ratio(144, 90))
+        );
+        assert_eq!(
+            out.numeric_methods.get("blood_pressure"),
+            Some(&crate::MethodUsed::Salvage)
+        );
+        assert!(out.degradation.degraded);
+        assert!(out
+            .degradation
+            .salvaged_fields
+            .contains(&"blood_pressure".to_string()));
+        let prov = out.provenance.get("blood_pressure").expect("provenance");
+        assert_eq!(prov.tier, crate::Tier::Salvage);
+        assert!(prov.confidence < 0.8);
+
+        // With salvage disabled the field is simply missing.
+        let bare = Pipeline::with_default_schema().with_salvage(false);
+        let out = bare.extract(text);
+        assert_eq!(out.numeric("blood_pressure"), None);
+        assert!(!out.degradation.degraded);
+    }
+
+    #[test]
+    fn parse_failures_are_counted_for_fragments() {
+        // A fragment with a mention and a number: the link tier fails (and
+        // is counted), the pattern tier recovers the value.
+        let text = "Vitals:  Blood pressure: 144/90.\n";
+        let p = Pipeline::with_default_schema();
+        let out = p.extract(text);
+        assert_eq!(
+            out.numeric("blood_pressure"),
+            Some(NumberValue::Ratio(144, 90))
+        );
+        assert!(out.degradation.parse_failures.total() > 0);
+        assert!(!out.degradation.degraded, "fragments are tier 2, not 3");
     }
 }

@@ -1,0 +1,328 @@
+//! Tier-3 salvage extraction: a raw-text keyword-and-number scanner.
+//!
+//! When the link grammar (tier 1) and the linguistic patterns (tier 2)
+//! both come up empty for a field — typically because OCR noise broke
+//! tokenization, a garbled header dropped the field's section, or
+//! whitespace collapse merged sentences past the parser's window — this
+//! scanner makes a last, structure-free attempt: find a feature keyword
+//! under an OCR-confusion-tolerant folding, then take the first plausible
+//! number within a short raw-character window after it.
+//!
+//! It is deliberately dumb. It has no notion of negation, coordination or
+//! attachment, which is why the pipeline only consults it for fields the
+//! real extractors missed, and why its hits carry tier `Salvage` with the
+//! lowest confidence.
+
+use crate::spec::FeatureSpec;
+use cmr_text::NumberValue;
+
+/// Raw characters scanned for a number after a keyword match.
+const NUMBER_WINDOW: usize = 48;
+/// Raw characters allowed between a digit run and a `year` word for the
+/// `{N}-year-old` salvage (covers `-year`, ` years`, `- year`).
+const YEAR_GAP: usize = 6;
+
+/// Attempts to salvage a value for `spec` from raw text. Returns the first
+/// keyword-adjacent number the spec accepts, or `None`.
+pub(crate) fn salvage_numeric(text: &str, spec: &FeatureSpec) -> Option<NumberValue> {
+    let raw: Vec<char> = text.chars().collect();
+    if spec.year_old_pattern {
+        // Ages are dictated as "{N}-year-old", not "age N"; scanning for the
+        // keyword "age" here would happily steal "Menarche at age 10", so
+        // the year-old shape is the only salvage this spec gets.
+        return salvage_year_old(&raw, spec);
+    }
+    let folded = fold(&raw);
+    for phrase in spec.matching_phrases() {
+        let needle: Vec<char> = fold_str(&phrase);
+        if needle.is_empty() {
+            continue;
+        }
+        for end in find_occurrences(&folded, &needle) {
+            if let Some(value) = scan_number(&raw, end, spec) {
+                return Some(value);
+            }
+        }
+    }
+    None
+}
+
+/// One folded character and the raw index *after* its source characters
+/// (a digraph fold consumes two raw characters).
+#[derive(Debug, Clone, Copy)]
+struct Folded {
+    ch: char,
+    raw_end: usize,
+}
+
+/// OCR-confusion-tolerant folding for keyword matching: lowercase, common
+/// digit-for-letter confusions mapped back to letters, the `rn` digraph
+/// fused to `m`, everything else non-alphanumeric to a space. Applied to
+/// both the text and the keyword phrases, so clean and noisy renderings of
+/// a keyword fold to the same string.
+fn fold(raw: &[char]) -> Vec<Folded> {
+    let mut out = Vec::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        if (raw[i] == 'r' || raw[i] == 'R') && matches!(raw.get(i + 1), Some('n') | Some('N')) {
+            out.push(Folded {
+                ch: 'm',
+                raw_end: i + 2,
+            });
+            i += 2;
+            continue;
+        }
+        let ch = match raw[i] {
+            '1' => 'l',
+            '0' => 'o',
+            '5' => 's',
+            '8' => 'b',
+            c if c.is_ascii_alphanumeric() => c.to_ascii_lowercase(),
+            _ => ' ',
+        };
+        out.push(Folded { ch, raw_end: i + 1 });
+        i += 1;
+    }
+    out
+}
+
+/// Folds a clean phrase with the same rules (index information discarded).
+fn fold_str(phrase: &str) -> Vec<char> {
+    let raw: Vec<char> = phrase.chars().collect();
+    fold(&raw).iter().map(|f| f.ch).collect()
+}
+
+/// Raw indices just past each word-bounded occurrence of `needle` in the
+/// folded text, left to right.
+fn find_occurrences(folded: &[Folded], needle: &[char]) -> Vec<usize> {
+    let mut out = Vec::new();
+    if needle.len() > folded.len() {
+        return out;
+    }
+    for start in 0..=folded.len() - needle.len() {
+        let matches = folded[start..start + needle.len()]
+            .iter()
+            .zip(needle)
+            .all(|(f, n)| f.ch == *n);
+        if !matches {
+            continue;
+        }
+        let left_ok = start == 0 || !folded[start - 1].ch.is_ascii_alphanumeric();
+        let right = start + needle.len();
+        let right_ok = right == folded.len() || !folded[right].ch.is_ascii_alphanumeric();
+        if left_ok && right_ok {
+            out.push(folded[right - 1].raw_end);
+        }
+    }
+    out
+}
+
+/// Scans raw characters after a keyword match for the first number the
+/// spec accepts; stops at a newline or after [`NUMBER_WINDOW`] characters.
+fn scan_number(raw: &[char], from: usize, spec: &FeatureSpec) -> Option<NumberValue> {
+    let stop = raw
+        .iter()
+        .skip(from)
+        .position(|&c| c == '\n')
+        .map(|p| from + p)
+        .unwrap_or(raw.len())
+        .min(from + NUMBER_WINDOW);
+    for (_, run) in runs(raw, from, stop) {
+        if let Some(value) = parse_run(&run) {
+            if spec.accepts(&value) {
+                return Some(value);
+            }
+        }
+    }
+    None
+}
+
+/// The `{N}-year-old` shape under OCR folding: a digit run followed within
+/// [`YEAR_GAP`] characters by a word folding to `year…`.
+fn salvage_year_old(raw: &[char], spec: &FeatureSpec) -> Option<NumberValue> {
+    let all = runs(raw, 0, raw.len());
+    for (idx, (start, run)) in all.iter().enumerate() {
+        let Some(value) = parse_run(run) else {
+            continue;
+        };
+        if !matches!(value, NumberValue::Int(_)) || !spec.accepts(&value) {
+            continue;
+        }
+        let end = start + run.len();
+        let Some((next_start, next_run)) = all.get(idx + 1) else {
+            continue;
+        };
+        if *next_start > end + YEAR_GAP {
+            continue;
+        }
+        let folded: String = fold_str(&next_run.iter().collect::<String>())
+            .into_iter()
+            .collect();
+        if folded.starts_with("year") {
+            return Some(value);
+        }
+    }
+    None
+}
+
+/// Maximal runs of number-ish characters (`[0-9A-Za-z./]`) in
+/// `raw[from..stop]`, each with its start index.
+fn runs(raw: &[char], from: usize, stop: usize) -> Vec<(usize, Vec<char>)> {
+    let mut out: Vec<(usize, Vec<char>)> = Vec::new();
+    let mut i = from;
+    while i < stop {
+        if is_run_char(raw[i]) {
+            let start = i;
+            while i < stop && is_run_char(raw[i]) {
+                i += 1;
+            }
+            out.push((start, raw[start..i].to_vec()));
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_run_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '.' || c == '/'
+}
+
+/// Parses a digit-bearing run as ratio, float or int, after folding the
+/// OCR letter-for-digit confusions (`l`/`I`→1, `O`/`o`→0, `S`→5, `B`→8)
+/// and trimming stray leading/trailing punctuation. Runs without a real
+/// digit are rejected before folding — folding letters inside a digit-free
+/// word (`"SOB"` → `508`) would hallucinate numbers out of prose.
+fn parse_run(run: &[char]) -> Option<NumberValue> {
+    if !run.iter().any(char::is_ascii_digit) {
+        return None;
+    }
+    let folded: String = run
+        .iter()
+        .map(|&c| match c {
+            'l' | 'I' => '1',
+            'O' | 'o' => '0',
+            'S' => '5',
+            'B' => '8',
+            other => other,
+        })
+        .collect();
+    let trimmed = folded.trim_matches(|c: char| c == '.' || c == '/');
+    if trimmed.is_empty()
+        || !trimmed
+            .chars()
+            .all(|c| c.is_ascii_digit() || c == '.' || c == '/')
+    {
+        return None;
+    }
+    if let Some((a, b)) = trimmed.split_once('/') {
+        let a: i64 = a.parse().ok()?;
+        let b: i64 = b.parse().ok()?;
+        return Some(NumberValue::Ratio(a, b));
+    }
+    if trimmed.contains('.') {
+        return trimmed.parse::<f64>().ok().map(NumberValue::Float);
+    }
+    trimmed.parse::<i64>().ok().map(NumberValue::Int)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ValueKind;
+
+    fn bp() -> FeatureSpec {
+        FeatureSpec::new(
+            "blood_pressure",
+            &["blood pressure", "bp"],
+            &["Vitals"],
+            ValueKind::Ratio,
+        )
+    }
+
+    fn pulse() -> FeatureSpec {
+        FeatureSpec::new("pulse", &["pulse"], &["Vitals"], ValueKind::Int).range(20.0, 250.0)
+    }
+
+    fn temperature() -> FeatureSpec {
+        FeatureSpec::new(
+            "temperature",
+            &["temperature", "temp"],
+            &[],
+            ValueKind::Float,
+        )
+        .range(90.0, 110.0)
+    }
+
+    fn age() -> FeatureSpec {
+        FeatureSpec::new("age", &["age"], &[], ValueKind::Int)
+            .range(18.0, 110.0)
+            .year_old()
+    }
+
+    #[test]
+    fn clean_text_salvages() {
+        assert_eq!(
+            salvage_numeric("blood pressure is 144/90", &bp()),
+            Some(NumberValue::Ratio(144, 90))
+        );
+        assert_eq!(
+            salvage_numeric("pulse of 84", &pulse()),
+            Some(NumberValue::Int(84))
+        );
+    }
+
+    #[test]
+    fn ocr_noise_in_keyword_and_number() {
+        // "Blood" → "B1ood", "pressure" → "pre55ure", "144/90" → "l44/9O".
+        assert_eq!(
+            salvage_numeric("B1ood pre55ure is l44/9O, pulse 84.", &bp()),
+            Some(NumberValue::Ratio(144, 90))
+        );
+        // "temperature" with the rn→m confusion reversed: "ternperature".
+        assert_eq!(
+            salvage_numeric("ternperature of 98.3", &temperature()),
+            Some(NumberValue::Float(98.3))
+        );
+    }
+
+    #[test]
+    fn range_gate_skips_implausible_runs() {
+        // 999 is out of range; the scan continues to 84.
+        assert_eq!(
+            salvage_numeric("pulse code 999 rate 84", &pulse()),
+            Some(NumberValue::Int(84))
+        );
+    }
+
+    #[test]
+    fn kind_gate_skips_wrong_shapes() {
+        // The ratio is not an int; salvage must not take 144 or 90 for pulse.
+        assert_eq!(
+            salvage_numeric("pulse near bp 144/90", &pulse()),
+            None,
+            "ratio must not be split into ints"
+        );
+    }
+
+    #[test]
+    fn window_stops_at_newline() {
+        assert_eq!(salvage_numeric("pulse was taken\n84 later", &pulse()), None);
+    }
+
+    #[test]
+    fn year_old_shape_only_for_age() {
+        assert_eq!(
+            salvage_year_old(&"a 5O-year-old woman".chars().collect::<Vec<_>>(), &age()),
+            Some(NumberValue::Int(50))
+        );
+        // "age 10" in GYN history must NOT be salvaged as the patient age.
+        assert_eq!(salvage_numeric("Menarche at age 10.", &age()), None);
+    }
+
+    #[test]
+    fn no_keyword_no_hit() {
+        assert_eq!(salvage_numeric("Respirations were 18.", &pulse()), None);
+        assert_eq!(salvage_numeric("", &pulse()), None);
+    }
+}

@@ -207,7 +207,11 @@ mod tests {
     #[test]
     fn smoking_has_three_classes() {
         let s = Schema::paper();
-        let smoking = s.categorical.iter().find(|c| c.name == "smoking").unwrap();
+        let smoking = s
+            .categorical
+            .iter()
+            .find(|c| c.name == "smoking")
+            .expect("paper schema defines smoking");
         assert_eq!(smoking.classes, vec!["never", "former", "current"]);
     }
 }

@@ -2,11 +2,37 @@
 //! about provenance on arbitrary input.
 
 use cmr_core::{
-    FeatureExtractor, FeatureOptions, FeatureSpec, MedicalTermExtractor, NumericExtractor,
-    Pipeline, Schema,
+    ExtractedRecord, FeatureExtractor, FeatureOptions, FeatureSpec, MedicalTermExtractor,
+    NumericExtractor, Pipeline, Schema, Tier,
 };
+use cmr_corpus::{CorpusBuilder, NoiseInjector};
 use cmr_ontology::Ontology;
 use proptest::prelude::*;
+
+/// Structural invariants every extraction output must satisfy, no matter
+/// how corrupted the input was.
+fn assert_well_formed(out: &ExtractedRecord) -> Result<(), TestCaseError> {
+    for field in out.numeric.keys() {
+        prop_assert!(
+            out.numeric_methods.contains_key(field),
+            "method for {field}"
+        );
+        prop_assert!(out.provenance.contains_key(field), "provenance for {field}");
+    }
+    for field in &out.degradation.salvaged_fields {
+        let prov = out.provenance.get(field);
+        prop_assert!(
+            prov.map(|p| p.tier == Tier::Salvage).unwrap_or(false),
+            "salvaged field {field} must carry salvage provenance"
+        );
+    }
+    prop_assert!(out.degradation.tiers.salvage as usize >= out.degradation.salvaged_fields.len());
+    prop_assert_eq!(out.degradation.degraded, out.degradation.tiers.salvage > 0);
+    for prov in out.provenance.values() {
+        prop_assert!(prov.confidence > 0.0 && prov.confidence <= 1.0);
+    }
+    Ok(())
+}
 
 fn clinicalish() -> impl Strategy<Value = String> {
     let subj = prop::sample::select(vec!["She", "The patient", "Ms. Smith"]);
@@ -97,5 +123,46 @@ proptest! {
         for k in out.numeric.keys() {
             prop_assert!(out.numeric_methods.contains_key(k));
         }
+        assert_well_formed(&out)?;
+    }
+
+    /// The pipeline is total on arbitrary input including non-ASCII bytes
+    /// (stray OCR artifacts, section glyphs, CJK), and the output is
+    /// structurally well-formed.
+    #[test]
+    fn pipeline_total_on_unicode(s in "[ -~\n\t°é¶µß§温·]{0,300}") {
+        let out = Pipeline::with_default_schema().extract(&s);
+        assert_well_formed(&out)?;
+    }
+
+    /// Gold notes corrupted at any noise level and seed extract without
+    /// panics, and every record carries a well-formed degradation report.
+    #[test]
+    fn noisy_gold_notes_extract_cleanly(seed in 0u64..u64::MAX, level in 0u32..=100) {
+        let corpus = CorpusBuilder::new().records(2).seed(2005).build();
+        let injector = NoiseInjector::from_level(f64::from(level) / 100.0, seed);
+        let pipeline = Pipeline::with_default_schema();
+        for record in &corpus.records {
+            let out = pipeline.extract(&injector.corrupt(&record.text));
+            assert_well_formed(&out)?;
+        }
+    }
+}
+
+/// At noise zero the salvage tier must be inert: enabling it reproduces
+/// the salvage-free output byte-for-byte over the gold corpus.
+#[test]
+fn salvage_is_identity_at_noise_zero() {
+    let corpus = CorpusBuilder::new().records(12).seed(2005).build();
+    let with = Pipeline::with_default_schema();
+    let without = Pipeline::with_default_schema().with_salvage(false);
+    for record in &corpus.records {
+        let a = serde_json::to_string(&with.extract(&record.text)).expect("serializes");
+        let b = serde_json::to_string(&without.extract(&record.text)).expect("serializes");
+        assert_eq!(
+            a, b,
+            "salvage changed clean output for {}",
+            record.patient_id
+        );
     }
 }

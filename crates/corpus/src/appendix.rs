@@ -42,6 +42,7 @@ Examination of Breasts:  Shows good symmetry bilaterally.  Palpation of both bre
 ";
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use cmr_text::Record;

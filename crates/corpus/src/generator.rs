@@ -487,6 +487,7 @@ fn article_fix(s: &str) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use cmr_text::Record;

@@ -21,13 +21,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Corpus generation must never take down a batch run; failures are values.
+#![deny(clippy::unwrap_used)]
 
 mod appendix;
 mod generator;
 mod gold;
+mod noise;
 mod templates;
 
 pub use appendix::APPENDIX_RECORD;
 pub use generator::{Corpus, CorpusBuilder};
 pub use gold::{AlcoholUse, BodyShape, GoldRecord, SmokingStatus};
+pub use noise::{NoiseConfig, NoiseInjector};
 pub use templates::join_list;

@@ -1,0 +1,444 @@
+//! Seeded, deterministic noise injection for chaos testing.
+//!
+//! Real clinical records do not arrive as clean as this crate's generator
+//! emits them: they pass through OCR, transcription software, copy-paste
+//! and truncated uploads. [`NoiseInjector`] models the corruption classes
+//! observed in that path — OCR character confusions (`l`/`1`, `O`/`0`,
+//! `rn`/`m`), dropped and duplicated punctuation, whitespace collapse
+//! (which merges sections, since a section header is only recognized at
+//! the start of a line), mid-record truncation, garbled section headers,
+//! and stray non-ASCII bytes — each as an independent channel with its own
+//! rate.
+//!
+//! Corruption is deterministic per `(seed, text, config)`: the RNG stream
+//! for a record is derived from the injector seed mixed with a hash of the
+//! record text (the same per-purpose stream idiom the generator uses), so
+//! corrupting records in parallel or in any order reproduces byte-identical
+//! output. At level 0 the input is returned unchanged.
+//!
+//! ```
+//! use cmr_corpus::NoiseInjector;
+//!
+//! let injector = NoiseInjector::from_level(0.3, 7);
+//! let noisy = injector.corrupt("Vitals:  Blood pressure is 144/90.\n");
+//! assert_eq!(noisy, injector.corrupt("Vitals:  Blood pressure is 144/90.\n"));
+//! ```
+
+use rand::prelude::*;
+
+/// Per-channel corruption rates, each a probability in `[0, 1]` applied at
+/// that channel's granularity (per character, per line, or per record).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseConfig {
+    /// Per eligible character: OCR confusion (`l`↔`1`, `O`↔`0`, `S`↔`5`,
+    /// `B`↔`8`, `m`↔`rn`).
+    pub ocr_confusion: f64,
+    /// Per punctuation character: drop it.
+    pub punct_drop: f64,
+    /// Per punctuation character: duplicate it.
+    pub punct_duplicate: f64,
+    /// Per whitespace run of length ≥ 2 (including the blank line between
+    /// sections): collapse the run to a single space, merging lines.
+    pub whitespace_collapse: f64,
+    /// Per record: truncate mid-sentence somewhere in the second half.
+    pub truncation: f64,
+    /// Per section-header line: garble it (drop the colon, lowercase the
+    /// initial, or OCR-mangle the header word) so it no longer parses as a
+    /// header and its body merges into the previous section.
+    pub header_garble: f64,
+    /// Per line: insert one stray non-ASCII byte at a random position.
+    pub stray_bytes: f64,
+}
+
+impl NoiseConfig {
+    /// All channels off. [`NoiseInjector::corrupt`] is the identity.
+    pub fn off() -> NoiseConfig {
+        NoiseConfig {
+            ocr_confusion: 0.0,
+            punct_drop: 0.0,
+            punct_duplicate: 0.0,
+            whitespace_collapse: 0.0,
+            truncation: 0.0,
+            header_garble: 0.0,
+            stray_bytes: 0.0,
+        }
+    }
+
+    /// A composite profile scaled by one `level` knob in `[0, 1]`. The
+    /// per-channel base rates weight character-level channels lower than
+    /// line- and record-level ones so a level step degrades text visibly
+    /// without obliterating it; level 1 is severe but still mostly text.
+    pub fn level(level: f64) -> NoiseConfig {
+        let l = level.clamp(0.0, 1.0);
+        NoiseConfig {
+            ocr_confusion: 0.12 * l,
+            punct_drop: 0.35 * l,
+            punct_duplicate: 0.15 * l,
+            whitespace_collapse: 0.40 * l,
+            truncation: 0.30 * l,
+            header_garble: 0.45 * l,
+            stray_bytes: 0.20 * l,
+        }
+    }
+
+    /// True when every channel rate is zero.
+    pub fn is_off(&self) -> bool {
+        [
+            self.ocr_confusion,
+            self.punct_drop,
+            self.punct_duplicate,
+            self.whitespace_collapse,
+            self.truncation,
+            self.header_garble,
+            self.stray_bytes,
+        ]
+        .iter()
+        .all(|&r| r <= 0.0)
+    }
+
+    /// Overrides the OCR-confusion rate (channels compose per-field).
+    pub fn with_ocr_confusion(mut self, rate: f64) -> NoiseConfig {
+        self.ocr_confusion = rate;
+        self
+    }
+
+    /// Overrides the punctuation-drop rate.
+    pub fn with_punct_drop(mut self, rate: f64) -> NoiseConfig {
+        self.punct_drop = rate;
+        self
+    }
+
+    /// Overrides the punctuation-duplication rate.
+    pub fn with_punct_duplicate(mut self, rate: f64) -> NoiseConfig {
+        self.punct_duplicate = rate;
+        self
+    }
+
+    /// Overrides the whitespace-collapse rate.
+    pub fn with_whitespace_collapse(mut self, rate: f64) -> NoiseConfig {
+        self.whitespace_collapse = rate;
+        self
+    }
+
+    /// Overrides the truncation rate.
+    pub fn with_truncation(mut self, rate: f64) -> NoiseConfig {
+        self.truncation = rate;
+        self
+    }
+
+    /// Overrides the header-garble rate.
+    pub fn with_header_garble(mut self, rate: f64) -> NoiseConfig {
+        self.header_garble = rate;
+        self
+    }
+
+    /// Overrides the stray-byte rate.
+    pub fn with_stray_bytes(mut self, rate: f64) -> NoiseConfig {
+        self.stray_bytes = rate;
+        self
+    }
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig::off()
+    }
+}
+
+/// OCR confusion pairs; the digraph `m` ↔ `rn` is handled separately.
+const OCR_PAIRS: &[(char, char)] = &[
+    ('l', '1'),
+    ('1', 'l'),
+    ('O', '0'),
+    ('0', 'O'),
+    ('o', '0'),
+    ('S', '5'),
+    ('5', 'S'),
+    ('B', '8'),
+    ('8', 'B'),
+    ('I', 'l'),
+];
+
+/// Stray bytes seen in real OCR/transfer artifacts: all non-ASCII, so they
+/// also exercise UTF-8 handling downstream.
+const STRAY_CHARS: &[char] = &['¶', '§', '°', 'µ', '·', 'é', 'ü', 'ß'];
+
+/// A deterministic corruptor over a [`NoiseConfig`].
+#[derive(Debug, Clone)]
+pub struct NoiseInjector {
+    config: NoiseConfig,
+    seed: u64,
+}
+
+impl NoiseInjector {
+    /// An injector applying `config` under `seed`.
+    pub fn new(config: NoiseConfig, seed: u64) -> NoiseInjector {
+        NoiseInjector { config, seed }
+    }
+
+    /// An injector at the composite [`NoiseConfig::level`] profile.
+    pub fn from_level(level: f64, seed: u64) -> NoiseInjector {
+        NoiseInjector::new(NoiseConfig::level(level), seed)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NoiseConfig {
+        &self.config
+    }
+
+    /// Corrupts one record's text. Deterministic per `(seed, text)`: the
+    /// stream is keyed on a hash of the text, not on call order, so batches
+    /// can be corrupted in parallel. With all channels at zero the input is
+    /// returned byte-identically.
+    pub fn corrupt(&self, text: &str) -> String {
+        if self.config.is_off() || text.is_empty() {
+            return text.to_string();
+        }
+        let mut rng = self.stream(text);
+        let truncated = self.truncate(text, &mut rng);
+        let mut lined = String::with_capacity(truncated.len() + 16);
+        for line in truncated.split_inclusive('\n') {
+            let (body, newline) = match line.strip_suffix('\n') {
+                Some(b) => (b, true),
+                None => (line, false),
+            };
+            self.corrupt_line(body, &mut lined, &mut rng);
+            if newline {
+                lined.push('\n');
+            }
+        }
+        self.collapse_whitespace(&lined, &mut rng)
+    }
+
+    /// Per-record RNG stream: injector seed mixed with an FNV-1a hash of
+    /// the text (the generator's per-purpose stream idiom, §`stream`).
+    fn stream(&self, text: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in text.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(h.wrapping_mul(0x2545_F491_4F6C_DD1D)),
+        )
+    }
+
+    /// Record channel: mid-sentence truncation in the second half.
+    fn truncate(&self, text: &str, rng: &mut StdRng) -> String {
+        if !rng.random_bool(self.config.truncation) {
+            return text.to_string();
+        }
+        let chars: Vec<char> = text.chars().collect();
+        if chars.len() < 16 {
+            return text.to_string();
+        }
+        let cut = rng.random_range(chars.len() / 2..chars.len());
+        chars[..cut].iter().collect()
+    }
+
+    /// Line channels: header garbling, OCR confusions, punctuation
+    /// drop/duplication, stray bytes.
+    fn corrupt_line(&self, line: &str, out: &mut String, rng: &mut StdRng) {
+        let mut chars: Vec<char> = line.chars().collect();
+        if looks_like_header(line) && rng.random_bool(self.config.header_garble) {
+            garble_header(&mut chars, rng);
+        }
+        let mut edited: Vec<char> = Vec::with_capacity(chars.len() + 2);
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            // OCR digraphs first: m → rn, rn → m.
+            if c == 'm' && rng.random_bool(self.config.ocr_confusion) {
+                edited.push('r');
+                edited.push('n');
+                i += 1;
+                continue;
+            }
+            if c == 'r'
+                && chars.get(i + 1) == Some(&'n')
+                && rng.random_bool(self.config.ocr_confusion)
+            {
+                edited.push('m');
+                i += 2;
+                continue;
+            }
+            if let Some(&(_, to)) = OCR_PAIRS.iter().find(|(from, _)| *from == c) {
+                if rng.random_bool(self.config.ocr_confusion) {
+                    edited.push(to);
+                    i += 1;
+                    continue;
+                }
+            }
+            if c.is_ascii_punctuation() {
+                if rng.random_bool(self.config.punct_drop) {
+                    i += 1;
+                    continue;
+                }
+                if rng.random_bool(self.config.punct_duplicate) {
+                    edited.push(c);
+                    edited.push(c);
+                    i += 1;
+                    continue;
+                }
+            }
+            edited.push(c);
+            i += 1;
+        }
+        if !edited.is_empty() && rng.random_bool(self.config.stray_bytes) {
+            let pos = rng.random_range(0..=edited.len());
+            let stray = STRAY_CHARS[rng.random_range(0..STRAY_CHARS.len())];
+            edited.insert(pos, stray);
+        }
+        out.extend(edited);
+    }
+
+    /// Whitespace channel: collapse multi-character whitespace runs —
+    /// including the blank line between sections — to a single space.
+    fn collapse_whitespace(&self, text: &str, rng: &mut StdRng) -> String {
+        if self.config.whitespace_collapse <= 0.0 {
+            return text.to_string();
+        }
+        let chars: Vec<char> = text.chars().collect();
+        let mut out = String::with_capacity(text.len());
+        let mut i = 0;
+        while i < chars.len() {
+            if chars[i] == ' ' || chars[i] == '\n' || chars[i] == '\t' {
+                let mut j = i;
+                while j < chars.len() && matches!(chars[j], ' ' | '\n' | '\t') {
+                    j += 1;
+                }
+                if j - i >= 2 && rng.random_bool(self.config.whitespace_collapse) {
+                    out.push(' ');
+                } else {
+                    out.extend(&chars[i..j]);
+                }
+                i = j;
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+/// A conservative mirror of `cmr_text`'s header rule: `Word(s):` at the
+/// start of a line — 1–6 words of `[A-Za-z0-9/()]`, initial ASCII
+/// uppercase, at most 60 bytes before the colon.
+fn looks_like_header(line: &str) -> bool {
+    let Some((head, _)) = line.split_once(':') else {
+        return false;
+    };
+    if head.len() > 60 || !head.starts_with(|c: char| c.is_ascii_uppercase()) {
+        return false;
+    }
+    let words: Vec<&str> = head.split_whitespace().collect();
+    (1..=6).contains(&words.len())
+        && words.iter().all(|w| {
+            w.chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '/' | '(' | ')'))
+        })
+}
+
+/// Garbles a header line so the record parser no longer recognizes it.
+fn garble_header(chars: &mut Vec<char>, rng: &mut StdRng) {
+    match rng.random_range(0..3u32) {
+        // Drop the colon: "Vitals:" → "Vitals".
+        0 => {
+            if let Some(pos) = chars.iter().position(|&c| c == ':') {
+                chars.remove(pos);
+            }
+        }
+        // Lowercase the initial: "Vitals:" → "vitals:".
+        1 => {
+            if let Some(c) = chars.first_mut() {
+                *c = c.to_ascii_lowercase();
+            }
+        }
+        // OCR-mangle every confusable char before the colon:
+        // "Social History:" → "S0cial Hist0ry:".
+        _ => {
+            let colon = chars.iter().position(|&c| c == ':').unwrap_or(chars.len());
+            for c in &mut chars[..colon] {
+                if let Some(&(_, to)) = OCR_PAIRS.iter().find(|(from, _)| from == c) {
+                    *c = to;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NOTE: &str = "Patient:  17\n\nVitals:  Blood pressure is 144/90, pulse of 84, \
+                        temperature of 98.3.\n\nSocial History:  She quit smoking five years \
+                        ago. She denies alcohol use.\n";
+
+    #[test]
+    fn level_zero_is_identity() {
+        let injector = NoiseInjector::from_level(0.0, 7);
+        assert_eq!(injector.corrupt(NOTE), NOTE);
+        let off = NoiseInjector::new(NoiseConfig::off(), 99);
+        assert_eq!(off.corrupt(NOTE), NOTE);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_text() {
+        let a = NoiseInjector::from_level(0.35, 7);
+        let b = NoiseInjector::from_level(0.35, 7);
+        assert_eq!(a.corrupt(NOTE), b.corrupt(NOTE));
+        // Order independence: corrupting other texts first changes nothing.
+        let _ = a.corrupt("something else entirely");
+        assert_eq!(a.corrupt(NOTE), b.corrupt(NOTE));
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let a = NoiseInjector::from_level(0.4, 7).corrupt(NOTE);
+        let b = NoiseInjector::from_level(0.4, 8).corrupt(NOTE);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn noise_actually_corrupts() {
+        let noisy = NoiseInjector::from_level(0.5, 7).corrupt(NOTE);
+        assert_ne!(noisy, NOTE);
+    }
+
+    #[test]
+    fn single_channel_composition() {
+        // Only the punctuation-drop channel: letters and digits survive.
+        let cfg = NoiseConfig::off().with_punct_drop(1.0);
+        let out = NoiseInjector::new(cfg, 7).corrupt("a,b.c:d!");
+        assert_eq!(out, "abcd");
+        // Only header garbling: non-header lines are untouched.
+        let cfg = NoiseConfig::off().with_header_garble(1.0);
+        let out = NoiseInjector::new(cfg, 7).corrupt("no header here\n");
+        assert_eq!(out, "no header here\n");
+    }
+
+    #[test]
+    fn header_garble_defeats_section_parse() {
+        let cfg = NoiseConfig::off().with_header_garble(1.0);
+        let injector = NoiseInjector::new(cfg, 3);
+        let noisy = injector.corrupt(NOTE);
+        let record = cmr_text::Record::parse(&noisy);
+        let clean = cmr_text::Record::parse(NOTE);
+        assert!(
+            record.sections.len() < clean.sections.len(),
+            "garbled headers must merge sections: {noisy:?}"
+        );
+    }
+
+    #[test]
+    fn output_is_valid_utf8_for_unicode_input() {
+        let injector = NoiseInjector::from_level(1.0, 7);
+        let noisy = injector.corrupt("naïve café — 温度 98.6°\nVitals:  pulse 84\n");
+        // String construction guarantees UTF-8; just exercise it.
+        assert!(!noisy.is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the noise injector: determinism, identity at level
+//! zero, and no panics on arbitrary (including non-ASCII) input.
+
+use cmr_corpus::{CorpusBuilder, NoiseInjector};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same (seed, level, text) → byte-identical corruption, regardless of
+    /// which injector instance produces it.
+    #[test]
+    fn injector_is_deterministic(
+        seed in 0u64..u64::MAX,
+        level in 0u32..=100,
+        text in "[a-zA-Z0-9 .,:/\n()°é¶-]{0,200}",
+    ) {
+        let level = f64::from(level) / 100.0;
+        let a = NoiseInjector::from_level(level, seed).corrupt(&text);
+        let b = NoiseInjector::from_level(level, seed).corrupt(&text);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Level 0 is the identity on any text.
+    #[test]
+    fn level_zero_is_identity(
+        seed in 0u64..u64::MAX,
+        text in "[a-zA-Z0-9 .,:/\n()°é¶µß§-]{0,200}",
+    ) {
+        let out = NoiseInjector::from_level(0.0, seed).corrupt(&text);
+        prop_assert_eq!(out, text);
+    }
+
+    /// Corruption never panics and always yields valid UTF-8 (guaranteed by
+    /// `String`, exercised here across levels and messy input).
+    #[test]
+    fn corrupt_never_panics(
+        seed in 0u64..u64::MAX,
+        level in 0u32..=100,
+        text in "[a-zA-Z0-9 \t.,:;/\n()\0°é¶µß§温-]{0,300}",
+    ) {
+        let level = f64::from(level) / 100.0;
+        let out = NoiseInjector::from_level(level, seed).corrupt(&text);
+        // Truncation is the only channel allowed to shorten the record
+        // drastically; everything else is local. Just sanity-bound growth:
+        // stray bytes add at most one char per line.
+        let lines = text.split('\n').count();
+        prop_assert!(out.chars().count() <= text.chars().count() * 2 + lines + 1);
+    }
+
+    /// Corrupting generated gold notes never panics at any level, and the
+    /// result still parses as a record (possibly with fewer sections).
+    #[test]
+    fn gold_notes_survive_corruption(
+        seed in 0u64..u64::MAX,
+        level in 0u32..=100,
+    ) {
+        let corpus = CorpusBuilder::new().records(3).seed(2005).build();
+        let injector = NoiseInjector::from_level(f64::from(level) / 100.0, seed);
+        for record in &corpus.records {
+            let noisy = injector.corrupt(&record.text);
+            let parsed = cmr_text::Record::parse(&noisy);
+            prop_assert!(parsed.sections.len() <= 32);
+        }
+    }
+}

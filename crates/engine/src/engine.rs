@@ -27,6 +27,10 @@ pub struct EngineConfig {
     pub method: AssociationMethod,
     /// POS-pattern inventory for the medical-term stage.
     pub term_patterns: PatternSet,
+    /// Run the last-resort salvage tier for fields the structured tiers
+    /// missed. On by default; ablations turn it off to isolate the
+    /// structured methods.
+    pub salvage: bool,
 }
 
 impl Default for EngineConfig {
@@ -39,6 +43,7 @@ impl Default for EngineConfig {
             max_record_sentences: None,
             method: AssociationMethod::LinkWithFallback,
             term_patterns: PatternSet::Paper,
+            salvage: true,
         }
     }
 }
@@ -178,6 +183,7 @@ impl Engine {
         let ontology = &self.ontology;
         let method = self.cfg.method;
         let term_patterns = self.cfg.term_patterns;
+        let salvage = self.cfg.salvage;
         let max_record_millis = self.cfg.max_record_millis;
         let max_record_sentences = self.cfg.max_record_sentences;
         let worker_collector = Arc::clone(&collector);
@@ -196,6 +202,7 @@ impl Engine {
             move |_widx| {
                 let pipeline = Pipeline::new(Arc::clone(schema), Arc::clone(ontology), method)
                     .with_term_patterns(term_patterns)
+                    .with_salvage(salvage)
                     .with_shared_parse_cache(parse_cache.clone());
                 let collector = Arc::clone(&worker_collector);
                 move |text: String| {
@@ -209,20 +216,33 @@ impl Engine {
                 }
             },
             move |message| {
-                panic_collector.lock().expect("metrics lock").errors.panics += 1;
+                lock_collector(&panic_collector).errors.panics += 1;
                 EngineError::Panicked { message }
             },
             move || {
-                abort_collector.lock().expect("metrics lock").errors.aborted += 1;
+                lock_collector(&abort_collector).errors.aborted += 1;
                 EngineError::Aborted
             },
             sink,
         );
 
         let wall_nanos = start.elapsed().as_nanos() as u64;
-        let collector = collector.lock().expect("metrics lock");
+        let collector = lock_collector(&collector);
         EngineMetrics::from_collector(&collector, jobs, wall_nanos)
     }
+}
+
+/// Locks the metrics collector, recovering from poisoning: the engine's
+/// whole point is that a panicking record must not take the batch with it,
+/// and a worker that panicked *while holding* this lock leaves only plain
+/// counters behind — every update is a field-wise add with no invariant
+/// spanning the lock, so the data is safe to keep using.
+fn lock_collector(
+    collector: &Mutex<MetricsCollector>,
+) -> std::sync::MutexGuard<'_, MetricsCollector> {
+    collector
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Processes one record on a worker: parse, budgeted instrumented
@@ -257,14 +277,11 @@ fn extract_one(
                 cache_misses: stats.cache_misses - stats_before.cache_misses,
             };
             let methods: Vec<_> = out.numeric_methods.values().copied().collect();
-            collector
-                .lock()
-                .expect("metrics lock")
-                .record_ok(sample, &methods);
+            lock_collector(collector).record_ok(sample, &methods, &out.degradation);
             Ok(out)
         }
         Err(exceeded) => {
-            collector.lock().expect("metrics lock").errors.budget += 1;
+            lock_collector(collector).errors.budget += 1;
             Err(EngineError::Budget {
                 sentences_done: exceeded.sentences_done,
             })
@@ -279,6 +296,7 @@ const _: () = _assert_send_sync::<EngineConfig>();
 const _: () = _assert_send_sync::<EngineError>();
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use cmr_corpus::APPENDIX_RECORD;

@@ -38,6 +38,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Batch failures are per-item values (EngineError); an engine unwrap would
+// defeat the fault isolation the crate exists to provide.
+#![deny(clippy::unwrap_used)]
 
 mod engine;
 mod metrics;
@@ -45,6 +48,6 @@ mod pool;
 
 pub use engine::{BatchOutput, Engine, EngineConfig, EngineError};
 pub use metrics::{
-    DurationHistogram, EngineMetrics, ErrorCounts, MethodCounts, ParseCacheMetrics, StageMetrics,
-    HISTOGRAM_BUCKETS,
+    DegradationTotals, DurationHistogram, EngineMetrics, ErrorCounts, MethodCounts,
+    ParseCacheMetrics, StageMetrics, HISTOGRAM_BUCKETS,
 };

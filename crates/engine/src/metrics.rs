@@ -4,7 +4,7 @@
 //! [`MetricsCollector`]; the engine folds the collector plus its own
 //! wall-clock into a serializable [`EngineMetrics`] snapshot.
 
-use cmr_core::MethodUsed;
+use cmr_core::{DegradationReport, MethodUsed};
 use serde::{Deserialize, Serialize};
 
 /// Number of log2 nanosecond buckets: bucket `i` counts durations `d` with
@@ -146,6 +146,8 @@ pub struct MethodCounts {
     pub year_old: u64,
     /// Token-proximity baseline (ablations only).
     pub proximity: u64,
+    /// Tier-3 raw-text salvage (degraded input only).
+    pub salvage: u64,
 }
 
 impl MethodCounts {
@@ -156,6 +158,7 @@ impl MethodCounts {
             MethodUsed::Pattern => self.pattern += 1,
             MethodUsed::YearOld => self.year_old += 1,
             MethodUsed::Proximity => self.proximity += 1,
+            MethodUsed::Salvage => self.salvage += 1,
         }
     }
 
@@ -164,6 +167,46 @@ impl MethodCounts {
         self.pattern += other.pattern;
         self.year_old += other.year_old;
         self.proximity += other.proximity;
+        self.salvage += other.salvage;
+    }
+}
+
+/// Degradation accounting summed across all successful records (see
+/// [`cmr_core::DegradationReport`]): how many extracted values each tier
+/// served, how many link parses failed on sentences that mattered, and how
+/// many records needed the salvage tier at all.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct DegradationTotals {
+    /// Extracted values served by the link-grammar tier.
+    pub link_grammar_fields: u64,
+    /// Extracted values served by the pattern tier.
+    pub pattern_fields: u64,
+    /// Extracted values served by the tier-3 salvage scanner.
+    pub salvage_fields: u64,
+    /// Link-parse failures on sentences carrying an extraction opportunity.
+    pub parse_failures: u64,
+    /// Records whose report was marked degraded (≥1 salvaged field).
+    pub degraded_records: u64,
+}
+
+impl DegradationTotals {
+    /// Folds one record's report into the totals.
+    pub fn add(&mut self, report: &DegradationReport) {
+        self.link_grammar_fields += u64::from(report.tiers.link_grammar);
+        self.pattern_fields += u64::from(report.tiers.pattern);
+        self.salvage_fields += u64::from(report.tiers.salvage);
+        self.parse_failures += u64::from(report.parse_failures.total());
+        if report.degraded {
+            self.degraded_records += 1;
+        }
+    }
+
+    fn merge(&mut self, other: &DegradationTotals) {
+        self.link_grammar_fields += other.link_grammar_fields;
+        self.pattern_fields += other.pattern_fields;
+        self.salvage_fields += other.salvage_fields;
+        self.parse_failures += other.parse_failures;
+        self.degraded_records += other.degraded_records;
     }
 }
 
@@ -210,6 +253,9 @@ pub struct EngineMetrics {
     pub parse_cache: ParseCacheMetrics,
     /// Numeric association method counts.
     pub methods: MethodCounts,
+    /// Degradation accounting (tier usage, parse failures) summed over
+    /// successful records.
+    pub degradation: DegradationTotals,
 }
 
 impl EngineMetrics {
@@ -224,6 +270,7 @@ impl EngineMetrics {
             stages: c.stages.clone(),
             parse_cache: c.parse_cache,
             methods: c.methods,
+            degradation: c.degradation,
         };
         if wall_nanos > 0 {
             m.records_per_sec = m.records as f64 / (wall_nanos as f64 / 1e9);
@@ -261,11 +308,17 @@ pub(crate) struct MetricsCollector {
     pub stages: StageMetrics,
     pub parse_cache: ParseCacheMetrics,
     pub methods: MethodCounts,
+    pub degradation: DegradationTotals,
 }
 
 impl MetricsCollector {
     /// Records one successful record.
-    pub fn record_ok(&mut self, sample: RecordSample, methods: &[MethodUsed]) {
+    pub fn record_ok(
+        &mut self,
+        sample: RecordSample,
+        methods: &[MethodUsed],
+        report: &DegradationReport,
+    ) {
         self.records += 1;
         self.stages.record_parse.record(sample.record_parse_nanos);
         self.stages.link_parse.record(sample.link_parse_nanos);
@@ -277,6 +330,7 @@ impl MetricsCollector {
         for &m in methods {
             self.methods.count(m);
         }
+        self.degradation.add(report);
     }
 
     /// Merges a sibling collector (used by unit tests; the engine itself
@@ -289,6 +343,7 @@ impl MetricsCollector {
         self.parse_cache.hits += other.parse_cache.hits;
         self.parse_cache.misses += other.parse_cache.misses;
         self.methods.merge(&other.methods);
+        self.degradation.merge(&other.degradation);
     }
 }
 
@@ -369,6 +424,19 @@ mod tests {
                 cache_misses: 1,
             },
             &[MethodUsed::LinkGrammar, MethodUsed::Pattern],
+            &DegradationReport {
+                tiers: cmr_core::TierFieldCounts {
+                    link_grammar: 1,
+                    pattern: 1,
+                    salvage: 1,
+                },
+                parse_failures: cmr_core::ParseFailureCounts {
+                    no_linkage: 2,
+                    ..Default::default()
+                },
+                salvaged_fields: vec!["pulse".to_string()],
+                degraded: true,
+            },
         );
         c.errors.panics = 1;
         let m = EngineMetrics::from_collector(&c, 4, 2_000_000_000);
@@ -381,5 +449,32 @@ mod tests {
         assert_eq!(back.jobs, 4);
         assert_eq!(back.methods.link_grammar, 1);
         assert_eq!(back.stages.total.count, 1);
+        assert_eq!(back.degradation.salvage_fields, 1);
+        assert_eq!(back.degradation.parse_failures, 2);
+        assert_eq!(back.degradation.degraded_records, 1);
+    }
+
+    #[test]
+    fn method_counts_include_salvage() {
+        let mut m = MethodCounts::default();
+        m.count(MethodUsed::Salvage);
+        assert_eq!(m.salvage, 1);
+    }
+
+    #[test]
+    fn degradation_totals_merge() {
+        let mut a = DegradationTotals {
+            salvage_fields: 1,
+            degraded_records: 1,
+            ..Default::default()
+        };
+        a.merge(&DegradationTotals {
+            salvage_fields: 2,
+            parse_failures: 3,
+            ..Default::default()
+        });
+        assert_eq!(a.salvage_fields, 3);
+        assert_eq!(a.parse_failures, 3);
+        assert_eq!(a.degraded_records, 1);
     }
 }

@@ -89,8 +89,15 @@ pub(crate) fn run_ordered<In, Out, E, It, MkW, W, P, A, S>(
                 loop {
                     // Lock only for the blocking recv: whoever holds the
                     // lock takes the next item, then releases before
-                    // processing it.
-                    let msg = in_rx.lock().expect("input lock").recv();
+                    // processing it. Worker panics are caught below around
+                    // `work`, never while this lock is held, but recover
+                    // from poisoning anyway — the channel receiver has no
+                    // state a mid-recv unwind could corrupt, and dying here
+                    // would strand the remaining queued records.
+                    let msg = in_rx
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .recv();
                     let Ok((idx, item)) = msg else { break };
                     let result = if stop_ref.load(Ordering::Relaxed) {
                         Err(on_abort())
@@ -141,6 +148,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

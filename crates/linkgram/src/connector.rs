@@ -133,7 +133,7 @@ mod tests {
     use super::*;
 
     fn c(s: &str) -> Connector {
-        Connector::parse(s).unwrap_or_else(|| panic!("bad connector {s}"))
+        Connector::parse(s).expect("test literals are valid connectors")
     }
 
     #[test]

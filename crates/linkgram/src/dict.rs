@@ -237,11 +237,42 @@ const WORD_CLASSES: &[(&str, &str)] = &[
     ("shall", "modal"),
 ];
 
+/// A defect in a dictionary definition, found while compiling it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DictError {
+    /// A class expression failed to parse.
+    BadClass {
+        /// The class whose expression is malformed.
+        class: &'static str,
+        /// The underlying expression parse error.
+        error: crate::expr::ParseError,
+    },
+    /// The dictionary defines no `LEFT-WALL` class (or it compiles to no
+    /// disjuncts), so nothing could ever anchor a linkage.
+    MissingWall,
+}
+
+impl std::fmt::Display for DictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DictError::BadClass { class, error } => {
+                write!(f, "dictionary class {class}: {error}")
+            }
+            DictError::MissingWall => write!(f, "dictionary has no usable LEFT-WALL class"),
+        }
+    }
+}
+
+impl std::error::Error for DictError {}
+
 /// The compiled dictionary.
 #[derive(Debug, Clone)]
 pub struct Dictionary {
     classes: HashMap<&'static str, Vec<Disjunct>>,
     words: HashMap<&'static str, &'static str>,
+    /// LEFT-WALL disjuncts, validated at construction so [`Dictionary::wall`]
+    /// is infallible.
+    wall: Vec<Disjunct>,
 }
 
 impl Default for Dictionary {
@@ -253,25 +284,39 @@ impl Default for Dictionary {
 impl Dictionary {
     /// Builds the built-in clinical English dictionary.
     ///
-    /// Panics if a built-in expression fails to parse — that is a bug in
-    /// this crate, covered by tests, not a runtime condition.
+    /// The built-in definitions are static and covered by tests, so a
+    /// compile failure here is a bug in this crate, not a runtime
+    /// condition; the `expect` documents that invariant. Callers that want
+    /// the failure as a value use [`Dictionary::try_clinical_english`].
     pub fn clinical_english() -> Dictionary {
+        Self::try_clinical_english().expect("built-in clinical dictionary compiles")
+    }
+
+    /// Builds the built-in clinical English dictionary, reporting any
+    /// definition defect as a [`DictError`] instead of panicking.
+    pub fn try_clinical_english() -> Result<Dictionary, DictError> {
         let mut classes = HashMap::new();
         for (name, text) in CLASS_DEFS {
-            let expr = parse_expr(text)
-                .unwrap_or_else(|e| panic!("built-in dictionary class {name}: {e}"));
+            let expr =
+                parse_expr(text).map_err(|error| DictError::BadClass { class: name, error })?;
             classes.insert(*name, expand(&expr, EXPANSION_CAP));
         }
         let words = WORD_CLASSES.iter().copied().collect();
-        Dictionary { classes, words }
+        let wall = classes
+            .get("LEFT-WALL")
+            .filter(|w| !w.is_empty())
+            .cloned()
+            .ok_or(DictError::MissingWall)?;
+        Ok(Dictionary {
+            classes,
+            words,
+            wall,
+        })
     }
 
-    /// Disjuncts of the left wall.
+    /// Disjuncts of the left wall (validated non-empty at construction).
     pub fn wall(&self) -> &[Disjunct] {
-        self.classes
-            .get("LEFT-WALL")
-            .map(Vec::as_slice)
-            .expect("LEFT-WALL class exists")
+        &self.wall
     }
 
     /// The class key a token resolves to: the word itself when it is in the
@@ -352,6 +397,13 @@ mod tests {
         let d = Dictionary::clinical_english();
         assert!(d.class_count() > 20);
         assert!(d.disjunct_count() > 100);
+    }
+
+    #[test]
+    fn fallible_constructor_succeeds_on_builtin_grammar() {
+        // This is the invariant that lets clinical_english() use expect().
+        let d = Dictionary::try_clinical_english().expect("built-in grammar compiles");
+        assert!(!d.wall().is_empty());
     }
 
     #[test]

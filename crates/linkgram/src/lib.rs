@@ -24,6 +24,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Failures here are values (ParseFailure, ParseError, DictError), never
+// unwraps: a library panic would take a whole batch-engine worker with it.
+#![deny(clippy::unwrap_used)]
 
 mod connector;
 mod constituent;
@@ -35,7 +38,7 @@ mod parser;
 
 pub use connector::{Connector, Dir};
 pub use constituent::Constituents;
-pub use dict::Dictionary;
+pub use dict::{DictError, Dictionary};
 pub use expr::{expand, parse_expr, Disjunct, Expr, ParseError};
 pub use linkage::{Link, LinkWeights, Linkage};
-pub use parser::{LinkParser, ParserStats, SharedParseCache};
+pub use parser::{LinkParser, ParseFailure, ParserStats, SharedParseCache};

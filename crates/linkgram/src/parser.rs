@@ -62,16 +62,60 @@ const PARSE_CACHE_CAP: usize = 4096;
 #[derive(Debug, Clone, Default)]
 pub struct LinkParser {
     dict: Dictionary,
-    cache: std::cell::RefCell<HashMap<Vec<&'static str>, Option<CachedParse>>>,
+    cache: std::cell::RefCell<HashMap<Vec<&'static str>, Result<CachedParse, ParseFailure>>>,
     shared: Option<SharedParseCache>,
     stats: std::cell::Cell<ParserStats>,
 }
+
+/// Why a parse produced no linkage.
+///
+/// Failure is a value, not a panic: batch drivers count these per record
+/// (see `cmr-core`'s `DegradationReport`) and fall through to cheaper
+/// association tiers instead of dropping the sentence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParseFailure {
+    /// No words remained after stripping sentence-final punctuation.
+    Empty,
+    /// The sentence exceeds the parser's hard word limit.
+    TooLong {
+        /// Words in the sentence, including the left wall.
+        words: usize,
+        /// The limit the parser enforces (`MAX_WORDS`).
+        max: usize,
+    },
+    /// Some word has no surviving disjuncts (stray punctuation, symbols the
+    /// dictionary cannot link): detected before the O(n³) search starts.
+    NoDisjuncts,
+    /// The region parser exhausted the search space without finding a
+    /// linkage — the classic fragment case (`"Blood pressure: 144/90"`).
+    NoLinkage,
+}
+
+impl std::fmt::Display for ParseFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseFailure::Empty => write!(f, "empty sentence"),
+            ParseFailure::TooLong { words, max } => {
+                write!(f, "sentence too long ({words} words, limit {max})")
+            }
+            ParseFailure::NoDisjuncts => write!(f, "a word has no usable disjuncts"),
+            ParseFailure::NoLinkage => write!(f, "no linkage found"),
+        }
+    }
+}
+
+impl std::error::Error for ParseFailure {}
+
+/// The shared map: sentence shape (word-class sequence) → parse outcome.
+/// Failures are cached too, so a shape that cannot parse is rejected once
+/// per pool, not once per worker.
+type SharedShapeMap = HashMap<Vec<&'static str>, Result<CachedParse, ParseFailure>>;
 
 /// A parse-structure cache shared between parser instances across threads.
 /// Cloning the handle shares the underlying map.
 #[derive(Debug, Clone, Default)]
 pub struct SharedParseCache {
-    inner: Arc<Mutex<HashMap<Vec<&'static str>, Option<CachedParse>>>>,
+    inner: Arc<Mutex<SharedShapeMap>>,
 }
 
 impl SharedParseCache {
@@ -80,9 +124,15 @@ impl SharedParseCache {
         SharedParseCache::default()
     }
 
-    /// Number of cached sentence shapes.
+    /// Number of cached sentence shapes. A poisoned lock is recovered, not
+    /// propagated: the map holds plain data, valid at every await-free
+    /// point, so a worker that panicked mid-extraction cannot invalidate it
+    /// for the rest of the pool.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("parse cache lock").len()
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// True when no shapes are cached yet.
@@ -137,16 +187,30 @@ impl LinkParser {
         self.parse(&tagged)
     }
 
-    /// Parses a tagged token sequence.
+    /// Parses a tagged token sequence. `None` folds away the failure
+    /// reason; use [`LinkParser::try_parse`] to observe it.
     pub fn parse(&self, tagged: &[TaggedToken]) -> Option<Linkage> {
+        self.try_parse(tagged).ok()
+    }
+
+    /// Parses a tagged token sequence, reporting *why* when no linkage
+    /// exists. Failure reasons are cached alongside successful structures,
+    /// so a repeated unparseable shape replays its reason from the cache.
+    pub fn try_parse(&self, tagged: &[TaggedToken]) -> Result<Linkage, ParseFailure> {
         // Strip sentence-final punctuation (it carries no connectors).
         let mut end = tagged.len();
         while end > 0 && tagged[end - 1].tag == cmr_postag::Tag::PUNCT {
             end -= 1;
         }
         let tagged = &tagged[..end];
-        if tagged.is_empty() || tagged.len() + 1 > MAX_WORDS {
-            return None;
+        if tagged.is_empty() {
+            return Err(ParseFailure::Empty);
+        }
+        if tagged.len() + 1 > MAX_WORDS {
+            return Err(ParseFailure::TooLong {
+                words: tagged.len() + 1,
+                max: MAX_WORDS,
+            });
         }
 
         // Structure cache: identical class-key sequences share a linkage.
@@ -155,7 +219,10 @@ impl LinkParser {
             let mut stats = self.stats.get();
             stats.cache_hits += 1;
             self.stats.set(stats);
-            return cached.as_ref().map(|c| self.rebuild(tagged, c));
+            return match cached {
+                Ok(c) => Ok(self.rebuild(tagged, c)),
+                Err(f) => Err(*f),
+            };
         }
         // Local miss: another parser in the pool may have seen this shape.
         // The shared lock is held ACROSS the fallback parse on a shared
@@ -175,7 +242,10 @@ impl LinkParser {
                 let mut stats = self.stats.get();
                 stats.cache_hits += 1;
                 self.stats.set(stats);
-                let result = cached.as_ref().map(|c| self.rebuild(tagged, c));
+                let result = match &cached {
+                    Ok(c) => Ok(self.rebuild(tagged, c)),
+                    Err(f) => Err(*f),
+                };
                 self.cache_locally(signature, cached);
                 return result;
             }
@@ -195,7 +265,7 @@ impl LinkParser {
     }
 
     /// Runs the uncached parser, charging the miss and wall time to stats.
-    fn parse_and_count(&self, tagged: &[TaggedToken]) -> Option<Linkage> {
+    fn parse_and_count(&self, tagged: &[TaggedToken]) -> Result<Linkage, ParseFailure> {
         let started = std::time::Instant::now();
         let result = self.parse_uncached(tagged);
         let mut stats = self.stats.get();
@@ -208,7 +278,11 @@ impl LinkParser {
     /// Inserts one entry into the local structure cache, bounding its size:
     /// corpora reuse a few dozen shapes; a pathological stream of distinct
     /// shapes must not grow memory without limit.
-    fn cache_locally(&self, signature: Vec<&'static str>, entry: Option<CachedParse>) {
+    fn cache_locally(
+        &self,
+        signature: Vec<&'static str>,
+        entry: Result<CachedParse, ParseFailure>,
+    ) {
         let mut cache = self.cache.borrow_mut();
         if cache.len() >= PARSE_CACHE_CAP {
             cache.clear();
@@ -231,7 +305,7 @@ impl LinkParser {
         }
     }
 
-    fn parse_uncached(&self, tagged: &[TaggedToken]) -> Option<Linkage> {
+    fn parse_uncached(&self, tagged: &[TaggedToken]) -> Result<Linkage, ParseFailure> {
         // Word 0 is the LEFT-WALL; words 1..=n are the sentence tokens.
         let mut disjuncts: Vec<Vec<Disjunct>> = Vec::with_capacity(tagged.len() + 1);
         disjuncts.push(normalize(self.dict.wall()));
@@ -241,7 +315,7 @@ impl LinkParser {
         prune(&mut disjuncts);
         // A word with no surviving disjuncts can never link: fail fast.
         if disjuncts.iter().any(Vec::is_empty) {
-            return None;
+            return Err(ParseFailure::NoDisjuncts);
         }
 
         let n = disjuncts.len();
@@ -296,7 +370,7 @@ impl LinkParser {
                 }
             }
         }
-        let sol = best?;
+        let sol = best.ok_or(ParseFailure::NoLinkage)?;
         let mut links: Vec<Link> = Vec::new();
         flatten(&sol.links, &mut links);
         links.sort_by_key(|l| (l.left, l.right));
@@ -305,7 +379,7 @@ impl LinkParser {
         let token_map: Vec<Option<usize>> = std::iter::once(None)
             .chain((0..tagged.len()).map(Some))
             .collect();
-        Some(Linkage {
+        Ok(Linkage {
             words,
             token_map,
             links,
@@ -394,12 +468,16 @@ impl LinkParser {
     }
 }
 
-/// The shareable cache entry for one parse outcome (`None` = no linkage).
-fn cache_entry(result: &Option<Linkage>) -> Option<CachedParse> {
-    result.as_ref().map(|l| CachedParse {
-        links: Arc::new(l.links.clone()),
-        cost: l.cost,
-    })
+/// The shareable cache entry for one parse outcome; failures keep their
+/// reason so replays report the same [`ParseFailure`].
+fn cache_entry(result: &Result<Linkage, ParseFailure>) -> Result<CachedParse, ParseFailure> {
+    match result {
+        Ok(l) => Ok(CachedParse {
+            links: Arc::new(l.links.clone()),
+            cost: l.cost,
+        }),
+        Err(f) => Err(*f),
+    }
 }
 
 /// Enumerates k-combinations of `0..n` into `chosen`, invoking `f` on each.
@@ -844,6 +922,51 @@ mod tests {
 
     fn parse(text: &str) -> Option<Linkage> {
         LinkParser::new().parse_sentence(text)
+    }
+
+    fn try_parse_text(parser: &LinkParser, text: &str) -> Result<Linkage, ParseFailure> {
+        let tokens = tokenize(text);
+        let tagged = PosTagger::new().tag(&tokens);
+        parser.try_parse(&tagged)
+    }
+
+    #[test]
+    fn failure_reasons_are_typed() {
+        let parser = LinkParser::new();
+        assert_eq!(try_parse_text(&parser, "").err(), Some(ParseFailure::Empty));
+        assert_eq!(
+            try_parse_text(&parser, "...").err(),
+            Some(ParseFailure::Empty),
+            "punctuation-only sentences strip to empty"
+        );
+        let long = "pulse and ".repeat(30);
+        assert!(matches!(
+            try_parse_text(&parser, &long),
+            Err(ParseFailure::TooLong { words, max })
+                if words > max && max == MAX_WORDS
+        ));
+        // A colon has no disjuncts: the fragment case of the paper.
+        assert_eq!(
+            try_parse_text(&parser, "Blood pressure: 144/90").err(),
+            Some(ParseFailure::NoDisjuncts)
+        );
+    }
+
+    #[test]
+    fn failure_reason_survives_the_caches() {
+        let parser = LinkParser::new();
+        let shared = SharedParseCache::new();
+        let mut warm = LinkParser::new();
+        warm.set_shared_cache(shared.clone());
+
+        for p in [&parser, &warm] {
+            let first = try_parse_text(p, "Blood pressure: 144/90").err();
+            let replay = try_parse_text(p, "Blood pressure: 150/95").err();
+            assert_eq!(first, Some(ParseFailure::NoDisjuncts));
+            assert_eq!(replay, first, "cached replay keeps the reason");
+        }
+        // The second parser's negative entry reached the shared map too.
+        assert!(!shared.is_empty());
     }
 
     fn labels(linkage: &Linkage) -> Vec<String> {

@@ -25,6 +25,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "generate" => generate(rest),
         "extract" => extract(rest),
+        "chaos" => chaos(rest),
         "parse" => parse(rest),
         "terms" => terms(rest),
         "--help" | "-h" | "help" => {
@@ -56,6 +57,11 @@ fn usage() {
          \u{20}      in input order (byte-identical for any --jobs; 0 = one per core);\n\
          \u{20}      FILE of - reads NDJSON records (objects with a \"text\" field, or\n\
          \u{20}      JSON strings) from stdin; --stats prints metrics JSON to stderr\n\
+         \u{20}  cmr chaos [--noise SPEC] [--seed S] [--records N] [--jobs N] [--stats] [--out FILE]\n\
+         \u{20}      corrupt the gold corpus at each noise level (SPEC: `0.3`, `0,0.1,0.3`,\n\
+         \u{20}      or `A..B[:STEP]`), extract it, and print the degradation curve;\n\
+         \u{20}      --stats adds per-tier field counts, --out writes the report as JSON\n\
+         \u{20}      (- for stdout); exits 2 if any worker panicked\n\
          \u{20}  cmr parse \"SENTENCE\"\n\
          \u{20}      print the link grammar linkage diagram and constituents\n\
          \u{20}  cmr terms \"TEXT\"\n\
@@ -247,6 +253,86 @@ fn note_text_from_ndjson(line: &str) -> String {
             .unwrap_or_default(),
         _ => line.to_string(),
     }
+}
+
+fn chaos(args: &[String]) -> Result<(), String> {
+    let mut noise = "0..0.5".to_string();
+    let mut seed = "7".to_string();
+    let mut records = "50".to_string();
+    let mut jobs = "0".to_string();
+    let mut out = String::new();
+    let mut stats = false;
+    let extra = parse_flags(
+        args,
+        &mut [
+            ("noise", &mut noise),
+            ("seed", &mut seed),
+            ("records", &mut records),
+            ("jobs", &mut jobs),
+            ("out", &mut out),
+        ],
+        &mut [("stats", &mut stats)],
+    )?;
+    if !extra.is_empty() {
+        return Err(format!("chaos takes no positional arguments: {extra:?}"));
+    }
+    let cfg = ChaosConfig {
+        levels: parse_levels(&noise)?,
+        seed: seed
+            .parse()
+            .map_err(|_| "--seed must be an integer".to_string())?,
+        records: records
+            .parse()
+            .map_err(|_| "--records must be an integer".to_string())?,
+        jobs: jobs
+            .parse()
+            .map_err(|_| "--jobs must be an integer".to_string())?,
+    };
+    let report = run_chaos(&cfg);
+
+    println!(
+        "chaos sweep: {} records, seed {}, {} level(s)",
+        report.records,
+        report.seed,
+        report.levels.len()
+    );
+    println!("noise   num-P   num-R   num-F1  term-F1  parse-fail  degraded  failed");
+    for l in &report.levels {
+        println!(
+            "{:<7.2} {:<7.3} {:<7.3} {:<7.3} {:<8.3} {:<11} {:<9} {}",
+            l.noise,
+            l.numeric_precision,
+            l.numeric_recall,
+            l.numeric_f1,
+            l.term_f1,
+            l.parse_failures,
+            l.degraded_records,
+            l.failed_records
+        );
+    }
+    if stats {
+        println!("\nnoise   link-grammar  pattern  salvage");
+        for l in &report.levels {
+            println!(
+                "{:<7.2} {:<13} {:<8} {}",
+                l.noise, l.link_grammar_fields, l.pattern_fields, l.salvage_fields
+            );
+        }
+    }
+    if !out.is_empty() {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        if out == "-" {
+            println!("{json}");
+        } else {
+            fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("cmr: wrote chaos report to {out}");
+        }
+    }
+    let panics = report.total_panics();
+    if panics > 0 {
+        return Err(format!("{panics} worker panic(s) during the sweep"));
+    }
+    Ok(())
 }
 
 fn parse(args: &[String]) -> Result<(), String> {

@@ -32,6 +32,7 @@
 //! assert!(extracted.numeric("pulse").is_some());
 //! ```
 
+pub use cmr_bench as bench;
 pub use cmr_core as core;
 pub use cmr_corpus as corpus;
 pub use cmr_engine as engine;
@@ -46,12 +47,16 @@ pub use cmr_text as text;
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
+    pub use cmr_bench::{parse_levels, run_chaos, ChaosConfig, ChaosReport};
     pub use cmr_core::{
-        CategoricalExtractor, ExtractedRecord, FeatureOptions, FeatureSpec, MedicalTermExtractor,
-        NumericExtractor, Pipeline, Schema,
+        CategoricalExtractor, CmrError, DegradationReport, ExtractedRecord, FeatureOptions,
+        FeatureSpec, FieldProvenance, MedicalTermExtractor, NumericExtractor, Pipeline, Schema,
+        Tier,
     };
-    pub use cmr_corpus::{CorpusBuilder, GoldRecord, SmokingStatus};
-    pub use cmr_engine::{BatchOutput, Engine, EngineConfig, EngineError, EngineMetrics};
+    pub use cmr_corpus::{CorpusBuilder, GoldRecord, NoiseConfig, NoiseInjector, SmokingStatus};
+    pub use cmr_engine::{
+        BatchOutput, DegradationTotals, Engine, EngineConfig, EngineError, EngineMetrics,
+    };
     pub use cmr_eval::{MultiValueScore, PrecisionRecall};
     pub use cmr_lexicon::Lemmatizer;
     pub use cmr_linkgram::{LinkParser, LinkWeights, Linkage};

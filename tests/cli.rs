@@ -86,6 +86,54 @@ fn generate_then_extract_parallel_yields_json_per_note() {
 }
 
 #[test]
+fn chaos_sweep_reports_degradation_curve() {
+    let dir = scratch("chaos");
+    let report_path = dir.join("chaos.json");
+    let out = cmr()
+        .args([
+            "chaos",
+            "--noise",
+            "0,0.2",
+            "--seed",
+            "7",
+            "--records",
+            "6",
+            "--jobs",
+            "2",
+            "--stats",
+            "--out",
+            report_path.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("run cmr chaos");
+    assert!(
+        out.status.success(),
+        "chaos failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    assert!(stdout.contains("num-F1"), "no curve table:\n{stdout}");
+    assert!(stdout.contains("salvage"), "--stats tier table missing");
+
+    let json = std::fs::read_to_string(&report_path).expect("report written");
+    let value = serde_json::parse_value_str(&json).expect("report is valid JSON");
+    let serde::Value::Object(fields) = value else {
+        panic!("report is not a JSON object");
+    };
+    let levels = fields
+        .iter()
+        .find(|(k, _)| k == "levels")
+        .map(|(_, v)| v)
+        .expect("report has levels");
+    let serde::Value::Array(levels) = levels else {
+        panic!("levels is not an array");
+    };
+    assert_eq!(levels.len(), 2, "one report entry per noise level");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn ndjson_streaming_pipes_generate_into_extract() {
     // cmr generate --out - | cmr extract - --jobs 2
     let generated = cmr()
