@@ -9,6 +9,7 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod perf;
 
 pub use chaos::{parse_levels, run_chaos, ChaosConfig, ChaosLevelReport, ChaosReport};
 pub use experiments::*;

@@ -1,0 +1,356 @@
+//! The `cmr bench` performance harness: a machine-readable throughput
+//! snapshot of the whole pipeline, suitable for regression gating in CI.
+//!
+//! The harness runs the gold corpus plus a deterministically generated
+//! corpus through (a) a single serial [`Pipeline`] and (b) the parallel
+//! engine, and reports notes/sec, ns per extracted field, parse-cache hit
+//! rates, allocation counts (when the caller supplies a counting-allocator
+//! probe — see `src/bin/cmr.rs`) and peak RSS. Reports serialize to JSON
+//! (`BENCH_pr3.json`); [`check_regression`] compares two reports and is the
+//! CI perf-smoke gate.
+
+use cmr_core::{Pipeline, Schema};
+use cmr_corpus::CorpusBuilder;
+use cmr_engine::{Engine, EngineConfig};
+use cmr_ontology::Ontology;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// What to run. Small by default so the CI smoke job stays fast; the
+/// committed `BENCH_pr3.json` uses larger settings (see EXPERIMENTS.md §B3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchConfig {
+    /// Generated-corpus size (the 50-record gold corpus is always included).
+    pub records: usize,
+    /// Generator seed (fixed ⇒ identical workload across runs).
+    pub seed: u64,
+    /// Timed repeats; the best repeat is reported (min-noise convention).
+    pub repeats: usize,
+    /// Worker threads for the parallel leg.
+    pub jobs: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            records: 150,
+            seed: 2005,
+            repeats: 3,
+            jobs: 4,
+        }
+    }
+}
+
+/// One timed leg (serial pipeline or parallel engine).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Notes processed per repeat.
+    pub notes: u64,
+    /// Fields extracted across all notes (numeric + term hits).
+    pub fields: u64,
+    /// Wall time of the best repeat, nanoseconds.
+    pub wall_nanos: u64,
+    /// Notes per second (best repeat).
+    pub notes_per_sec: f64,
+    /// Nanoseconds per extracted field (best repeat).
+    pub ns_per_field: f64,
+    /// Link-parser structure-cache hits (best repeat).
+    pub cache_hits: u64,
+    /// Link-parser structure-cache misses (best repeat).
+    pub cache_misses: u64,
+    /// Cache hit rate in `0.0..=1.0` (0 when no lookups).
+    pub cache_hit_rate: f64,
+}
+
+impl RunStats {
+    fn finish(&mut self) {
+        if self.wall_nanos > 0 {
+            self.notes_per_sec = self.notes as f64 / (self.wall_nanos as f64 / 1e9);
+        }
+        if self.fields > 0 {
+            self.ns_per_field = self.wall_nanos as f64 / self.fields as f64;
+        }
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups > 0 {
+            self.cache_hit_rate = self.cache_hits as f64 / lookups as f64;
+        }
+    }
+}
+
+/// Allocation counts for one serial pass, measured by the caller-supplied
+/// probe (the `cmr` binary installs a counting global allocator; library
+/// crates stay `forbid(unsafe_code)`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AllocStats {
+    /// Heap allocations per note (counting pass, warm caches).
+    pub allocs_per_note: f64,
+    /// Heap bytes allocated per note (counting pass, warm caches).
+    pub bytes_per_note: f64,
+}
+
+/// The full report written to `BENCH_pr3.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Report format version (bump on breaking shape changes).
+    pub version: u32,
+    /// The configuration that produced this report.
+    pub config: BenchConfig,
+    /// Serial single-threaded pipeline over gold + generated corpora.
+    pub serial: RunStats,
+    /// Parallel engine at `config.jobs` workers over the same texts.
+    pub parallel: RunStats,
+    /// Allocation counts (absent when no counting allocator is installed).
+    pub allocations: Option<AllocStats>,
+    /// Peak resident set size in bytes (`VmHWM`; absent off-Linux).
+    pub peak_rss_bytes: Option<u64>,
+    /// Optional pre-change baseline summary carried inside the committed
+    /// report, so the before/after pair lives in one file.
+    pub baseline: Option<BaselineSummary>,
+}
+
+/// The headline numbers of a baseline run, embedded in the current report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineSummary {
+    /// What the baseline was (e.g. a commit id or "pre-PR3 seed").
+    pub label: String,
+    /// Baseline serial notes/sec.
+    pub serial_notes_per_sec: f64,
+    /// Baseline parallel notes/sec.
+    pub parallel_notes_per_sec: f64,
+    /// Baseline allocations per note, when measured.
+    pub allocs_per_note: Option<f64>,
+}
+
+/// The benchmark workload: gold corpus + deterministically generated
+/// records, as raw note texts.
+pub fn workload(cfg: &BenchConfig) -> Vec<String> {
+    let mut texts: Vec<String> = CorpusBuilder::new()
+        .build()
+        .records
+        .iter()
+        .map(|r| r.text.clone())
+        .collect();
+    let generated = CorpusBuilder::new()
+        .records(cfg.records)
+        .seed(cfg.seed)
+        .style_variation(1.0)
+        .build();
+    texts.extend(generated.records.iter().map(|r| r.text.clone()));
+    texts
+}
+
+fn fields_of(out: &cmr_core::ExtractedRecord) -> u64 {
+    (out.numeric.len()
+        + out.predefined_medical.len()
+        + out.other_medical.len()
+        + out.predefined_surgical.len()
+        + out.other_surgical.len()) as u64
+}
+
+/// Runs the serial leg: one fresh [`Pipeline`] per repeat, best repeat
+/// reported. When `probe` is given (returns cumulative `(allocs, bytes)`),
+/// a final warm pass measures allocations per note.
+pub fn run_serial(
+    cfg: &BenchConfig,
+    texts: &[String],
+    probe: Option<&dyn Fn() -> (u64, u64)>,
+) -> (RunStats, Option<AllocStats>) {
+    let mut best = RunStats::default();
+    for _ in 0..cfg.repeats.max(1) {
+        let pipeline = Pipeline::with_default_schema();
+        let mut fields = 0u64;
+        let start = Instant::now();
+        for text in texts {
+            fields += fields_of(&pipeline.extract(text));
+        }
+        let wall = start.elapsed().as_nanos() as u64;
+        if best.wall_nanos == 0 || wall < best.wall_nanos {
+            let stats = pipeline.parser_stats();
+            best = RunStats {
+                notes: texts.len() as u64,
+                fields,
+                wall_nanos: wall,
+                cache_hits: stats.cache_hits,
+                cache_misses: stats.cache_misses,
+                ..RunStats::default()
+            };
+        }
+    }
+    best.finish();
+
+    let allocations = probe.map(|probe| {
+        // Warm pass on a dedicated pipeline so caches and the interner are
+        // hot, then count one more full pass.
+        let pipeline = Pipeline::with_default_schema();
+        for text in texts {
+            std::hint::black_box(pipeline.extract(text));
+        }
+        let (a0, b0) = probe();
+        for text in texts {
+            std::hint::black_box(pipeline.extract(text));
+        }
+        let (a1, b1) = probe();
+        let notes = texts.len().max(1) as f64;
+        AllocStats {
+            allocs_per_note: a1.saturating_sub(a0) as f64 / notes,
+            bytes_per_note: b1.saturating_sub(b0) as f64 / notes,
+        }
+    });
+    (best, allocations)
+}
+
+/// Runs the parallel leg through the batch engine at `cfg.jobs` workers.
+pub fn run_parallel(cfg: &BenchConfig, texts: &[String]) -> RunStats {
+    let mut best = RunStats::default();
+    for _ in 0..cfg.repeats.max(1) {
+        let engine = Engine::new(
+            EngineConfig {
+                jobs: cfg.jobs.max(1),
+                ..EngineConfig::default()
+            },
+            Schema::paper(),
+            Ontology::full(),
+        );
+        let mut fields = 0u64;
+        let start = Instant::now();
+        let metrics = engine.extract_stream(texts.iter().cloned(), |_, out| {
+            if let Ok(rec) = out {
+                fields += fields_of(&rec);
+            }
+        });
+        let wall = start.elapsed().as_nanos() as u64;
+        if best.wall_nanos == 0 || wall < best.wall_nanos {
+            best = RunStats {
+                notes: metrics.records,
+                fields,
+                wall_nanos: wall,
+                cache_hits: metrics.parse_cache.hits,
+                cache_misses: metrics.parse_cache.misses,
+                ..RunStats::default()
+            };
+        }
+    }
+    best.finish();
+    best
+}
+
+/// Runs both legs and assembles a report.
+pub fn run_bench(cfg: &BenchConfig, probe: Option<&dyn Fn() -> (u64, u64)>) -> BenchReport {
+    let texts = workload(cfg);
+    let (serial, allocations) = run_serial(cfg, &texts, probe);
+    let parallel = run_parallel(cfg, &texts);
+    BenchReport {
+        version: 1,
+        config: cfg.clone(),
+        serial,
+        parallel,
+        allocations,
+        peak_rss_bytes: peak_rss_bytes(),
+        baseline: None,
+    }
+}
+
+/// Peak resident set size from `/proc/self/status` (`VmHWM`), in bytes.
+/// Returns `None` on platforms without procfs.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kib * 1024);
+        }
+    }
+    None
+}
+
+/// The CI gate: fails when the current report's throughput drops more than
+/// `threshold` (fraction, e.g. `0.25`) below the baseline report on either
+/// leg. Faster-than-baseline is always fine.
+pub fn check_regression(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    threshold: f64,
+) -> Result<(), String> {
+    let legs = [
+        (
+            "serial",
+            current.serial.notes_per_sec,
+            baseline.serial.notes_per_sec,
+        ),
+        (
+            "parallel",
+            current.parallel.notes_per_sec,
+            baseline.parallel.notes_per_sec,
+        ),
+    ];
+    let mut failures = Vec::new();
+    for (name, now, then) in legs {
+        if then <= 0.0 {
+            continue;
+        }
+        let floor = then * (1.0 - threshold);
+        if now < floor {
+            failures.push(format!(
+                "{name}: {now:.1} notes/sec is below the regression floor {floor:.1} \
+                 (baseline {then:.1}, threshold {:.0}%)",
+                threshold * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+/// A tiny smoke workload for tests: a handful of records, one repeat.
+pub fn smoke_config() -> BenchConfig {
+    BenchConfig {
+        records: 4,
+        seed: 7,
+        repeats: 1,
+        jobs: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_produces_sane_numbers() {
+        let report = run_bench(&smoke_config(), None);
+        assert!(report.serial.notes > 0);
+        assert!(report.serial.notes_per_sec > 0.0);
+        assert!(report.serial.fields > 0);
+        assert_eq!(report.serial.notes, report.parallel.notes);
+        assert!(report.parallel.notes_per_sec > 0.0);
+        assert!(report.allocations.is_none());
+        assert!((0.0..=1.0).contains(&report.serial.cache_hit_rate));
+    }
+
+    #[test]
+    fn regression_gate_trips_and_passes() {
+        let mut base = run_bench(&smoke_config(), None);
+        base.serial.notes_per_sec = 100.0;
+        base.parallel.notes_per_sec = 300.0;
+        let mut current = base.clone();
+        current.serial.notes_per_sec = 90.0; // -10%: fine at 25%
+        assert!(check_regression(&current, &base, 0.25).is_ok());
+        current.serial.notes_per_sec = 60.0; // -40%: trips
+        let err = check_regression(&current, &base, 0.25).unwrap_err();
+        assert!(err.contains("serial"), "{err}");
+        // Faster than baseline never trips.
+        current.serial.notes_per_sec = 500.0;
+        current.parallel.notes_per_sec = 500.0;
+        assert!(check_regression(&current, &base, 0.25).is_ok());
+    }
+
+    #[test]
+    fn peak_rss_reads_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_bytes().unwrap_or(0) > 0);
+        }
+    }
+}

@@ -166,9 +166,9 @@ impl FeatureExtractor {
                     continue;
                 }
                 let word = if self.options.use_lemma {
-                    t.lemma.clone()
+                    t.lemma.as_str().to_string()
                 } else {
-                    t.lower()
+                    t.lower().to_string()
                 };
                 push(word);
             }

@@ -49,7 +49,7 @@ impl NegationDetector {
 
     /// Token index ranges `[start, end)` that fall under a negation scope.
     pub fn negated_ranges(&self, tagged: &[TaggedToken]) -> Vec<(usize, usize)> {
-        let lowers: Vec<String> = tagged.iter().map(|t| t.lower()).collect();
+        let lowers: Vec<&str> = tagged.iter().map(|t| t.lower()).collect();
         let lemmas: Vec<&str> = tagged.iter().map(|t| t.lemma.as_str()).collect();
         let mut ranges: Vec<(usize, usize)> = Vec::new();
         let mut i = 0;
@@ -79,7 +79,7 @@ impl NegationDetector {
                 {
                     break;
                 }
-                if BREAKERS.contains(&lowers[end].as_str()) {
+                if BREAKERS.contains(&lowers[end]) {
                     break;
                 }
                 end += 1;

@@ -16,7 +16,7 @@
 use crate::spec::FeatureSpec;
 use cmr_linkgram::{LinkParser, LinkWeights};
 use cmr_postag::{PosTagger, TaggedToken};
-use cmr_text::{annotate_numbers, tokenize, NumberAnnotation, NumberValue, Record};
+use cmr_text::{annotate_numbers, intern, tokenize, NumberAnnotation, NumberValue, Record, Sym};
 use serde::{Deserialize, Serialize};
 
 /// How feature–number association is performed.
@@ -224,8 +224,8 @@ impl NumericExtractor {
         if tokens.is_empty() {
             return Vec::new();
         }
-        let tagged = self.tagger.tag(&tokens);
         let numbers = annotate_numbers(&tokens);
+        let tagged = self.tagger.tag_owned(tokens);
         let mut hits: Vec<NumericHit> = Vec::new();
         let mut used_numbers: Vec<usize> = Vec::new(); // first_token of consumed numbers
         let mut done_specs: Vec<usize> = Vec::new();
@@ -351,17 +351,17 @@ struct Mention {
 
 /// Finds keyword mentions; longest phrase wins at each position.
 fn find_mentions(tagged: &[TaggedToken], specs: &[&FeatureSpec]) -> Vec<Mention> {
-    // Pre-split each spec's phrases into word lists.
-    let phrase_sets: Vec<Vec<Vec<String>>> = specs
+    // Pre-split each spec's phrases into interned word lists, so the scan
+    // below compares symbol ids instead of allocating lowercase strings.
+    let phrase_sets: Vec<Vec<Vec<Sym>>> = specs
         .iter()
         .map(|s| {
             s.matching_phrases()
                 .iter()
-                .map(|p| p.split_whitespace().map(str::to_string).collect())
+                .map(|p| p.split_whitespace().map(intern).collect())
                 .collect()
         })
         .collect();
-    let lowers: Vec<String> = tagged.iter().map(|t| t.lower()).collect();
     let mut mentions = Vec::new();
     let mut i = 0;
     while i < tagged.len() {
@@ -371,9 +371,9 @@ fn find_mentions(tagged: &[TaggedToken], specs: &[&FeatureSpec]) -> Vec<Mention>
                 if words.is_empty() || i + words.len() > tagged.len() {
                     continue;
                 }
-                let all_match = words.iter().enumerate().all(|(k, w)| {
-                    tagged[i + k].token.kind.is_word()
-                        && (&lowers[i + k] == w || &tagged[i + k].lemma == w)
+                let all_match = words.iter().enumerate().all(|(k, &w)| {
+                    let t = &tagged[i + k];
+                    t.token.kind.is_word() && (t.lower == w || t.lemma == w)
                 });
                 if all_match && best.map(|(_, l)| words.len() > l).unwrap_or(true) {
                     best = Some((si, words.len()));
@@ -447,7 +447,7 @@ fn associate_pattern(
                 break;
             }
             let t = &tagged[pos];
-            if PATTERN_FILLERS.contains(&t.lower().as_str()) {
+            if PATTERN_FILLERS.contains(&t.lower()) {
                 fillers += 1;
                 pos += 1;
             } else {

@@ -53,7 +53,7 @@ impl Linkage {
     pub fn constituents(&self) -> Constituents {
         let n = self.words.len();
         let mut adj: Vec<Vec<(usize, &str)>> = vec![Vec::new(); n];
-        for l in &self.links {
+        for l in self.links.iter() {
             adj[l.left].push((l.right, l.label.as_str()));
             adj[l.right].push((l.left, l.label.as_str()));
         }

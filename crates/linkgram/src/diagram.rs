@@ -112,7 +112,7 @@ mod tests {
                 "144/90".into(),
             ],
             token_map: vec![None, Some(0), Some(1), Some(2), Some(3)],
-            links: vec![
+            links: std::sync::Arc::new(vec![
                 Link {
                     left: 0,
                     right: 2,
@@ -133,7 +133,7 @@ mod tests {
                     right: 4,
                     label: "O".into(),
                 },
-            ],
+            ]),
             cost: 0.0,
         }
     }
@@ -162,7 +162,7 @@ mod tests {
         let l = Linkage {
             words: vec!["a".into(), "b".into()],
             token_map: vec![Some(0), Some(1)],
-            links: vec![],
+            links: std::sync::Arc::new(vec![]),
             cost: 0.0,
         };
         assert_eq!(l.diagram(), "a  b");
@@ -173,11 +173,11 @@ mod tests {
         let l = Linkage {
             words: vec!["a".into(), "b".into()],
             token_map: vec![Some(0), Some(1)],
-            links: vec![Link {
+            links: std::sync::Arc::new(vec![Link {
                 left: 0,
                 right: 1,
                 label: "VERYLONGLABEL".into(),
-            }],
+            }]),
             cost: 0.0,
         };
         let d = l.diagram();

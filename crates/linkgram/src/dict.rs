@@ -40,6 +40,7 @@
 
 use crate::expr::{expand, parse_expr, Disjunct};
 use cmr_postag::{Tag, TaggedToken};
+use cmr_text::{intern, Sym};
 use std::collections::HashMap;
 
 /// Maximum disjuncts one class expression may expand to.
@@ -237,6 +238,38 @@ const WORD_CLASSES: &[(&str, &str)] = &[
     ("shall", "modal"),
 ];
 
+/// POS-tag fallback table: tag → class name. `tag_class` and the interned
+/// `tag_ids` index are both derived from this one table so they cannot
+/// diverge.
+const TAG_CLASSES: &[(Tag, &str)] = &[
+    (Tag::NN, "noun-sg"),
+    (Tag::NNP, "noun-sg"),
+    (Tag::NNS, "noun-pl"),
+    (Tag::CD, "number"),
+    (Tag::JJ, "adj"),
+    (Tag::JJR, "adj"),
+    (Tag::JJS, "adj"),
+    (Tag::VBZ, "verb-z"),
+    (Tag::VBP, "verb-p"),
+    (Tag::VB, "verb-base"),
+    (Tag::VBD, "verb-d"),
+    (Tag::VBG, "verb-g"),
+    (Tag::VBN, "verb-n"),
+    (Tag::RB, "adv"),
+    (Tag::RBR, "adv"),
+    (Tag::RBS, "adv"),
+    (Tag::IN, "prep"),
+    (Tag::DT, "det"),
+    (Tag::PRPS, "det"),
+    (Tag::PRP, "pron"),
+    (Tag::EX, "pron"),
+    (Tag::CC, "coord"),
+    (Tag::MD, "modal"),
+    (Tag::TO, "to"),
+    (Tag::WP, "rel"),
+    (Tag::WDT, "rel"),
+];
+
 /// A defect in a dictionary definition, found while compiling it.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DictError {
@@ -265,6 +298,60 @@ impl std::fmt::Display for DictError {
 
 impl std::error::Error for DictError {}
 
+/// A class's disjuncts in ready-to-parse form, computed once per
+/// dictionary instead of once per parse:
+///
+/// * connector lists reversed to the parser's farthest-first order,
+/// * sorted by (left, right) shape then cost, duplicates collapsed to the
+///   cheapest (exactly what the parser's old per-parse prune did),
+/// * indexed by the interned base of the farthest (head) connector on each
+///   side, so the region split's candidate scan is a hash probe on a `u32`.
+#[derive(Debug, Clone)]
+pub(crate) struct WordShape {
+    pub(crate) disjuncts: Vec<Disjunct>,
+    pub(crate) by_left_head: HashMap<Sym, Vec<u16>>,
+    pub(crate) by_right_head: HashMap<Sym, Vec<u16>>,
+}
+
+impl WordShape {
+    fn build(raw: &[Disjunct]) -> WordShape {
+        let mut disjuncts: Vec<Disjunct> = raw
+            .iter()
+            .map(|d| {
+                let mut nd = d.clone();
+                nd.left.reverse();
+                nd.right.reverse();
+                nd
+            })
+            .collect();
+        disjuncts.sort_by(|a, b| {
+            (&a.left, &a.right)
+                .cmp(&(&b.left, &b.right))
+                .then(a.cost.total_cmp(&b.cost))
+        });
+        disjuncts.dedup_by(|b, a| a.left == b.left && a.right == b.right);
+        debug_assert!(disjuncts.len() <= u16::MAX as usize, "shape index is u16");
+        let mut by_left_head: HashMap<Sym, Vec<u16>> = HashMap::new();
+        let mut by_right_head: HashMap<Sym, Vec<u16>> = HashMap::new();
+        for (i, d) in disjuncts.iter().enumerate() {
+            if let Some(c) = d.left.first() {
+                by_left_head.entry(c.base_sym()).or_default().push(i as u16);
+            }
+            if let Some(c) = d.right.first() {
+                by_right_head
+                    .entry(c.base_sym())
+                    .or_default()
+                    .push(i as u16);
+            }
+        }
+        WordShape {
+            disjuncts,
+            by_left_head,
+            by_right_head,
+        }
+    }
+}
+
 /// The compiled dictionary.
 #[derive(Debug, Clone)]
 pub struct Dictionary {
@@ -273,6 +360,17 @@ pub struct Dictionary {
     /// LEFT-WALL disjuncts, validated at construction so [`Dictionary::wall`]
     /// is infallible.
     wall: Vec<Disjunct>,
+    /// Parse-ready shapes, one per class, indexed by the ids below.
+    shapes: Vec<WordShape>,
+    /// Word-table lookup keyed on the interned lowercase form: value is the
+    /// interned class key (the word itself) and the shape index.
+    word_ids: HashMap<Sym, (Sym, u16)>,
+    /// POS-tag fallback: value is the interned class name and shape index.
+    tag_ids: HashMap<Tag, (Sym, u16)>,
+    /// Shape index of LEFT-WALL.
+    wall_id: u16,
+    /// Class key for tokens no rule covers (`"-"`).
+    unknown: Sym,
 }
 
 impl Default for Dictionary {
@@ -296,21 +394,48 @@ impl Dictionary {
     /// definition defect as a [`DictError`] instead of panicking.
     pub fn try_clinical_english() -> Result<Dictionary, DictError> {
         let mut classes = HashMap::new();
+        let mut shapes = Vec::with_capacity(CLASS_DEFS.len());
+        let mut shape_ids: HashMap<&'static str, u16> = HashMap::new();
         for (name, text) in CLASS_DEFS {
             let expr =
                 parse_expr(text).map_err(|error| DictError::BadClass { class: name, error })?;
-            classes.insert(*name, expand(&expr, EXPANSION_CAP));
+            let expanded = expand(&expr, EXPANSION_CAP);
+            shape_ids.insert(name, shapes.len() as u16);
+            shapes.push(WordShape::build(&expanded));
+            classes.insert(*name, expanded);
         }
-        let words = WORD_CLASSES.iter().copied().collect();
+        let words: HashMap<&'static str, &'static str> = WORD_CLASSES.iter().copied().collect();
         let wall = classes
             .get("LEFT-WALL")
             .filter(|w| !w.is_empty())
             .cloned()
             .ok_or(DictError::MissingWall)?;
+        let wall_id = *shape_ids.get("LEFT-WALL").ok_or(DictError::MissingWall)?;
+        // The static tables are internally consistent (each word/tag class
+        // names a defined class); tests cover it, the expect documents it.
+        let id_of = |class: &str| -> u16 {
+            *shape_ids
+                .get(class)
+                .expect("word/tag tables reference defined classes")
+        };
+        let mut word_ids = HashMap::with_capacity(WORD_CLASSES.len());
+        for (word, class) in WORD_CLASSES {
+            let sym = intern(word);
+            word_ids.insert(sym, (sym, id_of(class)));
+        }
+        let mut tag_ids = HashMap::with_capacity(TAG_CLASSES.len());
+        for (tag, class) in TAG_CLASSES {
+            tag_ids.insert(*tag, (intern(class), id_of(class)));
+        }
         Ok(Dictionary {
             classes,
             words,
             wall,
+            shapes,
+            word_ids,
+            tag_ids,
+            wall_id,
+            unknown: intern("-"),
         })
     }
 
@@ -326,34 +451,46 @@ impl Dictionary {
     /// the same vitals template with different numbers.
     pub fn class_key(&self, tok: &TaggedToken) -> &'static str {
         let lower = tok.lower();
-        if let Some((word, _)) = self.words.get_key_value(lower.as_str()) {
+        if let Some((word, _)) = self.words.get_key_value(lower) {
             return word;
         }
         self.tag_class(tok.tag).unwrap_or("-")
     }
 
+    /// Interned equivalent of [`Dictionary::class_key`]: the parser builds
+    /// cache signatures from these, so a signature probe hashes `u32`s
+    /// instead of a vector of string pointers.
+    pub fn class_key_sym(&self, tok: &TaggedToken) -> Sym {
+        if let Some(&(key, _)) = self.word_ids.get(&tok.lower) {
+            return key;
+        }
+        match self.tag_ids.get(&tok.tag) {
+            Some(&(key, _)) => key,
+            None => self.unknown,
+        }
+    }
+
+    /// The parse-ready shape a token resolves to, or `None` when no rule
+    /// covers it (stray punctuation), which fails the parse as before.
+    pub(crate) fn shape_of(&self, tok: &TaggedToken) -> Option<&WordShape> {
+        let id = if let Some(&(_, id)) = self.word_ids.get(&tok.lower) {
+            id
+        } else {
+            self.tag_ids.get(&tok.tag).map(|&(_, id)| id)?
+        };
+        self.shapes.get(id as usize)
+    }
+
+    /// Parse-ready LEFT-WALL shape.
+    pub(crate) fn wall_shape(&self) -> &WordShape {
+        &self.shapes[self.wall_id as usize]
+    }
+
     fn tag_class(&self, tag: Tag) -> Option<&'static str> {
-        Some(match tag {
-            Tag::NN | Tag::NNP => "noun-sg",
-            Tag::NNS => "noun-pl",
-            Tag::CD => "number",
-            Tag::JJ | Tag::JJR | Tag::JJS => "adj",
-            Tag::VBZ => "verb-z",
-            Tag::VBP => "verb-p",
-            Tag::VB => "verb-base",
-            Tag::VBD => "verb-d",
-            Tag::VBG => "verb-g",
-            Tag::VBN => "verb-n",
-            Tag::RB | Tag::RBR | Tag::RBS => "adv",
-            Tag::IN => "prep",
-            Tag::DT | Tag::PRPS => "det",
-            Tag::PRP | Tag::EX => "pron",
-            Tag::CC => "coord",
-            Tag::MD => "modal",
-            Tag::TO => "to",
-            Tag::WP | Tag::WDT => "rel",
-            _ => return None,
-        })
+        TAG_CLASSES
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, class)| *class)
     }
 
     /// Disjuncts for a word given its tagged form. Returns an empty slice
@@ -362,7 +499,7 @@ impl Dictionary {
     /// in the paper.
     pub fn disjuncts(&self, tok: &TaggedToken) -> &[Disjunct] {
         let lower = tok.lower();
-        if let Some(class) = self.words.get(lower.as_str()) {
+        if let Some(class) = self.words.get(lower) {
             return self.class(class);
         }
         match self.tag_class(tok.tag) {

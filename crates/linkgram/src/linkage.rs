@@ -7,6 +7,7 @@
 //! distance between any word pair can be calculated from the graph."
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One link between two words.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,8 +116,9 @@ pub struct Linkage {
     /// Mapping from linkage word index to source token index (`None` for
     /// the wall).
     pub token_map: Vec<Option<usize>>,
-    /// The links, sorted by (left, right).
-    pub links: Vec<Link>,
+    /// The links, sorted by (left, right). Shared (`Arc`) so that cache
+    /// hits rebuild a linkage without deep-copying the link vector.
+    pub links: Arc<Vec<Link>>,
     /// Total parse cost (lower is a better parse).
     pub cost: f64,
 }
@@ -144,7 +146,7 @@ impl Linkage {
     pub fn distances_from(&self, word: usize, weights: &LinkWeights) -> Vec<f64> {
         let n = self.words.len();
         let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-        for l in &self.links {
+        for l in self.links.iter() {
             let w = weights.weight(&l.label);
             adj[l.left].push((l.right, w));
             adj[l.right].push((l.left, w));
@@ -196,7 +198,7 @@ mod tests {
                 "144/90".into(),
             ],
             token_map: vec![None, Some(0), Some(1), Some(2), Some(3)],
-            links: vec![
+            links: Arc::new(vec![
                 Link {
                     left: 0,
                     right: 2,
@@ -217,7 +219,7 @@ mod tests {
                     right: 4,
                     label: "O".into(),
                 },
-            ],
+            ]),
             cost: 0.0,
         }
     }

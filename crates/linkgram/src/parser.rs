@@ -24,13 +24,11 @@
 //! the parser prefers close attachments.
 
 use crate::connector::Connector;
-use crate::dict::Dictionary;
-use crate::expr::Disjunct;
+use crate::dict::{Dictionary, WordShape};
 use crate::linkage::{Link, Linkage};
 use cmr_postag::{PosTagger, TaggedToken};
-use cmr_text::tokenize;
+use cmr_text::{tokenize, Sym};
 use std::collections::HashMap;
-use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 
 /// Per-link length penalty: breaks cost ties toward close attachment
@@ -62,9 +60,13 @@ const PARSE_CACHE_CAP: usize = 4096;
 #[derive(Debug, Clone, Default)]
 pub struct LinkParser {
     dict: Dictionary,
-    cache: std::cell::RefCell<HashMap<Vec<&'static str>, Result<CachedParse, ParseFailure>>>,
+    cache: std::cell::RefCell<ShapeCache>,
     shared: Option<SharedParseCache>,
     stats: std::cell::Cell<ParserStats>,
+    /// Reused buffer for building cache signatures (interned class keys).
+    sig_scratch: std::cell::RefCell<Vec<Sym>>,
+    /// Reused memo/arena/bitmap storage for uncached parses.
+    scratch: std::cell::RefCell<ParseScratch>,
 }
 
 /// Why a parse produced no linkage.
@@ -106,22 +108,108 @@ impl std::fmt::Display for ParseFailure {
 
 impl std::error::Error for ParseFailure {}
 
-/// The shared map: sentence shape (word-class sequence) → parse outcome.
-/// Failures are cached too, so a shape that cannot parse is rejected once
-/// per pool, not once per worker.
-type SharedShapeMap = HashMap<Vec<&'static str>, Result<CachedParse, ParseFailure>>;
+/// One cached outcome: sentence shape (interned word-class sequence) →
+/// parse structure or typed failure. Failures are cached too, so a shape
+/// that cannot parse is rejected once, not once per sighting.
+type ShapeEntry = Result<CachedParse, ParseFailure>;
+
+/// A bounded shape → parse map with two-generation (second-chance)
+/// eviction. New and re-touched entries live in the *hot* generation; when
+/// it fills, the previous (*cold*) generation is discarded and hot becomes
+/// cold. An entry is therefore only evicted after a full generation passes
+/// without it being touched — a steady-state working set smaller than half
+/// the capacity is never evicted, unlike the old wholesale `clear()` which
+/// dropped the working set along with the strays that filled the map.
+#[derive(Debug, Clone)]
+struct ShapeCache {
+    hot: HashMap<Arc<[Sym]>, ShapeEntry, FxBuild>,
+    cold: HashMap<Arc<[Sym]>, ShapeEntry, FxBuild>,
+    /// Per-generation capacity: half the configured total.
+    gen_cap: usize,
+    /// Entries discarded by generation rotation since construction.
+    evictions: u64,
+}
+
+impl Default for ShapeCache {
+    fn default() -> Self {
+        ShapeCache::with_limit(PARSE_CACHE_CAP)
+    }
+}
+
+impl ShapeCache {
+    fn with_limit(cap: usize) -> ShapeCache {
+        ShapeCache {
+            hot: HashMap::default(),
+            cold: HashMap::default(),
+            gen_cap: (cap / 2).max(1),
+            evictions: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.hot.len() + self.cold.len()
+    }
+
+    /// Looks up a shape, promoting a cold hit into the hot generation (the
+    /// second chance). Returns a clone: entries are an `Arc` + `f64`, or a
+    /// `Copy` failure, so this is cheap.
+    fn get(&mut self, sig: &[Sym]) -> Option<ShapeEntry> {
+        if let Some(entry) = self.hot.get(sig) {
+            return Some(entry.clone());
+        }
+        let (key, entry) = self.cold.remove_entry(sig)?;
+        self.store(key, entry.clone());
+        Some(entry)
+    }
+
+    fn insert(&mut self, sig: Arc<[Sym]>, entry: ShapeEntry) {
+        // Drop any cold duplicate so rotation cannot resurrect a shadowed
+        // entry and `len` stays honest.
+        self.cold.remove(&sig);
+        self.store(sig, entry);
+    }
+
+    fn store(&mut self, sig: Arc<[Sym]>, entry: ShapeEntry) {
+        if self.hot.len() >= self.gen_cap && !self.hot.contains_key(&sig) {
+            self.evictions += self.cold.len() as u64;
+            self.cold = std::mem::take(&mut self.hot);
+        }
+        self.hot.insert(sig, entry);
+    }
+
+    fn clear(&mut self) {
+        self.hot.clear();
+        self.cold.clear();
+    }
+}
 
 /// A parse-structure cache shared between parser instances across threads.
-/// Cloning the handle shares the underlying map.
+/// Cloning the handle shares the underlying map, which is bounded by the
+/// same two-generation eviction scheme as each parser's local cache.
 #[derive(Debug, Clone, Default)]
 pub struct SharedParseCache {
-    inner: Arc<Mutex<SharedShapeMap>>,
+    inner: Arc<Mutex<ShapeCache>>,
 }
 
 impl SharedParseCache {
-    /// An empty shared cache.
+    /// An empty shared cache with the default capacity.
     pub fn new() -> SharedParseCache {
         SharedParseCache::default()
+    }
+
+    /// An empty shared cache bounded to roughly `cap` cached shapes.
+    pub fn with_capacity(cap: usize) -> SharedParseCache {
+        SharedParseCache {
+            inner: Arc::new(Mutex::new(ShapeCache::with_limit(cap))),
+        }
+    }
+
+    /// Entries discarded by the shared cache's generation rotation.
+    pub fn evictions(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .evictions
     }
 
     /// Number of cached sentence shapes. A poisoned lock is recovered, not
@@ -151,6 +239,9 @@ pub struct ParserStats {
     pub cache_misses: u64,
     /// Wall time spent in uncached parses, in nanoseconds.
     pub parse_nanos: u64,
+    /// Entries discarded from the local structure cache by generation
+    /// rotation (see the cap on the cache).
+    pub evictions: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -164,10 +255,18 @@ impl LinkParser {
     pub fn new() -> LinkParser {
         LinkParser {
             dict: Dictionary::clinical_english(),
-            cache: std::cell::RefCell::new(HashMap::new()),
+            cache: std::cell::RefCell::new(ShapeCache::default()),
             shared: None,
             stats: std::cell::Cell::new(ParserStats::default()),
+            sig_scratch: std::cell::RefCell::new(Vec::new()),
+            scratch: std::cell::RefCell::new(ParseScratch::default()),
         }
+    }
+
+    /// Rebounds the local structure cache to roughly `cap` shapes,
+    /// discarding current entries (tests, memory tuning).
+    pub fn set_cache_capacity(&mut self, cap: usize) {
+        *self.cache.borrow_mut() = ShapeCache::with_limit(cap);
     }
 
     /// Attaches a pool-wide structure cache, consulted (and fed) on
@@ -214,16 +313,23 @@ impl LinkParser {
         }
 
         // Structure cache: identical class-key sequences share a linkage.
-        let signature: Vec<&'static str> = tagged.iter().map(|t| self.dict.class_key(t)).collect();
-        if let Some(cached) = self.cache.borrow().get(&signature) {
-            let mut stats = self.stats.get();
-            stats.cache_hits += 1;
-            self.stats.set(stats);
+        // The signature is a sequence of interned symbols built in a reused
+        // buffer, so the probe hashes `u32`s and allocates nothing.
+        let mut sig = self.sig_scratch.borrow_mut();
+        sig.clear();
+        sig.extend(tagged.iter().map(|t| self.dict.class_key_sym(t)));
+        if let Some(cached) = self.cache.borrow_mut().get(&sig) {
+            drop(sig);
+            self.count_hit();
             return match cached {
-                Ok(c) => Ok(self.rebuild(tagged, c)),
-                Err(f) => Err(*f),
+                Ok(c) => Ok(self.rebuild(tagged, &c)),
+                Err(f) => Err(f),
             };
         }
+        // A miss materializes the signature exactly once; the shared and
+        // local inserts below share it by cloning the cheap `Arc`.
+        let signature: Arc<[Sym]> = Arc::from(&sig[..]);
+        drop(sig);
         // Local miss: another parser in the pool may have seen this shape.
         // The shared lock is held ACROSS the fallback parse on a shared
         // miss, deliberately: when a pool starts cold, every worker hits
@@ -237,31 +343,35 @@ impl LinkParser {
                 .inner
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            if let Some(cached) = map.get(&signature).cloned() {
+            if let Some(cached) = map.get(&signature[..]) {
                 drop(map);
-                let mut stats = self.stats.get();
-                stats.cache_hits += 1;
-                self.stats.set(stats);
+                self.count_hit();
                 let result = match &cached {
                     Ok(c) => Ok(self.rebuild(tagged, c)),
                     Err(f) => Err(*f),
                 };
-                self.cache_locally(signature, cached);
+                self.cache.borrow_mut().insert(signature, cached);
                 return result;
             }
             let result = self.parse_and_count(tagged);
             let entry = cache_entry(&result);
-            if map.len() >= PARSE_CACHE_CAP {
-                map.clear();
-            }
-            map.insert(signature.clone(), entry.clone());
+            map.insert(Arc::clone(&signature), entry.clone());
             drop(map);
-            self.cache_locally(signature, entry);
+            self.cache.borrow_mut().insert(signature, entry);
             return result;
         }
         let result = self.parse_and_count(tagged);
-        self.cache_locally(signature, cache_entry(&result));
+        self.cache
+            .borrow_mut()
+            .insert(signature, cache_entry(&result));
         result
+    }
+
+    /// Charges one cache hit to the stats counters.
+    fn count_hit(&self) {
+        let mut stats = self.stats.get();
+        stats.cache_hits += 1;
+        self.stats.set(stats);
     }
 
     /// Runs the uncached parser, charging the miss and wall time to stats.
@@ -275,22 +385,8 @@ impl LinkParser {
         result
     }
 
-    /// Inserts one entry into the local structure cache, bounding its size:
-    /// corpora reuse a few dozen shapes; a pathological stream of distinct
-    /// shapes must not grow memory without limit.
-    fn cache_locally(
-        &self,
-        signature: Vec<&'static str>,
-        entry: Result<CachedParse, ParseFailure>,
-    ) {
-        let mut cache = self.cache.borrow_mut();
-        if cache.len() >= PARSE_CACHE_CAP {
-            cache.clear();
-        }
-        cache.insert(signature, entry);
-    }
-
-    /// Reconstructs a linkage for `tagged` from a cached structure.
+    /// Reconstructs a linkage for `tagged` from a cached structure. The
+    /// links are shared with the cache entry (`Arc`), not deep-copied.
     fn rebuild(&self, tagged: &[TaggedToken], cached: &CachedParse) -> Linkage {
         let mut words = vec!["LEFT-WALL".to_string()];
         words.extend(tagged.iter().map(|t| t.token.text.clone()));
@@ -300,79 +396,60 @@ impl LinkParser {
         Linkage {
             words,
             token_map,
-            links: cached.links.as_ref().clone(),
+            links: Arc::clone(&cached.links),
             cost: cached.cost,
         }
     }
 
     fn parse_uncached(&self, tagged: &[TaggedToken]) -> Result<Linkage, ParseFailure> {
         // Word 0 is the LEFT-WALL; words 1..=n are the sentence tokens.
-        let mut disjuncts: Vec<Vec<Disjunct>> = Vec::with_capacity(tagged.len() + 1);
-        disjuncts.push(normalize(self.dict.wall()));
+        // Shapes (normalized, sorted, deduped, head-indexed disjunct tables)
+        // are compiled once per dictionary; the only per-parse disjunct
+        // state is the live bitmap maintained by `prune`.
+        let mut shapes: Vec<&WordShape> = Vec::with_capacity(tagged.len() + 1);
+        shapes.push(self.dict.wall_shape());
         for t in tagged {
-            disjuncts.push(normalize(self.dict.disjuncts(t)));
+            // A word with no disjuncts can never link: fail fast.
+            match self.dict.shape_of(t) {
+                Some(s) if !s.disjuncts.is_empty() => shapes.push(s),
+                _ => return Err(ParseFailure::NoDisjuncts),
+            }
         }
-        prune(&mut disjuncts);
-        // A word with no surviving disjuncts can never link: fail fast.
-        if disjuncts.iter().any(Vec::is_empty) {
+        let n = shapes.len();
+        let mut scratch = self.scratch.borrow_mut();
+        let ParseScratch { memo, arena, live } = &mut *scratch;
+        if !prune(&shapes, live) {
             return Err(ParseFailure::NoDisjuncts);
         }
-
-        let n = disjuncts.len();
-        // Index disjuncts by the base of their farthest (head) connector on
-        // each side: the region split always matches that head first, so a
-        // lookup replaces a scan over every disjunct of W.
-        let by_left_head: Vec<HashMap<&str, Vec<u16>>> = disjuncts
-            .iter()
-            .map(|ds| {
-                let mut m: HashMap<&str, Vec<u16>> = HashMap::new();
-                for (i, d) in ds.iter().enumerate() {
-                    if let Some(c) = d.left.first() {
-                        m.entry(c.base.as_str()).or_default().push(i as u16);
-                    }
-                }
-                m
-            })
-            .collect();
-        let by_right_head: Vec<HashMap<&str, Vec<u16>>> = disjuncts
-            .iter()
-            .map(|ds| {
-                let mut m: HashMap<&str, Vec<u16>> = HashMap::new();
-                for (i, d) in ds.iter().enumerate() {
-                    if let Some(c) = d.right.first() {
-                        m.entry(c.base.as_str()).or_default().push(i as u16);
-                    }
-                }
-                m
-            })
-            .collect();
+        memo.clear();
+        arena.clear();
         let mut ctx = Ctx {
-            disjuncts: &disjuncts,
-            by_left_head: &by_left_head,
-            by_right_head: &by_right_head,
-            memo: HashMap::default(),
+            shapes: &shapes,
+            live: &*live,
+            memo,
+            arena,
         };
         // Top level: the wall's right connectors must cover the sentence;
         // the virtual right boundary at index n has no connectors.
         let mut best: Option<Sol> = None;
-        for (di, d) in disjuncts[0].iter().enumerate() {
-            if !d.left.is_empty() {
+        for (di, d) in shapes[0].disjuncts.iter().enumerate() {
+            if !ctx.live[0][di] || !d.left.is_empty() {
                 continue;
             }
             let lref = ctx.list(0, di, Side::Right, 0);
             if let Some(sol) = ctx.best(0, n as u16, lref, ListRef::EMPTY) {
-                let total = Sol {
-                    cost: sol.cost + d.cost,
-                    links: sol.links.clone(),
-                };
-                if best.as_ref().map(|b| total.cost < b.cost).unwrap_or(true) {
-                    best = Some(total);
+                let cost = sol.cost + d.cost;
+                if better(&best, cost) {
+                    best = Some(Sol {
+                        cost,
+                        links: sol.links,
+                    });
                 }
             }
         }
         let sol = best.ok_or(ParseFailure::NoLinkage)?;
         let mut links: Vec<Link> = Vec::new();
-        flatten(&sol.links, &mut links);
+        flatten(ctx.arena, ctx.shapes, sol.links, &mut links);
         links.sort_by_key(|l| (l.left, l.right));
         let mut words = vec!["LEFT-WALL".to_string()];
         words.extend(tagged.iter().map(|t| t.token.text.clone()));
@@ -382,7 +459,7 @@ impl LinkParser {
         Ok(Linkage {
             words,
             token_map,
-            links,
+            links: Arc::new(links),
             cost: sol.cost,
         })
     }
@@ -404,12 +481,15 @@ impl LinkParser {
 
     /// Cache and timing counters since construction or the last reset.
     pub fn stats(&self) -> ParserStats {
-        self.stats.get()
+        let mut stats = self.stats.get();
+        stats.evictions = self.cache.borrow().evictions;
+        stats
     }
 
     /// Zeroes the [`ParserStats`] counters (the cache itself is kept).
     pub fn reset_stats(&self) {
         self.stats.set(ParserStats::default());
+        self.cache.borrow_mut().evictions = 0;
     }
 
     /// Null-link parsing (the original parser's "panic mode"): when no
@@ -470,10 +550,10 @@ impl LinkParser {
 
 /// The shareable cache entry for one parse outcome; failures keep their
 /// reason so replays report the same [`ParseFailure`].
-fn cache_entry(result: &Result<Linkage, ParseFailure>) -> Result<CachedParse, ParseFailure> {
+fn cache_entry(result: &Result<Linkage, ParseFailure>) -> ShapeEntry {
     match result {
         Ok(l) => Ok(CachedParse {
-            links: Arc::new(l.links.clone()),
+            links: Arc::clone(&l.links),
             cost: l.cost,
         }),
         Err(f) => Err(*f),
@@ -499,81 +579,98 @@ fn combinations(
     }
 }
 
-/// Reverses each side so lists are farthest-first for the parser.
-fn normalize(ds: &[Disjunct]) -> Vec<Disjunct> {
-    ds.iter()
-        .map(|d| {
-            let mut nd = d.clone();
-            nd.left.reverse();
-            nd.right.reverse();
-            nd
-        })
-        .collect()
+/// First-found-wins tie break: a candidate replaces the best only when
+/// strictly cheaper (matching the original parser's `consider`).
+fn better(best: &Option<Sol>, cost: f64) -> bool {
+    best.as_ref().map(|b| cost < b.cost).unwrap_or(true)
 }
 
-/// Iterative pruning: delete any disjunct with a connector that no word on
-/// the proper side could ever match. Runs to fixpoint; typically collapses
-/// the generic-class expansions by an order of magnitude.
-fn prune(disjuncts: &mut [Vec<Disjunct>]) {
-    // Capacity pruning: a word at position i has only i words to its left
-    // and (n-1-i) to its right; disjuncts demanding more can never
-    // complete. Then dedup identical connector shapes, keeping the
-    // cheapest.
-    let n = disjuncts.len();
-    for (i, ds) in disjuncts.iter_mut().enumerate() {
-        ds.retain(|d| d.left.len() <= i && d.right.len() <= n - 1 - i);
-        ds.sort_by(|a, b| {
-            (&a.left, &a.right)
-                .cmp(&(&b.left, &b.right))
-                .then(a.cost.total_cmp(&b.cost))
-        });
-        ds.dedup_by(|b, a| a.left == b.left && a.right == b.right);
+/// Capacity + iterative pruning over the precompiled shapes, recorded in a
+/// reusable live-disjunct bitmap (the shapes themselves are shared and
+/// never copied). Capacity first: a word at position i has only i words to
+/// its left and (n-1-i) to its right; disjuncts demanding more can never
+/// complete. Then to fixpoint: kill any disjunct with a connector that no
+/// live disjunct on the proper side could ever match. Returns `false` when
+/// some word has no live disjunct left.
+fn prune(shapes: &[&WordShape], live: &mut Vec<Vec<bool>>) -> bool {
+    let n = shapes.len();
+    if live.len() < n {
+        live.resize_with(n, Vec::new);
     }
+    for (i, shape) in shapes.iter().enumerate() {
+        let row = &mut live[i];
+        row.clear();
+        row.extend(
+            shape
+                .disjuncts
+                .iter()
+                .map(|d| d.left.len() <= i && d.right.len() <= n - 1 - i),
+        );
+    }
+    // Unique connectors available on each side, kept as one monotone list
+    // per direction with per-word prefix cuts: word i sees right-pointing
+    // connectors of words < i as `acc_r[..cut_r[i]]`, and left-pointing
+    // ones of words > i as `acc_l[..cut_l[i]]`. Two flat vectors replace
+    // the per-word accumulator clones of the previous implementation.
+    let mut acc_r: Vec<&Connector> = Vec::new();
+    let mut acc_l: Vec<&Connector> = Vec::new();
+    let mut cut_r: Vec<usize> = vec![0; n];
+    let mut cut_l: Vec<usize> = vec![0; n];
     loop {
-        // Unique right-pointing connectors available strictly left of each
-        // word, and left-pointing ones strictly right of it.
-        let n = disjuncts.len();
-        let mut right_avail: Vec<Vec<Connector>> = Vec::with_capacity(n);
-        let mut acc: Vec<Connector> = Vec::new();
-        for ds in disjuncts.iter() {
-            right_avail.push(acc.clone());
-            for d in ds {
+        acc_r.clear();
+        for (i, shape) in shapes.iter().enumerate() {
+            cut_r[i] = acc_r.len();
+            for (di, d) in shape.disjuncts.iter().enumerate() {
+                if !live[i][di] {
+                    continue;
+                }
                 for c in &d.right {
-                    if !acc.contains(c) {
-                        acc.push(c.clone());
+                    if !acc_r.contains(&c) {
+                        acc_r.push(c);
                     }
                 }
             }
         }
-        let mut left_avail: Vec<Vec<Connector>> = vec![Vec::new(); n];
-        let mut acc: Vec<Connector> = Vec::new();
-        for (i, ds) in disjuncts.iter().enumerate().rev() {
-            left_avail[i] = acc.clone();
-            for d in ds {
+        acc_l.clear();
+        for (i, shape) in shapes.iter().enumerate().rev() {
+            cut_l[i] = acc_l.len();
+            for (di, d) in shape.disjuncts.iter().enumerate() {
+                if !live[i][di] {
+                    continue;
+                }
                 for c in &d.left {
-                    if !acc.contains(c) {
-                        acc.push(c.clone());
+                    if !acc_l.contains(&c) {
+                        acc_l.push(c);
                     }
                 }
             }
         }
         let mut changed = false;
-        for (i, ds) in disjuncts.iter_mut().enumerate() {
-            let before = ds.len();
-            ds.retain(|d| {
-                d.left
+        for (i, shape) in shapes.iter().enumerate() {
+            let right_avail = &acc_r[..cut_r[i]];
+            let left_avail = &acc_l[..cut_l[i]];
+            for (di, d) in shape.disjuncts.iter().enumerate() {
+                if !live[i][di] {
+                    continue;
+                }
+                let ok = d
+                    .left
                     .iter()
-                    .all(|c| right_avail[i].iter().any(|rc| rc.matches(c)))
+                    .all(|c| right_avail.iter().any(|rc| rc.matches(c)))
                     && d.right
                         .iter()
-                        .all(|c| left_avail[i].iter().any(|lc| c.matches(lc)))
-            });
-            changed |= ds.len() != before;
+                        .all(|c| left_avail.iter().any(|lc| c.matches(lc)));
+                if !ok {
+                    live[i][di] = false;
+                    changed = true;
+                }
+            }
         }
         if !changed {
-            return;
+            break;
         }
     }
+    live[..n].iter().all(|row| row.iter().any(|&b| b))
 }
 
 /// Which side of a disjunct a list reference points into.
@@ -612,28 +709,52 @@ impl ListRef {
     }
 }
 
-/// Cost-and-links solution for a region. Links are a shareable tree so that
-/// combining two sub-solutions is O(1).
-#[derive(Debug, Clone)]
+/// Sentinel for "no links" in the arena (the empty leaf region).
+const NIL: u32 = u32::MAX;
+
+/// Cost-and-links solution for a region. Links are a node index into the
+/// per-parse arena, so combining sub-solutions is an arena push and a `Sol`
+/// is `Copy` — the memo stores and returns plain values.
+#[derive(Debug, Clone, Copy)]
 struct Sol {
     cost: f64,
-    links: Rc<Links>,
+    links: u32,
 }
 
-#[derive(Debug)]
-enum Links {
-    Nil,
-    Leaf(Link),
-    Cat(Rc<Links>, Rc<Links>),
+/// Arena node for the link set of a partial solution. A `Leaf` records the
+/// two connector-list heads that matched; the label string is resolved from
+/// them at flatten time, only for the winning solution — candidate links
+/// that lose the cost race never allocate a label.
+#[derive(Debug, Clone, Copy)]
+enum ANode {
+    Leaf {
+        left: u16,
+        right: u16,
+        /// Right-pointing list on the left word; its head names the link.
+        a: ListRef,
+        /// Left-pointing list on the right word.
+        b: ListRef,
+    },
+    Cat(u32, u32),
 }
 
-fn flatten(links: &Links, out: &mut Vec<Link>) {
-    match links {
-        Links::Nil => {}
-        Links::Leaf(l) => out.push(l.clone()),
-        Links::Cat(a, b) => {
-            flatten(a, out);
-            flatten(b, out);
+fn flatten(arena: &[ANode], shapes: &[&WordShape], idx: u32, out: &mut Vec<Link>) {
+    if idx == NIL {
+        return;
+    }
+    match arena[idx as usize] {
+        ANode::Leaf { left, right, a, b } => {
+            let ca = head_of(shapes, a).expect("leaf stores a matched head");
+            let cb = head_of(shapes, b).expect("leaf stores a matched head");
+            out.push(Link {
+                left: left as usize,
+                right: right as usize,
+                label: ca.link_label(cb),
+            });
+        }
+        ANode::Cat(x, y) => {
+            flatten(arena, shapes, x, out);
+            flatten(arena, shapes, y, out);
         }
     }
 }
@@ -659,26 +780,49 @@ impl std::hash::Hasher for FxHasher {
         self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(K);
     }
 
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+
     fn write_u16(&mut self, v: u16) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_usize(&mut self, v: usize) {
         self.write_u64(v as u64);
     }
 }
 
 type FxBuild = std::hash::BuildHasherDefault<FxHasher>;
 
-struct Ctx<'a> {
-    disjuncts: &'a [Vec<Disjunct>],
-    by_left_head: &'a [HashMap<&'a str, Vec<u16>>],
-    by_right_head: &'a [HashMap<&'a str, Vec<u16>>],
+/// Reusable per-parser storage for uncached parses: the region memo, the
+/// link arena, and the live-disjunct bitmap. Cleared (capacity kept) at the
+/// start of each parse, so steady-state parsing stops allocating.
+#[derive(Debug, Clone, Default)]
+struct ParseScratch {
     memo: HashMap<(u16, u16, ListRef, ListRef), Option<Sol>, FxBuild>,
+    arena: Vec<ANode>,
+    live: Vec<Vec<bool>>,
+}
+
+struct Ctx<'a> {
+    shapes: &'a [&'a WordShape],
+    live: &'a [Vec<bool>],
+    memo: &'a mut HashMap<(u16, u16, ListRef, ListRef), Option<Sol>, FxBuild>,
+    arena: &'a mut Vec<ANode>,
 }
 
 impl<'a> Ctx<'a> {
     /// Builds a list reference, canonicalizing empties.
     fn list(&self, word: usize, disj: usize, side: Side, offset: usize) -> ListRef {
+        let d = &self.shapes[word].disjuncts[disj];
         let len = match side {
-            Side::Left => self.disjuncts[word][disj].left.len(),
-            Side::Right => self.disjuncts[word][disj].right.len(),
+            Side::Left => d.left.len(),
+            Side::Right => d.right.len(),
         };
         if offset >= len {
             ListRef::EMPTY
@@ -687,8 +831,35 @@ impl<'a> Ctx<'a> {
         }
     }
 
-    fn head(&self, r: ListRef) -> Option<&Connector> {
-        head_of(self.disjuncts, r)
+    /// Head connector of a list reference. The returned borrow is tied to
+    /// the shape tables (`'a`), not to `self`, so it survives `&mut self`
+    /// recursion.
+    fn head(&self, r: ListRef) -> Option<&'a Connector> {
+        head_of(self.shapes, r)
+    }
+
+    fn node(&mut self, node: ANode) -> u32 {
+        self.arena.push(node);
+        (self.arena.len() - 1) as u32
+    }
+
+    fn leaf(&mut self, left: u16, right: u16, a: ListRef, b: ListRef) -> u32 {
+        self.node(ANode::Leaf { left, right, a, b })
+    }
+
+    fn cat(&mut self, x: u32, y: u32) -> u32 {
+        self.node(ANode::Cat(x, y))
+    }
+
+    fn cat3(&mut self, a: u32, b: u32, c: u32) -> u32 {
+        let bc = self.cat(b, c);
+        self.cat(a, bc)
+    }
+
+    fn cat4(&mut self, a: u32, b: u32, c: u32, d: u32) -> u32 {
+        let ab = self.cat(a, b);
+        let cd = self.cat(c, d);
+        self.cat(ab, cd)
     }
 
     /// The list minus its head.
@@ -713,7 +884,7 @@ impl<'a> Ctx<'a> {
             return if l == ListRef::EMPTY && r == ListRef::EMPTY {
                 Some(Sol {
                     cost: 0.0,
-                    links: Rc::new(Links::Nil),
+                    links: NIL,
                 })
             } else {
                 None
@@ -725,38 +896,43 @@ impl<'a> Ctx<'a> {
         }
         let key = (left, right, l, r);
         if let Some(cached) = self.memo.get(&key) {
-            return cached.clone();
+            return *cached;
         }
         // Reserve the slot to guard against accidental re-entry (the
         // recursion strictly shrinks regions, so true cycles are impossible).
         self.memo.insert(key, None);
 
         let mut best: Option<Sol> = None;
-        let disjuncts = self.disjuncts;
+        let shapes = self.shapes;
+        let live = self.live;
         if l != ListRef::EMPTY {
-            let index = self.by_left_head;
-            let head_base = head_of(disjuncts, l).expect("non-empty list").base.as_str();
+            let head_base = self.head(l).expect("non-empty list").base_sym();
             for w in (left + 1)..right {
-                let Some(cands) = index[w as usize].get(head_base) else {
+                let Some(cands) = shapes[w as usize].by_left_head.get(&head_base) else {
                     continue;
                 };
                 for &di in cands {
+                    if !live[w as usize][di as usize] {
+                        continue;
+                    }
                     self.try_left_anchored(left, right, l, r, w, di as usize, &mut best);
                 }
             }
         } else {
-            let index = self.by_right_head;
-            let head_base = head_of(disjuncts, r).expect("non-empty list").base.as_str();
+            let head_base = self.head(r).expect("non-empty list").base_sym();
             for w in (left + 1)..right {
-                let Some(cands) = index[w as usize].get(head_base) else {
+                let Some(cands) = shapes[w as usize].by_right_head.get(&head_base) else {
                     continue;
                 };
                 for &di in cands {
+                    if !live[w as usize][di as usize] {
+                        continue;
+                    }
                     self.try_right_anchored(left, right, r, w, di as usize, &mut best);
                 }
             }
         }
-        self.memo.insert(key, best.clone());
+        self.memo.insert(key, best);
         best
     }
 
@@ -774,16 +950,14 @@ impl<'a> Ctx<'a> {
         best: &mut Option<Sol>,
     ) {
         let dl = self.list(w as usize, di, Side::Left, 0);
-        let (lc, dlc) = match (self.head(l), self.head(dl)) {
-            (Some(a), Some(b)) if a.matches(b) => (a.clone(), b.clone()),
-            _ => return,
+        let linkable = match (self.head(l), self.head(dl)) {
+            (Some(a), Some(b)) => a.matches(b),
+            _ => false,
         };
-        let d_cost = self.disjuncts[w as usize][di].cost;
-        let link_lw = Link {
-            left: left as usize,
-            right: w as usize,
-            label: lc.link_label(&dlc),
-        };
+        if !linkable {
+            return;
+        }
+        let d_cost = self.shapes[w as usize].disjuncts[di].cost;
         let link_lw_cost = (w - left) as f64 * LENGTH_PENALTY;
         let dr = self.list(w as usize, di, Side::Right, 0);
 
@@ -795,22 +969,20 @@ impl<'a> Ctx<'a> {
                 // Sub-case A: W does not link directly to R.
                 if let Some(inner_right) = self.best(w, right, dr, r) {
                     let cost = d_cost + link_lw_cost + inner_left.cost + inner_right.cost;
-                    consider(
-                        best,
-                        cost,
-                        cat3(leaf(&link_lw), &inner_left.links, &inner_right.links),
-                    );
+                    if better(best, cost) {
+                        let lw = self.leaf(left, w, l, dl);
+                        let links = self.cat3(lw, inner_left.links, inner_right.links);
+                        *best = Some(Sol { cost, links });
+                    }
                 }
                 // Sub-case B: W also links to R.
-                let (drc, rc) = match (self.head(dr), self.head(r)) {
-                    (Some(a), Some(b)) if a.matches(b) => (a.clone(), b.clone()),
-                    _ => continue,
+                let wr_linkable = match (self.head(dr), self.head(r)) {
+                    (Some(a), Some(b)) => a.matches(b),
+                    _ => false,
                 };
-                let link_wr = Link {
-                    left: w as usize,
-                    right: right as usize,
-                    label: drc.link_label(&rc),
-                };
+                if !wr_linkable {
+                    continue;
+                }
                 let link_wr_cost = (right - w) as f64 * LENGTH_PENALTY;
                 for dr_next in self.successors(dr).into_iter().flatten() {
                     for r_next in self.successors(r).into_iter().flatten() {
@@ -822,16 +994,12 @@ impl<'a> Ctx<'a> {
                             + link_wr_cost
                             + inner_left.cost
                             + inner_right.cost;
-                        consider(
-                            best,
-                            cost,
-                            cat4(
-                                leaf(&link_lw),
-                                leaf(&link_wr),
-                                &inner_left.links,
-                                &inner_right.links,
-                            ),
-                        );
+                        if better(best, cost) {
+                            let lw = self.leaf(left, w, l, dl);
+                            let wr = self.leaf(w, right, dr, r);
+                            let links = self.cat4(lw, wr, inner_left.links, inner_right.links);
+                            *best = Some(Sol { cost, links });
+                        }
                     }
                 }
             }
@@ -850,16 +1018,14 @@ impl<'a> Ctx<'a> {
         best: &mut Option<Sol>,
     ) {
         let dr = self.list(w as usize, di, Side::Right, 0);
-        let (drc, rc) = match (self.head(dr), self.head(r)) {
-            (Some(a), Some(b)) if a.matches(b) => (a.clone(), b.clone()),
-            _ => return,
+        let linkable = match (self.head(dr), self.head(r)) {
+            (Some(a), Some(b)) => a.matches(b),
+            _ => false,
         };
-        let d_cost = self.disjuncts[w as usize][di].cost;
-        let link_wr = Link {
-            left: w as usize,
-            right: right as usize,
-            label: drc.link_label(&rc),
-        };
+        if !linkable {
+            return;
+        }
+        let d_cost = self.shapes[w as usize].disjuncts[di].cost;
         let link_wr_cost = (right - w) as f64 * LENGTH_PENALTY;
         let dl = self.list(w as usize, di, Side::Left, 0);
 
@@ -872,48 +1038,28 @@ impl<'a> Ctx<'a> {
                     continue;
                 };
                 let cost = d_cost + link_wr_cost + inner_left.cost + inner_right.cost;
-                consider(
-                    best,
-                    cost,
-                    cat3(leaf(&link_wr), &inner_left.links, &inner_right.links),
-                );
+                if better(best, cost) {
+                    let wr = self.leaf(w, right, dr, r);
+                    let links = self.cat3(wr, inner_left.links, inner_right.links);
+                    *best = Some(Sol { cost, links });
+                }
             }
         }
     }
 }
 
-/// Head connector of a list reference, resolved against the disjunct table.
-fn head_of(disjuncts: &[Vec<Disjunct>], r: ListRef) -> Option<&Connector> {
+/// Head connector of a list reference, resolved against the shape tables.
+fn head_of<'a>(shapes: &[&'a WordShape], r: ListRef) -> Option<&'a Connector> {
     if r == ListRef::EMPTY {
         return None;
     }
     let (w, d, side, off) = r.unpack();
+    let disjunct = &shapes[w].disjuncts[d];
     let list = match side {
-        Side::Left => &disjuncts[w][d].left,
-        Side::Right => &disjuncts[w][d].right,
+        Side::Left => &disjunct.left,
+        Side::Right => &disjunct.right,
     };
     list.get(off)
-}
-
-fn leaf(l: &Link) -> Rc<Links> {
-    Rc::new(Links::Leaf(l.clone()))
-}
-
-fn cat3(a: Rc<Links>, b: &Rc<Links>, c: &Rc<Links>) -> Rc<Links> {
-    Rc::new(Links::Cat(a, Rc::new(Links::Cat(b.clone(), c.clone()))))
-}
-
-fn cat4(a: Rc<Links>, b: Rc<Links>, c: &Rc<Links>, d: &Rc<Links>) -> Rc<Links> {
-    Rc::new(Links::Cat(
-        Rc::new(Links::Cat(a, b)),
-        Rc::new(Links::Cat(c.clone(), d.clone())),
-    ))
-}
-
-fn consider(best: &mut Option<Sol>, cost: f64, links: Rc<Links>) {
-    if best.as_ref().map(|b| cost < b.cost).unwrap_or(true) {
-        *best = Some(Sol { cost, links });
-    }
 }
 
 #[cfg(test)]
@@ -993,7 +1139,7 @@ mod tests {
         }
         // Connectivity over all words.
         let mut adj = vec![Vec::new(); n];
-        for l in &linkage.links {
+        for l in linkage.links.iter() {
             assert!(l.left < l.right && l.right < n, "link bounds {l:?}");
             adj[l.left].push(l.right);
             adj[l.right].push(l.left);
@@ -1196,5 +1342,68 @@ mod tests {
         let tokens = cmr_text::tokenize(": ; : ;");
         let tagged = cmr_postag::PosTagger::new().tag(&tokens);
         assert!(parser.parse_with_nulls(&tagged, 1).is_none());
+    }
+
+    #[test]
+    fn shape_cache_second_chance_eviction() {
+        fn key(n: usize) -> Sym {
+            cmr_text::intern(&format!("\u{1}shape-cache-test-{n}"))
+        }
+        fn sig(n: usize) -> Arc<[Sym]> {
+            Arc::from(vec![key(n)].as_slice())
+        }
+        let entry: ShapeEntry = Err(ParseFailure::NoLinkage);
+        let mut cache = ShapeCache::with_limit(4); // gen_cap = 2
+        cache.insert(sig(0), entry.clone());
+        cache.insert(sig(1), entry.clone());
+        // Hot is full; the next insert rotates (empty cold, no evictions).
+        cache.insert(sig(2), entry.clone());
+        assert_eq!(cache.evictions, 0);
+        // A cold hit gets its second chance: promoted back into hot.
+        assert!(cache.get(&[key(0)]).is_some());
+        // Hot is full again ({s2, s0}); this rotation discards the cold
+        // leftover s1, which was never re-touched.
+        cache.insert(sig(3), entry);
+        assert_eq!(cache.evictions, 1);
+        assert!(cache.get(&[key(1)]).is_none(), "s1 evicted");
+        assert!(
+            cache.get(&[key(0)]).is_some(),
+            "promoted entry survives the rotation"
+        );
+        assert!(cache.len() <= 4);
+    }
+
+    /// Acceptance gate: a steady-state working set that fits in half the
+    /// cache keeps hitting (>90%) while a stream of one-off shapes churns
+    /// past — the old wholesale `clear()` dropped the working set whenever
+    /// the strays filled the map.
+    #[test]
+    fn eviction_keeps_steady_state_working_set() {
+        let tagger = PosTagger::new();
+        let mut parser = LinkParser::new();
+        parser.set_cache_capacity(16); // gen_cap = 8
+        let hot: Vec<Vec<TaggedToken>> = (1..=6)
+            .map(|k| tagger.tag(&tokenize(&"of ".repeat(k))))
+            .collect();
+        for shape in &hot {
+            let _ = parser.try_parse(shape); // warm the working set
+        }
+        let mut hot_lookups = 0u64;
+        let mut hot_hits = 0u64;
+        for round in 0..30usize {
+            // One never-repeated shape per round churns the cache.
+            let cold = tagger.tag(&tokenize(&"the ".repeat(round + 1)));
+            let _ = parser.try_parse(&cold);
+            let before = parser.stats().cache_hits;
+            for shape in &hot {
+                let _ = parser.try_parse(shape);
+            }
+            hot_lookups += hot.len() as u64;
+            hot_hits += parser.stats().cache_hits - before;
+        }
+        let rate = hot_hits as f64 / hot_lookups as f64;
+        assert!(rate > 0.9, "hot working-set hit rate {rate} <= 0.9");
+        assert!(parser.stats().evictions > 0, "churn must evict strays");
+        assert!(parser.cache_len() <= 16, "cache bounded by its capacity");
     }
 }

@@ -23,7 +23,7 @@ fn check_planar(linkage: &Linkage) -> Result<(), TestCaseError> {
 fn check_connected(linkage: &Linkage) -> Result<(), TestCaseError> {
     let n = linkage.words.len();
     let mut adj = vec![Vec::new(); n];
-    for l in &linkage.links {
+    for l in linkage.links.iter() {
         prop_assert!(l.left < l.right && l.right < n);
         adj[l.left].push(l.right);
         adj[l.right].push(l.left);

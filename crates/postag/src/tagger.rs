@@ -10,24 +10,41 @@ use crate::tag::Tag;
 use cmr_lexicon::{
     is_known_adjective, is_known_adverb, is_known_noun, is_known_verb, Lemmatizer, WordClass,
 };
-use cmr_text::{word_value, Token, TokenKind};
+use cmr_text::{intern, intern_lower, word_value, Sym, Token, TokenKind};
 
 /// A token with its resolved tag and lemma.
+///
+/// `lower` and `lemma` are interned [`Sym`]s: downstream stages (dictionary
+/// lookup, parse-cache signatures, phrase matching) compare and hash them as
+/// `u32`s instead of allocating lowercase `String`s per token per stage.
+/// Number tokens get the [`num_sentinel`] symbol for both — their spellings
+/// are unbounded and must never grow the interner.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TaggedToken {
     /// The underlying token.
     pub token: Token,
     /// Resolved part-of-speech tag.
     pub tag: Tag,
-    /// Lemma under the resolved tag's word class.
-    pub lemma: String,
+    /// Lemma under the resolved tag's word class (interned).
+    pub lemma: Sym,
+    /// Lower-cased surface form (interned; sentinel for number tokens).
+    pub lower: Sym,
 }
 
 impl TaggedToken {
-    /// Lower-cased surface form.
-    pub fn lower(&self) -> String {
-        self.token.lower()
+    /// Lower-cased surface form. For number tokens this is the interner
+    /// sentinel, not the digits — numeric consumers read
+    /// `token.text`/`token.kind` instead.
+    pub fn lower(&self) -> &'static str {
+        self.lower.as_str()
     }
+}
+
+/// The reserved symbol standing in for every number token's lower/lemma.
+/// Contains a control character, so no tokenizer output can ever collide
+/// with it.
+pub fn num_sentinel() -> Sym {
+    intern("\u{1}NUM")
 }
 
 /// Candidate analyses for one token before contextual resolution.
@@ -80,31 +97,50 @@ impl PosTagger {
         PosTagger::default()
     }
 
-    /// Tags a token sequence (typically one sentence).
+    /// Tags a token sequence (typically one sentence), cloning the tokens.
+    /// Callers that own their tokens should prefer
+    /// [`PosTagger::tag_owned`], which moves them instead.
     pub fn tag(&self, tokens: &[Token]) -> Vec<TaggedToken> {
+        self.tag_owned(tokens.to_vec())
+    }
+
+    /// Tags a token sequence, consuming it — the hot path: no per-token
+    /// `Token` clone, one interner lookup per token instead of a lowercase
+    /// `String` per stage, and O(1) left-context tracking instead of a
+    /// backward scan per token.
+    pub fn tag_owned(&self, tokens: Vec<Token>) -> Vec<TaggedToken> {
         let lem = Lemmatizer::new();
+        let num = num_sentinel();
+        let lowers: Vec<Sym> = tokens
+            .iter()
+            .map(|t| match t.kind {
+                TokenKind::Number(_) => num,
+                _ => intern_lower(&t.text),
+            })
+            .collect();
         let candidates: Vec<Candidates> = tokens
             .iter()
             .enumerate()
-            .map(|(i, t)| analyze(t, i == 0 || is_boundary(tokens, i), &lem))
+            .map(|(i, t)| analyze(t, lowers[i], i == 0 || is_boundary(&tokens, i), &lem))
             .collect();
 
         let mut out: Vec<TaggedToken> = Vec::with_capacity(tokens.len());
-        for (i, (tok, cand)) in tokens.iter().zip(&candidates).enumerate() {
-            // Effective left context skips adverbs so "has never smoked"
-            // still sees the auxiliary.
-            let prev = out
-                .iter()
-                .rev()
-                .find(|t| !t.tag.is_adverb())
-                .map(|t| (t.tag, t.lower()));
+        // Effective left context skips adverbs so "has never smoked" still
+        // sees the auxiliary.
+        let mut prev: Option<(Tag, Sym)> = None;
+        for (i, tok) in tokens.into_iter().enumerate() {
+            let cand = &candidates[i];
             let next_is_nounish = candidates.get(i + 1).map(looks_nounish).unwrap_or(false);
-            let tag = resolve(cand, prev.as_ref(), next_is_nounish);
-            let lemma = lemma_for(&tok.lower(), tag, &lem);
+            let tag = resolve(cand, prev, next_is_nounish);
+            let lemma = lemma_for(lowers[i], tag, &lem);
+            if !tag.is_adverb() {
+                prev = Some((tag, lowers[i]));
+            }
             out.push(TaggedToken {
-                token: tok.clone(),
+                token: tok,
                 tag,
                 lemma,
+                lower: lowers[i],
             });
         }
         out
@@ -127,8 +163,10 @@ fn looks_nounish(c: &Candidates) -> bool {
     c.noun.is_some() || c.adj.is_some() || c.default.is_noun()
 }
 
-/// Pass one: propose candidates for a single token.
-fn analyze(token: &Token, sentence_initial: bool, lem: &Lemmatizer) -> Candidates {
+/// Pass one: propose candidates for a single token. `lower_sym` is the
+/// token's interned lowercase form (resolved once here; every lexicon probe
+/// below shares the `&'static str`).
+fn analyze(token: &Token, lower_sym: Sym, sentence_initial: bool, lem: &Lemmatizer) -> Candidates {
     let mut c = Candidates {
         default: Tag::NN,
         ..Candidates::default()
@@ -148,40 +186,40 @@ fn analyze(token: &Token, sentence_initial: bool, lem: &Lemmatizer) -> Candidate
         }
         TokenKind::Word => {}
     }
-    let lower = token.lower();
-    if let Some(tags) = closed_class(&lower) {
+    let lower = lower_sym.as_str();
+    if let Some(tags) = closed_class(lower) {
         c.closed = Some(tags);
         return c;
     }
-    if word_value(&lower).is_some() {
+    if word_value(lower).is_some() {
         c.fixed = Some(Tag::CD);
         return c;
     }
 
     // Adverbs.
-    if is_known_adverb(&lower) || (lower.ends_with("ly") && lower.len() > 4) {
+    if is_known_adverb(lower) || (lower.ends_with("ly") && lower.len() > 4) {
         c.adv = true;
     }
     // Verb readings.
-    if is_known_verb(&lower) {
+    if is_known_verb(lower) {
         // Zero-derived pasts ("quit", "put", "set") prefer the past reading;
         // context can still demand VB after to/modals.
-        c.verb = Some(if cmr_lexicon::verb_past(&lower) == lower {
+        c.verb = Some(if cmr_lexicon::verb_past(lower) == lower {
             Tag::VBD
         } else {
             Tag::VBP
         });
     } else {
-        let vlemma = lem.lemma(&lower, WordClass::Verb);
+        let vlemma = lem.lemma(lower, WordClass::Verb);
         if vlemma != lower && is_known_verb(&vlemma) {
-            c.verb = Some(verb_form_tag(&lower, &vlemma));
+            c.verb = Some(verb_form_tag(lower, &vlemma));
         }
     }
     // Adjective readings.
-    if is_known_adjective(&lower) {
+    if is_known_adjective(lower) {
         c.adj = Some(Tag::JJ);
     } else {
-        let alemma = lem.lemma(&lower, WordClass::Adjective);
+        let alemma = lem.lemma(lower, WordClass::Adjective);
         if alemma != lower && is_known_adjective(&alemma) {
             c.adj = Some(if lower.ends_with("est") {
                 Tag::JJS
@@ -191,10 +229,10 @@ fn analyze(token: &Token, sentence_initial: bool, lem: &Lemmatizer) -> Candidate
         }
     }
     // Noun readings.
-    if is_known_noun(&lower) {
+    if is_known_noun(lower) {
         c.noun = Some(Tag::NN);
     } else {
-        let nlemma = lem.lemma(&lower, WordClass::Noun);
+        let nlemma = lem.lemma(lower, WordClass::Noun);
         if nlemma != lower && is_known_noun(&nlemma) {
             c.noun = Some(Tag::NNS);
         }
@@ -202,7 +240,7 @@ fn analyze(token: &Token, sentence_initial: bool, lem: &Lemmatizer) -> Candidate
 
     // Unknown word: suffix heuristics, then capitalization.
     if c.noun.is_none() && c.verb.is_none() && c.adj.is_none() && !c.adv {
-        c.default = guess_unknown(&lower, &token.text, sentence_initial);
+        c.default = guess_unknown(lower, &token.text, sentence_initial);
     }
     c
 }
@@ -302,14 +340,14 @@ fn is_do(word: &str) -> bool {
 }
 
 /// Pass two: choose the final tag given left context and lookahead.
-fn resolve(c: &Candidates, prev: Option<&(Tag, String)>, next_is_nounish: bool) -> Tag {
+fn resolve(c: &Candidates, prev: Option<(Tag, Sym)>, next_is_nounish: bool) -> Tag {
     if let Some(tag) = c.fixed {
         return tag;
     }
     if let Some(tags) = c.closed {
         return resolve_closed(tags, prev, next_is_nounish);
     }
-    let prev_tag = prev.map(|(t, _)| *t);
+    let prev_tag = prev.map(|(t, _)| t);
     let prev_word = prev.map(|(_, w)| w.as_str()).unwrap_or("");
 
     // Nominal left context forces a nominal/adjectival reading.
@@ -424,11 +462,7 @@ fn resolve(c: &Candidates, prev: Option<&(Tag, String)>, next_is_nounish: bool) 
     c.default
 }
 
-fn resolve_closed(
-    tags: &'static [Tag],
-    prev: Option<&(Tag, String)>,
-    next_is_nounish: bool,
-) -> Tag {
+fn resolve_closed(tags: &'static [Tag], prev: Option<(Tag, Sym)>, next_is_nounish: bool) -> Tag {
     let first = tags[0];
     if tags.len() == 1 {
         return first;
@@ -453,16 +487,25 @@ fn resolve_closed(
     first
 }
 
-/// Lemma under the chosen tag's class.
-fn lemma_for(lower: &str, tag: Tag, lem: &Lemmatizer) -> String {
-    if tag.is_verb() {
-        lem.lemma(lower, WordClass::Verb)
+/// Lemma under the chosen tag's class. Identity lemmas (the common case)
+/// reuse the already-interned lowercase symbol without touching the
+/// interner.
+fn lemma_for(lower: Sym, tag: Tag, lem: &Lemmatizer) -> Sym {
+    let class = if tag.is_verb() {
+        WordClass::Verb
     } else if tag.is_noun() {
-        lem.lemma(lower, WordClass::Noun)
+        WordClass::Noun
     } else if tag.is_adjective() {
-        lem.lemma(lower, WordClass::Adjective)
+        WordClass::Adjective
     } else {
-        lower.to_string()
+        return lower;
+    };
+    let s = lower.as_str();
+    let l = lem.lemma(s, class);
+    if l == s {
+        lower
+    } else {
+        intern(&l)
     }
 }
 

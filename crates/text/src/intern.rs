@@ -1,0 +1,189 @@
+//! A process-wide string interner for hot-path token symbols.
+//!
+//! The per-sentence pipeline (tokenize → tag → parse → associate) used to
+//! allocate a fresh lowercase `String` per token at every stage. Interning
+//! collapses each distinct string to a [`Sym`] — a `u32` id — so stages
+//! compare and hash word identities as integers and the parse caches key on
+//! `u32` sequences instead of string vectors.
+//!
+//! Interned strings are leaked into the process (`Box::leak`), which is the
+//! standard trade for `&'static str` resolution: memory grows with the
+//! *vocabulary*, not the corpus. Clinical dictation vocabulary is small
+//! (thousands of distinct lowercase forms even under OCR noise); a truly
+//! hostile unbounded-vocabulary stream would grow the table without limit,
+//! which callers accept the way they accept any vocabulary-keyed cache.
+//!
+//! ```
+//! use cmr_text::{intern, Sym};
+//!
+//! let a: Sym = intern("pressure");
+//! let b = intern("pressure");
+//! assert_eq!(a, b);
+//! assert_eq!(a.as_str(), "pressure");
+//! assert_eq!(a, "pressure"); // Sym compares against &str for convenience
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: a `u32` id that resolves back to its `&'static str`.
+///
+/// Equality, hashing and ordering are on the id — two `Sym`s are equal iff
+/// their strings are equal (the interner canonicalizes). Ids are assigned in
+/// first-intern order, so `Ord` is *not* lexicographic and must not be used
+/// for user-visible ordering.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner()
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .strings[self.0 as usize]
+    }
+
+    /// The raw id (diagnostics; stable only within one process run).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialEq<str> for Sym {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Sym {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl AsRef<str> for Sym {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+struct Interner {
+    map: HashMap<&'static str, Sym>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::with_capacity(1024),
+            strings: Vec::with_capacity(1024),
+        })
+    })
+}
+
+/// Interns `s`, returning its canonical [`Sym`].
+///
+/// Read-mostly: a string seen before costs one shared-lock hash lookup and
+/// allocates nothing; only the first sighting takes the write lock and
+/// leaks a copy.
+pub fn intern(s: &str) -> Sym {
+    let lock = interner();
+    {
+        let inner = lock
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(&sym) = inner.map.get(s) {
+            return sym;
+        }
+    }
+    let mut inner = lock
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(&sym) = inner.map.get(s) {
+        return sym; // raced with another writer
+    }
+    let owned: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    let sym = Sym(u32::try_from(inner.strings.len()).expect("interner table under 4G entries"));
+    inner.strings.push(owned);
+    inner.map.insert(owned, sym);
+    sym
+}
+
+/// Interns the lowercase form of `s` without allocating when `s` is already
+/// lowercase (the common case for mid-sentence tokens).
+pub fn intern_lower(s: &str) -> Sym {
+    if s.chars().any(char::is_uppercase) {
+        intern(&s.to_lowercase())
+    } else {
+        intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = intern("pulse");
+        let b = intern("pulse");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "pulse");
+        assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn distinct_strings_distinct_syms() {
+        assert_ne!(intern("pulse"), intern("pressure"));
+    }
+
+    #[test]
+    fn lower_interning_canonicalizes_case() {
+        assert_eq!(intern_lower("Pressure"), intern("pressure"));
+        assert_eq!(intern_lower("pressure"), intern("pressure"));
+        assert_eq!(intern_lower("144/90"), intern("144/90"));
+    }
+
+    #[test]
+    fn str_comparisons() {
+        let s = intern("weight");
+        assert_eq!(s, "weight");
+        assert_eq!(s, *"weight");
+        assert_ne!(s, "weights");
+        assert_eq!(s.to_string(), "weight");
+        assert_eq!(format!("{s:?}"), "Sym(\"weight\")");
+    }
+
+    #[test]
+    fn empty_and_unicode() {
+        assert_eq!(intern("").as_str(), "");
+        assert_eq!(intern_lower("ÉCOLE"), intern("école"));
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| intern("concurrent-town")))
+            .collect();
+        let syms: Vec<Sym> = handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect();
+        assert!(syms.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod intern;
 mod number;
 mod section;
 mod sentence;
@@ -25,6 +26,7 @@ mod span;
 mod token;
 mod tokenize;
 
+pub use intern::{intern, intern_lower, Sym};
 pub use number::{annotate_numbers, parse_word_run, word_value, NumberAnnotation};
 pub use section::{Record, Section};
 pub use sentence::{split_sentences, Sentence};

@@ -15,6 +15,59 @@ use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// A counting global allocator for `cmr bench`'s allocations-per-note
+/// metric. The library crates are `forbid(unsafe_code)`, so the allocator
+/// lives here in the binary; two relaxed atomic increments per allocation
+/// are noise next to the allocation itself.
+mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    pub struct Counting;
+
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    /// Cumulative `(allocations, bytes)` since process start.
+    pub fn snapshot() -> (u64, u64) {
+        (
+            ALLOCS.load(Ordering::Relaxed),
+            BYTES.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[global_allocator]
+static ALLOC: alloc_count::Counting = alloc_count::Counting;
+
+/// `outln!`, minus the abort when the consumer hangs up: `cmr parse ... |
+/// head` closes stdout early, and a write to a closed pipe must end the
+/// output quietly instead of panicking.
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    }};
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -26,6 +79,7 @@ fn main() -> ExitCode {
         "generate" => generate(rest),
         "extract" => extract(rest),
         "chaos" => chaos(rest),
+        "bench" => bench(rest),
         "parse" => parse(rest),
         "terms" => terms(rest),
         "--help" | "-h" | "help" => {
@@ -62,6 +116,12 @@ fn usage() {
          \u{20}      or `A..B[:STEP]`), extract it, and print the degradation curve;\n\
          \u{20}      --stats adds per-tier field counts, --out writes the report as JSON\n\
          \u{20}      (- for stdout); exits 2 if any worker panicked\n\
+         \u{20}  cmr bench [--records N] [--seed S] [--repeats R] [--jobs N] [--out FILE]\n\
+         \u{20}            [--baseline FILE] [--label TEXT] [--check FILE] [--threshold F]\n\
+         \u{20}      run the perf harness over gold + generated corpora and write a JSON\n\
+         \u{20}      report (notes/sec, ns/field, cache hit rates, allocs/note, peak RSS);\n\
+         \u{20}      --baseline embeds FILE's headline numbers; --check FILE exits 1 when\n\
+         \u{20}      throughput regresses more than --threshold (default 0.25) vs FILE\n\
          \u{20}  cmr parse \"SENTENCE\"\n\
          \u{20}      print the link grammar linkage diagram and constituents\n\
          \u{20}  cmr terms \"TEXT\"\n\
@@ -146,7 +206,7 @@ fn generate(args: &[String]) -> Result<(), String> {
         let json = serde_json::to_string_pretty(rec).map_err(|e| e.to_string())?;
         fs::write(&gold, json).map_err(|e| format!("writing {}: {e}", gold.display()))?;
     }
-    println!("wrote {n} notes (+ gold labels) to {}", dir.display());
+    outln!("wrote {n} notes (+ gold labels) to {}", dir.display());
     Ok(())
 }
 
@@ -290,15 +350,15 @@ fn chaos(args: &[String]) -> Result<(), String> {
     };
     let report = run_chaos(&cfg);
 
-    println!(
+    outln!(
         "chaos sweep: {} records, seed {}, {} level(s)",
         report.records,
         report.seed,
         report.levels.len()
     );
-    println!("noise   num-P   num-R   num-F1  term-F1  parse-fail  degraded  failed");
+    outln!("noise   num-P   num-R   num-F1  term-F1  parse-fail  degraded  failed");
     for l in &report.levels {
-        println!(
+        outln!(
             "{:<7.2} {:<7.3} {:<7.3} {:<7.3} {:<8.3} {:<11} {:<9} {}",
             l.noise,
             l.numeric_precision,
@@ -311,18 +371,21 @@ fn chaos(args: &[String]) -> Result<(), String> {
         );
     }
     if stats {
-        println!("\nnoise   link-grammar  pattern  salvage");
+        outln!("\nnoise   link-grammar  pattern  salvage");
         for l in &report.levels {
-            println!(
+            outln!(
                 "{:<7.2} {:<13} {:<8} {}",
-                l.noise, l.link_grammar_fields, l.pattern_fields, l.salvage_fields
+                l.noise,
+                l.link_grammar_fields,
+                l.pattern_fields,
+                l.salvage_fields
             );
         }
     }
     if !out.is_empty() {
         let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
         if out == "-" {
-            println!("{json}");
+            outln!("{json}");
         } else {
             fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
             eprintln!("cmr: wrote chaos report to {out}");
@@ -335,6 +398,105 @@ fn chaos(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn bench(args: &[String]) -> Result<(), String> {
+    use cmr::bench::perf::{self, BaselineSummary, BenchConfig, BenchReport};
+
+    let mut records = "150".to_string();
+    let mut seed = "2005".to_string();
+    let mut repeats = "3".to_string();
+    let mut jobs = "4".to_string();
+    let mut out = "-".to_string();
+    let mut baseline = String::new();
+    let mut label = "baseline".to_string();
+    let mut check = String::new();
+    let mut threshold = "0.25".to_string();
+    let extra = parse_flags(
+        args,
+        &mut [
+            ("records", &mut records),
+            ("seed", &mut seed),
+            ("repeats", &mut repeats),
+            ("jobs", &mut jobs),
+            ("out", &mut out),
+            ("baseline", &mut baseline),
+            ("label", &mut label),
+            ("check", &mut check),
+            ("threshold", &mut threshold),
+        ],
+        &mut [],
+    )?;
+    if !extra.is_empty() {
+        return Err(format!("bench takes no positional arguments: {extra:?}"));
+    }
+    let cfg = BenchConfig {
+        records: records
+            .parse()
+            .map_err(|_| "--records must be an integer".to_string())?,
+        seed: seed
+            .parse()
+            .map_err(|_| "--seed must be an integer".to_string())?,
+        repeats: repeats
+            .parse()
+            .map_err(|_| "--repeats must be an integer".to_string())?,
+        jobs: jobs
+            .parse()
+            .map_err(|_| "--jobs must be an integer".to_string())?,
+    };
+    let threshold: f64 = threshold
+        .parse()
+        .map_err(|_| "--threshold must be a number".to_string())?;
+
+    let read_report = |path: &str| -> Result<BenchReport, String> {
+        let json = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))
+    };
+
+    let probe = alloc_count::snapshot;
+    let mut report = perf::run_bench(&cfg, Some(&probe));
+    if !baseline.is_empty() {
+        let base = read_report(&baseline)?;
+        report.baseline = Some(BaselineSummary {
+            label: label.clone(),
+            serial_notes_per_sec: base.serial.notes_per_sec,
+            parallel_notes_per_sec: base.parallel.notes_per_sec,
+            allocs_per_note: base.allocations.as_ref().map(|a| a.allocs_per_note),
+        });
+    }
+
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    if out == "-" {
+        outln!("{json}");
+    } else {
+        fs::write(&out, format!("{json}\n")).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("cmr: wrote bench report to {out}");
+    }
+    eprintln!(
+        "cmr: serial {:.1} notes/sec ({:.0} ns/field, cache hit {:.1}%); \
+         parallel x{} {:.1} notes/sec",
+        report.serial.notes_per_sec,
+        report.serial.ns_per_field,
+        report.serial.cache_hit_rate * 100.0,
+        report.config.jobs,
+        report.parallel.notes_per_sec,
+    );
+    if let Some(a) = &report.allocations {
+        eprintln!(
+            "cmr: {:.0} allocations/note, {:.0} bytes/note (warm)",
+            a.allocs_per_note, a.bytes_per_note
+        );
+    }
+
+    if !check.is_empty() {
+        let base = read_report(&check)?;
+        if let Err(msg) = perf::check_regression(&report, &base, threshold) {
+            eprintln!("cmr: PERF REGRESSION vs {check}: {msg}");
+            std::process::exit(1);
+        }
+        eprintln!("cmr: perf check vs {check} passed (threshold {threshold})");
+    }
+    Ok(())
+}
+
 fn parse(args: &[String]) -> Result<(), String> {
     let sentence = args.join(" ");
     if sentence.trim().is_empty() {
@@ -343,7 +505,7 @@ fn parse(args: &[String]) -> Result<(), String> {
     let parser = LinkParser::new();
     match parser.parse_sentence(&sentence) {
         Some(linkage) => {
-            println!("{}", linkage.diagram());
+            outln!("{}", linkage.diagram());
             let c = linkage.constituents();
             let toks = tokenize(&sentence);
             let words = |idxs: &[usize]| {
@@ -352,10 +514,10 @@ fn parse(args: &[String]) -> Result<(), String> {
                     .collect::<Vec<_>>()
                     .join(" ")
             };
-            println!("subject:    [{}]", words(&c.subject));
-            println!("verb:       [{}]", words(&c.verb));
-            println!("object:     [{}]", words(&c.object));
-            println!("supplement: [{}]", words(&c.supplement));
+            outln!("subject:    [{}]", words(&c.subject));
+            outln!("verb:       [{}]", words(&c.verb));
+            outln!("object:     [{}]", words(&c.object));
+            outln!("supplement: [{}]", words(&c.supplement));
             Ok(())
         }
         None => {
@@ -372,10 +534,10 @@ fn terms(args: &[String]) -> Result<(), String> {
     let ex = MedicalTermExtractor::new(Ontology::full());
     let hits = ex.extract(&text);
     if hits.is_empty() {
-        println!("no medical terms found");
+        outln!("no medical terms found");
     }
     for h in hits {
-        println!(
+        outln!(
             "{:<30} -> {} [{}] ({})",
             format!("\"{}\"", h.surface),
             h.concept.preferred,

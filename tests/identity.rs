@@ -1,0 +1,91 @@
+//! Byte-identity regression gate for the extraction output.
+//!
+//! Runs the full 50-record gold corpus through the default pipeline and
+//! compares the serialized extractions byte-for-byte against the committed
+//! snapshot. Performance work (interning, cache eviction, arena parsing)
+//! must never change what gets extracted; this test is the proof.
+//!
+//! To regenerate after an *intentional* output change:
+//!
+//! ```text
+//! UPDATE_SNAPSHOT=1 cargo test --test identity
+//! ```
+
+use cmr::prelude::*;
+
+const SNAPSHOT_PATH: &str = "tests/snapshots/gold_extractions.json";
+
+/// One deterministic serialization of the whole gold corpus's extractions.
+/// `ExtractedRecord`'s maps are `BTreeMap`s and its vectors are built in
+/// deterministic order, so equal extractions serialize to equal bytes.
+fn render_extractions() -> String {
+    let corpus = CorpusBuilder::new().build();
+    let pipeline = Pipeline::with_default_schema();
+    let mut out = String::from("[\n");
+    for (i, rec) in corpus.records.iter().enumerate() {
+        let extracted = pipeline.extract(&rec.text);
+        let json = serde_json::to_string_pretty(&extracted).expect("record serializes");
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&json);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[test]
+fn gold_corpus_extraction_is_byte_identical_to_snapshot() {
+    let current = render_extractions();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(SNAPSHOT_PATH);
+
+    if std::env::var_os("UPDATE_SNAPSHOT").is_some() {
+        std::fs::create_dir_all(path.parent().expect("snapshot dir")).expect("mkdir snapshots");
+        std::fs::write(&path, &current).expect("write snapshot");
+        eprintln!("identity: snapshot regenerated at {}", path.display());
+        return;
+    }
+
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); run `UPDATE_SNAPSHOT=1 cargo test --test identity`",
+            path.display()
+        )
+    });
+    if current != committed {
+        // Pinpoint the first divergence so the failure is debuggable
+        // without diffing two multi-thousand-line JSON blobs by hand.
+        let byte = current
+            .bytes()
+            .zip(committed.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| current.len().min(committed.len()));
+        let line = committed[..byte.min(committed.len())]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count()
+            + 1;
+        let ctx = |s: &str| {
+            let start = byte.saturating_sub(120).min(s.len());
+            let end = (byte + 120).min(s.len());
+            s[start..end].to_string()
+        };
+        panic!(
+            "gold-corpus extraction diverged from the committed snapshot at byte {byte} \
+             (snapshot line {line}).\n--- snapshot ---\n{}\n--- current ---\n{}\n\
+             If the output change is intentional, regenerate with \
+             `UPDATE_SNAPSHOT=1 cargo test --test identity`.",
+            ctx(&committed),
+            ctx(&current),
+        );
+    }
+}
+
+#[test]
+fn snapshot_is_committed_and_nonempty() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(SNAPSHOT_PATH);
+    let committed = std::fs::read_to_string(&path).expect("snapshot file exists");
+    assert!(committed.len() > 1000, "snapshot suspiciously small");
+    assert!(committed.trim_start().starts_with('['));
+    assert!(committed.trim_end().ends_with(']'));
+}

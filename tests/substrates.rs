@@ -76,7 +76,7 @@ fn tagger_lemmas_reduce_to_fixed_points() {
     for rec in &corpus.records {
         for t in tagger.tag(&tokenize(&rec.text)) {
             if t.token.kind.is_word() {
-                let once = lem.lemma_any(&t.lemma);
+                let once = lem.lemma_any(t.lemma.as_str());
                 let twice = lem.lemma_any(&once);
                 assert_eq!(
                     once, twice,
