@@ -1,0 +1,402 @@
+//! Link-grammar dictionary checks (`CMR-D001` … `CMR-D007`).
+//!
+//! The dictionary is three tables: class expressions (`CLASS_DEFS`), the
+//! explicit word table (`WORD_CLASSES`) and the POS-tag fallback
+//! (`TAG_CLASSES`). These checks compile the expressions exactly as the
+//! dictionary build does and then reason about the compiled connector
+//! inventory, so a connector typo (a left `X-` with no right `X+` anywhere)
+//! is caught here instead of silently making every linkage through that
+//! disjunct impossible.
+
+use crate::{Diagnostic, Severity};
+use cmr_linkgram::{expand, parse_expr, Connector, Dir, Disjunct};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Workspace-relative path of the dictionary source.
+pub const ASSET: &str = "crates/linkgram/src/dict.rs";
+
+/// Mirrors the dictionary build's expansion cap.
+const EXPANSION_CAP: usize = 100_000;
+
+/// Runs every dictionary check over arbitrary tables. `class_defs` is the
+/// `(class, expression)` table; `word_rows` the `(word, class)` table;
+/// `tag_rows` the `(tag name, class)` fallback table.
+pub fn check_tables(
+    class_defs: &[(&str, &str)],
+    word_rows: &[(&str, &str)],
+    tag_rows: &[(String, &str)],
+    out: &mut Vec<Diagnostic>,
+) {
+    check_duplicate_rows(class_defs, word_rows, tag_rows, out);
+
+    // Compile each class once, the way the dictionary build does.
+    let mut compiled: Vec<(&str, Vec<Disjunct>)> = Vec::new();
+    let mut defined: HashSet<&str> = HashSet::new();
+    for (name, text) in class_defs {
+        if !defined.insert(name) {
+            continue; // duplicate definition already reported
+        }
+        match parse_expr(text) {
+            Err(err) => {
+                out.push(
+                    Diagnostic::new(
+                        "CMR-D001",
+                        Severity::Error,
+                        ASSET,
+                        format!("CLASS_DEFS[\"{name}\"]"),
+                        format!("class expression fails to parse: {err}"),
+                    )
+                    .with_fix("fix the connector expression syntax"),
+                );
+            }
+            Ok(expr) => {
+                let disjuncts = expand(&expr, EXPANSION_CAP);
+                if disjuncts.is_empty() {
+                    out.push(Diagnostic::new(
+                        "CMR-D006",
+                        Severity::Warning,
+                        ASSET,
+                        format!("CLASS_DEFS[\"{name}\"]"),
+                        "class compiles to zero disjuncts, so its words can never link",
+                    ));
+                }
+                compiled.push((name, disjuncts));
+            }
+        }
+    }
+
+    check_undefined_classes(&defined, word_rows, tag_rows, out);
+    check_unreachable_classes(&defined, word_rows, tag_rows, out);
+    check_unmated_connectors(&compiled, out);
+    check_shadowed_disjuncts(&compiled, out);
+}
+
+/// `CMR-D005`: the same key defined twice in one table (the build's
+/// `HashMap` insert lets the later row silently shadow the earlier one).
+fn check_duplicate_rows(
+    class_defs: &[(&str, &str)],
+    word_rows: &[(&str, &str)],
+    tag_rows: &[(String, &str)],
+    out: &mut Vec<Diagnostic>,
+) {
+    let tables: [(&str, Vec<&str>); 3] = [
+        ("CLASS_DEFS", class_defs.iter().map(|(k, _)| *k).collect()),
+        ("WORD_CLASSES", word_rows.iter().map(|(k, _)| *k).collect()),
+        (
+            "TAG_CLASSES",
+            tag_rows.iter().map(|(k, _)| k.as_str()).collect(),
+        ),
+    ];
+    for (table, keys) in &tables {
+        let mut seen: HashSet<&str> = HashSet::new();
+        for key in keys {
+            if !seen.insert(key) {
+                out.push(
+                    Diagnostic::new(
+                        "CMR-D005",
+                        Severity::Warning,
+                        ASSET,
+                        format!("{table}[\"{key}\"]"),
+                        format!("table {table} defines \"{key}\" twice; the later row shadows the earlier"),
+                    )
+                    .with_fix("remove one of the rows"),
+                );
+            }
+        }
+    }
+}
+
+/// `CMR-D004`: a word or tag row routes to a class the dictionary never
+/// defines — the build would panic on it.
+fn check_undefined_classes(
+    defined: &HashSet<&str>,
+    word_rows: &[(&str, &str)],
+    tag_rows: &[(String, &str)],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (word, class) in word_rows {
+        if !defined.contains(class) {
+            out.push(Diagnostic::new(
+                "CMR-D004",
+                Severity::Error,
+                ASSET,
+                format!("WORD_CLASSES[\"{word}\"]"),
+                format!("word routes to undefined class \"{class}\" (the dictionary build panics on it)"),
+            ));
+        }
+    }
+    for (tag, class) in tag_rows {
+        if !defined.contains(class) {
+            out.push(Diagnostic::new(
+                "CMR-D004",
+                Severity::Error,
+                ASSET,
+                format!("TAG_CLASSES[{tag}]"),
+                format!(
+                    "tag routes to undefined class \"{class}\" (the dictionary build panics on it)"
+                ),
+            ));
+        }
+    }
+}
+
+/// `CMR-D007`: a defined class no word row, tag row, or wall ever routes
+/// to. Its disjuncts are compiled and carried around but can never take
+/// part in a parse.
+fn check_unreachable_classes(
+    defined: &HashSet<&str>,
+    word_rows: &[(&str, &str)],
+    tag_rows: &[(String, &str)],
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut reachable: HashSet<&str> = HashSet::new();
+    reachable.insert("LEFT-WALL");
+    for (_, class) in word_rows {
+        reachable.insert(class);
+    }
+    for (_, class) in tag_rows {
+        reachable.insert(class);
+    }
+    let mut dead: Vec<&str> = defined.difference(&reachable).copied().collect();
+    dead.sort_unstable();
+    for name in dead {
+        out.push(
+            Diagnostic::new(
+                "CMR-D007",
+                Severity::Warning,
+                ASSET,
+                format!("CLASS_DEFS[\"{name}\"]"),
+                format!(
+                    "class \"{name}\" is defined but no word row, tag row, or wall routes to it"
+                ),
+            )
+            .with_fix("remove the class, or route a word/tag row to it"),
+        );
+    }
+}
+
+/// `CMR-D002`: a connector with no possible mate anywhere in the compiled
+/// dictionary. Every disjunct containing it is dead.
+fn check_unmated_connectors(compiled: &[(&str, Vec<Disjunct>)], out: &mut Vec<Diagnostic>) {
+    // Distinct connectors by display form, with the first class that uses
+    // them (deterministic: compilation order).
+    let mut lefts: BTreeMap<String, (&str, Connector)> = BTreeMap::new();
+    let mut rights: BTreeMap<String, (&str, Connector)> = BTreeMap::new();
+    for (class, disjuncts) in compiled {
+        for d in disjuncts {
+            for c in d.left.iter().chain(d.right.iter()) {
+                let side = match c.dir {
+                    Dir::Left => &mut lefts,
+                    Dir::Right => &mut rights,
+                };
+                side.entry(c.to_string()).or_insert((class, c.clone()));
+            }
+        }
+    }
+    for (display, (class, left)) in &lefts {
+        let mated = rights.values().any(|(_, r)| r.matches(left));
+        if !mated {
+            out.push(Diagnostic::new(
+                "CMR-D002",
+                Severity::Warning,
+                ASSET,
+                format!("CLASS_DEFS[\"{class}\"] connector {display}"),
+                format!("left connector {display} has no matching right connector anywhere; every disjunct using it is dead"),
+            ));
+        }
+    }
+    for (display, (class, right)) in &rights {
+        let mated = lefts.values().any(|(_, l)| right.matches(l));
+        if !mated {
+            out.push(Diagnostic::new(
+                "CMR-D002",
+                Severity::Warning,
+                ASSET,
+                format!("CLASS_DEFS[\"{class}\"] connector {display}"),
+                format!("right connector {display} has no matching left connector anywhere; every disjunct using it is dead"),
+            ));
+        }
+    }
+}
+
+/// `CMR-D003`: disjuncts of one class that normalize to the same
+/// `(left, right)` shape. The build collapses them to the cheapest, so any
+/// cost difference between them is dead weight; emitted per class as an
+/// aggregate note because expression expansion produces them in bulk.
+fn check_shadowed_disjuncts(compiled: &[(&str, Vec<Disjunct>)], out: &mut Vec<Diagnostic>) {
+    for (class, disjuncts) in compiled {
+        let mut shapes: HashMap<String, usize> = HashMap::new();
+        for d in disjuncts {
+            *shapes.entry(shape_key(d)).or_insert(0) += 1;
+        }
+        let mut dupes: Vec<(&String, usize)> = shapes
+            .iter()
+            .filter(|(_, &n)| n > 1)
+            .map(|(k, &n)| (k, n))
+            .collect();
+        if dupes.is_empty() {
+            continue;
+        }
+        dupes.sort();
+        let total: usize = dupes.iter().map(|(_, n)| n - 1).sum();
+        let (example, _) = dupes[0];
+        out.push(Diagnostic::new(
+            "CMR-D003",
+            Severity::Note,
+            ASSET,
+            format!("CLASS_DEFS[\"{class}\"]"),
+            format!(
+                "{total} disjunct(s) duplicate another's shape and collapse to the cheapest at build (e.g. {example})"
+            ),
+        ));
+    }
+}
+
+/// Canonical display of a disjunct's `(left, right)` connector shape.
+fn shape_key(d: &Disjunct) -> String {
+    let side = |cs: &[Connector]| {
+        cs.iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    format!("[{} | {}]", side(&d.left), side(&d.right))
+}
+
+/// Runs the dictionary checks over the committed tables.
+pub fn check(out: &mut Vec<Diagnostic>) {
+    let tag_rows: Vec<(String, &str)> = cmr_linkgram::tag_classes()
+        .iter()
+        .map(|(tag, class)| (format!("{tag:?}"), *class))
+        .collect();
+    check_tables(
+        cmr_linkgram::class_defs(),
+        cmr_linkgram::word_classes(),
+        &tag_rows,
+        out,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(
+        class_defs: &[(&str, &str)],
+        word_rows: &[(&str, &str)],
+        tag_rows: &[(&str, &str)],
+    ) -> Vec<Diagnostic> {
+        let tags: Vec<(String, &str)> = tag_rows.iter().map(|(t, c)| (t.to_string(), *c)).collect();
+        let mut out = Vec::new();
+        check_tables(class_defs, word_rows, &tags, &mut out);
+        out
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn committed_dictionary_is_clean_at_warning() {
+        let mut out = Vec::new();
+        check(&mut out);
+        let bad: Vec<_> = out
+            .iter()
+            .filter(|d| d.severity >= Severity::Warning)
+            .collect();
+        assert!(bad.is_empty(), "committed dictionary regressed: {bad:#?}");
+    }
+
+    /// Regression: the dictionary used to define a `have-base` class
+    /// ("will have") that no word or tag row ever routed to — "have" is
+    /// routed to `have-p` unconditionally. CMR-D007 is the diagnostic that
+    /// found it.
+    #[test]
+    fn unreachable_class_regression_have_base() {
+        let diags = run(
+            &[
+                ("LEFT-WALL", "Wd+"),
+                ("have-p", "{@E-} & Sp- & (T+ or O+ or TO+) & {@MV+} & {N+}"),
+                ("have-base", "I- & (T+ or O+) & {@MV+}"),
+                (
+                    "noun-sg",
+                    "{Wd-} & (O- or TO- or N- or E+ or MV- or T- or I+ or Sp+)",
+                ),
+            ],
+            &[("have", "have-p")],
+            &[("NN", "noun-sg")],
+        );
+        let d007: Vec<_> = diags.iter().filter(|d| d.code == "CMR-D007").collect();
+        assert_eq!(d007.len(), 1, "{diags:#?}");
+        assert!(d007[0].span.contains("have-base"));
+        assert_eq!(d007[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn undefined_class_is_an_error() {
+        let diags = run(
+            &[("LEFT-WALL", "Wd+")],
+            &[("the", "det")],
+            &[("NN", "ghost")],
+        );
+        let d004: Vec<_> = diags.iter().filter(|d| d.code == "CMR-D004").collect();
+        assert_eq!(d004.len(), 2, "{diags:#?}");
+        assert!(d004.iter().all(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn duplicate_rows_are_flagged() {
+        let diags = run(
+            &[("LEFT-WALL", "Wd+"), ("a", "Wd-"), ("a", "Wd-")],
+            &[("the", "a"), ("the", "a")],
+            &[("NN", "a")],
+        );
+        let d005 = codes(&diags).iter().filter(|c| **c == "CMR-D005").count();
+        assert_eq!(d005, 2, "{diags:#?}");
+    }
+
+    #[test]
+    fn bad_expression_is_an_error() {
+        let diags = run(&[("broken", "(Wd+ or")], &[], &[]);
+        assert!(codes(&diags).contains(&"CMR-D001"), "{diags:#?}");
+    }
+
+    #[test]
+    fn unmated_connector_is_flagged() {
+        // Q+ has no Q- anywhere.
+        let diags = run(
+            &[("LEFT-WALL", "Wd+"), ("x", "Wd- & {Q+}")],
+            &[("w", "x")],
+            &[],
+        );
+        let d002: Vec<_> = diags.iter().filter(|d| d.code == "CMR-D002").collect();
+        assert_eq!(d002.len(), 1, "{diags:#?}");
+        assert!(d002[0].span.contains("Q+"), "{:?}", d002[0]);
+    }
+
+    #[test]
+    fn mismatched_subscripts_are_unmated() {
+        // Sa+ and Sb- share a base but their subscripts cannot unify.
+        let diags = run(
+            &[("LEFT-WALL", "Wd+"), ("x", "Wd- & Sa+"), ("y", "Sb-")],
+            &[("w", "x"), ("v", "y")],
+            &[],
+        );
+        let d002 = codes(&diags).iter().filter(|c| **c == "CMR-D002").count();
+        assert_eq!(d002, 2, "both sides lack a mate: {diags:#?}");
+    }
+
+    #[test]
+    fn shadowed_disjuncts_are_a_note() {
+        // {A-} & B+ & {A-} expands the A- slot twice; the one-A- variants
+        // collide in shape.
+        let diags = run(
+            &[("LEFT-WALL", "B+"), ("x", "{B-} & A+ & {B-}"), ("y", "A-")],
+            &[("w", "x"), ("v", "y")],
+            &[],
+        );
+        let d003: Vec<_> = diags.iter().filter(|d| d.code == "CMR-D003").collect();
+        assert_eq!(d003.len(), 1, "{diags:#?}");
+        assert_eq!(d003[0].severity, Severity::Note);
+    }
+}

@@ -1,0 +1,370 @@
+//! Lexicon checks (`CMR-D010` … `CMR-D014`): word lists, irregular
+//! morphology tables, inflection round-trips, and the abbreviation table.
+
+use crate::{Diagnostic, Severity};
+use cmr_lexicon::{
+    noun_plural, verb_3sg, verb_gerund, verb_past, Lemmatizer, WordClass, ABBREVIATIONS,
+};
+use cmr_text::tokenize;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Workspace-relative path of the word lists.
+pub const WORDS_ASSET: &str = "crates/lexicon/src/words.rs";
+/// Workspace-relative path of the irregular tables.
+pub const IRREGULAR_ASSET: &str = "crates/lexicon/src/irregular.rs";
+/// Workspace-relative path of the abbreviation table.
+pub const ABBREV_ASSET: &str = "crates/lexicon/src/abbrev.rs";
+
+/// A generation table row set: `(table name, matching analysis table name,
+/// lemma → form rows)`.
+pub type GenerationTable<'a> = (&'a str, &'a str, &'a [(&'a str, &'a str)]);
+
+/// `CMR-D010` / `CMR-D011`: duplicate entries within a word list, and
+/// entries shared across part-of-speech lists. `lists` pairs a list name
+/// (`"NOUNS"`) with its entries.
+pub fn check_word_lists(lists: &[(&str, &[&str])], out: &mut Vec<Diagnostic>) {
+    let mut homes: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (list, words) in lists {
+        let mut seen: HashSet<&str> = HashSet::new();
+        for word in *words {
+            if !seen.insert(word) {
+                out.push(
+                    Diagnostic::new(
+                        "CMR-D010",
+                        Severity::Warning,
+                        WORDS_ASSET,
+                        format!("{list}[\"{word}\"]"),
+                        format!("word list {list} contains \"{word}\" twice"),
+                    )
+                    .with_fix("remove the duplicate entry"),
+                );
+            }
+        }
+        for word in seen {
+            homes.entry(word).or_default().push(list);
+        }
+    }
+    for (word, lists) in &homes {
+        if lists.len() > 1 {
+            out.push(Diagnostic::new(
+                "CMR-D011",
+                Severity::Note,
+                WORDS_ASSET,
+                format!("\"{word}\""),
+                format!(
+                    "\"{word}\" appears in {} part-of-speech lists ({}); POS-ambiguous entries bias tagging",
+                    lists.len(),
+                    lists.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+/// `CMR-D012`: duplicate keys inside an irregular table, and
+/// generation/analysis disagreements — a generation table (`lemma → form`)
+/// whose form the matching analysis table (`form → lemma`) resolves to a
+/// *different* lemma round-trips wrong.
+pub fn check_irregular_tables(
+    analysis: &[(&str, &[(&str, &str)])],
+    generation: &[GenerationTable<'_>],
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut analysis_maps: HashMap<&str, HashMap<&str, &str>> = HashMap::new();
+    for (table, rows) in analysis {
+        let mut map: HashMap<&str, &str> = HashMap::new();
+        check_duplicate_keys(table, rows, out);
+        for (k, v) in *rows {
+            map.entry(k).or_insert(v);
+        }
+        analysis_maps.insert(table, map);
+    }
+    for (table, analysis_table, rows) in generation {
+        check_duplicate_keys(table, rows, out);
+        let Some(inverse) = analysis_maps.get(analysis_table) else {
+            continue;
+        };
+        for (lemma, form) in *rows {
+            if let Some(found) = inverse.get(form) {
+                if found != lemma {
+                    out.push(
+                        Diagnostic::new(
+                            "CMR-D012",
+                            Severity::Warning,
+                            IRREGULAR_ASSET,
+                            format!("{table}[\"{lemma}\"]"),
+                            format!(
+                                "{table} generates \"{lemma}\" → \"{form}\" but {analysis_table} analyzes \"{form}\" → \"{found}\""
+                            ),
+                        )
+                        .with_fix("make the generation and analysis rows agree"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn check_duplicate_keys(table: &str, rows: &[(&str, &str)], out: &mut Vec<Diagnostic>) {
+    let mut seen: HashSet<&str> = HashSet::new();
+    for (k, _) in rows {
+        if !seen.insert(k) {
+            out.push(
+                Diagnostic::new(
+                    "CMR-D012",
+                    Severity::Warning,
+                    IRREGULAR_ASSET,
+                    format!("{table}[\"{k}\"]"),
+                    format!("irregular table {table} defines \"{k}\" twice"),
+                )
+                .with_fix("remove the duplicate row"),
+            );
+        }
+    }
+}
+
+/// `CMR-D013`: a generated inflection that re-tokenizes into something the
+/// matchers can never see (not a single word token), or that the
+/// lemmatizer does not resolve back to its base. `entries` pairs a list
+/// name with `(word, class)` rows.
+pub fn check_inflection_roundtrip(
+    entries: &[(&str, &[&str], WordClass)],
+    out: &mut Vec<Diagnostic>,
+) {
+    let lemmatizer = Lemmatizer::new();
+    for (list, words, class) in entries {
+        for word in *words {
+            let forms: Vec<(&'static str, String)> = match class {
+                WordClass::Noun => vec![("plural", noun_plural(word))],
+                WordClass::Verb => vec![
+                    ("3sg", verb_3sg(word)),
+                    ("past", verb_past(word)),
+                    ("gerund", verb_gerund(word)),
+                ],
+                _ => Vec::new(),
+            };
+            for (kind, form) in forms {
+                if !is_single_word_token(&form) {
+                    out.push(Diagnostic::new(
+                        "CMR-D013",
+                        Severity::Warning,
+                        WORDS_ASSET,
+                        format!("{list}[\"{word}\"] {kind} \"{form}\""),
+                        format!(
+                            "generated {kind} \"{form}\" does not tokenize as a single word, so keyword matching can never see it"
+                        ),
+                    ));
+                    continue;
+                }
+                let back = lemmatizer.lemma(&form, *class);
+                if back != *word {
+                    out.push(Diagnostic::new(
+                        "CMR-D013",
+                        Severity::Note,
+                        WORDS_ASSET,
+                        format!("{list}[\"{word}\"] {kind} \"{form}\""),
+                        format!(
+                            "generated {kind} \"{form}\" lemmatizes to \"{back}\", not back to \"{word}\""
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// True when `text` tokenizes to exactly one `Word` token equal to itself.
+fn is_single_word_token(text: &str) -> bool {
+    let toks = tokenize(text);
+    toks.len() == 1 && toks[0].kind.is_word() && toks[0].text.to_lowercase() == text.to_lowercase()
+}
+
+/// `CMR-D014`: duplicate abbreviation keys, self-expansions, and chained
+/// expansions (an expansion that is itself an abbreviation key — expansion
+/// is deliberately non-recursive, so the chain silently stops).
+pub fn check_abbreviations(table: &[(&str, &str)], out: &mut Vec<Diagnostic>) {
+    let mut seen: HashMap<&str, &str> = HashMap::new();
+    for (k, v) in table {
+        if seen.insert(k, v).is_some() {
+            out.push(
+                Diagnostic::new(
+                    "CMR-D014",
+                    Severity::Warning,
+                    ABBREV_ASSET,
+                    format!("ABBREVIATIONS[\"{k}\"]"),
+                    format!(
+                        "abbreviation \"{k}\" is defined twice; the build keeps an arbitrary row"
+                    ),
+                )
+                .with_fix("remove the duplicate row"),
+            );
+        }
+        if k == v {
+            out.push(Diagnostic::new(
+                "CMR-D014",
+                Severity::Warning,
+                ABBREV_ASSET,
+                format!("ABBREVIATIONS[\"{k}\"]"),
+                format!("abbreviation \"{k}\" expands to itself"),
+            ));
+        }
+    }
+    for (k, v) in table {
+        if *k != *v && seen.contains_key(v) {
+            out.push(Diagnostic::new(
+                "CMR-D014",
+                Severity::Warning,
+                ABBREV_ASSET,
+                format!("ABBREVIATIONS[\"{k}\"]"),
+                format!(
+                    "expansion \"{v}\" is itself an abbreviation key; expansion is not recursive, so the chain stops after one step"
+                ),
+            ));
+        }
+    }
+}
+
+/// Runs the lexicon checks over the committed tables.
+pub fn check(out: &mut Vec<Diagnostic>) {
+    use cmr_lexicon::{ADJECTIVES, ADVERBS, NOUNS, VERBS};
+    check_word_lists(
+        &[
+            ("NOUNS", NOUNS),
+            ("VERBS", VERBS),
+            ("ADJECTIVES", ADJECTIVES),
+            ("ADVERBS", ADVERBS),
+        ],
+        out,
+    );
+    check_irregular_tables(
+        &[
+            ("IRREGULAR_VERBS", cmr_lexicon_irregulars::VERBS),
+            ("IRREGULAR_NOUNS", cmr_lexicon_irregulars::NOUNS),
+            ("IRREGULAR_ADJS", cmr_lexicon_irregulars::ADJS),
+        ],
+        &[
+            (
+                "IRREGULAR_PAST",
+                "IRREGULAR_VERBS",
+                cmr_lexicon_irregulars::PAST,
+            ),
+            (
+                "IRREGULAR_PART",
+                "IRREGULAR_VERBS",
+                cmr_lexicon_irregulars::PART,
+            ),
+            (
+                "IRREGULAR_PLURAL",
+                "IRREGULAR_NOUNS",
+                cmr_lexicon_irregulars::PLURAL,
+            ),
+        ],
+        out,
+    );
+    check_inflection_roundtrip(
+        &[
+            ("NOUNS", NOUNS, WordClass::Noun),
+            ("VERBS", VERBS, WordClass::Verb),
+        ],
+        out,
+    );
+    check_abbreviations(ABBREVIATIONS, out);
+}
+
+/// Local aliases for the committed irregular tables.
+mod cmr_lexicon_irregulars {
+    pub use cmr_lexicon::{
+        IRREGULAR_ADJS as ADJS, IRREGULAR_NOUNS as NOUNS, IRREGULAR_PART as PART,
+        IRREGULAR_PAST as PAST, IRREGULAR_PLURAL as PLURAL, IRREGULAR_VERBS as VERBS,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_lexicon_is_clean_at_warning() {
+        let mut out = Vec::new();
+        check(&mut out);
+        let bad: Vec<_> = out
+            .iter()
+            .filter(|d| d.severity >= Severity::Warning)
+            .collect();
+        assert!(bad.is_empty(), "committed lexicon regressed: {bad:#?}");
+    }
+
+    /// Regression: NOUNS used to list "complaint" and "lesion" twice
+    /// (once in the symptom block, again in the findings block). CMR-D010
+    /// is the diagnostic that found them.
+    #[test]
+    fn duplicate_entry_regression_complaint_lesion() {
+        let mut out = Vec::new();
+        check_word_lists(
+            &[(
+                "NOUNS",
+                &["complaint", "pain", "lesion", "complaint", "lesion"],
+            )],
+            &mut out,
+        );
+        let d010: Vec<_> = out.iter().filter(|d| d.code == "CMR-D010").collect();
+        assert_eq!(d010.len(), 2, "{out:#?}");
+        assert!(d010.iter().any(|d| d.span == "NOUNS[\"complaint\"]"));
+        assert!(d010.iter().any(|d| d.span == "NOUNS[\"lesion\"]"));
+        assert!(d010.iter().all(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn cross_class_entry_is_a_note() {
+        let mut out = Vec::new();
+        check_word_lists(
+            &[("VERBS", &["palpable"]), ("ADJECTIVES", &["palpable"])],
+            &mut out,
+        );
+        let d011: Vec<_> = out.iter().filter(|d| d.code == "CMR-D011").collect();
+        assert_eq!(d011.len(), 1, "{out:#?}");
+        assert_eq!(d011[0].severity, Severity::Note);
+        assert!(d011[0].message.contains("VERBS"));
+        assert!(d011[0].message.contains("ADJECTIVES"));
+    }
+
+    #[test]
+    fn irregular_conflict_is_flagged() {
+        let mut out = Vec::new();
+        check_irregular_tables(
+            &[("AV", &[("went", "go"), ("went", "walk")])],
+            &[("GP", "AV", &[("wend", "went")])],
+            &mut out,
+        );
+        let d012: Vec<_> = out.iter().filter(|d| d.code == "CMR-D012").collect();
+        // One duplicate key + one generation/analysis conflict.
+        assert_eq!(d012.len(), 2, "{out:#?}");
+        assert!(d012.iter().any(|d| d.message.contains("twice")));
+        assert!(d012.iter().any(|d| d.message.contains("analyzes")));
+    }
+
+    #[test]
+    fn untokenizable_inflection_is_flagged() {
+        let mut out = Vec::new();
+        // A multi-word "noun" cannot re-tokenize as one word.
+        check_inflection_roundtrip(&[("NOUNS", &["ad hoc"], WordClass::Noun)], &mut out);
+        assert!(
+            out.iter()
+                .any(|d| d.code == "CMR-D013" && d.severity == Severity::Warning),
+            "{out:#?}"
+        );
+    }
+
+    #[test]
+    fn abbreviation_cycle_is_flagged() {
+        let mut out = Vec::new();
+        check_abbreviations(
+            &[("bp", "blood pressure"), ("x", "x"), ("y", "bp")],
+            &mut out,
+        );
+        let d014: Vec<_> = out.iter().filter(|d| d.code == "CMR-D014").collect();
+        assert_eq!(d014.len(), 2, "{out:#?}");
+        assert!(d014.iter().any(|d| d.message.contains("itself")));
+        assert!(d014.iter().any(|d| d.message.contains("recursive")));
+    }
+}

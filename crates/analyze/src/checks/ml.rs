@@ -1,0 +1,277 @@
+//! Decision-tree checks (`CMR-D040` … `CMR-D042`): dead branches,
+//! redundant splits, features the extractor can never produce.
+//!
+//! The committed assets here are the paper's categorical classifier
+//! configurations (`FeatureOptions::paper_smoking` / `paper_alcohol`);
+//! the check trains each on its reference example set and audits the
+//! trained tree shape.
+
+use crate::{Diagnostic, Severity};
+use cmr_core::{CategoricalExtractor, FeatureOptions};
+use cmr_ml::TreeNode;
+
+/// Workspace-relative path of the classifier configurations.
+pub const ASSET: &str = "crates/core/src/categorical.rs";
+
+/// Recursively audits a trained tree.
+///
+/// * `CMR-D040`: a boolean feature re-tested on a path that already fixed
+///   its value — one subtree is unreachable (dead branch).
+/// * `CMR-D041`: a split whose two children are leaves with the same
+///   label — the test changes nothing.
+/// * `CMR-D042`: a feature index out of bounds (Error), or a numeric
+///   `num<=t` / `num>t` feature whose threshold the extractor options do
+///   not generate (Warning) — the feature is always false at predict time.
+pub fn check_tree(
+    node: &TreeNode,
+    feature_names: &[String],
+    thresholds: &[f64],
+    field: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut path = Vec::new();
+    walk(node, feature_names, thresholds, field, &mut path, out);
+}
+
+fn walk(
+    node: &TreeNode,
+    feature_names: &[String],
+    thresholds: &[f64],
+    field: &str,
+    path: &mut Vec<usize>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let TreeNode::Split {
+        feature,
+        on_true,
+        on_false,
+    } = node
+    else {
+        return;
+    };
+    let span = format!("field `{field}`, depth {}", path.len());
+    if *feature >= feature_names.len() {
+        out.push(Diagnostic::new(
+            "CMR-D042",
+            Severity::Error,
+            ASSET,
+            span.clone(),
+            format!(
+                "split tests feature index {feature}, but the extractor produces only {} features",
+                feature_names.len()
+            ),
+        ));
+    } else {
+        let name = &feature_names[*feature];
+        if path.contains(feature) {
+            out.push(
+                Diagnostic::new(
+                    "CMR-D040",
+                    Severity::Warning,
+                    ASSET,
+                    span.clone(),
+                    format!(
+                        "feature \"{name}\" is tested again on a path that already fixed its value; one subtree is unreachable"
+                    ),
+                )
+                .with_fix("retrain; a sound ID3 never re-splits a boolean feature"),
+            );
+        }
+        if let Some(t) = parse_numeric_threshold(name) {
+            let known = thresholds.iter().any(|k| (k - t).abs() < 1e-9);
+            if !known {
+                out.push(Diagnostic::new(
+                    "CMR-D042",
+                    Severity::Warning,
+                    ASSET,
+                    span.clone(),
+                    format!(
+                        "numeric feature \"{name}\" references threshold {t}, which the extractor options do not generate; it is always false at predict time"
+                    ),
+                ));
+            }
+        }
+    }
+    if let (TreeNode::Leaf { label: a }, TreeNode::Leaf { label: b }) =
+        (on_true.as_ref(), on_false.as_ref())
+    {
+        if a == b {
+            out.push(Diagnostic::new(
+                "CMR-D041",
+                Severity::Warning,
+                ASSET,
+                span,
+                "both branches of this split are leaves with the same label; the test is redundant"
+                    .to_string(),
+            ));
+        }
+    }
+    path.push(*feature);
+    walk(on_true, feature_names, thresholds, field, path, out);
+    walk(on_false, feature_names, thresholds, field, path, out);
+    path.pop();
+}
+
+/// Parses a `num<=t` / `num>t` feature name back to its threshold.
+fn parse_numeric_threshold(name: &str) -> Option<f64> {
+    let rest = name
+        .strip_prefix("num<=")
+        .or_else(|| name.strip_prefix("num>"))?;
+    rest.parse().ok()
+}
+
+/// Reference training set for the smoking-status classifier (the §3.3
+/// worked example).
+pub fn smoking_examples() -> Vec<(String, String)> {
+    [
+        ("She has never smoked.", "never"),
+        ("She denies smoking.", "never"),
+        ("No tobacco use.", "never"),
+        ("She quit smoking five years ago.", "former"),
+        ("Former smoker, quit ten years ago.", "former"),
+        ("She is currently a smoker.", "current"),
+        ("She smokes two packs per day.", "current"),
+    ]
+    .iter()
+    .map(|(t, l)| (t.to_string(), l.to_string()))
+    .collect()
+}
+
+/// Reference training set for the alcohol-use classifier (§3.3's numeric
+/// boolean features at threshold 2).
+pub fn alcohol_examples() -> Vec<(String, String)> {
+    [
+        ("She denies alcohol use.", "none"),
+        ("No history of alcohol use.", "none"),
+        ("She drinks 1 glass of wine per week.", "social"),
+        ("Drinks 2 beers per week.", "social"),
+        ("She drinks 6 beers per day.", "heavy"),
+        ("Reports 8 drinks daily.", "heavy"),
+    ]
+    .iter()
+    .map(|(t, l)| (t.to_string(), l.to_string()))
+    .collect()
+}
+
+fn check_trained(
+    field: &str,
+    options: FeatureOptions,
+    examples: &[(String, String)],
+    out: &mut Vec<Diagnostic>,
+) {
+    let thresholds = options.numeric_thresholds.clone();
+    let mut c = CategoricalExtractor::new(options);
+    c.train(examples);
+    if let Some(tree) = c.tree() {
+        check_tree(
+            &tree.structure(),
+            tree.feature_names(),
+            &thresholds,
+            field,
+            out,
+        );
+    }
+}
+
+/// Trains the paper's two categorical classifiers on their reference
+/// example sets and audits the resulting trees.
+pub fn check(out: &mut Vec<Diagnostic>) {
+    check_trained(
+        "smoking",
+        FeatureOptions::paper_smoking(),
+        &smoking_examples(),
+        out,
+    );
+    check_trained(
+        "alcohol",
+        FeatureOptions::paper_alcohol(),
+        &alcohol_examples(),
+        out,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(label: usize) -> Box<TreeNode> {
+        Box::new(TreeNode::Leaf { label })
+    }
+
+    fn split(feature: usize, on_true: Box<TreeNode>, on_false: Box<TreeNode>) -> Box<TreeNode> {
+        Box::new(TreeNode::Split {
+            feature,
+            on_true,
+            on_false,
+        })
+    }
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("f{i}")).collect()
+    }
+
+    #[test]
+    fn trained_paper_trees_are_clean() {
+        let mut out = Vec::new();
+        check(&mut out);
+        assert!(out.is_empty(), "trained trees regressed: {out:#?}");
+    }
+
+    #[test]
+    fn repeated_feature_on_path_is_a_dead_branch() {
+        let tree = split(0, split(0, leaf(0), leaf(1)), leaf(1));
+        let mut out = Vec::new();
+        check_tree(&tree, &names(1), &[], "x", &mut out);
+        let d040: Vec<_> = out.iter().filter(|d| d.code == "CMR-D040").collect();
+        assert_eq!(d040.len(), 1, "{out:#?}");
+        assert!(d040[0].message.contains("f0"));
+    }
+
+    #[test]
+    fn same_feature_on_different_paths_is_fine() {
+        let tree = split(0, split(1, leaf(0), leaf(1)), split(1, leaf(1), leaf(0)));
+        let mut out = Vec::new();
+        check_tree(&tree, &names(2), &[], "x", &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn redundant_split_is_flagged() {
+        let tree = split(0, leaf(1), leaf(1));
+        let mut out = Vec::new();
+        check_tree(&tree, &names(1), &[], "x", &mut out);
+        assert!(out.iter().any(|d| d.code == "CMR-D041"), "{out:#?}");
+    }
+
+    #[test]
+    fn out_of_bounds_feature_is_an_error() {
+        let tree = split(7, leaf(0), leaf(1));
+        let mut out = Vec::new();
+        check_tree(&tree, &names(1), &[], "x", &mut out);
+        let d042: Vec<_> = out.iter().filter(|d| d.code == "CMR-D042").collect();
+        assert_eq!(d042.len(), 1, "{out:#?}");
+        assert_eq!(d042[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn unknown_numeric_threshold_is_flagged() {
+        let mut fnames = names(1);
+        fnames.push("num<=3".to_string());
+        let tree = split(1, leaf(0), leaf(1));
+        let mut out = Vec::new();
+        check_tree(&tree, &fnames, &[2.0], "x", &mut out);
+        let d042: Vec<_> = out.iter().filter(|d| d.code == "CMR-D042").collect();
+        assert_eq!(d042.len(), 1, "{out:#?}");
+        assert_eq!(d042[0].severity, Severity::Warning);
+        assert!(d042[0].message.contains("num<=3"));
+    }
+
+    #[test]
+    fn known_numeric_threshold_is_clean() {
+        let fnames = vec!["num<=2".to_string(), "num>2".to_string()];
+        let tree = split(0, leaf(0), split(1, leaf(1), leaf(0)));
+        let mut out = Vec::new();
+        check_tree(&tree, &fnames, &[2.0], "x", &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+}

@@ -1,0 +1,11 @@
+//! The ordered battery of asset checks.
+//!
+//! Each module exposes table-taking functions (so regression tests can
+//! replay pre-fix asset states) plus a `check(out)` adapter bound to the
+//! committed assets.
+
+pub mod dict;
+pub mod lexicon;
+pub mod ml;
+pub mod ontology;
+pub mod specs;

@@ -1,0 +1,189 @@
+//! Ontology checks (`CMR-D020` … `CMR-D023`): CUI uniqueness, normalized
+//! surface-form collisions, dangling checklist CUIs, empty surfaces.
+
+use crate::{Diagnostic, Severity};
+use cmr_ontology::{
+    normalize, Concept, CONCEPTS, PREDEFINED_MEDICAL_CUIS, PREDEFINED_SURGICAL_CUIS,
+};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Workspace-relative path of the concept tables.
+pub const ASSET: &str = "crates/ontology/src/data.rs";
+
+/// Runs every ontology check over an arbitrary concept table and
+/// checklists. `checklists` pairs a checklist name with its CUIs.
+pub fn check_concepts(
+    concepts: &[Concept],
+    checklists: &[(&str, &[&str])],
+    out: &mut Vec<Diagnostic>,
+) {
+    // CMR-D020: duplicate CUIs.
+    let mut cuis: HashSet<&str> = HashSet::new();
+    for c in concepts {
+        if !cuis.insert(c.cui) {
+            out.push(
+                Diagnostic::new(
+                    "CMR-D020",
+                    Severity::Warning,
+                    ASSET,
+                    format!("CONCEPTS[{}]", c.cui),
+                    format!("CUI {} is assigned to more than one concept", c.cui),
+                )
+                .with_fix("give each concept a unique CUI"),
+            );
+        }
+    }
+
+    // CMR-D021 / CMR-D023: normalized surface collisions and empty
+    // surfaces. The index uses or_insert, so on a collision the later
+    // concept's surface is unreachable.
+    let mut by_norm: BTreeMap<String, Vec<(&str, &str)>> = BTreeMap::new();
+    for c in concepts {
+        for surface in std::iter::once(&c.preferred).chain(c.synonyms.iter()) {
+            let norm = normalize(surface);
+            if norm.is_empty() {
+                out.push(Diagnostic::new(
+                    "CMR-D023",
+                    Severity::Warning,
+                    ASSET,
+                    format!("CONCEPTS[{}] \"{surface}\"", c.cui),
+                    format!(
+                        "surface \"{surface}\" normalizes to the empty string and can never match"
+                    ),
+                ));
+                continue;
+            }
+            by_norm.entry(norm).or_default().push((c.cui, surface));
+        }
+    }
+    for (norm, owners) in &by_norm {
+        let distinct: HashSet<&str> = owners.iter().map(|(cui, _)| *cui).collect();
+        if distinct.len() > 1 {
+            let list = owners
+                .iter()
+                .map(|(cui, s)| format!("{cui} \"{s}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(Diagnostic::new(
+                "CMR-D021",
+                Severity::Note,
+                ASSET,
+                format!("normalized \"{norm}\""),
+                format!(
+                    "surfaces of different concepts normalize identically ({list}); lookup resolves to the first, the rest are unreachable"
+                ),
+            ));
+        }
+    }
+
+    // CMR-D022: checklist CUIs no concept defines.
+    let defined: HashMap<&str, &str> = concepts.iter().map(|c| (c.cui, c.preferred)).collect();
+    for (name, list) in checklists {
+        for cui in *list {
+            if !defined.contains_key(cui) {
+                out.push(
+                    Diagnostic::new(
+                        "CMR-D022",
+                        Severity::Warning,
+                        ASSET,
+                        format!("{name}[{cui}]"),
+                        format!("checklist {name} references CUI {cui}, which no concept defines"),
+                    )
+                    .with_fix("remove the entry or add the concept"),
+                );
+            }
+        }
+    }
+}
+
+/// Runs the ontology checks over the committed tables.
+pub fn check(out: &mut Vec<Diagnostic>) {
+    check_concepts(
+        CONCEPTS,
+        &[
+            ("PREDEFINED_MEDICAL_CUIS", PREDEFINED_MEDICAL_CUIS),
+            ("PREDEFINED_SURGICAL_CUIS", PREDEFINED_SURGICAL_CUIS),
+        ],
+        out,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmr_ontology::{Rarity, SemanticType};
+
+    fn concept(
+        cui: &'static str,
+        preferred: &'static str,
+        synonyms: &'static [&'static str],
+    ) -> Concept {
+        Concept {
+            cui,
+            preferred,
+            synonyms,
+            semtype: SemanticType::Disease,
+            rarity: Rarity::Common,
+        }
+    }
+
+    #[test]
+    fn committed_ontology_is_clean_at_warning() {
+        let mut out = Vec::new();
+        check(&mut out);
+        let bad: Vec<_> = out
+            .iter()
+            .filter(|d| d.severity >= Severity::Warning)
+            .collect();
+        assert!(bad.is_empty(), "committed ontology regressed: {bad:#?}");
+    }
+
+    #[test]
+    fn duplicate_cui_is_flagged() {
+        let mut out = Vec::new();
+        check_concepts(
+            &[concept("C1", "gout", &[]), concept("C1", "angina", &[])],
+            &[],
+            &mut out,
+        );
+        assert!(out.iter().any(|d| d.code == "CMR-D020"), "{out:#?}");
+    }
+
+    #[test]
+    fn surface_collision_is_a_note() {
+        let mut out = Vec::new();
+        check_concepts(
+            &[
+                concept("C1", "hypertension", &["high blood pressure"]),
+                concept("C2", "essential hypertension", &["hypertension"]),
+            ],
+            &[],
+            &mut out,
+        );
+        let d021: Vec<_> = out.iter().filter(|d| d.code == "CMR-D021").collect();
+        assert_eq!(d021.len(), 1, "{out:#?}");
+        assert_eq!(d021[0].severity, Severity::Note);
+        assert!(d021[0].message.contains("C1"));
+        assert!(d021[0].message.contains("C2"));
+    }
+
+    #[test]
+    fn dangling_checklist_cui_is_flagged() {
+        let mut out = Vec::new();
+        check_concepts(
+            &[concept("C1", "gout", &[])],
+            &[("LIST", &["C1", "C9"])],
+            &mut out,
+        );
+        let d022: Vec<_> = out.iter().filter(|d| d.code == "CMR-D022").collect();
+        assert_eq!(d022.len(), 1, "{out:#?}");
+        assert!(d022[0].span.contains("C9"));
+    }
+
+    #[test]
+    fn empty_surface_is_flagged() {
+        let mut out = Vec::new();
+        check_concepts(&[concept("C1", "gout", &["---"])], &[], &mut out);
+        assert!(out.iter().any(|d| d.code == "CMR-D023"), "{out:#?}");
+    }
+}

@@ -1,0 +1,373 @@
+//! Field-spec checks (`CMR-D030` … `CMR-D035`): numeric ranges, phrase
+//! tokenizability, pattern fillers, salvage-folding collisions, and
+//! negation-trigger shadowing.
+
+use crate::{Diagnostic, Severity};
+use cmr_core::{negation_triggers, pattern_fillers, salvage_fold, FeatureSpec, Schema, ValueKind};
+use cmr_text::tokenize;
+
+/// Workspace-relative path of the schema.
+pub const ASSET: &str = "crates/core/src/schema.rs";
+/// Workspace-relative path of the pattern-filler table.
+pub const NUMERIC_ASSET: &str = "crates/core/src/numeric.rs";
+
+/// `CMR-D030` / `CMR-D031`: empty valid ranges, and same-kind specs that
+/// share a section with overlapping ranges (range gating cannot keep their
+/// values apart; only keyword association does).
+pub fn check_ranges(specs: &[FeatureSpec], out: &mut Vec<Diagnostic>) {
+    for spec in specs {
+        let Some((lo, hi)) = spec.range else { continue };
+        let empty = lo > hi || (spec.kind == ValueKind::Int && lo.ceil() > hi.floor());
+        if empty {
+            out.push(
+                Diagnostic::new(
+                    "CMR-D030",
+                    Severity::Error,
+                    ASSET,
+                    format!("spec `{}`", spec.name),
+                    format!(
+                        "valid range [{lo}, {hi}] contains no {:?} value; the field can never extract",
+                        spec.kind
+                    ),
+                )
+                .with_fix("widen or correct the range bounds"),
+            );
+        }
+    }
+    for (i, a) in specs.iter().enumerate() {
+        for b in &specs[i + 1..] {
+            if a.kind != b.kind || !sections_overlap(a, b) {
+                continue;
+            }
+            let (Some((alo, ahi)), Some((blo, bhi))) = (a.range, b.range) else {
+                continue;
+            };
+            if alo <= bhi && blo <= ahi {
+                let olo = alo.max(blo);
+                let ohi = ahi.min(bhi);
+                out.push(Diagnostic::new(
+                    "CMR-D031",
+                    Severity::Note,
+                    ASSET,
+                    format!("spec `{}` / spec `{}`", a.name, b.name),
+                    format!(
+                        "same-kind specs in one section have overlapping ranges [{olo}, {ohi}]; range gating cannot disambiguate them, only keyword association does"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn sections_overlap(a: &FeatureSpec, b: &FeatureSpec) -> bool {
+    if a.sections.is_empty() || b.sections.is_empty() {
+        return true; // an unsectioned spec scans the whole record
+    }
+    a.sections
+        .iter()
+        .any(|sa| b.sections.iter().any(|sb| sa.eq_ignore_ascii_case(sb)))
+}
+
+/// `CMR-D032`: a keyword phrase (or generated variant) containing a word
+/// that does not survive tokenization as a single word token. The mention
+/// scanner matches per-word against word tokens only, so such a phrase can
+/// never fire.
+pub fn check_phrase_tokenization(specs: &[FeatureSpec], out: &mut Vec<Diagnostic>) {
+    for spec in specs {
+        for phrase in spec.matching_phrases() {
+            for word in phrase.split_whitespace() {
+                let toks = tokenize(word);
+                let ok = toks.len() == 1
+                    && toks[0].kind.is_word()
+                    && toks[0].text.to_lowercase() == word;
+                if !ok {
+                    out.push(
+                        Diagnostic::new(
+                            "CMR-D032",
+                            Severity::Warning,
+                            ASSET,
+                            format!("spec `{}` phrase \"{phrase}\"", spec.name),
+                            format!(
+                                "phrase word \"{word}\" does not tokenize as a single word token, so the phrase can never match"
+                            ),
+                        )
+                        .with_fix("reword the keyword to match tokenizer output"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `CMR-D033`: a pattern-fallback filler that does not tokenize to a
+/// single token equal to itself. The fallback compares fillers against one
+/// token at a time, so a multi-token filler never fires.
+pub fn check_fillers(fillers: &[&str], out: &mut Vec<Diagnostic>) {
+    for filler in fillers {
+        let toks = tokenize(filler);
+        let ok = toks.len() == 1 && toks[0].text.to_lowercase() == *filler;
+        if !ok {
+            out.push(
+                Diagnostic::new(
+                    "CMR-D033",
+                    Severity::Warning,
+                    NUMERIC_ASSET,
+                    format!("PATTERN_FILLERS[\"{filler}\"]"),
+                    format!(
+                        "filler \"{filler}\" does not survive tokenization as a single token, so it never matches"
+                    ),
+                )
+                .with_fix("use the tokenized form of the filler"),
+            );
+        }
+    }
+}
+
+/// `CMR-D034`: keyword phrases of *different* fields that collide under
+/// the tier-3 salvage OCR folding — either exactly (the scanner cannot
+/// tell the fields apart at all) or by word-bounded containment (a match
+/// for the longer phrase also matches the shorter field's keyword, so the
+/// shorter field can steal the longer field's number).
+pub fn check_salvage_collisions(specs: &[FeatureSpec], out: &mut Vec<Diagnostic>) {
+    let folded: Vec<(usize, String, String)> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| {
+            s.matching_phrases()
+                .into_iter()
+                .map(move |p| (i, salvage_fold(&p), p))
+        })
+        .collect();
+    for (ai, afold, aphrase) in &folded {
+        for (bi, bfold, bphrase) in &folded {
+            if specs[*ai].name >= specs[*bi].name {
+                continue; // each unordered field pair once
+            }
+            if afold == bfold {
+                out.push(Diagnostic::new(
+                    "CMR-D034",
+                    Severity::Warning,
+                    ASSET,
+                    format!("spec `{}` / spec `{}`", specs[*ai].name, specs[*bi].name),
+                    format!(
+                        "keywords \"{aphrase}\" and \"{bphrase}\" fold identically under the salvage OCR folding; the salvage scan cannot tell the fields apart"
+                    ),
+                ));
+            } else if contains_word_bounded(afold, bfold) {
+                out.push(Diagnostic::new(
+                    "CMR-D034",
+                    Severity::Note,
+                    ASSET,
+                    format!("spec `{}` / spec `{}`", specs[*bi].name, specs[*ai].name),
+                    format!(
+                        "keyword \"{bphrase}\" is contained in \"{aphrase}\" under the salvage folding; if `{}` is missed, its salvage scan can steal `{}`'s number",
+                        specs[*bi].name, specs[*ai].name
+                    ),
+                ));
+            } else if contains_word_bounded(bfold, afold) {
+                out.push(Diagnostic::new(
+                    "CMR-D034",
+                    Severity::Note,
+                    ASSET,
+                    format!("spec `{}` / spec `{}`", specs[*ai].name, specs[*bi].name),
+                    format!(
+                        "keyword \"{aphrase}\" is contained in \"{bphrase}\" under the salvage folding; if `{}` is missed, its salvage scan can steal `{}`'s number",
+                        specs[*ai].name, specs[*bi].name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// True when `needle` occurs in `hay` bounded by non-alphanumerics.
+fn contains_word_bounded(hay: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return false;
+    }
+    let hay_b = hay.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let left_ok = start == 0 || !hay_b[start - 1].is_ascii_alphanumeric();
+        let right_ok = end == hay.len() || !hay_b[end].is_ascii_alphanumeric();
+        if left_ok && right_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+/// `CMR-D035`: a keyword phrase that embeds a negation trigger sequence.
+/// A mention of the phrase puts trigger words inside the matched span, so
+/// the negation detector opens a scope in the middle of a field name.
+pub fn check_shadowed_triggers(
+    specs: &[FeatureSpec],
+    triggers: &[&[&str]],
+    out: &mut Vec<Diagnostic>,
+) {
+    for spec in specs {
+        for phrase in spec.matching_phrases() {
+            let words: Vec<&str> = phrase.split_whitespace().collect();
+            for trigger in triggers {
+                if trigger.is_empty() || trigger.len() > words.len() {
+                    continue;
+                }
+                let hit = words.windows(trigger.len()).any(|w| w == *trigger);
+                if hit {
+                    out.push(Diagnostic::new(
+                        "CMR-D035",
+                        Severity::Warning,
+                        ASSET,
+                        format!("spec `{}` phrase \"{phrase}\"", spec.name),
+                        format!(
+                            "phrase embeds the negation trigger \"{}\"; mentions of the field will open a bogus negation scope",
+                            trigger.join(" ")
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Runs the spec checks over the committed paper schema.
+pub fn check(out: &mut Vec<Diagnostic>) {
+    let schema = Schema::paper();
+    check_ranges(&schema.numeric, out);
+    check_phrase_tokenization(&schema.numeric, out);
+    check_fillers(pattern_fillers(), out);
+    check_salvage_collisions(&schema.numeric, out);
+    check_shadowed_triggers(&schema.numeric, negation_triggers(), out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, keywords: &[&str], sections: &[&str], kind: ValueKind) -> FeatureSpec {
+        FeatureSpec::new(name, keywords, sections, kind)
+    }
+
+    #[test]
+    fn committed_schema_is_clean_at_warning() {
+        let mut out = Vec::new();
+        check(&mut out);
+        let bad: Vec<_> = out
+            .iter()
+            .filter(|d| d.severity >= Severity::Warning)
+            .collect();
+        assert!(bad.is_empty(), "committed schema regressed: {bad:#?}");
+    }
+
+    #[test]
+    fn committed_schema_documents_known_overlaps() {
+        // The paper schema deliberately keeps overlapping Int ranges in
+        // Vitals (pulse/weight) and GYN History; the analyzer must keep
+        // surfacing them as notes.
+        let mut out = Vec::new();
+        check(&mut out);
+        assert!(
+            out.iter().any(|d| d.code == "CMR-D031"
+                && d.span.contains("pulse")
+                && d.span.contains("weight")),
+            "{out:#?}"
+        );
+        // "live birth" (para) is contained in "first live birth".
+        assert!(
+            out.iter().any(|d| d.code == "CMR-D034"
+                && d.span.contains("para")
+                && d.span.contains("first_birth_age")),
+            "{out:#?}"
+        );
+    }
+
+    #[test]
+    fn empty_int_range_is_an_error() {
+        let mut out = Vec::new();
+        check_ranges(
+            &[spec("x", &["x"], &[], ValueKind::Int).range(3.2, 3.9)],
+            &mut out,
+        );
+        let d030: Vec<_> = out.iter().filter(|d| d.code == "CMR-D030").collect();
+        assert_eq!(d030.len(), 1, "{out:#?}");
+        assert_eq!(d030[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn inverted_range_is_an_error() {
+        let mut out = Vec::new();
+        check_ranges(
+            &[spec("x", &["x"], &[], ValueKind::Float).range(10.0, 5.0)],
+            &mut out,
+        );
+        assert!(out.iter().any(|d| d.code == "CMR-D030"), "{out:#?}");
+    }
+
+    #[test]
+    fn overlap_requires_shared_section_and_kind() {
+        let a = spec("a", &["a"], &["S1"], ValueKind::Int).range(0.0, 10.0);
+        let b = spec("b", &["b"], &["S1"], ValueKind::Int).range(5.0, 15.0);
+        let c = spec("c", &["c"], &["S2"], ValueKind::Int).range(0.0, 10.0);
+        let d = spec("d", &["d"], &["S1"], ValueKind::Float).range(0.0, 10.0);
+        let mut out = Vec::new();
+        check_ranges(&[a, b, c, d], &mut out);
+        let d031: Vec<_> = out.iter().filter(|x| x.code == "CMR-D031").collect();
+        assert_eq!(d031.len(), 1, "{out:#?}");
+        assert!(d031[0].span.contains('a') && d031[0].span.contains('b'));
+    }
+
+    #[test]
+    fn untokenizable_phrase_is_flagged() {
+        let mut out = Vec::new();
+        // "144/90" tokenizes as a number, not a word.
+        check_phrase_tokenization(
+            &[spec("x", &["ratio 144/90"], &[], ValueKind::Int)],
+            &mut out,
+        );
+        assert!(out.iter().any(|d| d.code == "CMR-D032"), "{out:#?}");
+    }
+
+    #[test]
+    fn dead_filler_is_flagged() {
+        let mut out = Vec::new();
+        check_fillers(&["of", "more or less"], &mut out);
+        let d033: Vec<_> = out.iter().filter(|d| d.code == "CMR-D033").collect();
+        assert_eq!(d033.len(), 1, "{out:#?}");
+        assert!(d033[0].span.contains("more or less"));
+    }
+
+    #[test]
+    fn committed_fillers_all_survive_tokenization() {
+        let mut out = Vec::new();
+        check_fillers(pattern_fillers(), &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn identical_fold_is_a_warning() {
+        // "b1ood pressure" and "blood pressure" fold identically.
+        let a = spec("a", &["blood pressure"], &[], ValueKind::Ratio);
+        let b = spec("b", &["b1ood pressure"], &[], ValueKind::Ratio);
+        let mut out = Vec::new();
+        check_salvage_collisions(&[a, b], &mut out);
+        assert!(
+            out.iter()
+                .any(|d| d.code == "CMR-D034" && d.severity == Severity::Warning),
+            "{out:#?}"
+        );
+    }
+
+    #[test]
+    fn shadowed_trigger_is_flagged() {
+        let mut out = Vec::new();
+        check_shadowed_triggers(
+            &[spec("x", &["no evidence of disease"], &[], ValueKind::Int)],
+            negation_triggers(),
+            &mut out,
+        );
+        assert!(out.iter().any(|d| d.code == "CMR-D035"), "{out:#?}");
+    }
+}

@@ -1,0 +1,247 @@
+//! Output renderers: human (optionally colored), deterministic JSON, and
+//! SARIF 2.1.0.
+
+use crate::{registry, Report, Severity};
+
+const RESET: &str = "\x1b[0m";
+const BOLD: &str = "\x1b[1m";
+
+fn color_of(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Error => "\x1b[31m",   // red
+        Severity::Warning => "\x1b[33m", // yellow
+        Severity::Note => "\x1b[36m",    // cyan
+    }
+}
+
+/// Human rendering: one rustc-style block per diagnostic plus a summary
+/// line.
+pub(crate) fn human(report: &Report, color: bool) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let (c, b, r) = if color {
+            (color_of(d.severity), BOLD, RESET)
+        } else {
+            ("", "", "")
+        };
+        out.push_str(&format!(
+            "{c}{b}{}[{}]{r}{b}: {}{r}\n",
+            d.severity, d.code, d.message
+        ));
+        out.push_str(&format!("  --> {} ({})\n", d.asset, d.span));
+        if let Some(fix) = &d.fix {
+            out.push_str(&format!("  = help: {fix}\n"));
+        }
+        out.push('\n');
+    }
+    let summary = format!(
+        "{} error{}, {} warning{}, {} note{}",
+        report.errors(),
+        plural(report.errors()),
+        report.warnings(),
+        plural(report.warnings()),
+        report.notes(),
+        plural(report.notes()),
+    );
+    if report.diagnostics.is_empty() {
+        out.push_str("clean: no diagnostics\n");
+    } else {
+        out.push_str(&summary);
+        out.push('\n');
+    }
+    out
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Deterministic JSON: derived field-order serialization of the (already
+/// sorted) report, wrapped with a format version and summary counts.
+pub(crate) fn json(report: &Report) -> String {
+    use serde::Value;
+    let diags = serde::Serialize::to_value(report);
+    let body = Value::Object(vec![
+        ("version".to_string(), Value::Int(1)),
+        (
+            "summary".to_string(),
+            Value::Object(vec![
+                ("errors".to_string(), Value::Int(report.errors() as i64)),
+                ("warnings".to_string(), Value::Int(report.warnings() as i64)),
+                ("notes".to_string(), Value::Int(report.notes() as i64)),
+            ]),
+        ),
+        (
+            "diagnostics".to_string(),
+            diags.get("diagnostics").cloned().unwrap_or(Value::Null),
+        ),
+    ]);
+    serde_json::to_string_pretty(&body).unwrap_or_else(|_| "{}".to_string())
+}
+
+fn sarif_level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Note => "note",
+    }
+}
+
+/// SARIF 2.1.0: one run, one rule per registry entry, one result per
+/// diagnostic. Built as a value tree so string escaping is centralized in
+/// the JSON writer.
+pub(crate) fn sarif(report: &Report) -> String {
+    use serde::Value;
+    let obj = |fields: Vec<(&str, Value)>| {
+        Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    };
+    let s = |t: &str| Value::String(t.to_string());
+
+    let rules: Vec<Value> = registry()
+        .iter()
+        .map(|c| {
+            obj(vec![
+                ("id", s(c.code)),
+                ("name", s(c.name)),
+                ("shortDescription", obj(vec![("text", s(c.summary))])),
+            ])
+        })
+        .collect();
+    let results: Vec<Value> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let mut text = d.message.clone();
+            if let Some(fix) = &d.fix {
+                text.push_str(" — ");
+                text.push_str(fix);
+            }
+            obj(vec![
+                ("ruleId", s(d.code)),
+                ("level", s(sarif_level(d.severity))),
+                ("message", obj(vec![("text", s(&text))])),
+                (
+                    "locations",
+                    Value::Array(vec![obj(vec![
+                        (
+                            "physicalLocation",
+                            obj(vec![("artifactLocation", obj(vec![("uri", s(d.asset))]))]),
+                        ),
+                        (
+                            "logicalLocations",
+                            Value::Array(vec![obj(vec![("fullyQualifiedName", s(&d.span))])]),
+                        ),
+                    ])]),
+                ),
+            ])
+        })
+        .collect();
+    let doc = obj(vec![
+        (
+            "$schema",
+            s("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        ),
+        ("version", s("2.1.0")),
+        (
+            "runs",
+            Value::Array(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![
+                            ("name", s("cmr-analyze")),
+                            ("informationUri", s("https://example.invalid/cmr")),
+                            ("rules", Value::Array(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Value::Array(results)),
+            ])]),
+        ),
+    ]);
+    serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Diagnostic, Report};
+
+    fn sample() -> Report {
+        Report::from_diagnostics(vec![
+            Diagnostic::new(
+                "CMR-D010",
+                Severity::Warning,
+                "crates/lexicon/src/words.rs",
+                "NOUNS[\"complaint\"]",
+                "duplicate entry",
+            )
+            .with_fix("remove the second occurrence"),
+            Diagnostic::new(
+                "CMR-D030",
+                Severity::Error,
+                "crates/core/src/schema.rs",
+                "spec `pulse`",
+                "empty range",
+            ),
+            Diagnostic::new(
+                "CMR-D031",
+                Severity::Note,
+                "crates/core/src/schema.rs",
+                "spec `pulse` / spec `weight`",
+                "overlapping ranges",
+            ),
+        ])
+    }
+
+    #[test]
+    fn human_plain_has_no_ansi() {
+        let text = sample().render_human(false);
+        assert!(!text.contains('\x1b'));
+        assert!(text.contains("warning[CMR-D010]"));
+        assert!(text.contains("1 error, 1 warning, 1 note"));
+    }
+
+    #[test]
+    fn human_color_wraps_severity() {
+        let text = sample().render_human(true);
+        assert!(text.contains("\x1b[31m"), "error red");
+        assert!(text.contains("\x1b[33m"), "warning yellow");
+        assert!(text.contains("\x1b[36m"), "note cyan");
+    }
+
+    #[test]
+    fn json_has_summary_and_is_stable() {
+        let r = sample();
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"errors\": 1"));
+        assert!(a.contains("CMR-D010"));
+    }
+
+    #[test]
+    fn sarif_declares_all_rules() {
+        let text = sample().to_sarif();
+        assert!(text.contains("\"version\": \"2.1.0\""));
+        for info in registry() {
+            assert!(text.contains(info.code), "{} missing", info.code);
+        }
+    }
+
+    #[test]
+    fn empty_report_renders_clean() {
+        let r = Report::from_diagnostics(Vec::new());
+        assert!(r.render_human(false).contains("clean: no diagnostics"));
+    }
+}

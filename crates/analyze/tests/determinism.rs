@@ -1,0 +1,51 @@
+//! The analyzer's output contract: running the battery is a pure function
+//! of the committed assets — same findings, same order, same bytes —
+//! and the committed assets themselves are clean at Warning-or-worse.
+
+use cmr_analyze::{analyze_assets, check_info, Severity};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Byte-identical JSON across repeated runs: no iteration-order leaks
+    /// from hash maps, no timestamps, no environment dependence.
+    #[test]
+    fn lint_json_is_byte_identical_across_runs(_run in 0u8..8) {
+        let a = analyze_assets().to_json();
+        let b = analyze_assets().to_json();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Same for SARIF and the human rendering.
+    #[test]
+    fn other_formats_are_deterministic_too(_run in 0u8..4) {
+        let a = analyze_assets();
+        let b = analyze_assets();
+        prop_assert_eq!(a.to_sarif(), b.to_sarif());
+        prop_assert_eq!(a.render_human(false), b.render_human(false));
+    }
+}
+
+#[test]
+fn committed_assets_are_clean_at_warning() {
+    let report = analyze_assets();
+    assert_eq!(
+        report.errors() + report.warnings(),
+        0,
+        "committed assets regressed:\n{}",
+        report.render_human(false)
+    );
+}
+
+#[test]
+fn every_emitted_code_is_registered() {
+    for d in &analyze_assets().diagnostics {
+        assert!(
+            check_info(d.code).is_some(),
+            "diagnostic {} missing from the registry",
+            d.code
+        );
+        assert_eq!(d.severity, Severity::Note, "only notes on clean assets");
+    }
+}

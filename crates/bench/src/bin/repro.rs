@@ -45,8 +45,8 @@ fn main() {
             knowledge();
         }
         other => {
-            eprintln!("unknown experiment `{other}`");
-            eprintln!(
+            errln!("unknown experiment `{other}`");
+            errln!(
                 "experiments: numeric smoking table1 figure1 alcohol categorical \
                  ablation-classifier ablation-patterns ablation-assoc \
                  ablation-features ablation-ontology style-sweep negation knowledge all"
@@ -57,10 +57,10 @@ fn main() {
 }
 
 fn heading(title: &str, paper: &str) {
-    println!("\n======================================================================");
-    println!("{title}");
-    println!("paper reports: {paper}");
-    println!("======================================================================");
+    outln!("\n======================================================================");
+    outln!("{title}");
+    outln!("paper reports: {paper}");
+    outln!("======================================================================");
 }
 
 /// E1 — §5 prose: 100% precision/recall on all eight numeric attributes.
@@ -87,12 +87,12 @@ fn numeric() {
             pr.gold_total().to_string(),
         ]);
     }
-    println!("{}", t.render());
+    outln!("{}", t.render());
     let mut m = Table::new(vec!["Association mechanism", "Count"]);
     for (name, count) in &report.by_method {
         m.row(vec![name.clone(), count.to_string()]);
     }
-    println!("{}", m.render());
+    outln!("{}", m.render());
 }
 
 /// E2 — §5 prose: smoking ID3, 5-fold CV × 10, ≈92.2%, 4–7 features.
@@ -103,13 +103,13 @@ fn smoking() {
     );
     let corpus = paper_corpus();
     let result = run_smoking(&corpus, FeatureOptions::paper_smoking());
-    println!(
+    outln!(
         "5-fold cross validation x 10 runs: mean accuracy {} (std {:.1} pts)",
         pct(result.mean_accuracy()),
         result.std_accuracy() * 100.0
     );
     let (lo, hi) = result.feature_count_range();
-    println!("features used per fold-tree: {lo} to {hi}\n");
+    outln!("features used per fold-tree: {lo} to {hi}\n");
     let mut t = Table::new(vec!["truth \\ predicted", "never", "former", "current"]);
     for (i, label) in result.label_names.iter().enumerate() {
         let idx = |name: &str| result.label_names.iter().position(|l| l == name);
@@ -121,7 +121,7 @@ fn smoking() {
             cell(idx("current")),
         ]);
     }
-    println!("pooled confusion matrix over 10 runs:\n{}", t.render());
+    outln!("pooled confusion matrix over 10 runs:\n{}", t.render());
 }
 
 /// T1 — Table 1: medical term extraction, paper-profile ontology.
@@ -153,9 +153,9 @@ fn table1() {
                 ci(cmr_eval::Metric::Recall),
             ]);
         }
-        println!("ontology profile: {profile:?}\n{}", t.render());
+        outln!("ontology profile: {profile:?}\n{}", t.render());
     }
-    println!(
+    outln!(
         "The Paper profile reproduces the paper's failure modes (missing surgical\n\
          synonyms; incomplete vocabulary); the Full profile shows the improvement\n\
          the paper's conclusion predicts from 'choosing an appropriate medical database'."
@@ -168,7 +168,12 @@ fn figure1() {
         "F1 (Figure 1): linkage diagram",
         "4 links for the example clause; O link between 'is' and '144/90'",
     );
-    print!("{}", run_figure1());
+    // `write!` (not `writeln!`): the rendered figure ends with its own
+    // newline, and a closed pipe must end the output quietly.
+    {
+        use std::io::Write as _;
+        let _ = write!(std::io::stdout(), "{}", run_figure1());
+    }
 }
 
 /// X1 — §3.3 extension: numeric boolean features for alcohol use.
@@ -191,7 +196,7 @@ fn alcohol() {
         pct(with.mean_accuracy()),
         fmt_range(with.feature_count_range()),
     ]);
-    println!("{}", t.render());
+    outln!("{}", t.render());
 }
 
 /// X2 — the categorical fields the paper left incomplete.
@@ -212,7 +217,7 @@ fn categorical() {
             format!("{lo}-{hi}"),
         ]);
     }
-    println!("{}", t.render());
+    outln!("{}", t.render());
 }
 
 /// A5 — ablation: classifier choice (the paper's parsimony claim for ID3).
@@ -232,7 +237,7 @@ fn ablation_classifier() {
                 .unwrap_or_else(|| "all".to_string()),
         ]);
     }
-    println!("{}", t.render());
+    outln!("{}", t.render());
 }
 
 /// A6 — ablation: term pattern inventory.
@@ -268,7 +273,7 @@ fn ablation_patterns() {
             cell(&ext),
         ]);
     }
-    println!("{}", t.render());
+    outln!("{}", t.render());
 }
 
 /// A1 — ablation: association method × dictation style.
@@ -291,7 +296,7 @@ fn ablation_assoc() {
         };
         t.row(vec![name.to_string(), cell(0.0), cell(0.5), cell(1.0)]);
     }
-    println!(
+    outln!(
         "numeric micro-recall by association method:\n{}",
         t.render()
     );
@@ -314,7 +319,7 @@ fn ablation_features() {
             format!("{lo}-{hi}"),
         ]);
     }
-    println!("{}", t.render());
+    outln!("{}", t.render());
 }
 
 /// A4 — ablation: ontology completeness vs Table 1 scores.
@@ -348,7 +353,7 @@ fn ablation_ontology() {
             cell(&reports[2]),
         ]);
     }
-    println!("{}", t.render());
+    outln!("{}", t.render());
 }
 
 /// X3 — negation handling extension.
@@ -376,7 +381,7 @@ fn negation() {
             pr.false_positives.to_string(),
         ]);
     }
-    println!(
+    outln!(
         "task: detect 'family history of breast cancer' from the Family History\n\
          section by term presence (gold = the corpus's binary flag):\n\n{}",
         t.render()
@@ -393,7 +398,7 @@ fn knowledge() {
         .records(200)
         .seed(11)
         .build();
-    println!(
+    outln!(
         "The corpus plants one real factor: current smokers carry COPD at ~8x the\n\
          base rate. COPD's preferred name is FOUR words — beyond the paper's\n\
          three-word patterns — so whether the knowledge layer can see the factor\n\
@@ -407,12 +412,12 @@ fn knowledge() {
         ("extended patterns", cmr_core::PatternSet::Extended),
     ] {
         let (rules, findings) = run_knowledge_with(&corpus, patterns);
-        println!("--- {label} ---");
-        println!("top association rules into/out of smoking=current:");
+        outln!("--- {label} ---");
+        outln!("top association rules into/out of smoking=current:");
         let mut shown = 0;
         for rule in &rules {
             if rule.antecedent_value == "current" || rule.consequent_value == "current" {
-                println!("  {rule}");
+                outln!("  {rule}");
                 shown += 1;
                 if shown >= 5 {
                     break;
@@ -420,17 +425,17 @@ fn knowledge() {
             }
         }
         if shown == 0 {
-            println!("  (none pass thresholds)");
+            outln!("  (none pass thresholds)");
         }
         let copd: Vec<&String> = findings
             .iter()
             .filter(|f| f.contains("pulmonary"))
             .collect();
         match copd.first() {
-            Some(f) => println!("planted factor FOUND: {f}"),
-            None => println!("planted factor NOT FOUND (COPD never extracted)"),
+            Some(f) => outln!("planted factor FOUND: {f}"),
+            None => outln!("planted factor NOT FOUND (COPD never extracted)"),
         }
-        println!();
+        outln!();
     }
 }
 
@@ -450,5 +455,5 @@ fn style_sweep() {
     for (style, numeric, smoking) in &report.rows {
         t.row(vec![format!("{style:.2}"), pct(*numeric), pct(*smoking)]);
     }
-    println!("{}", t.render());
+    outln!("{}", t.render());
 }

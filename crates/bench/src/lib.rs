@@ -13,3 +13,22 @@ pub mod perf;
 
 pub use chaos::{parse_levels, run_chaos, ChaosConfig, ChaosLevelReport, ChaosReport};
 pub use experiments::*;
+
+/// `println!` that survives a closed stdout: `repro figure1 | head` closes
+/// the pipe early, and the report must end quietly instead of panicking.
+#[macro_export]
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    }};
+}
+
+/// [`outln!`] for stderr.
+#[macro_export]
+macro_rules! errln {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stderr(), $($arg)*);
+    }};
+}

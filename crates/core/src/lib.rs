@@ -46,9 +46,10 @@ pub use degradation::{
     DegradationReport, FieldProvenance, ParseFailureCounts, ParseFailureKind, Tier, TierFieldCounts,
 };
 pub use error::CmrError;
-pub use negation::NegationDetector;
-pub use numeric::{AssociationMethod, MethodUsed, NumericExtractor, NumericHit};
+pub use negation::{negation_breakers, negation_triggers, NegationDetector};
+pub use numeric::{pattern_fillers, AssociationMethod, MethodUsed, NumericExtractor, NumericHit};
 pub use pipeline::{ExtractTiming, ExtractedRecord, Pipeline};
+pub use salvage::salvage_fold;
 pub use schema::Schema;
 // Re-exported so engine-style pools can share one parse cache without a
 // direct linkgram dependency.

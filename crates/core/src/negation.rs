@@ -35,6 +35,17 @@ const TRIGGERS: &[&[&str]] = &[
 /// Words that end a negation scope early.
 const BREAKERS: &[&str] = &["but", "except", "however", "although", "aside"];
 
+/// The trigger phrase table, exposed for static analysis (e.g. checking
+/// that no phrase-table entry shadows a trigger).
+pub fn negation_triggers() -> &'static [&'static [&'static str]] {
+    TRIGGERS
+}
+
+/// The scope-breaker word list, exposed for static analysis.
+pub fn negation_breakers() -> &'static [&'static str] {
+    BREAKERS
+}
+
 /// Detects negated token ranges in a tagged sentence.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NegationDetector {

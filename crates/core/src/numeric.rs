@@ -85,6 +85,13 @@ const PATTERN_FILLERS: &[&str] = &[
 /// Maximum fillers to skip before giving up on a pattern match.
 const MAX_FILLERS: usize = 3;
 
+/// The filler vocabulary of the pattern fallback, exposed for static
+/// analysis (each entry must survive tokenization as a single token or it
+/// can never fire).
+pub fn pattern_fillers() -> &'static [&'static str] {
+    PATTERN_FILLERS
+}
+
 /// The numeric extractor.
 pub struct NumericExtractor {
     parser: LinkParser,

@@ -92,6 +92,13 @@ fn fold_str(phrase: &str) -> Vec<char> {
     fold(&raw).iter().map(|f| f.ch).collect()
 }
 
+/// The OCR-confusion folding applied to keyword phrases, exposed for
+/// static analysis: two fields whose phrases fold identically collide in
+/// the tier-3 salvage scan.
+pub fn salvage_fold(phrase: &str) -> String {
+    fold_str(phrase).into_iter().collect()
+}
+
 /// Raw indices just past each word-bounded occurrence of `needle` in the
 /// folded text, left to right.
 fn find_occurrences(folded: &[Folded], needle: &[char]) -> Vec<usize> {

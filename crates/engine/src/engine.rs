@@ -6,7 +6,7 @@ use cmr_core::{AssociationMethod, ExtractBudget, ExtractedRecord, PatternSet, Pi
 use cmr_ontology::Ontology;
 use cmr_text::Record;
 use serde::{Deserialize, Serialize};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Engine configuration.
@@ -77,6 +77,12 @@ pub enum EngineError {
     },
     /// The batch stopped (`fail_fast`) before this record was processed.
     Aborted,
+    /// The startup asset lint found `Error`-severity findings; no record
+    /// was processed (a broken rule asset would poison every record).
+    Lint {
+        /// The rendered diagnostics.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -87,6 +93,9 @@ impl std::fmt::Display for EngineError {
                 write!(f, "budget exceeded after {sentences_done} sentence(s)")
             }
             EngineError::Aborted => write!(f, "aborted: batch stopped by an earlier failure"),
+            EngineError::Lint { message } => {
+                write!(f, "rule assets failed the startup lint:\n{message}")
+            }
         }
     }
 }
@@ -164,12 +173,33 @@ impl Engine {
     /// input, strictly in input order, from the calling thread; the input
     /// iterator is consumed from a feeder thread under backpressure
     /// (at most `queue_depth` records are buffered ahead of the workers).
-    pub fn extract_stream<I, S>(&self, inputs: I, sink: S) -> EngineMetrics
+    pub fn extract_stream<I, S>(&self, inputs: I, mut sink: S) -> EngineMetrics
     where
         I: Iterator<Item = String> + Send,
         S: FnMut(usize, Result<ExtractedRecord, EngineError>),
     {
         let jobs = self.cfg.resolved_jobs();
+        // Fail fast when the rule assets are broken: an Error-severity
+        // finding means extraction would misbehave on every record, so the
+        // batch never starts. Warnings only surface in the metrics.
+        let lint = startup_lint();
+        if lint.errors > 0 {
+            let start = Instant::now();
+            for (idx, _text) in inputs.enumerate() {
+                sink(
+                    idx,
+                    Err(EngineError::Lint {
+                        message: lint.message.clone(),
+                    }),
+                );
+            }
+            return EngineMetrics {
+                jobs,
+                wall_nanos: start.elapsed().as_nanos() as u64,
+                lint_warnings: lint.warnings,
+                ..EngineMetrics::default()
+            };
+        }
         let collector = Arc::new(Mutex::new(MetricsCollector::default()));
         // One pool-wide parse-structure cache: each worker keeps its
         // lock-free local cache as a fast path and falls back to this map,
@@ -228,8 +258,36 @@ impl Engine {
 
         let wall_nanos = start.elapsed().as_nanos() as u64;
         let collector = lock_collector(&collector);
-        EngineMetrics::from_collector(&collector, jobs, wall_nanos)
+        let mut metrics = EngineMetrics::from_collector(&collector, jobs, wall_nanos);
+        metrics.lint_warnings = lint.warnings;
+        metrics
     }
+}
+
+/// The cached outcome of the once-per-process startup asset lint.
+struct LintStatus {
+    errors: usize,
+    warnings: u64,
+    message: String,
+}
+
+/// Lints the committed rule assets once per process; every engine run
+/// consults the cached result. The battery is pure over `&'static` tables,
+/// so one run is valid for the process lifetime.
+fn startup_lint() -> &'static LintStatus {
+    static LINT: OnceLock<LintStatus> = OnceLock::new();
+    LINT.get_or_init(|| {
+        let report = cmr_analyze::analyze_assets();
+        LintStatus {
+            errors: report.errors(),
+            warnings: report.warnings() as u64,
+            message: if report.errors() > 0 {
+                report.render_human(false)
+            } else {
+                String::new()
+            },
+        }
+    })
 }
 
 /// Locks the metrics collector, recovering from poisoning: the engine's
@@ -323,6 +381,18 @@ mod tests {
         assert_eq!(out.metrics.errors.total(), 0);
         assert!(out.metrics.stages.total.count == 3);
         assert!(out.metrics.records_per_sec > 0.0);
+    }
+
+    #[test]
+    fn startup_lint_passes_on_committed_assets() {
+        // The committed rule assets must never carry Error findings (the
+        // engine would refuse to start) and currently carry no warnings.
+        let lint = startup_lint();
+        assert_eq!(lint.errors, 0, "{}", lint.message);
+        let out = Engine::new(serial_cfg(), Schema::paper(), Ontology::full())
+            .extract_batch(&[APPENDIX_RECORD]);
+        assert_eq!(out.metrics.lint_warnings, lint.warnings);
+        assert!(out.items[0].is_ok());
     }
 
     #[test]

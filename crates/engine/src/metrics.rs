@@ -256,6 +256,9 @@ pub struct EngineMetrics {
     /// Degradation accounting (tier usage, parse failures) summed over
     /// successful records.
     pub degradation: DegradationTotals,
+    /// Warning-severity findings from the startup asset lint (the run
+    /// proceeds; `Error` findings fail the batch before it starts).
+    pub lint_warnings: u64,
 }
 
 impl EngineMetrics {
@@ -271,6 +274,7 @@ impl EngineMetrics {
             parse_cache: c.parse_cache,
             methods: c.methods,
             degradation: c.degradation,
+            lint_warnings: 0,
         };
         if wall_nanos > 0 {
             m.records_per_sec = m.records as f64 / (wall_nanos as f64 / 1e9);

@@ -27,6 +27,10 @@ pub use abbrev::{expand_abbreviation, expand_phrase, ABBREVIATIONS};
 pub use inflect::{
     noun_plural, phrase_variants, variants, verb_3sg, verb_gerund, verb_past, verb_past_participle,
 };
+pub use irregular::{
+    IRREGULAR_ADJS, IRREGULAR_NOUNS, IRREGULAR_PART, IRREGULAR_PAST, IRREGULAR_PLURAL,
+    IRREGULAR_VERBS,
+};
 pub use lemma::{Lemmatizer, WordClass};
 pub use words::{
     is_known_adjective, is_known_adverb, is_known_lemma, is_known_noun, is_known_verb, ADJECTIVES,

@@ -141,7 +141,6 @@ const CLASS_DEFS: &[(&str, &str)] = &[
     ("have-z", "{@E-} & Ss- & (T+ or O+ or TO+) & {@MV+} & {N+}"),
     ("have-p", "{@E-} & Sp- & (T+ or O+ or TO+) & {@MV+} & {N+}"),
     ("have-d", "{@E-} & S- & (T+ or O+ or TO+) & {@MV+} & {N+}"),
-    ("have-base", "I- & (T+ or O+) & {@MV+}"),
     ("do-z", "{@E-} & Ss- & {N+} & {I+ or O+} & {@MV+}"),
     ("do-p", "{@E-} & Sp- & {N+} & {I+ or O+} & {@MV+}"),
     ("do-d", "{@E-} & S- & {N+} & {I+ or O+} & {@MV+}"),
@@ -521,6 +520,37 @@ impl Dictionary {
     pub fn disjunct_count(&self) -> usize {
         self.classes.values().map(Vec::len).sum()
     }
+
+    /// Class names in deterministic (sorted) order, for asset analyzers
+    /// that iterate the whole dictionary.
+    pub fn class_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self.classes.keys().copied().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Compiled disjuncts of a class by name, or `None` for an unknown
+    /// class.
+    pub fn class_disjuncts(&self, name: &str) -> Option<&[Disjunct]> {
+        self.classes.get(name).map(Vec::as_slice)
+    }
+}
+
+/// The raw `(class, connector expression)` definition table the built-in
+/// dictionary compiles from, exposed for static analysis.
+pub fn class_defs() -> &'static [(&'static str, &'static str)] {
+    CLASS_DEFS
+}
+
+/// The raw `(word, class)` table, in source order (later entries shadow
+/// earlier ones at build time), exposed for static analysis.
+pub fn word_classes() -> &'static [(&'static str, &'static str)] {
+    WORD_CLASSES
+}
+
+/// The raw `(POS tag, class)` fallback table, exposed for static analysis.
+pub fn tag_classes() -> &'static [(Tag, &'static str)] {
+    TAG_CLASSES
 }
 
 #[cfg(test)]

@@ -38,7 +38,7 @@ mod parser;
 
 pub use connector::{Connector, Dir};
 pub use constituent::Constituents;
-pub use dict::{DictError, Dictionary};
+pub use dict::{class_defs, tag_classes, word_classes, DictError, Dictionary};
 pub use expr::{expand, parse_expr, Disjunct, Expr, ParseError};
 pub use linkage::{Link, LinkWeights, Linkage};
 pub use parser::{LinkParser, ParseFailure, ParserStats, SharedParseCache};

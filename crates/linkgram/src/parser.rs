@@ -1407,3 +1407,105 @@ mod tests {
         assert!(parser.cache_len() <= 16, "cache bounded by its capacity");
     }
 }
+
+/// Concurrency model for the shared parse cache, built only under
+/// `RUSTFLAGS="--cfg loom"` (the CI loom job). Two properties of the
+/// engine's pool-wide cache are modeled:
+///
+/// 1. **No double parse**: the shared lock is held across the fallback
+///    parse on a shared miss (see `try_parse`), so N workers racing on a
+///    cold shape run the O(n³) parser exactly once.
+/// 2. **Bounded, lossless accounting**: under concurrent inserts the
+///    two-generation map never exceeds its capacity, and every entry is
+///    either still cached or counted by the eviction counter — rotation
+///    cannot silently lose an insert.
+#[cfg(all(test, loom))]
+mod loom_model {
+    use super::*;
+    use loom::sync::atomic::{AtomicUsize, Ordering};
+    use loom::thread;
+
+    fn sig(test: &str, n: usize) -> Arc<[Sym]> {
+        // The \u{1} prefix keeps model keys out of any real class symbol.
+        let sym = cmr_text::intern(&format!("\u{1}loom-{test}-{n}"));
+        Arc::from(vec![sym].as_slice())
+    }
+
+    /// The engine's shared-miss path, reduced to its locking skeleton:
+    /// lookup and (on a miss) parse + insert under one lock acquisition.
+    fn lookup_or_parse(shared: &SharedParseCache, sig: Arc<[Sym]>, parses: &AtomicUsize) {
+        let mut map = shared
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if map.get(&sig[..]).is_some() {
+            return;
+        }
+        parses.fetch_add(1, Ordering::SeqCst); // "the O(n³) parse"
+        map.insert(sig, Err(ParseFailure::NoLinkage));
+    }
+
+    #[test]
+    fn cold_start_parses_each_shape_exactly_once() {
+        loom::model(|| {
+            const SHAPES: usize = 3;
+            let shared = SharedParseCache::with_capacity(1024);
+            let parses: Arc<[AtomicUsize]> =
+                Arc::from((0..SHAPES).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let shared = shared.clone();
+                    let parses = Arc::clone(&parses);
+                    thread::spawn(move || {
+                        for n in 0..SHAPES {
+                            lookup_or_parse(&shared, sig("once", n), &parses[n]);
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().expect("model worker");
+            }
+            for (n, count) in parses.iter().enumerate() {
+                assert_eq!(count.load(Ordering::SeqCst), 1, "shape {n} parsed twice");
+            }
+            assert_eq!(shared.len(), SHAPES);
+        });
+    }
+
+    #[test]
+    fn concurrent_inserts_stay_bounded_and_accounted() {
+        loom::model(|| {
+            const PER_WORKER: usize = 8;
+            let shared = SharedParseCache::with_capacity(4); // gen_cap = 2
+            let workers: Vec<_> = (0..2)
+                .map(|w| {
+                    let shared = shared.clone();
+                    thread::spawn(move || {
+                        for n in 0..PER_WORKER {
+                            let key = sig("bound", w * PER_WORKER + n);
+                            lookup_or_parse(&shared, Arc::clone(&key), &AtomicUsize::new(0));
+                            // Re-touching promotes; must never panic or lose.
+                            let _ = shared
+                                .inner
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .get(&key[..]);
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().expect("model worker");
+            }
+            let len = shared.len() as u64;
+            assert!(len <= 4, "two-generation map exceeded its capacity: {len}");
+            // Every distinct insert is cached or counted as evicted.
+            assert_eq!(
+                shared.evictions() + len,
+                (2 * PER_WORKER) as u64,
+                "rotation lost an insert"
+            );
+        });
+    }
+}

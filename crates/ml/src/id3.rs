@@ -237,6 +237,56 @@ impl Id3Tree {
         );
         out
     }
+
+    /// Feature names, aligned with the indices in [`TreeNode::Split`].
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Label names, aligned with the indices in [`TreeNode::Leaf`].
+    pub fn label_names(&self) -> &[String] {
+        &self.label_names
+    }
+
+    /// A structural snapshot of the tree for external analyzers (the
+    /// internal node type stays private so training can evolve freely).
+    pub fn structure(&self) -> TreeNode {
+        fn snap(node: &Node) -> TreeNode {
+            match node {
+                Node::Leaf { label } => TreeNode::Leaf { label: *label },
+                Node::Split {
+                    feature,
+                    on_true,
+                    on_false,
+                } => TreeNode::Split {
+                    feature: *feature,
+                    on_true: Box::new(snap(on_true)),
+                    on_false: Box::new(snap(on_false)),
+                },
+            }
+        }
+        snap(&self.root)
+    }
+}
+
+/// A read-only view of a trained tree's structure (see
+/// [`Id3Tree::structure`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeNode {
+    /// A leaf predicting the label at this index.
+    Leaf {
+        /// Label index into [`Id3Tree::label_names`].
+        label: usize,
+    },
+    /// An internal test on one boolean feature.
+    Split {
+        /// Feature index into [`Id3Tree::feature_names`].
+        feature: usize,
+        /// Subtree taken when the feature is present.
+        on_true: Box<TreeNode>,
+        /// Subtree taken when the feature is absent.
+        on_false: Box<TreeNode>,
+    },
 }
 
 fn build(data: &Dataset, indices: &[usize], params: Id3Params, depth: usize) -> Node {

@@ -31,5 +31,5 @@ pub use cv::{Classifier, CrossValidation, CvResult};
 pub use dataset::{Dataset, DatasetBuilder, Instance};
 pub use id3::{
     entropy, gain_ratio, gini, gini_gain, information_gain, split_quality, Id3Params, Id3Tree,
-    SplitCriterion,
+    SplitCriterion, TreeNode,
 };

@@ -82,6 +82,10 @@ fn main() -> ExitCode {
         "bench" => bench(rest),
         "parse" => parse(rest),
         "terms" => terms(rest),
+        "lint" => match lint(rest) {
+            Ok(code) => return code,
+            Err(e) => Err(e),
+        },
         "--help" | "-h" | "help" => {
             usage();
             Ok(())
@@ -125,7 +129,11 @@ fn usage() {
          \u{20}  cmr parse \"SENTENCE\"\n\
          \u{20}      print the link grammar linkage diagram and constituents\n\
          \u{20}  cmr terms \"TEXT\"\n\
-         \u{20}      print the medical terms found in TEXT"
+         \u{20}      print the medical terms found in TEXT\n\
+         \u{20}  cmr lint [--format human|json|sarif] [--deny notes|warnings|errors] [--no-color]\n\
+         \u{20}      statically analyze the rule assets (dictionary, lexicon, ontology,\n\
+         \u{20}      field specs, ID3 config); exits 1 when a finding reaches the --deny\n\
+         \u{20}      threshold (default: errors)"
     );
 }
 
@@ -495,6 +503,55 @@ fn bench(args: &[String]) -> Result<(), String> {
         eprintln!("cmr: perf check vs {check} passed (threshold {threshold})");
     }
     Ok(())
+}
+
+/// `cmr lint`: run the static analyzer over the committed rule assets.
+/// Returns the process exit code directly so a deny-threshold failure
+/// exits 1 (distinct from usage errors, which exit 2).
+fn lint(args: &[String]) -> Result<ExitCode, String> {
+    let mut format = String::from("human");
+    let mut deny = String::from("errors");
+    let mut no_color = false;
+    let positional = parse_flags(
+        args,
+        &mut [("format", &mut format), ("deny", &mut deny)],
+        &mut [("no-color", &mut no_color)],
+    )?;
+    if let Some(extra) = positional.first() {
+        return Err(format!(
+            "lint takes no positional arguments (got `{extra}`)"
+        ));
+    }
+    let deny = match deny.as_str() {
+        "notes" => cmr::analyze::Severity::Note,
+        "warnings" => cmr::analyze::Severity::Warning,
+        "errors" => cmr::analyze::Severity::Error,
+        other => {
+            return Err(format!(
+                "--deny must be notes, warnings, or errors, got `{other}`"
+            ))
+        }
+    };
+    let report = cmr::analyze::analyze_assets();
+    match format.as_str() {
+        "human" => {
+            use std::io::IsTerminal as _;
+            let color = !no_color && std::io::stdout().is_terminal();
+            outln!("{}", report.render_human(color));
+        }
+        "json" => outln!("{}", report.to_json()),
+        "sarif" => outln!("{}", report.to_sarif()),
+        other => {
+            return Err(format!(
+                "--format must be human, json, or sarif, got `{other}`"
+            ))
+        }
+    }
+    Ok(if report.passes(deny) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
 }
 
 fn parse(args: &[String]) -> Result<(), String> {

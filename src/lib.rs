@@ -32,6 +32,7 @@
 //! assert!(extracted.numeric("pulse").is_some());
 //! ```
 
+pub use cmr_analyze as analyze;
 pub use cmr_bench as bench;
 pub use cmr_core as core;
 pub use cmr_corpus as corpus;
@@ -47,6 +48,7 @@ pub use cmr_text as text;
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
+    pub use cmr_analyze::{analyze_assets, Diagnostic, Report, Severity};
     pub use cmr_bench::{parse_levels, run_chaos, ChaosConfig, ChaosReport};
     pub use cmr_core::{
         CategoricalExtractor, CmrError, DegradationReport, ExtractedRecord, FeatureOptions,

@@ -191,3 +191,58 @@ fn ndjson_streaming_pipes_generate_into_extract() {
         "{stderr}"
     );
 }
+
+#[test]
+fn lint_passes_deny_warnings_and_formats_agree() {
+    // The committed assets must be clean at the warning threshold.
+    let human = cmr()
+        .args(["lint", "--deny", "warnings", "--no-color"])
+        .output()
+        .expect("run cmr lint");
+    assert!(
+        human.status.success(),
+        "committed assets fail `cmr lint --deny warnings`:\n{}",
+        String::from_utf8_lossy(&human.stdout)
+    );
+    let text = String::from_utf8(human.stdout).expect("utf-8");
+    assert!(text.contains("0 errors, 0 warnings"), "{text}");
+    assert!(!text.contains('\u{1b}'), "--no-color must strip ANSI");
+
+    // JSON output parses and its summary agrees with the human render.
+    let json = cmr()
+        .args(["lint", "--format", "json"])
+        .output()
+        .expect("run cmr lint --format json");
+    assert!(json.status.success());
+    let doc = serde_json::parse_value_str(String::from_utf8(json.stdout).expect("utf-8").trim())
+        .expect("lint JSON parses");
+    let summary = doc.get("summary").expect("summary object");
+    assert_eq!(summary.get("errors"), Some(&serde::Value::Int(0)));
+    assert_eq!(summary.get("warnings"), Some(&serde::Value::Int(0)));
+
+    // SARIF output parses and declares the driver.
+    let sarif = cmr()
+        .args(["lint", "--format", "sarif"])
+        .output()
+        .expect("run cmr lint --format sarif");
+    assert!(sarif.status.success());
+    let doc = serde_json::parse_value_str(String::from_utf8(sarif.stdout).expect("utf-8").trim())
+        .expect("SARIF parses");
+    let runs = doc.get("runs").and_then(|r| r.as_array()).expect("runs");
+    assert_eq!(runs.len(), 1);
+}
+
+#[test]
+fn lint_deny_notes_exits_one_without_usage_noise() {
+    // The committed assets do carry advisory notes; denying notes must
+    // exit 1 (a lint failure), not 2 (a usage error).
+    let out = cmr()
+        .args(["lint", "--deny", "notes", "--no-color"])
+        .output()
+        .expect("run cmr lint --deny notes");
+    assert_eq!(out.status.code(), Some(1), "lint failure must exit 1");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).is_empty(),
+        "deny failure is not a usage error"
+    );
+}

@@ -1,0 +1,45 @@
+//! Offline stand-in for [`loom`](https://docs.rs/loom).
+//!
+//! The build environment has no network access, so this crate provides
+//! loom's API surface — `loom::model`, `loom::thread`, `loom::sync` —
+//! backed by the real std primitives. Instead of exhaustively enumerating
+//! schedules with a modeled scheduler, [`model`] re-runs the closure many
+//! times on real threads, relying on OS scheduling jitter to vary the
+//! interleavings. That is a probabilistic approximation: it catches the
+//! common races and keeps the model tests *written* (and compiling against
+//! loom's API), so swapping in the real crate needs only a dependency
+//! change, not a test rewrite.
+//!
+//! Only the subset the workspace's model tests use is re-exported.
+
+#![forbid(unsafe_code)]
+
+/// How many times [`model`] re-runs the closure. Real loom explores every
+/// schedule once; the stand-in buys interleaving coverage with repetition.
+pub const MODEL_ITERATIONS: usize = 64;
+
+/// Runs a concurrency model. See the crate docs for how this stand-in
+/// differs from real loom's exhaustive schedule exploration.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for _ in 0..MODEL_ITERATIONS {
+        f();
+    }
+}
+
+/// Mirror of `loom::thread`.
+pub mod thread {
+    pub use std::thread::{current, park, spawn, yield_now, JoinHandle, Thread};
+}
+
+/// Mirror of `loom::sync`.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// Mirror of `loom::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    }
+}
