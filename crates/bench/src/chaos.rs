@@ -22,6 +22,7 @@ use cmr_engine::{Engine, EngineConfig};
 use cmr_eval::{MultiValueScore, PrecisionRecall};
 use cmr_ontology::Ontology;
 use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Parameters of one chaos sweep.
 #[derive(Debug, Clone)]
@@ -87,6 +88,9 @@ pub struct ChaosReport {
     pub seed: u64,
     /// Corpus size.
     pub records: usize,
+    /// True when the sweep was interrupted (see [`run_chaos_with`]): the
+    /// levels present are complete and valid, but the sweep is partial.
+    pub interrupted: bool,
     /// Per-level results.
     pub levels: Vec<ChaosLevelReport>,
 }
@@ -110,10 +114,24 @@ fn gold_terms(rec: &GoldRecord) -> Vec<String> {
 /// same seed (the injector keys its RNG on `(seed, text)`, so levels are
 /// comparable) and scores against the uncorrupted gold labels.
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    run_chaos_with(cfg, None)
+}
+
+/// [`run_chaos`] with an optional interrupt flag (e.g. raised by a
+/// SIGINT handler): the sweep stops *between* noise levels when the flag
+/// is seen, so every level in the report is complete and scoreable, and
+/// the report is marked [`ChaosReport::interrupted`] for the caller to
+/// flush as a partial result instead of losing the finished levels.
+pub fn run_chaos_with(cfg: &ChaosConfig, interrupt: Option<&AtomicBool>) -> ChaosReport {
     let corpus = CorpusBuilder::new().records(cfg.records).build();
     let attrs = Schema::paper_numeric_names();
+    let mut interrupted = false;
     let mut levels = Vec::with_capacity(cfg.levels.len());
     for &noise in &cfg.levels {
+        if interrupt.is_some_and(|f| f.load(Ordering::Relaxed)) {
+            interrupted = true;
+            break;
+        }
         let injector = NoiseInjector::from_level(noise, cfg.seed);
         let texts: Vec<String> = corpus
             .records
@@ -192,6 +210,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     ChaosReport {
         seed: cfg.seed,
         records: cfg.records,
+        interrupted,
         levels,
     }
 }
@@ -267,6 +286,25 @@ mod tests {
         assert!(parse_levels("1.5").is_err());
         assert!(parse_levels("0.5..0.1").is_err());
         assert!(parse_levels("0..0.5:0").is_err());
+    }
+
+    #[test]
+    fn pre_raised_interrupt_yields_an_empty_partial_report() {
+        let flag = AtomicBool::new(true);
+        let report = run_chaos_with(
+            &ChaosConfig {
+                levels: vec![0.0, 0.3],
+                seed: 7,
+                records: 2,
+                jobs: 1,
+            },
+            Some(&flag),
+        );
+        assert!(report.interrupted);
+        assert!(
+            report.levels.is_empty(),
+            "no level may start after the flag"
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@ pub mod chaos;
 pub mod experiments;
 pub mod perf;
 
-pub use chaos::{parse_levels, run_chaos, ChaosConfig, ChaosLevelReport, ChaosReport};
+pub use chaos::{
+    parse_levels, run_chaos, run_chaos_with, ChaosConfig, ChaosLevelReport, ChaosReport,
+};
 pub use experiments::*;
 
 /// `println!` that survives a closed stdout: `repro figure1 | head` closes

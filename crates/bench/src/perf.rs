@@ -99,6 +99,10 @@ pub struct BenchReport {
     pub serial: RunStats,
     /// Parallel engine at `config.jobs` workers over the same texts.
     pub parallel: RunStats,
+    /// Parallel engine with a write-ahead journal enabled (PR 5): same
+    /// workload as `parallel`, plus one journal line per record. Absent in
+    /// reports from before the durability subsystem existed.
+    pub journaled: Option<RunStats>,
     /// Allocation counts (absent when no counting allocator is installed).
     pub allocations: Option<AllocStats>,
     /// Peak resident set size in bytes (`VmHWM`; absent off-Linux).
@@ -234,16 +238,65 @@ pub fn run_parallel(cfg: &BenchConfig, texts: &[String]) -> RunStats {
     best
 }
 
+/// Runs the parallel leg again with the write-ahead journal enabled,
+/// measuring durability overhead: every record outcome is serialized and
+/// appended (one `write_all` per line) to a scratch journal that is
+/// deleted afterwards.
+pub fn run_journaled(cfg: &BenchConfig, texts: &[String]) -> RunStats {
+    use cmr_engine::{JournalEntry, JournalWriter, RunManifest};
+
+    let path = std::env::temp_dir().join(format!(
+        "cmr-bench-journal-{}-{}.ndjson",
+        std::process::id(),
+        cfg.seed
+    ));
+    let mut best = RunStats::default();
+    for _ in 0..cfg.repeats.max(1) {
+        let engine_cfg = EngineConfig {
+            jobs: cfg.jobs.max(1),
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(engine_cfg.clone(), Schema::paper(), Ontology::full());
+        let manifest = RunManifest::for_run(&engine_cfg, texts);
+        let mut fields = 0u64;
+        let start = Instant::now();
+        let mut writer = JournalWriter::create(&path, &manifest).expect("scratch journal");
+        let metrics = engine.extract_stream(texts.iter().cloned(), |index, output| {
+            let entry = JournalEntry { index, output };
+            writer.append(&entry).expect("journal append");
+            if let Ok(rec) = &entry.output {
+                fields += fields_of(rec);
+            }
+        });
+        let wall = start.elapsed().as_nanos() as u64;
+        if best.wall_nanos == 0 || wall < best.wall_nanos {
+            best = RunStats {
+                notes: metrics.records,
+                fields,
+                wall_nanos: wall,
+                cache_hits: metrics.parse_cache.hits,
+                cache_misses: metrics.parse_cache.misses,
+                ..RunStats::default()
+            };
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    best.finish();
+    best
+}
+
 /// Runs both legs and assembles a report.
 pub fn run_bench(cfg: &BenchConfig, probe: Option<&dyn Fn() -> (u64, u64)>) -> BenchReport {
     let texts = workload(cfg);
     let (serial, allocations) = run_serial(cfg, &texts, probe);
     let parallel = run_parallel(cfg, &texts);
+    let journaled = run_journaled(cfg, &texts);
     BenchReport {
         version: 1,
         config: cfg.clone(),
         serial,
         parallel,
+        journaled: Some(journaled),
         allocations,
         peak_rss_bytes: peak_rss_bytes(),
         baseline: None,
@@ -304,6 +357,30 @@ pub fn check_regression(
     }
 }
 
+/// The durability gate: journaling is bookkeeping, not work, so the
+/// journaled leg must stay within `threshold` (fraction, default 0.10 in
+/// CI) of the plain parallel leg *of the same report* — same machine,
+/// same run, no cross-environment noise.
+pub fn check_journal_overhead(report: &BenchReport, threshold: f64) -> Result<(), String> {
+    let Some(journaled) = &report.journaled else {
+        return Err("report has no journaled leg".to_string());
+    };
+    if report.parallel.notes_per_sec <= 0.0 {
+        return Err("parallel leg has no throughput to compare against".to_string());
+    }
+    let floor = report.parallel.notes_per_sec * (1.0 - threshold);
+    if journaled.notes_per_sec < floor {
+        return Err(format!(
+            "journal overhead too high: {:.1} notes/sec journaled vs {:.1} plain \
+             (floor {floor:.1} at {:.0}% allowance)",
+            journaled.notes_per_sec,
+            report.parallel.notes_per_sec,
+            threshold * 100.0
+        ));
+    }
+    Ok(())
+}
+
 /// A tiny smoke workload for tests: a handful of records, one repeat.
 pub fn smoke_config() -> BenchConfig {
     BenchConfig {
@@ -328,6 +405,26 @@ mod tests {
         assert!(report.parallel.notes_per_sec > 0.0);
         assert!(report.allocations.is_none());
         assert!((0.0..=1.0).contains(&report.serial.cache_hit_rate));
+        let journaled = report.journaled.as_ref().expect("journaled leg present");
+        assert_eq!(journaled.notes, report.parallel.notes);
+        assert!(journaled.notes_per_sec > 0.0);
+    }
+
+    #[test]
+    fn journal_overhead_gate_trips_and_passes() {
+        let mut report = run_bench(&smoke_config(), None);
+        report.parallel.notes_per_sec = 100.0;
+        if let Some(j) = report.journaled.as_mut() {
+            j.notes_per_sec = 95.0; // -5%: inside the 10% allowance
+        }
+        assert!(check_journal_overhead(&report, 0.10).is_ok());
+        if let Some(j) = report.journaled.as_mut() {
+            j.notes_per_sec = 80.0; // -20%: trips
+        }
+        let err = check_journal_overhead(&report, 0.10).unwrap_err();
+        assert!(err.contains("journal overhead"), "{err}");
+        report.journaled = None;
+        assert!(check_journal_overhead(&report, 0.10).is_err());
     }
 
     #[test]

@@ -91,6 +91,9 @@ pub enum ParseFailureKind {
     NoDisjuncts,
     /// Disjuncts exist but no planar connected linkage does.
     NoLinkage,
+    /// The search was abandoned by an external deadline (engine watchdog),
+    /// not exhausted.
+    Cancelled,
 }
 
 impl From<cmr_linkgram::ParseFailure> for ParseFailureKind {
@@ -100,6 +103,7 @@ impl From<cmr_linkgram::ParseFailure> for ParseFailureKind {
             cmr_linkgram::ParseFailure::TooLong { .. } => ParseFailureKind::TooLong,
             cmr_linkgram::ParseFailure::NoDisjuncts => ParseFailureKind::NoDisjuncts,
             cmr_linkgram::ParseFailure::NoLinkage => ParseFailureKind::NoLinkage,
+            cmr_linkgram::ParseFailure::Cancelled => ParseFailureKind::Cancelled,
         }
     }
 }
@@ -128,6 +132,10 @@ impl ParseFailureCounts {
             ParseFailureKind::TooLong => self.too_long += 1,
             ParseFailureKind::NoDisjuncts => self.no_disjuncts += 1,
             ParseFailureKind::NoLinkage => self.no_linkage += 1,
+            // Not a counter: a cancelled parse belongs to a record the
+            // engine then fails wholesale as a timeout, so its (discarded)
+            // report must keep the serialized shape of successful records.
+            ParseFailureKind::Cancelled => {}
         }
     }
 

@@ -33,6 +33,7 @@ impl fmt::Display for CmrError {
                     crate::ParseFailureKind::TooLong => "sentence exceeds parser window",
                     crate::ParseFailureKind::NoDisjuncts => "word with no usable disjunct",
                     crate::ParseFailureKind::NoLinkage => "no planar connected linkage",
+                    crate::ParseFailureKind::Cancelled => "search cancelled by deadline",
                 };
                 write!(f, "link parse failed: {reason}")
             }

@@ -136,6 +136,14 @@ impl NumericExtractor {
         self.parser.set_shared_cache(cache);
     }
 
+    /// Installs a cooperative-cancellation flag on the link parser (see
+    /// [`cmr_linkgram::LinkParser::set_cancel_flag`]): while the flag is
+    /// raised, in-flight parses abandon work instead of running the full
+    /// O(n³) search.
+    pub fn set_cancel_flag(&mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+        self.parser.set_cancel_flag(flag);
+    }
+
     /// Link-parser cache and timing counters (see
     /// [`cmr_linkgram::ParserStats`]).
     pub fn parser_stats(&self) -> cmr_linkgram::ParserStats {

@@ -139,6 +139,15 @@ impl Pipeline {
         self
     }
 
+    /// Installs a cooperative-cancellation flag on the link parser. The
+    /// engine's watchdog raises it when a record exceeds its wall-clock
+    /// deadline, so a pathological sentence cannot pin a worker inside the
+    /// O(n³) search.
+    pub fn with_cancel_flag(mut self, flag: Arc<std::sync::atomic::AtomicBool>) -> Pipeline {
+        self.numeric.set_cancel_flag(flag);
+        self
+    }
+
     /// The schema in use.
     pub fn schema(&self) -> &Schema {
         &self.schema

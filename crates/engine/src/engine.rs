@@ -1,11 +1,17 @@
 //! The batch-extraction engine.
 
 use crate::metrics::{EngineMetrics, MetricsCollector, RecordSample};
-use crate::pool::{run_ordered, PoolConfig};
-use cmr_core::{AssociationMethod, ExtractBudget, ExtractedRecord, PatternSet, Pipeline, Schema};
+use crate::pool::{panic_message, run_ordered, PoolConfig};
+use crate::retry::{is_transient, AttemptRecord, QuarantineEntry, QuarantineFile, RetryPolicy};
+use crate::watchdog::Watchdog;
+use cmr_core::{
+    AssociationMethod, BudgetExceeded, ExtractBudget, ExtractedRecord, PatternSet, Pipeline, Schema,
+};
 use cmr_ontology::Ontology;
 use cmr_text::Record;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -31,6 +37,10 @@ pub struct EngineConfig {
     /// missed. On by default; ablations turn it off to isolate the
     /// structured methods.
     pub salvage: bool,
+    /// Bounded retry with exponential backoff for transiently failing
+    /// records (see [`crate::retry::RetryPolicy`]). The default policy
+    /// (one attempt) disables retry.
+    pub retry: RetryPolicy,
 }
 
 impl Default for EngineConfig {
@@ -44,6 +54,7 @@ impl Default for EngineConfig {
             method: AssociationMethod::LinkWithFallback,
             term_patterns: PatternSet::Paper,
             salvage: true,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -75,6 +86,14 @@ pub enum EngineError {
         /// Sentences fully processed before the budget tripped.
         sentences_done: usize,
     },
+    /// The stuck-worker watchdog cancelled the record: its wall-clock
+    /// deadline passed while the link parser was mid-search. Distinct from
+    /// [`EngineError::Budget`], where the record tripped its budget at an
+    /// ordinary between-sentence check.
+    Timeout {
+        /// The deadline that was exceeded, milliseconds.
+        millis: u64,
+    },
     /// The batch stopped (`fail_fast`) before this record was processed.
     Aborted,
     /// The startup asset lint found `Error`-severity findings; no record
@@ -91,6 +110,9 @@ impl std::fmt::Display for EngineError {
             EngineError::Panicked { message } => write!(f, "extraction panicked: {message}"),
             EngineError::Budget { sentences_done } => {
                 write!(f, "budget exceeded after {sentences_done} sentence(s)")
+            }
+            EngineError::Timeout { millis } => {
+                write!(f, "watchdog cancelled the record after {millis} ms")
             }
             EngineError::Aborted => write!(f, "aborted: batch stopped by an earlier failure"),
             EngineError::Lint { message } => {
@@ -130,6 +152,8 @@ pub struct Engine {
     cfg: EngineConfig,
     schema: Arc<Schema>,
     ontology: Arc<Ontology>,
+    quarantine: Option<Arc<QuarantineFile>>,
+    shutdown: Option<Arc<AtomicBool>>,
 }
 
 impl Default for Engine {
@@ -150,7 +174,27 @@ impl Engine {
             cfg,
             schema: schema.into(),
             ontology: ontology.into(),
+            quarantine: None,
+            shutdown: None,
         }
+    }
+
+    /// Attaches a poison-quarantine file: records that exhaust the retry
+    /// budget on a transient error are appended there (exactly once each)
+    /// instead of only surfacing as per-item errors.
+    pub fn with_quarantine(mut self, quarantine: QuarantineFile) -> Engine {
+        self.quarantine = Some(Arc::new(quarantine));
+        self
+    }
+
+    /// Installs a graceful-shutdown flag (typically raised from a
+    /// SIGINT/SIGTERM handler). When raised mid-run, the feeder stops
+    /// taking new records, everything already fed drains through the sink
+    /// normally, and `extract_stream` returns — the sink's output remains
+    /// a clean prefix of the full run, so a journal resumes exactly.
+    pub fn with_shutdown(mut self, flag: Arc<AtomicBool>) -> Engine {
+        self.shutdown = Some(flag);
+        self
     }
 
     /// The configuration in use.
@@ -216,9 +260,18 @@ impl Engine {
         let salvage = self.cfg.salvage;
         let max_record_millis = self.cfg.max_record_millis;
         let max_record_sentences = self.cfg.max_record_sentences;
+        let retry = self.cfg.retry;
+        let quarantine = self.quarantine.clone();
         let worker_collector = Arc::clone(&collector);
         let panic_collector = Arc::clone(&collector);
         let abort_collector = Arc::clone(&collector);
+
+        // The watchdog exists only when a wall-clock deadline does: it
+        // shares a cancellation flag with each worker's link parser and
+        // cancels any record still in flight past the deadline.
+        let watchdog = max_record_millis.map(|ms| Watchdog::new(jobs, ms));
+        let watchdog_thread = watchdog.as_ref().map(Watchdog::spawn);
+        let worker_watchdog = watchdog.clone();
 
         run_ordered(
             inputs,
@@ -226,25 +279,38 @@ impl Engine {
                 jobs,
                 queue_depth: self.cfg.queue_depth,
                 fail_fast: self.cfg.fail_fast,
+                shutdown: self.shutdown.clone(),
             },
             // Each worker constructs its pipeline inside its own thread:
             // the pipeline is !Send, only the Arc'd config crosses threads.
-            move |_widx| {
-                let pipeline = Pipeline::new(Arc::clone(schema), Arc::clone(ontology), method)
+            move |widx| {
+                let mut pipeline = Pipeline::new(Arc::clone(schema), Arc::clone(ontology), method)
                     .with_term_patterns(term_patterns)
                     .with_salvage(salvage)
                     .with_shared_parse_cache(parse_cache.clone());
+                let watchdog = worker_watchdog.clone();
+                if let Some(wd) = &watchdog {
+                    pipeline = pipeline.with_cancel_flag(wd.cancel_flag(widx));
+                }
                 let collector = Arc::clone(&worker_collector);
-                move |text: String| {
-                    extract_one(
-                        &pipeline,
-                        &text,
+                let quarantine = quarantine.clone();
+                move |idx: usize, text: String| {
+                    let ctx = WorkerCtx {
+                        widx,
+                        pipeline: &pipeline,
                         max_record_millis,
                         max_record_sentences,
-                        &collector,
-                    )
+                        retry,
+                        watchdog: watchdog.as_deref(),
+                        quarantine: quarantine.as_deref(),
+                        collector: &collector,
+                    };
+                    extract_with_retry(&ctx, idx, &text)
                 }
             },
+            // Backstop only: panics are normally caught (and retried) per
+            // attempt inside the worker; this path fires only if something
+            // outside the retry loop unwinds.
             move |message| {
                 lock_collector(&panic_collector).errors.panics += 1;
                 EngineError::Panicked { message }
@@ -255,6 +321,13 @@ impl Engine {
             },
             sink,
         );
+
+        if let Some(wd) = &watchdog {
+            wd.stop();
+        }
+        if let Some(handle) = watchdog_thread {
+            let _ = handle.join();
+        }
 
         let wall_nanos = start.elapsed().as_nanos() as u64;
         let collector = lock_collector(&collector);
@@ -269,6 +342,9 @@ struct LintStatus {
     errors: usize,
     warnings: u64,
     message: String,
+    /// FNV-1a over the full analysis report: changes whenever the
+    /// compiled-in rule assets (or what the analyzer sees in them) change.
+    fingerprint: u64,
 }
 
 /// Lints the committed rule assets once per process; every engine run
@@ -286,8 +362,24 @@ fn startup_lint() -> &'static LintStatus {
             } else {
                 String::new()
             },
+            fingerprint: fnv1a_str(&report.to_json()),
         }
     })
+}
+
+/// Fingerprint of the compiled-in rule assets, used by the run journal's
+/// manifest so a resume against a build with different assets is rejected.
+pub fn asset_fingerprint() -> u64 {
+    startup_lint().fingerprint
+}
+
+fn fnv1a_str(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in s.as_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Locks the metrics collector, recovering from poisoning: the engine's
@@ -303,48 +395,141 @@ fn lock_collector(
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// Processes one record on a worker: parse, budgeted instrumented
-/// extraction, metrics sample.
-fn extract_one(
-    pipeline: &Pipeline,
-    text: &str,
+/// Everything one worker needs to process (and possibly re-process) a
+/// record: pipeline, budgets, durability hooks, metrics.
+struct WorkerCtx<'a> {
+    widx: usize,
+    pipeline: &'a Pipeline,
     max_record_millis: Option<u64>,
     max_record_sentences: Option<usize>,
-    collector: &Mutex<MetricsCollector>,
+    retry: RetryPolicy,
+    watchdog: Option<&'a Watchdog>,
+    quarantine: Option<&'a QuarantineFile>,
+    collector: &'a Mutex<MetricsCollector>,
+}
+
+/// Runs one record through the bounded-retry loop: each attempt is
+/// individually panic-caught and watchdog-bracketed; transient failures
+/// back off and retry; the final outcome is counted in the metrics
+/// exactly once, and a record that exhausts its attempts on a transient
+/// error is appended to the quarantine (when one is attached).
+fn extract_with_retry(
+    ctx: &WorkerCtx<'_>,
+    idx: usize,
+    text: &str,
 ) -> Result<ExtractedRecord, EngineError> {
+    let attempts_allowed = ctx.retry.attempts();
+    let mut attempts: Vec<AttemptRecord> = Vec::new();
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        if let Some(wd) = ctx.watchdog {
+            wd.begin(ctx.widx);
+        }
+        // Per-attempt catch_unwind so a panicking attempt can be retried;
+        // the pool's own catch_unwind remains as a backstop. The pipeline
+        // holds no cross-record invariants (caches are valid at every
+        // unwind point), so resuming with it after a caught panic is safe.
+        let outcome = catch_unwind(AssertUnwindSafe(|| extract_one(ctx, text)));
+        let timed_out = ctx.watchdog.is_some_and(|wd| wd.end(ctx.widx));
+        let error = match outcome {
+            Err(payload) => EngineError::Panicked {
+                message: panic_message(payload.as_ref()),
+            },
+            // A cancelled attempt fails wholesale as a timeout even if
+            // extraction limped to an Ok on the pattern fallback: its
+            // fields would silently depend on *when* the cancellation
+            // landed, and the degradation report drops `Cancelled` parse
+            // failures on the assumption the whole record is discarded.
+            Ok(_) if timed_out => EngineError::Timeout {
+                millis: ctx.max_record_millis.unwrap_or(0),
+            },
+            Ok(Ok((out, sample))) => {
+                let methods: Vec<_> = out.numeric_methods.values().copied().collect();
+                lock_collector(ctx.collector).record_ok(sample, &methods, &out.degradation);
+                return Ok(out);
+            }
+            Ok(Err(exceeded)) => EngineError::Budget {
+                sentences_done: exceeded.sentences_done,
+            },
+        };
+        if attempt < attempts_allowed && is_transient(&error) {
+            let backoff = ctx.retry.backoff_millis(attempt);
+            attempts.push(AttemptRecord {
+                attempt,
+                error,
+                backoff_millis: backoff,
+            });
+            lock_collector(ctx.collector).retries += 1;
+            std::thread::sleep(Duration::from_millis(backoff));
+            continue;
+        }
+        // Final outcome: count it exactly once, quarantine if poison.
+        {
+            let mut c = lock_collector(ctx.collector);
+            match &error {
+                EngineError::Panicked { .. } => c.errors.panics += 1,
+                EngineError::Budget { .. } => c.errors.budget += 1,
+                EngineError::Timeout { .. } => c.errors.timeouts += 1,
+                EngineError::Aborted => c.errors.aborted += 1,
+                EngineError::Lint { .. } => {}
+            }
+        }
+        if is_transient(&error) {
+            if let Some(q) = ctx.quarantine {
+                attempts.push(AttemptRecord {
+                    attempt,
+                    error: error.clone(),
+                    backoff_millis: 0,
+                });
+                let written = q.append(&QuarantineEntry {
+                    index: idx,
+                    text: text.to_string(),
+                    error: error.clone(),
+                    attempts,
+                });
+                if written {
+                    lock_collector(ctx.collector).quarantined += 1;
+                }
+            }
+        }
+        return Err(error);
+    }
+}
+
+/// Processes one record on a worker: parse, budgeted instrumented
+/// extraction. Returns the record plus its metrics sample; ALL metrics
+/// recording and failure classification live in [`extract_with_retry`],
+/// so retried or cancelled attempts are never multi-counted.
+fn extract_one(
+    ctx: &WorkerCtx<'_>,
+    text: &str,
+) -> Result<(ExtractedRecord, RecordSample), BudgetExceeded> {
     let total_start = Instant::now();
     let budget = ExtractBudget {
-        deadline: max_record_millis.map(|ms| total_start + Duration::from_millis(ms)),
-        max_sentences: max_record_sentences,
+        deadline: ctx
+            .max_record_millis
+            .map(|ms| total_start + Duration::from_millis(ms)),
+        max_sentences: ctx.max_record_sentences,
     };
 
     let record = Record::parse(text);
     let record_parse_nanos = total_start.elapsed().as_nanos() as u64;
 
+    let pipeline = ctx.pipeline;
     let stats_before = pipeline.parser_stats();
-    match pipeline.extract_instrumented(&record, &budget) {
-        Ok((out, timing)) => {
-            let stats = pipeline.parser_stats();
-            let sample = RecordSample {
-                record_parse_nanos,
-                link_parse_nanos: stats.parse_nanos - stats_before.parse_nanos,
-                numeric_nanos: timing.numeric_nanos,
-                terms_nanos: timing.terms_nanos,
-                total_nanos: total_start.elapsed().as_nanos() as u64,
-                cache_hits: stats.cache_hits - stats_before.cache_hits,
-                cache_misses: stats.cache_misses - stats_before.cache_misses,
-            };
-            let methods: Vec<_> = out.numeric_methods.values().copied().collect();
-            lock_collector(collector).record_ok(sample, &methods, &out.degradation);
-            Ok(out)
-        }
-        Err(exceeded) => {
-            lock_collector(collector).errors.budget += 1;
-            Err(EngineError::Budget {
-                sentences_done: exceeded.sentences_done,
-            })
-        }
-    }
+    let (out, timing) = pipeline.extract_instrumented(&record, &budget)?;
+    let stats = pipeline.parser_stats();
+    let sample = RecordSample {
+        record_parse_nanos,
+        link_parse_nanos: stats.parse_nanos - stats_before.parse_nanos,
+        numeric_nanos: timing.numeric_nanos,
+        terms_nanos: timing.terms_nanos,
+        total_nanos: total_start.elapsed().as_nanos() as u64,
+        cache_hits: stats.cache_hits - stats_before.cache_hits,
+        cache_misses: stats.cache_misses - stats_before.cache_misses,
+    };
+    Ok((out, sample))
 }
 
 // The engine itself crosses threads (it is borrowed by scoped workers).

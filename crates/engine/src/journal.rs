@@ -1,0 +1,444 @@
+//! The write-ahead run journal: crash-recovery for batch extraction.
+//!
+//! Format — NDJSON, one flushed line per event:
+//!
+//! ```text
+//! {"version":1,"config_fingerprint":"6c62…","asset_fingerprint":"a3f9…","corpus_hash":"08b1…","records":N}
+//! {"index":0,"output":{"Ok":{…extracted record…}}}
+//! {"index":1,"output":{"Err":{"Budget":{"sentences_done":4}}}}
+//! …
+//! ```
+//!
+//! The first line is the [`RunManifest`]: fingerprints of everything that
+//! determines the output bytes (engine config, rule assets, the corpus
+//! itself), so a resume against a *different* run is rejected instead of
+//! silently merging incompatible outputs. Each subsequent line is one
+//! completed record, appended from the engine's ordered sink — the sink
+//! runs strictly in input order, so a journal is always a contiguous
+//! prefix `0..k` of the run.
+//!
+//! Crash tolerance: every line is written with a trailing `\n` in one
+//! `write_all`, so a process killed mid-write leaves at most one torn
+//! final line, which [`read_journal`] detects (no trailing newline) and
+//! drops. The reported [`JournalRead::valid_len`] is the byte offset of
+//! the last intact line; [`JournalWriter::append_to`] truncates there
+//! before appending, so a resumed journal is self-healing. Durability is
+//! against process death (the threat model here), not OS crash — lines
+//! reach the page cache, no fsync per record.
+//!
+//! Resume contract: replaying the journaled entries and processing the
+//! remaining `k..n` records yields output byte-identical to an
+//! uninterrupted run, because extraction is deterministic per record and
+//! serialization is canonical.
+
+use crate::engine::{EngineConfig, EngineError};
+use cmr_core::ExtractedRecord;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Journal format version; bumped on any incompatible layout change.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Identity of a run: everything that determines its output bytes.
+///
+/// The three fingerprints are stored as 16-digit hex strings, not JSON
+/// numbers: a u64 hash routinely exceeds `i64::MAX`, which plain JSON
+/// integers (and this workspace's serializer) cannot represent.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Journal format version ([`JOURNAL_VERSION`]).
+    pub version: u32,
+    /// Fingerprint of the output-affecting engine configuration (hex).
+    pub config_fingerprint: String,
+    /// Fingerprint of the compiled-in rule assets (hex).
+    pub asset_fingerprint: String,
+    /// Hash of the input corpus (order-sensitive, length-prefixed; hex).
+    pub corpus_hash: String,
+    /// Number of records in the corpus.
+    pub records: usize,
+}
+
+/// Formats a fingerprint the way [`RunManifest`] stores it.
+fn hex(fingerprint: u64) -> String {
+    format!("{fingerprint:016x}")
+}
+
+impl RunManifest {
+    /// The manifest of a fresh run over `texts` with `cfg`.
+    pub fn for_run(cfg: &EngineConfig, texts: &[String]) -> RunManifest {
+        RunManifest {
+            version: JOURNAL_VERSION,
+            config_fingerprint: hex(config_fingerprint(cfg)),
+            asset_fingerprint: hex(crate::engine::asset_fingerprint()),
+            corpus_hash: hex(corpus_hash(texts)),
+            records: texts.len(),
+        }
+    }
+
+    /// Explains the first incompatibility with `current`, or `None` when a
+    /// journal under `self` may be resumed as `current`.
+    pub fn mismatch(&self, current: &RunManifest) -> Option<String> {
+        if self.version != current.version {
+            return Some(format!(
+                "journal format v{} (this build writes v{})",
+                self.version, current.version
+            ));
+        }
+        if self.config_fingerprint != current.config_fingerprint {
+            return Some("engine configuration changed since the journal was written".into());
+        }
+        if self.asset_fingerprint != current.asset_fingerprint {
+            return Some("rule assets changed since the journal was written".into());
+        }
+        if self.records != current.records || self.corpus_hash != current.corpus_hash {
+            return Some(format!(
+                "input corpus changed ({} records then, {} now)",
+                self.records, current.records
+            ));
+        }
+        None
+    }
+}
+
+/// One journaled record: its input index and its full outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// Index in the input stream.
+    pub index: usize,
+    /// The record's outcome, exactly as the sink saw it.
+    pub output: Result<ExtractedRecord, EngineError>,
+}
+
+/// Appends manifest and entry lines, one flushed `write_all` per line.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+}
+
+impl JournalWriter {
+    /// Starts a fresh journal at `path` (truncating), writing the manifest
+    /// line immediately.
+    pub fn create(path: &Path, manifest: &RunManifest) -> std::io::Result<JournalWriter> {
+        let mut writer = JournalWriter {
+            file: File::create(path)?,
+        };
+        writer.write_line(manifest)?;
+        Ok(writer)
+    }
+
+    /// Reopens an existing journal for resume: truncates to `valid_len`
+    /// (dropping a torn final line, see [`read_journal`]) and positions at
+    /// the end for appending.
+    pub fn append_to(path: &Path, valid_len: u64) -> std::io::Result<JournalWriter> {
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::Start(valid_len))?;
+        Ok(JournalWriter { file })
+    }
+
+    /// Appends one completed record.
+    pub fn append(&mut self, entry: &JournalEntry) -> std::io::Result<()> {
+        self.write_line(entry)
+    }
+
+    fn write_line<T: Serialize>(&mut self, value: &T) -> std::io::Result<()> {
+        let mut line = serde_json::to_string(value)
+            .map_err(|e| std::io::Error::other(format!("journal serialization failed: {e:?}")))?;
+        line.push('\n');
+        // One unbuffered write per line: the OS sees whole lines or a
+        // single torn tail, never interleaved fragments.
+        self.file.write_all(line.as_bytes())
+    }
+}
+
+/// A parsed journal: the manifest, the contiguous completed prefix, and
+/// where the intact bytes end.
+#[derive(Debug)]
+pub struct JournalRead {
+    /// The manifest from line one.
+    pub manifest: RunManifest,
+    /// Journaled outcomes for records `0..entries.len()`.
+    pub entries: Vec<JournalEntry>,
+    /// Byte offset just past the last intact line; a torn tail (kill
+    /// mid-write) lies beyond it and is dropped on resume.
+    pub valid_len: u64,
+}
+
+/// Why a journal could not be read.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The file could not be read at all.
+    Io(std::io::Error),
+    /// A structurally impossible journal: an unparseable *complete* line
+    /// or a gap in the record indices. Torn final lines are not corruption.
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "cannot read journal: {e}"),
+            JournalError::Corrupt { line, reason } => {
+                write!(f, "journal corrupt at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> JournalError {
+        JournalError::Io(e)
+    }
+}
+
+/// Reads and validates a journal. Tolerates exactly one torn trailing
+/// line; rejects anything else malformed (see [`JournalError::Corrupt`]).
+pub fn read_journal(path: &Path) -> Result<JournalRead, JournalError> {
+    let data = std::fs::read(path)?;
+    let mut manifest: Option<RunManifest> = None;
+    let mut entries: Vec<JournalEntry> = Vec::new();
+    let mut valid_len = 0u64;
+    let mut line_no = 0usize;
+    let mut offset = 0usize;
+    while offset < data.len() {
+        let Some(nl) = data[offset..].iter().position(|&b| b == b'\n') else {
+            // No trailing newline: the writer was killed mid-line. Intact
+            // lines end at `valid_len`; the tail is dropped, not an error.
+            break;
+        };
+        line_no += 1;
+        let line_end = offset + nl;
+        let text =
+            std::str::from_utf8(&data[offset..line_end]).map_err(|_| JournalError::Corrupt {
+                line: line_no,
+                reason: "complete line is not UTF-8".into(),
+            })?;
+        if manifest.is_none() {
+            let m: RunManifest = serde_json::from_str(text).map_err(|e| JournalError::Corrupt {
+                line: line_no,
+                reason: format!("manifest does not parse: {e:?}"),
+            })?;
+            manifest = Some(m);
+        } else {
+            let entry: JournalEntry =
+                serde_json::from_str(text).map_err(|e| JournalError::Corrupt {
+                    line: line_no,
+                    reason: format!("entry does not parse: {e:?}"),
+                })?;
+            if entry.index != entries.len() {
+                return Err(JournalError::Corrupt {
+                    line: line_no,
+                    reason: format!(
+                        "entry index {} where {} was expected (journal must be a contiguous prefix)",
+                        entry.index,
+                        entries.len()
+                    ),
+                });
+            }
+            entries.push(entry);
+        }
+        offset = line_end + 1;
+        valid_len = offset as u64;
+    }
+    let manifest = manifest.ok_or(JournalError::Corrupt {
+        line: 1,
+        reason: "no complete manifest line (journal truncated at birth)".into(),
+    })?;
+    if entries.len() > manifest.records {
+        return Err(JournalError::Corrupt {
+            line: line_no,
+            reason: format!(
+                "{} entries for a {}-record corpus",
+                entries.len(),
+                manifest.records
+            ),
+        });
+    }
+    Ok(JournalRead {
+        manifest,
+        entries,
+        valid_len,
+    })
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Order-sensitive FNV-1a hash of the corpus, with each text
+/// length-prefixed so record boundaries are part of the identity.
+pub fn corpus_hash(texts: &[String]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for t in texts {
+        h = fnv1a(&(t.len() as u64).to_le_bytes(), h);
+        h = fnv1a(t.as_bytes(), h);
+    }
+    h
+}
+
+/// Fingerprint of the *output-affecting* engine configuration. Scheduling
+/// knobs (`jobs`, `queue_depth`) are excluded by design: the engine
+/// guarantees byte-identical output for any worker count, so resuming
+/// with a different `--jobs` is sound and allowed.
+pub fn config_fingerprint(cfg: &EngineConfig) -> u64 {
+    let key = format!(
+        "{:?}|{:?}|{}|{:?}|{:?}|{}|{:?}",
+        cfg.method,
+        cfg.term_patterns,
+        cfg.salvage,
+        cfg.max_record_millis,
+        cfg.max_record_sentences,
+        cfg.fail_fast,
+        cfg.retry,
+    );
+    fnv1a(key.as_bytes(), FNV_OFFSET)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn scratch_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("cmr-journal-{name}-{}.ndjson", std::process::id()))
+    }
+
+    fn manifest() -> RunManifest {
+        RunManifest {
+            version: JOURNAL_VERSION,
+            config_fingerprint: hex(11),
+            asset_fingerprint: hex(22),
+            corpus_hash: hex(33),
+            records: 3,
+        }
+    }
+
+    fn entry(index: usize) -> JournalEntry {
+        JournalEntry {
+            index,
+            output: Err(EngineError::Budget {
+                sentences_done: index,
+            }),
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let path = scratch_path("roundtrip");
+        let mut w = JournalWriter::create(&path, &manifest()).unwrap();
+        w.append(&entry(0)).unwrap();
+        w.append(&entry(1)).unwrap();
+        drop(w);
+        let read = read_journal(&path).unwrap();
+        assert_eq!(read.manifest, manifest());
+        assert_eq!(read.entries.len(), 2);
+        assert_eq!(read.entries[1].index, 1);
+        assert_eq!(
+            read.valid_len,
+            std::fs::metadata(&path).unwrap().len(),
+            "fully intact journal is valid to its end"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_resume_heals_it() {
+        let path = scratch_path("torn");
+        let mut w = JournalWriter::create(&path, &manifest()).unwrap();
+        w.append(&entry(0)).unwrap();
+        drop(w);
+        let intact = std::fs::metadata(&path).unwrap().len();
+        // Simulate a kill mid-write of entry 1.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"index\":1,\"outp").unwrap();
+        drop(f);
+
+        let read = read_journal(&path).unwrap();
+        assert_eq!(read.entries.len(), 1, "torn line is not an entry");
+        assert_eq!(read.valid_len, intact);
+
+        // Resume truncates the tear and appends cleanly.
+        let mut w = JournalWriter::append_to(&path, read.valid_len).unwrap();
+        w.append(&entry(1)).unwrap();
+        drop(w);
+        let healed = read_journal(&path).unwrap();
+        assert_eq!(healed.entries.len(), 2);
+        assert_eq!(healed.entries[1].index, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn gap_in_indices_is_corrupt() {
+        let path = scratch_path("gap");
+        let mut w = JournalWriter::create(&path, &manifest()).unwrap();
+        w.append(&entry(0)).unwrap();
+        w.append(&entry(2)).unwrap();
+        drop(w);
+        assert!(matches!(
+            read_journal(&path),
+            Err(JournalError::Corrupt { line: 3, .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn garbage_on_a_complete_line_is_corrupt() {
+        let path = scratch_path("garbage");
+        let w = JournalWriter::create(&path, &manifest()).unwrap();
+        drop(w);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"not json\n").unwrap();
+        drop(f);
+        assert!(matches!(
+            read_journal(&path),
+            Err(JournalError::Corrupt { line: 2, .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn manifest_mismatch_reports_the_reason() {
+        let a = manifest();
+        assert_eq!(a.mismatch(&a), None);
+        let mut b = a.clone();
+        b.corpus_hash = hex(99);
+        assert!(a.mismatch(&b).unwrap().contains("corpus"));
+        let mut c = a.clone();
+        c.config_fingerprint = hex(99);
+        assert!(a.mismatch(&c).unwrap().contains("configuration"));
+        let mut d = a.clone();
+        d.version = 0;
+        assert!(a.mismatch(&d).unwrap().contains("format"));
+
+        // The hex encoding must survive values above i64::MAX, which JSON
+        // integers cannot carry.
+        let wide = hex(u64::MAX - 3);
+        assert_eq!(wide, "fffffffffffffffc");
+    }
+
+    #[test]
+    fn corpus_hash_is_order_and_boundary_sensitive() {
+        let ab = corpus_hash(&["ab".into(), "c".into()]);
+        let a_bc = corpus_hash(&["a".into(), "bc".into()]);
+        let reversed = corpus_hash(&["c".into(), "ab".into()]);
+        assert_ne!(ab, a_bc, "length prefix separates boundaries");
+        assert_ne!(ab, reversed, "order matters");
+        assert_eq!(ab, corpus_hash(&["ab".into(), "c".into()]));
+    }
+}

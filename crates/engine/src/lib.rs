@@ -19,6 +19,12 @@
 //! * **Metrics** — a serializable [`EngineMetrics`] snapshot: throughput,
 //!   per-stage wall-time histograms, link-parser cache hit rates,
 //!   association-method counts, error counts.
+//! * **Durability** — a write-ahead journal ([`JournalWriter`]) of
+//!   completed records with crash-recovery resume, bounded retry
+//!   ([`RetryPolicy`]) with a poison quarantine ([`QuarantineFile`]),
+//!   a stuck-worker watchdog that cancels over-deadline parses
+//!   ([`EngineError::Timeout`]), and graceful shutdown
+//!   ([`Engine::with_shutdown`]) that drains in-flight records.
 //!
 //! ```
 //! use cmr_engine::{Engine, EngineConfig};
@@ -43,11 +49,21 @@
 #![deny(clippy::unwrap_used)]
 
 mod engine;
+mod journal;
 mod metrics;
 mod pool;
+mod retry;
+mod watchdog;
 
-pub use engine::{BatchOutput, Engine, EngineConfig, EngineError};
+pub use engine::{asset_fingerprint, BatchOutput, Engine, EngineConfig, EngineError};
+pub use journal::{
+    config_fingerprint, corpus_hash, read_journal, JournalEntry, JournalError, JournalRead,
+    JournalWriter, RunManifest, JOURNAL_VERSION,
+};
 pub use metrics::{
     DegradationTotals, DurationHistogram, EngineMetrics, ErrorCounts, MethodCounts,
     ParseCacheMetrics, StageMetrics, HISTOGRAM_BUCKETS,
+};
+pub use retry::{
+    is_transient, read_quarantine, AttemptRecord, QuarantineEntry, QuarantineFile, RetryPolicy,
 };

@@ -219,18 +219,22 @@ pub struct ErrorCounts {
     pub budget: u64,
     /// Records abandoned because `fail_fast` stopped the batch.
     pub aborted: u64,
+    /// Records cancelled by the stuck-worker watchdog (wall-clock
+    /// deadline exceeded mid-parse).
+    pub timeouts: u64,
 }
 
 impl ErrorCounts {
     /// Total failed records.
     pub fn total(&self) -> u64 {
-        self.panics + self.budget + self.aborted
+        self.panics + self.budget + self.aborted + self.timeouts
     }
 
     fn merge(&mut self, other: &ErrorCounts) {
         self.panics += other.panics;
         self.budget += other.budget;
         self.aborted += other.aborted;
+        self.timeouts += other.timeouts;
     }
 }
 
@@ -259,6 +263,12 @@ pub struct EngineMetrics {
     /// Warning-severity findings from the startup asset lint (the run
     /// proceeds; `Error` findings fail the batch before it starts).
     pub lint_warnings: u64,
+    /// Retry attempts beyond each record's first (the durable-run retry
+    /// policy); counts attempts, not records.
+    pub retries: u64,
+    /// Records appended to the poison-quarantine file after exhausting
+    /// their retry budget on a transient error.
+    pub quarantined: u64,
 }
 
 impl EngineMetrics {
@@ -275,6 +285,8 @@ impl EngineMetrics {
             methods: c.methods,
             degradation: c.degradation,
             lint_warnings: 0,
+            retries: c.retries,
+            quarantined: c.quarantined,
         };
         if wall_nanos > 0 {
             m.records_per_sec = m.records as f64 / (wall_nanos as f64 / 1e9);
@@ -313,6 +325,8 @@ pub(crate) struct MetricsCollector {
     pub parse_cache: ParseCacheMetrics,
     pub methods: MethodCounts,
     pub degradation: DegradationTotals,
+    pub retries: u64,
+    pub quarantined: u64,
 }
 
 impl MetricsCollector {
@@ -348,6 +362,8 @@ impl MetricsCollector {
         self.parse_cache.misses += other.parse_cache.misses;
         self.methods.merge(&other.methods);
         self.degradation.merge(&other.degradation);
+        self.retries += other.retries;
+        self.quarantined += other.quarantined;
     }
 }
 
@@ -443,9 +459,12 @@ mod tests {
             },
         );
         c.errors.panics = 1;
+        c.errors.timeouts = 2;
+        c.retries = 3;
+        c.quarantined = 1;
         let m = EngineMetrics::from_collector(&c, 4, 2_000_000_000);
         assert_eq!(m.records, 1);
-        assert_eq!(m.errors.total(), 1);
+        assert_eq!(m.errors.total(), 3, "timeouts count toward the total");
         assert!((m.records_per_sec - 0.5).abs() < 1e-9);
         let json = serde_json::to_string(&m).expect("serializes");
         let back: EngineMetrics = serde_json::from_str(&json).expect("deserializes");
@@ -456,6 +475,12 @@ mod tests {
         assert_eq!(back.degradation.salvage_fields, 1);
         assert_eq!(back.degradation.parse_failures, 2);
         assert_eq!(back.degradation.degraded_records, 1);
+        assert_eq!(back.degradation.link_grammar_fields, 1);
+        assert_eq!(back.degradation.pattern_fields, 1);
+        assert_eq!(back.errors.timeouts, 2);
+        assert_eq!(back.errors.total(), 3);
+        assert_eq!(back.retries, 3);
+        assert_eq!(back.quarantined, 1);
     }
 
     #[test]

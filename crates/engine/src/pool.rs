@@ -38,6 +38,12 @@ pub(crate) struct PoolConfig {
     pub queue_depth: usize,
     /// Stop feeding after the first error.
     pub fail_fast: bool,
+    /// External graceful-shutdown flag (SIGINT/SIGTERM): when raised, the
+    /// feeder stops feeding new records but everything already fed drains
+    /// through the workers and the sink normally — unlike `fail_fast`,
+    /// queued items are *processed*, not aborted, so a journal written from
+    /// the sink stays a clean prefix of the run.
+    pub shutdown: Option<Arc<AtomicBool>>,
 }
 
 /// Runs `inputs` through `jobs` workers, invoking `sink(index, result)`
@@ -55,7 +61,7 @@ pub(crate) fn run_ordered<In, Out, E, It, MkW, W, P, A, S>(
     E: Send,
     It: Iterator<Item = In> + Send,
     MkW: Fn(usize) -> W + Sync,
-    W: FnMut(In) -> Result<Out, E>,
+    W: FnMut(usize, In) -> Result<Out, E>,
     P: Fn(String) -> E + Sync,
     A: Fn() -> E + Sync,
     S: FnMut(usize, Result<Out, E>),
@@ -69,12 +75,17 @@ pub(crate) fn run_ordered<In, Out, E, It, MkW, W, P, A, S>(
     let (out_tx, out_rx) = sync_channel::<(usize, Result<Out, E>)>(queue_depth + cfg.jobs);
 
     std::thread::scope(|scope| {
-        // Feeder: enumerate inputs into the bounded channel until done or
-        // stopped. Dropping `in_tx` is the end-of-input signal.
+        // Feeder: enumerate inputs into the bounded channel until done,
+        // stopped, or asked to shut down. Dropping `in_tx` is the
+        // end-of-input signal.
         let stop_ref = &stop;
+        let shutdown_ref = cfg.shutdown.as_deref();
         scope.spawn(move || {
             for item in inputs.enumerate() {
-                if stop_ref.load(Ordering::Relaxed) || in_tx.send(item).is_err() {
+                if stop_ref.load(Ordering::Relaxed)
+                    || shutdown_ref.is_some_and(|f| f.load(Ordering::Relaxed))
+                    || in_tx.send(item).is_err()
+                {
                     break;
                 }
             }
@@ -102,7 +113,7 @@ pub(crate) fn run_ordered<In, Out, E, It, MkW, W, P, A, S>(
                     let result = if stop_ref.load(Ordering::Relaxed) {
                         Err(on_abort())
                     } else {
-                        match catch_unwind(AssertUnwindSafe(|| work(item))) {
+                        match catch_unwind(AssertUnwindSafe(|| work(idx, item))) {
                             Ok(r) => r,
                             Err(payload) => Err(on_panic(panic_message(payload.as_ref()))),
                         }
@@ -137,7 +148,7 @@ pub(crate) fn run_ordered<In, Out, E, It, MkW, W, P, A, S>(
 }
 
 /// Renders a panic payload the way the default hook does.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -157,6 +168,7 @@ mod tests {
             jobs,
             queue_depth: 4,
             fail_fast,
+            shutdown: None,
         }
     }
 
@@ -166,7 +178,7 @@ mod tests {
         run_ordered(
             0..n,
             cfg(jobs, false),
-            |_w| |x: usize| Ok::<usize, String>(x * 2),
+            |_w| |_i, x: usize| Ok::<usize, String>(x * 2),
             |m| m,
             || "aborted".to_string(),
             |idx, r| seen.push((idx, r)),
@@ -198,7 +210,7 @@ mod tests {
             0..6,
             cfg(3, false),
             |_w| {
-                |x: usize| {
+                |_i, x: usize| {
                     if x == 3 {
                         panic!("boom at {x}");
                     }
@@ -225,7 +237,7 @@ mod tests {
             0..200,
             cfg(1, true),
             |_w| {
-                |x: usize| {
+                |_i, x: usize| {
                     if x == 0 {
                         Err("bad record".to_string())
                     } else {
@@ -263,7 +275,7 @@ mod tests {
             cfg(4, false),
             move |widx| {
                 let counts = Arc::clone(&counts_ref);
-                move |_x: usize| {
+                move |_i, _x: usize| {
                     counts.lock().unwrap()[widx] += 1;
                     Ok::<usize, String>(widx)
                 }
@@ -274,5 +286,65 @@ mod tests {
         );
         let total: usize = counts.lock().unwrap().iter().sum();
         assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn workers_see_the_input_index() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen_ref = Arc::clone(&seen);
+        run_ordered(
+            10..20,
+            cfg(3, false),
+            move |_w| {
+                let seen = Arc::clone(&seen_ref);
+                move |i, x: usize| {
+                    seen.lock().unwrap().push((i, x));
+                    Ok::<usize, String>(x)
+                }
+            },
+            |m| m,
+            || "aborted".to_string(),
+            |_, _| {},
+        );
+        let mut pairs = seen.lock().unwrap().clone();
+        pairs.sort_unstable();
+        assert_eq!(pairs, (0..10).map(|i| (i, 10 + i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shutdown_stops_feeding_but_drains_fed_items() {
+        // Raise the shutdown flag from the first processed item: the feeder
+        // stops early, yet every item it DID feed is processed (not
+        // aborted) and emitted in order with no gaps.
+        let flag = Arc::new(AtomicBool::new(false));
+        let worker_flag = Arc::clone(&flag);
+        let mut results = Vec::new();
+        run_ordered(
+            0..10_000,
+            PoolConfig {
+                jobs: 2,
+                queue_depth: 4,
+                fail_fast: false,
+                shutdown: Some(Arc::clone(&flag)),
+            },
+            move |_w| {
+                let flag = Arc::clone(&worker_flag);
+                move |_i, x: usize| {
+                    flag.store(true, Ordering::Relaxed);
+                    Ok::<usize, String>(x)
+                }
+            },
+            |m| m,
+            || "aborted".to_string(),
+            |idx, r| results.push((idx, r)),
+        );
+        assert!(
+            results.len() < 10_000,
+            "shutdown flag did not stop the feeder"
+        );
+        for (i, (idx, r)) in results.iter().enumerate() {
+            assert_eq!(*idx, i, "gap in emitted indices");
+            assert_eq!(r, &Ok(i), "fed item was aborted instead of drained");
+        }
     }
 }

@@ -1,0 +1,170 @@
+//! A stuck-worker watchdog.
+//!
+//! The per-record budget ([`cmr_core::ExtractBudget`]) is checked *between*
+//! sentences, so one pathological sentence can pin a worker inside the
+//! O(n³) region search long past its deadline. The watchdog closes that
+//! gap: a plain monitor thread scans per-worker start times every tick and
+//! raises that worker's cancellation flag (shared with its link parser, see
+//! `LinkParser::set_cancel_flag`) once the in-flight record exceeds the
+//! deadline. The parser polls the flag inside its search loop, abandons
+//! the parse, and control returns to the worker within one fuel window —
+//! cooperative cancellation, no thread is ever killed.
+//!
+//! Classification happens at [`Watchdog::end`]: it reports whether the
+//! record was cancelled, which the engine maps to `EngineError::Timeout`
+//! (distinct from a plain `Budget` trip that the record hit on its own).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sentinel start time meaning "no record in flight on this worker".
+const IDLE: u64 = u64::MAX;
+
+/// One worker's monitored state.
+#[derive(Debug)]
+struct Slot {
+    /// Nanoseconds since the watchdog epoch at which the current record
+    /// started, or [`IDLE`].
+    started: AtomicU64,
+    /// The cancellation flag shared with this worker's link parser.
+    cancel: Arc<AtomicBool>,
+}
+
+/// Deadline monitor over the pool's workers. Created per engine run when
+/// `max_record_millis` is set; workers bracket each record with
+/// [`Watchdog::begin`]/[`Watchdog::end`].
+#[derive(Debug)]
+pub(crate) struct Watchdog {
+    epoch: Instant,
+    deadline: Duration,
+    slots: Vec<Slot>,
+    stop: AtomicBool,
+}
+
+impl Watchdog {
+    pub(crate) fn new(jobs: usize, deadline_millis: u64) -> Arc<Watchdog> {
+        Arc::new(Watchdog {
+            epoch: Instant::now(),
+            deadline: Duration::from_millis(deadline_millis.max(1)),
+            slots: (0..jobs)
+                .map(|_| Slot {
+                    started: AtomicU64::new(IDLE),
+                    cancel: Arc::new(AtomicBool::new(false)),
+                })
+                .collect(),
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// The cancellation flag monitored for `worker`; installed on that
+    /// worker's pipeline so the parser's search loop can observe it.
+    pub(crate) fn cancel_flag(&self, worker: usize) -> Arc<AtomicBool> {
+        Arc::clone(&self.slots[worker].cancel)
+    }
+
+    /// Marks a record (or retry attempt) as started on `worker`. Clears
+    /// the flag *before* publishing the start time so a stale cancellation
+    /// can never leak into the new attempt.
+    pub(crate) fn begin(&self, worker: usize) {
+        let slot = &self.slots[worker];
+        slot.cancel.store(false, Ordering::Relaxed);
+        let nanos = self.epoch.elapsed().as_nanos() as u64;
+        slot.started.store(nanos, Ordering::Release);
+    }
+
+    /// Marks the in-flight record finished and returns whether the
+    /// watchdog cancelled it (the worker classifies the failure as a
+    /// timeout if so). Consumes the flag, leaving the slot clean.
+    pub(crate) fn end(&self, worker: usize) -> bool {
+        let slot = &self.slots[worker];
+        slot.started.store(IDLE, Ordering::Release);
+        slot.cancel.swap(false, Ordering::Relaxed)
+    }
+
+    /// Spawns the monitor thread. Call [`Watchdog::stop`] then join the
+    /// handle once the pool has drained.
+    pub(crate) fn spawn(self: &Arc<Self>) -> JoinHandle<()> {
+        let wd = Arc::clone(self);
+        std::thread::spawn(move || wd.run())
+    }
+
+    /// Asks the monitor thread to exit at its next tick.
+    pub(crate) fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    fn run(&self) {
+        // A quarter of the deadline bounds overshoot at ~25% while keeping
+        // the scan cheap; the clamp keeps ticks sane for extreme deadlines.
+        let tick = (self.deadline / 4).clamp(Duration::from_millis(5), Duration::from_millis(200));
+        let deadline_nanos = self.deadline.as_nanos() as u64;
+        while !self.stop.load(Ordering::Relaxed) {
+            std::thread::sleep(tick);
+            let now = self.epoch.elapsed().as_nanos() as u64;
+            for slot in &self.slots {
+                let started = slot.started.load(Ordering::Acquire);
+                if started == IDLE || now.saturating_sub(started) < deadline_nanos {
+                    continue;
+                }
+                slot.cancel.store(true, Ordering::Relaxed);
+                // The worker may have finished this record and begun a
+                // younger one between the load and the store above. If the
+                // slot moved, withdraw the cancellation — the younger
+                // record has not exceeded anything yet. (If the worker
+                // moves on *after* this re-check, `begin` itself clears
+                // the flag, so the race is closed from both sides.)
+                if slot.started.load(Ordering::Acquire) != started {
+                    slot.cancel.store(false, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overdue_record_gets_cancelled_and_end_reports_it() {
+        let wd = Watchdog::new(2, 10);
+        let handle = wd.spawn();
+        let flag = wd.cancel_flag(0);
+        wd.begin(0);
+        // Wait for the monitor to notice the overdue record (deadline
+        // 10ms, tick 5ms; allow generous slack for CI schedulers).
+        let waited = Instant::now();
+        while !flag.load(Ordering::Relaxed) && waited.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(flag.load(Ordering::Relaxed), "watchdog never fired");
+        assert!(wd.end(0), "end() must report the cancellation");
+        assert!(!flag.load(Ordering::Relaxed), "end() consumes the flag");
+        // The idle slot (worker 1) is never cancelled.
+        assert!(!wd.cancel_flag(1).load(Ordering::Relaxed));
+        wd.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn fast_record_is_left_alone() {
+        let wd = Watchdog::new(1, 5_000);
+        let handle = wd.spawn();
+        wd.begin(0);
+        assert!(!wd.end(0), "record well under deadline was cancelled");
+        wd.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn begin_clears_a_stale_flag() {
+        let wd = Watchdog::new(1, 1_000);
+        wd.cancel_flag(0).store(true, Ordering::Relaxed);
+        wd.begin(0);
+        assert!(!wd.cancel_flag(0).load(Ordering::Relaxed));
+        assert!(!wd.end(0));
+    }
+}

@@ -29,6 +29,7 @@ use crate::linkage::{Link, Linkage};
 use cmr_postag::{PosTagger, TaggedToken};
 use cmr_text::{tokenize, Sym};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Per-link length penalty: breaks cost ties toward close attachment
@@ -67,6 +68,9 @@ pub struct LinkParser {
     sig_scratch: std::cell::RefCell<Vec<Sym>>,
     /// Reused memo/arena/bitmap storage for uncached parses.
     scratch: std::cell::RefCell<ParseScratch>,
+    /// Cooperative-cancellation flag: when set, the region search bails
+    /// out with [`ParseFailure::Cancelled`] at its next fuel check.
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 /// Why a parse produced no linkage.
@@ -91,6 +95,9 @@ pub enum ParseFailure {
     /// The region parser exhausted the search space without finding a
     /// linkage — the classic fragment case (`"Blood pressure: 144/90"`).
     NoLinkage,
+    /// An external deadline flag (see [`LinkParser::set_cancel_flag`])
+    /// was raised mid-search; the parse was abandoned, not exhausted.
+    Cancelled,
 }
 
 impl std::fmt::Display for ParseFailure {
@@ -102,6 +109,7 @@ impl std::fmt::Display for ParseFailure {
             }
             ParseFailure::NoDisjuncts => write!(f, "a word has no usable disjuncts"),
             ParseFailure::NoLinkage => write!(f, "no linkage found"),
+            ParseFailure::Cancelled => write!(f, "parse cancelled"),
         }
     }
 }
@@ -260,7 +268,16 @@ impl LinkParser {
             stats: std::cell::Cell::new(ParserStats::default()),
             sig_scratch: std::cell::RefCell::new(Vec::new()),
             scratch: std::cell::RefCell::new(ParseScratch::default()),
+            cancel: None,
         }
+    }
+
+    /// Installs a cooperative-cancellation flag. While the flag is `true`,
+    /// in-flight and future region searches abandon work and return
+    /// [`ParseFailure::Cancelled`]; cancelled outcomes are never cached,
+    /// so clearing the flag restores normal (deterministic) behaviour.
+    pub fn set_cancel_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.cancel = Some(flag);
     }
 
     /// Rebounds the local structure cache to roughly `cap` shapes,
@@ -354,6 +371,12 @@ impl LinkParser {
                 return result;
             }
             let result = self.parse_and_count(tagged);
+            // A cancelled search is an artifact of the deadline, not a
+            // property of the shape: caching it would make one timed-out
+            // record poison every later sighting of the same shape.
+            if matches!(result, Err(ParseFailure::Cancelled)) {
+                return result;
+            }
             let entry = cache_entry(&result);
             map.insert(Arc::clone(&signature), entry.clone());
             drop(map);
@@ -361,6 +384,9 @@ impl LinkParser {
             return result;
         }
         let result = self.parse_and_count(tagged);
+        if matches!(result, Err(ParseFailure::Cancelled)) {
+            return result;
+        }
         self.cache
             .borrow_mut()
             .insert(signature, cache_entry(&result));
@@ -402,6 +428,13 @@ impl LinkParser {
     }
 
     fn parse_uncached(&self, tagged: &[TaggedToken]) -> Result<Linkage, ParseFailure> {
+        // An already-raised deadline cancels before any search work; the
+        // in-search fuel checks below only catch flags raised mid-parse.
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(ParseFailure::Cancelled);
+            }
+        }
         // Word 0 is the LEFT-WALL; words 1..=n are the sentence tokens.
         // Shapes (normalized, sorted, deduped, head-indexed disjunct tables)
         // are compiled once per dictionary; the only per-parse disjunct
@@ -428,6 +461,9 @@ impl LinkParser {
             live: &*live,
             memo,
             arena,
+            cancel: self.cancel.as_deref(),
+            fuel: CANCEL_FUEL,
+            cancelled: false,
         };
         // Top level: the wall's right connectors must cover the sentence;
         // the virtual right boundary at index n has no connectors.
@@ -446,6 +482,9 @@ impl LinkParser {
                     });
                 }
             }
+        }
+        if ctx.cancelled {
+            return Err(ParseFailure::Cancelled);
         }
         let sol = best.ok_or(ParseFailure::NoLinkage)?;
         let mut links: Vec<Link> = Vec::new();
@@ -814,7 +853,18 @@ struct Ctx<'a> {
     live: &'a [Vec<bool>],
     memo: &'a mut HashMap<(u16, u16, ListRef, ListRef), Option<Sol>, FxBuild>,
     arena: &'a mut Vec<ANode>,
+    /// External cancellation flag, polled every `CANCEL_FUEL` region calls.
+    cancel: Option<&'a AtomicBool>,
+    /// Countdown to the next `cancel` poll (atomic loads in the inner
+    /// recursion would cost more than the search step itself).
+    fuel: u32,
+    /// Latched once the flag is observed: the search unwinds returning
+    /// `None` everywhere, and the caller maps that to `Cancelled`.
+    cancelled: bool,
 }
+
+/// Region-search calls between cancellation polls.
+const CANCEL_FUEL: u32 = 1024;
 
 impl<'a> Ctx<'a> {
     /// Builds a list reference, canonicalizing empties.
@@ -880,6 +930,19 @@ impl<'a> Ctx<'a> {
     /// Minimum-cost solution for the region `(L, R, l, r)`, or `None` if no
     /// linkage completes it.
     fn best(&mut self, left: u16, right: u16, l: ListRef, r: ListRef) -> Option<Sol> {
+        if self.cancelled {
+            return None;
+        }
+        if let Some(flag) = self.cancel {
+            self.fuel -= 1;
+            if self.fuel == 0 {
+                self.fuel = CANCEL_FUEL;
+                if flag.load(Ordering::Relaxed) {
+                    self.cancelled = true;
+                    return None;
+                }
+            }
+        }
         if left + 1 == right {
             return if l == ListRef::EMPTY && r == ListRef::EMPTY {
                 Some(Sol {
@@ -1096,6 +1159,47 @@ mod tests {
             try_parse_text(&parser, "Blood pressure: 144/90").err(),
             Some(ParseFailure::NoDisjuncts)
         );
+    }
+
+    #[test]
+    fn raised_cancel_flag_aborts_parse_and_skips_caches() {
+        let mut parser = LinkParser::new();
+        let flag = Arc::new(AtomicBool::new(true));
+        parser.set_cancel_flag(Arc::clone(&flag));
+        let text = "The patient is a smoker.";
+        assert_eq!(
+            try_parse_text(&parser, text).err(),
+            Some(ParseFailure::Cancelled)
+        );
+        assert_eq!(
+            parser.cache_len(),
+            0,
+            "cancelled outcomes must not be cached"
+        );
+        // Clearing the flag restores normal behaviour for the same shape.
+        flag.store(false, Ordering::Relaxed);
+        assert!(try_parse_text(&parser, text).is_ok());
+        assert_eq!(parser.cache_len(), 1);
+    }
+
+    #[test]
+    fn cancelled_never_enters_the_shared_cache() {
+        let shared = SharedParseCache::new();
+        let mut parser = LinkParser::new();
+        parser.set_shared_cache(shared.clone());
+        let flag = Arc::new(AtomicBool::new(true));
+        parser.set_cancel_flag(Arc::clone(&flag));
+        let text = "The patient is a smoker.";
+        assert_eq!(
+            try_parse_text(&parser, text).err(),
+            Some(ParseFailure::Cancelled)
+        );
+        flag.store(false, Ordering::Relaxed);
+        // A second worker sharing the cache must parse fresh, not replay
+        // the cancellation.
+        let mut peer = LinkParser::new();
+        peer.set_shared_cache(shared);
+        assert!(try_parse_text(&peer, text).is_ok());
     }
 
     #[test]

@@ -58,6 +58,65 @@ mod alloc_count {
 #[global_allocator]
 static ALLOC: alloc_count::Counting = alloc_count::Counting;
 
+/// Graceful-shutdown plumbing: SIGINT/SIGTERM raise one shared flag the
+/// engine's feeder and the chaos sweep poll. The handler body is a single
+/// relaxed store — async-signal-safe. A second signal while draining
+/// falls back to the default disposition (immediate death), so a hung
+/// drain can still be killed interactively.
+#[cfg(unix)]
+mod shutdown {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(signum: i32) {
+        if let Some(flag) = FLAG.get() {
+            flag.store(true, Ordering::Relaxed);
+        }
+        // Restore the default disposition so the *next* signal kills the
+        // process even if the drain wedges.
+        unsafe {
+            signal(signum, SIG_DFL);
+        }
+    }
+
+    /// Installs the handlers (idempotent) and returns the shared flag.
+    pub fn install() -> Arc<AtomicBool> {
+        let flag = Arc::clone(FLAG.get_or_init(|| Arc::new(AtomicBool::new(false))));
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+        flag
+    }
+}
+
+#[cfg(not(unix))]
+mod shutdown {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// No signal handling off unix: the flag exists but is never raised.
+    pub fn install() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(false))
+    }
+}
+
+/// Exit code for a run that was interrupted but shut down cleanly (journal
+/// flushed, in-flight records drained). Distinct from success (0), runtime
+/// failure (1), and usage errors (2).
+const EXIT_PARTIAL: u8 = 3;
+
 /// `outln!`, minus the abort when the consumer hangs up: `cmr parse ... |
 /// head` closes stdout early, and a write to a closed pipe must end the
 /// output quietly instead of panicking.
@@ -77,8 +136,14 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match cmd.as_str() {
         "generate" => generate(rest),
-        "extract" => extract(rest),
-        "chaos" => chaos(rest),
+        "extract" => match extract(rest) {
+            Ok(code) => return code,
+            Err(e) => Err(e),
+        },
+        "chaos" => match chaos(rest) {
+            Ok(code) => return code,
+            Err(e) => Err(e),
+        },
         "bench" => bench(rest),
         "parse" => parse(rest),
         "terms" => terms(rest),
@@ -110,11 +175,20 @@ fn usage() {
          \u{20}  cmr generate [--records N] [--seed S] [--style V] [--out DIR]\n\
          \u{20}      write synthetic consultation notes (and gold labels as JSON);\n\
          \u{20}      --out - streams records as NDJSON to stdout instead\n\
-         \u{20}  cmr extract [--jobs N] [--queue-depth Q] [--stats] [--fail-fast] FILE...\n\
+         \u{20}  cmr extract [--jobs N] [--queue-depth Q] [--stats] [--fail-fast]\n\
+         \u{20}              [--journal FILE [--resume]] [--retries N] [--quarantine FILE]\n\
+         \u{20}              [--timeout-ms MS] [--max-sentences N] FILE...\n\
          \u{20}      extract structured records from note files, one JSON object per line,\n\
          \u{20}      in input order (byte-identical for any --jobs; 0 = one per core);\n\
          \u{20}      FILE of - reads NDJSON records (objects with a \"text\" field, or\n\
-         \u{20}      JSON strings) from stdin; --stats prints metrics JSON to stderr\n\
+         \u{20}      JSON strings) from stdin; --stats prints metrics JSON to stderr;\n\
+         \u{20}      --journal writes a crash-safe NDJSON run journal, and --resume\n\
+         \u{20}      replays it and finishes only the remaining records (output stays\n\
+         \u{20}      byte-identical to an uninterrupted run); --retries retries\n\
+         \u{20}      transient failures with backoff and --quarantine files records\n\
+         \u{20}      that still fail; --timeout-ms sets a per-record wall-clock\n\
+         \u{20}      deadline enforced by a watchdog; SIGINT/SIGTERM drain in-flight\n\
+         \u{20}      records, flush the journal, and exit 3 (partial run)\n\
          \u{20}  cmr chaos [--noise SPEC] [--seed S] [--records N] [--jobs N] [--stats] [--out FILE]\n\
          \u{20}      corrupt the gold corpus at each noise level (SPEC: `0.3`, `0,0.1,0.3`,\n\
          \u{20}      or `A..B[:STEP]`), extract it, and print the degradation curve;\n\
@@ -218,18 +292,71 @@ fn generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn extract(args: &[String]) -> Result<(), String> {
+/// One stdout line per record, flushed immediately: a downstream consumer
+/// (or a post-crash inspection) sees every completed record, not whatever
+/// happened to fit the buffer. A closed stdout (e.g. `| head`) stops
+/// output without panicking the batch.
+fn emit_record_line(
+    w: &mut std::io::StdoutLock<'_>,
+    stdout_closed: &mut bool,
+    failed: &mut u64,
+    result: &Result<ExtractedRecord, EngineError>,
+) {
+    let line = match result {
+        Ok(rec) => serde_json::to_string(rec).expect("record serializes"),
+        Err(e) => {
+            *failed += 1;
+            // In-band error object: stdout stays one JSON object per
+            // input record, in input order.
+            format!(
+                "{{\"error\":{}}}",
+                serde_json::to_string(&e.to_string()).expect("string serializes")
+            )
+        }
+    };
+    if !*stdout_closed && (writeln!(w, "{line}").is_err() || w.flush().is_err()) {
+        *stdout_closed = true;
+    }
+}
+
+fn extract(args: &[String]) -> Result<ExitCode, String> {
     let mut jobs = "1".to_string();
     let mut queue_depth = "32".to_string();
+    let mut journal = String::new();
+    let mut retries = "1".to_string();
+    let mut quarantine = String::new();
+    let mut timeout_ms = String::new();
+    let mut max_sentences = String::new();
+    let mut kill_after = String::new();
     let mut stats = false;
     let mut fail_fast = false;
+    let mut resume = false;
     let inputs = parse_flags(
         args,
-        &mut [("jobs", &mut jobs), ("queue-depth", &mut queue_depth)],
-        &mut [("stats", &mut stats), ("fail-fast", &mut fail_fast)],
+        &mut [
+            ("jobs", &mut jobs),
+            ("queue-depth", &mut queue_depth),
+            ("journal", &mut journal),
+            ("retries", &mut retries),
+            ("quarantine", &mut quarantine),
+            ("timeout-ms", &mut timeout_ms),
+            ("max-sentences", &mut max_sentences),
+            ("kill-after", &mut kill_after),
+        ],
+        &mut [
+            ("stats", &mut stats),
+            ("fail-fast", &mut fail_fast),
+            ("resume", &mut resume),
+        ],
     )?;
     if inputs.is_empty() {
         return Err("extract needs at least one file (or - for stdin NDJSON)".to_string());
+    }
+    if resume && journal.is_empty() {
+        return Err("--resume needs --journal".to_string());
+    }
+    if !kill_after.is_empty() && journal.is_empty() {
+        return Err("--kill-after needs --journal (it counts newly journaled records)".to_string());
     }
     let jobs: usize = jobs
         .parse()
@@ -237,39 +364,132 @@ fn extract(args: &[String]) -> Result<(), String> {
     let queue_depth: usize = queue_depth
         .parse()
         .map_err(|_| "--queue-depth must be an integer".to_string())?;
+    let retries: u32 = retries
+        .parse()
+        .map_err(|_| "--retries must be an integer".to_string())?;
+    let parse_opt = |name: &str, value: &str| -> Result<Option<u64>, String> {
+        if value.is_empty() {
+            Ok(None)
+        } else {
+            value
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name} must be an integer"))
+        }
+    };
+    let timeout_ms = parse_opt("timeout-ms", &timeout_ms)?;
+    let max_sentences = parse_opt("max-sentences", &max_sentences)?;
+    let kill_after = parse_opt("kill-after", &kill_after)?;
     let cfg = EngineConfig {
         jobs,
         queue_depth: queue_depth.max(1),
         fail_fast,
+        max_record_millis: timeout_ms,
+        max_record_sentences: max_sentences.map(|n| n as usize),
+        retry: RetryPolicy {
+            max_attempts: retries.max(1),
+            ..RetryPolicy::default()
+        },
         ..EngineConfig::default()
     };
-    let engine = Engine::new(cfg, Schema::paper(), Ontology::full());
+    let shutdown_flag = shutdown::install();
+    let mut engine = Engine::new(cfg.clone(), Schema::paper(), Ontology::full())
+        .with_shutdown(std::sync::Arc::clone(&shutdown_flag));
+    if !quarantine.is_empty() {
+        let file = QuarantineFile::create(&PathBuf::from(&quarantine))
+            .map_err(|e| format!("creating {quarantine}: {e}"))?;
+        engine = engine.with_quarantine(file);
+    }
 
     let stdout = std::io::stdout();
     let mut w = stdout.lock();
     let mut failed = 0u64;
-    // A closed stdout (e.g. `| head`) stops output without panicking the
-    // batch; remaining records are drained silently.
     let mut stdout_closed = false;
-    let mut sink = |_idx: usize, result: Result<ExtractedRecord, EngineError>| {
-        let line = match result {
-            Ok(rec) => serde_json::to_string(&rec).expect("record serializes"),
-            Err(e) => {
-                failed += 1;
-                // In-band error object: stdout stays one JSON object per
-                // input record, in input order.
-                format!(
-                    "{{\"error\":{}}}",
-                    serde_json::to_string(&e.to_string()).expect("string serializes")
-                )
-            }
-        };
-        if !stdout_closed && writeln!(w, "{line}").is_err() {
-            stdout_closed = true;
-        }
-    };
+    let from_stdin = inputs.len() == 1 && inputs[0] == "-";
 
-    let metrics = if inputs.len() == 1 && inputs[0] == "-" {
+    let (metrics, partial) = if !journal.is_empty() {
+        // Journaled (durable) run. The corpus is materialized up front even
+        // from stdin: the manifest fingerprints the whole corpus so a
+        // resume against different input is rejected, and that requires
+        // seeing all of it before the first record is processed.
+        let texts: Vec<String> = if from_stdin {
+            std::io::stdin()
+                .lock()
+                .lines()
+                .map_while(Result::ok)
+                .filter(|l| !l.trim().is_empty())
+                .map(|l| note_text_from_ndjson(l.trim_end_matches(['\r', '\n'])))
+                .collect()
+        } else {
+            let mut texts = Vec::with_capacity(inputs.len());
+            for path in &inputs {
+                texts.push(fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?);
+            }
+            texts
+        };
+        let total = texts.len();
+        let jpath = PathBuf::from(&journal);
+        let manifest = RunManifest::for_run(&cfg, &texts);
+        let (mut writer, start) = if resume && jpath.exists() {
+            let read = read_journal(&jpath).map_err(|e| e.to_string())?;
+            if let Some(why) = read.manifest.mismatch(&manifest) {
+                return Err(format!("cannot resume {journal}: {why}"));
+            }
+            // Replay the journaled prefix so stdout is byte-identical to
+            // an uninterrupted run, then append past the intact bytes
+            // (dropping a torn final line from the crash, if any).
+            for entry in &read.entries {
+                emit_record_line(&mut w, &mut stdout_closed, &mut failed, &entry.output);
+            }
+            let start = read.entries.len();
+            eprintln!("cmr: resuming {journal}: {start}/{total} record(s) already journaled");
+            let writer = JournalWriter::append_to(&jpath, read.valid_len)
+                .map_err(|e| format!("reopening {journal}: {e}"))?;
+            (writer, start)
+        } else {
+            let writer = JournalWriter::create(&jpath, &manifest)
+                .map_err(|e| format!("creating {journal}: {e}"))?;
+            (writer, 0)
+        };
+
+        let mut journal_error: Option<String> = None;
+        let mut newly_journaled = 0u64;
+        let mut seen = 0usize;
+        let metrics = engine.extract_stream(texts.into_iter().skip(start), |idx, result| {
+            let entry = JournalEntry {
+                index: start + idx,
+                output: result,
+            };
+            // Write-ahead ordering: the journal line lands before the
+            // record becomes visible on stdout, so every record a consumer
+            // has seen is recoverable after a crash.
+            if journal_error.is_none() {
+                if let Err(e) = writer.append(&entry) {
+                    journal_error = Some(format!("writing {journal}: {e}"));
+                }
+            }
+            emit_record_line(&mut w, &mut stdout_closed, &mut failed, &entry.output);
+            seen += 1;
+            newly_journaled += 1;
+            if kill_after == Some(newly_journaled) {
+                // Crash-injection hook for the durability tests: die hard
+                // (no unwinding, no flushes) right after journaling the
+                // N-th new record, like a `kill -9` at the worst moment.
+                std::process::abort();
+            }
+        });
+        if let Some(e) = journal_error {
+            return Err(e);
+        }
+        let completed = start + seen;
+        if completed < total {
+            eprintln!(
+                "cmr: interrupted — {completed}/{total} record(s) journaled; \
+                 rerun with --journal {journal} --resume to finish"
+            );
+        }
+        (metrics, completed < total)
+    } else if from_stdin {
         // Stream NDJSON records from stdin through the engine under
         // backpressure: at most `queue_depth` records are buffered.
         // (`StdinLock` is not `Send`, and the feeder thread consumes the
@@ -284,7 +504,13 @@ fn extract(args: &[String]) -> Result<(), String> {
         })
         .filter(|l| !l.trim().is_empty())
         .map(|l| note_text_from_ndjson(l.trim_end_matches(['\r', '\n'])));
-        engine.extract_stream(lines, &mut sink)
+        let metrics = engine.extract_stream(lines, |_idx, result| {
+            emit_record_line(&mut w, &mut stdout_closed, &mut failed, &result);
+        });
+        // Without a known corpus length, "partial" means the stop was
+        // signal-initiated rather than end-of-input.
+        let partial = shutdown_flag.load(std::sync::atomic::Ordering::Relaxed);
+        (metrics, partial)
     } else {
         // Read the files up front so I/O errors fail the command before
         // any output is produced.
@@ -292,7 +518,16 @@ fn extract(args: &[String]) -> Result<(), String> {
         for path in &inputs {
             texts.push(fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?);
         }
-        engine.extract_stream(texts.into_iter(), &mut sink)
+        let total = texts.len();
+        let mut seen = 0usize;
+        let metrics = engine.extract_stream(texts.into_iter(), |_idx, result| {
+            emit_record_line(&mut w, &mut stdout_closed, &mut failed, &result);
+            seen += 1;
+        });
+        if seen < total {
+            eprintln!("cmr: interrupted — {seen}/{total} record(s) extracted");
+        }
+        (metrics, seen < total)
     };
 
     if stats {
@@ -302,7 +537,11 @@ fn extract(args: &[String]) -> Result<(), String> {
     if failed > 0 {
         eprintln!("cmr: {failed} record(s) failed (see in-band \"error\" objects)");
     }
-    Ok(())
+    Ok(if partial {
+        ExitCode::from(EXIT_PARTIAL)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 /// Pulls the note text out of one NDJSON line: an object with a `text`
@@ -323,7 +562,7 @@ fn note_text_from_ndjson(line: &str) -> String {
     }
 }
 
-fn chaos(args: &[String]) -> Result<(), String> {
+fn chaos(args: &[String]) -> Result<ExitCode, String> {
     let mut noise = "0..0.5".to_string();
     let mut seed = "7".to_string();
     let mut records = "50".to_string();
@@ -356,7 +595,11 @@ fn chaos(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| "--jobs must be an integer".to_string())?,
     };
-    let report = run_chaos(&cfg);
+    // SIGINT/SIGTERM stop the sweep between noise levels; the finished
+    // levels are still printed and written to --out below, marked
+    // `"interrupted": true` in the JSON, instead of being lost.
+    let interrupt = shutdown::install();
+    let report = run_chaos_with(&cfg, Some(interrupt.as_ref()));
 
     outln!(
         "chaos sweep: {} records, seed {}, {} level(s)",
@@ -403,7 +646,15 @@ fn chaos(args: &[String]) -> Result<(), String> {
     if panics > 0 {
         return Err(format!("{panics} worker panic(s) during the sweep"));
     }
-    Ok(())
+    if report.interrupted {
+        eprintln!(
+            "cmr: chaos sweep interrupted after {} of {} level(s); partial report flushed",
+            report.levels.len(),
+            cfg.levels.len()
+        );
+        return Ok(ExitCode::from(EXIT_PARTIAL));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn bench(args: &[String]) -> Result<(), String> {
@@ -493,6 +744,17 @@ fn bench(args: &[String]) -> Result<(), String> {
             a.allocs_per_note, a.bytes_per_note
         );
     }
+    if let Some(j) = &report.journaled {
+        let overhead = if report.parallel.notes_per_sec > 0.0 {
+            (1.0 - j.notes_per_sec / report.parallel.notes_per_sec) * 100.0
+        } else {
+            0.0
+        };
+        eprintln!(
+            "cmr: journaled x{} {:.1} notes/sec ({overhead:+.1}% vs plain parallel)",
+            report.config.jobs, j.notes_per_sec
+        );
+    }
 
     if !check.is_empty() {
         let base = read_report(&check)?;
@@ -500,7 +762,15 @@ fn bench(args: &[String]) -> Result<(), String> {
             eprintln!("cmr: PERF REGRESSION vs {check}: {msg}");
             std::process::exit(1);
         }
-        eprintln!("cmr: perf check vs {check} passed (threshold {threshold})");
+        // The durability gate compares within this run (journaled vs plain
+        // parallel), so it is immune to machine-to-machine variance.
+        if let Err(msg) = perf::check_journal_overhead(&report, 0.10) {
+            eprintln!("cmr: JOURNAL OVERHEAD REGRESSION: {msg}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "cmr: perf check vs {check} passed (threshold {threshold}, journal overhead <10%)"
+        );
     }
     Ok(())
 }

@@ -49,7 +49,7 @@ pub use cmr_text as text;
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
     pub use cmr_analyze::{analyze_assets, Diagnostic, Report, Severity};
-    pub use cmr_bench::{parse_levels, run_chaos, ChaosConfig, ChaosReport};
+    pub use cmr_bench::{parse_levels, run_chaos, run_chaos_with, ChaosConfig, ChaosReport};
     pub use cmr_core::{
         CategoricalExtractor, CmrError, DegradationReport, ExtractedRecord, FeatureOptions,
         FeatureSpec, FieldProvenance, MedicalTermExtractor, NumericExtractor, Pipeline, Schema,
@@ -57,7 +57,9 @@ pub mod prelude {
     };
     pub use cmr_corpus::{CorpusBuilder, GoldRecord, NoiseConfig, NoiseInjector, SmokingStatus};
     pub use cmr_engine::{
-        BatchOutput, DegradationTotals, Engine, EngineConfig, EngineError, EngineMetrics,
+        read_journal, read_quarantine, BatchOutput, DegradationTotals, Engine, EngineConfig,
+        EngineError, EngineMetrics, JournalEntry, JournalWriter, QuarantineFile, RetryPolicy,
+        RunManifest,
     };
     pub use cmr_eval::{MultiValueScore, PrecisionRecall};
     pub use cmr_lexicon::Lemmatizer;

@@ -233,6 +233,263 @@ fn lint_passes_deny_warnings_and_formats_agree() {
 }
 
 #[test]
+fn journaled_crash_then_resume_is_byte_identical() {
+    let dir = scratch("journal-resume");
+    let notes = generate_notes(&dir, 6);
+    let journal = dir.join("run.journal");
+    let uninterrupted = extract_stdout(&notes, "2");
+
+    // Crash-inject: abort the process right after the 2nd record is
+    // journaled (no unwinding, no atexit flushes — a hard kill).
+    let crashed = cmr()
+        .arg("extract")
+        .args(["--jobs", "2", "--journal"])
+        .arg(&journal)
+        .args(["--kill-after", "2"])
+        .args(&notes)
+        .output()
+        .expect("run crashing extract");
+    assert!(!crashed.status.success(), "--kill-after must abort");
+    let partial = String::from_utf8(crashed.stdout).expect("utf-8");
+    assert_eq!(
+        partial.lines().count(),
+        2,
+        "per-record flush: both journaled records reached stdout before the abort"
+    );
+    assert!(
+        uninterrupted.starts_with(&partial),
+        "partial output is a prefix of the uninterrupted run"
+    );
+
+    // Resume: replays the journaled prefix and finishes the rest.
+    let resumed = cmr()
+        .arg("extract")
+        .args(["--jobs", "2", "--journal"])
+        .arg(&journal)
+        .arg("--resume")
+        .args(&notes)
+        .output()
+        .expect("run resumed extract");
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        String::from_utf8(resumed.stdout).expect("utf-8"),
+        uninterrupted,
+        "resumed output must be byte-identical to the uninterrupted run"
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("resuming") && stderr.contains("2/6"),
+        "resume reports the replayed prefix: {stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_against_a_different_corpus_is_rejected() {
+    let dir = scratch("journal-mismatch");
+    let notes = generate_notes(&dir, 4);
+    let journal = dir.join("run.journal");
+    let ok = cmr()
+        .arg("extract")
+        .arg("--journal")
+        .arg(&journal)
+        .args(&notes)
+        .output()
+        .expect("run journaled extract");
+    assert!(ok.status.success());
+
+    // Same journal, fewer notes: the manifest must refuse the merge.
+    let out = cmr()
+        .arg("extract")
+        .arg("--journal")
+        .arg(&journal)
+        .arg("--resume")
+        .args(&notes[..2])
+        .output()
+        .expect("run mismatched resume");
+    assert_eq!(out.status.code(), Some(2), "manifest mismatch is an error");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot resume"),
+        "stderr names the refusal: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigint_drains_flushes_the_journal_and_exits_three() {
+    let dir = scratch("journal-sigint");
+    let journal = dir.join("run.journal");
+
+    // A corpus big enough that the signal lands mid-run.
+    let generated = cmr()
+        .args(["generate", "--records", "800", "--seed", "5", "--out", "-"])
+        .output()
+        .expect("run cmr generate --out -");
+    assert!(generated.status.success());
+
+    let mut child = cmr()
+        .arg("extract")
+        .args(["-", "--jobs", "2", "--journal"])
+        .arg(&journal)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cmr extract");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(&generated.stdout)
+        .expect("feed NDJSON");
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    // SIGINT, as ctrl-C would deliver it.
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("send SIGINT");
+    assert!(kill.success());
+    let out = child.wait_with_output().expect("wait for extract");
+
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "interrupted run exits 3: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    let emitted = stdout.lines().count();
+    assert!(
+        emitted > 0 && emitted < 800,
+        "drain stopped early but not empty: {emitted} records"
+    );
+    // Every record on stdout is in the flushed journal (manifest + one
+    // line each), and every journal line is complete NDJSON.
+    let journal_text = std::fs::read_to_string(&journal).expect("journal flushed");
+    let journal_lines: Vec<&str> = journal_text.lines().collect();
+    assert_eq!(
+        journal_lines.len(),
+        emitted + 1,
+        "journal = manifest + one line per emitted record"
+    );
+    for line in &journal_lines {
+        serde_json::parse_value_str(line).expect("complete JSON per journal line");
+    }
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("interrupted"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quarantine_files_the_poison_record_and_the_batch_survives() {
+    let dir = scratch("quarantine");
+    // Two sentences under a one-sentence budget: deterministic transient
+    // failure on every attempt — a poison record.
+    let poison = dir.join("poison.txt");
+    std::fs::write(
+        &poison,
+        "Vitals:  Blood pressure is 144/90.  Pulse of 84 was noted.\n",
+    )
+    .expect("write poison note");
+    let good = dir.join("good.txt");
+    std::fs::write(&good, "Vitals:  Temperature 98.6, weight 150 pounds.\n")
+        .expect("write good note");
+    let qpath = dir.join("quarantine.ndjson");
+
+    let out = cmr()
+        .arg("extract")
+        .args(["--max-sentences", "1", "--retries", "2", "--quarantine"])
+        .arg(&qpath)
+        .arg(&poison)
+        .arg(&good)
+        .output()
+        .expect("run extract with quarantine");
+    assert!(out.status.success(), "poison record must not abort the run");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "both records produce a line");
+    assert!(lines[0].starts_with("{\"error\":"), "{}", lines[0]);
+    assert!(!lines[1].starts_with("{\"error\":"), "{}", lines[1]);
+
+    let quarantined = std::fs::read_to_string(&qpath).expect("quarantine written");
+    let entries: Vec<&str> = quarantined.lines().collect();
+    assert_eq!(entries.len(), 1, "poison record quarantined exactly once");
+    let entry = serde_json::parse_value_str(entries[0]).expect("entry parses");
+    assert_eq!(entry.get("index"), Some(&serde::Value::Int(0)));
+    let attempts = entry
+        .get("attempts")
+        .and_then(|a| a.as_array())
+        .expect("attempt history");
+    assert_eq!(attempts.len(), 2, "one record per attempt");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn chaos_sigint_flushes_a_partial_report_and_exits_three() {
+    let dir = scratch("chaos-sigint");
+    let report_path = dir.join("chaos.json");
+    let child = cmr()
+        .args([
+            "chaos",
+            "--noise",
+            "0..0.5",
+            "--records",
+            "400",
+            "--jobs",
+            "2",
+            "--out",
+        ])
+        .arg(&report_path)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cmr chaos");
+    std::thread::sleep(std::time::Duration::from_millis(800));
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("send SIGINT");
+    assert!(kill.success());
+    let out = child.wait_with_output().expect("wait for chaos");
+
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "interrupted sweep exits 3: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&report_path).expect("partial report flushed");
+    let doc = serde_json::parse_value_str(&json).expect("report parses");
+    assert_eq!(
+        doc.get("interrupted"),
+        Some(&serde::Value::Bool(true)),
+        "partial report is marked interrupted"
+    );
+    let levels = doc
+        .get("levels")
+        .and_then(|l| l.as_array())
+        .expect("levels array");
+    assert!(
+        levels.len() < 6,
+        "sweep stopped before all 6 levels ({} done)",
+        levels.len()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn lint_deny_notes_exits_one_without_usage_noise() {
     // The committed assets do carry advisory notes; denying notes must
     // exit 1 (a lint failure), not 2 (a usage error).
