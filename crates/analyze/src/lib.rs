@@ -35,7 +35,7 @@
 pub mod checks;
 mod render;
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 
 /// How bad a finding is.
 ///
@@ -181,6 +181,27 @@ impl Report {
     pub fn render_human(&self, color: bool) -> String {
         render::human(self, color)
     }
+
+    /// Severity rollup, for embedding in machine-readable status surfaces
+    /// (the `cmr serve` health endpoint reports this next to readiness).
+    pub fn summary(&self) -> Summary {
+        Summary {
+            errors: self.errors(),
+            warnings: self.warnings(),
+            notes: self.notes(),
+        }
+    }
+}
+
+/// A serializable severity rollup of a [`Report`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Error-severity findings (the engine refuses to start over these).
+    pub errors: usize,
+    /// Warning-severity findings.
+    pub warnings: usize,
+    /// Note-severity findings (advisory).
+    pub notes: usize,
 }
 
 /// Metadata for one check, used for SARIF rule tables and `cmr lint

@@ -1,0 +1,595 @@
+//! `cmr loadtest` — the built-in load generator for `cmr serve`.
+//!
+//! A small hand-rolled HTTP/1.1 client (same zero-dependency footing as
+//! the server) that drives `POST /extract` from `--concurrency` threads,
+//! each with one keep-alive connection, and reports exact percentiles
+//! computed client-side from every per-request latency sample:
+//!
+//! * **closed loop** (default): each thread sends the next request the
+//!   moment the previous response lands — measures the service at its
+//!   natural saturation for that concurrency.
+//! * **open loop** (`--rps R`): requests are *scheduled* at a fixed rate
+//!   and latency is measured from the scheduled send time, so a slow
+//!   server accrues queueing delay in the numbers instead of silently
+//!   slowing the generator down (coordinated-omission resistance).
+//!
+//! A keep-alive connection the server closed between requests (stale
+//! reuse — routine during server-side idle shedding) is retried once on
+//! a fresh connection and counted in `retried_stale`, not as an error;
+//! that is the standard HTTP client contract.
+
+use cmr_corpus::CorpusBuilder;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// What to run against which server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:7171`.
+    pub addr: String,
+    /// Client threads (one keep-alive connection each).
+    pub concurrency: usize,
+    /// How long to generate load, seconds.
+    pub duration_secs: f64,
+    /// Open-loop target rate (requests/sec across all threads); `None`
+    /// runs closed-loop.
+    pub rps: Option<f64>,
+    /// Per-request socket timeout, milliseconds.
+    pub timeout_ms: u64,
+    /// Size of the note pool cycled through as request bodies (gold
+    /// corpus; capped at the corpus size).
+    pub notes: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            concurrency: 4,
+            duration_secs: 10.0,
+            rps: None,
+            timeout_ms: 10_000,
+            notes: 50,
+        }
+    }
+}
+
+/// The loadtest result, written to `BENCH_serve.json` by the bench leg.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Report format version.
+    pub version: u32,
+    /// `closed` or `open`.
+    pub mode: String,
+    /// Client threads used.
+    pub concurrency: u64,
+    /// Wall-clock of the run, seconds.
+    pub duration_secs: f64,
+    /// Open-loop target rate, when one was set.
+    pub target_rps: Option<f64>,
+    /// Requests attempted (including errored ones).
+    pub sent: u64,
+    /// `2xx` responses with a well-formed body.
+    pub ok: u64,
+    /// `429` admission rejections.
+    pub rejected: u64,
+    /// Other `4xx` responses.
+    pub client_errors: u64,
+    /// `5xx` responses.
+    pub server_errors: u64,
+    /// Connection attempts nobody accepted (server down/draining); no
+    /// request was in flight, so these are not dropped responses.
+    pub refused: u64,
+    /// An *established* connection failed mid-request (read/write error
+    /// that was not a retryable stale keep-alive reuse) — each of these
+    /// is a genuinely dropped response.
+    pub transport_errors: u64,
+    /// Stale keep-alive connections retried on a fresh socket.
+    pub retried_stale: u64,
+    /// Successful requests per second over the run.
+    pub throughput_rps: f64,
+    /// Mean latency over `ok` requests, microseconds.
+    pub mean_us: u64,
+    /// Exact 50th percentile latency, microseconds.
+    pub p50_us: u64,
+    /// Exact 90th percentile latency, microseconds.
+    pub p90_us: u64,
+    /// Exact 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Exact 99.9th percentile latency, microseconds.
+    pub p999_us: u64,
+    /// Worst observed latency, microseconds.
+    pub max_us: u64,
+}
+
+/// One finished request, as seen by a generator thread.
+enum Outcome {
+    Status(u16),
+    /// `connect()` failed — nobody is accepting (server down, draining,
+    /// or not up yet). No request was ever in flight, so nothing was
+    /// dropped; distinct from a connection that broke mid-request.
+    Refused,
+    Transport,
+}
+
+/// A client-side keep-alive connection with its response buffer.
+struct ClientConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// Responses completed on this connection (0 ⇒ fresh, reuse-EOF is a
+    /// real error; >0 ⇒ stale close is retryable).
+    served: u64,
+}
+
+impl ClientConn {
+    fn connect(addr: &str, timeout: Duration) -> io::Result<ClientConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(ClientConn {
+            stream,
+            buf: Vec::new(),
+            served: 0,
+        })
+    }
+
+    fn fill(&mut self) -> io::Result<usize> {
+        let mut chunk = [0u8; 8192];
+        let n = self.stream.read(&mut chunk)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Ensures at least `len` bytes are buffered.
+    fn need(&mut self, len: usize) -> io::Result<()> {
+        while self.buf.len() < len {
+            if self.fill()? == 0 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in body"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Finds `pat` at-or-after `from`, reading as needed.
+    fn find(&mut self, pat: &[u8], from: usize) -> io::Result<usize> {
+        loop {
+            if self.buf.len() >= from + pat.len() {
+                if let Some(i) = self.buf[from..].windows(pat.len()).position(|w| w == pat) {
+                    return Ok(from + i);
+                }
+            }
+            if self.fill()? == 0 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in head"));
+            }
+        }
+    }
+
+    /// Writes one request and reads one full response. Returns
+    /// `(status, body, keep_alive)`.
+    fn request(&mut self, bytes: &[u8]) -> io::Result<(u16, Vec<u8>, bool)> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+
+        let head_end = self.find(b"\r\n\r\n", 0)?;
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        let mut content_length: Option<usize> = None;
+        let mut chunked = false;
+        let mut keep_alive = true;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            match name.as_str() {
+                "content-length" => content_length = value.parse().ok(),
+                "transfer-encoding" => chunked = value.eq_ignore_ascii_case("chunked"),
+                "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+                _ => {}
+            }
+        }
+        let mut consumed = head_end + 4;
+
+        if status == 100 {
+            // Interim response (the client never sends Expect, but be
+            // tolerant): skip it and read the real one.
+            self.buf.drain(..consumed);
+            return self.read_final(keep_alive);
+        }
+
+        let mut body = Vec::new();
+        if chunked {
+            loop {
+                let line_end = self.find(b"\r\n", consumed)?;
+                let size_str = String::from_utf8_lossy(&self.buf[consumed..line_end]).into_owned();
+                let size = usize::from_str_radix(size_str.trim(), 16)
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad chunk size"))?;
+                consumed = line_end + 2;
+                if size == 0 {
+                    self.need(consumed + 2)?;
+                    consumed += 2;
+                    break;
+                }
+                self.need(consumed + size + 2)?;
+                body.extend_from_slice(&self.buf[consumed..consumed + size]);
+                consumed += size + 2;
+            }
+        } else if let Some(n) = content_length {
+            self.need(consumed + n)?;
+            body.extend_from_slice(&self.buf[consumed..consumed + n]);
+            consumed += n;
+        } else {
+            // No framing: body runs to connection close.
+            keep_alive = false;
+            loop {
+                match self.fill() {
+                    Ok(0) => break,
+                    Ok(_) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            body.extend_from_slice(&self.buf[consumed..]);
+            consumed = self.buf.len();
+        }
+        self.buf.drain(..consumed);
+        self.served += 1;
+        Ok((status, body, keep_alive))
+    }
+
+    /// Reads the response following a skipped interim `100`.
+    fn read_final(&mut self, _ka: bool) -> io::Result<(u16, Vec<u8>, bool)> {
+        // Re-enter the normal path with an empty request write.
+        self.request(b"")
+    }
+}
+
+/// Builds the raw request bytes for one `POST /extract` of `note`.
+fn extract_request(addr: &str, note: &str) -> Vec<u8> {
+    let body = note.as_bytes();
+    let mut req = format!(
+        "POST /extract HTTP/1.1\r\nHost: {addr}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body);
+    req
+}
+
+/// Per-thread tallies, merged at the end.
+#[derive(Default)]
+struct Tally {
+    sent: u64,
+    ok: u64,
+    rejected: u64,
+    client_errors: u64,
+    server_errors: u64,
+    refused: u64,
+    transport_errors: u64,
+    retried_stale: u64,
+    /// Latency of each `2xx` request, microseconds.
+    latencies: Vec<u64>,
+}
+
+/// Sends one request with the stale-keep-alive retry rule: a connection
+/// that already served a response and dies before yielding any byte of
+/// this one is replaced once, invisibly to the caller's error counts.
+fn send_one(
+    conn: &mut Option<ClientConn>,
+    addr: &str,
+    timeout: Duration,
+    bytes: &[u8],
+    tally: &mut Tally,
+) -> Outcome {
+    for attempt in 0..2 {
+        let fresh = conn.is_none();
+        let c = match conn {
+            Some(c) => c,
+            None => match ClientConn::connect(addr, timeout) {
+                Ok(c) => conn.insert(c),
+                Err(_) => return Outcome::Refused,
+            },
+        };
+        match c.request(bytes) {
+            Ok((status, _body, keep_alive)) => {
+                if !keep_alive {
+                    *conn = None;
+                }
+                return Outcome::Status(status);
+            }
+            Err(_) => {
+                let was_reused = !fresh && conn.as_ref().is_some_and(|c| c.served > 0);
+                *conn = None;
+                if attempt == 0 && was_reused {
+                    tally.retried_stale += 1;
+                    continue; // stale keep-alive: one fresh retry
+                }
+                return Outcome::Transport;
+            }
+        }
+    }
+    Outcome::Transport
+}
+
+/// Runs the generator and collects the report. Fails fast (before any
+/// load) if the server is unreachable.
+pub fn run_loadtest(cfg: &LoadConfig) -> Result<LoadReport, String> {
+    let timeout = Duration::from_millis(cfg.timeout_ms.max(1));
+    // Probe first so "wrong address" is an error, not a report full of
+    // transport failures.
+    ClientConn::connect(&cfg.addr, timeout).map_err(|e| format!("connecting {}: {e}", cfg.addr))?;
+
+    let notes: Vec<String> = CorpusBuilder::new()
+        .build()
+        .records
+        .iter()
+        .take(cfg.notes.max(1))
+        .map(|r| r.text.clone())
+        .collect();
+    let threads = cfg.concurrency.max(1);
+    let duration = Duration::from_secs_f64(cfg.duration_secs.max(0.1));
+    let per_thread_interval = cfg
+        .rps
+        .filter(|r| *r > 0.0)
+        .map(|rps| Duration::from_secs_f64(threads as f64 / rps));
+
+    let start = Instant::now();
+    let deadline = start + duration;
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let notes = &notes;
+                let addr = cfg.addr.as_str();
+                scope.spawn(move || {
+                    let mut tally = Tally::default();
+                    let mut conn: Option<ClientConn> = None;
+                    let mut k: u64 = 0;
+                    loop {
+                        // Open loop: latency clocks from the *scheduled*
+                        // send time, so server backlog shows up as
+                        // latency instead of a slower generator.
+                        let scheduled = match per_thread_interval {
+                            Some(interval) => {
+                                let at = start
+                                    + interval.mul_f64(k as f64)
+                                    + interval.mul_f64(tid as f64 / threads as f64);
+                                if at >= deadline {
+                                    break;
+                                }
+                                let now = Instant::now();
+                                if at > now {
+                                    std::thread::sleep(at - now);
+                                }
+                                at
+                            }
+                            None => {
+                                if Instant::now() >= deadline {
+                                    break;
+                                }
+                                Instant::now()
+                            }
+                        };
+                        let note = &notes[(tid + k as usize * threads) % notes.len()];
+                        let bytes = extract_request(addr, note);
+                        tally.sent += 1;
+                        match send_one(&mut conn, addr, timeout, &bytes, &mut tally) {
+                            Outcome::Status(s) if (200..300).contains(&s) => {
+                                tally.ok += 1;
+                                let us = scheduled.elapsed().as_micros() as u64;
+                                tally.latencies.push(us);
+                            }
+                            Outcome::Status(429) => tally.rejected += 1,
+                            Outcome::Status(s) if (400..500).contains(&s) => {
+                                tally.client_errors += 1
+                            }
+                            Outcome::Status(_) => tally.server_errors += 1,
+                            Outcome::Refused => {
+                                tally.refused += 1;
+                                // Don't hot-loop against a dead address:
+                                // refusal is instant, so pace the probes.
+                                std::thread::sleep(Duration::from_millis(20));
+                            }
+                            Outcome::Transport => tally.transport_errors += 1,
+                        }
+                        k += 1;
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+
+    let mut merged = Tally::default();
+    for t in tallies {
+        merged.sent += t.sent;
+        merged.ok += t.ok;
+        merged.rejected += t.rejected;
+        merged.client_errors += t.client_errors;
+        merged.server_errors += t.server_errors;
+        merged.refused += t.refused;
+        merged.transport_errors += t.transport_errors;
+        merged.retried_stale += t.retried_stale;
+        merged.latencies.extend(t.latencies);
+    }
+    merged.latencies.sort_unstable();
+    let lat = &merged.latencies;
+    let mean = if lat.is_empty() {
+        0
+    } else {
+        lat.iter().sum::<u64>() / lat.len() as u64
+    };
+    Ok(LoadReport {
+        version: 1,
+        mode: if per_thread_interval.is_some() {
+            "open".to_string()
+        } else {
+            "closed".to_string()
+        },
+        concurrency: threads as u64,
+        duration_secs: wall,
+        target_rps: cfg.rps,
+        sent: merged.sent,
+        ok: merged.ok,
+        rejected: merged.rejected,
+        client_errors: merged.client_errors,
+        server_errors: merged.server_errors,
+        refused: merged.refused,
+        transport_errors: merged.transport_errors,
+        retried_stale: merged.retried_stale,
+        throughput_rps: if wall > 0.0 {
+            merged.ok as f64 / wall
+        } else {
+            0.0
+        },
+        mean_us: mean,
+        p50_us: percentile(lat, 0.50),
+        p90_us: percentile(lat, 0.90),
+        p99_us: percentile(lat, 0.99),
+        p999_us: percentile(lat, 0.999),
+        max_us: lat.last().copied().unwrap_or(0),
+    })
+}
+
+/// Exact percentile over a sorted sample (nearest-rank convention).
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// The serve latency gate for CI: the current run's p99 must stay within
+/// `threshold` (fraction) of the committed baseline, with a 10 ms
+/// absolute allowance so near-zero baselines don't gate on scheduler
+/// jitter — and the run itself must be clean (no 5xx, no transport
+/// errors, and something actually succeeded).
+pub fn check_latency_regression(
+    current: &LoadReport,
+    baseline: &LoadReport,
+    threshold: f64,
+) -> Result<(), String> {
+    let mut failures = Vec::new();
+    if current.ok == 0 {
+        failures.push("no successful requests".to_string());
+    }
+    if current.server_errors > 0 {
+        failures.push(format!("{} server error(s) (5xx)", current.server_errors));
+    }
+    if current.transport_errors > 0 {
+        failures.push(format!("{} transport error(s)", current.transport_errors));
+    }
+    if current.refused > 0 {
+        // A gated run is against a server that is supposed to be up for
+        // the whole window; refusals mean it wasn't.
+        failures.push(format!("{} refused connection(s)", current.refused));
+    }
+    let ceiling = baseline.p99_us as f64 * (1.0 + threshold) + 10_000.0;
+    if current.p99_us as f64 > ceiling {
+        failures.push(format!(
+            "p99 {}us exceeds the ceiling {:.0}us (baseline {}us, threshold {:.0}% + 10ms slack)",
+            current.p99_us,
+            ceiling,
+            baseline.p99_us,
+            threshold * 100.0
+        ));
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(ok: u64, p99: u64) -> LoadReport {
+        LoadReport {
+            version: 1,
+            mode: "closed".to_string(),
+            concurrency: 2,
+            duration_secs: 1.0,
+            target_rps: None,
+            sent: ok,
+            ok,
+            rejected: 0,
+            client_errors: 0,
+            server_errors: 0,
+            refused: 0,
+            transport_errors: 0,
+            retried_stale: 0,
+            throughput_rps: ok as f64,
+            mean_us: p99 / 2,
+            p50_us: p99 / 2,
+            p90_us: p99 * 9 / 10,
+            p99_us: p99,
+            p999_us: p99,
+            max_us: p99,
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 0.999), 100);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&[42], 0.99), 42);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn latency_gate_trips_and_passes() {
+        let base = report(100, 50_000);
+        // Within threshold: fine.
+        assert!(check_latency_regression(&report(100, 60_000), &base, 0.5).is_ok());
+        // Way past threshold + slack: trips.
+        let err = check_latency_regression(&report(100, 120_000), &base, 0.5).unwrap_err();
+        assert!(err.contains("p99"), "{err}");
+        // 5xx or transport errors always trip.
+        let mut bad = report(100, 10_000);
+        bad.server_errors = 1;
+        assert!(check_latency_regression(&bad, &base, 0.5).is_err());
+        let mut bad = report(100, 10_000);
+        bad.transport_errors = 2;
+        assert!(check_latency_regression(&bad, &base, 0.5).is_err());
+        // An empty run never passes.
+        assert!(check_latency_regression(&report(0, 0), &base, 0.5).is_err());
+    }
+
+    #[test]
+    fn small_baseline_gets_absolute_slack() {
+        // A 1ms baseline p99 must not gate a 5ms run — scheduler jitter
+        // on a loaded CI box is bigger than that.
+        let base = report(100, 1_000);
+        assert!(check_latency_regression(&report(100, 5_000), &base, 0.5).is_ok());
+    }
+
+    #[test]
+    fn load_report_round_trips_serde() {
+        let r = report(7, 1234);
+        let json = serde_json::to_string(&r).expect("serialize");
+        let back: LoadReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.ok, 7);
+        assert_eq!(back.p99_us, 1234);
+        assert_eq!(back.mode, "closed");
+        assert_eq!(back.target_rps, None);
+    }
+}

@@ -338,19 +338,21 @@ impl Engine {
 }
 
 /// The cached outcome of the once-per-process startup asset lint.
-struct LintStatus {
-    errors: usize,
-    warnings: u64,
-    message: String,
+pub(crate) struct LintStatus {
+    pub(crate) errors: usize,
+    pub(crate) warnings: u64,
+    pub(crate) message: String,
     /// FNV-1a over the full analysis report: changes whenever the
     /// compiled-in rule assets (or what the analyzer sees in them) change.
     fingerprint: u64,
+    /// Full severity rollup, for service health endpoints.
+    summary: cmr_analyze::Summary,
 }
 
 /// Lints the committed rule assets once per process; every engine run
 /// consults the cached result. The battery is pure over `&'static` tables,
 /// so one run is valid for the process lifetime.
-fn startup_lint() -> &'static LintStatus {
+pub(crate) fn startup_lint() -> &'static LintStatus {
     static LINT: OnceLock<LintStatus> = OnceLock::new();
     LINT.get_or_init(|| {
         let report = cmr_analyze::analyze_assets();
@@ -363,6 +365,7 @@ fn startup_lint() -> &'static LintStatus {
                 String::new()
             },
             fingerprint: fnv1a_str(&report.to_json()),
+            summary: report.summary(),
         }
     })
 }
@@ -371,6 +374,13 @@ fn startup_lint() -> &'static LintStatus {
 /// manifest so a resume against a build with different assets is rejected.
 pub fn asset_fingerprint() -> u64 {
     startup_lint().fingerprint
+}
+
+/// Severity rollup of the once-per-process startup asset lint, for service
+/// health endpoints (`GET /health` reports readiness including the lint
+/// outcome without re-running the analyzer).
+pub fn startup_lint_summary() -> cmr_analyze::Summary {
+    startup_lint().summary
 }
 
 fn fnv1a_str(s: &str) -> u64 {
@@ -396,16 +406,18 @@ fn lock_collector(
 }
 
 /// Everything one worker needs to process (and possibly re-process) a
-/// record: pipeline, budgets, durability hooks, metrics.
-struct WorkerCtx<'a> {
-    widx: usize,
-    pipeline: &'a Pipeline,
-    max_record_millis: Option<u64>,
-    max_record_sentences: Option<usize>,
-    retry: RetryPolicy,
-    watchdog: Option<&'a Watchdog>,
-    quarantine: Option<&'a QuarantineFile>,
-    collector: &'a Mutex<MetricsCollector>,
+/// record: pipeline, budgets, durability hooks, metrics. Shared with the
+/// resident-service workers (`crate::service`), which bracket the same
+/// retry/watchdog/metrics machinery around one HTTP request at a time.
+pub(crate) struct WorkerCtx<'a> {
+    pub(crate) widx: usize,
+    pub(crate) pipeline: &'a Pipeline,
+    pub(crate) max_record_millis: Option<u64>,
+    pub(crate) max_record_sentences: Option<usize>,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) watchdog: Option<&'a Watchdog>,
+    pub(crate) quarantine: Option<&'a QuarantineFile>,
+    pub(crate) collector: &'a Mutex<MetricsCollector>,
 }
 
 /// Runs one record through the bounded-retry loop: each attempt is
@@ -413,7 +425,7 @@ struct WorkerCtx<'a> {
 /// back off and retry; the final outcome is counted in the metrics
 /// exactly once, and a record that exhausts its attempts on a transient
 /// error is appended to the quarantine (when one is attached).
-fn extract_with_retry(
+pub(crate) fn extract_with_retry(
     ctx: &WorkerCtx<'_>,
     idx: usize,
     text: &str,

@@ -53,17 +53,21 @@ mod journal;
 mod metrics;
 mod pool;
 mod retry;
+mod service;
 mod watchdog;
 
-pub use engine::{asset_fingerprint, BatchOutput, Engine, EngineConfig, EngineError};
+pub use engine::{
+    asset_fingerprint, startup_lint_summary, BatchOutput, Engine, EngineConfig, EngineError,
+};
 pub use journal::{
     config_fingerprint, corpus_hash, read_journal, JournalEntry, JournalError, JournalRead,
     JournalWriter, RunManifest, JOURNAL_VERSION,
 };
 pub use metrics::{
     DegradationTotals, DurationHistogram, EngineMetrics, ErrorCounts, MethodCounts,
-    ParseCacheMetrics, StageMetrics, HISTOGRAM_BUCKETS,
+    ParseCacheMetrics, ServiceLatency, StageMetrics, HISTOGRAM_BUCKETS,
 };
 pub use retry::{
     is_transient, read_quarantine, AttemptRecord, QuarantineEntry, QuarantineFile, RetryPolicy,
 };
+pub use service::{LatencyKind, ServiceHandle, ServiceWorker};

@@ -210,6 +210,41 @@ impl DegradationTotals {
     }
 }
 
+/// Request-latency histograms for the resident service (`cmr serve`).
+///
+/// Plain batch runs leave these empty; the service records one sample per
+/// handled request (and one per NDJSON line inside batch requests), so
+/// `/metrics` can report cumulative latency distributions next to the
+/// engine's stage histograms. The vendored serde stores every integer as
+/// an `i64`, so u64 counters above `i64::MAX` would not round-trip (the
+/// PR5 manifest-hash bug); nanosecond latency sums stay far below that,
+/// pinned by `service_latency_serialize_roundtrip` below.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ServiceLatency {
+    /// End-to-end handling latency of `POST /extract`, per request
+    /// (request fully read → response fully written).
+    pub extract: DurationHistogram,
+    /// End-to-end handling latency of `POST /extract/batch`, per request.
+    pub batch: DurationHistogram,
+    /// Per-record extraction latency inside batch requests (one sample
+    /// per NDJSON input line).
+    pub batch_record: DurationHistogram,
+}
+
+impl ServiceLatency {
+    /// Total requests observed across both endpoints.
+    pub fn requests(&self) -> u64 {
+        self.extract.count + self.batch.count
+    }
+
+    /// Merges another latency block into this one.
+    pub fn merge(&mut self, other: &ServiceLatency) {
+        self.extract.merge(&other.extract);
+        self.batch.merge(&other.batch);
+        self.batch_record.merge(&other.batch_record);
+    }
+}
+
 /// Error counters by kind.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct ErrorCounts {
@@ -269,6 +304,9 @@ pub struct EngineMetrics {
     /// Records appended to the poison-quarantine file after exhausting
     /// their retry budget on a transient error.
     pub quarantined: u64,
+    /// Request-latency histograms (resident service only; empty for
+    /// batch runs).
+    pub service: ServiceLatency,
 }
 
 impl EngineMetrics {
@@ -287,6 +325,7 @@ impl EngineMetrics {
             lint_warnings: 0,
             retries: c.retries,
             quarantined: c.quarantined,
+            service: c.service.clone(),
         };
         if wall_nanos > 0 {
             m.records_per_sec = m.records as f64 / (wall_nanos as f64 / 1e9);
@@ -327,6 +366,7 @@ pub(crate) struct MetricsCollector {
     pub degradation: DegradationTotals,
     pub retries: u64,
     pub quarantined: u64,
+    pub service: ServiceLatency,
 }
 
 impl MetricsCollector {
@@ -364,6 +404,7 @@ impl MetricsCollector {
         self.degradation.merge(&other.degradation);
         self.retries += other.retries;
         self.quarantined += other.quarantined;
+        self.service.merge(&other.service);
     }
 }
 
@@ -481,6 +522,53 @@ mod tests {
         assert_eq!(back.errors.total(), 3);
         assert_eq!(back.retries, 3);
         assert_eq!(back.quarantined, 1);
+    }
+
+    /// Satellite pin for the PR5 u64-as-i64 serde pitfall: the vendored
+    /// serde stores integers as `i64`, so the new service-latency buckets
+    /// must round-trip with realistic-but-large nanosecond sums (values
+    /// beyond `i64::MAX` cannot survive; latency counters never get there
+    /// — even a century of nanoseconds fits in 62 bits).
+    #[test]
+    fn service_latency_serialize_roundtrip() {
+        let mut c = MetricsCollector::default();
+        c.service.extract.record(1_500_000); // 1.5 ms request
+        c.service.extract.record(40_000_000_000); // pathological 40 s
+        c.service.batch.record(250_000_000);
+        c.service.batch_record.record(800_000);
+        c.service.batch_record.record(1u64 << 62); // largest representable class
+        let m = EngineMetrics::from_collector(&c, 2, 1_000_000_000);
+        let json = serde_json::to_string(&m).expect("serializes");
+        let back: EngineMetrics = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.service.extract.count, 2);
+        assert_eq!(back.service.extract.total_nanos, 40_001_500_000);
+        assert_eq!(back.service.extract.max_nanos, 40_000_000_000);
+        assert_eq!(back.service.batch.count, 1);
+        assert_eq!(back.service.batch_record.count, 2);
+        assert_eq!(back.service.batch_record.max_nanos, 1u64 << 62);
+        assert_eq!(
+            back.service.batch_record.buckets,
+            m.service.batch_record.buckets
+        );
+        assert_eq!(back.service.requests(), 3);
+        // An empty service block (every batch run) round-trips too.
+        let empty = EngineMetrics::default();
+        let json = serde_json::to_string(&empty).expect("serializes");
+        let back: EngineMetrics = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.service.requests(), 0);
+    }
+
+    #[test]
+    fn service_latency_merge() {
+        let mut a = ServiceLatency::default();
+        a.extract.record(100);
+        let mut b = ServiceLatency::default();
+        b.extract.record(200);
+        b.batch.record(300);
+        a.merge(&b);
+        assert_eq!(a.extract.count, 2);
+        assert_eq!(a.batch.count, 1);
+        assert_eq!(a.requests(), 3);
     }
 
     #[test]

@@ -1,0 +1,518 @@
+//! A deliberately small HTTP/1.1 implementation over blocking sockets.
+//!
+//! The service needs exactly: request-line + headers, `Content-Length`
+//! bodies, keep-alive, `Expect: 100-continue`, fixed and chunked
+//! responses. Hand-rolling that (~300 lines) keeps the serving stack on
+//! the same zero-external-dependency footing as the vendored serde — no
+//! async runtime, no TLS, no proxy protocol. Anything outside that
+//! envelope (request bodies with `Transfer-Encoding`, absolute-form
+//! targets, obsolete line folding) is rejected with `400`.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted head (request line + headers) — far beyond anything
+/// the clients here produce; a bound so a garbage stream cannot balloon
+/// the buffer.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request. Header names are lowercased at parse time.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercase as sent).
+    pub method: String,
+    /// Origin-form target, e.g. `/extract/batch`.
+    pub target: String,
+    /// Headers as `(lowercased-name, value)` in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default unless `Connection: close`; HTTP/1.0 never).
+    pub keep_alive: bool,
+    /// `true` for HTTP/1.1 (chunked responses allowed), `false` for 1.0.
+    pub http11: bool,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why reading a request off a connection stopped.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A full request was parsed.
+    Request(Request),
+    /// The peer closed (or reset) before sending any byte of a request —
+    /// the normal end of a keep-alive connection.
+    Closed,
+    /// The poll window expired with no byte received; the connection is
+    /// still idle and healthy.
+    Idle,
+    /// Bytes arrived but do not form a valid request within the limits.
+    /// The server should answer 400 and close.
+    Malformed(&'static str),
+    /// The request advertises a body larger than the server accepts.
+    TooLarge,
+    /// A hard socket error, or the peer stalled mid-request past the
+    /// committed-read deadline. Close without a response.
+    Failed,
+}
+
+/// A connection plus its read buffer. The buffer carries leftover bytes
+/// across requests (pipelined requests parse from it before the socket
+/// is touched again) and partial requests across idle polls.
+#[derive(Debug)]
+pub struct Conn {
+    /// The underlying socket.
+    pub stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    /// Wraps a freshly accepted stream.
+    pub fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Whether leftover bytes (the front of a pipelined request) are
+    /// already buffered — such a connection is mid-request, not idle.
+    pub fn has_buffered(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Attempts to read one request. `idle_poll` bounds the wait for the
+    /// *first* byte (keep-alive connections are polled briefly so a
+    /// worker never parks on a quiet socket); once any byte of a request
+    /// has arrived the read is committed and `commit_timeout` bounds each
+    /// subsequent socket read until the request completes.
+    pub fn read_request(
+        &mut self,
+        idle_poll: Duration,
+        commit_timeout: Duration,
+        max_body: usize,
+    ) -> ReadOutcome {
+        // Leftover bytes may already hold a complete pipelined request
+        // (or the front of one) — that connection is mid-request, not idle.
+        let mut committed = !self.buf.is_empty();
+        let first_timeout = if committed { commit_timeout } else { idle_poll };
+        if self.stream.set_read_timeout(Some(first_timeout)).is_err() {
+            return ReadOutcome::Failed;
+        }
+        loop {
+            if let Some(outcome) = self.try_parse(max_body) {
+                return outcome;
+            }
+            // The cap guards the *head*: once the blank line has
+            // arrived, the buffer may legitimately grow to hold a sized
+            // body (bounded separately by `max_body` at parse time).
+            if self.buf.len() > MAX_HEAD_BYTES && find_head_end(&self.buf).is_none() {
+                return ReadOutcome::Malformed("request head too large");
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if committed {
+                        // Mid-request EOF: the peer gave up.
+                        ReadOutcome::Failed
+                    } else {
+                        ReadOutcome::Closed
+                    };
+                }
+                Ok(n) => {
+                    if !committed {
+                        committed = true;
+                        if self.stream.set_read_timeout(Some(commit_timeout)).is_err() {
+                            return ReadOutcome::Failed;
+                        }
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return if committed {
+                        ReadOutcome::Failed
+                    } else {
+                        ReadOutcome::Idle
+                    };
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Failed,
+            }
+        }
+    }
+
+    /// Parses a complete request out of the buffer, if one is there.
+    /// Returns `None` when more bytes are needed.
+    fn try_parse(&mut self, max_body: usize) -> Option<ReadOutcome> {
+        let head_end = find_head_end(&self.buf)?;
+        let head = match std::str::from_utf8(&self.buf[..head_end]) {
+            Ok(h) => h,
+            Err(_) => return Some(ReadOutcome::Malformed("head is not UTF-8")),
+        };
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split(' ');
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Some(ReadOutcome::Malformed("bad request line"));
+        };
+        if parts.next().is_some() || method.is_empty() || !target.starts_with('/') {
+            return Some(ReadOutcome::Malformed("bad request line"));
+        }
+        let http11 = match version {
+            "HTTP/1.1" => true,
+            "HTTP/1.0" => false,
+            _ => return Some(ReadOutcome::Malformed("unsupported HTTP version")),
+        };
+
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with(' ') || line.starts_with('\t') {
+                return Some(ReadOutcome::Malformed("obsolete header folding"));
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Some(ReadOutcome::Malformed("header without colon"));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let find = |name: &str| {
+            headers
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.as_str())
+        };
+        if find("transfer-encoding").is_some() {
+            // Request bodies here are always sized; a chunked *request*
+            // is outside the envelope (responses do use chunked).
+            return Some(ReadOutcome::Malformed("chunked request bodies unsupported"));
+        }
+        let content_length = match find("content-length") {
+            None => 0usize,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => return Some(ReadOutcome::Malformed("bad Content-Length")),
+            },
+        };
+        if content_length > max_body {
+            return Some(ReadOutcome::TooLarge);
+        }
+        let body_start = head_end + 4;
+        if self.buf.len() < body_start + content_length {
+            // `Expect: 100-continue` clients wait for the interim
+            // response before sending the body; oblige once the head is
+            // complete so the read can finish.
+            if find("expect").is_some_and(|v| v.eq_ignore_ascii_case("100-continue")) {
+                let _ = self.stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+            }
+            return None;
+        }
+
+        let keep_alive = match find("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v == "close" => false,
+            Some(v) if v == "keep-alive" => true,
+            _ => http11,
+        };
+        let method = method.to_string();
+        let target = target.to_string();
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.drain(..body_start + content_length);
+        Some(ReadOutcome::Request(Request {
+            method,
+            target,
+            headers,
+            body,
+            keep_alive,
+            http11,
+        }))
+    }
+}
+
+/// Index of `\r\n\r\n` terminating the head, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Canonical reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete fixed-length response. `extra` headers are emitted
+/// verbatim (already `Name: value` formatted, no CRLF).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra: &[&str],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for h in extra {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A chunked-transfer response in progress: the batch endpoint streams
+/// one NDJSON result line per chunk, so the client sees record `k`
+/// while record `k+1` is still extracting.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+    finished: bool,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head and returns the chunk writer.
+    pub fn begin(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+        keep_alive: bool,
+    ) -> io::Result<ChunkedWriter<'a>> {
+        let head = format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+            reason(status),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        stream.write_all(head.as_bytes())?;
+        Ok(ChunkedWriter {
+            stream,
+            finished: false,
+        })
+    }
+
+    /// Writes one chunk (skipped when empty — an empty chunk would
+    /// terminate the body).
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates the body. A `ChunkedWriter` dropped without `finish`
+    /// leaves the response truncated — which is exactly what a client
+    /// should see if the server dies mid-batch.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.finished = true;
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Whether `finish` ran (tests poke this through `Drop`).
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (client, server)
+    }
+
+    const IDLE: Duration = Duration::from_millis(40);
+    const COMMIT: Duration = Duration::from_millis(500);
+
+    #[test]
+    fn parses_request_with_body_and_keep_alive() {
+        let (mut client, server) = pair();
+        client
+            .write_all(b"POST /extract HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+            .expect("write");
+        let mut conn = Conn::new(server);
+        match conn.read_request(IDLE, COMMIT, 1024) {
+            ReadOutcome::Request(req) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.target, "/extract");
+                assert_eq!(req.body, b"hello");
+                assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+                assert_eq!(req.header("host"), Some("x"));
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let (mut client, server) = pair();
+        client
+            .write_all(
+                b"GET /health HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n",
+            )
+            .expect("write");
+        let mut conn = Conn::new(server);
+        let first = conn.read_request(IDLE, COMMIT, 1024);
+        let second = conn.read_request(IDLE, COMMIT, 1024);
+        match (first, second) {
+            (ReadOutcome::Request(a), ReadOutcome::Request(b)) => {
+                assert_eq!(a.target, "/health");
+                assert!(a.keep_alive);
+                assert_eq!(b.target, "/metrics");
+                assert!(!b.keep_alive);
+            }
+            other => panic!("expected two requests, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn idle_then_closed_are_distinguished() {
+        let (client, server) = pair();
+        let mut conn = Conn::new(server);
+        assert!(matches!(
+            conn.read_request(IDLE, COMMIT, 1024),
+            ReadOutcome::Idle
+        ));
+        drop(client);
+        assert!(matches!(
+            conn.read_request(IDLE, COMMIT, 1024),
+            ReadOutcome::Closed
+        ));
+    }
+
+    /// A sized body far larger than the head cap must still parse: the
+    /// 16KiB bound applies to the head, not the whole buffered request.
+    #[test]
+    fn large_sized_body_is_not_mistaken_for_an_oversized_head() {
+        let (mut client, server) = pair();
+        let body = vec![b'x'; MAX_HEAD_BYTES * 4];
+        let head = format!(
+            "POST /extract/batch HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let writer = std::thread::spawn(move || {
+            client.write_all(head.as_bytes()).expect("write head");
+            client.write_all(&body).expect("write body");
+            client
+        });
+        let mut conn = Conn::new(server);
+        match conn.read_request(IDLE, COMMIT, MAX_HEAD_BYTES * 8) {
+            ReadOutcome::Request(req) => {
+                assert_eq!(req.body.len(), MAX_HEAD_BYTES * 4);
+                assert!(req.body.iter().all(|b| *b == b'x'));
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+        drop(writer.join());
+    }
+
+    #[test]
+    fn oversized_body_is_too_large() {
+        let (mut client, server) = pair();
+        client
+            .write_all(b"POST /extract HTTP/1.1\r\nContent-Length: 99\r\n\r\n")
+            .expect("write");
+        let mut conn = Conn::new(server);
+        assert!(matches!(
+            conn.read_request(IDLE, COMMIT, 10),
+            ReadOutcome::TooLarge
+        ));
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        let (mut client, server) = pair();
+        client.write_all(b"NOT A REQUEST\r\n\r\n").expect("write");
+        let mut conn = Conn::new(server);
+        assert!(matches!(
+            conn.read_request(IDLE, COMMIT, 1024),
+            ReadOutcome::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn expect_100_continue_gets_interim_response() {
+        let (mut client, server) = pair();
+        client
+            .write_all(
+                b"POST /extract HTTP/1.1\r\nContent-Length: 2\r\nExpect: 100-continue\r\n\r\n",
+            )
+            .expect("write");
+        let mut conn = Conn::new(server);
+        // The head is complete but the body is pending: the server sends
+        // the interim response and keeps reading.
+        let reader = std::thread::spawn(move || {
+            let outcome = conn.read_request(IDLE, Duration::from_secs(2), 1024);
+            match outcome {
+                ReadOutcome::Request(req) => req.body,
+                other => panic!("expected request, got {other:?}"),
+            }
+        });
+        let mut interim = [0u8; 25];
+        client.read_exact(&mut interim).expect("interim");
+        assert_eq!(&interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+        client.write_all(b"ok").expect("body");
+        assert_eq!(reader.join().expect("join"), b"ok");
+    }
+
+    #[test]
+    fn chunked_writer_round_trips() {
+        let (mut client, mut server) = pair();
+        let writer_thread = std::thread::spawn(move || {
+            let mut w =
+                ChunkedWriter::begin(&mut server, 200, "application/x-ndjson", true).expect("head");
+            w.chunk(b"{\"a\":1}\n").expect("chunk");
+            w.chunk(b"").expect("empty chunk is a no-op");
+            w.chunk(b"{\"b\":2}\n").expect("chunk");
+            w.finish().expect("finish");
+        });
+        writer_thread.join().expect("join");
+        let mut got = String::new();
+        client.read_to_string(&mut got).expect("read");
+        assert!(got.starts_with("HTTP/1.1 200 OK\r\n"), "{got}");
+        assert!(got.contains("Transfer-Encoding: chunked"), "{got}");
+        assert!(got.contains("8\r\n{\"a\":1}\n\r\n"), "{got}");
+        assert!(got.ends_with("0\r\n\r\n"), "{got}");
+    }
+}

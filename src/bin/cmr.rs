@@ -10,6 +10,7 @@
 //! ```
 
 use cmr::prelude::*;
+use cmr::serve::ndjson::note_from_line;
 use std::fs;
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
@@ -151,6 +152,14 @@ fn main() -> ExitCode {
             Ok(code) => return code,
             Err(e) => Err(e),
         },
+        "serve" => match serve(rest) {
+            Ok(code) => return code,
+            Err(e) => Err(e),
+        },
+        "loadtest" => match loadtest(rest) {
+            Ok(code) => return code,
+            Err(e) => Err(e),
+        },
         "--help" | "-h" | "help" => {
             usage();
             Ok(())
@@ -207,7 +216,20 @@ fn usage() {
          \u{20}  cmr lint [--format human|json|sarif] [--deny notes|warnings|errors] [--no-color]\n\
          \u{20}      statically analyze the rule assets (dictionary, lexicon, ontology,\n\
          \u{20}      field specs, ID3 config); exits 1 when a finding reaches the --deny\n\
-         \u{20}      threshold (default: errors)"
+         \u{20}      threshold (default: errors)\n\
+         \u{20}  cmr serve [--addr HOST:PORT] [--jobs N] [--queue-depth Q]\n\
+         \u{20}            [--timeout-ms MS] [--max-sentences N] [--max-body-mb MB]\n\
+         \u{20}      run the resident extraction service (POST /extract,\n\
+         \u{20}      POST /extract/batch NDJSON, GET /health, GET /metrics); a full\n\
+         \u{20}      queue answers 429 + Retry-After; SIGINT/SIGTERM drain in-flight\n\
+         \u{20}      requests and exit 3\n\
+         \u{20}  cmr loadtest [--addr HOST:PORT] [--concurrency N] [--duration SECS]\n\
+         \u{20}               [--rps R] [--out FILE] [--check FILE] [--threshold F]\n\
+         \u{20}      drive POST /extract closed-loop (or open-loop at --rps) and report\n\
+         \u{20}      p50/p90/p99/p999 latency + error rates; --out writes the report as\n\
+         \u{20}      JSON (- for stdout, e.g. BENCH_serve.json); --check exits 1 when\n\
+         \u{20}      p99 regresses more than --threshold (default 0.5) vs FILE or any\n\
+         \u{20}      5xx/transport error occurred"
     );
 }
 
@@ -417,8 +439,7 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
                 .lock()
                 .lines()
                 .map_while(Result::ok)
-                .filter(|l| !l.trim().is_empty())
-                .map(|l| note_text_from_ndjson(l.trim_end_matches(['\r', '\n'])))
+                .filter_map(|l| note_from_line(&l))
                 .collect()
         } else {
             let mut texts = Vec::with_capacity(inputs.len());
@@ -502,8 +523,7 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
                 Ok(_) => Some(buf),
             }
         })
-        .filter(|l| !l.trim().is_empty())
-        .map(|l| note_text_from_ndjson(l.trim_end_matches(['\r', '\n'])));
+        .filter_map(|l| note_from_line(&l));
         let metrics = engine.extract_stream(lines, |_idx, result| {
             emit_record_line(&mut w, &mut stdout_closed, &mut failed, &result);
         });
@@ -544,22 +564,168 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-/// Pulls the note text out of one NDJSON line: an object with a `text`
-/// field (e.g. a `cmr generate --out -` gold record), a bare JSON string,
-/// or — as a fallback — the raw line itself.
-fn note_text_from_ndjson(line: &str) -> String {
-    match serde_json::parse_value_str(line) {
-        Ok(serde::Value::String(s)) => s,
-        Ok(serde::Value::Object(fields)) => fields
-            .iter()
-            .find(|(k, _)| k == "text")
-            .and_then(|(_, v)| match v {
-                serde::Value::String(s) => Some(s.clone()),
-                _ => None,
-            })
-            .unwrap_or_default(),
-        _ => line.to_string(),
+/// `cmr serve`: the resident extraction service. Runs until SIGINT or
+/// SIGTERM, then drains (in-flight and queued requests complete, the
+/// listener closes) and exits with the partial-run code — a drained stop
+/// is an interruption, not a completed batch.
+fn serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut jobs = "0".to_string();
+    let mut queue_depth = "64".to_string();
+    let mut timeout_ms = String::new();
+    let mut max_sentences = String::new();
+    let mut max_body_mb = "8".to_string();
+    let extra = parse_flags(
+        args,
+        &mut [
+            ("addr", &mut addr),
+            ("jobs", &mut jobs),
+            ("queue-depth", &mut queue_depth),
+            ("timeout-ms", &mut timeout_ms),
+            ("max-sentences", &mut max_sentences),
+            ("max-body-mb", &mut max_body_mb),
+        ],
+        &mut [],
+    )?;
+    if !extra.is_empty() {
+        return Err(format!("serve takes no positional arguments: {extra:?}"));
     }
+    let parse_opt = |name: &str, value: &str| -> Result<Option<u64>, String> {
+        if value.is_empty() {
+            Ok(None)
+        } else {
+            value
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name} must be an integer"))
+        }
+    };
+    let cfg = ServeConfig {
+        addr,
+        jobs: jobs
+            .parse()
+            .map_err(|_| "--jobs must be an integer".to_string())?,
+        queue_depth: queue_depth
+            .parse()
+            .map_err(|_| "--queue-depth must be an integer".to_string())?,
+        timeout_ms: parse_opt("timeout-ms", &timeout_ms)?,
+        max_sentences: parse_opt("max-sentences", &max_sentences)?.map(|n| n as usize),
+        max_body_bytes: parse_opt("max-body-mb", &max_body_mb)?.unwrap_or(8) as usize * 1024 * 1024,
+    };
+    let shutdown_flag = shutdown::install();
+    let server = Server::bind(cfg, shutdown_flag).map_err(|e| e.to_string())?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("resolving listen address: {e}"))?;
+    eprintln!("cmr: serving on {addr} (SIGINT/SIGTERM to drain and stop)");
+    let summary = server.run().map_err(|e| format!("serve loop: {e}"))?;
+    eprintln!(
+        "cmr: drained — {} request(s) answered, {} rejected with 429",
+        summary.requests, summary.rejected
+    );
+    Ok(ExitCode::from(EXIT_PARTIAL))
+}
+
+/// `cmr loadtest`: drive a running `cmr serve` and report latency
+/// percentiles; optionally write `BENCH_serve.json` and gate on it.
+fn loadtest(args: &[String]) -> Result<ExitCode, String> {
+    use cmr::bench::loadtest::{check_latency_regression, run_loadtest, LoadConfig, LoadReport};
+
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut concurrency = "4".to_string();
+    let mut duration = "10".to_string();
+    let mut rps = String::new();
+    let mut timeout_ms = "10000".to_string();
+    let mut out = String::new();
+    let mut check = String::new();
+    let mut threshold = "0.5".to_string();
+    let extra = parse_flags(
+        args,
+        &mut [
+            ("addr", &mut addr),
+            ("concurrency", &mut concurrency),
+            ("duration", &mut duration),
+            ("rps", &mut rps),
+            ("timeout-ms", &mut timeout_ms),
+            ("out", &mut out),
+            ("check", &mut check),
+            ("threshold", &mut threshold),
+        ],
+        &mut [],
+    )?;
+    if !extra.is_empty() {
+        return Err(format!("loadtest takes no positional arguments: {extra:?}"));
+    }
+    let cfg = LoadConfig {
+        addr,
+        concurrency: concurrency
+            .parse()
+            .map_err(|_| "--concurrency must be an integer".to_string())?,
+        duration_secs: duration
+            .parse()
+            .map_err(|_| "--duration must be a number (seconds)".to_string())?,
+        rps: if rps.is_empty() {
+            None
+        } else {
+            Some(
+                rps.parse()
+                    .map_err(|_| "--rps must be a number".to_string())?,
+            )
+        },
+        timeout_ms: timeout_ms
+            .parse()
+            .map_err(|_| "--timeout-ms must be an integer".to_string())?,
+        ..LoadConfig::default()
+    };
+    let threshold: f64 = threshold
+        .parse()
+        .map_err(|_| "--threshold must be a number".to_string())?;
+
+    let report = run_loadtest(&cfg)?;
+    eprintln!(
+        "cmr: {} loop x{} for {:.1}s — {} ok ({:.1} req/s), {} rejected (429), \
+         {} client 4xx, {} server 5xx, {} refused, {} transport error(s), {} stale retried",
+        report.mode,
+        report.concurrency,
+        report.duration_secs,
+        report.ok,
+        report.throughput_rps,
+        report.rejected,
+        report.client_errors,
+        report.server_errors,
+        report.refused,
+        report.transport_errors,
+        report.retried_stale,
+    );
+    eprintln!(
+        "cmr: latency p50 {:.2}ms  p90 {:.2}ms  p99 {:.2}ms  p999 {:.2}ms  max {:.2}ms",
+        report.p50_us as f64 / 1000.0,
+        report.p90_us as f64 / 1000.0,
+        report.p99_us as f64 / 1000.0,
+        report.p999_us as f64 / 1000.0,
+        report.max_us as f64 / 1000.0,
+    );
+
+    if !out.is_empty() {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        if out == "-" {
+            outln!("{json}");
+        } else {
+            fs::write(&out, format!("{json}\n")).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("cmr: wrote loadtest report to {out}");
+        }
+    }
+    if !check.is_empty() {
+        let json = fs::read_to_string(&check).map_err(|e| format!("reading {check}: {e}"))?;
+        let baseline: LoadReport =
+            serde_json::from_str(&json).map_err(|e| format!("parsing {check}: {e}"))?;
+        if let Err(msg) = check_latency_regression(&report, &baseline, threshold) {
+            eprintln!("cmr: SERVE LATENCY REGRESSION vs {check}: {msg}");
+            return Ok(ExitCode::from(1));
+        }
+        eprintln!("cmr: serve latency check vs {check} passed (threshold {threshold})");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn chaos(args: &[String]) -> Result<ExitCode, String> {

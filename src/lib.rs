@@ -44,6 +44,7 @@ pub use cmr_linkgram as linkgram;
 pub use cmr_ml as ml;
 pub use cmr_ontology as ontology;
 pub use cmr_postag as postag;
+pub use cmr_serve as serve;
 pub use cmr_text as text;
 
 /// Convenience re-exports of the most commonly used types.
@@ -67,5 +68,6 @@ pub mod prelude {
     pub use cmr_ml::{CrossValidation, Dataset, Id3Tree};
     pub use cmr_ontology::{Ontology, OntologyProfile};
     pub use cmr_postag::PosTagger;
+    pub use cmr_serve::{ServeConfig, ServeError, ServeSummary, Server};
     pub use cmr_text::{split_sentences, tokenize, Record, Token};
 }

@@ -85,6 +85,73 @@ fn generate_then_extract_parallel_yields_json_per_note() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Pins the NDJSON stdin contract of `cmr extract -`: blank lines,
+/// whitespace-only lines, and the trailing newline are separators, not
+/// records — exactly one output line per real note, in order, with no
+/// in-band error objects. The serve batch endpoint shares this reader.
+#[test]
+fn extract_stdin_skips_blank_lines_and_trailing_newline() {
+    let stdin_body = concat!(
+        "{\"text\":\"Vitals:  Pulse of 84.\"}\n",
+        "\n",
+        "   \t  \n",
+        "\"Vitals:  Temperature is 98.6.\"\n",
+        "\n",
+        "Vitals:  Blood pressure is 120/80.\n",
+        "\n",
+    );
+    let mut child = cmr()
+        .args(["extract", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cmr extract -");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(stdin_body.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("run cmr extract -");
+    assert!(
+        out.status.success(),
+        "extract - failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        lines.len(),
+        3,
+        "three real notes in, three records out:\n{stdout}"
+    );
+    for (i, line) in lines.iter().enumerate() {
+        let value = serde_json::parse_value_str(line)
+            .unwrap_or_else(|e| panic!("line {i} is not valid JSON ({e:?}): {line}"));
+        let serde::Value::Object(fields) = value else {
+            panic!("line {i} is not a JSON object: {line}");
+        };
+        assert!(
+            fields.iter().any(|(k, _)| k == "numeric"),
+            "line {i} has no numeric field: {line}"
+        );
+        assert!(
+            !fields.iter().any(|(k, _)| k == "error"),
+            "line {i} is an in-band error: {line}"
+        );
+    }
+
+    let expect = [("pulse", 0), ("temperature", 1), ("blood_pressure", 2)];
+    for (field, idx) in expect {
+        assert!(
+            lines[idx].contains(field),
+            "record {idx} should carry {field}: {}",
+            lines[idx]
+        );
+    }
+}
+
 #[test]
 fn chaos_sweep_reports_degradation_curve() {
     let dir = scratch("chaos");
