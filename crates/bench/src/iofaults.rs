@@ -1,0 +1,533 @@
+//! I/O fault sweep: deterministic fault injection over the durability
+//! and service write paths.
+//!
+//! Each *schedule* (a `CMR_FAILPOINTS`-grammar string, seeded) is run
+//! against an in-process journaled extraction and/or a service burst,
+//! and the sweep asserts the robustness invariants the rest of the
+//! system promises:
+//!
+//! * **clean containment** — an injected ENOSPC, torn write, delay, or
+//!   panic never takes the harness down and never corrupts state beyond
+//!   what resume heals;
+//! * **resume identity** — after the fault clears, resuming the journal
+//!   produces output byte-identical to an unfaulted run;
+//! * **exactly-once** — every submitted record lands exactly once in the
+//!   journal/output (or is part of a cleanly-reported abort), never
+//!   silently lost and never duplicated;
+//! * **replay determinism** — re-running a schedule from its seed fires
+//!   the identical event sequence (the whole point of seeding them);
+//! * **service liveness** — a server taking socket faults keeps
+//!   answering once the schedule clears.
+//!
+//! The sweep requires a build with the `failpoints` feature; plain
+//! builds get a clear error instead of a silently-empty report.
+
+use cmr_core::Schema;
+use cmr_corpus::CorpusBuilder;
+use cmr_engine::{
+    read_journal, Engine, EngineConfig, JournalEntry, JournalWriter, QuarantineFile, RunManifest,
+};
+use cmr_failpoint::FailpointRegistry;
+use cmr_ontology::Ontology;
+use cmr_serve::{ServeConfig, Server};
+use serde::Serialize;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration for [`run_io_faults`].
+#[derive(Debug, Clone)]
+pub struct IoFaultConfig {
+    /// `standard` for the built-in schedule matrix, or one schedule in
+    /// the `CMR_FAILPOINTS` grammar (e.g. `journal::append=enospc@3`).
+    pub spec: String,
+    /// Seed applied to every schedule (overridden by an explicit
+    /// `seed=` item inside a custom spec).
+    pub seed: u64,
+    /// Records in the synthetic corpus each schedule extracts.
+    pub records: usize,
+    /// Worker threads for the extraction engine (`0` = one per core).
+    pub jobs: usize,
+}
+
+/// Outcome of one schedule.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScheduleReport {
+    /// The schedule, in spec grammar (seed included — replayable as-is
+    /// via `CMR_FAILPOINTS`).
+    pub schedule: String,
+    /// `journal`, `quarantine`, or `serve` — which surface it targets.
+    pub kind: String,
+    /// Failpoint fires observed during the faulted phase.
+    pub fires: usize,
+    /// The faulted phase ended in a contained abort (injected error or
+    /// panic) rather than completing; `false` is fine for schedules
+    /// whose action is benign (delay) or probabilistic.
+    pub clean_abort: bool,
+    /// Invariant violations; empty means the schedule passed.
+    pub violations: Vec<String>,
+}
+
+/// The sweep's full result.
+#[derive(Debug, Clone, Serialize)]
+pub struct IoFaultReport {
+    /// Base seed of the sweep.
+    pub seed: u64,
+    /// Corpus size per schedule.
+    pub records: usize,
+    /// One entry per schedule, in run order.
+    pub schedules: Vec<ScheduleReport>,
+}
+
+impl IoFaultReport {
+    /// Total invariant violations across all schedules.
+    pub fn total_violations(&self) -> usize {
+        self.schedules.iter().map(|s| s.violations.len()).sum()
+    }
+}
+
+/// The built-in schedule matrix: every registered write-path failpoint
+/// crossed with the action classes that stress it.
+fn standard_schedules() -> Vec<&'static str> {
+    vec![
+        "journal::manifest=enospc@1",
+        "journal::append=enospc@3",
+        "journal::append=partial-write(25)@3",
+        "journal::append=return-err@4",
+        "journal::append=delay(10)@2",
+        "journal::append=panic@3",
+        "journal::truncate=return-err@1",
+        "quarantine::append=partial-write(11)@1",
+        "serve::read=return-err%0.3",
+        "serve::write=return-err%0.3",
+        "serve::accept=return-err@2",
+        "serve::chunk=return-err%0.5",
+    ]
+}
+
+/// Runs the sweep. Errors when the build has no fault-injection layer
+/// or a schedule fails to parse; invariant *violations* are reported in
+/// the result, not as an `Err`.
+pub fn run_io_faults(cfg: &IoFaultConfig) -> Result<IoFaultReport, String> {
+    if !cmr_failpoint::ENABLED {
+        return Err("this build does not include the fault-injection layer; \
+             rebuild with `--features failpoints` to run --io-faults"
+            .to_string());
+    }
+    let schedules: Vec<String> = if cfg.spec == "standard" {
+        standard_schedules().into_iter().map(String::from).collect()
+    } else {
+        vec![cfg.spec.clone()]
+    };
+    let dir = std::env::temp_dir().join(format!("cmr-io-faults-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+
+    let texts: Vec<String> = CorpusBuilder::new()
+        .records(cfg.records.max(1))
+        .seed(cfg.seed)
+        .build()
+        .records
+        .into_iter()
+        .map(|r| r.text)
+        .collect();
+    let engine_cfg = EngineConfig {
+        jobs: cfg.jobs,
+        ..EngineConfig::default()
+    };
+    // A config that poisons every record (zero sentence budget, single
+    // attempt): the only way to exercise the quarantine write path
+    // deterministically.
+    let poison_cfg = EngineConfig {
+        jobs: cfg.jobs,
+        max_record_sentences: Some(0),
+        ..EngineConfig::default()
+    };
+    cmr_failpoint::clear();
+    let baseline = unfaulted_baseline(&texts, &engine_cfg);
+    let poison_baseline = unfaulted_baseline(&texts, &poison_cfg);
+
+    let mut reports = Vec::with_capacity(schedules.len());
+    for (idx, schedule) in schedules.iter().enumerate() {
+        let mut reg = FailpointRegistry::parse(schedule)?;
+        if !schedule.contains("seed=") {
+            reg = FailpointRegistry::parse(&format!("{schedule};seed={}", cfg.seed))?;
+        }
+        let spec = reg.to_spec();
+        let kind = classify(schedule);
+        let report = match kind {
+            "serve" => run_serve_schedule(&spec),
+            "quarantine" => {
+                run_journal_schedule(&spec, schedule, &texts, &poison_cfg, &poison_baseline, {
+                    &dir.join(format!("sched-{idx}"))
+                })
+            }
+            _ => run_journal_schedule(&spec, schedule, &texts, &engine_cfg, &baseline, {
+                &dir.join(format!("sched-{idx}"))
+            }),
+        };
+        reports.push(report);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(IoFaultReport {
+        seed: cfg.seed,
+        records: texts.len(),
+        schedules: reports,
+    })
+}
+
+fn classify(schedule: &str) -> &'static str {
+    if schedule.contains("serve::") {
+        "serve"
+    } else if schedule.contains("quarantine::") {
+        "quarantine"
+    } else {
+        "journal"
+    }
+}
+
+/// Output lines of an unfaulted, unjournaled run — the identity target.
+fn unfaulted_baseline(texts: &[String], cfg: &EngineConfig) -> Vec<String> {
+    let engine = Engine::new(cfg.clone(), Schema::paper(), Ontology::full());
+    let mut lines = Vec::with_capacity(texts.len());
+    engine.extract_stream(texts.iter().cloned(), |_idx, result| {
+        lines.push(serde_json::to_string(&result).unwrap_or_default());
+    });
+    lines
+}
+
+/// What one journaled phase produced.
+struct JournalPhase {
+    /// Lines emitted downstream (post-journal, in order).
+    emitted: Vec<String>,
+    /// A contained fault ended the run early (the message).
+    abort: Option<String>,
+}
+
+/// Mirrors the CLI's journaled write-ahead loop: append, then emit; a
+/// failed append raises the shutdown flag and suppresses both further
+/// journaling and emission (nothing un-journaled escapes downstream).
+fn run_journal_phase(
+    texts: &[String],
+    jpath: &Path,
+    cfg: &EngineConfig,
+    quarantine: Option<&Path>,
+    resume: bool,
+) -> JournalPhase {
+    let manifest = RunManifest::for_run(cfg, texts);
+    let mut emitted = Vec::new();
+    // A journal with no complete line died before its manifest landed;
+    // nothing was journaled or emitted, so resume restarts it fresh
+    // (mirroring the CLI's crash-at-birth healing).
+    let journal_born = jpath.exists()
+        && std::fs::read(jpath)
+            .map(|bytes| bytes.contains(&b'\n'))
+            .unwrap_or(false);
+    let (mut writer, start) = if resume && journal_born {
+        let read = match read_journal(jpath) {
+            Ok(r) => r,
+            Err(e) => {
+                return JournalPhase {
+                    emitted,
+                    abort: Some(format!("reading journal: {e}")),
+                }
+            }
+        };
+        if let Some(why) = read.manifest.mismatch(&manifest) {
+            return JournalPhase {
+                emitted,
+                abort: Some(format!("manifest mismatch: {why}")),
+            };
+        }
+        for entry in &read.entries {
+            emitted.push(serde_json::to_string(&entry.output).unwrap_or_default());
+        }
+        let start = read.entries.len();
+        match JournalWriter::append_to(jpath, read.valid_len) {
+            Ok(w) => (w, start),
+            Err(e) => {
+                return JournalPhase {
+                    emitted,
+                    abort: Some(format!("reopening journal: {e}")),
+                }
+            }
+        }
+    } else {
+        match JournalWriter::create(jpath, &manifest) {
+            Ok(w) => (w, 0),
+            Err(e) => {
+                return JournalPhase {
+                    emitted,
+                    abort: Some(format!("creating journal: {e}")),
+                }
+            }
+        }
+    };
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut engine = Engine::new(cfg.clone(), Schema::paper(), Ontology::full())
+        .with_shutdown(Arc::clone(&shutdown));
+    if let Some(qpath) = quarantine {
+        if let Ok(q) = QuarantineFile::create(qpath) {
+            engine = engine.with_quarantine(q);
+        }
+    }
+    let mut abort: Option<String> = None;
+    engine.extract_stream(texts.iter().skip(start).cloned(), |idx, result| {
+        let entry = JournalEntry {
+            index: start + idx,
+            output: result,
+        };
+        if abort.is_none() {
+            if let Err(e) = writer.append(&entry) {
+                abort = Some(format!("journal append: {e}"));
+                shutdown.store(true, Ordering::Relaxed);
+            }
+        }
+        if abort.is_none() {
+            emitted.push(serde_json::to_string(&entry.output).unwrap_or_default());
+        }
+    });
+    JournalPhase { emitted, abort }
+}
+
+/// One journal/quarantine schedule: faulted phase (in a thread, so an
+/// injected panic is contained), clear, resume, then the invariants.
+fn run_journal_schedule(
+    spec: &str,
+    schedule: &str,
+    texts: &[String],
+    cfg: &EngineConfig,
+    baseline: &[String],
+    dir: &Path,
+) -> ScheduleReport {
+    let _ = std::fs::create_dir_all(dir);
+    let mut violations = Vec::new();
+
+    // Faulted phase, twice (the second run only to pin replay
+    // determinism: same schedule + seed must fire identically). The
+    // `journal::truncate` point only exists on the resume path, so those
+    // schedules pre-build an unfaulted journal and fault its reopening.
+    let fault_on_resume = schedule.contains("journal::truncate");
+    let mut phases = Vec::new();
+    let mut event_logs = Vec::new();
+    for round in 0..2 {
+        let jpath = dir.join(format!("round-{round}.journal"));
+        let qpath = dir.join(format!("round-{round}.quarantine"));
+        let quarantine = classify(schedule) == "quarantine";
+        if fault_on_resume {
+            let built = run_journal_phase(texts, &jpath, cfg, None, false);
+            if let Some(e) = built.abort {
+                violations.push(format!("pre-building the journal failed: {e}"));
+                break;
+            }
+        }
+        if let Err(e) = FailpointRegistry::parse(spec).and_then(FailpointRegistry::install) {
+            violations.push(format!("installing schedule: {e}"));
+            break;
+        }
+        let run = {
+            let (texts, cfg, jpath, qpath) = (texts.to_vec(), cfg.clone(), jpath.clone(), qpath);
+            std::thread::spawn(move || {
+                run_journal_phase(
+                    &texts,
+                    &jpath,
+                    &cfg,
+                    quarantine.then_some(qpath.as_path()),
+                    fault_on_resume,
+                )
+            })
+            .join()
+        };
+        event_logs.push(cmr_failpoint::events());
+        cmr_failpoint::clear();
+        phases.push(match run {
+            Ok(phase) => phase,
+            Err(_) => JournalPhase {
+                emitted: Vec::new(),
+                abort: Some("panicked (contained)".to_string()),
+            },
+        });
+    }
+    let fires = event_logs.first().map_or(0, Vec::len);
+    if event_logs.len() == 2 && event_logs[0] != event_logs[1] {
+        violations.push(format!(
+            "replay diverged: round 1 fired {:?}, round 2 fired {:?}",
+            event_logs[0], event_logs[1]
+        ));
+    }
+    let clean_abort = phases.first().is_some_and(|p| p.abort.is_some());
+
+    // Recovery: resume round 0's journal with faults cleared. The final
+    // output (replayed prefix + remainder) must be byte-identical to the
+    // unfaulted baseline, whatever the fault did.
+    if let Some(first) = phases.first() {
+        let jpath = dir.join("round-0.journal");
+        let quarantine = classify(schedule) == "quarantine";
+        let qpath = dir.join("resume.quarantine");
+        let resumed = run_journal_phase(
+            texts,
+            &jpath,
+            cfg,
+            quarantine.then_some(qpath.as_path()),
+            jpath.exists(),
+        );
+        if let Some(e) = resumed.abort {
+            violations.push(format!("resume after fault aborted: {e}"));
+        } else {
+            if resumed.emitted != baseline {
+                violations.push(format!(
+                    "resume output diverged from the unfaulted baseline \
+                     ({} vs {} line(s))",
+                    resumed.emitted.len(),
+                    baseline.len()
+                ));
+            }
+            // Exactly-once: the healed journal holds records 0..n with
+            // no gaps or duplicates (read_journal rejects both), and the
+            // faulted phase emitted only a prefix of the baseline —
+            // nothing a consumer saw is outside the journal.
+            match read_journal(&jpath) {
+                Ok(read) => {
+                    if read.entries.len() != texts.len() {
+                        violations.push(format!(
+                            "journal holds {} of {} record(s) after resume",
+                            read.entries.len(),
+                            texts.len()
+                        ));
+                    }
+                }
+                Err(e) => violations.push(format!("journal unreadable after resume: {e}")),
+            }
+            if first.emitted != baseline[..first.emitted.len().min(baseline.len())] {
+                violations.push(
+                    "faulted phase emitted lines that are not a prefix of the baseline".to_string(),
+                );
+            }
+        }
+    }
+    ScheduleReport {
+        schedule: spec.to_string(),
+        kind: classify(schedule).to_string(),
+        fires,
+        clean_abort,
+        violations,
+    }
+}
+
+/// One serve schedule: a request burst against an in-process server
+/// under socket faults, then a liveness probe with the schedule cleared.
+fn run_serve_schedule(spec: &str) -> ScheduleReport {
+    let mut violations = Vec::new();
+    if let Err(e) = FailpointRegistry::parse(spec).and_then(FailpointRegistry::install) {
+        violations.push(format!("installing schedule: {e}"));
+    }
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let server = match Server::bind(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 1,
+            queue_depth: 16,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&shutdown),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            cmr_failpoint::clear();
+            violations.push(format!("binding server: {e}"));
+            return ScheduleReport {
+                schedule: spec.to_string(),
+                kind: "serve".to_string(),
+                fires: 0,
+                clean_abort: false,
+                violations,
+            };
+        }
+    };
+    let addr = server
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_default();
+    let handle = std::thread::spawn(move || server.run());
+
+    // The burst: single notes and NDJSON batches (the latter exercise
+    // the chunked writer). Every request must resolve — a response or a
+    // transport error within the timeout — never a hang.
+    let note = "Vitals:  Blood pressure is 144/90, pulse of 84.\n";
+    let batch = format!("{:?}\n{:?}\n", note, "Pulse is 72. Temperature is 37.2.");
+    let mut answered = 0usize;
+    let mut refused = 0usize;
+    for i in 0..20 {
+        let (path, body) = if i % 3 == 0 {
+            ("/extract/batch", batch.as_str())
+        } else {
+            ("/extract", note)
+        };
+        match burst_request(&addr, path, body) {
+            Some(status) if (200..500).contains(&status) => answered += 1,
+            Some(status) => violations.push(format!("request {i}: server error {status}")),
+            None => refused += 1,
+        }
+    }
+    let fires = cmr_failpoint::events().len();
+    cmr_failpoint::clear();
+
+    // Liveness: with the schedule cleared the same server must answer.
+    match burst_request(&addr, "/extract", note) {
+        Some(200) => {}
+        outcome => violations.push(format!(
+            "liveness probe after clearing faults got {outcome:?}, want 200"
+        )),
+    }
+    shutdown.store(true, Ordering::Relaxed);
+    let _ = TcpStream::connect(&addr); // nudge a blocked accept pass
+    if handle.join().is_err() {
+        violations.push("server thread panicked".to_string());
+    }
+    if answered == 0 && refused > 0 && fires == 0 {
+        violations.push("no request was answered yet no failpoint fired".to_string());
+    }
+    ScheduleReport {
+        schedule: spec.to_string(),
+        kind: "serve".to_string(),
+        fires,
+        clean_abort: false,
+        violations,
+    }
+}
+
+/// One bounded-time request; `Some(status)` when a well-formed response
+/// came back, `None` on connect/read/write failure (an acceptable
+/// outcome *under faults* — the invariant is resolution, not success).
+fn burst_request(addr: &str, path: &str, body: &str) -> Option<u16> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .ok()?;
+    stream
+        .set_write_timeout(Some(Duration::from_secs(10)))
+        .ok()?;
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).ok()?;
+    let mut response = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => response.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let head = std::str::from_utf8(&response).ok()?;
+    head.strip_prefix("HTTP/1.1 ")?
+        .split(' ')
+        .next()?
+        .parse()
+        .ok()
+}

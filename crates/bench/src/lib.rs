@@ -9,6 +9,7 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod iofaults;
 pub mod loadtest;
 pub mod perf;
 
@@ -16,6 +17,7 @@ pub use chaos::{
     parse_levels, run_chaos, run_chaos_with, ChaosConfig, ChaosLevelReport, ChaosReport,
 };
 pub use experiments::*;
+pub use iofaults::{run_io_faults, IoFaultConfig, IoFaultReport, ScheduleReport};
 pub use loadtest::{check_latency_regression, run_loadtest, LoadConfig, LoadReport};
 
 /// `println!` that survives a closed stdout: `repro figure1 | head` closes

@@ -3,9 +3,9 @@
 //! Format — NDJSON, one flushed line per event:
 //!
 //! ```text
-//! {"version":1,"config_fingerprint":"6c62…","asset_fingerprint":"a3f9…","corpus_hash":"08b1…","records":N}
-//! {"index":0,"output":{"Ok":{…extracted record…}}}
-//! {"index":1,"output":{"Err":{"Budget":{"sentences_done":4}}}}
+//! {"version":2,"config_fingerprint":"6c62…","asset_fingerprint":"a3f9…","corpus_hash":"08b1…","records":N}
+//! {"entry":{"index":0,"output":{"Ok":{…extracted record…}}},"crc":"9f3a…"}
+//! {"entry":{"index":1,"output":{"Err":{"Budget":{"sentences_done":4}}}},"crc":"08b1…"}
 //! …
 //! ```
 //!
@@ -15,21 +15,32 @@
 //! silently merging incompatible outputs. Each subsequent line is one
 //! completed record, appended from the engine's ordered sink — the sink
 //! runs strictly in input order, so a journal is always a contiguous
-//! prefix `0..k` of the run.
+//! prefix `0..k` of the run. Every entry line carries a trailing FNV-1a
+//! checksum of its serialized entry, so a line that *looks* complete but
+//! was assembled from torn fragments (or rotted on disk) is caught, not
+//! parsed.
 //!
 //! Crash tolerance: every line is written with a trailing `\n` in one
-//! `write_all`, so a process killed mid-write leaves at most one torn
-//! final line, which [`read_journal`] detects (no trailing newline) and
-//! drops. The reported [`JournalRead::valid_len`] is the byte offset of
-//! the last intact line; [`JournalWriter::append_to`] truncates there
-//! before appending, so a resumed journal is self-healing. Durability is
-//! against process death (the threat model here), not OS crash — lines
-//! reach the page cache, no fsync per record.
+//! `write_all` followed by a flush, so a process killed mid-write leaves
+//! at most one torn final line, which [`read_journal`] detects (no
+//! trailing newline) and drops. The reported [`JournalRead::valid_len`]
+//! is the byte offset of the last intact line; [`JournalWriter::append_to`]
+//! truncates there before appending, so a resumed journal is
+//! self-healing. A damaged line that is *not* final — or a complete
+//! final line failing its checksum — is structural corruption and is
+//! rejected as [`JournalError::Corrupt`] with the byte offset, never
+//! silently skipped. Durability is against process death (the threat
+//! model here), not OS crash — lines reach the page cache, no fsync per
+//! record.
 //!
 //! Resume contract: replaying the journaled entries and processing the
 //! remaining `k..n` records yields output byte-identical to an
 //! uninterrupted run, because extraction is deterministic per record and
 //! serialization is canonical.
+//!
+//! Fault injection: the write paths carry `journal::manifest`,
+//! `journal::append`, and `journal::truncate` failpoints (see
+//! cmr-failpoint; no-ops unless built with `--features failpoints`).
 
 use crate::engine::{EngineConfig, EngineError};
 use cmr_core::ExtractedRecord;
@@ -39,7 +50,8 @@ use std::io::{Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// Journal format version; bumped on any incompatible layout change.
-pub const JOURNAL_VERSION: u32 = 1;
+/// v2 added the per-line entry checksum.
+pub const JOURNAL_VERSION: u32 = 2;
 
 /// Identity of a run: everything that determines its output bytes.
 ///
@@ -111,6 +123,20 @@ pub struct JournalEntry {
     pub output: Result<ExtractedRecord, EngineError>,
 }
 
+/// On-disk shape of an entry line: the entry plus a trailing checksum of
+/// its canonical serialization (16-hex-digit FNV-1a, like the manifest
+/// fingerprints). Internal — the public API speaks [`JournalEntry`].
+#[derive(Debug, Deserialize)]
+struct JournalLine {
+    entry: JournalEntry,
+    crc: String,
+}
+
+/// The checksum a well-formed entry line carries for `entry_json`.
+fn line_crc(entry_json: &str) -> String {
+    hex(fnv1a(entry_json.as_bytes(), FNV_OFFSET))
+}
+
 /// Appends manifest and entry lines, one flushed `write_all` per line.
 #[derive(Debug)]
 pub struct JournalWriter {
@@ -124,7 +150,9 @@ impl JournalWriter {
         let mut writer = JournalWriter {
             file: File::create(path)?,
         };
-        writer.write_line(manifest)?;
+        let line = serde_json::to_string(manifest)
+            .map_err(|e| std::io::Error::other(format!("journal serialization failed: {e:?}")))?;
+        writer.write_line("journal::manifest", line)?;
         Ok(writer)
     }
 
@@ -133,23 +161,45 @@ impl JournalWriter {
     /// the end for appending.
     pub fn append_to(path: &Path, valid_len: u64) -> std::io::Result<JournalWriter> {
         let mut file = OpenOptions::new().write(true).open(path)?;
+        if let Some(inj) = cmr_failpoint::io_inject("journal::truncate") {
+            return Err(inj.into_io_error());
+        }
         file.set_len(valid_len)?;
         file.seek(SeekFrom::Start(valid_len))?;
         Ok(JournalWriter { file })
     }
 
-    /// Appends one completed record.
+    /// Appends one completed record, checksummed.
     pub fn append(&mut self, entry: &JournalEntry) -> std::io::Result<()> {
-        self.write_line(entry)
+        let entry_json = serde_json::to_string(entry)
+            .map_err(|e| std::io::Error::other(format!("journal serialization failed: {e:?}")))?;
+        let crc = line_crc(&entry_json);
+        self.write_line(
+            "journal::append",
+            format!("{{\"entry\":{entry_json},\"crc\":\"{crc}\"}}"),
+        )
     }
 
-    fn write_line<T: Serialize>(&mut self, value: &T) -> std::io::Result<()> {
-        let mut line = serde_json::to_string(value)
-            .map_err(|e| std::io::Error::other(format!("journal serialization failed: {e:?}")))?;
+    fn write_line(&mut self, failpoint: &str, mut line: String) -> std::io::Result<()> {
         line.push('\n');
+        if let Some(inj) = cmr_failpoint::io_inject(failpoint) {
+            if let cmr_failpoint::IoInjection::Partial(n) = inj {
+                // A torn write: the prefix lands on disk, then the
+                // operation fails — exactly what a kill or a full disk
+                // mid-`write` leaves behind.
+                let cut = n.min(line.len());
+                self.file.write_all(&line.as_bytes()[..cut])?;
+                let _ = self.file.flush();
+                return Err(cmr_failpoint::IoInjection::Partial(n).into_io_error());
+            }
+            return Err(inj.into_io_error());
+        }
         // One unbuffered write per line: the OS sees whole lines or a
-        // single torn tail, never interleaved fragments.
-        self.file.write_all(line.as_bytes())
+        // single torn tail, never interleaved fragments. The flush is a
+        // no-op on `File` but keeps the write-then-flush contract explicit
+        // for any buffered writer swapped in later.
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()
     }
 }
 
@@ -171,11 +221,15 @@ pub struct JournalRead {
 pub enum JournalError {
     /// The file could not be read at all.
     Io(std::io::Error),
-    /// A structurally impossible journal: an unparseable *complete* line
-    /// or a gap in the record indices. Torn final lines are not corruption.
+    /// A structurally impossible journal: an unparseable or
+    /// checksum-failing *complete* line, or a gap in the record indices.
+    /// Only a torn *final* line (no trailing newline) is tolerated; a
+    /// damaged line with intact lines after it is never skipped.
     Corrupt {
         /// 1-based line number.
         line: usize,
+        /// Byte offset where the offending line starts.
+        offset: u64,
         /// What was wrong with it.
         reason: String,
     },
@@ -185,8 +239,15 @@ impl std::fmt::Display for JournalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             JournalError::Io(e) => write!(f, "cannot read journal: {e}"),
-            JournalError::Corrupt { line, reason } => {
-                write!(f, "journal corrupt at line {line}: {reason}")
+            JournalError::Corrupt {
+                line,
+                offset,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "journal corrupt at line {line} (byte offset {offset}): {reason}"
+                )
             }
         }
     }
@@ -201,7 +262,9 @@ impl From<std::io::Error> for JournalError {
 }
 
 /// Reads and validates a journal. Tolerates exactly one torn trailing
-/// line; rejects anything else malformed (see [`JournalError::Corrupt`]).
+/// line (no newline — a kill mid-write); rejects anything else malformed,
+/// including checksum failures, with the byte offset of the damage (see
+/// [`JournalError::Corrupt`]).
 pub fn read_journal(path: &Path) -> Result<JournalRead, JournalError> {
     let data = std::fs::read(path)?;
     let mut manifest: Option<RunManifest> = None;
@@ -217,45 +280,57 @@ pub fn read_journal(path: &Path) -> Result<JournalRead, JournalError> {
         };
         line_no += 1;
         let line_end = offset + nl;
-        let text =
-            std::str::from_utf8(&data[offset..line_end]).map_err(|_| JournalError::Corrupt {
-                line: line_no,
-                reason: "complete line is not UTF-8".into(),
-            })?;
-        if manifest.is_none() {
-            let m: RunManifest = serde_json::from_str(text).map_err(|e| JournalError::Corrupt {
-                line: line_no,
-                reason: format!("manifest does not parse: {e:?}"),
-            })?;
-            manifest = Some(m);
-        } else {
-            let entry: JournalEntry =
-                serde_json::from_str(text).map_err(|e| JournalError::Corrupt {
-                    line: line_no,
-                    reason: format!("entry does not parse: {e:?}"),
-                })?;
-            if entry.index != entries.len() {
-                return Err(JournalError::Corrupt {
-                    line: line_no,
-                    reason: format!(
-                        "entry index {} where {} was expected (journal must be a contiguous prefix)",
-                        entry.index,
-                        entries.len()
-                    ),
-                });
+        let corrupt = |reason: String| JournalError::Corrupt {
+            line: line_no,
+            offset: offset as u64,
+            reason,
+        };
+        let text = std::str::from_utf8(&data[offset..line_end])
+            .map_err(|_| corrupt("complete line is not UTF-8".into()))?;
+        if let Some(ref m) = manifest {
+            // A journal written by a different format version has entry
+            // lines this reader cannot judge; return just the manifest so
+            // the caller's `mismatch` check reports the version cleanly
+            // instead of a misleading corruption error.
+            if m.version != JOURNAL_VERSION {
+                break;
             }
-            entries.push(entry);
+            let parsed: JournalLine = serde_json::from_str(text)
+                .map_err(|e| corrupt(format!("entry does not parse: {e:?}")))?;
+            let entry_json = serde_json::to_string(&parsed.entry)
+                .map_err(|e| corrupt(format!("entry does not reserialize: {e:?}")))?;
+            let expected = line_crc(&entry_json);
+            if parsed.crc != expected {
+                return Err(corrupt(format!(
+                    "entry checksum mismatch (line says {}, content hashes to {expected})",
+                    parsed.crc
+                )));
+            }
+            if parsed.entry.index != entries.len() {
+                return Err(corrupt(format!(
+                    "entry index {} where {} was expected (journal must be a contiguous prefix)",
+                    parsed.entry.index,
+                    entries.len()
+                )));
+            }
+            entries.push(parsed.entry);
+        } else {
+            let m: RunManifest = serde_json::from_str(text)
+                .map_err(|e| corrupt(format!("manifest does not parse: {e:?}")))?;
+            manifest = Some(m);
         }
         offset = line_end + 1;
         valid_len = offset as u64;
     }
     let manifest = manifest.ok_or(JournalError::Corrupt {
         line: 1,
+        offset: 0,
         reason: "no complete manifest line (journal truncated at birth)".into(),
     })?;
     if entries.len() > manifest.records {
         return Err(JournalError::Corrupt {
             line: line_no,
+            offset: valid_len,
             reason: format!(
                 "{} entries for a {}-record corpus",
                 entries.len(),
@@ -430,6 +505,86 @@ mod tests {
         // integers cannot carry.
         let wide = hex(u64::MAX - 3);
         assert_eq!(wide, "fffffffffffffffc");
+    }
+
+    #[test]
+    fn damaged_non_final_line_is_rejected_with_byte_offset() {
+        let path = scratch_path("damaged-mid");
+        let mut w = JournalWriter::create(&path, &manifest()).unwrap();
+        w.append(&entry(0)).unwrap();
+        w.append(&entry(1)).unwrap();
+        drop(w);
+        let mut data = std::fs::read(&path).unwrap();
+        let manifest_end = data
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| p + 1)
+            .unwrap();
+        // Flip entry 0's index digit: the line still parses, but the
+        // checksum no longer matches the content.
+        let needle = b"\"index\":0";
+        let pos = (manifest_end..data.len())
+            .find(|&i| data[i..].starts_with(needle))
+            .unwrap();
+        data[pos + needle.len() - 1] = b'9';
+        std::fs::write(&path, &data).unwrap();
+
+        match read_journal(&path) {
+            Err(JournalError::Corrupt {
+                line: 2,
+                offset,
+                reason,
+            }) => {
+                assert_eq!(offset, manifest_end as u64, "offset names the damaged line");
+                assert!(reason.contains("checksum"), "reason was: {reason}");
+            }
+            other => panic!("expected Corrupt at line 2, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_rot_on_a_complete_final_line_is_corrupt_not_dropped() {
+        let path = scratch_path("rot-final");
+        let mut w = JournalWriter::create(&path, &manifest()).unwrap();
+        w.append(&entry(0)).unwrap();
+        drop(w);
+        let mut data = std::fs::read(&path).unwrap();
+        let needle = b"\"sentences_done\":0";
+        let pos = (0..data.len())
+            .find(|&i| data[i..].starts_with(needle))
+            .unwrap();
+        data[pos + needle.len() - 1] = b'7';
+        std::fs::write(&path, &data).unwrap();
+        assert!(
+            matches!(
+                read_journal(&path),
+                Err(JournalError::Corrupt { line: 2, .. })
+            ),
+            "a complete line failing its checksum is corruption even at the tail"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn old_format_version_surfaces_via_manifest_mismatch_not_corruption() {
+        let path = scratch_path("v1");
+        // A v1 journal: no per-line checksums, version 1 in the manifest.
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"version\":1,\"config_fingerprint\":\"000000000000000b\",",
+                "\"asset_fingerprint\":\"0000000000000016\",",
+                "\"corpus_hash\":\"0000000000000021\",\"records\":3}\n",
+                "{\"index\":0,\"output\":{\"Err\":{\"Budget\":{\"sentences_done\":0}}}}\n",
+            ),
+        )
+        .unwrap();
+        let read = read_journal(&path).unwrap();
+        assert_eq!(read.entries.len(), 0, "old entries are not interpreted");
+        let why = read.manifest.mismatch(&manifest()).unwrap();
+        assert!(why.contains("format"), "mismatch was: {why}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

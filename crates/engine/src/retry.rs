@@ -113,6 +113,10 @@ impl QuarantineFile {
 
     /// Appends one entry as a single NDJSON line. Returns whether the
     /// write fully succeeded; failure is reported, not propagated.
+    ///
+    /// Carries the `quarantine::append` failpoint (partial writes land
+    /// their torn prefix, which `read_quarantine`'s blank-line filter and
+    /// per-line parse surface rather than crash on).
     pub fn append(&self, entry: &QuarantineEntry) -> bool {
         let Ok(mut line) = serde_json::to_string(entry) else {
             return false;
@@ -122,6 +126,13 @@ impl QuarantineFile {
             .inner
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(inj) = cmr_failpoint::io_inject("quarantine::append") {
+            if let cmr_failpoint::IoInjection::Partial(n) = inj {
+                let cut = n.min(line.len());
+                let _ = file.write_all(&line.as_bytes()[..cut]);
+            }
+            return false;
+        }
         file.write_all(line.as_bytes()).is_ok() && file.flush().is_ok()
     }
 }

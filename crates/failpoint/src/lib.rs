@@ -1,0 +1,620 @@
+//! Deterministic fault injection for cmr's I/O paths.
+//!
+//! A *failpoint* is a named hook compiled into a write or socket path:
+//!
+//! ```ignore
+//! if let Some(inj) = cmr_failpoint::io_inject("journal::append") {
+//!     return Err(inj.into_io_error());
+//! }
+//! ```
+//!
+//! Without the `failpoints` cargo feature every hook is an inlined
+//! function returning `None` — dead code the optimizer removes, so
+//! production builds carry no injection machinery (CI greps the release
+//! binary to prove it). With the feature on, hooks consult a global
+//! registry configured either programmatically ([`FailpointRegistry`])
+//! or from the `CMR_FAILPOINTS` environment variable.
+//!
+//! # Schedule grammar
+//!
+//! ```text
+//! spec    := item (';' item)*
+//! item    := 'seed=' u64 | name '=' action trigger?
+//! action  := 'return-err' | 'panic' | 'enospc'
+//!          | 'partial-write(' bytes ')' | 'delay(' millis ')'
+//! trigger := '@' n      fire exactly once, on the n-th call (1-based)
+//!          | '%' p      fire each call with probability p (0..=1)
+//!                       (default: fire on every call)
+//! ```
+//!
+//! Example: `journal::append=enospc@3;serve::write=delay(5)%0.25;seed=42`.
+//!
+//! # Determinism
+//!
+//! Probabilistic triggers draw from a per-failpoint xorshift stream
+//! seeded by `(schedule seed) ⊕ fnv1a(name)`, and `@n` triggers count
+//! calls per failpoint — so for a fixed spec, seed, and call sequence the
+//! fired events are identical on every run. Each fire is appended to an
+//! event log ([`events`]) that replay harnesses compare across runs.
+//!
+//! Panics are raised by [`io_inject`] at the call site (never while the
+//! registry lock is held) and delays sleep before returning `None`, so a
+//! `delay` schedule perturbs timing without changing control flow.
+
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Whether this build includes the real fault-injection layer.
+pub const ENABLED: bool = cfg!(feature = "failpoints");
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Fail the operation with a generic injected I/O error.
+    ReturnErr,
+    /// Fail the operation with an `ENOSPC`-class (`StorageFull`) error.
+    Enospc,
+    /// Write only the first `n` bytes, then fail — a torn write.
+    PartialWrite(usize),
+    /// Sleep for the given milliseconds, then proceed normally.
+    Delay(u64),
+    /// Panic at the call site (simulates a crash mid-operation).
+    Panic,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::ReturnErr => write!(f, "return-err"),
+            Action::Enospc => write!(f, "enospc"),
+            Action::PartialWrite(n) => write!(f, "partial-write({n})"),
+            Action::Delay(ms) => write!(f, "delay({ms})"),
+            Action::Panic => write!(f, "panic"),
+        }
+    }
+}
+
+/// When an armed failpoint fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// On every call.
+    Always,
+    /// Exactly once, on the n-th call (1-based).
+    Nth(u64),
+    /// Each call independently, with this probability (0..=1), drawn
+    /// from the failpoint's seeded stream.
+    Prob(f64),
+}
+
+/// One recorded fire: which failpoint, on which of its calls, doing what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiredEvent {
+    /// The failpoint name.
+    pub name: String,
+    /// 1-based call counter at the moment it fired.
+    pub call: u64,
+    /// The action taken.
+    pub action: Action,
+}
+
+impl fmt::Display for FiredEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}={}", self.name, self.call, self.action)
+    }
+}
+
+/// What [`io_inject`] asks an I/O call site to do.
+#[derive(Debug)]
+pub enum IoInjection {
+    /// Fail with this error instead of performing the operation.
+    Error(std::io::Error),
+    /// Perform only the first `n` bytes of the write, then fail.
+    Partial(usize),
+}
+
+impl IoInjection {
+    /// The error to surface (partial writes become `StorageFull`, the
+    /// same class a torn write on a full disk would produce).
+    pub fn into_io_error(self) -> std::io::Error {
+        match self {
+            IoInjection::Error(e) => e,
+            IoInjection::Partial(n) => std::io::Error::new(
+                std::io::ErrorKind::StorageFull,
+                format!("failpoint: torn write after {n} bytes"),
+            ),
+        }
+    }
+}
+
+/// A programmatic fault schedule; [`install`](Self::install) makes it the
+/// process-wide active schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FailpointRegistry {
+    seed: u64,
+    points: Vec<(String, Action, Trigger)>,
+}
+
+impl FailpointRegistry {
+    /// An empty schedule with the given seed.
+    pub fn new(seed: u64) -> FailpointRegistry {
+        FailpointRegistry {
+            seed,
+            points: Vec::new(),
+        }
+    }
+
+    /// Arms `name` with `action` under `trigger`.
+    #[must_use]
+    pub fn arm(mut self, name: &str, action: Action, trigger: Trigger) -> FailpointRegistry {
+        self.points.push((name.to_string(), action, trigger));
+        self
+    }
+
+    /// Parses the `CMR_FAILPOINTS` grammar (see the crate docs).
+    pub fn parse(spec: &str) -> Result<FailpointRegistry, String> {
+        let mut reg = FailpointRegistry::new(0);
+        for raw in spec.split(';') {
+            let item = raw.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (name, rhs) = item
+                .split_once('=')
+                .ok_or_else(|| format!("failpoint spec item `{item}` is missing `=`"))?;
+            let (name, rhs) = (name.trim(), rhs.trim());
+            if name == "seed" {
+                reg.seed = rhs
+                    .parse::<u64>()
+                    .map_err(|_| format!("failpoint seed `{rhs}` is not a u64"))?;
+                continue;
+            }
+            let (action_text, trigger) = split_trigger(rhs)?;
+            let action = parse_action(action_text)?;
+            reg.points.push((name.to_string(), action, trigger));
+        }
+        Ok(reg)
+    }
+
+    /// Renders back to the spec grammar (parse → to_spec is stable).
+    pub fn to_spec(&self) -> String {
+        let mut parts: Vec<String> = self
+            .points
+            .iter()
+            .map(|(name, action, trigger)| {
+                let t = match trigger {
+                    Trigger::Always => String::new(),
+                    Trigger::Nth(n) => format!("@{n}"),
+                    Trigger::Prob(p) => format!("%{p}"),
+                };
+                format!("{name}={action}{t}")
+            })
+            .collect();
+        parts.push(format!("seed={}", self.seed));
+        parts.join(";")
+    }
+
+    /// Installs this schedule process-wide, replacing any previous one
+    /// and clearing the event log.
+    ///
+    /// Errors when the build does not include the `failpoints` feature.
+    pub fn install(self) -> Result<(), String> {
+        install_registry(self)
+    }
+}
+
+fn split_trigger(rhs: &str) -> Result<(&str, Trigger), String> {
+    // The trigger suffix starts at a '@' or '%' *after* the action token
+    // (actions never contain either character).
+    if let Some(at) = rhs.rfind('@') {
+        let n = rhs[at + 1..]
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| format!("failpoint trigger `@{}` is not a u64", &rhs[at + 1..]))?;
+        if n == 0 {
+            return Err("failpoint trigger `@0` is invalid (calls are 1-based)".to_string());
+        }
+        return Ok((rhs[..at].trim(), Trigger::Nth(n)));
+    }
+    if let Some(pc) = rhs.rfind('%') {
+        let p = rhs[pc + 1..]
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| format!("failpoint trigger `%{}` is not a number", &rhs[pc + 1..]))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("failpoint probability {p} is outside 0..=1"));
+        }
+        return Ok((rhs[..pc].trim(), Trigger::Prob(p)));
+    }
+    Ok((rhs.trim(), Trigger::Always))
+}
+
+fn parse_action(text: &str) -> Result<Action, String> {
+    match text {
+        "return-err" => return Ok(Action::ReturnErr),
+        "enospc" => return Ok(Action::Enospc),
+        "panic" => return Ok(Action::Panic),
+        _ => {}
+    }
+    if let Some(arg) = text
+        .strip_prefix("partial-write(")
+        .and_then(|t| t.strip_suffix(')'))
+    {
+        let n = arg
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("partial-write argument `{arg}` is not a byte count"))?;
+        return Ok(Action::PartialWrite(n));
+    }
+    if let Some(arg) = text
+        .strip_prefix("delay(")
+        .and_then(|t| t.strip_suffix(')'))
+    {
+        let ms = arg
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| format!("delay argument `{arg}` is not milliseconds"))?;
+        return Ok(Action::Delay(ms));
+    }
+    Err(format!(
+        "unknown failpoint action `{text}` (expected return-err, enospc, panic, partial-write(n), or delay(ms))"
+    ))
+}
+
+/// Checks the named failpoint: `Some(action)` when it fires this call.
+///
+/// Call sites that only need I/O semantics should prefer [`io_inject`],
+/// which also enacts `delay` and `panic`.
+#[inline(always)]
+pub fn fire(name: &str) -> Option<Action> {
+    imp::fire(name)
+}
+
+/// Checks the named failpoint at an I/O call site. Enacts `delay`
+/// (sleeps, returns `None`) and `panic` (panics here) directly; maps the
+/// error-shaped actions to an [`IoInjection`] for the caller to apply.
+#[inline(always)]
+pub fn io_inject(name: &str) -> Option<IoInjection> {
+    match fire(name)? {
+        Action::Delay(ms) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            None
+        }
+        Action::Panic => panic!("failpoint: panic injected at `{name}`"),
+        Action::ReturnErr => Some(IoInjection::Error(std::io::Error::other(format!(
+            "failpoint: injected I/O error at `{name}`"
+        )))),
+        Action::Enospc => Some(IoInjection::Error(std::io::Error::new(
+            std::io::ErrorKind::StorageFull,
+            format!("failpoint: injected ENOSPC at `{name}`"),
+        ))),
+        Action::PartialWrite(n) => Some(IoInjection::Partial(n)),
+    }
+}
+
+/// Convenience macro form: `cmr_failpoint::fire!("journal::append")`.
+///
+/// Identical to calling [`fire`]; exists so call sites read as markers.
+#[macro_export]
+macro_rules! fire {
+    ($name:expr) => {
+        $crate::fire($name)
+    };
+}
+
+/// Installs the schedule from `CMR_FAILPOINTS`, if set. Returns whether
+/// a schedule was installed.
+pub fn configure_from_env() -> Result<bool, String> {
+    match std::env::var("CMR_FAILPOINTS") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            configure(&spec)?;
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// Parses and installs a schedule from the spec grammar.
+pub fn configure(spec: &str) -> Result<(), String> {
+    FailpointRegistry::parse(spec)?.install()
+}
+
+/// Disarms every failpoint (the event log survives until the next
+/// [`FailpointRegistry::install`]).
+pub fn clear() {
+    imp::clear();
+}
+
+/// The fires recorded since the last install, in order.
+pub fn events() -> Vec<FiredEvent> {
+    imp::events()
+}
+
+fn install_registry(reg: FailpointRegistry) -> Result<(), String> {
+    imp::install(reg)
+}
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use super::{Action, FailpointRegistry, FiredEvent, Trigger};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Fast path: a single relaxed load when nothing is armed.
+    static ACTIVE: AtomicBool = AtomicBool::new(false);
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+
+    /// Bounds the event log; a sweep observing more fires than this per
+    /// schedule is misconfigured, not under-observed.
+    const MAX_EVENTS: usize = 65_536;
+
+    #[derive(Default)]
+    struct State {
+        points: HashMap<String, Point>,
+        events: Vec<FiredEvent>,
+    }
+
+    struct Point {
+        action: Action,
+        trigger: Trigger,
+        calls: u64,
+        rng: u64,
+    }
+
+    fn state() -> MutexGuard<'static, State> {
+        let lock = STATE.get_or_init(|| Mutex::new(State::default()));
+        // A panic action never unwinds while this lock is held (panics
+        // are enacted at the call site), but a caller's unrelated panic
+        // could still poison it; the state is always internally
+        // consistent, so recover rather than cascade.
+        match lock.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash = FNV_OFFSET;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+
+    /// splitmix64: turns `seed ⊕ fnv1a(name)` into a well-mixed non-zero
+    /// xorshift state.
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// xorshift64*: one draw in [0, 1).
+    fn next_unit(state: &mut u64) -> f64 {
+        let mut x = *state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *state = x;
+        let bits = x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11;
+        (bits as f64) / ((1u64 << 53) as f64)
+    }
+
+    pub(super) fn install(reg: FailpointRegistry) -> Result<(), String> {
+        let mut st = state();
+        st.points.clear();
+        st.events.clear();
+        for (name, action, trigger) in reg.points {
+            let rng = {
+                let mixed = mix(reg.seed ^ fnv1a(name.as_bytes()));
+                if mixed == 0 {
+                    1
+                } else {
+                    mixed
+                }
+            };
+            st.points.insert(
+                name,
+                Point {
+                    action,
+                    trigger,
+                    calls: 0,
+                    rng,
+                },
+            );
+        }
+        ACTIVE.store(!st.points.is_empty(), Ordering::SeqCst);
+        Ok(())
+    }
+
+    pub(super) fn clear() {
+        let mut st = state();
+        st.points.clear();
+        ACTIVE.store(false, Ordering::SeqCst);
+    }
+
+    pub(super) fn events() -> Vec<FiredEvent> {
+        state().events.clone()
+    }
+
+    pub(super) fn fire(name: &str) -> Option<Action> {
+        if !ACTIVE.load(Ordering::Relaxed) {
+            return None;
+        }
+        let mut st = state();
+        let point = st.points.get_mut(name)?;
+        point.calls += 1;
+        let fired = match point.trigger {
+            Trigger::Always => true,
+            Trigger::Nth(n) => point.calls == n,
+            Trigger::Prob(p) => next_unit(&mut point.rng) < p,
+        };
+        if !fired {
+            return None;
+        }
+        let action = point.action;
+        let call = point.calls;
+        if st.events.len() < MAX_EVENTS {
+            st.events.push(FiredEvent {
+                name: name.to_string(),
+                call,
+                action,
+            });
+        }
+        Some(action)
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+mod imp {
+    use super::{Action, FailpointRegistry, FiredEvent};
+
+    #[inline(always)]
+    pub(super) fn fire(_name: &str) -> Option<Action> {
+        None
+    }
+
+    pub(super) fn install(_reg: FailpointRegistry) -> Result<(), String> {
+        Err("this build does not include the fault-injection layer \
+             (rebuild with `--features failpoints`)"
+            .to_string())
+    }
+
+    #[inline(always)]
+    pub(super) fn clear() {}
+
+    #[inline(always)]
+    pub(super) fn events() -> Vec<FiredEvent> {
+        Vec::new()
+    }
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// The registry is process-global; tests serialize on this.
+    fn guard() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let lock = LOCK.get_or_init(|| Mutex::new(()));
+        match lock.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn unarmed_failpoints_do_not_fire() {
+        let _g = guard();
+        clear();
+        assert_eq!(fire("journal::append"), None);
+        assert!(io_inject("journal::append").is_none());
+    }
+
+    #[test]
+    fn nth_trigger_fires_exactly_once() {
+        let _g = guard();
+        configure("journal::append=enospc@3;seed=7").unwrap();
+        assert_eq!(fire("journal::append"), None);
+        assert_eq!(fire("journal::append"), None);
+        assert_eq!(fire("journal::append"), Some(Action::Enospc));
+        assert_eq!(fire("journal::append"), None);
+        let ev = events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].name, "journal::append");
+        assert_eq!(ev[0].call, 3);
+        clear();
+    }
+
+    #[test]
+    fn probability_stream_is_deterministic_per_seed() {
+        let _g = guard();
+        let run = |seed: u64| -> Vec<bool> {
+            configure(&format!("serve::write=return-err%0.5;seed={seed}")).unwrap();
+            (0..64).map(|_| fire("serve::write").is_some()).collect()
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed replays the same fire sequence");
+        assert_ne!(a, c, "different seed gives a different sequence");
+        assert!(a.iter().any(|&f| f) && a.iter().any(|&f| !f));
+        clear();
+    }
+
+    #[test]
+    fn distinct_names_draw_distinct_streams() {
+        let _g = guard();
+        configure("a=return-err%0.5;b=return-err%0.5;seed=9").unwrap();
+        let a: Vec<bool> = (0..64).map(|_| fire("a").is_some()).collect();
+        let b: Vec<bool> = (0..64).map(|_| fire("b").is_some()).collect();
+        assert_ne!(a, b);
+        clear();
+    }
+
+    #[test]
+    fn io_inject_maps_actions() {
+        let _g = guard();
+        configure("p=partial-write(7);seed=1").unwrap();
+        match io_inject("p") {
+            Some(IoInjection::Partial(7)) => {}
+            other => panic!("expected Partial(7), got {other:?}"),
+        }
+        configure("e=enospc;seed=1").unwrap();
+        match io_inject("e") {
+            Some(IoInjection::Error(err)) => {
+                assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+                assert!(err.to_string().contains("failpoint:"));
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+        configure("d=delay(1);seed=1").unwrap();
+        assert!(io_inject("d").is_none(), "delay proceeds normally");
+        clear();
+    }
+
+    #[test]
+    #[should_panic(expected = "failpoint: panic injected")]
+    fn panic_action_panics_at_the_call_site() {
+        let _g = guard();
+        configure("boom=panic;seed=1").unwrap();
+        let _ = io_inject("boom");
+    }
+
+    #[test]
+    fn spec_roundtrips_and_rejects_garbage() {
+        let _g = guard();
+        let reg = FailpointRegistry::parse(
+            "journal::append=partial-write(9)@2;serve::read=delay(3)%0.1;seed=5",
+        )
+        .unwrap();
+        let spec = reg.to_spec();
+        let again = FailpointRegistry::parse(&spec).unwrap();
+        assert_eq!(spec, again.to_spec());
+
+        assert!(FailpointRegistry::parse("x=warp-core-breach").is_err());
+        assert!(FailpointRegistry::parse("x=enospc@0").is_err());
+        assert!(FailpointRegistry::parse("x=enospc%1.5").is_err());
+        assert!(FailpointRegistry::parse("seed=notanumber").is_err());
+        assert!(FailpointRegistry::parse("justaname").is_err());
+        clear();
+    }
+
+    #[test]
+    fn macro_form_compiles_and_fires() {
+        let _g = guard();
+        configure("m=return-err;seed=1").unwrap();
+        assert_eq!(crate::fire!("m"), Some(Action::ReturnErr));
+        clear();
+    }
+}

@@ -7,15 +7,34 @@
 //! async runtime, no TLS, no proxy protocol. Anything outside that
 //! envelope (request bodies with `Transfer-Encoding`, absolute-form
 //! targets, obsolete line folding) is rejected with `400`.
+//!
+//! # Hostile-client bounds
+//!
+//! Per connection, in-flight memory is capped at
+//! `MAX_HEAD_BYTES + max_body + 2·READ_CHUNK`: the head cap rejects a
+//! terminator-less head, an oversized declared body is refused *before*
+//! its bytes are read, and a parsed request is drained from the buffer
+//! before the next one is assembled. The cap is additionally enforced
+//! directly in the read loop as a backstop. Time is bounded twice: each
+//! socket read by `commit_timeout`, and the *whole* request by
+//! `request_deadline` — a slowloris peer dripping one byte per read
+//! keeps resetting the former but not the latter.
+//!
+//! The socket paths carry `serve::read`, `serve::write`, and
+//! `serve::chunk` failpoints (no-ops unless built with
+//! `--features failpoints`).
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest accepted head (request line + headers) — far beyond anything
 /// the clients here produce; a bound so a garbage stream cannot balloon
 /// the buffer.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Socket read granularity.
+const READ_CHUNK: usize = 4096;
 
 /// One parsed request. Header names are lowercased at parse time.
 #[derive(Debug)]
@@ -94,18 +113,29 @@ impl Conn {
     /// Attempts to read one request. `idle_poll` bounds the wait for the
     /// *first* byte (keep-alive connections are polled briefly so a
     /// worker never parks on a quiet socket); once any byte of a request
-    /// has arrived the read is committed and `commit_timeout` bounds each
-    /// subsequent socket read until the request completes.
+    /// has arrived the read is committed, `commit_timeout` bounds each
+    /// subsequent socket read, and `request_deadline` bounds the whole
+    /// request — a slowloris peer dripping bytes resets the per-read
+    /// timeout but not the deadline.
     pub fn read_request(
         &mut self,
         idle_poll: Duration,
         commit_timeout: Duration,
+        request_deadline: Duration,
         max_body: usize,
     ) -> ReadOutcome {
         // Leftover bytes may already hold a complete pipelined request
         // (or the front of one) — that connection is mid-request, not idle.
-        let mut committed = !self.buf.is_empty();
-        let first_timeout = if committed { commit_timeout } else { idle_poll };
+        let mut committed_at = if self.buf.is_empty() {
+            None
+        } else {
+            Some(Instant::now())
+        };
+        let first_timeout = if committed_at.is_some() {
+            commit_timeout
+        } else {
+            idle_poll
+        };
         if self.stream.set_read_timeout(Some(first_timeout)).is_err() {
             return ReadOutcome::Failed;
         }
@@ -119,10 +149,26 @@ impl Conn {
             if self.buf.len() > MAX_HEAD_BYTES && find_head_end(&self.buf).is_none() {
                 return ReadOutcome::Malformed("request head too large");
             }
-            let mut chunk = [0u8; 4096];
+            // Backstop for the per-connection in-flight byte cap. The
+            // head cap and the pre-read `max_body` check make this
+            // unreachable for any read sequence, but the invariant is
+            // cheap to enforce outright.
+            if self.buf.len() > MAX_HEAD_BYTES + max_body + 2 * READ_CHUNK {
+                return ReadOutcome::Malformed("in-flight bytes exceed the connection cap");
+            }
+            if committed_at.is_some_and(|t| t.elapsed() >= request_deadline) {
+                // Committed long ago and still no complete request: the
+                // peer is stalling (slowloris). Forfeit it.
+                return ReadOutcome::Failed;
+            }
+            if let Some(inj) = cmr_failpoint::io_inject("serve::read") {
+                let _ = inj; // any injected read fault forfeits the conn
+                return ReadOutcome::Failed;
+            }
+            let mut chunk = [0u8; READ_CHUNK];
             match self.stream.read(&mut chunk) {
                 Ok(0) => {
-                    return if committed {
+                    return if committed_at.is_some() {
                         // Mid-request EOF: the peer gave up.
                         ReadOutcome::Failed
                     } else {
@@ -130,8 +176,8 @@ impl Conn {
                     };
                 }
                 Ok(n) => {
-                    if !committed {
-                        committed = true;
+                    if committed_at.is_none() {
+                        committed_at = Some(Instant::now());
                         if self.stream.set_read_timeout(Some(commit_timeout)).is_err() {
                             return ReadOutcome::Failed;
                         }
@@ -144,7 +190,7 @@ impl Conn {
                         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                     ) =>
                 {
-                    return if committed {
+                    return if committed_at.is_some() {
                         ReadOutcome::Failed
                     } else {
                         ReadOutcome::Idle
@@ -159,92 +205,128 @@ impl Conn {
     /// Parses a complete request out of the buffer, if one is there.
     /// Returns `None` when more bytes are needed.
     fn try_parse(&mut self, max_body: usize) -> Option<ReadOutcome> {
-        let head_end = find_head_end(&self.buf)?;
-        let head = match std::str::from_utf8(&self.buf[..head_end]) {
-            Ok(h) => h,
-            Err(_) => return Some(ReadOutcome::Malformed("head is not UTF-8")),
-        };
-        let mut lines = head.split("\r\n");
-        let request_line = lines.next().unwrap_or("");
-        let mut parts = request_line.split(' ');
-        let (Some(method), Some(target), Some(version)) =
-            (parts.next(), parts.next(), parts.next())
-        else {
-            return Some(ReadOutcome::Malformed("bad request line"));
-        };
-        if parts.next().is_some() || method.is_empty() || !target.starts_with('/') {
-            return Some(ReadOutcome::Malformed("bad request line"));
-        }
-        let http11 = match version {
-            "HTTP/1.1" => true,
-            "HTTP/1.0" => false,
-            _ => return Some(ReadOutcome::Malformed("unsupported HTTP version")),
-        };
-
-        let mut headers = Vec::new();
-        for line in lines {
-            if line.is_empty() {
-                continue;
+        match parse_buffered(&mut self.buf, max_body) {
+            ParseStep::Done(outcome) => Some(outcome),
+            ParseStep::NeedMore { expects_continue } => {
+                // `Expect: 100-continue` clients wait for the interim
+                // response before sending the body; oblige once the head
+                // is complete so the read can finish.
+                if expects_continue {
+                    let _ = self.stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+                }
+                None
             }
-            if line.starts_with(' ') || line.starts_with('\t') {
-                return Some(ReadOutcome::Malformed("obsolete header folding"));
-            }
-            let Some((name, value)) = line.split_once(':') else {
-                return Some(ReadOutcome::Malformed("header without colon"));
-            };
-            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
-
-        let find = |name: &str| {
-            headers
-                .iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, v)| v.as_str())
-        };
-        if find("transfer-encoding").is_some() {
-            // Request bodies here are always sized; a chunked *request*
-            // is outside the envelope (responses do use chunked).
-            return Some(ReadOutcome::Malformed("chunked request bodies unsupported"));
-        }
-        let content_length = match find("content-length") {
-            None => 0usize,
-            Some(v) => match v.parse::<usize>() {
-                Ok(n) => n,
-                Err(_) => return Some(ReadOutcome::Malformed("bad Content-Length")),
-            },
-        };
-        if content_length > max_body {
-            return Some(ReadOutcome::TooLarge);
-        }
-        let body_start = head_end + 4;
-        if self.buf.len() < body_start + content_length {
-            // `Expect: 100-continue` clients wait for the interim
-            // response before sending the body; oblige once the head is
-            // complete so the read can finish.
-            if find("expect").is_some_and(|v| v.eq_ignore_ascii_case("100-continue")) {
-                let _ = self.stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
-            }
-            return None;
-        }
-
-        let keep_alive = match find("connection").map(str::to_ascii_lowercase) {
-            Some(v) if v == "close" => false,
-            Some(v) if v == "keep-alive" => true,
-            _ => http11,
-        };
-        let method = method.to_string();
-        let target = target.to_string();
-        let body = self.buf[body_start..body_start + content_length].to_vec();
-        self.buf.drain(..body_start + content_length);
-        Some(ReadOutcome::Request(Request {
-            method,
-            target,
-            headers,
-            body,
-            keep_alive,
-            http11,
-        }))
     }
+}
+
+/// One step of the buffer-level request parser.
+#[derive(Debug)]
+pub enum ParseStep {
+    /// No complete request yet; read more. `expects_continue` is set when
+    /// a complete head announced `Expect: 100-continue` and its body is
+    /// still pending — the caller owes the client an interim response.
+    NeedMore {
+        /// Whether the interim `100 Continue` is due.
+        expects_continue: bool,
+    },
+    /// A verdict: a parsed request (drained from the buffer) or a
+    /// rejection.
+    Done(ReadOutcome),
+}
+
+/// The pure HTTP/1.1 request parser over a connection buffer: no socket,
+/// no clock. On `Done(Request)` the request's bytes have been drained
+/// from `buf` (pipelined followers stay). Total over arbitrary byte soup
+/// — every input yields `NeedMore`, a `Malformed`/`TooLarge` rejection,
+/// or a parsed request, never a panic (pinned by the proptest fuzz in
+/// `tests/http_fuzz.rs`).
+pub fn parse_buffered(buf: &mut Vec<u8>, max_body: usize) -> ParseStep {
+    let more = ParseStep::NeedMore {
+        expects_continue: false,
+    };
+    let Some(head_end) = find_head_end(buf) else {
+        return more;
+    };
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return ParseStep::Done(ReadOutcome::Malformed("head is not UTF-8")),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ParseStep::Done(ReadOutcome::Malformed("bad request line"));
+    };
+    if parts.next().is_some() || method.is_empty() || !target.starts_with('/') {
+        return ParseStep::Done(ReadOutcome::Malformed("bad request line"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return ParseStep::Done(ReadOutcome::Malformed("unsupported HTTP version")),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with(' ') || line.starts_with('\t') {
+            return ParseStep::Done(ReadOutcome::Malformed("obsolete header folding"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return ParseStep::Done(ReadOutcome::Malformed("header without colon"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if find("transfer-encoding").is_some() {
+        // Request bodies here are always sized; a chunked *request*
+        // is outside the envelope (responses do use chunked).
+        return ParseStep::Done(ReadOutcome::Malformed("chunked request bodies unsupported"));
+    }
+    let content_length = match find("content-length") {
+        None => 0usize,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return ParseStep::Done(ReadOutcome::Malformed("bad Content-Length")),
+        },
+    };
+    if content_length > max_body {
+        return ParseStep::Done(ReadOutcome::TooLarge);
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start.saturating_add(content_length) {
+        let expects_continue =
+            find("expect").is_some_and(|v| v.eq_ignore_ascii_case("100-continue"));
+        return ParseStep::NeedMore { expects_continue };
+    }
+
+    let keep_alive = match find("connection").map(str::to_ascii_lowercase) {
+        Some(v) if v == "close" => false,
+        Some(v) if v == "keep-alive" => true,
+        _ => http11,
+    };
+    let method = method.to_string();
+    let target = target.to_string();
+    let body = buf[body_start..body_start + content_length].to_vec();
+    buf.drain(..body_start + content_length);
+    ParseStep::Done(ReadOutcome::Request(Request {
+        method,
+        target,
+        headers,
+        body,
+        keep_alive,
+        http11,
+    }))
 }
 
 /// Index of `\r\n\r\n` terminating the head, if present.
@@ -289,6 +371,17 @@ pub fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
+    if let Some(inj) = cmr_failpoint::io_inject("serve::write") {
+        if let cmr_failpoint::IoInjection::Partial(n) = inj {
+            // A torn response: the head prefix escapes, then the socket
+            // "fails" — the client sees a truncated response, never a
+            // silently wrong one.
+            let cut = n.min(head.len());
+            let _ = stream.write_all(&head.as_bytes()[..cut]);
+            return Err(cmr_failpoint::IoInjection::Partial(n).into_io_error());
+        }
+        return Err(inj.into_io_error());
+    }
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -328,6 +421,12 @@ impl<'a> ChunkedWriter<'a> {
         if data.is_empty() {
             return Ok(());
         }
+        if let Some(inj) = cmr_failpoint::io_inject("serve::chunk") {
+            // Chunk framing is all-or-nothing here: a partial injection
+            // degrades to an error before any frame bytes, so the stream
+            // ends on a chunk boundary (truncation a client detects).
+            return Err(inj.into_io_error());
+        }
         write!(self.stream, "{:x}\r\n", data.len())?;
         self.stream.write_all(data)?;
         self.stream.write_all(b"\r\n")?;
@@ -364,6 +463,7 @@ mod tests {
 
     const IDLE: Duration = Duration::from_millis(40);
     const COMMIT: Duration = Duration::from_millis(500);
+    const DEADLINE: Duration = Duration::from_secs(5);
 
     #[test]
     fn parses_request_with_body_and_keep_alive() {
@@ -372,7 +472,7 @@ mod tests {
             .write_all(b"POST /extract HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
             .expect("write");
         let mut conn = Conn::new(server);
-        match conn.read_request(IDLE, COMMIT, 1024) {
+        match conn.read_request(IDLE, COMMIT, DEADLINE, 1024) {
             ReadOutcome::Request(req) => {
                 assert_eq!(req.method, "POST");
                 assert_eq!(req.target, "/extract");
@@ -393,8 +493,8 @@ mod tests {
             )
             .expect("write");
         let mut conn = Conn::new(server);
-        let first = conn.read_request(IDLE, COMMIT, 1024);
-        let second = conn.read_request(IDLE, COMMIT, 1024);
+        let first = conn.read_request(IDLE, COMMIT, DEADLINE, 1024);
+        let second = conn.read_request(IDLE, COMMIT, DEADLINE, 1024);
         match (first, second) {
             (ReadOutcome::Request(a), ReadOutcome::Request(b)) => {
                 assert_eq!(a.target, "/health");
@@ -411,12 +511,12 @@ mod tests {
         let (client, server) = pair();
         let mut conn = Conn::new(server);
         assert!(matches!(
-            conn.read_request(IDLE, COMMIT, 1024),
+            conn.read_request(IDLE, COMMIT, DEADLINE, 1024),
             ReadOutcome::Idle
         ));
         drop(client);
         assert!(matches!(
-            conn.read_request(IDLE, COMMIT, 1024),
+            conn.read_request(IDLE, COMMIT, DEADLINE, 1024),
             ReadOutcome::Closed
         ));
     }
@@ -437,7 +537,7 @@ mod tests {
             client
         });
         let mut conn = Conn::new(server);
-        match conn.read_request(IDLE, COMMIT, MAX_HEAD_BYTES * 8) {
+        match conn.read_request(IDLE, COMMIT, DEADLINE, MAX_HEAD_BYTES * 8) {
             ReadOutcome::Request(req) => {
                 assert_eq!(req.body.len(), MAX_HEAD_BYTES * 4);
                 assert!(req.body.iter().all(|b| *b == b'x'));
@@ -455,7 +555,7 @@ mod tests {
             .expect("write");
         let mut conn = Conn::new(server);
         assert!(matches!(
-            conn.read_request(IDLE, COMMIT, 10),
+            conn.read_request(IDLE, COMMIT, DEADLINE, 10),
             ReadOutcome::TooLarge
         ));
     }
@@ -466,7 +566,7 @@ mod tests {
         client.write_all(b"NOT A REQUEST\r\n\r\n").expect("write");
         let mut conn = Conn::new(server);
         assert!(matches!(
-            conn.read_request(IDLE, COMMIT, 1024),
+            conn.read_request(IDLE, COMMIT, DEADLINE, 1024),
             ReadOutcome::Malformed(_)
         ));
     }
@@ -483,7 +583,7 @@ mod tests {
         // The head is complete but the body is pending: the server sends
         // the interim response and keeps reading.
         let reader = std::thread::spawn(move || {
-            let outcome = conn.read_request(IDLE, Duration::from_secs(2), 1024);
+            let outcome = conn.read_request(IDLE, Duration::from_secs(2), DEADLINE, 1024);
             match outcome {
                 ReadOutcome::Request(req) => req.body,
                 other => panic!("expected request, got {other:?}"),
@@ -494,6 +594,99 @@ mod tests {
         assert_eq!(&interim, b"HTTP/1.1 100 Continue\r\n\r\n");
         client.write_all(b"ok").expect("body");
         assert_eq!(reader.join().expect("join"), b"ok");
+    }
+
+    /// A slowloris client drips one byte per poll: every read succeeds
+    /// within `commit_timeout`, but the whole-request deadline forfeits
+    /// the connection anyway.
+    #[test]
+    fn slowloris_drip_is_forfeited_by_the_request_deadline() {
+        let (mut client, server) = pair();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let dripping = stop.clone();
+        let dripper = std::thread::spawn(move || {
+            for b in b"GET / HTTP/1.1\r\nHos".iter().cycle() {
+                if dripping.load(std::sync::atomic::Ordering::Relaxed) {
+                    break;
+                }
+                if client.write_all(&[*b]).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            client
+        });
+        let mut conn = Conn::new(server);
+        let start = std::time::Instant::now();
+        // Per-read timeout (500ms) never trips — bytes arrive every 10ms —
+        // so only the 150ms request deadline can end this.
+        let outcome = conn.read_request(IDLE, COMMIT, Duration::from_millis(150), 1024);
+        assert!(matches!(outcome, ReadOutcome::Failed), "got {outcome:?}");
+        assert!(
+            start.elapsed() < Duration::from_millis(450),
+            "deadline, not the per-read timeout, ended the request"
+        );
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        drop(dripper.join());
+    }
+
+    /// Half-close correctness: a client that sends its request and then
+    /// shuts down its write side (FIN) must still receive the response —
+    /// the buffered request parses before the EOF is ever observed.
+    #[test]
+    fn half_closed_client_still_gets_its_response() {
+        let (mut client, server) = pair();
+        client
+            .write_all(b"POST /extract HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi")
+            .expect("write");
+        client
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut conn = Conn::new(server);
+        match conn.read_request(IDLE, COMMIT, DEADLINE, 1024) {
+            ReadOutcome::Request(req) => {
+                assert_eq!(req.body, b"hi");
+                write_response(
+                    &mut conn.stream,
+                    200,
+                    "text/plain",
+                    b"ok",
+                    req.keep_alive,
+                    &[],
+                )
+                .expect("respond to half-closed client");
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+        // After the response, the next read sees the FIN as a clean close.
+        assert!(matches!(
+            conn.read_request(IDLE, COMMIT, DEADLINE, 1024),
+            ReadOutcome::Closed
+        ));
+        drop(conn); // server closes; the client's read can reach EOF
+        let mut got = String::new();
+        client.read_to_string(&mut got).expect("read response");
+        assert!(got.starts_with("HTTP/1.1 200 OK\r\n"), "{got}");
+        assert!(got.ends_with("ok"), "{got}");
+    }
+
+    /// The in-flight cap: an oversized declared body is refused from the
+    /// head alone — its bytes are never accumulated in the buffer.
+    #[test]
+    fn oversized_body_is_refused_before_its_bytes_are_read() {
+        let (mut client, server) = pair();
+        client
+            .write_all(b"POST /extract HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n")
+            .expect("write");
+        let mut conn = Conn::new(server);
+        assert!(matches!(
+            conn.read_request(IDLE, COMMIT, DEADLINE, 1024),
+            ReadOutcome::TooLarge
+        ));
+        assert!(
+            conn.buf.len() < MAX_HEAD_BYTES,
+            "verdict came from the head; no body bytes were buffered"
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ use cmr_engine::{
     startup_lint_summary, EngineConfig, EngineError, LatencyKind, ServiceHandle, ServiceWorker,
 };
 use cmr_ontology::Ontology;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::io;
 use std::io::Read as _;
@@ -51,6 +51,11 @@ const FIRST_BYTE_WAIT: Duration = Duration::from_millis(250);
 /// Per-read deadline once a request has started arriving; a peer that
 /// stalls longer mid-request forfeits the connection.
 const COMMIT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Whole-request deadline once the first byte has arrived. A slowloris
+/// client dripping one byte per read resets `COMMIT_TIMEOUT` every time;
+/// it cannot reset this.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Configuration for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -114,14 +119,21 @@ pub struct ServeSummary {
     pub rejected: u64,
 }
 
-/// `GET /health` response body.
-#[derive(Debug, Clone, Serialize)]
+/// `GET /health` response body. Serialize *and* Deserialize so
+/// orchestrator-side parsing is pinned by the round-trip test below.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct HealthReport {
     status: String,
     jobs: u64,
     uptime_ms: u64,
     requests: u64,
     rejected: u64,
+    /// Watchdog/budget trips since boot (degradation, not failure).
+    timeouts: u64,
+    /// Transient-failure re-attempts since boot.
+    retries: u64,
+    /// Records that exhausted their retries and were quarantined.
+    quarantined: u64,
     lint: cmr_analyze::Summary,
     assets: String,
 }
@@ -248,6 +260,11 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         // Fresh connections enter the idle set; their first request
         // makes them readable like any keep-alive reuse.
         loop {
+            if cmr_failpoint::io_inject("serve::accept").is_some() {
+                // An injected accept fault is transient: skip this pass,
+                // the listener backlog holds the connection for the next.
+                break;
+            }
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     progressed = true;
@@ -344,7 +361,12 @@ fn worker_loop(shared: &Shared, widx: usize) {
 /// returns it to the idle set (or closes it).
 fn serve_conn(shared: &Shared, worker: &ServiceWorker, mut conn: Conn) {
     loop {
-        match conn.read_request(FIRST_BYTE_WAIT, COMMIT_TIMEOUT, shared.cfg.max_body_bytes) {
+        match conn.read_request(
+            FIRST_BYTE_WAIT,
+            COMMIT_TIMEOUT,
+            REQUEST_DEADLINE,
+            shared.cfg.max_body_bytes,
+        ) {
             ReadOutcome::Request(req) => {
                 let draining = shared.shutdown.load(Ordering::Relaxed);
                 let keep_alive = req.keep_alive && !draining;
@@ -353,6 +375,7 @@ fn serve_conn(shared: &Shared, worker: &ServiceWorker, mut conn: Conn) {
                     return; // peer went away mid-response
                 }
                 if !keep_alive {
+                    close_gracefully(conn);
                     return;
                 }
                 if conn.has_buffered() {
@@ -379,6 +402,7 @@ fn serve_conn(shared: &Shared, worker: &ServiceWorker, mut conn: Conn) {
                 let body = error_body(msg);
                 let _ =
                     write_response(&mut conn.stream, 400, "application/json", &body, false, &[]);
+                close_gracefully(conn);
                 return;
             }
             ReadOutcome::TooLarge => {
@@ -386,9 +410,24 @@ fn serve_conn(shared: &Shared, worker: &ServiceWorker, mut conn: Conn) {
                 let body = error_body("request body exceeds the configured limit");
                 let _ =
                     write_response(&mut conn.stream, 413, "application/json", &body, false, &[]);
+                close_gracefully(conn);
                 return;
             }
         }
+    }
+}
+
+/// Closes a connection FIN-first after its final response: shutting the
+/// write side then draining whatever the peer already sent (pipelined
+/// bytes we will not serve) keeps the close from degenerating into an
+/// RST that could destroy the response in flight. Bounded and
+/// non-blocking — only bytes already in the receive buffer are drained.
+fn close_gracefully(conn: Conn) {
+    let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 4096];
+    if conn.stream.set_nonblocking(true).is_ok() {
+        let mut stream = &conn.stream;
+        while matches!(io::Read::read(&mut stream, &mut sink), Ok(1..)) {}
     }
 }
 
@@ -408,12 +447,16 @@ fn dispatch(
 ) -> io::Result<()> {
     match (req.method.as_str(), req.target.as_str()) {
         ("GET", "/health") => {
+            let metrics = shared.service.metrics();
             let report = HealthReport {
                 status: "ready".to_string(),
                 jobs: shared.service.jobs() as u64,
                 uptime_ms: shared.service.uptime().as_millis() as u64,
                 requests: shared.requests.load(Ordering::Relaxed),
                 rejected: shared.rejected.load(Ordering::Relaxed),
+                timeouts: metrics.errors.timeouts,
+                retries: metrics.retries,
+                quarantined: metrics.quarantined,
                 lint: startup_lint_summary(),
                 assets: format!("{:016x}", cmr_engine::asset_fingerprint()),
             };
@@ -615,5 +658,43 @@ impl ConnQueue {
             state.closed = true;
         }
         self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Orchestrators parse `/health`; pin the shape (including the
+    /// degradation counters) with a full serde round trip.
+    #[test]
+    fn health_report_round_trips_through_json() {
+        let report = HealthReport {
+            status: "ready".to_string(),
+            jobs: 2,
+            uptime_ms: 1234,
+            requests: 56,
+            rejected: 7,
+            timeouts: 3,
+            retries: 9,
+            quarantined: 1,
+            lint: cmr_analyze::Summary {
+                errors: 0,
+                warnings: 2,
+                notes: 44,
+            },
+            assets: "00000000deadbeef".to_string(),
+        };
+        let json = serde_json::to_string(&report).expect("serialize");
+        for field in [
+            "\"timeouts\":3",
+            "\"retries\":9",
+            "\"quarantined\":1",
+            "\"status\":\"ready\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        let back: HealthReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, report);
     }
 }

@@ -1,0 +1,113 @@
+//! Proptest fuzz over the pure HTTP/1.1 request parser.
+//!
+//! [`parse_buffered`] is the entire hostile-input surface of the service
+//! below the socket: every byte a client sends flows through it. These
+//! properties pin totality — arbitrary byte soup never panics, and every
+//! input resolves to "need more", a 4xx-shaped rejection, or a parsed
+//! request whose invariants hold — plus determinism and the pipelining
+//! contract (a parsed request drains exactly its own bytes).
+
+use cmr_serve::http::{parse_buffered, ParseStep, ReadOutcome};
+use proptest::prelude::*;
+
+proptest! {
+    /// Raw byte soup: no panic, no socket-level outcome, and a verdict
+    /// that is stable across repeated parses of the same buffer.
+    #[test]
+    fn byte_soup_always_yields_a_verdict(
+        bytes in proptest::collection::vec(0u8..=255, 0..4096),
+        max_body in 0usize..8192,
+    ) {
+        let mut buf = bytes.clone();
+        let before = buf.len();
+        let step = parse_buffered(&mut buf, max_body);
+        let mut again = bytes;
+        let replay = parse_buffered(&mut again, max_body);
+        prop_assert_eq!(
+            format!("{step:?}"),
+            format!("{replay:?}"),
+            "the parser must be a pure function of the buffer"
+        );
+        match step {
+            ParseStep::NeedMore { .. } => prop_assert_eq!(buf.len(), before),
+            ParseStep::Done(ReadOutcome::Request(req)) => {
+                prop_assert!(!req.method.is_empty());
+                prop_assert!(req.target.starts_with('/'));
+                prop_assert!(req.body.len() <= max_body);
+                for (name, _) in &req.headers {
+                    prop_assert!(
+                        name.chars().all(|c| !c.is_ascii_uppercase()),
+                        "header names are lowercased at parse time"
+                    );
+                }
+                prop_assert!(buf.len() < before, "a parsed request drains its bytes");
+            }
+            ParseStep::Done(ReadOutcome::Malformed(_) | ReadOutcome::TooLarge) => {}
+            ParseStep::Done(other) => {
+                prop_assert!(false, "socketless parse produced {other:?}");
+            }
+        }
+    }
+
+    /// Structured soup: plausible-but-often-broken request lines, header
+    /// blocks, and Content-Length declarations that may lie about the
+    /// body. Totality must survive the near-misses, and when a request
+    /// does parse its body length must match the declaration.
+    #[test]
+    fn structured_soup_is_still_total(
+        method in "[A-Za-z]{0,7}",
+        target in "[ -~]{0,24}",
+        version in prop::sample::select(vec![
+            "HTTP/1.1", "HTTP/1.0", "HTTP/2", "HTP/1.1", "http/1.1", "",
+        ]),
+        headers in proptest::collection::vec(("[A-Za-z-]{0,10}", "[ -~]{0,16}"), 0..5),
+        declared in 0usize..300,
+        body in proptest::collection::vec(0u8..=255, 0..200),
+    ) {
+        let mut head = format!("{method} {target} {version}\r\n");
+        for (name, value) in &headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {declared}\r\n\r\n"));
+        let mut buf = head.into_bytes();
+        buf.extend_from_slice(&body);
+        match parse_buffered(&mut buf, 4096) {
+            ParseStep::Done(ReadOutcome::Request(req)) => {
+                prop_assert_eq!(req.body.len(), declared);
+                prop_assert!(!req.method.is_empty());
+            }
+            ParseStep::NeedMore { .. }
+            | ParseStep::Done(ReadOutcome::Malformed(_) | ReadOutcome::TooLarge) => {}
+            ParseStep::Done(other) => {
+                prop_assert!(false, "socketless parse produced {other:?}");
+            }
+        }
+    }
+
+    /// A well-formed request followed by arbitrary pipelined bytes:
+    /// the request parses, its fields round-trip, and the follower
+    /// bytes survive in the buffer untouched.
+    #[test]
+    fn valid_request_parses_and_pipelined_bytes_survive(
+        body in proptest::collection::vec(0u8..=255, 0..200),
+        tail in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        let head = format!(
+            "POST /extract HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let mut buf = head.into_bytes();
+        buf.extend_from_slice(&body);
+        buf.extend_from_slice(&tail);
+        match parse_buffered(&mut buf, 4096) {
+            ParseStep::Done(ReadOutcome::Request(req)) => {
+                prop_assert_eq!(req.method, "POST");
+                prop_assert_eq!(req.target, "/extract");
+                prop_assert_eq!(req.body, body);
+                prop_assert!(req.keep_alive && req.http11);
+                prop_assert_eq!(buf, tail);
+            }
+            other => prop_assert!(false, "valid request must parse, got {other:?}"),
+        }
+    }
+}

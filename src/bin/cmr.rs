@@ -118,6 +118,24 @@ mod shutdown {
 /// failure (1), and usage errors (2).
 const EXIT_PARTIAL: u8 = 3;
 
+/// Exit code for a run aborted cleanly by an I/O fault on a durability
+/// path (ENOSPC or another write failure on the journal): in-flight
+/// records drained, the journal is a valid prefix, nothing was emitted
+/// that is not journaled. Rerun with `--resume` once the condition is
+/// fixed.
+const EXIT_IO_FAULT: u8 = 4;
+
+/// Human label for the I/O failure classes the durability paths
+/// distinguish (the exit-code taxonomy's "why", printed alongside code 4).
+fn classify_io_error(e: &std::io::Error) -> &'static str {
+    match e.kind() {
+        std::io::ErrorKind::StorageFull => "disk full (ENOSPC)",
+        std::io::ErrorKind::PermissionDenied => "permission denied",
+        std::io::ErrorKind::WriteZero => "write made no progress",
+        _ => "I/O error",
+    }
+}
+
 /// `outln!`, minus the abort when the consumer hangs up: `cmr parse ... |
 /// head` closes stdout early, and a write to a closed pipe must end the
 /// output quietly instead of panicking.
@@ -129,6 +147,13 @@ macro_rules! outln {
 }
 
 fn main() -> ExitCode {
+    // Fault-injection builds only: arm the schedule in CMR_FAILPOINTS, if
+    // any. Plain builds compile none of this (and carry no failpoints).
+    #[cfg(feature = "failpoints")]
+    if let Err(e) = cmr_failpoint::configure_from_env() {
+        eprintln!("cmr: CMR_FAILPOINTS: {e}");
+        return ExitCode::from(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         usage();
@@ -197,12 +222,20 @@ fn usage() {
          \u{20}      transient failures with backoff and --quarantine files records\n\
          \u{20}      that still fail; --timeout-ms sets a per-record wall-clock\n\
          \u{20}      deadline enforced by a watchdog; SIGINT/SIGTERM drain in-flight\n\
-         \u{20}      records, flush the journal, and exit 3 (partial run)\n\
+         \u{20}      records, flush the journal, and exit 3 (partial run); a journal\n\
+         \u{20}      write failure (e.g. ENOSPC) drains and exits 4 (clean I/O abort,\n\
+         \u{20}      resumable)\n\
          \u{20}  cmr chaos [--noise SPEC] [--seed S] [--records N] [--jobs N] [--stats] [--out FILE]\n\
          \u{20}      corrupt the gold corpus at each noise level (SPEC: `0.3`, `0,0.1,0.3`,\n\
          \u{20}      or `A..B[:STEP]`), extract it, and print the degradation curve;\n\
          \u{20}      --stats adds per-tier field counts, --out writes the report as JSON\n\
          \u{20}      (- for stdout); exits 2 if any worker panicked\n\
+         \u{20}  cmr chaos --io-faults standard|SPEC [--seed S] [--records N] [--jobs N] [--out FILE]\n\
+         \u{20}      (builds with --features failpoints only) run each seeded I/O fault\n\
+         \u{20}      schedule (SPEC in the CMR_FAILPOINTS grammar, e.g.\n\
+         \u{20}      `journal::append=enospc@3`) against journaled extraction + resume\n\
+         \u{20}      and a service burst; exits 2 on any invariant violation (lost or\n\
+         \u{20}      duplicated record, divergent resume, non-deterministic replay)\n\
          \u{20}  cmr bench [--records N] [--seed S] [--repeats R] [--jobs N] [--out FILE]\n\
          \u{20}            [--baseline FILE] [--label TEXT] [--check FILE] [--threshold F]\n\
          \u{20}      run the perf harness over gold + generated corpora and write a JSON\n\
@@ -451,7 +484,15 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
         let total = texts.len();
         let jpath = PathBuf::from(&journal);
         let manifest = RunManifest::for_run(&cfg, &texts);
-        let (mut writer, start) = if resume && jpath.exists() {
+        // A journal that died at birth — the crash or ENOSPC hit before
+        // the manifest line was complete — holds nothing and proves
+        // nothing was emitted (write-ahead: the manifest precedes every
+        // record). Resume heals it by starting fresh, like a torn tail.
+        let journal_born = jpath.exists()
+            && fs::read(&jpath)
+                .map(|bytes| bytes.contains(&b'\n'))
+                .unwrap_or(false);
+        let (mut writer, start) = if resume && journal_born {
             let read = read_journal(&jpath).map_err(|e| e.to_string())?;
             if let Some(why) = read.manifest.mismatch(&manifest) {
                 return Err(format!("cannot resume {journal}: {why}"));
@@ -464,18 +505,37 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
             }
             let start = read.entries.len();
             eprintln!("cmr: resuming {journal}: {start}/{total} record(s) already journaled");
-            let writer = JournalWriter::append_to(&jpath, read.valid_len)
-                .map_err(|e| format!("reopening {journal}: {e}"))?;
+            let writer = match JournalWriter::append_to(&jpath, read.valid_len) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!(
+                        "cmr: reopening {journal}: {} ({e})\n\
+                         cmr: no records were processed; the journal is untouched",
+                        classify_io_error(&e)
+                    );
+                    return Ok(ExitCode::from(EXIT_IO_FAULT));
+                }
+            };
             (writer, start)
         } else {
-            let writer = JournalWriter::create(&jpath, &manifest)
-                .map_err(|e| format!("creating {journal}: {e}"))?;
+            let writer = match JournalWriter::create(&jpath, &manifest) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!(
+                        "cmr: creating {journal}: {} ({e})\n\
+                         cmr: no records were processed",
+                        classify_io_error(&e)
+                    );
+                    return Ok(ExitCode::from(EXIT_IO_FAULT));
+                }
+            };
             (writer, 0)
         };
 
         let mut journal_error: Option<String> = None;
         let mut newly_journaled = 0u64;
         let mut seen = 0usize;
+        let fault_flag = std::sync::Arc::clone(&shutdown_flag);
         let metrics = engine.extract_stream(texts.into_iter().skip(start), |idx, result| {
             let entry = JournalEntry {
                 index: start + idx,
@@ -483,11 +543,21 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
             };
             // Write-ahead ordering: the journal line lands before the
             // record becomes visible on stdout, so every record a consumer
-            // has seen is recoverable after a crash.
+            // has seen is recoverable after a crash. A failed append
+            // (ENOSPC, torn write) therefore aborts cleanly: raise the
+            // shutdown flag so the pool drains, and emit nothing further —
+            // an un-journaled record on stdout would be lost to resume.
             if journal_error.is_none() {
                 if let Err(e) = writer.append(&entry) {
-                    journal_error = Some(format!("writing {journal}: {e}"));
+                    journal_error = Some(format!(
+                        "writing {journal}: {} ({e})",
+                        classify_io_error(&e)
+                    ));
+                    fault_flag.store(true, std::sync::atomic::Ordering::Relaxed);
                 }
+            }
+            if journal_error.is_some() {
+                return;
             }
             emit_record_line(&mut w, &mut stdout_closed, &mut failed, &entry.output);
             seen += 1;
@@ -499,10 +569,21 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
                 std::process::abort();
             }
         });
-        if let Some(e) = journal_error {
-            return Err(e);
-        }
         let completed = start + seen;
+        if let Some(e) = journal_error {
+            eprintln!(
+                "cmr: {e}\n\
+                 cmr: aborted cleanly — {completed}/{total} record(s) journaled, \
+                 nothing emitted beyond the journal; fix the underlying condition \
+                 and rerun with --journal {journal} --resume"
+            );
+            if stats {
+                if let Ok(json) = serde_json::to_string_pretty(&metrics) {
+                    eprintln!("{json}");
+                }
+            }
+            return Ok(ExitCode::from(EXIT_IO_FAULT));
+        }
         if completed < total {
             eprintln!(
                 "cmr: interrupted — {completed}/{total} record(s) journaled; \
@@ -551,8 +632,14 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
     };
 
     if stats {
-        let json = serde_json::to_string_pretty(&metrics).map_err(|e| e.to_string())?;
-        eprintln!("{json}");
+        // `cli::metrics-dump`: the last write of a batch; a fault here
+        // must cost the stats line only, never the records above it.
+        if let Some(inj) = cmr_failpoint::io_inject("cli::metrics-dump") {
+            eprintln!("cmr: metrics dump failed: {}", inj.into_io_error());
+        } else {
+            let json = serde_json::to_string_pretty(&metrics).map_err(|e| e.to_string())?;
+            eprintln!("{json}");
+        }
     }
     if failed > 0 {
         eprintln!("cmr: {failed} record(s) failed (see in-band \"error\" objects)");
@@ -734,6 +821,7 @@ fn chaos(args: &[String]) -> Result<ExitCode, String> {
     let mut records = "50".to_string();
     let mut jobs = "0".to_string();
     let mut out = String::new();
+    let mut io_faults = String::new();
     let mut stats = false;
     let extra = parse_flags(
         args,
@@ -743,11 +831,15 @@ fn chaos(args: &[String]) -> Result<ExitCode, String> {
             ("records", &mut records),
             ("jobs", &mut jobs),
             ("out", &mut out),
+            ("io-faults", &mut io_faults),
         ],
         &mut [("stats", &mut stats)],
     )?;
     if !extra.is_empty() {
         return Err(format!("chaos takes no positional arguments: {extra:?}"));
+    }
+    if !io_faults.is_empty() {
+        return chaos_io_faults(&io_faults, &seed, &records, &jobs, &out);
     }
     let cfg = ChaosConfig {
         levels: parse_levels(&noise)?,
@@ -819,6 +911,74 @@ fn chaos(args: &[String]) -> Result<ExitCode, String> {
             cfg.levels.len()
         );
         return Ok(ExitCode::from(EXIT_PARTIAL));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `cmr chaos --io-faults`: the deterministic I/O fault sweep. Runs each
+/// seeded fault schedule against an in-process journaled extraction
+/// and/or a service burst and checks the robustness invariants (clean
+/// containment, resume identity, exactly-once, replay determinism,
+/// liveness). Requires a `--features failpoints` build.
+fn chaos_io_faults(
+    spec: &str,
+    seed: &str,
+    records: &str,
+    jobs: &str,
+    out: &str,
+) -> Result<ExitCode, String> {
+    use cmr::bench::iofaults::{run_io_faults, IoFaultConfig};
+    let cfg = IoFaultConfig {
+        spec: spec.to_string(),
+        seed: seed
+            .parse()
+            .map_err(|_| "--seed must be an integer".to_string())?,
+        records: records
+            .parse()
+            .map_err(|_| "--records must be an integer".to_string())?,
+        jobs: jobs
+            .parse()
+            .map_err(|_| "--jobs must be an integer".to_string())?,
+    };
+    let report = run_io_faults(&cfg)?;
+    outln!(
+        "io-fault sweep: {} record(s), seed {}, {} schedule(s)",
+        report.records,
+        report.seed,
+        report.schedules.len()
+    );
+    outln!("kind        fires  abort  ok  schedule");
+    for s in &report.schedules {
+        outln!(
+            "{:<11} {:<6} {:<6} {:<3} {}",
+            s.kind,
+            s.fires,
+            if s.clean_abort { "yes" } else { "no" },
+            if s.violations.is_empty() {
+                "ok"
+            } else {
+                "FAIL"
+            },
+            s.schedule
+        );
+        for v in &s.violations {
+            outln!("            violation: {v}");
+        }
+    }
+    if !out.is_empty() {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        if out == "-" {
+            outln!("{json}");
+        } else {
+            fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("cmr: wrote io-fault report to {out}");
+        }
+    }
+    let violations = report.total_violations();
+    if violations > 0 {
+        return Err(format!(
+            "{violations} invariant violation(s) in the I/O fault sweep"
+        ));
     }
     Ok(ExitCode::SUCCESS)
 }
