@@ -25,7 +25,8 @@
 use cmr_core::Schema;
 use cmr_corpus::CorpusBuilder;
 use cmr_engine::{
-    read_journal, Engine, EngineConfig, JournalEntry, JournalWriter, QuarantineFile, RunManifest,
+    read_journal, Engine, EngineConfig, JournalEntry, JournalWriter, QuarantineFile, RetryPolicy,
+    RunManifest,
 };
 use cmr_failpoint::FailpointRegistry;
 use cmr_ontology::Ontology;
@@ -59,7 +60,8 @@ pub struct ScheduleReport {
     /// The schedule, in spec grammar (seed included — replayable as-is
     /// via `CMR_FAILPOINTS`).
     pub schedule: String,
-    /// `journal`, `quarantine`, or `serve` — which surface it targets.
+    /// `journal`, `quarantine`, `engine`, or `serve` — which surface it
+    /// targets.
     pub kind: String,
     /// Failpoint fires observed during the faulted phase.
     pub fires: usize,
@@ -101,6 +103,12 @@ fn standard_schedules() -> Vec<&'static str> {
         "journal::append=panic@3",
         "journal::truncate=return-err@1",
         "quarantine::append=partial-write(11)@1",
+        // Panic mid-chunk: the third record-extraction attempt panics
+        // inside a 16-record dispatch chunk. Its chunk-mates must be
+        // unaffected (per-record isolation survived batching) and the
+        // retry policy heals the panicked record, so the faulted run
+        // stays byte-identical to the unfaulted baseline.
+        "engine::record=panic@3",
         "serve::read=return-err%0.3",
         "serve::write=return-err%0.3",
         "serve::accept=return-err@2",
@@ -145,9 +153,22 @@ pub fn run_io_faults(cfg: &IoFaultConfig) -> Result<IoFaultReport, String> {
         max_record_sentences: Some(0),
         ..EngineConfig::default()
     };
+    // Engine-surface schedules (`engine::`/`pool::` failpoints) run with
+    // retry enabled: an injected per-record panic classifies as transient
+    // and the second attempt — with the one-shot trigger spent — heals it,
+    // so the faulted run itself must already match the baseline.
+    let retry_cfg = EngineConfig {
+        jobs: cfg.jobs,
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_delay_millis: 0,
+        },
+        ..EngineConfig::default()
+    };
     cmr_failpoint::clear();
     let baseline = unfaulted_baseline(&texts, &engine_cfg);
     let poison_baseline = unfaulted_baseline(&texts, &poison_cfg);
+    let retry_baseline = unfaulted_baseline(&texts, &retry_cfg);
 
     let mut reports = Vec::with_capacity(schedules.len());
     for (idx, schedule) in schedules.iter().enumerate() {
@@ -161,6 +182,11 @@ pub fn run_io_faults(cfg: &IoFaultConfig) -> Result<IoFaultReport, String> {
             "serve" => run_serve_schedule(&spec),
             "quarantine" => {
                 run_journal_schedule(&spec, schedule, &texts, &poison_cfg, &poison_baseline, {
+                    &dir.join(format!("sched-{idx}"))
+                })
+            }
+            "engine" => {
+                run_journal_schedule(&spec, schedule, &texts, &retry_cfg, &retry_baseline, {
                     &dir.join(format!("sched-{idx}"))
                 })
             }
@@ -183,6 +209,8 @@ fn classify(schedule: &str) -> &'static str {
         "serve"
     } else if schedule.contains("quarantine::") {
         "quarantine"
+    } else if schedule.contains("engine::") || schedule.contains("pool::") {
+        "engine"
     } else {
         "journal"
     }

@@ -60,6 +60,22 @@ pub struct RunStats {
     pub cache_misses: u64,
     /// Cache hit rate in `0.0..=1.0` (0 when no lookups).
     pub cache_hit_rate: f64,
+    /// Hits served by the pool-wide shared cache, a subset of
+    /// `cache_hits` (`None` for the serial pipeline, which has no shared
+    /// cache, and for reports written before PR 8). `cache_hits -
+    /// shared_cache_hits` is the contention-free per-worker L1 path; this
+    /// split is what distinguishes the serial and parallel legs — their
+    /// *totals* are identical by determinism.
+    pub shared_cache_hits: Option<u64>,
+    /// Shard-lock contention events on the shared parse cache (a
+    /// `try_lock` that would have blocked). Parallel legs only.
+    pub shard_contention: Option<u64>,
+    /// Nanoseconds workers spent blocked receiving work from the dispatch
+    /// channel, summed across workers. Parallel legs only.
+    pub channel_wait_nanos: Option<u64>,
+    /// High-water mark of the output reorder ring (records parked waiting
+    /// for an earlier sequence number). Parallel legs only.
+    pub reorder_high_water: Option<u64>,
 }
 
 impl RunStats {
@@ -110,6 +126,46 @@ pub struct BenchReport {
     /// Optional pre-change baseline summary carried inside the committed
     /// report, so the before/after pair lives in one file.
     pub baseline: Option<BaselineSummary>,
+    /// Optional `--scaling` sweep over worker counts (PR 8). Absent in
+    /// older reports and in runs that did not request a sweep.
+    pub scaling: Option<ScalingReport>,
+}
+
+/// One `jobs=N` point of a scaling sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Worker-thread count for this point.
+    pub jobs: usize,
+    /// Notes per second (best repeat).
+    pub notes_per_sec: f64,
+    /// Throughput relative to this sweep's own `jobs=1` point.
+    pub speedup_vs_jobs1: f64,
+    /// Parse-cache hits served by per-worker L1 caches (no lock taken).
+    pub l1_cache_hits: u64,
+    /// Parse-cache hits served by the sharded pool-wide cache.
+    pub shared_cache_hits: u64,
+    /// Parse-cache misses (cold parses).
+    pub cache_misses: u64,
+    /// Shard-lock contention events on the shared cache.
+    pub shard_contention: u64,
+    /// Nanoseconds workers spent blocked on the dispatch channel.
+    pub channel_wait_nanos: u64,
+    /// Reorder ring high-water mark.
+    pub reorder_high_water: u64,
+}
+
+/// A `jobs=1..N` throughput sweep through the parallel engine, with the
+/// serial pipeline as the reference. `cpus` records what the machine
+/// actually had — speedup claims beyond that number are scheduler noise,
+/// and the CI gate skips itself below 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingReport {
+    /// CPUs available to this process when the sweep ran.
+    pub cpus: usize,
+    /// Serial single-threaded pipeline notes/sec over the same workload.
+    pub serial_notes_per_sec: f64,
+    /// One point per worker count, `jobs = 1..=N` in order.
+    pub points: Vec<ScalingPoint>,
 }
 
 /// The headline numbers of a baseline run, embedded in the current report.
@@ -230,6 +286,10 @@ pub fn run_parallel(cfg: &BenchConfig, texts: &[String]) -> RunStats {
                 wall_nanos: wall,
                 cache_hits: metrics.parse_cache.hits,
                 cache_misses: metrics.parse_cache.misses,
+                shared_cache_hits: Some(metrics.parse_cache.shared_hits),
+                shard_contention: Some(metrics.cache_shard_contention),
+                channel_wait_nanos: Some(metrics.channel_wait_nanos),
+                reorder_high_water: Some(metrics.reorder_buffer_high_water),
                 ..RunStats::default()
             };
         }
@@ -276,6 +336,10 @@ pub fn run_journaled(cfg: &BenchConfig, texts: &[String]) -> RunStats {
                 wall_nanos: wall,
                 cache_hits: metrics.parse_cache.hits,
                 cache_misses: metrics.parse_cache.misses,
+                shared_cache_hits: Some(metrics.parse_cache.shared_hits),
+                shard_contention: Some(metrics.cache_shard_contention),
+                channel_wait_nanos: Some(metrics.channel_wait_nanos),
+                reorder_high_water: Some(metrics.reorder_buffer_high_water),
                 ..RunStats::default()
             };
         }
@@ -300,7 +364,91 @@ pub fn run_bench(cfg: &BenchConfig, probe: Option<&dyn Fn() -> (u64, u64)>) -> B
         allocations,
         peak_rss_bytes: peak_rss_bytes(),
         baseline: None,
+        scaling: None,
     }
+}
+
+/// Runs the `jobs=1..=max_jobs` scaling sweep: each point is a full
+/// best-of-`repeats` parallel run over `texts` with its own engine (and
+/// therefore its own shared cache — no state leaks between points), plus
+/// one serial reference pass.
+pub fn run_scaling(cfg: &BenchConfig, texts: &[String], max_jobs: usize) -> ScalingReport {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (serial, _) = run_serial(cfg, texts, None);
+    let mut points = Vec::new();
+    let mut jobs1_nps = 0.0f64;
+    for jobs in 1..=max_jobs.max(1) {
+        let leg = run_parallel(
+            &BenchConfig {
+                jobs,
+                ..cfg.clone()
+            },
+            texts,
+        );
+        if jobs == 1 {
+            jobs1_nps = leg.notes_per_sec;
+        }
+        let shared_hits = leg.shared_cache_hits.unwrap_or(0);
+        points.push(ScalingPoint {
+            jobs,
+            notes_per_sec: leg.notes_per_sec,
+            speedup_vs_jobs1: if jobs1_nps > 0.0 {
+                leg.notes_per_sec / jobs1_nps
+            } else {
+                0.0
+            },
+            l1_cache_hits: leg.cache_hits.saturating_sub(shared_hits),
+            shared_cache_hits: shared_hits,
+            cache_misses: leg.cache_misses,
+            shard_contention: leg.shard_contention.unwrap_or(0),
+            channel_wait_nanos: leg.channel_wait_nanos.unwrap_or(0),
+            reorder_high_water: leg.reorder_high_water.unwrap_or(0),
+        });
+    }
+    ScalingReport {
+        cpus,
+        serial_notes_per_sec: serial.notes_per_sec,
+        points,
+    }
+}
+
+/// The scaling gate: at `jobs=2` the parallel engine must reach at least
+/// `floor` (fraction, CI uses 0.95) of serial throughput — parallelism may
+/// not *cost* throughput. On machines with fewer than 2 CPUs the
+/// comparison is meaningless (two workers time-slice one core), so the
+/// gate skips itself and says so in the returned notice.
+pub fn check_scaling(scaling: &ScalingReport, floor: f64) -> Result<String, String> {
+    if scaling.cpus < 2 {
+        return Ok(format!(
+            "SKIPPED: only {} CPU available — the jobs=2 vs serial gate needs >=2 \
+             (sweep recorded for the report, gate not applied)",
+            scaling.cpus
+        ));
+    }
+    if scaling.serial_notes_per_sec <= 0.0 {
+        return Err("serial reference has no throughput to compare against".to_string());
+    }
+    let Some(p2) = scaling.points.iter().find(|p| p.jobs == 2) else {
+        return Err("scaling sweep has no jobs=2 point".to_string());
+    };
+    let need = scaling.serial_notes_per_sec * floor;
+    if p2.notes_per_sec < need {
+        return Err(format!(
+            "jobs=2 parallel {:.1} notes/sec is below {:.0}% of serial {:.1} (floor {need:.1})",
+            p2.notes_per_sec,
+            floor * 100.0,
+            scaling.serial_notes_per_sec
+        ));
+    }
+    Ok(format!(
+        "jobs=2 parallel {:.1} notes/sec >= {:.0}% of serial {:.1} ({} CPUs)",
+        p2.notes_per_sec,
+        floor * 100.0,
+        scaling.serial_notes_per_sec,
+        scaling.cpus
+    ))
 }
 
 /// Peak resident set size from `/proc/self/status` (`VmHWM`), in bytes.
@@ -442,6 +590,85 @@ mod tests {
         current.serial.notes_per_sec = 500.0;
         current.parallel.notes_per_sec = 500.0;
         assert!(check_regression(&current, &base, 0.25).is_ok());
+    }
+
+    #[test]
+    fn parallel_leg_reports_engine_counters() {
+        let report = run_bench(&smoke_config(), None);
+        // The serial pipeline has no shared cache or pool, so its new
+        // counters stay None; the parallel leg must populate all four.
+        assert!(report.serial.shared_cache_hits.is_none());
+        assert!(report.serial.channel_wait_nanos.is_none());
+        let shared = report.parallel.shared_cache_hits.expect("shared hits");
+        assert!(
+            shared <= report.parallel.cache_hits,
+            "shared hits {shared} must be a subset of total hits {}",
+            report.parallel.cache_hits
+        );
+        assert!(report.parallel.shard_contention.is_some());
+        assert!(report.parallel.channel_wait_nanos.is_some());
+        assert!(report.parallel.reorder_high_water.is_some());
+    }
+
+    #[test]
+    fn scaling_sweep_covers_requested_jobs() {
+        let cfg = smoke_config();
+        let texts = workload(&cfg);
+        let sweep = run_scaling(&cfg, &texts, 3);
+        assert!(sweep.cpus >= 1);
+        assert!(sweep.serial_notes_per_sec > 0.0);
+        assert_eq!(
+            sweep.points.iter().map(|p| p.jobs).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        for p in &sweep.points {
+            assert!(p.notes_per_sec > 0.0, "jobs={} has no throughput", p.jobs);
+            assert!(p.speedup_vs_jobs1 > 0.0);
+            // Determinism: every point parses the same workload, so total
+            // cache traffic (L1 + shared + misses) is identical across jobs.
+            let total = p.l1_cache_hits + p.shared_cache_hits + p.cache_misses;
+            let base = &sweep.points[0];
+            assert_eq!(
+                total,
+                base.l1_cache_hits + base.shared_cache_hits + base.cache_misses,
+                "jobs={} cache traffic diverged",
+                p.jobs
+            );
+        }
+        assert!((sweep.points[0].speedup_vs_jobs1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_gate_trips_passes_and_skips() {
+        let point = |jobs: usize, nps: f64| ScalingPoint {
+            jobs,
+            notes_per_sec: nps,
+            speedup_vs_jobs1: 1.0,
+            l1_cache_hits: 0,
+            shared_cache_hits: 0,
+            cache_misses: 0,
+            shard_contention: 0,
+            channel_wait_nanos: 0,
+            reorder_high_water: 0,
+        };
+        let mut sweep = ScalingReport {
+            cpus: 4,
+            serial_notes_per_sec: 100.0,
+            points: vec![point(1, 90.0), point(2, 96.0)],
+        };
+        let notice = check_scaling(&sweep, 0.95).expect("96 >= 95");
+        assert!(notice.contains("jobs=2"), "{notice}");
+        sweep.points[1].notes_per_sec = 80.0;
+        let err = check_scaling(&sweep, 0.95).unwrap_err();
+        assert!(err.contains("below"), "{err}");
+        // One CPU: the gate must skip with a notice rather than fail.
+        sweep.cpus = 1;
+        let notice = check_scaling(&sweep, 0.95).expect("1-cpu skip");
+        assert!(notice.contains("SKIPPED"), "{notice}");
+        // Missing jobs=2 point is an error, not a silent pass.
+        sweep.cpus = 2;
+        sweep.points.truncate(1);
+        assert!(check_scaling(&sweep, 0.95).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The batch-extraction engine.
 
-use crate::metrics::{EngineMetrics, MetricsCollector, RecordSample};
+use crate::metrics::{lock_collector, EngineMetrics, MetricsCollector, MetricsSink, RecordSample};
 use crate::pool::{panic_message, run_ordered, PoolConfig};
 use crate::retry::{is_transient, AttemptRecord, QuarantineEntry, QuarantineFile, RetryPolicy};
 use crate::watchdog::Watchdog;
@@ -246,11 +246,12 @@ impl Engine {
         }
         let collector = Arc::new(Mutex::new(MetricsCollector::default()));
         // One pool-wide parse-structure cache: each worker keeps its
-        // lock-free local cache as a fast path and falls back to this map,
-        // so a sentence shape is link-parsed once per run, not once per
-        // worker. Without it, cold per-worker caches multiply parse work
-        // by the job count.
+        // lock-free local cache as a fast path and falls back to this
+        // lock-striped map, so a sentence shape is link-parsed once per
+        // run, not once per worker. Without it, cold per-worker caches
+        // multiply parse work by the job count.
         let parse_cache = cmr_core::SharedParseCache::new();
+        let cache_handle = parse_cache.clone();
         let start = Instant::now();
 
         let schema = &self.schema;
@@ -273,13 +274,14 @@ impl Engine {
         let watchdog_thread = watchdog.as_ref().map(Watchdog::spawn);
         let worker_watchdog = watchdog.clone();
 
-        run_ordered(
+        let pool_stats = run_ordered(
             inputs,
             PoolConfig {
                 jobs,
                 queue_depth: self.cfg.queue_depth,
                 fail_fast: self.cfg.fail_fast,
                 shutdown: self.shutdown.clone(),
+                chunk: 0,
             },
             // Each worker constructs its pipeline inside its own thread:
             // the pipeline is !Send, only the Arc'd config crosses threads.
@@ -292,7 +294,11 @@ impl Engine {
                 if let Some(wd) = &watchdog {
                     pipeline = pipeline.with_cancel_flag(wd.cancel_flag(widx));
                 }
-                let collector = Arc::clone(&worker_collector);
+                // Worker-private metrics: records accumulate lock-free
+                // here and fold into the shared collector exactly once,
+                // when the worker closure drops at pool drain (inside the
+                // pool scope, before the collector is read below).
+                let sink = MetricsSink::new(Arc::clone(&worker_collector));
                 let quarantine = quarantine.clone();
                 move |idx: usize, text: String| {
                     let ctx = WorkerCtx {
@@ -303,7 +309,7 @@ impl Engine {
                         retry,
                         watchdog: watchdog.as_deref(),
                         quarantine: quarantine.as_deref(),
-                        collector: &collector,
+                        collector: &sink,
                     };
                     extract_with_retry(&ctx, idx, &text)
                 }
@@ -333,6 +339,9 @@ impl Engine {
         let collector = lock_collector(&collector);
         let mut metrics = EngineMetrics::from_collector(&collector, jobs, wall_nanos);
         metrics.lint_warnings = lint.warnings;
+        metrics.channel_wait_nanos = pool_stats.channel_wait_nanos;
+        metrics.reorder_buffer_high_water = pool_stats.reorder_high_water;
+        metrics.cache_shard_contention = cache_handle.stats().contention;
         metrics
     }
 }
@@ -392,23 +401,12 @@ fn fnv1a_str(s: &str) -> u64 {
     hash
 }
 
-/// Locks the metrics collector, recovering from poisoning: the engine's
-/// whole point is that a panicking record must not take the batch with it,
-/// and a worker that panicked *while holding* this lock leaves only plain
-/// counters behind — every update is a field-wise add with no invariant
-/// spanning the lock, so the data is safe to keep using.
-fn lock_collector(
-    collector: &Mutex<MetricsCollector>,
-) -> std::sync::MutexGuard<'_, MetricsCollector> {
-    collector
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
 /// Everything one worker needs to process (and possibly re-process) a
 /// record: pipeline, budgets, durability hooks, metrics. Shared with the
 /// resident-service workers (`crate::service`), which bracket the same
 /// retry/watchdog/metrics machinery around one HTTP request at a time.
+/// Metrics flow through the worker-local [`MetricsSink`] — per-record
+/// updates never touch the run-wide collector lock.
 pub(crate) struct WorkerCtx<'a> {
     pub(crate) widx: usize,
     pub(crate) pipeline: &'a Pipeline,
@@ -417,7 +415,7 @@ pub(crate) struct WorkerCtx<'a> {
     pub(crate) retry: RetryPolicy,
     pub(crate) watchdog: Option<&'a Watchdog>,
     pub(crate) quarantine: Option<&'a QuarantineFile>,
-    pub(crate) collector: &'a Mutex<MetricsCollector>,
+    pub(crate) collector: &'a MetricsSink,
 }
 
 /// Runs one record through the bounded-retry loop: each attempt is
@@ -458,7 +456,8 @@ pub(crate) fn extract_with_retry(
             },
             Ok(Ok((out, sample))) => {
                 let methods: Vec<_> = out.numeric_methods.values().copied().collect();
-                lock_collector(ctx.collector).record_ok(sample, &methods, &out.degradation);
+                ctx.collector
+                    .with(|c| c.record_ok(sample, &methods, &out.degradation));
                 return Ok(out);
             }
             Ok(Err(exceeded)) => EngineError::Budget {
@@ -472,21 +471,18 @@ pub(crate) fn extract_with_retry(
                 error,
                 backoff_millis: backoff,
             });
-            lock_collector(ctx.collector).retries += 1;
+            ctx.collector.with(|c| c.retries += 1);
             std::thread::sleep(Duration::from_millis(backoff));
             continue;
         }
         // Final outcome: count it exactly once, quarantine if poison.
-        {
-            let mut c = lock_collector(ctx.collector);
-            match &error {
-                EngineError::Panicked { .. } => c.errors.panics += 1,
-                EngineError::Budget { .. } => c.errors.budget += 1,
-                EngineError::Timeout { .. } => c.errors.timeouts += 1,
-                EngineError::Aborted => c.errors.aborted += 1,
-                EngineError::Lint { .. } => {}
-            }
-        }
+        ctx.collector.with(|c| match &error {
+            EngineError::Panicked { .. } => c.errors.panics += 1,
+            EngineError::Budget { .. } => c.errors.budget += 1,
+            EngineError::Timeout { .. } => c.errors.timeouts += 1,
+            EngineError::Aborted => c.errors.aborted += 1,
+            EngineError::Lint { .. } => {}
+        });
         if is_transient(&error) {
             if let Some(q) = ctx.quarantine {
                 attempts.push(AttemptRecord {
@@ -501,7 +497,7 @@ pub(crate) fn extract_with_retry(
                     attempts,
                 });
                 if written {
-                    lock_collector(ctx.collector).quarantined += 1;
+                    ctx.collector.with(|c| c.quarantined += 1);
                 }
             }
         }
@@ -517,6 +513,12 @@ fn extract_one(
     ctx: &WorkerCtx<'_>,
     text: &str,
 ) -> Result<(ExtractedRecord, RecordSample), BudgetExceeded> {
+    // Inside the per-attempt catch_unwind: an injected `panic` action is
+    // contained to this record (its chunk-mates survive) and, being
+    // transient, heals under a retry policy — which is exactly what the
+    // chaos panic-mid-chunk schedule asserts. `io_inject` enacts panic
+    // and delay; error-shaped actions have no I/O here to poison.
+    let _ = cmr_failpoint::io_inject("engine::record");
     let total_start = Instant::now();
     let budget = ExtractBudget {
         deadline: ctx
@@ -539,6 +541,7 @@ fn extract_one(
         terms_nanos: timing.terms_nanos,
         total_nanos: total_start.elapsed().as_nanos() as u64,
         cache_hits: stats.cache_hits - stats_before.cache_hits,
+        shared_hits: stats.shared_hits - stats_before.shared_hits,
         cache_misses: stats.cache_misses - stats_before.cache_misses,
     };
     Ok((out, sample))

@@ -1,11 +1,14 @@
 //! Engine throughput and stage-timing metrics.
 //!
-//! Workers record one [`RecordSample`] per record into a shared
-//! [`MetricsCollector`]; the engine folds the collector plus its own
-//! wall-clock into a serializable [`EngineMetrics`] snapshot.
+//! Workers record one [`RecordSample`] per record into a thread-local
+//! [`MetricsSink`]; each sink folds into the run's shared
+//! [`MetricsCollector`] once at drain (batch) or once per request
+//! (service), and the engine folds the collector plus its own wall-clock
+//! into a serializable [`EngineMetrics`] snapshot.
 
 use cmr_core::{DegradationReport, MethodUsed};
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
 
 /// Number of log2 nanosecond buckets: bucket `i` counts durations `d` with
 /// `floor(log2(d)) == i`, i.e. from 1 ns up past 2^39 ns (~9 minutes) —
@@ -117,8 +120,12 @@ impl StageMetrics {
 /// Link-parser structure-cache counters, summed across workers.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct ParseCacheMetrics {
-    /// Sentences answered from a worker's structure cache.
+    /// Sentences answered from a structure cache (local L1 or shared).
     pub hits: u64,
+    /// The subset of `hits` served by the pool-wide sharded cache — a
+    /// shape some *other* worker parsed first. `hits - shared_hits` is
+    /// the contention-free L1 fast path.
+    pub shared_hits: u64,
     /// Sentences that required a fresh parse.
     pub misses: u64,
 }
@@ -307,6 +314,15 @@ pub struct EngineMetrics {
     /// Request-latency histograms (resident service only; empty for
     /// batch runs).
     pub service: ServiceLatency,
+    /// Total nanoseconds workers spent blocked waiting on the input
+    /// channel, summed over workers (pool starvation signal).
+    pub channel_wait_nanos: u64,
+    /// Shared parse-cache stripe-lock acquisitions that found the stripe
+    /// already held (see `SharedCacheStats::contention`).
+    pub cache_shard_contention: u64,
+    /// Peak number of out-of-order results parked in the consumer's
+    /// reorder ring awaiting their predecessors.
+    pub reorder_buffer_high_water: u64,
 }
 
 impl EngineMetrics {
@@ -326,6 +342,9 @@ impl EngineMetrics {
             retries: c.retries,
             quarantined: c.quarantined,
             service: c.service.clone(),
+            channel_wait_nanos: 0,
+            cache_shard_contention: 0,
+            reorder_buffer_high_water: 0,
         };
         if wall_nanos > 0 {
             m.records_per_sec = m.records as f64 / (wall_nanos as f64 / 1e9);
@@ -349,13 +368,16 @@ pub struct RecordSample {
     pub total_nanos: u64,
     /// Structure-cache hits during this record.
     pub cache_hits: u64,
+    /// The subset of `cache_hits` served by the pool-wide shared cache.
+    pub shared_hits: u64,
     /// Structure-cache misses during this record.
     pub cache_misses: u64,
 }
 
-/// Accumulates worker measurements; one per engine run, shared behind
-/// `Arc<Mutex<..>>` (per-record locking — microseconds of contention
-/// against milliseconds of parsing).
+/// Accumulates worker measurements. One lives behind `Arc<Mutex<..>>` per
+/// engine run, but workers never touch that lock per record: each worker
+/// accumulates into a private collector inside a [`MetricsSink`] and the
+/// sinks merge into the shared one at drain.
 #[derive(Debug, Default)]
 pub(crate) struct MetricsCollector {
     pub records: u64,
@@ -384,6 +406,7 @@ impl MetricsCollector {
         self.stages.terms.record(sample.terms_nanos);
         self.stages.total.record(sample.total_nanos);
         self.parse_cache.hits += sample.cache_hits;
+        self.parse_cache.shared_hits += sample.shared_hits;
         self.parse_cache.misses += sample.cache_misses;
         for &m in methods {
             self.methods.count(m);
@@ -391,20 +414,82 @@ impl MetricsCollector {
         self.degradation.add(report);
     }
 
-    /// Merges a sibling collector (used by unit tests; the engine itself
-    /// shares one collector across workers).
-    #[allow(dead_code)]
+    /// Merges a sibling collector — the drain step of [`MetricsSink`].
     pub fn merge(&mut self, other: &MetricsCollector) {
         self.records += other.records;
         self.errors.merge(&other.errors);
         self.stages.merge(&other.stages);
         self.parse_cache.hits += other.parse_cache.hits;
+        self.parse_cache.shared_hits += other.parse_cache.shared_hits;
         self.parse_cache.misses += other.parse_cache.misses;
         self.methods.merge(&other.methods);
         self.degradation.merge(&other.degradation);
         self.retries += other.retries;
         self.quarantined += other.quarantined;
         self.service.merge(&other.service);
+    }
+}
+
+/// Locks a shared metrics collector, recovering from poisoning: the
+/// engine's whole point is that a panicking record must not take the
+/// batch with it, and a worker that panicked *while holding* this lock
+/// leaves only plain counters behind — every update is a field-wise add
+/// with no invariant spanning the lock, so the data is safe to keep
+/// using.
+pub(crate) fn lock_collector(
+    collector: &Mutex<MetricsCollector>,
+) -> std::sync::MutexGuard<'_, MetricsCollector> {
+    collector
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A worker-local metrics accumulator in front of the run's shared
+/// collector.
+///
+/// Per-record updates go to the private collector through [`with`] —
+/// no lock, no atomic, no sharing. [`publish`] folds the accumulated
+/// counters into the shared collector and resets the local one; dropping
+/// the sink publishes any remainder, which is how batch workers merge
+/// exactly once at drain (worker closures drop inside the pool scope,
+/// before the engine reads the shared collector). Service workers call
+/// [`publish`] at the end of each request instead, so `GET /metrics`
+/// stays fresh while the per-request cost is still one lock, not one per
+/// counter update.
+///
+/// [`with`]: MetricsSink::with
+/// [`publish`]: MetricsSink::publish
+#[derive(Debug)]
+pub(crate) struct MetricsSink {
+    local: std::cell::RefCell<MetricsCollector>,
+    global: Arc<Mutex<MetricsCollector>>,
+}
+
+impl MetricsSink {
+    /// A sink draining into `global`.
+    pub fn new(global: Arc<Mutex<MetricsCollector>>) -> MetricsSink {
+        MetricsSink {
+            local: std::cell::RefCell::new(MetricsCollector::default()),
+            global,
+        }
+    }
+
+    /// Runs `f` against the worker-local collector.
+    pub fn with<R>(&self, f: impl FnOnce(&mut MetricsCollector) -> R) -> R {
+        f(&mut self.local.borrow_mut())
+    }
+
+    /// Folds the local counters into the shared collector and resets the
+    /// local ones.
+    pub fn publish(&self) {
+        let local = std::mem::take(&mut *self.local.borrow_mut());
+        lock_collector(&self.global).merge(&local);
+    }
+}
+
+impl Drop for MetricsSink {
+    fn drop(&mut self) {
+        self.publish();
     }
 }
 
@@ -453,7 +538,11 @@ mod tests {
 
     #[test]
     fn cache_hit_ratio() {
-        let m = ParseCacheMetrics { hits: 3, misses: 1 };
+        let m = ParseCacheMetrics {
+            hits: 3,
+            misses: 1,
+            shared_hits: 1,
+        };
         assert!((m.hit_ratio() - 0.75).abs() < 1e-9);
         assert_eq!(ParseCacheMetrics::default().hit_ratio(), 0.0);
     }
@@ -482,6 +571,7 @@ mod tests {
                 terms_nanos: 90,
                 total_nanos: 1000,
                 cache_hits: 2,
+                shared_hits: 1,
                 cache_misses: 1,
             },
             &[MethodUsed::LinkGrammar, MethodUsed::Pattern],
@@ -503,13 +593,20 @@ mod tests {
         c.errors.timeouts = 2;
         c.retries = 3;
         c.quarantined = 1;
-        let m = EngineMetrics::from_collector(&c, 4, 2_000_000_000);
+        let mut m = EngineMetrics::from_collector(&c, 4, 2_000_000_000);
+        m.channel_wait_nanos = 123_456_789;
+        m.cache_shard_contention = 17;
+        m.reorder_buffer_high_water = 42;
         assert_eq!(m.records, 1);
         assert_eq!(m.errors.total(), 3, "timeouts count toward the total");
         assert!((m.records_per_sec - 0.5).abs() < 1e-9);
         let json = serde_json::to_string(&m).expect("serializes");
         let back: EngineMetrics = serde_json::from_str(&json).expect("deserializes");
         assert_eq!(back.records, 1);
+        assert_eq!(back.channel_wait_nanos, 123_456_789);
+        assert_eq!(back.cache_shard_contention, 17);
+        assert_eq!(back.reorder_buffer_high_water, 42);
+        assert_eq!(back.parse_cache.shared_hits, 1);
         assert_eq!(back.jobs, 4);
         assert_eq!(back.methods.link_grammar, 1);
         assert_eq!(back.stages.total.count, 1);
@@ -576,6 +673,29 @@ mod tests {
         let mut m = MethodCounts::default();
         m.count(MethodUsed::Salvage);
         assert_eq!(m.salvage, 1);
+    }
+
+    #[test]
+    fn sink_publishes_on_drop_and_on_demand() {
+        let global = Arc::new(Mutex::new(MetricsCollector::default()));
+        {
+            let sink = MetricsSink::new(Arc::clone(&global));
+            sink.with(|c| c.retries += 2);
+            assert_eq!(
+                lock_collector(&global).retries,
+                0,
+                "local counts must not leak before publish"
+            );
+            sink.publish();
+            assert_eq!(lock_collector(&global).retries, 2);
+            // Publish resets the local side: no double counting.
+            sink.publish();
+            assert_eq!(lock_collector(&global).retries, 2);
+            sink.with(|c| c.errors.panics += 1);
+        } // drop publishes the remainder
+        let c = lock_collector(&global);
+        assert_eq!(c.retries, 2);
+        assert_eq!(c.errors.panics, 1);
     }
 
     #[test]

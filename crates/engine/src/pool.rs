@@ -1,40 +1,52 @@
 //! A deterministic, order-preserving scoped worker pool.
 //!
-//! The shape is a classic fan-out/fan-in over bounded channels:
+//! The shape is a classic fan-out/fan-in over bounded channels, with
+//! records moving in *chunks* to amortize channel and wakeup costs:
 //!
 //! ```text
-//! inputs ──feeder──▶ sync_channel(queue_depth) ──▶ N workers ──▶
-//!          sync_channel(queue_depth + jobs) ──consumer──▶ reorder ──▶ sink
+//! inputs ──feeder──▶ sync_channel(chunks) ──▶ N workers ──▶
+//!          sync_channel(chunks + jobs) ──consumer──▶ ring buffer ──▶ sink
 //! ```
 //!
-//! * **Backpressure** — both channels are bounded, so a slow sink stalls
-//!   the workers and a slow feeder idles them; memory stays O(queue depth),
-//!   never O(corpus).
+//! * **Chunked dispatch** — the feeder batches records into chunks before
+//!   sending (one channel rendezvous per chunk, not per record). Chunk
+//!   size is feeder-adaptive: it starts at one record so every worker has
+//!   work within microseconds of startup, then doubles per send up to
+//!   [`DEFAULT_CHUNK`] once the pool is warm. Per-record sends made the
+//!   channel itself the bottleneck at small record costs.
+//! * **Backpressure** — both channels are bounded in chunks such that
+//!   buffered records stay O(queue depth), never O(corpus); a slow sink
+//!   stalls the workers and a slow feeder idles them.
 //! * **Determinism** — every input is tagged with its index; the consumer
-//!   holds out-of-order results in a reorder buffer (bounded by the number
-//!   of items in flight) and emits strictly in input order, so the output
-//!   sequence is identical for any worker count.
+//!   parks out-of-order results in a fixed-capacity ring buffer indexed by
+//!   sequence number (no per-item allocation, no tree rebalancing) and
+//!   emits strictly in input order, so the output sequence is identical
+//!   for any worker count and any chunk size.
 //! * **Worker-local state** — each worker builds its own state *inside its
 //!   thread* via `make_worker`, which is how `!Send` state (the pipeline's
 //!   link-parser cache) rides a thread pool.
 //! * **Fault isolation** — a panicking work item is caught with
-//!   [`std::panic::catch_unwind`] and surfaced through `on_panic` as an
-//!   ordinary per-item error; the batch keeps going. Under `fail_fast` the
-//!   first error flips a stop flag: the feeder stops feeding and workers
-//!   drain remaining queued items through `on_abort` without processing
-//!   them, so every fed index still produces exactly one output.
+//!   [`std::panic::catch_unwind`] *per record*, not per chunk, and
+//!   surfaced through `on_panic` as an ordinary per-item error; the rest
+//!   of the chunk and the batch keep going. Under `fail_fast` the first
+//!   error flips a stop flag: the feeder stops feeding and workers drain
+//!   remaining queued records through `on_abort` without processing them,
+//!   so every fed index still produces exactly one output.
 
-use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Steady-state records per channel send when the caller does not choose.
+const DEFAULT_CHUNK: usize = 16;
 
 /// Pool shape parameters (already resolved: `jobs >= 1`).
 pub(crate) struct PoolConfig {
     /// Worker threads.
     pub jobs: usize,
-    /// Input-channel bound.
+    /// Target bound on buffered *records* awaiting a worker.
     pub queue_depth: usize,
     /// Stop feeding after the first error.
     pub fail_fast: bool,
@@ -44,6 +56,23 @@ pub(crate) struct PoolConfig {
     /// queued items are *processed*, not aborted, so a journal written from
     /// the sink stays a clean prefix of the run.
     pub shutdown: Option<Arc<AtomicBool>>,
+    /// Steady-state records per channel send; `0` means [`DEFAULT_CHUNK`].
+    /// `1` reproduces the old per-record dispatch exactly.
+    pub chunk: usize,
+}
+
+/// Counters observed by one [`run_ordered`] run, reported to the caller so
+/// the engine can surface pool health (see `EngineMetrics`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct PoolStats {
+    /// Total nanoseconds workers spent blocked waiting for input chunks
+    /// (including contention on the shared receiver), summed over workers.
+    pub channel_wait_nanos: u64,
+    /// Peak number of results parked in the reorder ring awaiting their
+    /// predecessors.
+    pub reorder_high_water: u64,
+    /// Chunks the feeder dispatched.
+    pub chunks_dispatched: u64,
 }
 
 /// Runs `inputs` through `jobs` workers, invoking `sink(index, result)`
@@ -55,7 +84,8 @@ pub(crate) fn run_ordered<In, Out, E, It, MkW, W, P, A, S>(
     on_panic: P,
     on_abort: A,
     mut sink: S,
-) where
+) -> PoolStats
+where
     In: Send,
     Out: Send,
     E: Send,
@@ -69,59 +99,113 @@ pub(crate) fn run_ordered<In, Out, E, It, MkW, W, P, A, S>(
     assert!(cfg.jobs >= 1, "pool needs at least one worker");
     let fail_fast = cfg.fail_fast;
     let queue_depth = cfg.queue_depth.max(1);
+    let max_chunk = if cfg.chunk == 0 {
+        DEFAULT_CHUNK
+    } else {
+        cfg.chunk
+    };
+    // Channel bounds are in chunks; buffered records stay O(queue_depth).
+    let in_bound = queue_depth.div_ceil(max_chunk).max(1);
+    let out_bound = in_bound + cfg.jobs;
     let stop = AtomicBool::new(false);
-    let (in_tx, in_rx) = sync_channel::<(usize, In)>(queue_depth);
+    let wait_nanos = AtomicU64::new(0);
+    let chunks_sent = AtomicU64::new(0);
+    let (in_tx, in_rx) = sync_channel::<Vec<(usize, In)>>(in_bound);
     let in_rx = Arc::new(Mutex::new(in_rx));
-    let (out_tx, out_rx) = sync_channel::<(usize, Result<Out, E>)>(queue_depth + cfg.jobs);
+    let (out_tx, out_rx) = sync_channel::<Vec<(usize, Result<Out, E>)>>(out_bound);
 
+    // Upper bound on records in flight (fed but not yet emitted): every
+    // chunk buffered in either channel, one chunk in a blocked send on
+    // each side, one chunk per worker, and one being scattered by the
+    // consumer. The reorder ring is sized to that bound once, up front —
+    // a parked result can never land more than `ring_cap` ahead of the
+    // next emission.
+    let ring_cap = ((in_bound + out_bound + cfg.jobs + 3) * max_chunk).next_power_of_two();
+    let ring_mask = ring_cap - 1;
+
+    let mut high_water = 0u64;
     std::thread::scope(|scope| {
-        // Feeder: enumerate inputs into the bounded channel until done,
-        // stopped, or asked to shut down. Dropping `in_tx` is the
-        // end-of-input signal.
+        // Feeder: enumerate inputs into chunks until done, stopped, or
+        // asked to shut down. Dropping `in_tx` is the end-of-input
+        // signal. On stop/shutdown the chunk being built is DROPPED, not
+        // flushed: nothing new is fed past the last dispatched chunk, so a
+        // flag raised before the run starts feeds zero records, and what
+        // was emitted is always a contiguous prefix of the input.
         let stop_ref = &stop;
+        let chunks_ref = &chunks_sent;
         let shutdown_ref = cfg.shutdown.as_deref();
         scope.spawn(move || {
+            let mut chunk_target = 1usize;
+            let mut chunk: Vec<(usize, In)> = Vec::with_capacity(chunk_target);
             for item in inputs.enumerate() {
                 if stop_ref.load(Ordering::Relaxed)
                     || shutdown_ref.is_some_and(|f| f.load(Ordering::Relaxed))
-                    || in_tx.send(item).is_err()
                 {
-                    break;
+                    return;
                 }
+                chunk.push(item);
+                if chunk.len() >= chunk_target {
+                    // Enacts `panic`/`delay`; error-shaped actions only log
+                    // (there is no I/O at a dispatch boundary to poison).
+                    let _ = cmr_failpoint::io_inject("pool::chunk_dispatch");
+                    chunks_ref.fetch_add(1, Ordering::Relaxed);
+                    if in_tx.send(std::mem::take(&mut chunk)).is_err() {
+                        return;
+                    }
+                    // Warm-up ramp: small first chunks get every worker
+                    // busy immediately; steady state amortizes.
+                    chunk_target = (chunk_target * 2).min(max_chunk);
+                    chunk.reserve(chunk_target);
+                }
+            }
+            if !chunk.is_empty() {
+                let _ = cmr_failpoint::io_inject("pool::chunk_dispatch");
+                chunks_ref.fetch_add(1, Ordering::Relaxed);
+                let _ = in_tx.send(chunk);
             }
         });
 
         for widx in 0..cfg.jobs {
             let in_rx = Arc::clone(&in_rx);
             let out_tx = out_tx.clone();
+            let wait_ref = &wait_nanos;
             let (make_worker, on_panic, on_abort) = (&make_worker, &on_panic, &on_abort);
             scope.spawn(move || {
                 let mut work = make_worker(widx);
                 loop {
                     // Lock only for the blocking recv: whoever holds the
-                    // lock takes the next item, then releases before
+                    // lock takes the next chunk, then releases before
                     // processing it. Worker panics are caught below around
                     // `work`, never while this lock is held, but recover
                     // from poisoning anyway — the channel receiver has no
                     // state a mid-recv unwind could corrupt, and dying here
                     // would strand the remaining queued records.
+                    let waited = Instant::now();
                     let msg = in_rx
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .recv();
-                    let Ok((idx, item)) = msg else { break };
-                    let result = if stop_ref.load(Ordering::Relaxed) {
-                        Err(on_abort())
-                    } else {
-                        match catch_unwind(AssertUnwindSafe(|| work(idx, item))) {
-                            Ok(r) => r,
-                            Err(payload) => Err(on_panic(panic_message(payload.as_ref()))),
+                    wait_ref.fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    let Ok(chunk) = msg else { break };
+                    let mut results = Vec::with_capacity(chunk.len());
+                    for (idx, item) in chunk {
+                        // Stop and unwind isolation are per record, not
+                        // per chunk: one poisoned record inside a batch
+                        // must not take its chunk-mates down with it.
+                        let result = if stop_ref.load(Ordering::Relaxed) {
+                            Err(on_abort())
+                        } else {
+                            match catch_unwind(AssertUnwindSafe(|| work(idx, item))) {
+                                Ok(r) => r,
+                                Err(payload) => Err(on_panic(panic_message(payload.as_ref()))),
+                            }
+                        };
+                        if fail_fast && result.is_err() {
+                            stop_ref.store(true, Ordering::Relaxed);
                         }
-                    };
-                    if fail_fast && result.is_err() {
-                        stop_ref.store(true, Ordering::Relaxed);
+                        results.push((idx, result));
                     }
-                    if out_tx.send((idx, result)).is_err() {
+                    if out_tx.send(results).is_err() {
                         break;
                     }
                 }
@@ -131,20 +215,39 @@ pub(crate) fn run_ordered<In, Out, E, It, MkW, W, P, A, S>(
         // exits, recv below disconnects and the consumer loop ends.
         drop(out_tx);
 
-        // Consumer (this thread): reorder and emit in input order. The
-        // buffer holds only out-of-order items in flight, bounded by
-        // queue_depth + jobs + the output-channel capacity.
-        let mut buffer: BTreeMap<usize, Result<Out, E>> = BTreeMap::new();
+        // Consumer (this thread): restore input order via a fixed-capacity
+        // ring indexed by sequence number — slot `idx & ring_mask` — and
+        // emit the contiguous run each arriving chunk completes.
+        let mut ring: Vec<Option<Result<Out, E>>> = (0..ring_cap).map(|_| None).collect();
+        let mut parked = 0usize;
         let mut next_emit = 0usize;
-        while let Ok((idx, result)) = out_rx.recv() {
-            buffer.insert(idx, result);
-            while let Some(result) = buffer.remove(&next_emit) {
+        while let Ok(chunk) = out_rx.recv() {
+            for (idx, result) in chunk {
+                debug_assert!(
+                    idx >= next_emit && idx - next_emit < ring_cap,
+                    "result index {idx} outside ring window starting at {next_emit}"
+                );
+                let slot = &mut ring[idx & ring_mask];
+                debug_assert!(slot.is_none(), "ring slot for {idx} already occupied");
+                *slot = Some(result);
+                parked += 1;
+            }
+            high_water = high_water.max(parked as u64);
+            let _ = cmr_failpoint::io_inject("pool::reorder_flush");
+            while let Some(result) = ring[next_emit & ring_mask].take() {
+                parked -= 1;
                 sink(next_emit, result);
                 next_emit += 1;
             }
         }
-        debug_assert!(buffer.is_empty(), "gap in emitted indices");
+        debug_assert_eq!(parked, 0, "gap in emitted indices");
     });
+
+    PoolStats {
+        channel_wait_nanos: wait_nanos.into_inner(),
+        reorder_high_water: high_water,
+        chunks_dispatched: chunks_sent.into_inner(),
+    }
 }
 
 /// Renders a panic payload the way the default hook does.
@@ -169,6 +272,7 @@ mod tests {
             queue_depth: 4,
             fail_fast,
             shutdown: None,
+            chunk: 0,
         }
     }
 
@@ -196,6 +300,100 @@ mod tests {
                 assert_eq!(r.as_ref().unwrap(), &(i * 2));
             }
         }
+    }
+
+    #[test]
+    fn emits_in_order_for_any_chunk_size() {
+        // Chunk size is a throughput knob, never a semantics knob: the
+        // emitted sequence is identical from per-record dispatch (1)
+        // through chunks larger than the whole input (1000).
+        for chunk in [1, 2, 3, 16, 64, 1000] {
+            let mut seen = Vec::new();
+            let stats = run_ordered(
+                0..250,
+                PoolConfig {
+                    jobs: 4,
+                    queue_depth: 8,
+                    fail_fast: false,
+                    shutdown: None,
+                    chunk,
+                },
+                |_w| |_i, x: usize| Ok::<usize, String>(x + 1),
+                |m| m,
+                || "aborted".to_string(),
+                |idx, r| seen.push((idx, r)),
+            );
+            assert_eq!(seen.len(), 250, "chunk={chunk}");
+            for (i, (idx, r)) in seen.iter().enumerate() {
+                assert_eq!(*idx, i);
+                assert_eq!(r.as_ref().unwrap(), &(i + 1));
+            }
+            assert!(stats.chunks_dispatched > 0, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn reorder_ring_restores_order_under_variable_latency() {
+        // Slow every fourth record so later indexes routinely finish
+        // first; the ring must park them and still emit 0..n in order,
+        // and the high-water mark must record that parking happened.
+        let mut seen = Vec::new();
+        let stats = run_ordered(
+            0..120,
+            PoolConfig {
+                jobs: 4,
+                queue_depth: 16,
+                fail_fast: false,
+                shutdown: None,
+                chunk: 4,
+            },
+            |_w| {
+                |i: usize, x: usize| {
+                    if i.is_multiple_of(4) {
+                        std::thread::sleep(std::time::Duration::from_micros(300));
+                    }
+                    Ok::<usize, String>(x)
+                }
+            },
+            |m| m,
+            || "aborted".to_string(),
+            |idx, r| seen.push((idx, r)),
+        );
+        assert_eq!(seen.len(), 120);
+        for (i, (idx, r)) in seen.iter().enumerate() {
+            assert_eq!(*idx, i, "ring emitted out of order");
+            assert_eq!(r, &Ok(i));
+        }
+        // Not asserted > 0: a 1-CPU machine may legitimately never
+        // overlap workers. Recorded so multicore runs can see it.
+        let _ = stats.reorder_high_water;
+    }
+
+    #[test]
+    fn chunking_amortizes_sends() {
+        let mut count = 0usize;
+        let stats = run_ordered(
+            0..1000,
+            PoolConfig {
+                jobs: 2,
+                queue_depth: 64,
+                fail_fast: false,
+                shutdown: None,
+                chunk: 16,
+            },
+            |_w| |_i, x: usize| Ok::<usize, String>(x),
+            |m| m,
+            || "aborted".to_string(),
+            |_, _| count += 1,
+        );
+        assert_eq!(count, 1000);
+        // The warm-up ramp (1, 2, 4, 8, then 16s) means strictly fewer
+        // sends than records but more than records/16.
+        assert!(
+            stats.chunks_dispatched < 1000 && stats.chunks_dispatched >= 1000 / 16,
+            "unexpected dispatch count {}",
+            stats.chunks_dispatched
+        );
     }
 
     #[test]
@@ -227,14 +425,51 @@ mod tests {
     }
 
     #[test]
+    fn panic_mid_chunk_spares_chunk_mates() {
+        // Force everything into one big chunk: the panic at index 7 must
+        // surface as that record's error alone, with its chunk-mates on
+        // both sides still processed by the same worker pass.
+        let mut results = Vec::new();
+        run_ordered(
+            0..16,
+            PoolConfig {
+                jobs: 1,
+                queue_depth: 16,
+                fail_fast: false,
+                shutdown: None,
+                chunk: 16,
+            },
+            |_w| {
+                |_i, x: usize| {
+                    if x == 7 {
+                        panic!("mid-chunk boom");
+                    }
+                    Ok::<usize, String>(x)
+                }
+            },
+            |m| format!("panic: {m}"),
+            || "aborted".to_string(),
+            |_, r| results.push(r),
+        );
+        assert_eq!(results.len(), 16);
+        assert_eq!(results[7].as_ref().unwrap_err(), "panic: mid-chunk boom");
+        for (i, r) in results.iter().enumerate() {
+            if i != 7 {
+                assert_eq!(r, &Ok(i), "chunk-mate {i} was not processed");
+            }
+        }
+    }
+
+    #[test]
     fn fail_fast_aborts_tail() {
         // One worker failing on the very first item makes the race-free
         // worst case: while the worker handles item 0, backpressure caps
-        // what the feeder can get ahead by (queue depth + in-flight sends),
-        // so the stop flag provably lands before the feeder finishes.
+        // what the feeder can get ahead by (buffered chunks + in-flight
+        // sends), so the stop flag provably lands before the feeder
+        // finishes.
         let mut results = Vec::new();
         run_ordered(
-            0..200,
+            0..10_000,
             cfg(1, true),
             |_w| {
                 |_i, x: usize| {
@@ -253,7 +488,7 @@ mod tests {
         // rather than processed; feeding stopped early.
         assert_eq!(results[0].as_ref().unwrap_err(), "bad record");
         assert!(
-            results.len() < 200,
+            results.len() < 10_000,
             "feeder ran to completion despite fail_fast ({} results)",
             results.len()
         );
@@ -320,12 +555,13 @@ mod tests {
         let worker_flag = Arc::clone(&flag);
         let mut results = Vec::new();
         run_ordered(
-            0..10_000,
+            0..1_000_000,
             PoolConfig {
                 jobs: 2,
                 queue_depth: 4,
                 fail_fast: false,
                 shutdown: Some(Arc::clone(&flag)),
+                chunk: 0,
             },
             move |_w| {
                 let flag = Arc::clone(&worker_flag);
@@ -339,7 +575,7 @@ mod tests {
             |idx, r| results.push((idx, r)),
         );
         assert!(
-            results.len() < 10_000,
+            results.len() < 1_000_000,
             "shutdown flag did not stop the feeder"
         );
         for (i, (idx, r)) in results.iter().enumerate() {

@@ -26,7 +26,7 @@
 use crate::engine::{
     extract_with_retry, startup_lint, Engine, EngineConfig, EngineError, WorkerCtx,
 };
-use crate::metrics::{EngineMetrics, MetricsCollector};
+use crate::metrics::{lock_collector, EngineMetrics, MetricsCollector, MetricsSink};
 use crate::watchdog::Watchdog;
 use cmr_core::{ExtractedRecord, Pipeline, Schema, SharedParseCache};
 use cmr_ontology::Ontology;
@@ -135,6 +135,7 @@ impl ServiceHandle {
             pipeline = pipeline.with_cancel_flag(wd.cancel_flag(widx));
         }
         ServiceWorker {
+            sink: MetricsSink::new(Arc::clone(&self.collector)),
             service: Arc::clone(self),
             widx,
             pipeline,
@@ -143,7 +144,7 @@ impl ServiceHandle {
 
     /// Records one request-latency sample into the cumulative metrics.
     pub fn record_latency(&self, kind: LatencyKind, nanos: u64) {
-        let mut c = lock(&self.collector);
+        let mut c = lock_collector(&self.collector);
         let histogram = match kind {
             LatencyKind::Extract => &mut c.service.extract,
             LatencyKind::Batch => &mut c.service.batch,
@@ -156,13 +157,14 @@ impl ServiceHandle {
     /// thus `records_per_sec`) covers the whole uptime, idle included —
     /// it is a service-lifetime rate, not a batch throughput.
     pub fn metrics(&self) -> EngineMetrics {
-        let collector = lock(&self.collector);
+        let collector = lock_collector(&self.collector);
         let mut m = EngineMetrics::from_collector(
             &collector,
             self.jobs(),
             self.started.elapsed().as_nanos() as u64,
         );
         m.lint_warnings = self.lint_warnings;
+        m.cache_shard_contention = self.parse_cache.stats().contention;
         m
     }
 
@@ -195,14 +197,19 @@ pub struct ServiceWorker {
     service: Arc<ServiceHandle>,
     widx: usize,
     pipeline: Pipeline,
+    /// Worker-local metrics, published into the service-wide collector
+    /// once per request (not once per counter update).
+    sink: MetricsSink,
 }
 
 impl ServiceWorker {
     /// Extracts one note with the full per-request protection stack:
     /// wall-clock/sentence budget, watchdog cancellation, per-attempt
     /// panic isolation, and bounded retry for transient failures. Metrics
-    /// (stage histograms, cache counters, error counts) accumulate into
-    /// the service-wide snapshot.
+    /// (stage histograms, cache counters, error counts) accumulate
+    /// lock-free into the worker's sink and fold into the service-wide
+    /// snapshot once per request, so `GET /metrics` stays fresh while the
+    /// shared lock is taken once here rather than per counter update.
     pub fn extract(&self, text: &str) -> Result<ExtractedRecord, EngineError> {
         let ctx = WorkerCtx {
             widx: self.widx,
@@ -212,23 +219,17 @@ impl ServiceWorker {
             retry: self.service.cfg.retry,
             watchdog: self.service.watchdog.as_deref(),
             quarantine: None,
-            collector: &self.service.collector,
+            collector: &self.sink,
         };
-        extract_with_retry(&ctx, 0, text)
+        let result = extract_with_retry(&ctx, 0, text);
+        self.sink.publish();
+        result
     }
 
     /// The shared handle this worker feeds metrics into.
     pub fn service(&self) -> &Arc<ServiceHandle> {
         &self.service
     }
-}
-
-/// Poison-recovering collector lock (same policy as the batch engine: the
-/// counters are plain sums with no cross-field invariants).
-fn lock(collector: &Mutex<MetricsCollector>) -> std::sync::MutexGuard<'_, MetricsCollector> {
-    collector
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn lock_thread(

@@ -29,7 +29,7 @@ use crate::linkage::{Link, Linkage};
 use cmr_postag::{PosTagger, TaggedToken};
 use cmr_text::{tokenize, Sym};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Per-link length penalty: breaks cost ties toward close attachment
@@ -191,49 +191,172 @@ impl ShapeCache {
     }
 }
 
-/// A parse-structure cache shared between parser instances across threads.
-/// Cloning the handle shares the underlying map, which is bounded by the
-/// same two-generation eviction scheme as each parser's local cache.
-#[derive(Debug, Clone, Default)]
+/// Default number of lock stripes in a [`SharedParseCache`] (a power of
+/// two). Eight stripes keep the worst case at jobs=8 near one worker per
+/// lock while costing only a few empty maps when the pool is small.
+const SHARED_CACHE_SHARDS: usize = 8;
+
+/// A parse-structure cache shared between parser instances across threads,
+/// lock-striped by signature hash. Cloning the handle shares the shards;
+/// each shard is bounded by the same two-generation eviction scheme as
+/// each parser's local cache.
+///
+/// The stripe for a shape is a pure function of its signature, so workers
+/// racing on *one* cold shape still serialize on one stripe — preserving
+/// the no-double-parse property — while lookups of distinct shapes usually
+/// land on distinct stripes and proceed in parallel. Stripe locks are
+/// taken `try_lock`-first; an acquisition that would block is counted in
+/// [`SharedCacheStats::contention`] before falling back to a blocking
+/// lock, so the engine can report real contention rather than guess.
+#[derive(Debug, Clone)]
 pub struct SharedParseCache {
-    inner: Arc<Mutex<ShapeCache>>,
+    inner: Arc<SharedShards>,
+}
+
+#[derive(Debug)]
+struct SharedShards {
+    shards: Box<[Mutex<ShapeCache>]>,
+    /// `shards.len() - 1`; the stripe count is always a power of two.
+    mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    contention: AtomicU64,
+}
+
+/// Counter snapshot of a [`SharedParseCache`] (see
+/// [`SharedParseCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Number of lock stripes.
+    pub shards: usize,
+    /// Cached sentence shapes, summed over stripes.
+    pub entries: usize,
+    /// Entries discarded by generation rotation, summed over stripes.
+    pub evictions: u64,
+    /// Lookups answered from the shared map.
+    pub hits: u64,
+    /// Lookups that fell through to the O(n³) parser.
+    pub misses: u64,
+    /// Stripe-lock acquisitions that found the stripe already held.
+    pub contention: u64,
+}
+
+impl Default for SharedParseCache {
+    fn default() -> Self {
+        SharedParseCache::with_capacity(PARSE_CACHE_CAP)
+    }
 }
 
 impl SharedParseCache {
-    /// An empty shared cache with the default capacity.
+    /// An empty shared cache with the default capacity and stripe count.
     pub fn new() -> SharedParseCache {
         SharedParseCache::default()
     }
 
-    /// An empty shared cache bounded to roughly `cap` cached shapes.
+    /// An empty shared cache bounded to roughly `cap` cached shapes,
+    /// striped across [`SHARED_CACHE_SHARDS`] locks.
     pub fn with_capacity(cap: usize) -> SharedParseCache {
+        SharedParseCache::with_shards(cap, SHARED_CACHE_SHARDS)
+    }
+
+    /// An empty shared cache with an explicit stripe count, rounded up to
+    /// a power of two. `shards == 1` reproduces the old single-lock cache
+    /// exactly — the sharded-vs-single-lock equivalence proptest pins the
+    /// two configurations to identical parse results.
+    pub fn with_shards(cap: usize, shards: usize) -> SharedParseCache {
+        let n = shards.max(1).next_power_of_two();
+        let per_shard = cap.div_ceil(n).max(2);
         SharedParseCache {
-            inner: Arc::new(Mutex::new(ShapeCache::with_limit(cap))),
+            inner: Arc::new(SharedShards {
+                shards: (0..n)
+                    .map(|_| Mutex::new(ShapeCache::with_limit(per_shard)))
+                    .collect(),
+                mask: (n - 1) as u64,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                contention: AtomicU64::new(0),
+            }),
         }
+    }
+
+    /// The stripe responsible for `sig`. Shard bits come from the middle
+    /// of the signature hash: hashbrown derives bucket indexes from the
+    /// low bits and its control tag from the top seven, so neither loses
+    /// distribution inside a shard's map.
+    fn shard_for(&self, sig: &[Sym]) -> &Mutex<ShapeCache> {
+        use std::hash::BuildHasher;
+        let h = FxBuild::default().hash_one(sig);
+        &self.inner.shards[((h >> 32) & self.inner.mask) as usize]
+    }
+
+    /// Locks one stripe, counting acquisitions that had to block. A
+    /// poisoned stripe is recovered, not propagated: the map holds plain
+    /// data, valid at every unlock point, so a worker that panicked
+    /// mid-extraction cannot invalidate the cache for the rest of the
+    /// pool.
+    fn lock_shard<'a>(
+        &'a self,
+        shard: &'a Mutex<ShapeCache>,
+    ) -> std::sync::MutexGuard<'a, ShapeCache> {
+        match shard.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(poison)) => poison.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.inner.contention.fetch_add(1, Ordering::Relaxed);
+                shard
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            }
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
     }
 
     /// Entries discarded by the shared cache's generation rotation.
     pub fn evictions(&self) -> u64 {
         self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .evictions
+            .shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .evictions
+            })
+            .sum()
     }
 
-    /// Number of cached sentence shapes. A poisoned lock is recovered, not
-    /// propagated: the map holds plain data, valid at every await-free
-    /// point, so a worker that panicked mid-extraction cannot invalidate it
-    /// for the rest of the pool.
+    /// Number of cached sentence shapes across all stripes.
     pub fn len(&self) -> usize {
         self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .len()
+            .shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
+            .sum()
     }
 
     /// True when no shapes are cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Counter snapshot: stripe count, entries, evictions, pool-wide
+    /// hit/miss totals, and blocked stripe-lock acquisitions.
+    pub fn stats(&self) -> SharedCacheStats {
+        SharedCacheStats {
+            shards: self.shard_count(),
+            entries: self.len(),
+            evictions: self.evictions(),
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            contention: self.inner.contention.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -243,6 +366,9 @@ impl SharedParseCache {
 pub struct ParserStats {
     /// Parses answered from the structure cache.
     pub cache_hits: u64,
+    /// The subset of `cache_hits` answered by the pool-wide shared cache
+    /// (a locally-unseen shape another worker had already parsed).
+    pub shared_hits: u64,
     /// Parses that ran the O(n³) region parser.
     pub cache_misses: u64,
     /// Wall time spent in uncached parses, in nanoseconds.
@@ -348,21 +474,22 @@ impl LinkParser {
         let signature: Arc<[Sym]> = Arc::from(&sig[..]);
         drop(sig);
         // Local miss: another parser in the pool may have seen this shape.
-        // The shared lock is held ACROSS the fallback parse on a shared
-        // miss, deliberately: when a pool starts cold, every worker hits
-        // the same few shapes at once, and lookup-then-parse-then-insert
-        // would let all of them run the O(n³) parser on the same shape
-        // concurrently (duplicating exactly the work the cache exists to
-        // avoid). Serializing cold parses costs only the cold start —
-        // steady state is absorbed by the lock-free local cache above.
+        // The shape's stripe lock is held ACROSS the fallback parse on a
+        // shared miss, deliberately: when a pool starts cold, every worker
+        // hits the same few shapes at once, and lookup-then-parse-then-
+        // insert would let all of them run the O(n³) parser on the same
+        // shape concurrently (duplicating exactly the work the cache
+        // exists to avoid). Racers on one shape hash to one stripe, so
+        // cold parses of a shape serialize; distinct shapes take distinct
+        // stripes and parse in parallel. Steady state is absorbed by the
+        // lock-free local cache above.
         if let Some(shared) = &self.shared {
-            let mut map = shared
-                .inner
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let shard = shared.shard_for(&signature);
+            let mut map = shared.lock_shard(shard);
             if let Some(cached) = map.get(&signature[..]) {
                 drop(map);
-                self.count_hit();
+                shared.inner.hits.fetch_add(1, Ordering::Relaxed);
+                self.count_shared_hit();
                 let result = match &cached {
                     Ok(c) => Ok(self.rebuild(tagged, c)),
                     Err(f) => Err(*f),
@@ -370,6 +497,7 @@ impl LinkParser {
                 self.cache.borrow_mut().insert(signature, cached);
                 return result;
             }
+            shared.inner.misses.fetch_add(1, Ordering::Relaxed);
             let result = self.parse_and_count(tagged);
             // A cancelled search is an artifact of the deadline, not a
             // property of the shape: caching it would make one timed-out
@@ -397,6 +525,15 @@ impl LinkParser {
     fn count_hit(&self) {
         let mut stats = self.stats.get();
         stats.cache_hits += 1;
+        self.stats.set(stats);
+    }
+
+    /// Charges one hit served by the pool-wide shared cache (counted both
+    /// as a plain hit and in the shared-hit subset).
+    fn count_shared_hit(&self) {
+        let mut stats = self.stats.get();
+        stats.cache_hits += 1;
+        stats.shared_hits += 1;
         self.stats.set(stats);
     }
 
@@ -1513,14 +1650,18 @@ mod tests {
 }
 
 /// Concurrency model for the shared parse cache, built only under
-/// `RUSTFLAGS="--cfg loom"` (the CI loom job). Two properties of the
-/// engine's pool-wide cache are modeled:
+/// `RUSTFLAGS="--cfg loom"` (the CI loom job). Three properties of the
+/// engine's pool-wide lock-striped cache are modeled:
 ///
-/// 1. **No double parse**: the shared lock is held across the fallback
-///    parse on a shared miss (see `try_parse`), so N workers racing on a
-///    cold shape run the O(n³) parser exactly once.
-/// 2. **Bounded, lossless accounting**: under concurrent inserts the
-///    two-generation map never exceeds its capacity, and every entry is
+/// 1. **No double parse**: the shape's stripe lock is held across the
+///    fallback parse on a shared miss (see `try_parse`), and a shape's
+///    stripe is a pure function of its signature — so N workers racing
+///    on a cold shape run the O(n³) parser exactly once.
+/// 2. **No lost publication across shards**: an insert on any stripe is
+///    visible to every later lookup from any worker, regardless of which
+///    shards the two workers touched in between.
+/// 3. **Bounded, lossless accounting**: under concurrent inserts each
+///    two-generation shard never exceeds its capacity, and every entry is
 ///    either still cached or counted by the eviction counter — rotation
 ///    cannot silently lose an insert.
 #[cfg(all(test, loom))]
@@ -1536,13 +1677,13 @@ mod loom_model {
     }
 
     /// The engine's shared-miss path, reduced to its locking skeleton:
-    /// lookup and (on a miss) parse + insert under one lock acquisition.
+    /// pick the shape's stripe, then look up and (on a miss) parse +
+    /// insert under one stripe-lock acquisition.
     fn lookup_or_parse(shared: &SharedParseCache, sig: Arc<[Sym]>, parses: &AtomicUsize) {
-        let mut map = shared
-            .inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let shard = shared.shard_for(&sig);
+        let mut map = shared.lock_shard(shard);
         if map.get(&sig[..]).is_some() {
+            shared.inner.hits.fetch_add(1, Ordering::Relaxed);
             return;
         }
         parses.fetch_add(1, Ordering::SeqCst); // "the O(n³) parse"
@@ -1578,10 +1719,48 @@ mod loom_model {
     }
 
     #[test]
+    fn no_lost_publication_across_shards() {
+        loom::model(|| {
+            // Enough distinct shapes to land on several of the stripes.
+            const SHAPES: usize = 5;
+            let shared = SharedParseCache::with_capacity(1024);
+            let parses: Arc<[AtomicUsize]> =
+                Arc::from((0..SHAPES).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
+            // Worker A publishes shapes in ascending order, worker B in
+            // descending order, so the two cross on different shards in
+            // every interleaving. Every publication must be observed:
+            // exactly-once parsing plus a full final map means no insert
+            // was lost between stripes.
+            let workers: Vec<_> = [false, true]
+                .into_iter()
+                .map(|reverse| {
+                    let shared = shared.clone();
+                    let parses = Arc::clone(&parses);
+                    thread::spawn(move || {
+                        for i in 0..SHAPES {
+                            let n = if reverse { SHAPES - 1 - i } else { i };
+                            lookup_or_parse(&shared, sig("publish", n), &parses[n]);
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().expect("model worker");
+            }
+            for (n, count) in parses.iter().enumerate() {
+                assert_eq!(count.load(Ordering::SeqCst), 1, "shape {n} parsed twice");
+            }
+            assert_eq!(shared.len(), SHAPES, "a publication was lost");
+        });
+    }
+
+    #[test]
     fn concurrent_inserts_stay_bounded_and_accounted() {
         loom::model(|| {
             const PER_WORKER: usize = 8;
-            let shared = SharedParseCache::with_capacity(4); // gen_cap = 2
+            // One stripe: the bound under test is the two-generation
+            // shard map itself, so pin all keys onto a single shard.
+            let shared = SharedParseCache::with_shards(4, 1); // gen_cap = 2
             let workers: Vec<_> = (0..2)
                 .map(|w| {
                     let shared = shared.clone();
@@ -1590,11 +1769,8 @@ mod loom_model {
                             let key = sig("bound", w * PER_WORKER + n);
                             lookup_or_parse(&shared, Arc::clone(&key), &AtomicUsize::new(0));
                             // Re-touching promotes; must never panic or lose.
-                            let _ = shared
-                                .inner
-                                .lock()
-                                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                                .get(&key[..]);
+                            let shard = shared.shard_for(&key);
+                            let _ = shared.lock_shard(shard).get(&key[..]);
                         }
                     })
                 })

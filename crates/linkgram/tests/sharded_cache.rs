@@ -1,0 +1,104 @@
+//! Equivalence proptests for the lock-striped shared parse cache: over
+//! arbitrary corpora, a pool of parsers backed by the sharded cache must
+//! produce exactly the parse results of the old single-lock cache (one
+//! stripe) and of no shared cache at all. Sharding is a contention knob,
+//! never a semantics knob — eviction pressure included.
+
+use cmr_linkgram::{LinkParser, SharedParseCache};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Template-based clinical-dictation sentences with random lexical fill —
+/// few enough shapes to guarantee cross-parser cache traffic, varied
+/// enough to spread signatures across stripes.
+fn sentences() -> impl Strategy<Value = String> {
+    let subj = prop::sample::select(vec!["She", "He", "The patient", "Ms. Smith"]);
+    let verb = prop::sample::select(vec!["denies", "reports", "has", "takes", "reveals"]);
+    let obj = prop::sample::select(vec![
+        "alcohol use",
+        "a mass",
+        "diabetes",
+        "chest pain",
+        "the medication",
+        "hypertension and diabetes",
+        "a pulse of 84",
+    ]);
+    let tail = prop::sample::select(vec![
+        "",
+        " today",
+        " without difficulty",
+        " in the left breast",
+        " five years ago",
+    ]);
+    (subj, verb, obj, tail).prop_map(|(s, v, o, t)| format!("{s} {v} {o}{t}."))
+}
+
+fn corpora() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(sentences(), 1..24)
+}
+
+/// Parse signature for comparison: presence, cost, and the exact links.
+type Outcome = Option<(u64, Arc<Vec<cmr_linkgram::Link>>)>;
+
+fn outcome(parser: &LinkParser, sentence: &str) -> Outcome {
+    parser
+        .parse_sentence(sentence)
+        .map(|l| (l.cost.to_bits(), l.links))
+}
+
+/// Runs a corpus through a two-parser "pool" sharing `cache`, alternating
+/// sentences between the parsers so shapes published by one worker are
+/// looked up by the other.
+fn pool_outcomes(corpus: &[String], cache: SharedParseCache) -> Vec<Outcome> {
+    let mut a = LinkParser::new();
+    a.set_shared_cache(cache.clone());
+    let mut b = LinkParser::new();
+    b.set_shared_cache(cache);
+    corpus
+        .iter()
+        .enumerate()
+        .map(|(i, s)| outcome(if i % 2 == 0 { &a } else { &b }, s))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sharded (8 stripes), single-lock (1 stripe), and cache-free parsing
+    /// agree on every sentence of every corpus.
+    #[test]
+    fn sharded_and_single_lock_caches_parse_identically(corpus in corpora()) {
+        let bare = LinkParser::new();
+        let baseline: Vec<Outcome> = corpus.iter().map(|s| outcome(&bare, s)).collect();
+        let single = pool_outcomes(&corpus, SharedParseCache::with_shards(4096, 1));
+        let sharded = pool_outcomes(&corpus, SharedParseCache::with_shards(4096, 8));
+        prop_assert_eq!(&single, &baseline, "single-lock pool diverged from cache-free");
+        prop_assert_eq!(&sharded, &baseline, "sharded pool diverged from cache-free");
+    }
+
+    /// The equivalence survives eviction pressure: a tiny per-stripe
+    /// capacity forces generation rotation mid-corpus, and results must
+    /// still match the unbounded configurations.
+    #[test]
+    fn equivalence_holds_under_eviction_pressure(corpus in corpora()) {
+        let bare = LinkParser::new();
+        let baseline: Vec<Outcome> = corpus.iter().map(|s| outcome(&bare, s)).collect();
+        let tiny = pool_outcomes(&corpus, SharedParseCache::with_shards(4, 8));
+        prop_assert_eq!(&tiny, &baseline, "eviction changed parse results");
+    }
+
+    /// The shared-cache counters account for every shared lookup: a
+    /// two-parser pool performs some lookups against the shared map, and
+    /// hits + misses must cover exactly the local-miss traffic.
+    #[test]
+    fn shared_stats_account_for_lookups(corpus in corpora()) {
+        let cache = SharedParseCache::with_shards(4096, 8);
+        let _ = pool_outcomes(&corpus, cache.clone());
+        let stats = cache.stats();
+        prop_assert_eq!(stats.shards, 8);
+        prop_assert!(stats.misses as usize <= corpus.len() * 4,
+            "more shared misses than sentences ({} vs {})", stats.misses, corpus.len());
+        prop_assert_eq!(stats.entries as u64 + stats.evictions, stats.misses,
+            "every shared miss must be cached or evicted");
+    }
+}

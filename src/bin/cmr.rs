@@ -238,10 +238,14 @@ fn usage() {
          \u{20}      duplicated record, divergent resume, non-deterministic replay)\n\
          \u{20}  cmr bench [--records N] [--seed S] [--repeats R] [--jobs N] [--out FILE]\n\
          \u{20}            [--baseline FILE] [--label TEXT] [--check FILE] [--threshold F]\n\
+         \u{20}            [--scaling jobs=1..N] [--check-scaling]\n\
          \u{20}      run the perf harness over gold + generated corpora and write a JSON\n\
          \u{20}      report (notes/sec, ns/field, cache hit rates, allocs/note, peak RSS);\n\
          \u{20}      --baseline embeds FILE's headline numbers; --check FILE exits 1 when\n\
-         \u{20}      throughput regresses more than --threshold (default 0.25) vs FILE\n\
+         \u{20}      throughput regresses more than --threshold (default 0.25) vs FILE;\n\
+         \u{20}      --scaling sweeps the engine at each worker count and prints the\n\
+         \u{20}      per-jobs table; --check-scaling exits 1 when jobs=2 falls below\n\
+         \u{20}      95% of serial throughput (skips with a notice on 1-CPU machines)\n\
          \u{20}  cmr parse \"SENTENCE\"\n\
          \u{20}      print the link grammar linkage diagram and constituents\n\
          \u{20}  cmr terms \"TEXT\"\n\
@@ -995,6 +999,8 @@ fn bench(args: &[String]) -> Result<(), String> {
     let mut label = "baseline".to_string();
     let mut check = String::new();
     let mut threshold = "0.25".to_string();
+    let mut scaling = String::new();
+    let mut check_scaling = false;
     let extra = parse_flags(
         args,
         &mut [
@@ -1007,8 +1013,9 @@ fn bench(args: &[String]) -> Result<(), String> {
             ("label", &mut label),
             ("check", &mut check),
             ("threshold", &mut threshold),
+            ("scaling", &mut scaling),
         ],
-        &mut [],
+        &mut [("check-scaling", &mut check_scaling)],
     )?;
     if !extra.is_empty() {
         return Err(format!("bench takes no positional arguments: {extra:?}"));
@@ -1030,6 +1037,28 @@ fn bench(args: &[String]) -> Result<(), String> {
     let threshold: f64 = threshold
         .parse()
         .map_err(|_| "--threshold must be a number".to_string())?;
+    // `--scaling jobs=1..8` (or `1..8`, or just `8`): sweep worker counts
+    // 1..=N. The sweep always starts at 1 because every point's speedup is
+    // reported relative to the sweep's own jobs=1 run.
+    let max_scaling_jobs: Option<usize> = if scaling.is_empty() {
+        if check_scaling {
+            return Err("--check-scaling needs --scaling (e.g. --scaling jobs=1..4)".to_string());
+        }
+        None
+    } else {
+        let spec = scaling.strip_prefix("jobs=").unwrap_or(&scaling);
+        let top = match spec.split_once("..") {
+            Some(("1", hi)) => hi.parse::<usize>().ok(),
+            Some(_) => None,
+            None => spec.parse::<usize>().ok(),
+        };
+        match top {
+            Some(n) if (1..=64).contains(&n) => Some(n),
+            _ => return Err(format!(
+                "--scaling must be `jobs=1..N`, `1..N`, or `N` with N in 1..=64, got {scaling:?}"
+            )),
+        }
+    };
 
     let read_report = |path: &str| -> Result<BenchReport, String> {
         let json = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -1038,6 +1067,10 @@ fn bench(args: &[String]) -> Result<(), String> {
 
     let probe = alloc_count::snapshot;
     let mut report = perf::run_bench(&cfg, Some(&probe));
+    if let Some(max_jobs) = max_scaling_jobs {
+        let texts = perf::workload(&cfg);
+        report.scaling = Some(perf::run_scaling(&cfg, &texts, max_jobs));
+    }
     if !baseline.is_empty() {
         let base = read_report(&baseline)?;
         report.baseline = Some(BaselineSummary {
@@ -1080,6 +1113,47 @@ fn bench(args: &[String]) -> Result<(), String> {
             "cmr: journaled x{} {:.1} notes/sec ({overhead:+.1}% vs plain parallel)",
             report.config.jobs, j.notes_per_sec
         );
+    }
+    if let Some(s) = &report.scaling {
+        eprintln!(
+            "cmr: scaling sweep on {} CPU(s), serial reference {:.1} notes/sec",
+            s.cpus, s.serial_notes_per_sec
+        );
+        eprintln!(
+            "cmr: {:>4} {:>11} {:>8} {:>9} {:>11} {:>8} {:>9} {:>12} {:>9}",
+            "jobs",
+            "notes/sec",
+            "speedup",
+            "l1-hits",
+            "shared-hits",
+            "misses",
+            "contend",
+            "chan-wait-ns",
+            "reorder"
+        );
+        for p in &s.points {
+            eprintln!(
+                "cmr: {:>4} {:>11.1} {:>7.2}x {:>9} {:>11} {:>8} {:>9} {:>12} {:>9}",
+                p.jobs,
+                p.notes_per_sec,
+                p.speedup_vs_jobs1,
+                p.l1_cache_hits,
+                p.shared_cache_hits,
+                p.cache_misses,
+                p.shard_contention,
+                p.channel_wait_nanos,
+                p.reorder_high_water
+            );
+        }
+        if check_scaling {
+            match perf::check_scaling(s, 0.95) {
+                Ok(notice) => eprintln!("cmr: scaling gate: {notice}"),
+                Err(msg) => {
+                    eprintln!("cmr: SCALING REGRESSION: {msg}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 
     if !check.is_empty() {
