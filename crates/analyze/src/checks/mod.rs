@@ -8,4 +8,5 @@ pub mod dict;
 pub mod lexicon;
 pub mod ml;
 pub mod ontology;
+pub mod source;
 pub mod specs;

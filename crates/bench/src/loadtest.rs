@@ -516,6 +516,7 @@ pub fn check_latency_regression(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -540,6 +540,7 @@ pub fn smoke_config() -> BenchConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

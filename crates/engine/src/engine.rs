@@ -1,6 +1,9 @@
 //! The batch-extraction engine.
 
-use crate::metrics::{lock_collector, EngineMetrics, MetricsCollector, MetricsSink, RecordSample};
+use crate::metrics::{
+    lock_collector, EngineMetrics, MetricsCollector, MetricsSink, RecordSample,
+    COLLECTOR_LOCK_CLASS,
+};
 use crate::pool::{panic_message, run_ordered, PoolConfig};
 use crate::retry::{is_transient, AttemptRecord, QuarantineEntry, QuarantineFile, RetryPolicy};
 use crate::watchdog::Watchdog;
@@ -8,11 +11,12 @@ use cmr_core::{
     AssociationMethod, BudgetExceeded, ExtractBudget, ExtractedRecord, PatternSet, Pipeline, Schema,
 };
 use cmr_ontology::Ontology;
+use cmr_sync::TrackedMutex;
 use cmr_text::Record;
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::AtomicBool;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Engine configuration.
@@ -244,7 +248,10 @@ impl Engine {
                 ..EngineMetrics::default()
             };
         }
-        let collector = Arc::new(Mutex::new(MetricsCollector::default()));
+        let collector = Arc::new(TrackedMutex::new(
+            COLLECTOR_LOCK_CLASS,
+            MetricsCollector::default(),
+        ));
         // One pool-wide parse-structure cache: each worker keeps its
         // lock-free local cache as a fast path and falls back to this
         // lock-striped map, so a sentence shape is link-parsed once per

@@ -33,10 +33,13 @@
 //!   remaining queued records through `on_abort` without processing them,
 //!   so every fed index still produces exactly one output.
 
+use cmr_sync::TrackedMutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::sync_channel;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+#[cfg(test)]
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Steady-state records per channel send when the caller does not choose.
@@ -111,7 +114,7 @@ where
     let wait_nanos = AtomicU64::new(0);
     let chunks_sent = AtomicU64::new(0);
     let (in_tx, in_rx) = sync_channel::<Vec<(usize, In)>>(in_bound);
-    let in_rx = Arc::new(Mutex::new(in_rx));
+    let in_rx = Arc::new(TrackedMutex::new("engine.pool_receiver", in_rx));
     let (out_tx, out_rx) = sync_channel::<Vec<(usize, Result<Out, E>)>>(out_bound);
 
     // Upper bound on records in flight (fed but not yet emitted): every
@@ -182,7 +185,7 @@ where
                     // would strand the remaining queued records.
                     let waited = Instant::now();
                     let msg = in_rx
-                        .lock()
+                        .lock() // cmr:allow(S001) -- the lock scope IS the recv: it arbitrates which worker claims the next chunk
                         .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .recv();
                     wait_ref.fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -258,6 +261,119 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_string()
+    }
+}
+
+/// Concurrency model for the pool's ordering machinery, built only under
+/// `RUSTFLAGS="--cfg loom"` (the CI loom job). Two properties are modeled
+/// across many interleavings:
+///
+/// 1. **Exactly-once, in-sequence emission**: the reorder ring emits every
+///    fed index exactly once and in strictly ascending order, for any
+///    worker count and chunk size — a duplicate emission, a skipped index,
+///    or an out-of-sequence slot reuse all fail the sink's assertion.
+/// 2. **Stop-flag handshake**: when `fail_fast` flips the stop flag while
+///    the feeder is mid-stream, the feeder stops feeding, the workers
+///    drain queued records through `on_abort`, and what was emitted is
+///    still a gapless exactly-once prefix — the flag never causes a record
+///    to be emitted twice (once processed, once aborted) or dropped.
+#[cfg(all(test, loom))]
+mod loom_model {
+    use super::*;
+    use loom::sync::atomic::{AtomicUsize, Ordering as LoomOrdering};
+
+    /// Runs the pool and asserts the sink saw indices `0..len` in strict
+    /// sequence with no duplicates; returns the emitted results.
+    fn run_and_check_sequence<W>(
+        n: usize,
+        jobs: usize,
+        chunk: usize,
+        fail_fast: bool,
+        make_worker: impl Fn(usize) -> W + Sync,
+    ) -> Vec<Result<usize, String>>
+    where
+        W: FnMut(usize, usize) -> Result<usize, String>,
+    {
+        let mut emitted = Vec::new();
+        run_ordered(
+            0..n,
+            PoolConfig {
+                jobs,
+                queue_depth: 4,
+                fail_fast,
+                shutdown: None,
+                chunk,
+            },
+            make_worker,
+            |m| format!("panic: {m}"),
+            || "aborted".to_string(),
+            |idx, r| {
+                assert_eq!(
+                    idx,
+                    emitted.len(),
+                    "emission out of sequence (or duplicated): got {idx}, expected {}",
+                    emitted.len()
+                );
+                emitted.push(r);
+            },
+        );
+        emitted
+    }
+
+    #[test]
+    fn ring_emits_each_record_exactly_once_in_sequence() {
+        loom::model(|| {
+            for (jobs, chunk) in [(2, 1), (2, 3), (3, 2)] {
+                let emitted = run_and_check_sequence(10, jobs, chunk, false, |_w| {
+                    |_i, x: usize| Ok::<usize, String>(x * 2)
+                });
+                assert_eq!(emitted.len(), 10, "jobs={jobs} chunk={chunk}");
+                for (i, r) in emitted.iter().enumerate() {
+                    assert_eq!(r, &Ok(i * 2), "jobs={jobs} chunk={chunk}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn stop_flag_handshake_keeps_emission_exact_once() {
+        loom::model(|| {
+            // The worker fails on index 2 with the stop flag still cold, so
+            // the flag is raised while the feeder races to enqueue the rest
+            // of the stream. Whatever interleaving wins, each fed index
+            // resolves exactly once: processed before the flag, or drained
+            // through `on_abort` after it — never both, never skipped.
+            let processed = AtomicUsize::new(0);
+            let processed_ref = &processed;
+            let emitted = run_and_check_sequence(64, 2, 2, true, |_w| {
+                move |i, x: usize| {
+                    if i == 2 {
+                        Err("poison".to_string())
+                    } else {
+                        processed_ref.fetch_add(1, LoomOrdering::SeqCst);
+                        Ok::<usize, String>(x)
+                    }
+                }
+            });
+            assert!(!emitted.is_empty() && emitted.len() <= 64);
+            let aborted = emitted
+                .iter()
+                .filter(|r| matches!(r, Err(e) if e == "aborted"))
+                .count();
+            let failed = emitted
+                .iter()
+                .filter(|r| matches!(r, Err(e) if e == "poison"))
+                .count();
+            assert_eq!(failed, 1, "the poisoned record resolves exactly once");
+            assert_eq!(
+                processed.load(LoomOrdering::SeqCst) + aborted + failed,
+                emitted.len(),
+                "a fed record was both processed and aborted, or neither"
+            );
+            // Everything past the poison is an abort or a pre-flag success,
+            // and index 2 itself carries the original error.
+            assert!(matches!(&emitted[2], Err(e) if e == "poison"));
+        });
     }
 }
 

@@ -124,7 +124,7 @@ impl QuarantineFile {
         line.push('\n');
         let mut file = self
             .inner
-            .lock()
+            .lock() // cmr:allow(S001) -- this mutex exists to serialize appends to one file; the write IS the critical section
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(inj) = cmr_failpoint::io_inject("quarantine::append") {
             if let cmr_failpoint::IoInjection::Partial(n) = inj {

@@ -26,12 +26,15 @@
 use crate::engine::{
     extract_with_retry, startup_lint, Engine, EngineConfig, EngineError, WorkerCtx,
 };
-use crate::metrics::{lock_collector, EngineMetrics, MetricsCollector, MetricsSink};
+use crate::metrics::{
+    lock_collector, EngineMetrics, MetricsCollector, MetricsSink, COLLECTOR_LOCK_CLASS,
+};
 use crate::watchdog::Watchdog;
 use cmr_core::{ExtractedRecord, Pipeline, Schema, SharedParseCache};
 use cmr_ontology::Ontology;
+use cmr_sync::TrackedMutex;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -54,9 +57,9 @@ pub struct ServiceHandle {
     schema: Arc<Schema>,
     ontology: Arc<Ontology>,
     parse_cache: SharedParseCache,
-    collector: Arc<Mutex<MetricsCollector>>,
+    collector: Arc<TrackedMutex<MetricsCollector>>,
     watchdog: Option<Arc<Watchdog>>,
-    watchdog_thread: Mutex<Option<JoinHandle<()>>>,
+    watchdog_thread: TrackedMutex<Option<JoinHandle<()>>>,
     watchdog_stopped: AtomicBool,
     lint_warnings: u64,
     started: Instant,
@@ -80,13 +83,19 @@ impl ServiceHandle {
         }
         let jobs = cfg.resolved_jobs();
         let watchdog = cfg.max_record_millis.map(|ms| Watchdog::new(jobs, ms));
-        let watchdog_thread = Mutex::new(watchdog.as_ref().map(Watchdog::spawn));
+        let watchdog_thread = TrackedMutex::new(
+            "engine.watchdog_thread",
+            watchdog.as_ref().map(Watchdog::spawn),
+        );
         Ok(Arc::new(ServiceHandle {
             cfg,
             schema: schema.into(),
             ontology: ontology.into(),
             parse_cache: SharedParseCache::new(),
-            collector: Arc::new(Mutex::new(MetricsCollector::default())),
+            collector: Arc::new(TrackedMutex::new(
+                COLLECTOR_LOCK_CLASS,
+                MetricsCollector::default(),
+            )),
             watchdog,
             watchdog_thread,
             watchdog_stopped: AtomicBool::new(false),
@@ -233,8 +242,8 @@ impl ServiceWorker {
 }
 
 fn lock_thread(
-    slot: &Mutex<Option<JoinHandle<()>>>,
-) -> std::sync::MutexGuard<'_, Option<JoinHandle<()>>> {
+    slot: &TrackedMutex<Option<JoinHandle<()>>>,
+) -> cmr_sync::TrackedMutexGuard<'_, Option<JoinHandle<()>>> {
     slot.lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }

@@ -8,6 +8,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
 mod bootstrap;
 mod metrics;

@@ -159,6 +159,7 @@ impl Cohort {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

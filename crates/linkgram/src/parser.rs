@@ -27,10 +27,11 @@ use crate::connector::Connector;
 use crate::dict::{Dictionary, WordShape};
 use crate::linkage::{Link, Linkage};
 use cmr_postag::{PosTagger, TaggedToken};
+use cmr_sync::{TrackedMutex, TrackedMutexGuard};
 use cmr_text::{tokenize, Sym};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Per-link length penalty: breaks cost ties toward close attachment
 /// without overriding whole-number disjunct costs.
@@ -215,7 +216,7 @@ pub struct SharedParseCache {
 
 #[derive(Debug)]
 struct SharedShards {
-    shards: Box<[Mutex<ShapeCache>]>,
+    shards: Box<[TrackedMutex<ShapeCache>]>,
     /// `shards.len() - 1`; the stripe count is always a power of two.
     mask: u64,
     hits: AtomicU64,
@@ -269,7 +270,9 @@ impl SharedParseCache {
         SharedParseCache {
             inner: Arc::new(SharedShards {
                 shards: (0..n)
-                    .map(|_| Mutex::new(ShapeCache::with_limit(per_shard)))
+                    .map(|_| {
+                        TrackedMutex::new("linkgram.parse_shard", ShapeCache::with_limit(per_shard))
+                    })
                     .collect(),
                 mask: (n - 1) as u64,
                 hits: AtomicU64::new(0),
@@ -283,7 +286,7 @@ impl SharedParseCache {
     /// of the signature hash: hashbrown derives bucket indexes from the
     /// low bits and its control tag from the top seven, so neither loses
     /// distribution inside a shard's map.
-    fn shard_for(&self, sig: &[Sym]) -> &Mutex<ShapeCache> {
+    fn shard_for(&self, sig: &[Sym]) -> &TrackedMutex<ShapeCache> {
         use std::hash::BuildHasher;
         let h = FxBuild::default().hash_one(sig);
         &self.inner.shards[((h >> 32) & self.inner.mask) as usize]
@@ -296,8 +299,8 @@ impl SharedParseCache {
     /// pool.
     fn lock_shard<'a>(
         &'a self,
-        shard: &'a Mutex<ShapeCache>,
-    ) -> std::sync::MutexGuard<'a, ShapeCache> {
+        shard: &'a TrackedMutex<ShapeCache>,
+    ) -> TrackedMutexGuard<'a, ShapeCache> {
         match shard.try_lock() {
             Ok(guard) => guard,
             Err(std::sync::TryLockError::Poisoned(poison)) => poison.into_inner(),
@@ -1575,6 +1578,46 @@ mod tests {
     fn shared_cache_is_send_and_sync() {
         const fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SharedParseCache>();
+    }
+
+    #[test]
+    fn panic_while_holding_a_shard_leaves_the_cache_usable() {
+        // A worker unwinding mid-extraction with a stripe guard in hand
+        // poisons that stripe's mutex. `lock_shard` recovers (the map is
+        // plain data, valid at every unlock point), so the surviving
+        // workers keep reading and writing the same stripe — and in
+        // lockcheck builds the recovery is not itself a violation.
+        let shared = SharedParseCache::with_shards(64, 1); // one stripe: the poisoned one
+        let sig: Arc<[Sym]> = Arc::from(vec![cmr_text::intern("\u{1}poison-test")].as_slice());
+
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shared.lock_shard(shared.shard_for(&sig));
+            panic!("worker died mid-extraction");
+        }));
+        assert!(unwound.is_err());
+
+        // Writes still land…
+        shared
+            .lock_shard(shared.shard_for(&sig))
+            .insert(Arc::clone(&sig), Err(ParseFailure::NoLinkage));
+        // …and later lookups (and a full parse through the poisoned
+        // stripe) still answer.
+        assert!(shared
+            .lock_shard(shared.shard_for(&sig))
+            .get(&sig[..])
+            .is_some());
+        let mut parser = LinkParser::new();
+        parser.set_shared_cache(shared.clone());
+        assert!(parser.parse_sentence("Blood pressure is 144/90.").is_some());
+
+        #[cfg(feature = "lockcheck")]
+        {
+            cmr_sync::lockcheck::set_mode(cmr_sync::lockcheck::Mode::Record);
+            assert!(
+                cmr_sync::lockcheck::take_violations().is_empty(),
+                "poison recovery must be silent at the S-layer"
+            );
+        }
     }
 
     #[test]

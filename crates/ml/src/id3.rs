@@ -390,6 +390,7 @@ fn render_node(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::dataset::DatasetBuilder;

@@ -186,6 +186,7 @@ const _: () = _assert_send_sync::<Ontology>();
 const _: () = _assert_send_sync::<ValueSet>();
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -510,6 +510,7 @@ fn lemma_for(lower: Sym, tag: Tag, lem: &Lemmatizer) -> Sym {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use cmr_text::tokenize;

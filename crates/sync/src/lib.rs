@@ -1,0 +1,1053 @@
+//! # cmr-sync — tracked lock wrappers with order-inversion detection
+//!
+//! The workspace's concurrency bugs-in-waiting all share one shape: a
+//! `std::sync::Mutex` acquired in one order on one thread and the
+//! opposite order on another, or a guard held across something slow.
+//! Neither is visible to the type system, and both are invisible in tests
+//! until the scheduler happens to interleave the wrong way.
+//!
+//! [`TrackedMutex`], [`TrackedRwLock`], and [`TrackedCondvar`] are
+//! drop-in wrappers over the std primitives. Without the `lockcheck`
+//! cargo feature they compile to plain pass-throughs — no extra state, no
+//! extra branches on the lock path, and no tracking strings in the binary
+//! (CI greps a release build to prove it, exactly like the `failpoints`
+//! feature). With `lockcheck` on, every acquisition:
+//!
+//! * pushes onto a **per-thread acquisition stack** (class name, call
+//!   site, timestamp),
+//! * records a **global lock-order graph** edge from every currently held
+//!   class to the newly acquired one, keyed by class name with the first
+//!   witnessed pair of call sites,
+//! * checks the graph for a path in the *opposite* direction — a
+//!   lock-order inversion, the static shape of a deadlock — and raises a
+//!   `CMR-S100` diagnostic naming both acquisition sites,
+//! * checks for same-class double acquisition on one thread (`CMR-S102`),
+//! * and, on release, raises `CMR-S101` when the guard outlived the
+//!   configurable hazard threshold.
+//!
+//! Lock *classes* are the unit of ordering: the eight shards of the
+//! parse cache share one class, so "shard then collector" vs "collector
+//! then shard" is an inversion no matter which shard instances were
+//! involved.
+//!
+//! What a violation does is configurable ([`lockcheck::set_mode`]):
+//! `Abort` (default — print the diagnostic, `std::process::abort()`),
+//! `Panic`, or `Record` (accumulate for [`lockcheck::take_violations`],
+//! the mode tests use). The hazard threshold and mode can also come from
+//! the environment (`CMR_LOCKCHECK=abort|panic|record`,
+//! `CMR_LOCKCHECK_HAZARD_MS=250`), read once at first use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+#[cfg(feature = "lockcheck")]
+use std::panic::Location;
+use std::sync::{Condvar, LockResult, Mutex, PoisonError, RwLock, TryLockError, TryLockResult};
+use std::time::Duration;
+
+/// A [`std::sync::Mutex`] that participates in lock-order tracking when
+/// the `lockcheck` feature is on, and is a zero-cost pass-through when it
+/// is off.
+pub struct TrackedMutex<T: ?Sized> {
+    #[cfg(feature = "lockcheck")]
+    class: &'static str,
+    inner: Mutex<T>,
+}
+
+/// A [`std::sync::RwLock`] that participates in lock-order tracking when
+/// the `lockcheck` feature is on. Read acquisitions are tracked too: a
+/// read-vs-write order inversion deadlocks exactly like a mutex pair.
+pub struct TrackedRwLock<T: ?Sized> {
+    #[cfg(feature = "lockcheck")]
+    class: &'static str,
+    inner: RwLock<T>,
+}
+
+impl<T> TrackedMutex<T> {
+    /// Creates a tracked mutex. `class` names the *ordering class*: every
+    /// lock that may be acquired interchangeably (e.g. cache shards)
+    /// should share one class name.
+    pub fn new(class: &'static str, value: T) -> TrackedMutex<T> {
+        #[cfg(not(feature = "lockcheck"))]
+        let _ = class;
+        TrackedMutex {
+            #[cfg(feature = "lockcheck")]
+            class,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> TrackedMutex<T> {
+    /// Acquires the lock, blocking. Mirrors [`Mutex::lock`], including
+    /// poison reporting, so call sites keep their existing recovery
+    /// idioms (`unwrap_or_else(PoisonError::into_inner)`).
+    #[track_caller]
+    pub fn lock(&self) -> LockResult<TrackedMutexGuard<'_, T>> {
+        #[cfg(feature = "lockcheck")]
+        imp::check_acquire(self.class, Location::caller());
+        let result = self.inner.lock();
+        #[cfg(feature = "lockcheck")]
+        let token = Some(imp::acquired(self.class, Location::caller()));
+        wrap_lock_result(result, |g| TrackedMutexGuard {
+            inner: Some(g),
+            #[cfg(feature = "lockcheck")]
+            token,
+        })
+    }
+
+    /// Attempts the lock without blocking. Mirrors [`Mutex::try_lock`].
+    /// A successful try-acquisition establishes lock order exactly like a
+    /// blocking one; a failed attempt establishes nothing.
+    #[track_caller]
+    pub fn try_lock(&self) -> TryLockResult<TrackedMutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => {
+                #[cfg(feature = "lockcheck")]
+                let token = {
+                    let site = Location::caller();
+                    imp::check_acquire(self.class, site);
+                    Some(imp::acquired(self.class, site))
+                };
+                Ok(TrackedMutexGuard {
+                    inner: Some(g),
+                    #[cfg(feature = "lockcheck")]
+                    token,
+                })
+            }
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            Err(TryLockError::Poisoned(p)) => {
+                #[cfg(feature = "lockcheck")]
+                let token = {
+                    let site = Location::caller();
+                    imp::check_acquire(self.class, site);
+                    Some(imp::acquired(self.class, site))
+                };
+                Err(TryLockError::Poisoned(PoisonError::new(
+                    TrackedMutexGuard {
+                        inner: Some(p.into_inner()),
+                        #[cfg(feature = "lockcheck")]
+                        token,
+                    },
+                )))
+            }
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for TrackedMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrackedMutex")
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl<T: Default> Default for TrackedMutex<T> {
+    fn default() -> TrackedMutex<T> {
+        TrackedMutex::new("anonymous", T::default())
+    }
+}
+
+impl<T> TrackedRwLock<T> {
+    /// Creates a tracked reader-writer lock (see [`TrackedMutex::new`]
+    /// for what `class` means).
+    pub fn new(class: &'static str, value: T) -> TrackedRwLock<T> {
+        #[cfg(not(feature = "lockcheck"))]
+        let _ = class;
+        TrackedRwLock {
+            #[cfg(feature = "lockcheck")]
+            class,
+            inner: RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> TrackedRwLock<T> {
+    /// Acquires shared read access. Mirrors [`RwLock::read`].
+    #[track_caller]
+    pub fn read(&self) -> LockResult<TrackedReadGuard<'_, T>> {
+        #[cfg(feature = "lockcheck")]
+        imp::check_acquire(self.class, Location::caller());
+        let result = self.inner.read();
+        #[cfg(feature = "lockcheck")]
+        let token = Some(imp::acquired(self.class, Location::caller()));
+        wrap_lock_result(result, |g| TrackedReadGuard {
+            inner: g,
+            #[cfg(feature = "lockcheck")]
+            token,
+        })
+    }
+
+    /// Acquires exclusive write access. Mirrors [`RwLock::write`].
+    #[track_caller]
+    pub fn write(&self) -> LockResult<TrackedWriteGuard<'_, T>> {
+        #[cfg(feature = "lockcheck")]
+        imp::check_acquire(self.class, Location::caller());
+        let result = self.inner.write();
+        #[cfg(feature = "lockcheck")]
+        let token = Some(imp::acquired(self.class, Location::caller()));
+        wrap_lock_result(result, |g| TrackedWriteGuard {
+            inner: g,
+            #[cfg(feature = "lockcheck")]
+            token,
+        })
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for TrackedRwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrackedRwLock")
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// Maps a `LockResult<G>` to a `LockResult<W>` preserving poison status.
+fn wrap_lock_result<G, W>(result: LockResult<G>, wrap: impl FnOnce(G) -> W) -> LockResult<W> {
+    match result {
+        Ok(g) => Ok(wrap(g)),
+        Err(p) => Err(PoisonError::new(wrap(p.into_inner()))),
+    }
+}
+
+/// Guard for a [`TrackedMutex`]. Releasing it (drop) pops the per-thread
+/// acquisition stack and runs the hazard-hold check under `lockcheck`.
+pub struct TrackedMutexGuard<'a, T: ?Sized> {
+    /// `None` only transiently inside [`TrackedCondvar::wait`], which
+    /// consumes the guard by value — user code never observes it.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    #[cfg(feature = "lockcheck")]
+    token: Option<imp::Token>,
+}
+
+impl<T: ?Sized> Deref for TrackedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("guard emptied outside TrackedCondvar::wait"),
+        }
+    }
+}
+
+impl<T: ?Sized> DerefMut for TrackedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("guard emptied outside TrackedCondvar::wait"),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for TrackedMutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Read guard for a [`TrackedRwLock`].
+pub struct TrackedReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    #[cfg(feature = "lockcheck")]
+    token: Option<imp::Token>,
+}
+
+impl<T: ?Sized> Deref for TrackedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Write guard for a [`TrackedRwLock`].
+pub struct TrackedWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    #[cfg(feature = "lockcheck")]
+    token: Option<imp::Token>,
+}
+
+impl<T: ?Sized> Deref for TrackedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for TrackedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(feature = "lockcheck")]
+mod guard_release {
+    use super::*;
+
+    impl<T: ?Sized> Drop for TrackedMutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if let Some(token) = self.token.take() {
+                imp::released(token);
+            }
+        }
+    }
+    impl<T: ?Sized> Drop for TrackedReadGuard<'_, T> {
+        fn drop(&mut self) {
+            if let Some(token) = self.token.take() {
+                imp::released(token);
+            }
+        }
+    }
+    impl<T: ?Sized> Drop for TrackedWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            if let Some(token) = self.token.take() {
+                imp::released(token);
+            }
+        }
+    }
+}
+
+/// A [`std::sync::Condvar`] that understands [`TrackedMutexGuard`]:
+/// waiting releases the tracked acquisition (the OS releases the lock
+/// while parked) and re-registers it on wake, so the per-thread stack and
+/// hazard timer reflect reality across the wait.
+pub struct TrackedCondvar {
+    inner: Condvar,
+}
+
+impl TrackedCondvar {
+    /// A new condition variable.
+    pub fn new() -> TrackedCondvar {
+        TrackedCondvar {
+            inner: Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified. Mirrors [`Condvar::wait`].
+    #[track_caller]
+    pub fn wait<'a, T>(
+        &self,
+        mut guard: TrackedMutexGuard<'a, T>,
+    ) -> LockResult<TrackedMutexGuard<'a, T>> {
+        #[cfg(feature = "lockcheck")]
+        let (class, site) = {
+            // The wait releases the lock: retire the tracked acquisition
+            // now so a long park never reads as a hazard hold, and
+            // re-register on wake (the wake re-acquires).
+            let token = guard.token.take();
+            let meta = token.as_ref().map(imp::token_class);
+            if let Some(token) = token {
+                imp::released(token);
+            }
+            (meta, Location::caller())
+        };
+        let inner = match guard.inner.take() {
+            Some(g) => g,
+            None => unreachable!("guard emptied outside TrackedCondvar::wait"),
+        };
+        // `guard` is now empty; its drop does nothing.
+        let result = self.inner.wait(inner);
+        #[cfg(feature = "lockcheck")]
+        let token = class.map(|c| {
+            imp::check_acquire(c, site);
+            imp::acquired(c, site)
+        });
+        wrap_lock_result(result, |g| TrackedMutexGuard {
+            inner: Some(g),
+            #[cfg(feature = "lockcheck")]
+            token,
+        })
+    }
+
+    /// Blocks until notified or timed out. Mirrors
+    /// [`Condvar::wait_timeout`].
+    #[track_caller]
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: TrackedMutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(TrackedMutexGuard<'a, T>, std::sync::WaitTimeoutResult)> {
+        #[cfg(feature = "lockcheck")]
+        let (class, site) = {
+            let token = guard.token.take();
+            let meta = token.as_ref().map(imp::token_class);
+            if let Some(token) = token {
+                imp::released(token);
+            }
+            (meta, Location::caller())
+        };
+        let inner = match guard.inner.take() {
+            Some(g) => g,
+            None => unreachable!("guard emptied outside TrackedCondvar::wait"),
+        };
+        let result = self.inner.wait_timeout(inner, dur);
+        #[cfg(feature = "lockcheck")]
+        let token = class.map(|c| {
+            imp::check_acquire(c, site);
+            imp::acquired(c, site)
+        });
+        match result {
+            Ok((g, timed_out)) => Ok((
+                TrackedMutexGuard {
+                    inner: Some(g),
+                    #[cfg(feature = "lockcheck")]
+                    token,
+                },
+                timed_out,
+            )),
+            Err(p) => {
+                let (g, timed_out) = p.into_inner();
+                Err(PoisonError::new((
+                    TrackedMutexGuard {
+                        inner: Some(g),
+                        #[cfg(feature = "lockcheck")]
+                        token,
+                    },
+                    timed_out,
+                )))
+            }
+        }
+    }
+
+    /// Wakes one waiter. Mirrors [`Condvar::notify_one`].
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter. Mirrors [`Condvar::notify_all`].
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for TrackedCondvar {
+    fn default() -> TrackedCondvar {
+        TrackedCondvar::new()
+    }
+}
+
+impl fmt::Debug for TrackedCondvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrackedCondvar").finish()
+    }
+}
+
+/// What the tracking layer does when it detects a violation, and how to
+/// read what it found. Every function is a no-op (and [`enabled`] is
+/// `false`) unless the crate was built with the `lockcheck` feature.
+///
+/// [`enabled`]: lockcheck::enabled
+pub mod lockcheck {
+    use super::*;
+
+    /// Whether this build includes the tracking layer.
+    pub const fn enabled() -> bool {
+        cfg!(feature = "lockcheck")
+    }
+
+    /// What a detected violation does.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Mode {
+        /// Print the diagnostic to stderr and `std::process::abort()`.
+        /// The default: an order inversion in a live process is a
+        /// deadlock that has not happened *yet*.
+        Abort,
+        /// Panic at the acquisition (or release) site.
+        Panic,
+        /// Accumulate silently for [`take_violations`].
+        Record,
+    }
+
+    /// One detected violation.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Violation {
+        /// The stable diagnostic code (`"CMR-S100"`, `"CMR-S101"`,
+        /// `"CMR-S102"`).
+        pub code: &'static str,
+        /// Full human-readable diagnostic naming the acquisition sites.
+        pub message: String,
+    }
+
+    /// Sets the violation mode process-wide.
+    pub fn set_mode(mode: Mode) {
+        #[cfg(feature = "lockcheck")]
+        imp::set_mode(mode);
+        #[cfg(not(feature = "lockcheck"))]
+        let _ = mode;
+    }
+
+    /// Sets the guard-hold hazard threshold; `None` disables the check
+    /// (the default, unless `CMR_LOCKCHECK_HAZARD_MS` is set).
+    pub fn set_hazard_threshold(threshold: Option<Duration>) {
+        #[cfg(feature = "lockcheck")]
+        imp::set_hazard(threshold);
+        #[cfg(not(feature = "lockcheck"))]
+        let _ = threshold;
+    }
+
+    /// Drains and returns the violations recorded so far (any mode —
+    /// `Abort` and `Panic` record before raising).
+    pub fn take_violations() -> Vec<Violation> {
+        #[cfg(feature = "lockcheck")]
+        {
+            imp::take_violations()
+        }
+        #[cfg(not(feature = "lockcheck"))]
+        {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(feature = "lockcheck")]
+mod imp {
+    //! The tracking layer. Everything here — including every diagnostic
+    //! string containing the `lockcheck:` marker — exists only under the
+    //! feature, which is what the CI binary grep verifies.
+
+    use super::lockcheck::{Mode, Violation};
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+    use std::sync::{Mutex, OnceLock};
+    use std::time::{Duration, Instant};
+
+    /// One entry on a thread's acquisition stack.
+    struct Held {
+        class: &'static str,
+        site: &'static Location<'static>,
+        id: u64,
+        since: Instant,
+    }
+
+    /// Handed to the guard; returning it to [`released`] pops the stack.
+    pub(crate) struct Token {
+        class: &'static str,
+        site: &'static Location<'static>,
+        id: u64,
+    }
+
+    /// The ordering class a token was acquired under (used by the condvar
+    /// to re-register after a wait).
+    pub(crate) fn token_class(token: &Token) -> &'static str {
+        token.class
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    }
+
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+    /// First-witnessed `from -> to` ordering edge: some thread acquired
+    /// `to_class` at `to_site` while holding `from_class` at `from_site`.
+    #[derive(Clone, Copy)]
+    struct Edge {
+        from_class: &'static str,
+        from_site: &'static Location<'static>,
+        to_class: &'static str,
+        to_site: &'static Location<'static>,
+    }
+
+    #[derive(Default)]
+    struct Graph {
+        /// Keyed by `(from_class, to_class)`; the value remembers the
+        /// first witnessed pair of call sites for that ordering.
+        edges: HashMap<(&'static str, &'static str), Edge>,
+    }
+
+    impl Graph {
+        /// Is `to` reachable from `from` along recorded edges? Returns
+        /// the first edge of a witnessing path (for a direct edge, the
+        /// edge itself — its sites are the ones named in the diagnostic).
+        fn path(&self, from: &'static str, to: &'static str) -> Option<Edge> {
+            if let Some(direct) = self.edges.get(&(from, to)) {
+                return Some(*direct);
+            }
+            // DFS over transitive paths, remembering the first hop so the
+            // diagnostic can name a concrete witnessed acquisition pair.
+            let mut stack: Vec<(&'static str, Option<Edge>)> = vec![(from, None)];
+            let mut seen = vec![from];
+            while let Some((node, head)) = stack.pop() {
+                for (&(a, b), edge) in &self.edges {
+                    if a != node || seen.contains(&b) {
+                        continue;
+                    }
+                    let head = Some(head.unwrap_or(*edge));
+                    if b == to {
+                        return head;
+                    }
+                    seen.push(b);
+                    stack.push((b, head));
+                }
+            }
+            None
+        }
+    }
+
+    static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+    static VIOLATIONS: OnceLock<Mutex<Vec<Violation>>> = OnceLock::new();
+    /// 0 = unread env, 1 = Abort, 2 = Panic, 3 = Record.
+    static MODE: AtomicU8 = AtomicU8::new(0);
+    /// Hazard threshold in nanoseconds; 0 = disabled, u64::MAX = unread.
+    static HAZARD: AtomicU64 = AtomicU64::new(u64::MAX);
+
+    fn graph() -> &'static Mutex<Graph> {
+        GRAPH.get_or_init(|| Mutex::new(Graph::default()))
+    }
+
+    fn violations() -> &'static Mutex<Vec<Violation>> {
+        VIOLATIONS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    pub(crate) fn set_mode(mode: Mode) {
+        let v = match mode {
+            Mode::Abort => 1,
+            Mode::Panic => 2,
+            Mode::Record => 3,
+        };
+        MODE.store(v, Ordering::SeqCst);
+    }
+
+    pub(crate) fn set_hazard(threshold: Option<Duration>) {
+        HAZARD.store(
+            threshold.map_or(0, |d| (d.as_nanos() as u64).max(1)),
+            Ordering::SeqCst,
+        );
+    }
+
+    pub(crate) fn take_violations() -> Vec<Violation> {
+        std::mem::take(
+            &mut *violations()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    fn mode() -> Mode {
+        match MODE.load(Ordering::SeqCst) {
+            0 => {
+                let from_env = match std::env::var("CMR_LOCKCHECK").as_deref() {
+                    Ok("panic") => Mode::Panic,
+                    Ok("record") => Mode::Record,
+                    _ => Mode::Abort,
+                };
+                set_mode(from_env);
+                from_env
+            }
+            2 => Mode::Panic,
+            3 => Mode::Record,
+            _ => Mode::Abort,
+        }
+    }
+
+    fn hazard_nanos() -> u64 {
+        match HAZARD.load(Ordering::SeqCst) {
+            u64::MAX => {
+                let nanos = std::env::var("CMR_LOCKCHECK_HAZARD_MS")
+                    .ok()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map_or(0, |ms| ms.saturating_mul(1_000_000).max(1));
+                HAZARD.store(nanos, Ordering::SeqCst);
+                nanos
+            }
+            n => n,
+        }
+    }
+
+    /// Raises a violation per the active mode. Called with no internal
+    /// lock held, so `Panic` unwinds cleanly.
+    // cmr:allow(S004) -- raising the configured violation is this
+    // function's entire job; Panic mode panics by contract.
+    fn raise(code: &'static str, message: String) {
+        {
+            let mut v = violations()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            v.push(Violation {
+                code,
+                message: message.clone(),
+            });
+        }
+        match mode() {
+            Mode::Record => {}
+            Mode::Panic => panic!("{message}"),
+            Mode::Abort => {
+                eprintln!("{message}");
+                std::process::abort();
+            }
+        }
+    }
+
+    /// Order check for acquiring `class` at `site`, run *before* blocking
+    /// on the lock: an inversion is reported even when the acquisition
+    /// would deadlock.
+    pub(crate) fn check_acquire(class: &'static str, site: &'static Location<'static>) {
+        let mut found: Vec<(&'static str, String)> = Vec::new();
+        HELD.with(|held| {
+            let held = held.borrow();
+            // One graph lock per acquisition: the reverse-path check and
+            // the forward edge inserts are atomic as a unit.
+            let mut g = graph()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for h in held.iter() {
+                if h.class == class {
+                    found.push((
+                        "CMR-S102",
+                        format!(
+                            "lockcheck: CMR-S102 same-class double acquisition: \
+                             acquiring `{class}` at {site} while this thread already \
+                             holds `{}` acquired at {}",
+                            h.class, h.site
+                        ),
+                    ));
+                    continue;
+                }
+                if let Some(reverse) = g.path(class, h.class) {
+                    found.push((
+                        "CMR-S100",
+                        format!(
+                            "lockcheck: CMR-S100 lock-order inversion: acquiring \
+                             `{class}` at {site} while holding `{}` acquired at {}; \
+                             the opposite order was established earlier: \
+                             `{}` acquired at {} while holding `{}` acquired at {}",
+                            h.class,
+                            h.site,
+                            reverse.to_class,
+                            reverse.to_site,
+                            reverse.from_class,
+                            reverse.from_site,
+                        ),
+                    ));
+                }
+                g.edges.entry((h.class, class)).or_insert(Edge {
+                    from_class: h.class,
+                    from_site: h.site,
+                    to_class: class,
+                    to_site: site,
+                });
+            }
+        });
+        for (code, message) in found {
+            raise(code, message);
+        }
+    }
+
+    /// Pushes the acquisition onto this thread's stack.
+    pub(crate) fn acquired(class: &'static str, site: &'static Location<'static>) -> Token {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        HELD.with(|held| {
+            held.borrow_mut().push(Held {
+                class,
+                site,
+                id,
+                since: Instant::now(),
+            });
+        });
+        Token { class, site, id }
+    }
+
+    /// Pops the acquisition (guards may release out of LIFO order) and
+    /// runs the hazard-hold check.
+    pub(crate) fn released(token: Token) {
+        let since = HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            match held.iter().rposition(|h| h.id == token.id) {
+                Some(pos) => Some(held.remove(pos).since),
+                None => None,
+            }
+        });
+        let threshold = hazard_nanos();
+        if threshold == 0 {
+            return;
+        }
+        if let Some(since) = since {
+            let held_nanos = since.elapsed().as_nanos() as u64;
+            if held_nanos > threshold {
+                raise(
+                    "CMR-S101",
+                    format!(
+                        "lockcheck: CMR-S101 guard hazard: `{}` held for {}ms \
+                         (threshold {}ms), acquired at {}",
+                        token.class,
+                        held_nanos / 1_000_000,
+                        threshold / 1_000_000,
+                        token.site
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_passes_values_through() {
+        let m = TrackedMutex::new("test.passthrough", 41);
+        {
+            let mut g = m.lock().unwrap();
+            *g += 1;
+        }
+        assert_eq!(*m.lock().unwrap(), 42);
+        assert_eq!(m.into_inner().unwrap(), 42);
+    }
+
+    #[test]
+    fn try_lock_contends_like_std() {
+        let m = TrackedMutex::new("test.trylock", 0u32);
+        let g = m.lock().unwrap();
+        assert!(matches!(m.try_lock(), Err(TryLockError::WouldBlock)));
+        drop(g);
+        assert!(m.try_lock().is_ok());
+    }
+
+    #[test]
+    fn rwlock_passes_values_through() {
+        let l = TrackedRwLock::new("test.rw", vec![1, 2]);
+        assert_eq!(l.read().unwrap().len(), 2);
+        l.write().unwrap().push(3);
+        assert_eq!(l.read().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn poisoned_mutex_is_recoverable() {
+        let m = std::sync::Arc::new(TrackedMutex::new("test.poison", 7));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::panic::catch_unwind(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        });
+        let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(*g, 7, "data survives a poisoning panic");
+    }
+
+    #[test]
+    fn condvar_wait_roundtrips_the_guard() {
+        use std::sync::Arc;
+        let pair = Arc::new((TrackedMutex::new("test.cv", false), TrackedCondvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock().unwrap();
+            while !*ready {
+                ready = cv.wait(ready).unwrap();
+            }
+            true
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn wait_timeout_times_out() {
+        let m = TrackedMutex::new("test.cvto", ());
+        let cv = TrackedCondvar::new();
+        let g = m.lock().unwrap();
+        let (_g, result) = cv.wait_timeout(g, Duration::from_millis(5)).unwrap();
+        assert!(result.timed_out());
+    }
+}
+
+#[cfg(all(test, feature = "lockcheck"))]
+#[allow(clippy::unwrap_used)]
+mod lockcheck_tests {
+    //! Violation-mode tests share process-global state (mode, graph,
+    //! violation buffer), so they serialize on one mutex and each test
+    //! uses class names unique to it — edges recorded by one test can
+    //! never alias another test's classes.
+
+    use super::lockcheck::{set_hazard_threshold, set_mode, take_violations, Mode};
+    use super::*;
+    use std::sync::{Mutex as StdMutex, OnceLock};
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: OnceLock<StdMutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| StdMutex::new(()))
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn arm_record() {
+        set_mode(Mode::Record);
+        set_hazard_threshold(None);
+        let _ = take_violations();
+    }
+
+    #[test]
+    fn order_inversion_names_both_sites() {
+        let _gate = serial();
+        arm_record();
+        let a = TrackedMutex::new("t100.alpha", ());
+        let b = TrackedMutex::new("t100.beta", ());
+        // Establish alpha -> beta ...
+        let first = a.lock().unwrap(); // site A1
+        let second = b.lock().unwrap(); // site B1
+        drop(second);
+        drop(first);
+        // ... then deliberately invert: beta -> alpha.
+        let first = b.lock().unwrap();
+        let second = a.lock().unwrap(); // the inversion fires here
+        drop(second);
+        drop(first);
+        let violations = take_violations();
+        let inversion = violations
+            .iter()
+            .find(|v| v.code == "CMR-S100")
+            .expect("inversion detected");
+        assert!(
+            inversion.message.contains("t100.alpha") && inversion.message.contains("t100.beta"),
+            "names both lock classes: {}",
+            inversion.message
+        );
+        // Both acquisition sites are named: the message carries this
+        // file's path at least twice (current site + recorded witness).
+        let occurrences = inversion.message.matches("lib.rs:").count();
+        assert!(
+            occurrences >= 2,
+            "names both acquisition sites, got {occurrences} in: {}",
+            inversion.message
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_silent() {
+        let _gate = serial();
+        arm_record();
+        let a = TrackedMutex::new("tok.alpha", ());
+        let b = TrackedMutex::new("tok.beta", ());
+        for _ in 0..3 {
+            let first = a.lock().unwrap();
+            let second = b.lock().unwrap();
+            drop(second);
+            drop(first);
+        }
+        assert!(take_violations().is_empty());
+    }
+
+    #[test]
+    fn transitive_inversion_is_detected() {
+        let _gate = serial();
+        arm_record();
+        let a = TrackedMutex::new("t1t.alpha", ());
+        let b = TrackedMutex::new("t1t.beta", ());
+        let c = TrackedMutex::new("t1t.gamma", ());
+        {
+            let g1 = a.lock().unwrap();
+            let g2 = b.lock().unwrap();
+            drop(g2);
+            drop(g1);
+        }
+        {
+            let g2 = b.lock().unwrap();
+            let g3 = c.lock().unwrap();
+            drop(g3);
+            drop(g2);
+        }
+        // alpha -> beta -> gamma recorded; gamma -> alpha closes a cycle.
+        let g3 = c.lock().unwrap();
+        let g1 = a.lock().unwrap();
+        drop(g1);
+        drop(g3);
+        let violations = take_violations();
+        assert!(
+            violations.iter().any(|v| v.code == "CMR-S100"),
+            "transitive cycle detected: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn same_class_double_acquisition_is_flagged() {
+        let _gate = serial();
+        arm_record();
+        let a = TrackedMutex::new("t102.shard", 1);
+        let b = TrackedMutex::new("t102.shard", 2);
+        let g1 = a.lock().unwrap();
+        let g2 = b.lock().unwrap();
+        drop(g2);
+        drop(g1);
+        let violations = take_violations();
+        assert!(
+            violations.iter().any(|v| v.code == "CMR-S102"),
+            "same-class double acquisition detected: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn hazard_threshold_fires_on_long_hold() {
+        let _gate = serial();
+        arm_record();
+        set_hazard_threshold(Some(Duration::from_millis(10)));
+        let m = TrackedMutex::new("t101.slow", ());
+        {
+            let _g = m.lock().unwrap();
+            std::thread::sleep(Duration::from_millis(30)); // cmr:allow(S008) -- the test exists to exceed the hazard threshold
+        }
+        set_hazard_threshold(None);
+        let violations = take_violations();
+        let hazard = violations
+            .iter()
+            .find(|v| v.code == "CMR-S101")
+            .expect("hazard detected");
+        assert!(
+            hazard.message.contains("t101.slow") && hazard.message.contains("lib.rs:"),
+            "names the class and acquisition site: {}",
+            hazard.message
+        );
+    }
+
+    #[test]
+    fn poisoning_panic_leaves_s_layer_silent() {
+        let _gate = serial();
+        arm_record();
+        let m = std::sync::Arc::new(TrackedMutex::new("tps.poison", 5));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::panic::catch_unwind(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison while holding");
+        });
+        // The lock is poisoned but recoverable, and the panic-unwind
+        // release path produced no violations.
+        let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(*g, 5);
+        drop(g);
+        assert!(take_violations().is_empty(), "S-layer stays silent");
+    }
+
+    #[test]
+    fn condvar_wait_retires_the_hold() {
+        let _gate = serial();
+        arm_record();
+        set_hazard_threshold(Some(Duration::from_millis(20)));
+        let m = TrackedMutex::new("tcv.wait", ());
+        let cv = TrackedCondvar::new();
+        let g = m.lock().unwrap();
+        // Park longer than the hazard threshold: the wait releases the
+        // tracked hold, so neither side of it counts as a hazard.
+        let (g, result) = cv.wait_timeout(g, Duration::from_millis(60)).unwrap();
+        assert!(result.timed_out());
+        drop(g);
+        set_hazard_threshold(None);
+        assert!(
+            take_violations().is_empty(),
+            "wait does not count as a hold"
+        );
+    }
+}

@@ -157,6 +157,7 @@ fn split_header(line: &str) -> Option<(&str, usize)> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -9,6 +9,8 @@
 //! cmr terms "Significant for diabetes and a midline hernia closure."
 //! ```
 
+#![deny(clippy::unwrap_used)]
+
 use cmr::prelude::*;
 use cmr::serve::ndjson::note_from_line;
 use std::fs;
@@ -250,7 +252,7 @@ fn usage() {
          \u{20}      print the link grammar linkage diagram and constituents\n\
          \u{20}  cmr terms \"TEXT\"\n\
          \u{20}      print the medical terms found in TEXT\n\
-         \u{20}  cmr lint [--format human|json|sarif] [--deny notes|warnings|errors] [--no-color]\n\
+         \u{20}  cmr lint [--code] [--format human|json|sarif] [--deny notes|warnings|errors] [--no-color]\n\
          \u{20}      statically analyze the rule assets (dictionary, lexicon, ontology,\n\
          \u{20}      field specs, ID3 config); exits 1 when a finding reaches the --deny\n\
          \u{20}      threshold (default: errors)\n\
@@ -1054,9 +1056,11 @@ fn bench(args: &[String]) -> Result<(), String> {
         };
         match top {
             Some(n) if (1..=64).contains(&n) => Some(n),
-            _ => return Err(format!(
+            _ => {
+                return Err(format!(
                 "--scaling must be `jobs=1..N`, `1..N`, or `N` with N in 1..=64, got {scaling:?}"
-            )),
+            ))
+            }
         }
     };
 
@@ -1175,17 +1179,19 @@ fn bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `cmr lint`: run the static analyzer over the committed rule assets.
-/// Returns the process exit code directly so a deny-threshold failure
-/// exits 1 (distinct from usage errors, which exit 2).
+/// `cmr lint`: run the static analyzer over the committed rule assets,
+/// or — with `--code` — the CMR-S concurrency-soundness checks over the
+/// workspace's own sources. Returns the process exit code directly so a
+/// deny-threshold failure exits 1 (distinct from usage errors, exit 2).
 fn lint(args: &[String]) -> Result<ExitCode, String> {
     let mut format = String::from("human");
     let mut deny = String::from("errors");
     let mut no_color = false;
+    let mut code = false;
     let positional = parse_flags(
         args,
         &mut [("format", &mut format), ("deny", &mut deny)],
-        &mut [("no-color", &mut no_color)],
+        &mut [("no-color", &mut no_color), ("code", &mut code)],
     )?;
     if let Some(extra) = positional.first() {
         return Err(format!(
@@ -1202,7 +1208,11 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
             ))
         }
     };
-    let report = cmr::analyze::analyze_assets();
+    let report = if code {
+        cmr::analyze::analyze_sources()
+    } else {
+        cmr::analyze::analyze_assets()
+    };
     match format.as_str() {
         "human" => {
             use std::io::IsTerminal as _;

@@ -32,6 +32,9 @@
 //! assert!(extracted.numeric("pulse").is_some());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used)]
+
 pub use cmr_analyze as analyze;
 pub use cmr_bench as bench;
 pub use cmr_core as core;
