@@ -25,8 +25,9 @@
 use cmr_core::Schema;
 use cmr_corpus::CorpusBuilder;
 use cmr_engine::{
-    read_journal, Engine, EngineConfig, JournalEntry, JournalWriter, QuarantineFile, RetryPolicy,
-    RunManifest,
+    merge_outputs, read_journal, shard_of, verify_output_prefix, Engine, EngineConfig,
+    JournalEntry, JournalWriter, OutputFingerprint, QuarantineFile, RetryPolicy, RunManifest,
+    Snapshot,
 };
 use cmr_failpoint::FailpointRegistry;
 use cmr_ontology::Ontology;
@@ -109,6 +110,15 @@ fn standard_schedules() -> Vec<&'static str> {
         // retry policy heals the panicked record, so the faulted run
         // stays byte-identical to the unfaulted baseline.
         "engine::record=panic@3",
+        // Sharded-run schedules: a 3-way sharded, compaction-enabled
+        // extraction where one shard "dies" mid-run (the in-process
+        // stand-in for kill -9 on a supervisor-managed subprocess) or
+        // compaction itself hits ENOSPC. Resuming the dead shard and
+        // merging must reproduce the unsharded baseline byte-for-byte,
+        // and compaction must keep every healed journal O(interval).
+        "shard::kill=return-err@5",
+        "shard::kill=enospc@2",
+        "journal::compact=enospc@1",
         "serve::read=return-err%0.3",
         "serve::write=return-err%0.3",
         "serve::accept=return-err@2",
@@ -180,6 +190,9 @@ pub fn run_io_faults(cfg: &IoFaultConfig) -> Result<IoFaultReport, String> {
         let kind = classify(schedule);
         let report = match kind {
             "serve" => run_serve_schedule(&spec),
+            "shard" => run_shard_schedule(&spec, schedule, &texts, &engine_cfg, &baseline, {
+                &dir.join(format!("sched-{idx}"))
+            }),
             "quarantine" => {
                 run_journal_schedule(&spec, schedule, &texts, &poison_cfg, &poison_baseline, {
                     &dir.join(format!("sched-{idx}"))
@@ -205,7 +218,11 @@ pub fn run_io_faults(cfg: &IoFaultConfig) -> Result<IoFaultReport, String> {
 }
 
 fn classify(schedule: &str) -> &'static str {
-    if schedule.contains("serve::") {
+    if schedule.contains("shard::") || schedule.contains("journal::compact") {
+        // `journal::compact` only has a site in the compaction-enabled
+        // sharded runner; the plain journaled phases never compact.
+        "shard"
+    } else if schedule.contains("serve::") {
         "serve"
     } else if schedule.contains("quarantine::") {
         "quarantine"
@@ -439,6 +456,304 @@ fn run_journal_schedule(
     ScheduleReport {
         schedule: spec.to_string(),
         kind: classify(schedule).to_string(),
+        fires,
+        clean_abort,
+        violations,
+    }
+}
+
+/// How many ways the shard schedules partition the corpus.
+const SHARD_WAYS: usize = 3;
+/// Compaction interval of the sharded phases: small enough that every
+/// shard snapshots several times, so `journal::compact` faults have a
+/// site to hit and the O(remainder) bound is actually exercised.
+const SHARD_COMPACT_EVERY: usize = 4;
+
+/// One shard phase: the in-process analogue of a single
+/// `cmr extract --shard s/N --compact-every K` subprocess. Write-ahead
+/// journal, durable output file (the compacted-away prefix lives only
+/// there), periodic snapshot-and-truncate compaction. The synthetic
+/// `shard::kill` failpoint is checked between records: a fire is "this
+/// shard died here", leaving journal and output as a clean prefix for
+/// the supervisor's restart to heal. Returns the abort message, if any.
+fn run_shard_phase(
+    texts: &[String],
+    jpath: &Path,
+    opath: &Path,
+    cfg: &EngineConfig,
+    resume: bool,
+    compact_every: usize,
+) -> Option<String> {
+    use std::io::{BufReader, Seek, SeekFrom};
+
+    let manifest = RunManifest::for_run(cfg, texts);
+    let journal_born = jpath.exists()
+        && std::fs::read(jpath)
+            .map(|bytes| bytes.contains(&b'\n'))
+            .unwrap_or(false);
+    let (writer, start, mut fingerprint, out) = if resume && journal_born {
+        let read = match read_journal(jpath) {
+            Ok(r) => r,
+            Err(e) => return Some(format!("reading journal: {e}")),
+        };
+        if let Some(why) = read.manifest.mismatch(&manifest) {
+            return Some(format!("manifest mismatch: {why}"));
+        }
+        let (mut out, mut fingerprint) = if let Some(snap) = &read.snapshot {
+            // The compacted-away prefix exists only in the output file:
+            // prove it is exactly what the snapshot fingerprinted, drop
+            // any un-journaled tail, and continue appending after it.
+            let f = match std::fs::File::open(opath) {
+                Ok(f) => f,
+                Err(e) => return Some(format!("opening shard output: {e}")),
+            };
+            let (valid, fp) = match verify_output_prefix(&mut BufReader::new(f), snap) {
+                Ok(v) => v,
+                Err(e) => return Some(format!("verifying shard output: {e}")),
+            };
+            let mut f = match std::fs::OpenOptions::new().write(true).open(opath) {
+                Ok(f) => f,
+                Err(e) => return Some(format!("reopening shard output: {e}")),
+            };
+            if let Err(e) = f
+                .set_len(valid)
+                .and_then(|_| f.seek(SeekFrom::Start(valid)).map(|_| ()))
+            {
+                return Some(format!("truncating shard output: {e}"));
+            }
+            (f, fp)
+        } else {
+            // Uncompacted journal: rebuild the output from the replay.
+            match std::fs::File::create(opath) {
+                Ok(f) => (f, OutputFingerprint::new()),
+                Err(e) => return Some(format!("recreating shard output: {e}")),
+            }
+        };
+        for entry in &read.entries {
+            let line = serde_json::to_string(&entry.output).unwrap_or_default();
+            if let Err(e) = writeln!(out, "{line}") {
+                return Some(format!("replaying shard output: {e}"));
+            }
+            fingerprint.add_line(&line);
+        }
+        let writer = match JournalWriter::append_to(jpath, read.valid_len) {
+            Ok(w) => w,
+            Err(e) => return Some(format!("reopening journal: {e}")),
+        };
+        (writer, read.completed(), fingerprint, out)
+    } else {
+        let writer = match JournalWriter::create(jpath, &manifest) {
+            Ok(w) => w,
+            Err(e) => return Some(format!("creating journal: {e}")),
+        };
+        let out = match std::fs::File::create(opath) {
+            Ok(f) => f,
+            Err(e) => return Some(format!("creating shard output: {e}")),
+        };
+        (writer, 0, OutputFingerprint::new(), out)
+    };
+    let mut writer = writer;
+    let mut out = std::io::BufWriter::new(out);
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let engine = Engine::new(cfg.clone(), Schema::paper(), Ontology::full())
+        .with_shutdown(Arc::clone(&shutdown));
+    let mut abort: Option<String> = None;
+    engine.extract_stream(texts.iter().skip(start).cloned(), |idx, result| {
+        if abort.is_some() {
+            return;
+        }
+        if let Some(inj) = cmr_failpoint::io_inject("shard::kill") {
+            abort = Some(format!("shard killed: {}", inj.into_io_error()));
+            shutdown.store(true, Ordering::Relaxed);
+            return;
+        }
+        let entry = JournalEntry {
+            index: start + idx,
+            output: result,
+        };
+        if let Err(e) = writer.append(&entry) {
+            abort = Some(format!("journal append: {e}"));
+            shutdown.store(true, Ordering::Relaxed);
+            return;
+        }
+        let line = serde_json::to_string(&entry.output).unwrap_or_default();
+        if let Err(e) = writeln!(out, "{line}") {
+            abort = Some(format!("shard output write: {e}"));
+            shutdown.store(true, Ordering::Relaxed);
+            return;
+        }
+        fingerprint.add_line(&line);
+        let done = start + idx + 1;
+        if compact_every > 0 && done % compact_every == 0 {
+            // The output must be durable before the entry lines vanish:
+            // after compaction the journal proves only the snapshot,
+            // whose fingerprint must describe bytes that survive a crash.
+            if let Err(e) = out.flush() {
+                abort = Some(format!("shard output flush: {e}"));
+                shutdown.store(true, Ordering::Relaxed);
+                return;
+            }
+            let snap = Snapshot {
+                completed: done,
+                output_fingerprint: fingerprint.as_hex(),
+            };
+            match JournalWriter::compact(jpath, &manifest, &snap) {
+                Ok(w) => writer = w,
+                Err(e) => {
+                    abort = Some(format!("journal compact: {e}"));
+                    shutdown.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+    });
+    if abort.is_none() {
+        if let Err(e) = out.flush() {
+            abort = Some(format!("shard output flush: {e}"));
+        }
+    }
+    abort
+}
+
+/// One shard schedule: a 3-way sharded, compaction-enabled run where the
+/// schedule kills a shard or faults compaction (faulted phase, twice, to
+/// pin replay determinism), then — faults cleared — every shard is
+/// resumed and the outputs merged. The invariants: merged output
+/// byte-identical to the unsharded baseline, every healed journal
+/// bounded by the compaction interval, every shard's journal accounting
+/// for exactly its slice.
+fn run_shard_schedule(
+    spec: &str,
+    _schedule: &str,
+    texts: &[String],
+    cfg: &EngineConfig,
+    baseline: &[String],
+    dir: &Path,
+) -> ScheduleReport {
+    let _ = std::fs::create_dir_all(dir);
+    let mut violations = Vec::new();
+
+    // The corpus slice each `--shard s/3` subprocess would own.
+    let shard_texts: Vec<Vec<String>> = (0..SHARD_WAYS)
+        .map(|s| {
+            texts
+                .iter()
+                .enumerate()
+                .filter(|(g, _)| shard_of(*g, SHARD_WAYS) == s)
+                .map(|(_, t)| t.clone())
+                .collect()
+        })
+        .collect();
+
+    // Faulted phase, twice (round 2 only pins replay determinism). Each
+    // round runs the three shards sequentially — one supervisor tick —
+    // in a thread so an injected panic stays contained.
+    let mut round0_aborts: Vec<Option<String>> = Vec::new();
+    let mut event_logs = Vec::new();
+    for round in 0..2 {
+        if let Err(e) = FailpointRegistry::parse(spec).and_then(FailpointRegistry::install) {
+            violations.push(format!("installing schedule: {e}"));
+            break;
+        }
+        let mut aborts = Vec::new();
+        for (s, slice) in shard_texts.iter().enumerate() {
+            let run = {
+                let texts = slice.clone();
+                let cfg = cfg.clone();
+                let jpath = dir.join(format!("round-{round}-shard-{s}.journal"));
+                let opath = dir.join(format!("round-{round}-shard-{s}.out"));
+                std::thread::spawn(move || {
+                    run_shard_phase(&texts, &jpath, &opath, &cfg, false, SHARD_COMPACT_EVERY)
+                })
+                .join()
+            };
+            aborts.push(match run {
+                Ok(abort) => abort,
+                Err(_) => Some("panicked (contained)".to_string()),
+            });
+        }
+        event_logs.push(cmr_failpoint::events());
+        cmr_failpoint::clear();
+        if round == 0 {
+            round0_aborts = aborts;
+        }
+    }
+    let fires = event_logs.first().map_or(0, Vec::len);
+    if event_logs.len() == 2 && event_logs[0] != event_logs[1] {
+        violations.push(format!(
+            "replay diverged: round 1 fired {:?}, round 2 fired {:?}",
+            event_logs[0], event_logs[1]
+        ));
+    }
+    let clean_abort = round0_aborts.iter().any(Option::is_some);
+
+    // Recovery: resume every round-0 shard with faults cleared (the
+    // supervisor restarting whatever died), then merge and compare.
+    for (s, slice) in shard_texts.iter().enumerate() {
+        let jpath = dir.join(format!("round-0-shard-{s}.journal"));
+        let opath = dir.join(format!("round-0-shard-{s}.out"));
+        let resume = jpath.exists();
+        if let Some(e) = run_shard_phase(slice, &jpath, &opath, cfg, resume, SHARD_COMPACT_EVERY) {
+            violations.push(format!("shard {s} resume after fault aborted: {e}"));
+        }
+    }
+
+    for (s, slice) in shard_texts.iter().enumerate() {
+        let jpath = dir.join(format!("round-0-shard-{s}.journal"));
+        // O(remainder) resume: compaction bounds the healed journal to
+        // manifest + snapshot plus less than one interval of entries.
+        let lines = std::fs::read_to_string(&jpath)
+            .map(|t| t.lines().count())
+            .unwrap_or(0);
+        if lines > SHARD_COMPACT_EVERY + 1 {
+            violations.push(format!(
+                "shard {s} journal holds {lines} line(s) after resume; compaction \
+                 every {SHARD_COMPACT_EVERY} records should bound it to {}",
+                SHARD_COMPACT_EVERY + 1
+            ));
+        }
+        // Exactly-once: the healed journal accounts for the full slice.
+        match read_journal(&jpath) {
+            Ok(read) => {
+                if read.completed() != slice.len() {
+                    violations.push(format!(
+                        "shard {s} journal accounts for {} of {} record(s) after resume",
+                        read.completed(),
+                        slice.len()
+                    ));
+                }
+            }
+            Err(e) => violations.push(format!("shard {s} journal unreadable after resume: {e}")),
+        }
+    }
+
+    // Merge identity, through the real merge path.
+    let contents: Vec<String> = (0..SHARD_WAYS)
+        .map(|s| {
+            std::fs::read_to_string(dir.join(format!("round-0-shard-{s}.out"))).unwrap_or_default()
+        })
+        .collect();
+    let mut readers: Vec<std::io::Cursor<&[u8]>> = contents
+        .iter()
+        .map(|c| std::io::Cursor::new(c.as_bytes()))
+        .collect();
+    let mut merged = Vec::new();
+    if let Err(e) = merge_outputs(&mut readers, &mut merged) {
+        violations.push(format!("merging shard outputs: {e}"));
+    }
+    let want: String = baseline.iter().map(|l| format!("{l}\n")).collect();
+    if merged != want.as_bytes() {
+        violations.push(format!(
+            "merged shard output diverged from the unsharded baseline \
+             ({} vs {} byte(s))",
+            merged.len(),
+            want.len()
+        ));
+    }
+
+    ScheduleReport {
+        schedule: spec.to_string(),
+        kind: "shard".to_string(),
         fires,
         clean_abort,
         violations,

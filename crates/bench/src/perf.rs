@@ -119,6 +119,11 @@ pub struct BenchReport {
     /// workload as `parallel`, plus one journal line per record. Absent in
     /// reports from before the durability subsystem existed.
     pub journaled: Option<RunStats>,
+    /// Journaled leg with auto-compaction enabled (PR 10): the journal is
+    /// snapshotted and truncated every [`COMPACT_EVERY`] records, so this
+    /// leg measures what corpus-scale runs pay for O(remainder) resume.
+    /// Absent in reports from before journal compaction existed.
+    pub journaled_compacting: Option<RunStats>,
     /// Allocation counts (absent when no counting allocator is installed).
     pub allocations: Option<AllocStats>,
     /// Peak resident set size in bytes (`VmHWM`; absent off-Linux).
@@ -349,18 +354,89 @@ pub fn run_journaled(cfg: &BenchConfig, texts: &[String]) -> RunStats {
     best
 }
 
+/// Compaction interval of the `journaled_compacting` bench leg. Small
+/// relative to the bench workload so every repeat performs several
+/// snapshot-truncate cycles — the leg would measure nothing otherwise.
+pub const COMPACT_EVERY: usize = 64;
+
+/// Runs the journaled leg again with auto-compaction: every
+/// [`COMPACT_EVERY`] records the journal is collapsed to a snapshot line
+/// (completed count + rolling output fingerprint) and truncated, exactly
+/// as `cmr extract --compact-every` does. The delta against the plain
+/// journaled leg is the price of O(remainder) resume.
+pub fn run_journaled_compacting(cfg: &BenchConfig, texts: &[String]) -> RunStats {
+    use cmr_engine::{JournalEntry, JournalWriter, OutputFingerprint, RunManifest, Snapshot};
+
+    let path = std::env::temp_dir().join(format!(
+        "cmr-bench-journal-compact-{}-{}.ndjson",
+        std::process::id(),
+        cfg.seed
+    ));
+    let mut best = RunStats::default();
+    for _ in 0..cfg.repeats.max(1) {
+        let engine_cfg = EngineConfig {
+            jobs: cfg.jobs.max(1),
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(engine_cfg.clone(), Schema::paper(), Ontology::full());
+        let manifest = RunManifest::for_run(&engine_cfg, texts);
+        let mut fields = 0u64;
+        let start = Instant::now();
+        let mut writer = JournalWriter::create(&path, &manifest).expect("scratch journal");
+        let mut fingerprint = OutputFingerprint::new();
+        let mut done = 0usize;
+        let metrics = engine.extract_stream(texts.iter().cloned(), |index, output| {
+            let entry = JournalEntry { index, output };
+            writer.append(&entry).expect("journal append");
+            fingerprint.add_line(&serde_json::to_string(&entry.output).unwrap_or_default());
+            if let Ok(rec) = &entry.output {
+                fields += fields_of(rec);
+            }
+            done += 1;
+            if done.is_multiple_of(COMPACT_EVERY) {
+                let snapshot = Snapshot {
+                    completed: done,
+                    output_fingerprint: fingerprint.as_hex(),
+                };
+                writer =
+                    JournalWriter::compact(&path, &manifest, &snapshot).expect("journal compact");
+            }
+        });
+        let wall = start.elapsed().as_nanos() as u64;
+        if best.wall_nanos == 0 || wall < best.wall_nanos {
+            best = RunStats {
+                notes: metrics.records,
+                fields,
+                wall_nanos: wall,
+                cache_hits: metrics.parse_cache.hits,
+                cache_misses: metrics.parse_cache.misses,
+                shared_cache_hits: Some(metrics.parse_cache.shared_hits),
+                shard_contention: Some(metrics.cache_shard_contention),
+                channel_wait_nanos: Some(metrics.channel_wait_nanos),
+                reorder_high_water: Some(metrics.reorder_buffer_high_water),
+                ..RunStats::default()
+            };
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    best.finish();
+    best
+}
+
 /// Runs both legs and assembles a report.
 pub fn run_bench(cfg: &BenchConfig, probe: Option<&dyn Fn() -> (u64, u64)>) -> BenchReport {
     let texts = workload(cfg);
     let (serial, allocations) = run_serial(cfg, &texts, probe);
     let parallel = run_parallel(cfg, &texts);
     let journaled = run_journaled(cfg, &texts);
+    let journaled_compacting = run_journaled_compacting(cfg, &texts);
     BenchReport {
         version: 1,
         config: cfg.clone(),
         serial,
         parallel,
         journaled: Some(journaled),
+        journaled_compacting: Some(journaled_compacting),
         allocations,
         peak_rss_bytes: peak_rss_bytes(),
         baseline: None,
@@ -529,6 +605,34 @@ pub fn check_journal_overhead(report: &BenchReport, threshold: f64) -> Result<()
     Ok(())
 }
 
+/// The compaction gate: snapshot-and-truncate every [`COMPACT_EVERY`]
+/// records is metadata work, so the compacting leg must stay within
+/// `threshold` (fraction, 0.10 in CI) of the plain *journaled* leg of the
+/// same report — compaction is priced against journaling, which is itself
+/// priced against the raw parallel leg by [`check_journal_overhead`].
+pub fn check_compaction_overhead(report: &BenchReport, threshold: f64) -> Result<(), String> {
+    let Some(compacting) = &report.journaled_compacting else {
+        return Err("report has no journaled_compacting leg".to_string());
+    };
+    let Some(journaled) = &report.journaled else {
+        return Err("report has no journaled leg to compare against".to_string());
+    };
+    if journaled.notes_per_sec <= 0.0 {
+        return Err("journaled leg has no throughput to compare against".to_string());
+    }
+    let floor = journaled.notes_per_sec * (1.0 - threshold);
+    if compacting.notes_per_sec < floor {
+        return Err(format!(
+            "compaction overhead too high: {:.1} notes/sec compacting vs {:.1} journaled \
+             (floor {floor:.1} at {:.0}% allowance)",
+            compacting.notes_per_sec,
+            journaled.notes_per_sec,
+            threshold * 100.0
+        ));
+    }
+    Ok(())
+}
+
 /// A tiny smoke workload for tests: a handful of records, one repeat.
 pub fn smoke_config() -> BenchConfig {
     BenchConfig {
@@ -557,6 +661,12 @@ mod tests {
         let journaled = report.journaled.as_ref().expect("journaled leg present");
         assert_eq!(journaled.notes, report.parallel.notes);
         assert!(journaled.notes_per_sec > 0.0);
+        let compacting = report
+            .journaled_compacting
+            .as_ref()
+            .expect("compacting leg present");
+        assert_eq!(compacting.notes, report.parallel.notes);
+        assert!(compacting.notes_per_sec > 0.0);
     }
 
     #[test]
@@ -574,6 +684,38 @@ mod tests {
         assert!(err.contains("journal overhead"), "{err}");
         report.journaled = None;
         assert!(check_journal_overhead(&report, 0.10).is_err());
+    }
+
+    #[test]
+    fn compaction_overhead_gate_trips_and_passes() {
+        let mut report = run_bench(&smoke_config(), None);
+        if let Some(j) = report.journaled.as_mut() {
+            j.notes_per_sec = 100.0;
+        }
+        if let Some(c) = report.journaled_compacting.as_mut() {
+            c.notes_per_sec = 95.0; // -5%: inside the 10% allowance
+        }
+        assert!(check_compaction_overhead(&report, 0.10).is_ok());
+        if let Some(c) = report.journaled_compacting.as_mut() {
+            c.notes_per_sec = 80.0; // -20%: trips
+        }
+        let err = check_compaction_overhead(&report, 0.10).unwrap_err();
+        assert!(err.contains("compaction overhead"), "{err}");
+        report.journaled_compacting = None;
+        assert!(check_compaction_overhead(&report, 0.10).is_err());
+    }
+
+    #[test]
+    fn older_reports_without_compacting_leg_still_parse() {
+        // BENCH_pr5.json predates the compacting leg; the field must be
+        // optional so old reports stay loadable as regression baselines.
+        let mut report = run_bench(&smoke_config(), None);
+        report.journaled_compacting = None;
+        let json = serde_json::to_string(&report).unwrap();
+        let stripped = json.replace("\"journaled_compacting\":null,", "");
+        assert_ne!(stripped, json, "field not serialized where expected");
+        let parsed: BenchReport = serde_json::from_str(&stripped).unwrap();
+        assert!(parsed.journaled_compacting.is_none());
     }
 
     #[test]

@@ -79,15 +79,29 @@ impl CorpusBuilder {
         self
     }
 
-    /// Generates the corpus.
+    /// Generates the corpus, materialized. For corpora too large to hold
+    /// in memory, use [`CorpusBuilder::plan`] and emit record by record.
     pub fn build(&self) -> Corpus {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let smoking_plan = smoking_distribution(self.n, &mut rng);
-        let alcohol_plan = alcohol_distribution(self.n, &mut rng);
-        let records = (0..self.n)
-            .map(|i| self.generate_one(i + 1, smoking_plan[i], alcohol_plan[i]))
-            .collect();
+        let plan = self.plan();
+        let records = (0..self.n).map(|i| plan.record(i)).collect();
         Corpus { records }
+    }
+
+    /// Precomputes the generation plan: the per-record class assignments
+    /// (a few bytes per record) without any note text. [`CorpusPlan::record`]
+    /// then generates any record by index in O(1) extra memory, so a
+    /// million-note corpus streams to disk without ever existing as a
+    /// `Vec`, and a shard can generate just the indices it owns —
+    /// `plan.record(i)` is byte-identical to `build().records[i]`.
+    pub fn plan(&self) -> CorpusPlan {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let smoking = smoking_distribution(self.n, &mut rng);
+        let alcohol = alcohol_distribution(self.n, &mut rng);
+        CorpusPlan {
+            builder: self.clone(),
+            smoking,
+            alcohol,
+        }
     }
 
     /// A per-record, per-purpose RNG. Isolating streams keeps each section's
@@ -395,6 +409,37 @@ impl CorpusBuilder {
     }
 }
 
+/// A corpus generation plan: class-distribution assignments for every
+/// record, but no text. Obtained from [`CorpusBuilder::plan`]; records
+/// are generated on demand by 0-based index, each from its own seeded
+/// RNG streams, so generation order (or skipping indices entirely, as a
+/// shard does) never changes any record's bytes.
+#[derive(Debug, Clone)]
+pub struct CorpusPlan {
+    builder: CorpusBuilder,
+    smoking: Vec<Option<SmokingStatus>>,
+    alcohol: Vec<Option<AlcoholUse>>,
+}
+
+impl CorpusPlan {
+    /// Number of records in the planned corpus.
+    pub fn len(&self) -> usize {
+        self.smoking.len()
+    }
+
+    /// Whether the planned corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.smoking.is_empty()
+    }
+
+    /// Generates record `index` (0-based; panics if out of range).
+    /// Byte-identical to `build().records[index]`.
+    pub fn record(&self, index: usize) -> GoldRecord {
+        self.builder
+            .generate_one(index + 1, self.smoking[index], self.alcohol[index])
+    }
+}
+
 /// Draws a social-history template: the house phrasing (index 0) is the
 /// clinician's habit and dominates, with the rest of the pool supplying the
 /// natural variation the paper's own examples show. Unlike the measurement
@@ -628,6 +673,22 @@ mod tests {
         for r in &corpus.records {
             assert!(r.para <= r.gravida);
             assert!(r.para >= 1);
+        }
+    }
+
+    #[test]
+    fn plan_generates_records_identical_to_build_in_any_order() {
+        let builder = CorpusBuilder::new().records(12).style_variation(0.6);
+        let built = builder.build();
+        let plan = builder.plan();
+        assert_eq!(plan.len(), 12);
+        // Walk indices out of order, as a shard would: record bytes and
+        // gold labels must not depend on generation order.
+        for i in [7usize, 0, 11, 3, 7] {
+            let r = plan.record(i);
+            assert_eq!(r.text, built.records[i].text, "record {i}");
+            assert_eq!(r.smoking, built.records[i].smoking);
+            assert_eq!(r.patient_id, i + 1);
         }
     }
 

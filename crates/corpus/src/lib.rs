@@ -31,7 +31,7 @@ mod noise;
 mod templates;
 
 pub use appendix::APPENDIX_RECORD;
-pub use generator::{Corpus, CorpusBuilder};
+pub use generator::{Corpus, CorpusBuilder, CorpusPlan};
 pub use gold::{AlcoholUse, BodyShape, GoldRecord, SmokingStatus};
 pub use noise::{NoiseConfig, NoiseInjector};
 pub use templates::join_list;

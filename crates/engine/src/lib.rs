@@ -54,14 +54,16 @@ mod metrics;
 mod pool;
 mod retry;
 mod service;
+mod shard;
 mod watchdog;
 
 pub use engine::{
     asset_fingerprint, startup_lint_summary, BatchOutput, Engine, EngineConfig, EngineError,
 };
 pub use journal::{
-    config_fingerprint, corpus_hash, read_journal, JournalEntry, JournalError, JournalRead,
-    JournalWriter, RunManifest, JOURNAL_VERSION,
+    config_fingerprint, corpus_hash, read_journal, verify_output_prefix, CorpusHasher,
+    JournalEntry, JournalError, JournalRead, JournalReplay, JournalWriter, OutputFingerprint,
+    RunManifest, Snapshot, JOURNAL_COMPAT_VERSION, JOURNAL_VERSION,
 };
 pub use metrics::{
     DegradationTotals, DurationHistogram, EngineMetrics, ErrorCounts, MethodCounts,
@@ -71,3 +73,4 @@ pub use retry::{
     is_transient, read_quarantine, AttemptRecord, QuarantineEntry, QuarantineFile, RetryPolicy,
 };
 pub use service::{LatencyKind, ServiceHandle, ServiceWorker};
+pub use shard::{merge_outputs, merge_quarantine, shard_of, ShardSpec};

@@ -352,6 +352,77 @@ impl EngineMetrics {
         }
         m
     }
+
+    /// Folds one replayed journal entry into the deterministic counters
+    /// (`records`, `errors`, `methods`, `degradation`), so a resumed
+    /// run's metrics cover the whole shard instead of just the
+    /// post-resume remainder — which is what lets `cmr merge` report
+    /// corpus totals identical to an uninterrupted run. The replayed
+    /// method counts use the same source as the live path
+    /// (`numeric_methods.values()`); timings and cache counters of
+    /// replayed records died with the killed process and are not
+    /// reconstructed.
+    pub fn absorb_replayed(
+        &mut self,
+        output: &Result<cmr_core::ExtractedRecord, crate::EngineError>,
+    ) {
+        match output {
+            Ok(record) => {
+                self.records += 1;
+                for &method in record.numeric_methods.values() {
+                    self.methods.count(method);
+                }
+                self.degradation.add(&record.degradation);
+            }
+            Err(crate::EngineError::Panicked { .. }) => self.errors.panics += 1,
+            Err(crate::EngineError::Budget { .. }) => self.errors.budget += 1,
+            Err(crate::EngineError::Timeout { .. }) => self.errors.timeouts += 1,
+            Err(crate::EngineError::Aborted) => self.errors.aborted += 1,
+            // A lint failure aborts the whole run before any journal
+            // entry is written; a replayed one still counts as a panic
+            // bucket's sibling rather than vanishing.
+            Err(crate::EngineError::Lint { .. }) => self.errors.panics += 1,
+        }
+        if self.wall_nanos > 0 {
+            self.records_per_sec = self.records as f64 / (self.wall_nanos as f64 / 1e9);
+        }
+    }
+
+    /// Merges another run's snapshot into this one — how `cmr merge`
+    /// combines per-shard metrics into corpus totals.
+    ///
+    /// Counters and histograms sum exactly. `jobs` sums (total workers
+    /// across shards), `wall_nanos` takes the max (shards run
+    /// concurrently, so the slowest shard is the run's wall time) and
+    /// `records_per_sec` is recomputed from the merged totals.
+    /// `reorder_buffer_high_water` is a high-water mark and takes the
+    /// max.
+    pub fn merge(&mut self, other: &EngineMetrics) {
+        self.records += other.records;
+        self.errors.merge(&other.errors);
+        self.jobs += other.jobs;
+        self.wall_nanos = self.wall_nanos.max(other.wall_nanos);
+        self.records_per_sec = if self.wall_nanos > 0 {
+            self.records as f64 / (self.wall_nanos as f64 / 1e9)
+        } else {
+            0.0
+        };
+        self.stages.merge(&other.stages);
+        self.parse_cache.hits += other.parse_cache.hits;
+        self.parse_cache.shared_hits += other.parse_cache.shared_hits;
+        self.parse_cache.misses += other.parse_cache.misses;
+        self.methods.merge(&other.methods);
+        self.degradation.merge(&other.degradation);
+        self.lint_warnings += other.lint_warnings;
+        self.retries += other.retries;
+        self.quarantined += other.quarantined;
+        self.service.merge(&other.service);
+        self.channel_wait_nanos += other.channel_wait_nanos;
+        self.cache_shard_contention += other.cache_shard_contention;
+        self.reorder_buffer_high_water = self
+            .reorder_buffer_high_water
+            .max(other.reorder_buffer_high_water);
+    }
 }
 
 /// One record's measurements, produced by a worker.
@@ -703,6 +774,67 @@ mod tests {
         let c = lock_collector(&global);
         assert_eq!(c.retries, 2);
         assert_eq!(c.errors.panics, 1);
+    }
+
+    #[test]
+    fn engine_metrics_merge_sums_counters_and_maxes_wall() {
+        let mut a = EngineMetrics {
+            records: 10,
+            jobs: 2,
+            wall_nanos: 2_000_000_000,
+            ..Default::default()
+        };
+        a.methods.pattern = 3;
+        a.parse_cache.hits = 5;
+        a.stages.total.record(100);
+        let mut b = EngineMetrics {
+            records: 30,
+            jobs: 4,
+            wall_nanos: 4_000_000_000,
+            quarantined: 1,
+            reorder_buffer_high_water: 7,
+            ..Default::default()
+        };
+        b.methods.pattern = 1;
+        b.parse_cache.misses = 2;
+        b.stages.total.record(200);
+        a.merge(&b);
+        assert_eq!(a.records, 40);
+        assert_eq!(a.jobs, 6);
+        assert_eq!(a.wall_nanos, 4_000_000_000, "slowest shard wins");
+        assert!((a.records_per_sec - 10.0).abs() < 1e-9);
+        assert_eq!(a.methods.pattern, 4);
+        assert_eq!(a.parse_cache.hits, 5);
+        assert_eq!(a.parse_cache.misses, 2);
+        assert_eq!(a.stages.total.count, 2);
+        assert_eq!(a.quarantined, 1);
+        assert_eq!(a.reorder_buffer_high_water, 7);
+    }
+
+    #[test]
+    fn absorb_replayed_matches_live_counting() {
+        use crate::EngineError;
+        let mut record = cmr_core::ExtractedRecord::default();
+        record
+            .numeric_methods
+            .insert("pulse".to_string(), MethodUsed::LinkGrammar);
+        record
+            .numeric_methods
+            .insert("weight".to_string(), MethodUsed::Pattern);
+        record.degradation.tiers.link_grammar = 1;
+        record.degradation.tiers.pattern = 1;
+        let mut m = EngineMetrics::default();
+        m.absorb_replayed(&Ok(record));
+        m.absorb_replayed(&Err(EngineError::Budget { sentences_done: 3 }));
+        m.absorb_replayed(&Err(EngineError::Timeout { millis: 10 }));
+        assert_eq!(m.records, 1);
+        assert_eq!(m.methods.link_grammar, 1);
+        assert_eq!(m.methods.pattern, 1);
+        assert_eq!(m.degradation.link_grammar_fields, 1);
+        assert_eq!(m.degradation.pattern_fields, 1);
+        assert_eq!(m.errors.budget, 1);
+        assert_eq!(m.errors.timeouts, 1);
+        assert_eq!(m.stages.total.count, 0, "replayed records carry no timings");
     }
 
     #[test]

@@ -101,6 +101,12 @@ pub struct QuarantineEntry {
 #[derive(Debug)]
 pub struct QuarantineFile {
     inner: Mutex<File>,
+    /// Entry indices are rewritten to `base + index * stride` at append
+    /// time: a shard run (`--shard i/N`) quarantines under *global*
+    /// corpus indices, so merged quarantine files from different shards
+    /// never collide. Identity (`0`, `1`) for unsharded runs.
+    index_base: usize,
+    index_stride: usize,
 }
 
 impl QuarantineFile {
@@ -108,16 +114,58 @@ impl QuarantineFile {
     pub fn create(path: &Path) -> std::io::Result<QuarantineFile> {
         Ok(QuarantineFile {
             inner: Mutex::new(File::create(path)?),
+            index_base: 0,
+            index_stride: 1,
         })
     }
 
-    /// Appends one entry as a single NDJSON line. Returns whether the
-    /// write fully succeeded; failure is reported, not propagated.
+    /// Opens the quarantine file at `path` for appending, creating it if
+    /// absent — the resume path, where entries from a previous killed
+    /// attempt must survive. (A record quarantined but not yet journaled
+    /// at the kill is re-quarantined by the resumed attempt; `cmr merge`
+    /// dedupes such double entries by index.)
+    pub fn open_append(path: &Path) -> std::io::Result<QuarantineFile> {
+        Ok(QuarantineFile {
+            inner: Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            ),
+            index_base: 0,
+            index_stride: 1,
+        })
+    }
+
+    /// Maps the stream-local indices this file is handed onto global
+    /// corpus indices: entry `i` is written as `base + i * stride`.
+    /// Shard `s` of `N` passes (`s`, `N`).
+    pub fn with_index_mapping(mut self, base: usize, stride: usize) -> QuarantineFile {
+        self.index_base = base;
+        self.index_stride = stride.max(1);
+        self
+    }
+
+    /// Appends one entry as a single NDJSON line, rewriting its index
+    /// through the global index mapping. Returns whether the write fully
+    /// succeeded; failure is reported, not propagated.
     ///
     /// Carries the `quarantine::append` failpoint (partial writes land
     /// their torn prefix, which `read_quarantine`'s blank-line filter and
     /// per-line parse surface rather than crash on).
     pub fn append(&self, entry: &QuarantineEntry) -> bool {
+        let mapped;
+        let entry = if self.index_base == 0 && self.index_stride == 1 {
+            entry
+        } else {
+            mapped = QuarantineEntry {
+                index: self.index_base + entry.index * self.index_stride,
+                text: entry.text.clone(),
+                error: entry.error.clone(),
+                attempts: entry.attempts.clone(),
+            };
+            &mapped
+        };
         let Ok(mut line) = serde_json::to_string(entry) else {
             return false;
         };
@@ -175,6 +223,36 @@ mod tests {
         assert!(!is_transient(&EngineError::Lint {
             message: "bad asset".into()
         }));
+    }
+
+    #[test]
+    fn quarantine_index_mapping_and_append_reopen() {
+        let path = std::env::temp_dir().join(format!("cmr-quar-map-{}.ndjson", std::process::id()));
+        let entry = |index| QuarantineEntry {
+            index,
+            text: "note".into(),
+            error: EngineError::Aborted,
+            attempts: vec![],
+        };
+        // Shard 1 of 3: local index 2 is global index 1 + 2*3 = 7.
+        let q = QuarantineFile::create(&path)
+            .unwrap()
+            .with_index_mapping(1, 3);
+        assert!(q.append(&entry(2)));
+        drop(q);
+        let back = read_quarantine(&path).unwrap();
+        assert_eq!(back[0].index, 7, "entries carry global corpus indices");
+
+        // A resumed attempt reopens in append mode: prior entries survive.
+        let q = QuarantineFile::open_append(&path)
+            .unwrap()
+            .with_index_mapping(1, 3);
+        assert!(q.append(&entry(2)));
+        drop(q);
+        let back = read_quarantine(&path).unwrap();
+        assert_eq!(back.len(), 2, "killed-attempt entry survives the resume");
+        assert_eq!(back[0].index, back[1].index);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

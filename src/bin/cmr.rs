@@ -11,11 +11,15 @@
 
 #![deny(clippy::unwrap_used)]
 
+use cmr::engine::{
+    merge_outputs, merge_quarantine, verify_output_prefix, CorpusHasher, JournalReplay,
+    OutputFingerprint, ShardSpec, Snapshot,
+};
 use cmr::prelude::*;
 use cmr::serve::ndjson::note_from_line;
 use std::fs;
-use std::io::{BufRead, Write};
-use std::path::PathBuf;
+use std::io::{BufRead, Seek, Write};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// A counting global allocator for `cmr bench`'s allocations-per-note
@@ -102,6 +106,18 @@ mod shutdown {
         }
         flag
     }
+
+    /// Forwards SIGTERM to a child process, so a draining supervisor
+    /// passes its shutdown on and each shard flushes its own journal
+    /// (`Child::kill` would SIGKILL, losing the child's drain).
+    pub fn terminate(child: &mut std::process::Child) {
+        extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+        }
+        unsafe {
+            kill(child.id() as i32, SIGTERM);
+        }
+    }
 }
 
 #[cfg(not(unix))]
@@ -112,6 +128,11 @@ mod shutdown {
     /// No signal handling off unix: the flag exists but is never raised.
     pub fn install() -> Arc<AtomicBool> {
         Arc::new(AtomicBool::new(false))
+    }
+
+    /// Off unix there is no SIGTERM to forward; hard-kill the child.
+    pub fn terminate(child: &mut std::process::Child) {
+        let _ = child.kill();
     }
 }
 
@@ -168,6 +189,14 @@ fn main() -> ExitCode {
             Ok(code) => return code,
             Err(e) => Err(e),
         },
+        "merge" => match merge(rest) {
+            Ok(code) => return code,
+            Err(e) => Err(e),
+        },
+        "orchestrate" => match orchestrate(rest) {
+            Ok(code) => return code,
+            Err(e) => Err(e),
+        },
         "chaos" => match chaos(rest) {
             Ok(code) => return code,
             Err(e) => Err(e),
@@ -212,21 +241,43 @@ fn usage() {
          \u{20}      write synthetic consultation notes (and gold labels as JSON);\n\
          \u{20}      --out - streams records as NDJSON to stdout instead\n\
          \u{20}  cmr extract [--jobs N] [--queue-depth Q] [--stats] [--fail-fast]\n\
-         \u{20}              [--journal FILE [--resume]] [--retries N] [--quarantine FILE]\n\
-         \u{20}              [--timeout-ms MS] [--max-sentences N] FILE...\n\
+         \u{20}              [--journal FILE [--resume] [--compact-every N]] [--retries N]\n\
+         \u{20}              [--quarantine FILE] [--timeout-ms MS] [--max-sentences N]\n\
+         \u{20}              [--ndjson] [--shard i/N] [--out FILE] [--metrics FILE] FILE...\n\
          \u{20}      extract structured records from note files, one JSON object per line,\n\
          \u{20}      in input order (byte-identical for any --jobs; 0 = one per core);\n\
          \u{20}      FILE of - reads NDJSON records (objects with a \"text\" field, or\n\
-         \u{20}      JSON strings) from stdin; --stats prints metrics JSON to stderr;\n\
-         \u{20}      --journal writes a crash-safe NDJSON run journal, and --resume\n\
-         \u{20}      replays it and finishes only the remaining records (output stays\n\
-         \u{20}      byte-identical to an uninterrupted run); --retries retries\n\
-         \u{20}      transient failures with backoff and --quarantine files records\n\
-         \u{20}      that still fail; --timeout-ms sets a per-record wall-clock\n\
-         \u{20}      deadline enforced by a watchdog; SIGINT/SIGTERM drain in-flight\n\
-         \u{20}      records, flush the journal, and exit 3 (partial run); a journal\n\
-         \u{20}      write failure (e.g. ENOSPC) drains and exits 4 (clean I/O abort,\n\
-         \u{20}      resumable)\n\
+         \u{20}      JSON strings) from stdin, --ndjson streams the same format from a\n\
+         \u{20}      file in O(queue) memory; --out writes records to FILE instead of\n\
+         \u{20}      stdout and --metrics writes the metrics JSON to FILE;\n\
+         \u{20}      --shard i/N processes only records with index % N == i (0-based;\n\
+         \u{20}      needs --ndjson), for `cmr merge` to recombine; --stats prints\n\
+         \u{20}      metrics JSON to stderr; --journal writes a crash-safe NDJSON run\n\
+         \u{20}      journal, --resume replays it and finishes only the remaining\n\
+         \u{20}      records (output stays byte-identical to an uninterrupted run), and\n\
+         \u{20}      --compact-every N truncates the journal to a snapshot line every N\n\
+         \u{20}      records so resume replays O(remainder), not O(completed);\n\
+         \u{20}      --retries retries transient failures with backoff and --quarantine\n\
+         \u{20}      files records that still fail; --timeout-ms sets a per-record\n\
+         \u{20}      wall-clock deadline enforced by a watchdog; SIGINT/SIGTERM drain\n\
+         \u{20}      in-flight records, flush the journal, and exit 3 (partial run); a\n\
+         \u{20}      journal write failure (e.g. ENOSPC) drains and exits 4 (clean I/O\n\
+         \u{20}      abort, resumable)\n\
+         \u{20}  cmr merge --dir DIR --shards N [--out FILE] [--metrics FILE]\n\
+         \u{20}            [--quarantine FILE]\n\
+         \u{20}      recombine the artifacts of an N-way sharded run (DIR/shard-i.*)\n\
+         \u{20}      into what an unsharded run would have produced: outputs round-robin\n\
+         \u{20}      interleaved in input order, metrics summed, quarantines globally\n\
+         \u{20}      ordered with kill/resume duplicates dropped\n\
+         \u{20}  cmr orchestrate --shards N --dir DIR [--workers K] [--jobs J]\n\
+         \u{20}                  [--compact-every N] [--max-restarts R] [--backoff-ms MS]\n\
+         \u{20}                  [--out FILE] [--metrics FILE] [--quarantine FILE] CORPUS\n\
+         \u{20}      run an N-way sharded extraction of the NDJSON CORPUS under a crash\n\
+         \u{20}      supervisor: at most K shard subprocesses at a time (0 = all), each\n\
+         \u{20}      journaled in DIR; a shard that dies (signal, panic, exit 4) is\n\
+         \u{20}      restarted from its journal with exponential backoff, up to R times;\n\
+         \u{20}      when every shard completes the artifacts are merged as `cmr merge`\n\
+         \u{20}      would; SIGINT/SIGTERM forward to the shards, drain, and exit 3\n\
          \u{20}  cmr chaos [--noise SPEC] [--seed S] [--records N] [--jobs N] [--stats] [--out FILE]\n\
          \u{20}      corrupt the gold corpus at each noise level (SPEC: `0.3`, `0,0.1,0.3`,\n\
          \u{20}      or `A..B[:STEP]`), extract it, and print the degradation curve;\n\
@@ -302,6 +353,7 @@ fn parse_flags(
 
 fn generate(args: &[String]) -> Result<(), String> {
     let mut records = "50".to_string();
+    let mut count = String::new();
     let mut seed = "2005".to_string();
     let mut style = "0".to_string();
     let mut out = "notes".to_string();
@@ -309,12 +361,16 @@ fn generate(args: &[String]) -> Result<(), String> {
         args,
         &mut [
             ("records", &mut records),
+            ("count", &mut count),
             ("seed", &mut seed),
             ("style", &mut style),
             ("out", &mut out),
         ],
         &mut [],
     )?;
+    if !count.is_empty() {
+        records = count;
+    }
     let n: usize = records
         .parse()
         .map_err(|_| "--records must be an integer".to_string())?;
@@ -324,60 +380,167 @@ fn generate(args: &[String]) -> Result<(), String> {
     let style: f64 = style
         .parse()
         .map_err(|_| "--style must be a number".to_string())?;
-    let corpus = CorpusBuilder::new()
+    // A plan, not a built corpus: records are generated one at a time and
+    // dropped after writing, so a million-note corpus streams in O(1)
+    // memory while staying byte-identical to `CorpusBuilder::build`.
+    let plan = CorpusBuilder::new()
         .records(n)
         .seed(seed)
         .style_variation(style)
-        .build();
+        .plan();
     if out == "-" {
         // NDJSON streaming: one full gold record (text included) per line,
         // ready to pipe into `cmr extract -`.
         let stdout = std::io::stdout();
-        let mut w = stdout.lock();
-        for rec in &corpus.records {
-            let json = serde_json::to_string(rec).map_err(|e| e.to_string())?;
+        let mut w = std::io::BufWriter::new(stdout.lock());
+        for i in 0..plan.len() {
+            let rec = plan.record(i);
+            let json = serde_json::to_string(&rec).map_err(|e| e.to_string())?;
             writeln!(w, "{json}").map_err(|e| format!("writing stdout: {e}"))?;
         }
+        w.flush().map_err(|e| format!("writing stdout: {e}"))?;
         return Ok(());
     }
     let dir = PathBuf::from(out);
     fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
-    for rec in &corpus.records {
+    for i in 0..plan.len() {
+        let rec = plan.record(i);
         let path = dir.join(format!("patient_{:03}.txt", rec.patient_id));
         fs::write(&path, &rec.text).map_err(|e| format!("writing {}: {e}", path.display()))?;
         let gold = dir.join(format!("patient_{:03}.gold.json", rec.patient_id));
-        let json = serde_json::to_string_pretty(rec).map_err(|e| e.to_string())?;
+        let json = serde_json::to_string_pretty(&rec).map_err(|e| e.to_string())?;
         fs::write(&gold, json).map_err(|e| format!("writing {}: {e}", gold.display()))?;
     }
     outln!("wrote {n} notes (+ gold labels) to {}", dir.display());
     Ok(())
 }
 
-/// One stdout line per record, flushed immediately: a downstream consumer
-/// (or a post-crash inspection) sees every completed record, not whatever
-/// happened to fit the buffer. A closed stdout (e.g. `| head`) stops
-/// output without panicking the batch.
-fn emit_record_line(
-    w: &mut std::io::StdoutLock<'_>,
-    stdout_closed: &mut bool,
-    failed: &mut u64,
-    result: &Result<ExtractedRecord, EngineError>,
-) {
-    let line = match result {
-        Ok(rec) => serde_json::to_string(rec).expect("record serializes"),
-        Err(e) => {
-            *failed += 1;
-            // In-band error object: stdout stays one JSON object per
-            // input record, in input order.
-            format!(
-                "{{\"error\":{}}}",
-                serde_json::to_string(&e.to_string()).expect("string serializes")
-            )
+/// Where extraction's record lines land. Stdout is flushed per line —
+/// a downstream consumer (or a post-crash inspection) sees every
+/// completed record, and a closed pipe (`| head`) stops output without
+/// panicking the batch. An `--out` file is buffered (flushed at
+/// compaction points and at the end), and write errors are surfaced
+/// instead of swallowed: a truncated shard output would poison the merge.
+///
+/// Every emitted line also feeds the rolling [`OutputFingerprint`], which
+/// journal compaction snapshots so a resume can prove the output prefix
+/// on disk is the one the discarded journal entries produced.
+struct RecordSink {
+    dest: SinkDest,
+    failed: u64,
+    fingerprint: OutputFingerprint,
+    write_error: Option<std::io::Error>,
+}
+
+enum SinkDest {
+    Stdout {
+        w: std::io::StdoutLock<'static>,
+        closed: bool,
+    },
+    File {
+        w: std::io::BufWriter<fs::File>,
+    },
+}
+
+impl RecordSink {
+    fn stdout() -> RecordSink {
+        RecordSink {
+            dest: SinkDest::Stdout {
+                w: std::io::stdout().lock(),
+                closed: false,
+            },
+            failed: 0,
+            fingerprint: OutputFingerprint::new(),
+            write_error: None,
         }
-    };
-    if !*stdout_closed && (writeln!(w, "{line}").is_err() || w.flush().is_err()) {
-        *stdout_closed = true;
     }
+
+    fn file(f: fs::File) -> RecordSink {
+        RecordSink {
+            dest: SinkDest::File {
+                w: std::io::BufWriter::new(f),
+            },
+            failed: 0,
+            fingerprint: OutputFingerprint::new(),
+            write_error: None,
+        }
+    }
+
+    fn create(path: &str) -> Result<RecordSink, String> {
+        let f = fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        Ok(RecordSink::file(f))
+    }
+
+    /// Continues the fingerprint from a compaction snapshot instead of
+    /// from the empty stream.
+    fn with_fingerprint(mut self, fingerprint: OutputFingerprint) -> RecordSink {
+        self.fingerprint = fingerprint;
+        self
+    }
+
+    /// One line per record, in input order: the record JSON, or an
+    /// in-band error object so the stream stays one object per input.
+    fn emit(&mut self, result: &Result<ExtractedRecord, EngineError>) {
+        let line = match result {
+            Ok(rec) => serde_json::to_string(rec).expect("record serializes"),
+            Err(e) => {
+                self.failed += 1;
+                format!(
+                    "{{\"error\":{}}}",
+                    serde_json::to_string(&e.to_string()).expect("string serializes")
+                )
+            }
+        };
+        self.fingerprint.add_line(&line);
+        match &mut self.dest {
+            SinkDest::Stdout { w, closed } => {
+                if !*closed && (writeln!(w, "{line}").is_err() || w.flush().is_err()) {
+                    *closed = true;
+                }
+            }
+            SinkDest::File { w } => {
+                if self.write_error.is_none() {
+                    if let Err(e) = writeln!(w, "{line}") {
+                        self.write_error = Some(e);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pushes buffered lines to disk (no-op for stdout, which flushes
+    /// per line). Compaction must call this first: once the journal
+    /// entries are gone, the snapshot fingerprint is only honest about
+    /// bytes that survive a crash.
+    fn flush(&mut self) -> std::io::Result<()> {
+        match &mut self.dest {
+            SinkDest::Stdout { .. } => Ok(()),
+            SinkDest::File { w } => {
+                if let Some(e) = self.write_error.take() {
+                    return Err(e);
+                }
+                w.flush()
+            }
+        }
+    }
+}
+
+/// Streams the cleaned note texts of an NDJSON corpus file, optionally
+/// keeping only one shard's slice of the global index space. O(one line)
+/// memory; the file can be re-read for a second pass (corpus hashing,
+/// then feeding), which stdin cannot.
+fn ndjson_notes(
+    path: &str,
+    shard: Option<ShardSpec>,
+) -> Result<impl Iterator<Item = String> + Send, String> {
+    let f = fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    Ok(std::io::BufReader::new(f)
+        .lines()
+        .map_while(Result::ok)
+        .filter_map(|l| note_from_line(&l))
+        .enumerate()
+        .filter(move |(g, _)| shard.is_none_or(|s| s.owns(*g)))
+        .map(|(_, text)| text))
 }
 
 fn extract(args: &[String]) -> Result<ExitCode, String> {
@@ -389,9 +552,14 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
     let mut timeout_ms = String::new();
     let mut max_sentences = String::new();
     let mut kill_after = String::new();
+    let mut shard_spec = String::new();
+    let mut out = "-".to_string();
+    let mut metrics_out = String::new();
+    let mut compact_every = String::new();
     let mut stats = false;
     let mut fail_fast = false;
     let mut resume = false;
+    let mut ndjson = false;
     let inputs = parse_flags(
         args,
         &mut [
@@ -403,11 +571,16 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
             ("timeout-ms", &mut timeout_ms),
             ("max-sentences", &mut max_sentences),
             ("kill-after", &mut kill_after),
+            ("shard", &mut shard_spec),
+            ("out", &mut out),
+            ("metrics", &mut metrics_out),
+            ("compact-every", &mut compact_every),
         ],
         &mut [
             ("stats", &mut stats),
             ("fail-fast", &mut fail_fast),
             ("resume", &mut resume),
+            ("ndjson", &mut ndjson),
         ],
     )?;
     if inputs.is_empty() {
@@ -418,6 +591,12 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
     }
     if !kill_after.is_empty() && journal.is_empty() {
         return Err("--kill-after needs --journal (it counts newly journaled records)".to_string());
+    }
+    if !compact_every.is_empty() && journal.is_empty() {
+        return Err("--compact-every needs --journal".to_string());
+    }
+    if ndjson && inputs.len() != 1 {
+        return Err("--ndjson takes exactly one corpus FILE".to_string());
     }
     let jobs: usize = jobs
         .parse()
@@ -441,6 +620,23 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
     let timeout_ms = parse_opt("timeout-ms", &timeout_ms)?;
     let max_sentences = parse_opt("max-sentences", &max_sentences)?;
     let kill_after = parse_opt("kill-after", &kill_after)?;
+    let compact_every = parse_opt("compact-every", &compact_every)?.unwrap_or(0);
+    let shard: Option<ShardSpec> = if shard_spec.is_empty() {
+        None
+    } else {
+        Some(ShardSpec::parse(&shard_spec)?)
+    };
+    let from_stdin = inputs.len() == 1 && inputs[0] == "-";
+    // The corpus file of a streamed (--ndjson) run; stdin stays the
+    // materialized path because it cannot be re-read for a second pass.
+    let ndjson_file: Option<String> = if ndjson && !from_stdin {
+        Some(inputs[0].clone())
+    } else {
+        None
+    };
+    if shard.is_some() && ndjson_file.is_none() {
+        return Err("--shard needs --ndjson with a corpus file (a re-readable input)".to_string());
+    }
     let cfg = EngineConfig {
         jobs,
         queue_depth: queue_depth.max(1),
@@ -457,39 +653,65 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
     let mut engine = Engine::new(cfg.clone(), Schema::paper(), Ontology::full())
         .with_shutdown(std::sync::Arc::clone(&shutdown_flag));
     if !quarantine.is_empty() {
-        let file = QuarantineFile::create(&PathBuf::from(&quarantine))
-            .map_err(|e| format!("creating {quarantine}: {e}"))?;
+        let qpath = PathBuf::from(&quarantine);
+        // A resumed run appends: entries from the killed attempt survive,
+        // and `cmr merge` dedupes the double-quarantine that a kill
+        // between quarantine-append and journal-append leaves behind.
+        let file = if resume {
+            QuarantineFile::open_append(&qpath)
+        } else {
+            QuarantineFile::create(&qpath)
+        }
+        .map_err(|e| format!("opening {quarantine}: {e}"))?;
+        // Sharded entries carry their *global* corpus index, so merged
+        // quarantine files read like an unsharded run's.
+        let file = match shard {
+            Some(s) => file.with_index_mapping(s.index, s.total),
+            None => file,
+        };
         engine = engine.with_quarantine(file);
     }
 
-    let stdout = std::io::stdout();
-    let mut w = stdout.lock();
-    let mut failed = 0u64;
-    let mut stdout_closed = false;
-    let from_stdin = inputs.len() == 1 && inputs[0] == "-";
-
-    let (metrics, partial) = if !journal.is_empty() {
-        // Journaled (durable) run. The corpus is materialized up front even
-        // from stdin: the manifest fingerprints the whole corpus so a
-        // resume against different input is rejected, and that requires
-        // seeing all of it before the first record is processed.
-        let texts: Vec<String> = if from_stdin {
-            std::io::stdin()
-                .lock()
-                .lines()
-                .map_while(Result::ok)
-                .filter_map(|l| note_from_line(&l))
-                .collect()
-        } else {
-            let mut texts = Vec::with_capacity(inputs.len());
-            for path in &inputs {
-                texts.push(fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?);
-            }
-            texts
-        };
-        let total = texts.len();
+    let (sink, metrics, partial) = if !journal.is_empty() {
+        // Journaled (durable) run. The manifest fingerprints the corpus
+        // so a resume against different input is rejected. An --ndjson
+        // file corpus streams twice (hash pass, then feed pass) in
+        // O(one record) memory; stdin and note files are materialized as
+        // before (stdin cannot be re-read, and argv-sized file lists are
+        // not the corpus-scale path).
+        let (manifest, total, texts): (RunManifest, usize, Option<Vec<String>>) =
+            if let Some(corpus) = &ndjson_file {
+                let mut hasher = CorpusHasher::new();
+                for note in ndjson_notes(corpus, shard)? {
+                    hasher.add(&note);
+                }
+                let total = hasher.records();
+                (
+                    RunManifest::for_corpus(&cfg, hasher.finish(), total),
+                    total,
+                    None,
+                )
+            } else {
+                let texts: Vec<String> = if from_stdin {
+                    std::io::stdin()
+                        .lock()
+                        .lines()
+                        .map_while(Result::ok)
+                        .filter_map(|l| note_from_line(&l))
+                        .collect()
+                } else {
+                    let mut texts = Vec::with_capacity(inputs.len());
+                    for path in &inputs {
+                        texts.push(
+                            fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
+                        );
+                    }
+                    texts
+                };
+                let total = texts.len();
+                (RunManifest::for_run(&cfg, &texts), total, Some(texts))
+            };
         let jpath = PathBuf::from(&journal);
-        let manifest = RunManifest::for_run(&cfg, &texts);
         // A journal that died at birth — the crash or ENOSPC hit before
         // the manifest line was complete — holds nothing and proves
         // nothing was emitted (write-ahead: the manifest precedes every
@@ -498,20 +720,82 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
             && fs::read(&jpath)
                 .map(|bytes| bytes.contains(&b'\n'))
                 .unwrap_or(false);
-        let (mut writer, start) = if resume && journal_born {
-            let read = read_journal(&jpath).map_err(|e| e.to_string())?;
-            if let Some(why) = read.manifest.mismatch(&manifest) {
+        // Deterministic counters reconstructed from replayed entries, so
+        // a resumed run's metrics cover the whole shard (merged with the
+        // engine's own snapshot below).
+        let mut replay_metrics = EngineMetrics::default();
+        let (mut writer, start, mut sink) = if resume && journal_born {
+            let mut replay = JournalReplay::open(&jpath).map_err(|e| e.to_string())?;
+            if let Some(why) = replay.manifest().mismatch(&manifest) {
                 return Err(format!("cannot resume {journal}: {why}"));
             }
-            // Replay the journaled prefix so stdout is byte-identical to
-            // an uninterrupted run, then append past the intact bytes
-            // (dropping a torn final line from the crash, if any).
-            for entry in &read.entries {
-                emit_record_line(&mut w, &mut stdout_closed, &mut failed, &entry.output);
+            let snapshot = replay.snapshot().cloned();
+            let mut sink = match &snapshot {
+                Some(snap) => {
+                    // Compacted journal: the pre-snapshot records have no
+                    // entries left to replay. The snapshot's rolling
+                    // fingerprint carries the output identity across the
+                    // gap.
+                    let fp = OutputFingerprint::from_hex(&snap.output_fingerprint)
+                        .ok_or_else(|| format!("cannot resume {journal}: corrupt snapshot"))?;
+                    if out == "-" {
+                        eprintln!(
+                            "cmr: resuming a compacted journal to stdout: the {} record(s) \
+                             before the snapshot were emitted by the previous run and are \
+                             not replayed",
+                            snap.completed
+                        );
+                        RecordSink::stdout().with_fingerprint(fp)
+                    } else {
+                        // Prove the --out file's prefix is the one the
+                        // discarded entries produced, drop anything after
+                        // it (un-journaled tail from the crash), and
+                        // append.
+                        let f = fs::File::open(&out).map_err(|e| {
+                            format!(
+                                "cannot resume a compacted journal without its output \
+                                 file {out}: {e}"
+                            )
+                        })?;
+                        let (valid_bytes, _) =
+                            verify_output_prefix(&mut std::io::BufReader::new(f), snap)
+                                .map_err(|e| format!("cannot resume {journal}: {e}"))?;
+                        let mut f = fs::OpenOptions::new()
+                            .write(true)
+                            .open(&out)
+                            .map_err(|e| format!("opening {out}: {e}"))?;
+                        f.set_len(valid_bytes)
+                            .and_then(|()| f.seek(std::io::SeekFrom::Start(valid_bytes)))
+                            .map_err(|e| format!("truncating {out}: {e}"))?;
+                        RecordSink::file(f).with_fingerprint(fp)
+                    }
+                }
+                None => {
+                    if out == "-" {
+                        RecordSink::stdout()
+                    } else {
+                        // Uncompacted resume rebuilds the output file from
+                        // the full replay.
+                        RecordSink::create(&out)?
+                    }
+                }
+            };
+            // Stream the journaled prefix straight to output — O(one
+            // entry) memory — so the final output is byte-identical to an
+            // uninterrupted run.
+            let mut replayed = 0usize;
+            while let Some(step) = replay.next_entry() {
+                let entry = step.map_err(|e| e.to_string())?;
+                replay_metrics.absorb_replayed(&entry.output);
+                sink.emit(&entry.output);
+                replayed += 1;
             }
-            let start = read.entries.len();
-            eprintln!("cmr: resuming {journal}: {start}/{total} record(s) already journaled");
-            let writer = match JournalWriter::append_to(&jpath, read.valid_len) {
+            let start = replay.completed();
+            eprintln!(
+                "cmr: resuming {journal}: {start}/{total} record(s) already journaled \
+                 ({replayed} replayed)"
+            );
+            let writer = match JournalWriter::append_to(&jpath, replay.valid_len()) {
                 Ok(w) => w,
                 Err(e) => {
                     eprintln!(
@@ -522,7 +806,7 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
                     return Ok(ExitCode::from(EXIT_IO_FAULT));
                 }
             };
-            (writer, start)
+            (writer, start, sink)
         } else {
             let writer = match JournalWriter::create(&jpath, &manifest) {
                 Ok(w) => w,
@@ -535,37 +819,56 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
                     return Ok(ExitCode::from(EXIT_IO_FAULT));
                 }
             };
-            (writer, 0)
+            let sink = if out == "-" {
+                RecordSink::stdout()
+            } else {
+                RecordSink::create(&out)?
+            };
+            (writer, 0, sink)
         };
 
-        let mut journal_error: Option<String> = None;
+        let feed: Box<dyn Iterator<Item = String> + Send> = match (ndjson_file.as_ref(), texts) {
+            (Some(corpus), _) => Box::new(ndjson_notes(corpus, shard)?.skip(start)),
+            (None, Some(texts)) => Box::new(texts.into_iter().skip(start)),
+            (None, None) => unreachable!("materialized paths always carry texts"),
+        };
+        let mut abort_error: Option<String> = None;
         let mut newly_journaled = 0u64;
         let mut seen = 0usize;
         let fault_flag = std::sync::Arc::clone(&shutdown_flag);
-        let metrics = engine.extract_stream(texts.into_iter().skip(start), |idx, result| {
+        let metrics = engine.extract_stream(feed, |idx, result| {
             let entry = JournalEntry {
                 index: start + idx,
                 output: result,
             };
             // Write-ahead ordering: the journal line lands before the
-            // record becomes visible on stdout, so every record a consumer
-            // has seen is recoverable after a crash. A failed append
-            // (ENOSPC, torn write) therefore aborts cleanly: raise the
-            // shutdown flag so the pool drains, and emit nothing further —
-            // an un-journaled record on stdout would be lost to resume.
-            if journal_error.is_none() {
+            // record becomes visible on the output, so every record a
+            // consumer has seen is recoverable after a crash. A failed
+            // append (ENOSPC, torn write) therefore aborts cleanly: raise
+            // the shutdown flag so the pool drains, and emit nothing
+            // further — an un-journaled record in the output would be
+            // lost to resume.
+            if abort_error.is_none() {
                 if let Err(e) = writer.append(&entry) {
-                    journal_error = Some(format!(
+                    abort_error = Some(format!(
                         "writing {journal}: {} ({e})",
                         classify_io_error(&e)
                     ));
                     fault_flag.store(true, std::sync::atomic::Ordering::Relaxed);
                 }
             }
-            if journal_error.is_some() {
+            if abort_error.is_some() {
                 return;
             }
-            emit_record_line(&mut w, &mut stdout_closed, &mut failed, &entry.output);
+            sink.emit(&entry.output);
+            if let Some(e) = sink.write_error.take() {
+                // The inverse failure: the record is journaled but its
+                // output line is not durable. Abort cleanly; resume
+                // rebuilds the output from the journal.
+                abort_error = Some(format!("writing {out}: {} ({e})", classify_io_error(&e)));
+                fault_flag.store(true, std::sync::atomic::Ordering::Relaxed);
+                return;
+            }
             seen += 1;
             newly_journaled += 1;
             if kill_after == Some(newly_journaled) {
@@ -574,9 +877,44 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
                 // N-th new record, like a `kill -9` at the worst moment.
                 std::process::abort();
             }
+            if compact_every > 0 && newly_journaled.is_multiple_of(compact_every) {
+                // The output must be on disk before the entry lines
+                // vanish: after compaction the journal proves only the
+                // snapshot, whose fingerprint must describe bytes that
+                // survive a crash.
+                if let Err(e) = sink.flush() {
+                    abort_error = Some(format!("writing {out}: {} ({e})", classify_io_error(&e)));
+                    fault_flag.store(true, std::sync::atomic::Ordering::Relaxed);
+                    return;
+                }
+                let snap = Snapshot {
+                    completed: start + seen,
+                    output_fingerprint: sink.fingerprint.as_hex(),
+                };
+                match JournalWriter::compact(&jpath, &manifest, &snap) {
+                    Ok(compacted) => writer = compacted,
+                    Err(e) => {
+                        // The old journal is untouched on error — still a
+                        // valid prefix, so this aborts exactly like a
+                        // failed append.
+                        abort_error = Some(format!(
+                            "compacting {journal}: {} ({e})",
+                            classify_io_error(&e)
+                        ));
+                        fault_flag.store(true, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            }
         });
+        let mut metrics = metrics;
+        metrics.merge(&replay_metrics);
         let completed = start + seen;
-        if let Some(e) = journal_error {
+        if abort_error.is_none() {
+            if let Err(e) = sink.flush() {
+                abort_error = Some(format!("writing {out}: {} ({e})", classify_io_error(&e)));
+            }
+        }
+        if let Some(e) = abort_error {
             eprintln!(
                 "cmr: {e}\n\
                  cmr: aborted cleanly — {completed}/{total} record(s) journaled, \
@@ -596,12 +934,30 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
                  rerun with --journal {journal} --resume to finish"
             );
         }
-        (metrics, completed < total)
+        (sink, metrics, completed < total)
+    } else if let Some(corpus) = &ndjson_file {
+        // Streamed, un-journaled corpus run: one pass, O(queue) memory.
+        let mut sink = if out == "-" {
+            RecordSink::stdout()
+        } else {
+            RecordSink::create(&out)?
+        };
+        let metrics = engine.extract_stream(ndjson_notes(corpus, shard)?, |_idx, result| {
+            sink.emit(&result);
+        });
+        sink.flush().map_err(|e| format!("writing {out}: {e}"))?;
+        let partial = shutdown_flag.load(std::sync::atomic::Ordering::Relaxed);
+        (sink, metrics, partial)
     } else if from_stdin {
         // Stream NDJSON records from stdin through the engine under
         // backpressure: at most `queue_depth` records are buffered.
         // (`StdinLock` is not `Send`, and the feeder thread consumes the
         // iterator — so take the lock per line.)
+        let mut sink = if out == "-" {
+            RecordSink::stdout()
+        } else {
+            RecordSink::create(&out)?
+        };
         let stdin = std::io::stdin();
         let lines = std::iter::from_fn(move || {
             let mut buf = String::new();
@@ -612,12 +968,13 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
         })
         .filter_map(|l| note_from_line(&l));
         let metrics = engine.extract_stream(lines, |_idx, result| {
-            emit_record_line(&mut w, &mut stdout_closed, &mut failed, &result);
+            sink.emit(&result);
         });
+        sink.flush().map_err(|e| format!("writing {out}: {e}"))?;
         // Without a known corpus length, "partial" means the stop was
         // signal-initiated rather than end-of-input.
         let partial = shutdown_flag.load(std::sync::atomic::Ordering::Relaxed);
-        (metrics, partial)
+        (sink, metrics, partial)
     } else {
         // Read the files up front so I/O errors fail the command before
         // any output is produced.
@@ -626,17 +983,28 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
             texts.push(fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?);
         }
         let total = texts.len();
+        let mut sink = if out == "-" {
+            RecordSink::stdout()
+        } else {
+            RecordSink::create(&out)?
+        };
         let mut seen = 0usize;
         let metrics = engine.extract_stream(texts.into_iter(), |_idx, result| {
-            emit_record_line(&mut w, &mut stdout_closed, &mut failed, &result);
+            sink.emit(&result);
             seen += 1;
         });
+        sink.flush().map_err(|e| format!("writing {out}: {e}"))?;
         if seen < total {
             eprintln!("cmr: interrupted — {seen}/{total} record(s) extracted");
         }
-        (metrics, seen < total)
+        (sink, metrics, seen < total)
     };
 
+    if !metrics_out.is_empty() {
+        let json = serde_json::to_string_pretty(&metrics).map_err(|e| e.to_string())?;
+        fs::write(&metrics_out, format!("{json}\n"))
+            .map_err(|e| format!("writing {metrics_out}: {e}"))?;
+    }
     if stats {
         // `cli::metrics-dump`: the last write of a batch; a fault here
         // must cost the stats line only, never the records above it.
@@ -647,14 +1015,408 @@ fn extract(args: &[String]) -> Result<ExitCode, String> {
             eprintln!("{json}");
         }
     }
-    if failed > 0 {
-        eprintln!("cmr: {failed} record(s) failed (see in-band \"error\" objects)");
+    if sink.failed > 0 {
+        eprintln!(
+            "cmr: {} record(s) failed (see in-band \"error\" objects)",
+            sink.failed
+        );
     }
     Ok(if partial {
         ExitCode::from(EXIT_PARTIAL)
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// Path of one shard's artifact inside the shared run directory, by the
+/// convention `cmr orchestrate` writes and `cmr merge` reads:
+/// `DIR/shard-<i>.<suffix>`.
+fn shard_path(dir: &str, index: usize, suffix: &str) -> PathBuf {
+    PathBuf::from(dir).join(format!("shard-{index}.{suffix}"))
+}
+
+/// Recombines the artifacts of an `n`-way sharded run under `dir` into
+/// unsharded-identical files: outputs round-robin interleaved (required),
+/// metrics summed and quarantines deduped (each optional, gated on a
+/// destination path). Returns the merged record-line count.
+fn merge_artifacts(
+    dir: &str,
+    n: usize,
+    out: &str,
+    metrics_out: &str,
+    quarantine_out: &str,
+) -> Result<u64, String> {
+    let mut readers = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = shard_path(dir, i, "out.ndjson");
+        let f = fs::File::open(&p).map_err(|e| format!("opening {}: {e}", p.display()))?;
+        readers.push(std::io::BufReader::new(f));
+    }
+    let lines = if out == "-" {
+        let stdout = std::io::stdout();
+        let mut w = stdout.lock();
+        merge_outputs(&mut readers, &mut w).map_err(|e| e.to_string())?
+    } else {
+        let f = fs::File::create(out).map_err(|e| format!("creating {out}: {e}"))?;
+        let mut w = std::io::BufWriter::new(f);
+        let lines = merge_outputs(&mut readers, &mut w).map_err(|e| e.to_string())?;
+        w.flush().map_err(|e| format!("writing {out}: {e}"))?;
+        lines
+    };
+    if !metrics_out.is_empty() {
+        let mut total = EngineMetrics::default();
+        for i in 0..n {
+            let p = shard_path(dir, i, "metrics.json");
+            let json =
+                fs::read_to_string(&p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+            let m: EngineMetrics =
+                serde_json::from_str(&json).map_err(|e| format!("parsing {}: {e}", p.display()))?;
+            total.merge(&m);
+        }
+        let json = serde_json::to_string_pretty(&total).map_err(|e| e.to_string())?;
+        fs::write(metrics_out, format!("{json}\n"))
+            .map_err(|e| format!("writing {metrics_out}: {e}"))?;
+    }
+    if !quarantine_out.is_empty() {
+        let mut entries = Vec::new();
+        for i in 0..n {
+            let p = shard_path(dir, i, "quarantine.ndjson");
+            // A shard that never quarantined anything may simply have no
+            // file (orchestrate always passes --quarantine, but hand-run
+            // shards might not).
+            if p.exists() {
+                entries.extend(
+                    read_quarantine(&p).map_err(|e| format!("reading {}: {e}", p.display()))?,
+                );
+            }
+        }
+        let merged = merge_quarantine(entries);
+        let mut body = String::new();
+        for e in &merged {
+            body.push_str(&serde_json::to_string(e).map_err(|e| e.to_string())?);
+            body.push('\n');
+        }
+        fs::write(quarantine_out, body).map_err(|e| format!("writing {quarantine_out}: {e}"))?;
+        eprintln!(
+            "cmr: merged quarantine: {} record(s) after dedupe",
+            merged.len()
+        );
+    }
+    Ok(lines)
+}
+
+/// `cmr merge`: recombine an N-way sharded run's artifacts into what the
+/// unsharded run would have produced.
+fn merge(args: &[String]) -> Result<ExitCode, String> {
+    let mut dir = String::new();
+    let mut shards = String::new();
+    let mut out = "-".to_string();
+    let mut metrics_out = String::new();
+    let mut quarantine_out = String::new();
+    let extra = parse_flags(
+        args,
+        &mut [
+            ("dir", &mut dir),
+            ("shards", &mut shards),
+            ("out", &mut out),
+            ("metrics", &mut metrics_out),
+            ("quarantine", &mut quarantine_out),
+        ],
+        &mut [],
+    )?;
+    if !extra.is_empty() {
+        return Err(format!("merge takes no positional arguments: {extra:?}"));
+    }
+    if dir.is_empty() {
+        return Err("merge needs --dir (the shard artifact directory)".to_string());
+    }
+    let n: usize = shards
+        .parse()
+        .map_err(|_| "--shards must be an integer >= 1".to_string())?;
+    if n == 0 {
+        return Err("--shards must be an integer >= 1".to_string());
+    }
+    let lines = merge_artifacts(&dir, n, &out, &metrics_out, &quarantine_out)?;
+    eprintln!("cmr: merged {lines} record(s) from {n} shard(s)");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Spawns one shard subprocess of an `n`-way orchestrated run. `--resume`
+/// is always passed: a fresh shard has no journal and starts from zero,
+/// a restarted one picks up where its journal proves it left off.
+fn spawn_shard(
+    exe: &Path,
+    corpus: &str,
+    dir: &str,
+    index: usize,
+    n: usize,
+    jobs: &str,
+    compact_every: &str,
+) -> std::io::Result<std::process::Child> {
+    if let Some(inj) = cmr_failpoint::io_inject("orchestrate::spawn") {
+        return Err(inj.into_io_error());
+    }
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("extract")
+        .arg("--ndjson")
+        .arg("--shard")
+        .arg(format!("{index}/{n}"))
+        .arg("--jobs")
+        .arg(jobs)
+        .arg("--journal")
+        .arg(shard_path(dir, index, "journal"))
+        .arg("--resume")
+        .arg("--out")
+        .arg(shard_path(dir, index, "out.ndjson"))
+        .arg("--metrics")
+        .arg(shard_path(dir, index, "metrics.json"))
+        .arg("--quarantine")
+        .arg(shard_path(dir, index, "quarantine.ndjson"));
+    if !compact_every.is_empty() {
+        cmd.arg("--compact-every").arg(compact_every);
+    }
+    cmd.arg(corpus)
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::inherit());
+    cmd.spawn()
+}
+
+/// `cmr orchestrate`: crash-supervised sharded extraction. Spawns the N
+/// shards as subprocesses (at most `--workers` at a time), restarts any
+/// that die — signal kill, panic, or a clean I/O abort (exit 4) — from
+/// their journals with exponential backoff, gives a shard up after
+/// `--max-restarts` failed attempts, and merges the artifacts once every
+/// shard completes. SIGINT/SIGTERM forward to the shards so each drains
+/// and flushes its own journal, then the supervisor exits 3.
+fn orchestrate(args: &[String]) -> Result<ExitCode, String> {
+    use std::time::{Duration, Instant};
+
+    let mut shards = "4".to_string();
+    let mut workers = "0".to_string();
+    let mut dir = String::new();
+    let mut jobs = "1".to_string();
+    let mut compact_every = String::new();
+    let mut max_restarts = "3".to_string();
+    let mut backoff_ms = "200".to_string();
+    let mut out = "-".to_string();
+    let mut metrics_out = String::new();
+    let mut quarantine_out = String::new();
+    let inputs = parse_flags(
+        args,
+        &mut [
+            ("shards", &mut shards),
+            ("workers", &mut workers),
+            ("dir", &mut dir),
+            ("jobs", &mut jobs),
+            ("compact-every", &mut compact_every),
+            ("max-restarts", &mut max_restarts),
+            ("backoff-ms", &mut backoff_ms),
+            ("out", &mut out),
+            ("metrics", &mut metrics_out),
+            ("quarantine", &mut quarantine_out),
+        ],
+        &mut [],
+    )?;
+    if inputs.len() != 1 {
+        return Err("orchestrate needs exactly one NDJSON corpus FILE".to_string());
+    }
+    let corpus = inputs[0].clone();
+    if corpus == "-" {
+        return Err(
+            "orchestrate needs a corpus file (shards re-read it; stdin is not re-readable)"
+                .to_string(),
+        );
+    }
+    if dir.is_empty() {
+        return Err("orchestrate needs --dir (the shard artifact directory)".to_string());
+    }
+    let n: usize = shards
+        .parse()
+        .map_err(|_| "--shards must be an integer >= 1".to_string())?;
+    if n == 0 {
+        return Err("--shards must be an integer >= 1".to_string());
+    }
+    let workers: usize = workers
+        .parse()
+        .map_err(|_| "--workers must be an integer (0 = all shards at once)".to_string())?;
+    let workers = if workers == 0 { n } else { workers };
+    let _: usize = jobs
+        .parse()
+        .map_err(|_| "--jobs must be an integer".to_string())?;
+    if !compact_every.is_empty() {
+        let _: u64 = compact_every
+            .parse()
+            .map_err(|_| "--compact-every must be an integer".to_string())?;
+    }
+    let max_restarts: u32 = max_restarts
+        .parse()
+        .map_err(|_| "--max-restarts must be an integer".to_string())?;
+    let backoff_ms: u64 = backoff_ms
+        .parse()
+        .map_err(|_| "--backoff-ms must be an integer".to_string())?;
+    fs::create_dir_all(&dir).map_err(|e| format!("creating {dir}: {e}"))?;
+    let exe = std::env::current_exe().map_err(|e| format!("locating the cmr executable: {e}"))?;
+    let shutdown_flag = shutdown::install();
+
+    struct ShardState {
+        child: Option<std::process::Child>,
+        attempts: u32,
+        done: bool,
+        gave_up: bool,
+        not_before: Instant,
+    }
+    let now = Instant::now();
+    let mut states: Vec<ShardState> = (0..n)
+        .map(|_| ShardState {
+            child: None,
+            attempts: 0,
+            done: false,
+            gave_up: false,
+            not_before: now,
+        })
+        .collect();
+    // One failure-accounting path for every way an attempt can die:
+    // schedule a backed-off restart, or give the shard up once the
+    // retry budget is spent.
+    let record_failure = |s: &mut ShardState, i: usize, why: &str| {
+        s.attempts += 1;
+        if s.attempts > max_restarts {
+            s.gave_up = true;
+            eprintln!(
+                "cmr: shard {i}/{n}: {why}; retry budget ({max_restarts}) exhausted — giving up"
+            );
+        } else {
+            let delay = backoff_ms
+                .saturating_mul(1 << (s.attempts - 1).min(6))
+                .min(30_000);
+            s.not_before = Instant::now() + Duration::from_millis(delay);
+            eprintln!(
+                "cmr: shard {i}/{n}: {why}; restart {}/{max_restarts} in {delay} ms \
+                 (resuming from its journal)",
+                s.attempts
+            );
+        }
+    };
+
+    loop {
+        if shutdown_flag.load(std::sync::atomic::Ordering::Relaxed) {
+            break;
+        }
+        // Reap finished children.
+        for (i, state) in states.iter_mut().enumerate() {
+            let Some(child) = state.child.as_mut() else {
+                continue;
+            };
+            if let Some(inj) = cmr_failpoint::io_inject("orchestrate::wait") {
+                // An injected wait failure loses track of the child; the
+                // only safe recovery is to kill it and restart from the
+                // journal, like any other dead shard.
+                eprintln!("cmr: shard {i}/{n}: wait failed: {}", inj.into_io_error());
+                let _ = child.kill();
+                let _ = child.wait();
+                state.child = None;
+                record_failure(state, i, "supervisor lost the child");
+                continue;
+            }
+            match child.try_wait() {
+                Ok(None) => {}
+                Ok(Some(status)) => {
+                    state.child = None;
+                    match status.code() {
+                        Some(0) => {
+                            state.done = true;
+                            eprintln!("cmr: shard {i}/{n} completed");
+                        }
+                        Some(2) => {
+                            // A usage error is deterministic: the same
+                            // argv fails the same way every time, so
+                            // restarting is noise.
+                            state.gave_up = true;
+                            eprintln!("cmr: shard {i}/{n}: exit 2 (usage) — not restartable");
+                        }
+                        Some(code) => {
+                            record_failure(state, i, &format!("exit {code}"));
+                        }
+                        None => {
+                            record_failure(state, i, "killed by a signal");
+                        }
+                    }
+                }
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    state.child = None;
+                    record_failure(state, i, &format!("wait failed: {e}"));
+                }
+            }
+        }
+        // Spawn (or restart) shards while worker slots are free.
+        let mut running = states.iter().filter(|s| s.child.is_some()).count();
+        for (i, state) in states.iter_mut().enumerate() {
+            if running >= workers {
+                break;
+            }
+            let ready = state.child.is_none()
+                && !state.done
+                && !state.gave_up
+                && Instant::now() >= state.not_before;
+            if !ready {
+                continue;
+            }
+            match spawn_shard(&exe, &corpus, &dir, i, n, &jobs, &compact_every) {
+                Ok(child) => {
+                    state.child = Some(child);
+                    running += 1;
+                }
+                Err(e) => {
+                    record_failure(state, i, &format!("spawn failed: {e}"));
+                }
+            }
+        }
+        if states.iter().all(|s| s.done || s.gave_up) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    if shutdown_flag.load(std::sync::atomic::Ordering::Relaxed) {
+        // Drain: forward the signal so each shard flushes its journal
+        // and exits cleanly, then collect them all.
+        for s in states.iter_mut() {
+            if let Some(child) = s.child.as_mut() {
+                shutdown::terminate(child);
+            }
+        }
+        for s in states.iter_mut() {
+            if let Some(mut child) = s.child.take() {
+                let _ = child.wait();
+            }
+        }
+        let done = states.iter().filter(|s| s.done).count();
+        eprintln!(
+            "cmr: interrupted — {done}/{n} shard(s) complete, journals flushed; \
+             rerun the same command to resume"
+        );
+        return Ok(ExitCode::from(EXIT_PARTIAL));
+    }
+
+    let failed: Vec<usize> = states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.gave_up)
+        .map(|(i, _)| i)
+        .collect();
+    if !failed.is_empty() {
+        eprintln!(
+            "cmr: shard(s) {failed:?} did not complete; their journals and partial \
+             artifacts are in {dir} — fix the underlying condition and rerun to resume"
+        );
+        return Ok(ExitCode::from(1));
+    }
+    let lines = merge_artifacts(&dir, n, &out, &metrics_out, &quarantine_out)?;
+    eprintln!("cmr: all {n} shard(s) completed — merged {lines} record(s)");
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `cmr serve`: the resident extraction service. Runs until SIGINT or
@@ -1118,6 +1880,25 @@ fn bench(args: &[String]) -> Result<(), String> {
             report.config.jobs, j.notes_per_sec
         );
     }
+    if let Some(c) = &report.journaled_compacting {
+        let reference = report
+            .journaled
+            .as_ref()
+            .map(|j| j.notes_per_sec)
+            .unwrap_or(0.0);
+        let overhead = if reference > 0.0 {
+            (1.0 - c.notes_per_sec / reference) * 100.0
+        } else {
+            0.0
+        };
+        eprintln!(
+            "cmr: journaled+compact x{} {:.1} notes/sec ({overhead:+.1}% vs journaled, \
+             snapshot every {} records)",
+            report.config.jobs,
+            c.notes_per_sec,
+            perf::COMPACT_EVERY
+        );
+    }
     if let Some(s) = &report.scaling {
         eprintln!(
             "cmr: scaling sweep on {} CPU(s), serial reference {:.1} notes/sec",
@@ -1172,8 +1953,15 @@ fn bench(args: &[String]) -> Result<(), String> {
             eprintln!("cmr: JOURNAL OVERHEAD REGRESSION: {msg}");
             std::process::exit(1);
         }
+        // Same within-run principle for compaction: the compacting leg is
+        // priced against the journaled leg of this very report.
+        if let Err(msg) = perf::check_compaction_overhead(&report, 0.10) {
+            eprintln!("cmr: COMPACTION OVERHEAD REGRESSION: {msg}");
+            std::process::exit(1);
+        }
         eprintln!(
-            "cmr: perf check vs {check} passed (threshold {threshold}, journal overhead <10%)"
+            "cmr: perf check vs {check} passed (threshold {threshold}, journal overhead <10%, \
+             compaction overhead <10%)"
         );
     }
     Ok(())
